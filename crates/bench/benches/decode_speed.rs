@@ -1,0 +1,53 @@
+//! Criterion bench for Table II's underlying machinery: wall-clock
+//! decode throughput of the three engines on a trained model (the
+//! simulated-GPU speeds come from the harness binaries; this measures
+//! the real Rust implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::OnceLock;
+use verispec_core::{DecodeConfig, TrainMethod};
+use verispec_eval::{generate, rtllm_sim, ModelScale, Pipeline, PipelineConfig};
+use verispec_lm::MlpLm;
+
+fn pipeline() -> &'static Pipeline {
+    static PIPE: OnceLock<Pipeline> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        Pipeline::build(PipelineConfig {
+            corpus_size: 96,
+            vocab: 420,
+            n_heads: 6,
+            epochs: 1,
+            ..Default::default()
+        })
+    })
+}
+
+fn model(method: TrainMethod) -> MlpLm {
+    pipeline().model_for(ModelScale::Small, method, (1, 1))
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let pipe = pipeline();
+    let bench = rtllm_sim();
+    let problem = &bench.problems[0];
+    let cost = ModelScale::Small.cost_model();
+    let mut group = c.benchmark_group("decode_speed");
+    group.sample_size(10);
+    for method in [TrainMethod::Ntp, TrainMethod::Medusa, TrainMethod::Ours] {
+        let m = model(method);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let cfg = DecodeConfig { max_tokens: 64, ..Default::default() };
+                    generate(&m, &pipe.tokenizer, problem, method, &cfg, &cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

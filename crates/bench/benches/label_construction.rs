@@ -1,0 +1,41 @@
+//! Ablation A3: throughput of syntax-enriched label construction —
+//! the paper's parallel algorithm (Fig. 4, right panel) vs the naive
+//! per-column reference, across sequence lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use verispec_core::LabelGrid;
+use verispec_lm::TokenId;
+use verispec_tokenizer::special;
+
+fn synthetic_tokens(len: usize) -> Vec<TokenId> {
+    // FRAG roughly every 3 tokens, like fragmented Verilog.
+    let mut v = Vec::with_capacity(len);
+    let mut i = 0u32;
+    while v.len() < len {
+        v.push(20 + (i % 37));
+        if i % 3 == 0 {
+            v.push(special::FRAG);
+        }
+        i += 1;
+    }
+    v.truncate(len);
+    v
+}
+
+fn bench_labels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_construction");
+    for len in [256usize, 1024, 4096] {
+        let tokens = synthetic_tokens(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("naive", len), &tokens, |b, t| {
+            b.iter(|| LabelGrid::syntax_enriched(t, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", len), &tokens, |b, t| {
+            b.iter(|| LabelGrid::syntax_enriched_parallel(t, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labels);
+criterion_main!(benches);

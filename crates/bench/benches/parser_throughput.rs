@@ -1,0 +1,33 @@
+//! Substrate bench: Verilog front-end throughput (lex + parse +
+//! fragmentize) over corpus-sized inputs — the Stagira-substitute's cost
+//! inside the data pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use verispec_data::{Corpus, CorpusConfig};
+use verispec_verilog::fragment::fragmentize;
+use verispec_verilog::significant::SignificantTokens;
+
+fn bench_parser(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusConfig { size: 128, ..Default::default() });
+    let blob: String =
+        corpus.items.iter().map(|i| i.source.as_str()).collect::<Vec<_>>().join("\n");
+    let bytes = blob.len() as u64;
+
+    let mut group = c.benchmark_group("verilog_frontend");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("lex", |b| {
+        b.iter(|| verispec_verilog::lex(&blob).expect("lex"))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| verispec_verilog::parse(&blob).expect("parse"))
+    });
+    group.bench_function("fragmentize", |b| {
+        let file = verispec_verilog::parse(&blob).expect("parse");
+        let sig = SignificantTokens::from_source_file(&file);
+        b.iter(|| fragmentize(&blob, &sig).expect("fragmentize"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Substrate bench: behavioral simulator throughput — cycles/second on a
+//! clocked counter and vectors/second on a combinational ALU (the
+//! iverilog-substitute's cost inside the judge).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use verispec_sim::{elaborate, Sim};
+
+fn bench_sim(c: &mut Criterion) {
+    let counter = verispec_verilog::parse(
+        "module counter(input clk, rst, en, output reg [15:0] q);
+           always @(posedge clk) if (rst) q <= 0; else if (en) q <= q + 1;
+         endmodule",
+    )
+    .expect("parse");
+    let counter_design = elaborate(&counter.modules[0]).expect("elab");
+
+    let alu = verispec_verilog::parse(
+        "module alu(input [2:0] op, input [7:0] a, b, output reg [7:0] y, output zero);
+           assign zero = (y == 8'd0);
+           always @(*) case (op)
+             3'b000: y = a + b;
+             3'b001: y = a - b;
+             3'b010: y = a & b;
+             3'b011: y = a | b;
+             3'b100: y = a ^ b;
+             default: y = ~a;
+           endcase
+         endmodule",
+    )
+    .expect("parse");
+    let alu_design = elaborate(&alu.modules[0]).expect("elab");
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("counter_1000_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&counter_design).expect("sim");
+            sim.set("rst", 0).expect("set");
+            sim.set("en", 1).expect("set");
+            for _ in 0..1000 {
+                sim.clock_pulse("clk").expect("clk");
+            }
+            sim.get("q").expect("q")
+        })
+    });
+    group.bench_function("alu_1000_vectors", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&alu_design).expect("sim");
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                sim.set("op", i % 6).expect("set");
+                sim.set("a", i & 0xFF).expect("set");
+                sim.set("b", (i * 7) & 0xFF).expect("set");
+                acc ^= sim.get("y").expect("y");
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates **Fig. 6**: pass@5 (Function and Syntax) vs training-data
+//! size for the Small (CodeT5p-like) architecture on both benchmarks.
+
+use verispec_bench::HarnessArgs;
+use verispec_eval::{fig6_from_cells, run_table1, Pipeline};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!("building pipeline...");
+    let pipe = Pipeline::build(args.scale.pipeline);
+    let cells = run_table1(&args.scale, &pipe);
+    let points = fig6_from_cells(&cells);
+    println!("Fig. 6 — pass@5 vs data size (Small model)");
+    println!("benchmark   fraction   metric     Ours    Medusa     NTP");
+    for benchmark in ["RTLLM-sim", "VGen-sim"] {
+        let mut fractions: Vec<(usize, usize)> = points
+            .iter()
+            .filter(|p| p.benchmark == benchmark)
+            .map(|p| p.fraction)
+            .collect();
+        fractions.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+        fractions.dedup();
+        for fraction in fractions {
+            for (label, f) in [("function", true), ("syntax", false)] {
+                let val = |method: &str| -> f64 {
+                    points
+                        .iter()
+                        .find(|p| {
+                            p.benchmark == benchmark
+                                && p.fraction == fraction
+                                && p.method == method
+                        })
+                        .map(|p| if f { p.function_pass5 } else { p.syntax_pass5 })
+                        .unwrap_or(f64::NAN)
+                };
+                println!(
+                    "{:<11} {:>3}/{:<3}    {:<8} {:>7.2} {:>9.2} {:>7.2}",
+                    benchmark,
+                    fraction.0,
+                    fraction.1,
+                    label,
+                    val("Ours"),
+                    val("Medusa"),
+                    val("NTP")
+                );
+            }
+        }
+    }
+    args.write_json(&points);
+}

@@ -1,0 +1,46 @@
+//! Developer probe: prints raw generations and training losses for the
+//! current pipeline configuration. Not part of the paper harness.
+use verispec_core::{DecodeConfig, TrainMethod};
+use verispec_eval::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let pipe = Pipeline::build(scale.pipeline);
+    eprintln!(
+        "corpus retained {} | mean plain seq len {}",
+        pipe.corpus.stats.retained,
+        pipe.plain_sequences.iter().map(Vec::len).sum::<usize>()
+            / pipe.plain_sequences.len().max(1)
+    );
+    let bench = rtllm_sim();
+    for problem in [&bench.problems[0], &bench.problems[18]] {
+        println!("#### prompt: {}", problem.module.description);
+        for method in [TrainMethod::Ours, TrainMethod::Medusa, TrainMethod::Ntp] {
+            let model = pipe.model_for(ModelScale::Large, method, (1, 1));
+            let cfg = DecodeConfig {
+                max_tokens: token_budget(&pipe.tokenizer, problem, method),
+                ..Default::default()
+            };
+            let g = generate(
+                &model,
+                &pipe.tokenizer,
+                problem,
+                method,
+                &cfg,
+                &ModelScale::Large.cost_model(),
+            );
+            let verdict = judge(&g.code, problem, 7);
+            println!(
+                "=== {} steps={} tokens={} t/step={:.2} verdict={:?}",
+                method.name(),
+                g.output.steps,
+                g.output.tokens.len(),
+                g.output.clock.tokens_per_step(),
+                verdict
+            );
+            println!("{}", &g.code.chars().take(420).collect::<String>());
+            println!();
+        }
+    }
+}

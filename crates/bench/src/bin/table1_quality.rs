@@ -1,0 +1,30 @@
+//! Regenerates **Table I**: pass@k and Pass Rate for Function and Syntax
+//! across {Ours, Medusa, NTP} × {Large, Small} × data fractions ×
+//! {RTLLM-sim, VGen-sim}.
+
+use verispec_bench::HarnessArgs;
+use verispec_eval::{fig6_from_cells, render_table1, run_table1, Pipeline};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!("building pipeline (corpus + tokenizer + datasets)...");
+    let pipe = Pipeline::build(args.scale.pipeline);
+    eprintln!(
+        "corpus: {} items; training/evaluating {} cells...",
+        pipe.corpus.stats.retained,
+        2 * args.scale.data_fractions.len() * 3
+    );
+    let cells = run_table1(&args.scale, &pipe);
+    println!("{}", render_table1(&cells));
+
+    // Fig. 6 falls out of the same cells; print it here so a single full
+    // run covers both artifacts.
+    println!("\nFig. 6 series (Small model, pass@5 vs data fraction):");
+    for p in fig6_from_cells(&cells) {
+        println!(
+            "  {:<8} {:<10} {}/{}  func {:>6.2}%  syntax {:>6.2}%",
+            p.method, p.benchmark, p.fraction.0, p.fraction.1, p.function_pass5, p.syntax_pass5
+        );
+    }
+    args.write_json(&cells);
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table II**: simulated tokens/second and speedup over
+//! the NTP baseline for both model scales (greedy + temperature-0.8
+//! sampling over the speed prompt set, Eqs. 3–4).
+
+use verispec_bench::HarnessArgs;
+use verispec_eval::{render_table2, run_table2, Pipeline};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!("building pipeline...");
+    let pipe = Pipeline::build(args.scale.pipeline);
+    eprintln!("measuring speed over {} prompts...", args.scale.speed_prompt_count);
+    let rows = run_table2(&args.scale, &pipe);
+    println!("{}", render_table2(&rows));
+    println!("paper reference (Table II): CodeLlama 420.13/294.99/83.13 tok/s (5.05x/3.55x/1x); CodeT5p 243.70/106.33/91.65 (2.66x/1.16x/1x)");
+    args.write_json(&rows);
+}

@@ -1,0 +1,74 @@
+//! Shared helpers for the VeriSpec benchmark harness binaries.
+//!
+//! Each binary regenerates one paper artifact (see DESIGN.md §4):
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1_quality` | Table I — quality grid |
+//! | `table2_speed`   | Table II — tokens/s and speedup |
+//! | `fig1_tradeoff`  | Fig. 1 — speed vs quality scatter |
+//! | `fig5_steps`     | Fig. 5 — decode traces |
+//! | `fig6_datasize`  | Fig. 6 — pass@5 vs data size |
+//!
+//! All binaries accept `--scale quick|full` (default `full`) and write a
+//! JSON artifact next to their stdout table when `--json <path>` is
+//! given.
+
+use verispec_eval::Scale;
+
+/// Parses the common `--scale` / `--json` CLI arguments.
+pub struct HarnessArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Optional JSON artifact path.
+    pub json: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn parse() -> HarnessArgs {
+        let mut scale = Scale::full();
+        let mut json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    scale = match v.as_str() {
+                        "quick" => Scale::quick(),
+                        "full" => Scale::full(),
+                        other => panic!("unknown scale `{other}` (use quick|full)"),
+                    };
+                }
+                "--json" => json = args.next(),
+                "--samples" => {
+                    scale.n_samples =
+                        args.next().and_then(|v| v.parse().ok()).expect("--samples N");
+                }
+                "--problems" => {
+                    scale.problem_limit =
+                        Some(args.next().and_then(|v| v.parse().ok()).expect("--problems N"));
+                }
+                "--help" | "-h" => {
+                    println!("usage: <bin> [--scale quick|full] [--json PATH]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        HarnessArgs { scale, json }
+    }
+
+    /// Writes a serializable artifact to the `--json` path, if given.
+    pub fn write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let body = serde_json::to_string_pretty(value).expect("serialize artifact");
+            std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Decoding engines: conventional next-token prediction, MEDUSA-style
+//! multi-head speculation, and the paper's syntax-aligned variant
+//! ("Ours") that truncates every committed span at a complete fragment
+//! boundary (§III-B).
+//!
+//! All engines run against the simulated GPU clock
+//! ([`verispec_lm::GpuCostModel`]) so that tokens/second reflects the
+//! paper's measurement model: one base-model forward per decoding step
+//! plus a marginal cost per speculated candidate token.
+
+use crate::accept::TypicalAcceptance;
+use serde::{Deserialize, Serialize};
+use verispec_lm::matrix::softmax;
+use verispec_lm::{argmax, DecodeClock, GpuCostModel, LanguageModel, Sampler, Sampling, TokenId};
+use verispec_tokenizer::special;
+
+/// Configuration for a decode run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeConfig {
+    /// Maximum number of generated tokens (excluding the prompt).
+    pub max_tokens: usize,
+    /// Sampling strategy for the base head (and head proposals).
+    pub sampling: Sampling,
+    /// Typical-acceptance parameters (Eq. 1) used under sampling.
+    pub acceptance: TypicalAcceptance,
+    /// End-of-sequence token; generation stops after committing it.
+    pub eos: TokenId,
+    /// When true ("Ours"), truncate each committed span at the last
+    /// complete fragment boundary (`[FRAG]` token).
+    pub syntax_aligned: bool,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Optional MEDUSA candidate tree: entry `i` is the number of
+    /// candidates drawn from head `i+1`'s top-k (entry 0 applies to head
+    /// 1). `None` uses the single top-1 chain. The committed span is the
+    /// longest accepted prefix over all candidate paths (paper §III-B:
+    /// "we maintain several candidates comprising the top-k predictions
+    /// ... the final prediction is the longest accepted prefix").
+    pub tree: Option<Vec<usize>>,
+}
+
+impl Default for DecodeConfig {
+    fn default() -> Self {
+        Self {
+            max_tokens: 256,
+            sampling: Sampling::Greedy,
+            acceptance: TypicalAcceptance::default(),
+            eos: special::EOS,
+            syntax_aligned: false,
+            seed: 0,
+            tree: None,
+        }
+    }
+}
+
+/// Per-step record for decode traces (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// Tokens speculated by the heads this step (0 for NTP).
+    pub speculated: usize,
+    /// Tokens that passed acceptance (including the base token).
+    pub accepted: usize,
+    /// Tokens discarded by the syntax-integrity check.
+    pub truncated: usize,
+    /// Tokens actually committed this step.
+    pub committed: Vec<TokenId>,
+    /// Whether the committed span ends on a `[FRAG]` boundary.
+    pub fragment_complete: bool,
+}
+
+/// Result of a decode run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeOutput {
+    /// Generated tokens (prompt excluded, `[EOS]` included if reached).
+    pub tokens: Vec<TokenId>,
+    /// Number of decoding steps taken.
+    pub steps: usize,
+    /// Simulated GPU clock for the run.
+    pub clock: DecodeClock,
+    /// Per-step trace.
+    pub trace: Vec<StepTrace>,
+}
+
+impl DecodeOutput {
+    /// Generated tokens with `[EOS]` and other specials stripped except
+    /// `[FRAG]`, which callers strip via text-level defragmentation.
+    pub fn tokens_without_eos(&self) -> Vec<TokenId> {
+        self.tokens.iter().copied().filter(|&t| t != special::EOS).collect()
+    }
+}
+
+/// Conventional next-token-prediction decoding (the NTP baseline).
+pub fn decode_ntp(
+    model: &dyn LanguageModel,
+    prompt: &[TokenId],
+    cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> DecodeOutput {
+    let mut sampler = Sampler::new(cfg.seed);
+    let mut prefix = prompt.to_vec();
+    let mut out = DecodeOutput {
+        tokens: Vec::new(),
+        steps: 0,
+        clock: DecodeClock::new(),
+        trace: Vec::new(),
+    };
+    while out.tokens.len() < cfg.max_tokens {
+        let logits = model.logits(&prefix);
+        let tok = sampler.sample(&logits, cfg.sampling);
+        out.clock.record_step(cost, 0, 1);
+        out.steps += 1;
+        prefix.push(tok);
+        out.tokens.push(tok);
+        out.trace.push(StepTrace {
+            speculated: 0,
+            accepted: 1,
+            truncated: 0,
+            committed: vec![tok],
+            fragment_complete: tok == special::FRAG,
+        });
+        if tok == cfg.eos {
+            break;
+        }
+    }
+    out
+}
+
+/// MEDUSA-style speculative decoding; with `cfg.syntax_aligned` this is
+/// the paper's method ("Ours"), otherwise the Medusa baseline.
+///
+/// Each step:
+/// 1. one forward produces base logits and every head's logits;
+/// 2. the base token is drawn (greedy or sampled) and always committed;
+/// 3. each head proposes its next token, forming a speculated chain;
+/// 4. the chain is verified left-to-right against the base model —
+///    exact-match under greedy decoding (lossless), Eq.-1 typical
+///    acceptance under sampling — and cut at the first rejection;
+/// 5. with syntax alignment, the accepted span is additionally truncated
+///    at the last `[FRAG]` boundary (the integrity check of §III-B).
+pub fn decode_speculative(
+    model: &dyn LanguageModel,
+    prompt: &[TokenId],
+    cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> DecodeOutput {
+    let n_heads = model.n_extra_heads();
+    let mut sampler = Sampler::new(cfg.seed);
+    let mut prefix = prompt.to_vec();
+    let mut out = DecodeOutput {
+        tokens: Vec::new(),
+        steps: 0,
+        clock: DecodeClock::new(),
+        trace: Vec::new(),
+    };
+
+    while out.tokens.len() < cfg.max_tokens {
+        let all_logits = model.multi_logits(&prefix);
+        // Base token: drawn from the base distribution, always committed.
+        let base_tok = sampler.sample(&all_logits[0], cfg.sampling);
+
+        // Head proposals (offset i+1 ahead). Without a tree this is the
+        // deterministic top-1 chain; with one, the candidate set is the
+        // cartesian product of each head's top-k (capped), as in MEDUSA's
+        // tree attention.
+        let paths: Vec<Vec<TokenId>> = build_candidate_paths(&all_logits, n_heads, &cfg.tree);
+        let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
+
+        // Verify candidates against the base model; shared prefixes are
+        // evaluated once (the tree-attention analogue). The committed
+        // span is the longest accepted prefix over all candidates.
+        let mut committed = vec![base_tok];
+        if base_tok != cfg.eos {
+            let mut memo: std::collections::HashMap<Vec<TokenId>, Vec<f32>> =
+                std::collections::HashMap::new();
+            let mut best: Vec<TokenId> = Vec::new();
+            for path in &paths {
+                let mut accepted_prefix: Vec<TokenId> = Vec::new();
+                for &tok in path {
+                    let probs = memo
+                        .entry(accepted_prefix.clone())
+                        .or_insert_with(|| {
+                            let mut ctx = prefix.clone();
+                            ctx.push(base_tok);
+                            ctx.extend_from_slice(&accepted_prefix);
+                            let logits = model.logits(&ctx);
+                            // Typical acceptance is evaluated on the
+                            // *temperature-scaled* base distribution so
+                            // that speculative sampling matches the
+                            // baseline's sampling entropy (MEDUSA's
+                            // criterion "matches the distribution the
+                            // model samples from").
+                            match cfg.sampling {
+                                Sampling::Temperature { temperature, .. } => {
+                                    let scaled: Vec<f32> =
+                                        logits.iter().map(|&l| l / temperature).collect();
+                                    softmax(&scaled)
+                                }
+                                Sampling::Greedy => softmax(&logits),
+                            }
+                        })
+                        .clone();
+                    let ok = match cfg.sampling {
+                        Sampling::Greedy => tok == argmax(&probs),
+                        Sampling::Temperature { .. } => cfg.acceptance.accepts(&probs, tok),
+                    };
+                    if !ok {
+                        break;
+                    }
+                    accepted_prefix.push(tok);
+                    if tok == cfg.eos {
+                        break;
+                    }
+                }
+                if accepted_prefix.len() > best.len() {
+                    best = accepted_prefix;
+                }
+                if best.iter().last() == Some(&cfg.eos) {
+                    break;
+                }
+            }
+            committed.extend_from_slice(&best);
+        }
+        let accepted = committed.len();
+
+        // Syntax-integrity check (§III-B): the committed span must end on
+        // a complete fragment. Keep up to the last `[FRAG]` boundary; if
+        // the speculated span formed no boundary at all, discard every
+        // head token and keep only the base token.
+        let mut truncated = 0usize;
+        if cfg.syntax_aligned && !committed.contains(&cfg.eos) {
+            let keep = committed
+                .iter()
+                .rposition(|&t| t == special::FRAG)
+                .map(|p| p + 1)
+                .unwrap_or(1);
+            truncated = committed.len() - keep;
+            committed.truncate(keep);
+        }
+        // Whether the span ends on a fragment boundary — recorded before
+        // any token-budget cut, which is a harness artifact rather than a
+        // property of the acceptance policy.
+        let fragment_complete =
+            committed.last().is_some_and(|&t| t == special::FRAG || t == cfg.eos);
+
+        // Token-budget truncation (not counted as syntax truncation).
+        let remaining = cfg.max_tokens - out.tokens.len();
+        if committed.len() > remaining {
+            committed.truncate(remaining);
+        }
+
+        out.clock.record_step(cost, candidate_tokens, committed.len());
+        out.steps += 1;
+
+        // Commit.
+        let hit_eos = committed.contains(&cfg.eos);
+        prefix.extend_from_slice(&committed);
+        out.tokens.extend_from_slice(&committed);
+        out.trace.push(StepTrace {
+            speculated: candidate_tokens,
+            accepted,
+            truncated,
+            committed,
+            fragment_complete,
+        });
+        if hit_eos {
+            break;
+        }
+    }
+    out
+}
+
+/// Maximum number of candidate paths explored per step in tree mode.
+const MAX_CANDIDATE_PATHS: usize = 32;
+
+/// Builds the speculated candidate paths from per-head logits.
+fn build_candidate_paths(
+    all_logits: &[Vec<f32>],
+    n_heads: usize,
+    tree: &Option<Vec<usize>>,
+) -> Vec<Vec<TokenId>> {
+    match tree {
+        None => vec![(1..=n_heads).map(|i| argmax(&all_logits[i])).collect()],
+        Some(ks) => {
+            let mut paths: Vec<Vec<TokenId>> = vec![Vec::new()];
+            for head_idx in 1..=n_heads {
+                let k = ks.get(head_idx - 1).copied().unwrap_or(1).max(1);
+                let options = verispec_lm::top_k_indices(&all_logits[head_idx], k);
+                let mut next = Vec::with_capacity(paths.len() * options.len());
+                'grow: for p in &paths {
+                    for &opt in &options {
+                        let mut q = p.clone();
+                        q.push(opt);
+                        next.push(q);
+                        if next.len() >= MAX_CANDIDATE_PATHS {
+                            break 'grow;
+                        }
+                    }
+                }
+                paths = next;
+            }
+            paths
+        }
+    }
+}
+
+/// Convenience dispatcher used by the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeMethod {
+    /// Conventional next-token prediction.
+    Ntp,
+    /// MEDUSA-2 speculative decoding (no syntax alignment).
+    Medusa,
+    /// The paper's syntax-aligned speculative decoding.
+    Ours,
+}
+
+impl DecodeMethod {
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecodeMethod::Ntp => "NTP",
+            DecodeMethod::Medusa => "Medusa",
+            DecodeMethod::Ours => "Ours",
+        }
+    }
+
+    /// Runs the decode engine this method denotes.
+    pub fn decode(
+        &self,
+        model: &dyn LanguageModel,
+        prompt: &[TokenId],
+        cfg: &DecodeConfig,
+        cost: &GpuCostModel,
+    ) -> DecodeOutput {
+        match self {
+            DecodeMethod::Ntp => decode_ntp(model, prompt, cfg, cost),
+            DecodeMethod::Medusa => {
+                let cfg = DecodeConfig { syntax_aligned: false, ..cfg.clone() };
+                decode_speculative(model, prompt, &cfg, cost)
+            }
+            DecodeMethod::Ours => {
+                let cfg = DecodeConfig { syntax_aligned: true, ..cfg.clone() };
+                decode_speculative(model, prompt, &cfg, cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verispec_lm::{MlpLm, MlpLmConfig, NgramLm};
+
+    /// Trains a tiny MLP on a fixed cycle so decoding is predictable.
+    fn cyclic_model(vocab: usize, period: usize) -> (MlpLm, Vec<TokenId>) {
+        let cfg = MlpLmConfig { vocab, d_emb: 8, d_hidden: 16, context: 4, n_heads: 4, seed: 5 };
+        let mut model = MlpLm::new(cfg);
+        let mut opt = model.optimizer();
+        let mut grads = model.zero_grads();
+        let seq: Vec<TokenId> = (0..120).map(|i| 6 + (i % period) as TokenId).collect();
+        for _ in 0..120 {
+            grads.reset();
+            for pos in 0..seq.len() - 5 {
+                let w = model.window(&seq[..=pos]);
+                let mut targets = vec![(0usize, seq[pos + 1], 1.0f32)];
+                for h in 1..=4usize {
+                    targets.push((h, seq[pos + 1 + h], 0.2 * 0.8f32.powi(h as i32)));
+                }
+                model.accumulate_position(&mut grads, &w, &targets);
+            }
+            model.adam_step(&mut opt, &grads, 5e-3, 4.0);
+        }
+        (model, seq)
+    }
+
+    #[test]
+    fn ntp_decodes_learned_cycle() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cfg = DecodeConfig { max_tokens: 9, ..Default::default() };
+        let out = decode_ntp(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
+        assert_eq!(out.tokens.len(), 9);
+        assert_eq!(out.steps, 9, "NTP commits one token per step");
+        // Continues the cycle 6,7,8,6,7,8...
+        let expect: Vec<TokenId> = (0..9).map(|i| 6 + ((i + 4) % 3) as TokenId).collect();
+        assert_eq!(out.tokens, expect);
+    }
+
+    #[test]
+    fn speculative_greedy_matches_ntp_greedy() {
+        // Losslessness: greedy speculative decoding must produce exactly
+        // the greedy NTP token stream (acceptance = exact match).
+        let (model, seq) = cyclic_model(12, 3);
+        let cost = GpuCostModel::codellama_like();
+        let cfg = DecodeConfig { max_tokens: 12, ..Default::default() };
+        let ntp = decode_ntp(&model, &seq[..4], &cfg, &cost);
+        let med = decode_speculative(&model, &seq[..4], &cfg, &cost);
+        assert_eq!(ntp.tokens, med.tokens);
+        assert!(med.steps < ntp.steps, "speculation must save steps on a learned cycle");
+    }
+
+    #[test]
+    fn speculative_clock_is_faster_despite_overhead() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cost = GpuCostModel::codellama_like();
+        let cfg = DecodeConfig { max_tokens: 30, ..Default::default() };
+        let ntp = decode_ntp(&model, &seq[..4], &cfg, &cost);
+        let med = decode_speculative(&model, &seq[..4], &cfg, &cost);
+        assert_eq!(ntp.tokens, med.tokens);
+        assert!(med.clock.tokens_per_second() > ntp.clock.tokens_per_second());
+    }
+
+    #[test]
+    fn ntp_stops_at_eos() {
+        // An n-gram model trained so that token 9 follows 8, then EOS.
+        let mut ng = NgramLm::new(2, 12);
+        let seq = vec![8u32, 9, special::EOS];
+        for _ in 0..10 {
+            ng.train_sequence(&seq);
+        }
+        let cfg = DecodeConfig { max_tokens: 50, ..Default::default() };
+        let out = decode_ntp(&ng, &[8], &cfg, &GpuCostModel::codet5p_like());
+        assert_eq!(out.tokens.last(), Some(&special::EOS));
+        assert!(out.tokens.len() <= 3);
+    }
+
+    #[test]
+    fn syntax_alignment_truncates_at_frag() {
+        // Cycle includes FRAG (id 3): ... 6 7 FRAG 6 7 FRAG ...
+        let cfg_m = MlpLmConfig { vocab: 10, d_emb: 8, d_hidden: 16, context: 4, n_heads: 4, seed: 9 };
+        let mut model = MlpLm::new(cfg_m);
+        let mut opt = model.optimizer();
+        let mut grads = model.zero_grads();
+        let pat = [6u32, 7, special::FRAG];
+        let seq: Vec<TokenId> = (0..120).map(|i| pat[i % 3]).collect();
+        for _ in 0..120 {
+            grads.reset();
+            for pos in 0..seq.len() - 5 {
+                let w = model.window(&seq[..=pos]);
+                let mut targets = vec![(0usize, seq[pos + 1], 1.0f32)];
+                for h in 1..=4usize {
+                    targets.push((h, seq[pos + 1 + h], 0.2));
+                }
+                model.accumulate_position(&mut grads, &w, &targets);
+            }
+            model.adam_step(&mut opt, &grads, 5e-3, 4.0);
+        }
+        let cost = GpuCostModel::codellama_like();
+        let cfg =
+            DecodeConfig { max_tokens: 12, syntax_aligned: true, ..Default::default() };
+        let out = decode_speculative(&model, &seq[..3], &cfg, &cost);
+        // Every multi-token step must end on a fragment boundary.
+        for st in &out.trace {
+            if st.committed.len() > 1 {
+                assert!(
+                    st.fragment_complete,
+                    "multi-token step not fragment-complete: {st:?}"
+                );
+            }
+        }
+        // And the greedy stream still matches NTP (truncation only delays).
+        let ntp = decode_ntp(&model, &seq[..3], &cfg, &cost);
+        assert_eq!(out.tokens, ntp.tokens);
+    }
+
+    #[test]
+    fn trace_accounts_for_all_tokens() {
+        let (model, seq) = cyclic_model(12, 4);
+        let cfg = DecodeConfig { max_tokens: 16, ..Default::default() };
+        let out =
+            decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
+        let committed_total: usize = out.trace.iter().map(|t| t.committed.len()).sum();
+        assert_eq!(committed_total, out.tokens.len());
+        for st in &out.trace {
+            assert!(st.accepted >= st.committed.len());
+            assert!(st.accepted - st.truncated >= st.committed.len());
+        }
+    }
+
+    #[test]
+    fn sampling_decode_is_seed_deterministic() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cost = GpuCostModel::codellama_like();
+        let cfg = DecodeConfig {
+            max_tokens: 20,
+            sampling: Sampling::temperature(0.8),
+            seed: 11,
+            ..Default::default()
+        };
+        let a = decode_speculative(&model, &seq[..4], &cfg, &cost);
+        let b = decode_speculative(&model, &seq[..4], &cfg, &cost);
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn method_dispatcher_covers_all() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cost = GpuCostModel::codellama_like();
+        let cfg = DecodeConfig { max_tokens: 6, ..Default::default() };
+        for m in [DecodeMethod::Ntp, DecodeMethod::Medusa, DecodeMethod::Ours] {
+            let out = m.decode(&model, &seq[..4], &cfg, &cost);
+            assert!(!out.tokens.is_empty(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn tree_candidates_remain_lossless_and_never_slower() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cost = GpuCostModel::codellama_like();
+        let base_cfg = DecodeConfig { max_tokens: 24, ..Default::default() };
+        let ntp = decode_ntp(&model, &seq[..4], &base_cfg, &cost);
+        let chain = decode_speculative(&model, &seq[..4], &base_cfg, &cost);
+        let tree_cfg = DecodeConfig { tree: Some(vec![3, 2, 2, 1]), ..base_cfg };
+        let tree = decode_speculative(&model, &seq[..4], &tree_cfg, &cost);
+        assert_eq!(ntp.tokens, tree.tokens, "tree greedy must stay lossless");
+        assert!(tree.steps <= ntp.steps, "tree cannot be slower than NTP");
+        // The first step starts from the same position as the chain's, so
+        // the per-step guarantee holds there: at least as many tokens
+        // committed, at least as many candidates paid for.
+        assert!(tree.trace[0].committed.len() >= chain.trace[0].committed.len());
+        assert!(
+            tree.trace[0].speculated >= chain.trace[0].speculated,
+            "tree must evaluate at least as many candidate tokens"
+        );
+    }
+
+    #[test]
+    fn candidate_path_construction() {
+        let logits = vec![
+            vec![0.0, 1.0, 5.0, 0.0], // base (unused by builder)
+            vec![9.0, 1.0, 0.0, 0.0], // head 1: top-2 = [0, 1]
+            vec![0.0, 0.0, 3.0, 2.0], // head 2: top-1 = [2]
+        ];
+        let paths = super::build_candidate_paths(&logits, 2, &Some(vec![2, 1]));
+        assert_eq!(paths, vec![vec![0, 2], vec![1, 2]]);
+        let chain = super::build_candidate_paths(&logits, 2, &None);
+        assert_eq!(chain, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn max_tokens_is_respected_mid_speculation() {
+        let (model, seq) = cyclic_model(12, 3);
+        let cfg = DecodeConfig { max_tokens: 5, ..Default::default() };
+        let out =
+            decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
+        assert!(out.tokens.len() <= 5);
+    }
+}

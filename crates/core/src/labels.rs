@@ -1,0 +1,311 @@
+//! Syntax-enriched label construction (paper §III-C, Fig. 4).
+//!
+//! For a token sequence and `n` Medusa heads, the label grid has
+//! `n + 1` rows: row 0 supervises the base model (next token), row `i`
+//! supervises head `i` (token `i + 1` positions ahead). Positions past
+//! the end of the sequence carry `[IGNORE]` and are excluded from the
+//! loss.
+//!
+//! The *syntax-enriched* variant additionally masks, per sequence
+//! position, every head label **after the last `[FRAG]` token** along the
+//! head dimension, so each supervised span ends exactly on a complete
+//! syntactic fragment. Two implementations are provided:
+//!
+//! * [`LabelGrid::syntax_enriched`] — readable per-column reference,
+//! * [`LabelGrid::syntax_enriched_parallel`] — the paper's vectorized
+//!   reverse scan over the head dimension (Fig. 4 right panel), realized
+//!   with 64-column bitmask words.
+//!
+//! Property tests assert the two produce identical grids.
+
+use serde::{Deserialize, Serialize};
+use verispec_lm::TokenId;
+use verispec_tokenizer::special;
+
+/// Multi-head training labels for one token sequence.
+///
+/// `rows[h][s]` is the target of head `h` (0 = base) at sequence position
+/// `s`, i.e. after the model has consumed `tokens[..= s]`. The sentinel
+/// [`special::IGNORE`] marks positions excluded from the loss.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelGrid {
+    n_heads: usize,
+    seq_len: usize,
+    rows: Vec<Vec<TokenId>>,
+}
+
+impl LabelGrid {
+    /// Plain MEDUSA-2 labels: row `h` is the sequence left-shifted by
+    /// `h + 1`, with out-of-range positions set to `[IGNORE]`.
+    ///
+    /// (The paper appends `[PAD]` and then masks it; the grids are
+    /// equivalent, we go to `[IGNORE]` directly.)
+    pub fn plain(tokens: &[TokenId], n_heads: usize) -> Self {
+        let seq_len = tokens.len();
+        let rows = (0..=n_heads)
+            .map(|h| {
+                (0..seq_len)
+                    .map(|s| tokens.get(s + 1 + h).copied().unwrap_or(special::IGNORE))
+                    .collect()
+            })
+            .collect();
+        Self { n_heads, seq_len, rows }
+    }
+
+    /// Next-token-prediction labels: only the base row is supervised.
+    pub fn ntp(tokens: &[TokenId]) -> Self {
+        Self::plain(tokens, 0)
+    }
+
+    /// Syntax-enriched labels — reference implementation.
+    ///
+    /// Per column: find the **last** row among heads `1..=n` whose label
+    /// is `[FRAG]`; rows after it become `[IGNORE]`. Columns with no
+    /// `[FRAG]` in the head span keep full supervision (the behaviour of
+    /// the paper's pseudo-code, whose mask starts at 0 there).
+    pub fn syntax_enriched(tokens: &[TokenId], n_heads: usize) -> Self {
+        let mut grid = Self::plain(tokens, n_heads);
+        for s in 0..grid.seq_len {
+            let last_frag = (1..=n_heads)
+                .rev()
+                .find(|&h| grid.rows[h][s] == special::FRAG);
+            if let Some(last) = last_frag {
+                for h in last + 1..=n_heads {
+                    grid.rows[h][s] = special::IGNORE;
+                }
+            }
+        }
+        grid
+    }
+
+    /// Syntax-enriched labels — the paper's parallel algorithm (Fig. 4).
+    ///
+    /// Vectorized across sequence positions with 64-column bitmask words:
+    ///
+    /// 1. `has_frag_mask[s] = any(rows[1..=n][s] == FRAG)`;
+    /// 2. traverse heads in reverse; per head `i`, clear mask bits where
+    ///    `rows[i][s] == FRAG`, then set `rows[i][s] = IGNORE` wherever
+    ///    the mask is still set;
+    /// 3. terminate early once the mask is all zeros.
+    pub fn syntax_enriched_parallel(tokens: &[TokenId], n_heads: usize) -> Self {
+        let mut grid = Self::plain(tokens, n_heads);
+        let seq_len = grid.seq_len;
+        let words = seq_len.div_ceil(64);
+        if n_heads == 0 || seq_len == 0 {
+            return grid;
+        }
+
+        // Step 1: initialize the fragment mask (bit set = column has a
+        // [FRAG] somewhere among the head rows).
+        let mut has_frag_mask = vec![0u64; words];
+        for h in 1..=n_heads {
+            let row = &grid.rows[h];
+            for (s, &t) in row.iter().enumerate() {
+                if t == special::FRAG {
+                    has_frag_mask[s / 64] |= 1u64 << (s % 64);
+                }
+            }
+        }
+
+        // Step 2: iterate over heads in reverse.
+        for h in (1..=n_heads).rev() {
+            // temp_mask: positions in the current head without [FRAG].
+            // has_frag_mask &= temp_mask
+            {
+                let row = &grid.rows[h];
+                for (s, &t) in row.iter().enumerate() {
+                    if t == special::FRAG {
+                        has_frag_mask[s / 64] &= !(1u64 << (s % 64));
+                    }
+                }
+            }
+            // Early termination.
+            if has_frag_mask.iter().all(|&w| w == 0) {
+                break;
+            }
+            // Mask positions with [IGNORE].
+            let row = &mut grid.rows[h];
+            for (w, &word) in has_frag_mask.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s = w * 64 + b;
+                    if s < seq_len {
+                        row[s] = special::IGNORE;
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Number of Medusa heads (rows minus the base row).
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Sequence length (number of columns).
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Label of head `h` at position `s` (may be `[IGNORE]`).
+    pub fn label(&self, h: usize, s: usize) -> TokenId {
+        self.rows[h][s]
+    }
+
+    /// Supervised `(head, target)` pairs at position `s`, skipping
+    /// `[IGNORE]` entries.
+    pub fn targets_at(&self, s: usize) -> impl Iterator<Item = (usize, TokenId)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(move |(h, row)| {
+                let t = row[s];
+                (t != special::IGNORE).then_some((h, t))
+            })
+    }
+
+    /// Fraction of head-row entries masked to `[IGNORE]` (diagnostic; the
+    /// paper notes this grows for later heads, easing their task).
+    pub fn ignore_fraction(&self, head: usize) -> f64 {
+        if self.seq_len == 0 {
+            return 0.0;
+        }
+        let row = &self.rows[head];
+        row.iter().filter(|&&t| t == special::IGNORE).count() as f64 / self.seq_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: TokenId = special::FRAG;
+    const I: TokenId = special::IGNORE;
+
+    #[test]
+    fn plain_rows_are_shifts() {
+        let toks = vec![10, 11, 12, 13];
+        let g = LabelGrid::plain(&toks, 2);
+        assert_eq!(g.rows[0], vec![11, 12, 13, I]);
+        assert_eq!(g.rows[1], vec![12, 13, I, I]);
+        assert_eq!(g.rows[2], vec![13, I, I, I]);
+    }
+
+    #[test]
+    fn ntp_has_single_row() {
+        let g = LabelGrid::ntp(&[1, 2, 3]);
+        assert_eq!(g.n_heads(), 0);
+        assert_eq!(g.rows.len(), 1);
+    }
+
+    #[test]
+    fn syntax_masking_stops_after_last_frag() {
+        // tokens: a F b c F d  (10, FRAG, 11, 12, FRAG, 13)
+        let toks = vec![10, F, 11, 12, F, 13];
+        let g = LabelGrid::syntax_enriched(&toks, 4);
+        // Column 0: rows are [F, 11, 12, F, 13]; last FRAG among heads is
+        // row 4... head rows 1..4 = [11, 12, F, 13]: last FRAG at head 3,
+        // so head 4 is IGNOREd.
+        assert_eq!(g.label(0, 0), F);
+        assert_eq!(g.label(1, 0), 11);
+        assert_eq!(g.label(2, 0), 12);
+        assert_eq!(g.label(3, 0), F);
+        assert_eq!(g.label(4, 0), I);
+    }
+
+    #[test]
+    fn column_without_frag_keeps_supervision() {
+        let toks = vec![10, 11, 12, 13, 14, 15];
+        let g = LabelGrid::syntax_enriched(&toks, 3);
+        // No FRAG anywhere: nothing masked except out-of-range tails.
+        assert_eq!(g.label(1, 0), 12);
+        assert_eq!(g.label(2, 0), 13);
+        assert_eq!(g.label(3, 0), 14);
+    }
+
+    #[test]
+    fn base_row_is_never_masked_by_syntax() {
+        let toks = vec![F, 10, F, 11, F];
+        let g = LabelGrid::syntax_enriched(&toks, 3);
+        for s in 0..toks.len() - 1 {
+            assert_ne!(g.label(0, s), I, "base row masked at {s}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference_on_fig4_style_input() {
+        // Mimics Fig. 4: "module [FRAG] d _f lip _f lop [FRAG] ..."
+        let toks = vec![20, F, 21, 22, 23, 24, 25, F, 26, F];
+        for n_heads in [1, 2, 4, 7, 10] {
+            let a = LabelGrid::syntax_enriched(&toks, n_heads);
+            let b = LabelGrid::syntax_enriched_parallel(&toks, n_heads);
+            assert_eq!(a, b, "n_heads={n_heads}");
+        }
+    }
+
+    #[test]
+    fn ignore_fraction_grows_with_head_index() {
+        // Realistic structure: FRAG every ~3 tokens.
+        let mut toks = Vec::new();
+        for i in 0..60u32 {
+            toks.push(100 + i);
+            if i % 3 == 0 {
+                toks.push(F);
+            }
+        }
+        let g = LabelGrid::syntax_enriched(&toks, 10);
+        let f1 = g.ignore_fraction(1);
+        let f5 = g.ignore_fraction(5);
+        let f10 = g.ignore_fraction(10);
+        assert!(f1 <= f5 && f5 <= f10, "{f1} {f5} {f10}");
+        assert!(f10 > f1, "later heads must be masked more");
+    }
+
+    #[test]
+    fn targets_at_skips_ignore() {
+        let toks = vec![10, F, 11];
+        let g = LabelGrid::syntax_enriched(&toks, 2);
+        let t2: Vec<(usize, TokenId)> = g.targets_at(2).collect();
+        // Position 2 is the last token: all labels out of range.
+        assert!(t2.is_empty());
+        let t0: Vec<(usize, TokenId)> = g.targets_at(0).collect();
+        assert!(t0.iter().any(|&(h, t)| h == 0 && t == F));
+    }
+
+    #[test]
+    fn empty_and_single_token_sequences() {
+        let g = LabelGrid::syntax_enriched(&[], 3);
+        assert_eq!(g.seq_len(), 0);
+        let g = LabelGrid::syntax_enriched(&[42], 3);
+        assert_eq!(g.seq_len(), 1);
+        assert!(g.targets_at(0).next().is_none());
+        let g = LabelGrid::syntax_enriched_parallel(&[42], 3);
+        assert_eq!(g.seq_len(), 1);
+    }
+
+    #[test]
+    fn zero_heads_parallel_is_noop() {
+        let toks = vec![1, F, 2];
+        let a = LabelGrid::syntax_enriched(&toks, 0);
+        let b = LabelGrid::syntax_enriched_parallel(&toks, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn long_sequence_crossing_word_boundaries() {
+        // > 64 columns exercises multi-word bitmasks.
+        let mut toks: Vec<TokenId> = Vec::new();
+        for i in 0..200u32 {
+            toks.push(50 + (i % 7));
+            if i % 5 == 0 {
+                toks.push(F);
+            }
+        }
+        let a = LabelGrid::syntax_enriched(&toks, 10);
+        let b = LabelGrid::syntax_enriched_parallel(&toks, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for classical draft-model speculative decoding: the
+//! rejection rule preserves budgets, stats are consistent, and identical
+//! draft/target pairs achieve near-total acceptance.
+
+use proptest::prelude::*;
+use verispec_core::{decode_draft_speculative, DraftConfig};
+use verispec_lm::{GpuCostModel, NgramLm, TokenId};
+
+fn trained_ngram(order: usize, vocab: usize, seqs: &[Vec<TokenId>]) -> NgramLm {
+    let mut lm = NgramLm::new(order, vocab);
+    for s in seqs {
+        lm.train_sequence(s);
+    }
+    lm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn draft_spec_respects_budgets(
+        seq in prop::collection::vec(5u32..15, 10..80),
+        gamma in 1usize..8,
+        max_tokens in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let target = trained_ngram(3, 16, &[seq.clone()]);
+        let draft = trained_ngram(2, 16, &[seq.clone()]);
+        let cfg = DraftConfig { gamma, max_tokens, seed, ..Default::default() };
+        let (out, stats) = decode_draft_speculative(
+            &target,
+            &draft,
+            &seq[..2.min(seq.len())],
+            &cfg,
+            &GpuCostModel::codellama_like(),
+        );
+        prop_assert!(out.tokens.len() <= max_tokens);
+        prop_assert!(stats.accepted <= stats.proposed);
+        prop_assert_eq!(out.steps, out.trace.len());
+        let committed: usize = out.trace.iter().map(|t| t.committed.len()).sum();
+        prop_assert_eq!(committed, out.tokens.len());
+        // Each step commits at least one token until the budget is hit.
+        prop_assert!(out.steps <= max_tokens);
+    }
+
+    #[test]
+    fn identical_models_accept_most_proposals(
+        period in 2usize..6,
+        gamma in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let seq: Vec<TokenId> = (0..240).map(|i| 5 + (i % period) as TokenId).collect();
+        let lm = trained_ngram(3, 16, &[seq.clone()]);
+        let cfg = DraftConfig { gamma, max_tokens: 48, seed, ..Default::default() };
+        let (_, stats) = decode_draft_speculative(
+            &lm,
+            &lm,
+            &seq[..3],
+            &cfg,
+            &GpuCostModel::codellama_like(),
+        );
+        prop_assert!(
+            stats.acceptance_rate() > 0.8,
+            "self-speculation acceptance {}",
+            stats.acceptance_rate()
+        );
+    }
+
+    #[test]
+    fn draft_spec_is_deterministic(
+        seq in prop::collection::vec(5u32..15, 10..60),
+        seed in any::<u64>(),
+    ) {
+        let target = trained_ngram(3, 16, &[seq.clone()]);
+        let draft = trained_ngram(1, 16, &[seq.clone()]);
+        let cfg = DraftConfig { gamma: 3, max_tokens: 32, seed, ..Default::default() };
+        let cost = GpuCostModel::codet5p_like();
+        let (a, sa) = decode_draft_speculative(&target, &draft, &seq[..1], &cfg, &cost);
+        let (b, sb) = decode_draft_speculative(&target, &draft, &seq[..1], &cfg, &cost);
+        prop_assert_eq!(a.tokens, b.tokens);
+        prop_assert_eq!(sa, sb);
+    }
+}

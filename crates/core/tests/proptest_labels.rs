@@ -1,0 +1,125 @@
+//! Property tests: the paper's parallel label-masking algorithm is
+//! equivalent to the per-column reference, for arbitrary token sequences
+//! and head counts; plus invariants of the grids themselves.
+
+use proptest::prelude::*;
+use verispec_core::labels::LabelGrid;
+use verispec_core::train::TrainMethod;
+use verispec_lm::TokenId;
+use verispec_tokenizer::special;
+
+/// Random token sequences with a controllable density of [FRAG] markers.
+fn tokens_strategy(max_len: usize) -> impl Strategy<Value = Vec<TokenId>> {
+    prop::collection::vec((10u32..60, 0u8..10), 0..max_len).prop_map(|pairs| {
+        let mut out = Vec::new();
+        for (tok, frag_roll) in pairs {
+            out.push(tok);
+            if frag_roll < 3 {
+                out.push(special::FRAG);
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parallel_equals_reference(
+        tokens in tokens_strategy(120),
+        n_heads in 0usize..12,
+    ) {
+        let a = LabelGrid::syntax_enriched(&tokens, n_heads);
+        let b = LabelGrid::syntax_enriched_parallel(&tokens, n_heads);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn base_row_unaffected_by_masking(
+        tokens in tokens_strategy(80),
+        n_heads in 1usize..8,
+    ) {
+        let plain = LabelGrid::plain(&tokens, n_heads);
+        let ours = LabelGrid::syntax_enriched(&tokens, n_heads);
+        for s in 0..tokens.len() {
+            prop_assert_eq!(plain.label(0, s), ours.label(0, s));
+        }
+    }
+
+    #[test]
+    fn masking_only_adds_ignores(
+        tokens in tokens_strategy(80),
+        n_heads in 1usize..8,
+    ) {
+        let plain = LabelGrid::plain(&tokens, n_heads);
+        let ours = LabelGrid::syntax_enriched(&tokens, n_heads);
+        for h in 0..=n_heads {
+            for s in 0..tokens.len() {
+                let p = plain.label(h, s);
+                let o = ours.label(h, s);
+                prop_assert!(o == p || o == special::IGNORE,
+                    "h={} s={}: {} -> {}", h, s, p, o);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_span_ends_at_frag_or_plain_tail(
+        tokens in tokens_strategy(80),
+        n_heads in 2usize..8,
+    ) {
+        // In each column, if any head is IGNOREd by syntax masking while
+        // its plain label was real, the last supervised head label must
+        // be FRAG (the complete-fragment boundary).
+        let plain = LabelGrid::plain(&tokens, n_heads);
+        let ours = LabelGrid::syntax_enriched(&tokens, n_heads);
+        for s in 0..tokens.len() {
+            let mut syntax_masked = false;
+            for h in 1..=n_heads {
+                if ours.label(h, s) == special::IGNORE
+                    && plain.label(h, s) != special::IGNORE
+                {
+                    syntax_masked = true;
+                }
+            }
+            if syntax_masked {
+                let last_supervised = (1..=n_heads)
+                    .rev()
+                    .find(|&h| ours.label(h, s) != special::IGNORE);
+                if let Some(h) = last_supervised {
+                    prop_assert_eq!(
+                        ours.label(h, s), special::FRAG,
+                        "column {} does not end on FRAG", s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ignore_fraction_monotone_in_head_index(
+        tokens in tokens_strategy(100),
+        n_heads in 2usize..10,
+    ) {
+        let g = LabelGrid::syntax_enriched(&tokens, n_heads);
+        for h in 1..n_heads {
+            prop_assert!(
+                g.ignore_fraction(h) <= g.ignore_fraction(h + 1) + 1e-9,
+                "head {} fraction {} > head {} fraction {}",
+                h, g.ignore_fraction(h), h + 1, g.ignore_fraction(h + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn ntp_labels_match_base_row_of_medusa(
+        tokens in tokens_strategy(60),
+    ) {
+        let ntp = TrainMethod::Ntp.labels(&tokens, 0);
+        let med = TrainMethod::Medusa.labels(&tokens, 5);
+        for s in 0..tokens.len() {
+            prop_assert_eq!(ntp.label(0, s), med.label(0, s));
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The corpus construction pipeline (paper §III-A, Fig. 2):
+//! generate → structure filter → comment filter → syntax check
+//! (Stagira substitute) → dedup → `[FRAG]` tagging → Alpaca formatting.
+
+use crate::dedup::dedup_indices;
+use crate::families::all_families;
+use crate::iface::GeneratedModule;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use verispec_verilog::fragment::fragmentize;
+use verispec_verilog::significant::SignificantTokens;
+use verispec_verilog::{check, parse};
+
+/// One cleaned corpus entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusItem {
+    /// Module name.
+    pub name: String,
+    /// Family identifier.
+    pub family: String,
+    /// Natural-language instruction.
+    pub description: String,
+    /// Cleaned Verilog source.
+    pub source: String,
+    /// `[FRAG]`-tagged source (for the paper's method).
+    pub tagged_source: String,
+}
+
+/// Pipeline statistics, mirroring the filters of Fig. 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Modules generated before filtering.
+    pub generated: usize,
+    /// Dropped by the `module`/`endmodule` structure filter.
+    pub dropped_structure: usize,
+    /// Dropped as mostly-comments.
+    pub dropped_comments: usize,
+    /// Dropped by the syntax check.
+    pub dropped_syntax: usize,
+    /// Dropped as near-duplicates.
+    pub dropped_duplicates: usize,
+    /// Items retained.
+    pub retained: usize,
+}
+
+/// Configuration of the corpus builder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of raw modules to generate.
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Near-duplicate similarity threshold.
+    pub dedup_threshold: f64,
+    /// Maximum comment fraction.
+    pub max_comment_ratio: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { size: 512, seed: 0xC0FFEE, dedup_threshold: 0.95, max_comment_ratio: 0.8 }
+    }
+}
+
+/// A cleaned, deduplicated corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Retained items.
+    pub items: Vec<CorpusItem>,
+    /// Pipeline statistics.
+    pub stats: CorpusStats,
+}
+
+impl Corpus {
+    /// Runs the full pipeline of Fig. 2.
+    pub fn build(cfg: &CorpusConfig) -> Corpus {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let families = all_families();
+        let mut raw: Vec<GeneratedModule> = Vec::with_capacity(cfg.size);
+        for i in 0..cfg.size {
+            let (_, gen) = families[i % families.len()];
+            let mut gm = gen(&mut rng);
+            // Formatting entropy: scraped corpora mix styles.
+            let profile = crate::style::StyleProfile::sample(&mut rng);
+            gm.source = crate::style::restyle(&gm.source, profile);
+            raw.push(gm);
+        }
+        Self::refine(raw, cfg)
+    }
+
+    /// Refines pre-generated modules (exposed for tests and for mixing in
+    /// externally supplied raw code).
+    pub fn refine(raw: Vec<GeneratedModule>, cfg: &CorpusConfig) -> Corpus {
+        let mut stats = CorpusStats { generated: raw.len(), ..Default::default() };
+        let mut cleaned: Vec<(GeneratedModule, String)> = Vec::new();
+
+        for gm in raw {
+            // Structure filter: complete module/endmodule pairs.
+            if !check::structure_ok(&gm.source) {
+                stats.dropped_structure += 1;
+                continue;
+            }
+            // Comment filter.
+            if check::comment_ratio(&gm.source) > cfg.max_comment_ratio {
+                stats.dropped_comments += 1;
+                continue;
+            }
+            // Syntax check (Stagira substitute) + AST for significant
+            // tokens.
+            let Ok(file) = parse(&gm.source) else {
+                stats.dropped_syntax += 1;
+                continue;
+            };
+            let sig = SignificantTokens::from_source_file(&file);
+            let Ok(tagged) = fragmentize(&gm.source, &sig) else {
+                stats.dropped_syntax += 1;
+                continue;
+            };
+            cleaned.push((gm, tagged));
+        }
+
+        // Dedup on the cleaned source text.
+        let docs: Vec<&str> = cleaned.iter().map(|(gm, _)| gm.source.as_str()).collect();
+        let kept = dedup_indices(&docs, cfg.dedup_threshold);
+        stats.dropped_duplicates = cleaned.len() - kept.len();
+
+        let mut items = Vec::with_capacity(kept.len());
+        for idx in kept {
+            let (gm, tagged) = &cleaned[idx];
+            items.push(CorpusItem {
+                name: gm.name.clone(),
+                family: gm.family.to_string(),
+                // End every instruction with the standardized naming
+                // sentence (see `crate::naming`).
+                description: crate::naming::with_naming_tail(&gm.description, &gm.name),
+                source: gm.source.clone(),
+                tagged_source: tagged.clone(),
+            });
+        }
+        stats.retained = items.len();
+        Corpus { items, stats }
+    }
+
+    /// The paper's data-size sweep: a prefix fraction of the corpus
+    /// (1/4, 1/2, 3/4, 1 of the items, deterministically).
+    pub fn subset(&self, numerator: usize, denominator: usize) -> Vec<&CorpusItem> {
+        let n = self.items.len() * numerator / denominator;
+        self.items.iter().take(n).collect()
+    }
+}
+
+/// Formats an item in Alpaca instruction style (paper §IV-A1).
+pub fn alpaca_format(description: &str, code: &str) -> String {
+    format!(
+        "Below is an instruction that describes a task. Write a response that appropriately completes the request.\n\n### Instruction:\n{description}\n\n### Response:\n{code}"
+    )
+}
+
+/// The instruction-only prefix used at inference time (the prompt).
+pub fn alpaca_prompt(description: &str) -> String {
+    format!(
+        "Below is an instruction that describes a task. Write a response that appropriately completes the request.\n\n### Instruction:\n{description}\n\n### Response:\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{Golden, Interface};
+    use std::sync::Arc;
+
+    fn fake(src: &str) -> GeneratedModule {
+        GeneratedModule {
+            name: "m".into(),
+            family: "fake",
+            source: src.to_string(),
+            description: "desc".into(),
+            interface: Interface::comb(vec![], vec![]),
+            golden: Golden::Comb(Arc::new(|_| vec![])),
+        }
+    }
+
+    #[test]
+    fn build_produces_items_across_families() {
+        let corpus = Corpus::build(&CorpusConfig { size: 96, ..Default::default() });
+        assert!(corpus.stats.retained > 48, "stats: {:?}", corpus.stats);
+        let families: std::collections::HashSet<&str> =
+            corpus.items.iter().map(|i| i.family.as_str()).collect();
+        assert!(families.len() >= 20, "family coverage {}", families.len());
+        for item in &corpus.items {
+            assert!(item.tagged_source.contains("[FRAG]"));
+            assert_eq!(
+                verispec_verilog::fragment::defragmentize(&item.tagged_source),
+                item.source
+            );
+        }
+    }
+
+    #[test]
+    fn refine_drops_malformed_sources() {
+        let raw = vec![
+            fake("module good(input a, output y); assign y = a; endmodule"),
+            fake("module broken(input a, output y); assign y = a;"), // no endmodule
+            fake("// nothing but comments\n// more comments"),
+            fake("module bad_syntax(input a output y); endmodule"), // missing comma
+        ];
+        let corpus = Corpus::refine(raw, &CorpusConfig::default());
+        assert_eq!(corpus.stats.generated, 4);
+        assert_eq!(corpus.stats.retained, 1);
+        assert!(corpus.stats.dropped_structure >= 2, "{:?}", corpus.stats);
+        assert_eq!(corpus.stats.dropped_syntax, 1);
+    }
+
+    #[test]
+    fn refine_dedups_identical_modules() {
+        let src = "module dup(input a, output y); assign y = a; endmodule";
+        let raw = vec![fake(src), fake(src), fake(src)];
+        let corpus = Corpus::refine(raw, &CorpusConfig::default());
+        assert_eq!(corpus.stats.retained, 1);
+        assert_eq!(corpus.stats.dropped_duplicates, 2);
+    }
+
+    #[test]
+    fn subsets_are_prefixes() {
+        let corpus = Corpus::build(&CorpusConfig { size: 64, ..Default::default() });
+        let half = corpus.subset(1, 2);
+        let full = corpus.subset(1, 1);
+        assert_eq!(full.len(), corpus.items.len());
+        assert_eq!(half.len(), corpus.items.len() / 2);
+        for (a, b) in half.iter().zip(&full) {
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn alpaca_round_trip_prompt_is_prefix() {
+        let full = alpaca_format("Do a thing.", "module m; endmodule");
+        let prompt = alpaca_prompt("Do a thing.");
+        assert!(full.starts_with(&prompt));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = CorpusConfig { size: 40, ..Default::default() };
+        let a = Corpus::build(&cfg);
+        let b = Corpus::build(&cfg);
+        assert_eq!(a.items.len(), b.items.len());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Combinational module families: muxes, adders, comparators, decoders,
+//! encoders, ALUs, shifters, parity, bit tricks.
+
+use super::{pick, pick_width, vary_name};
+use crate::iface::{input, mask, Golden, GeneratedModule, Interface, PortSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Registered combinational families.
+pub fn families() -> Vec<super::Family> {
+    vec![
+        ("mux2", gen_mux2 as fn(&mut SmallRng) -> GeneratedModule),
+        ("mux4", gen_mux4),
+        ("adder", gen_adder),
+        ("subtractor", gen_subtractor),
+        ("addsub", gen_addsub),
+        ("comparator", gen_comparator),
+        ("decoder", gen_decoder),
+        ("priority_encoder", gen_priority_encoder),
+        ("parity", gen_parity),
+        ("alu", gen_alu),
+        ("shifter", gen_shifter),
+        ("bit_reverse", gen_bit_reverse),
+        ("popcount", gen_popcount),
+        ("bin2gray", gen_bin2gray),
+        ("absdiff", gen_absdiff),
+        ("minmax", gen_minmax),
+        ("sign_extend", gen_sign_extend),
+        ("majority", gen_majority),
+    ]
+}
+
+fn gen_mux2(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["mux2to1", "mux2", "two_way_mux"]); vary_name(rng, base) };
+    let (a, b) = (pick(rng, &["a", "in0"]).to_string(), pick(rng, &["b", "in1"]).to_string());
+    let sel = pick(rng, &["sel", "select"]).to_string();
+    let y = pick(rng, &["y", "out"]).to_string();
+    let source = format!(
+        "module {name} (\n    input [{m}:0] {a},\n    input [{m}:0] {b},\n    input {sel},\n    output [{m}:0] {y}\n);\n    assign {y} = {sel} ? {b} : {a};\nendmodule\n",
+        m = w - 1
+    );
+    let description = match rng.gen_range(0..3u8) {
+        0 => format!(
+            "Write a Verilog module named \"{name}\" implementing a {w}-bit 2-to-1 multiplexer: output {y} equals {b} when {sel} is high, otherwise {a}."
+        ),
+        1 => format!(
+            "Please act as a professional Verilog designer. Create a module \"{name}\" that selects between two {w}-bit inputs {a} and {b} using select signal {sel}, driving the result on {y}."
+        ),
+        _ => format!(
+            "Design a {w}-bit wide 2:1 mux called \"{name}\" with data inputs {a}, {b}, select {sel} and output {y}."
+        ),
+    };
+    let (an, bn, sn, yn) = (a.clone(), b.clone(), sel.clone(), y.clone());
+    GeneratedModule {
+        name: name.clone(),
+        family: "mux2",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new(a, w), PortSpec::new(b, w), PortSpec::new(sel, 1)],
+            vec![PortSpec::new(y, w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let v = if input(ins, &sn) != 0 { input(ins, &bn) } else { input(ins, &an) };
+            vec![(yn.clone(), mask(v, w))]
+        })),
+    }
+}
+
+fn gen_mux4(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["mux4to1", "mux4", "four_way_mux"]); vary_name(rng, base) };
+    let y = pick(rng, &["y", "dout"]).to_string();
+    let source = format!(
+        "module {name} (\n    input [{m}:0] d0,\n    input [{m}:0] d1,\n    input [{m}:0] d2,\n    input [{m}:0] d3,\n    input [1:0] sel,\n    output reg [{m}:0] {y}\n);\n    always @(*) begin\n        case (sel)\n            2'b00: {y} = d0;\n            2'b01: {y} = d1;\n            2'b10: {y} = d2;\n            default: {y} = d3;\n        endcase\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = match rng.gen_range(0..2u8) {
+        0 => format!(
+            "Write a Verilog module named \"{name}\": a {w}-bit 4-to-1 multiplexer over inputs d0..d3 with 2-bit select sel and output {y}, implemented with a case statement."
+        ),
+        _ => format!(
+            "Create a 4:1 multiplexer module \"{name}\" choosing among four {w}-bit inputs (d0, d1, d2, d3) based on sel[1:0]; the chosen value appears on {y}."
+        ),
+    };
+    let yn = y.clone();
+    GeneratedModule {
+        name: name.clone(),
+        family: "mux4",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![
+                PortSpec::new("d0", w),
+                PortSpec::new("d1", w),
+                PortSpec::new("d2", w),
+                PortSpec::new("d3", w),
+                PortSpec::new("sel", 2),
+            ],
+            vec![PortSpec::new(y, w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let sel = input(ins, "sel") & 3;
+            let v = input(ins, ["d0", "d1", "d2", "d3"][sel as usize]);
+            vec![(yn.clone(), mask(v, w))]
+        })),
+    }
+}
+
+fn gen_adder(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["adder", "add_unit", "full_adder_vec"]); vary_name(rng, base) };
+    let (a, b) = ("a".to_string(), "b".to_string());
+    let s = pick(rng, &["sum", "result"]).to_string();
+    let co = pick(rng, &["cout", "carry"]).to_string();
+    let source = format!(
+        "module {name} (\n    input [{m}:0] {a},\n    input [{m}:0] {b},\n    output [{m}:0] {s},\n    output {co}\n);\n    wire [{w}:0] total;\n    assign total = {{1'b0, {a}}} + {{1'b0, {b}}};\n    assign {s} = total[{m}:0];\n    assign {co} = total[{w}];\nendmodule\n",
+        m = w - 1
+    );
+    let description = match rng.gen_range(0..3u8) {
+        0 => format!(
+            "Write a Verilog module \"{name}\" that adds two {w}-bit unsigned numbers {a} and {b}, producing the {w}-bit sum {s} and a carry-out bit {co}."
+        ),
+        1 => format!(
+            "Please act as a professional Verilog designer and implement \"{name}\", a {w}-bit adder with carry output: {{{co}, {s}}} = {a} + {b}."
+        ),
+        _ => format!(
+            "Design an unsigned {w}-bit adder module named \"{name}\". Outputs: sum {s} and carry flag {co}."
+        ),
+    };
+    let (sn, con) = (s.clone(), co.clone());
+    GeneratedModule {
+        name: name.clone(),
+        family: "adder",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new(a, w), PortSpec::new(b, w)],
+            vec![PortSpec::new(s, w), PortSpec::new(co, 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let t = input(ins, "a") + input(ins, "b");
+            vec![(sn.clone(), mask(t, w)), (con.clone(), (t >> w) & 1)]
+        })),
+    }
+}
+
+fn gen_subtractor(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["subtractor", "sub_unit", "minus"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] diff,\n    output borrow\n);\n    wire [{w}:0] total;\n    assign total = {{1'b0, a}} - {{1'b0, b}};\n    assign diff = total[{m}:0];\n    assign borrow = total[{w}];\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" computing the {w}-bit difference diff = a - b with a borrow flag that is high when a < b."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "subtractor",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![PortSpec::new("diff", w), PortSpec::new("borrow", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            vec![
+                ("diff".to_string(), mask(a.wrapping_sub(b), w)),
+                ("borrow".to_string(), (a < b) as u64),
+            ]
+        })),
+    }
+}
+
+fn gen_addsub(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["addsub", "add_sub", "arith_unit"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    input mode,\n    output reg [{m}:0] y\n);\n    always @(*) begin\n        if (mode)\n            y = a - b;\n        else\n            y = a + b;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Create a Verilog module \"{name}\": a {w}-bit adder/subtractor. When mode is 1 it outputs y = a - b, otherwise y = a + b."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "addsub",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w), PortSpec::new("b", w), PortSpec::new("mode", 1)],
+            vec![PortSpec::new("y", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            let y = if input(ins, "mode") != 0 { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+            vec![("y".to_string(), mask(y, w))]
+        })),
+    }
+}
+
+fn gen_comparator(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["comparator", "cmp", "compare_unit"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output eq,\n    output lt,\n    output gt\n);\n    assign eq = (a == b);\n    assign lt = (a < b);\n    assign gt = (a > b);\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" comparing two {w}-bit unsigned values a and b with three 1-bit outputs: eq (a equals b), lt (a less than b) and gt (a greater than b)."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "comparator",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![PortSpec::new("eq", 1), PortSpec::new("lt", 1), PortSpec::new("gt", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            vec![
+                ("eq".to_string(), (a == b) as u64),
+                ("lt".to_string(), (a < b) as u64),
+                ("gt".to_string(), (a > b) as u64),
+            ]
+        })),
+    }
+}
+
+fn gen_decoder(rng: &mut SmallRng) -> GeneratedModule {
+    // n-to-2^n decoder with enable, n in 2..=3.
+    let n = rng.gen_range(2..=3u32);
+    let outw = 1u32 << n;
+    let name = vary_name(rng, if n == 2 { "decoder2to4" } else { "decoder3to8" });
+    let shift_style = rng.gen_bool(0.5);
+    let body = if shift_style {
+        format!("    assign y = en ? ({outw}'d1 << sel) : {outw}'d0;\n")
+    } else {
+        let mut arms = String::new();
+        for i in 0..outw {
+            arms.push_str(&format!(
+                "            {n}'d{i}: y = {outw}'d{};\n",
+                1u64 << i
+            ));
+        }
+        format!(
+            "    always @(*) begin\n        if (!en) y = {outw}'d0;\n        else case (sel)\n{arms}            default: y = {outw}'d0;\n        endcase\n    end\n"
+        )
+    };
+    let reg_kw = if shift_style { "" } else { "reg " };
+    let source = format!(
+        "module {name} (\n    input en,\n    input [{sm}:0] sel,\n    output {reg_kw}[{om}:0] y\n);\n{body}endmodule\n",
+        sm = n - 1,
+        om = outw - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {n}-to-{outw} one-hot decoder with enable. When en is high, output bit y[sel] is 1 and all others 0; when en is low, y is all zeros."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "decoder",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("en", 1), PortSpec::new("sel", n)],
+            vec![PortSpec::new("y", outw)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let y = if input(ins, "en") != 0 { 1u64 << (input(ins, "sel") & ((1 << n) - 1)) } else { 0 };
+            vec![("y".to_string(), mask(y, outw))]
+        })),
+    }
+}
+
+fn gen_priority_encoder(rng: &mut SmallRng) -> GeneratedModule {
+    let name = { let base = pick(rng, &["priority_encoder", "prio_enc", "arbiter_enc"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [3:0] req,\n    output reg [1:0] grant,\n    output reg valid\n);\n    always @(*) begin\n        valid = 1'b1;\n        casez (req)\n            4'b1???: grant = 2'd3;\n            4'b01??: grant = 2'd2;\n            4'b001?: grant = 2'd1;\n            4'b0001: grant = 2'd0;\n            default: begin\n                grant = 2'd0;\n                valid = 1'b0;\n            end\n        endcase\n    end\nendmodule\n"
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a 4-bit priority encoder. grant reports the index of the highest-priority set bit of req (bit 3 highest); valid is low only when req is all zeros."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "priority_encoder",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("req", 4)],
+            vec![PortSpec::new("grant", 2), PortSpec::new("valid", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let req = input(ins, "req") & 0xF;
+            let (grant, valid) = if req & 0b1000 != 0 {
+                (3, 1)
+            } else if req & 0b0100 != 0 {
+                (2, 1)
+            } else if req & 0b0010 != 0 {
+                (1, 1)
+            } else if req & 0b0001 != 0 {
+                (0, 1)
+            } else {
+                (0, 0)
+            };
+            vec![("grant".to_string(), grant), ("valid".to_string(), valid)]
+        })),
+    }
+}
+
+fn gen_parity(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 10);
+    let name = { let base = pick(rng, &["parity_gen", "parity", "parity_checker"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] data,\n    output odd,\n    output even\n);\n    assign odd = ^data;\n    assign even = ~^data;\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" computing parity of a {w}-bit input data: odd is the XOR reduction of all bits, even is its complement."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "parity",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("data", w)],
+            vec![PortSpec::new("odd", 1), PortSpec::new("even", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let p = (input(ins, "data").count_ones() % 2) as u64;
+            vec![("odd".to_string(), p), ("even".to_string(), 1 - p)]
+        })),
+    }
+}
+
+fn gen_alu(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let name = { let base = pick(rng, &["alu", "simple_alu", "alu_core"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [2:0] op,\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output reg [{m}:0] y,\n    output zero\n);\n    assign zero = (y == {w}'d0);\n    always @(*) begin\n        case (op)\n            3'b000: y = a + b;\n            3'b001: y = a - b;\n            3'b010: y = a & b;\n            3'b011: y = a | b;\n            3'b100: y = a ^ b;\n            3'b101: y = ~a;\n            3'b110: y = a << 1;\n            default: y = a >> 1;\n        endcase\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Design a Verilog ALU module \"{name}\" on {w}-bit operands a and b selected by a 3-bit opcode op: 000 add, 001 subtract, 010 AND, 011 OR, 100 XOR, 101 NOT a, 110 shift a left by one, 111 shift a right by one. Output y plus a zero flag."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "alu",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("op", 3), PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![PortSpec::new("y", w), PortSpec::new("zero", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            let y = match input(ins, "op") & 7 {
+                0 => a.wrapping_add(b),
+                1 => a.wrapping_sub(b),
+                2 => a & b,
+                3 => a | b,
+                4 => a ^ b,
+                5 => !a,
+                6 => a << 1,
+                _ => mask(a, w) >> 1,
+            };
+            let y = mask(y, w);
+            vec![("y".to_string(), y), ("zero".to_string(), (y == 0) as u64)]
+        })),
+    }
+}
+
+fn gen_shifter(rng: &mut SmallRng) -> GeneratedModule {
+    let w = 8u32;
+    let name = { let base = pick(rng, &["barrel_shifter", "shifter", "shift_unit"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] data,\n    input [2:0] amount,\n    input dir,\n    output [{m}:0] y\n);\n    assign y = dir ? (data >> amount) : (data << amount);\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": an {w}-bit shifter. When dir is 1 the data input shifts right by amount, otherwise it shifts left."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "shifter",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("data", w), PortSpec::new("amount", 3), PortSpec::new("dir", 1)],
+            vec![PortSpec::new("y", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let d = input(ins, "data");
+            let amt = input(ins, "amount") & 7;
+            let y = if input(ins, "dir") != 0 { mask(d, w) >> amt } else { d << amt };
+            vec![("y".to_string(), mask(y, w))]
+        })),
+    }
+}
+
+fn gen_bit_reverse(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let name = { let base = pick(rng, &["bit_reverse", "reverser", "bitrev"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] din,\n    output reg [{m}:0] dout\n);\n    integer i;\n    always @(*) begin\n        for (i = 0; i < {w}; i = i + 1)\n            dout[i] = din[{m} - i];\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" that reverses the bit order of a {w}-bit input din using a for loop, producing dout."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "bit_reverse",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("din", w)],
+            vec![PortSpec::new("dout", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let d = input(ins, "din");
+            let mut y = 0u64;
+            for i in 0..w {
+                y |= ((d >> (w - 1 - i)) & 1) << i;
+            }
+            vec![("dout".to_string(), y)]
+        })),
+    }
+}
+
+fn gen_popcount(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let cw = 32 - (w.leading_zeros()) + 1; // enough bits for count
+    let cw = cw.min(8).max(4);
+    let name = { let base = pick(rng, &["popcount", "ones_counter", "bit_counter"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] din,\n    output reg [{cm}:0] count\n);\n    integer i;\n    always @(*) begin\n        count = {cw}'d0;\n        for (i = 0; i < {w}; i = i + 1)\n            count = count + din[i];\n    end\nendmodule\n",
+        m = w - 1,
+        cm = cw - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" counting the number of set bits in a {w}-bit input din; the population count appears on count."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "popcount",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("din", w)],
+            vec![PortSpec::new("count", cw)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            vec![("count".to_string(), input(ins, "din").count_ones() as u64)]
+        })),
+    }
+}
+
+fn gen_bin2gray(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["bin2gray", "gray_encoder", "binary_to_gray"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] bin,\n    output [{m}:0] gray\n);\n    assign gray = bin ^ (bin >> 1);\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" converting a {w}-bit binary value bin to Gray code: gray = bin XOR (bin >> 1)."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "bin2gray",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("bin", w)],
+            vec![PortSpec::new("gray", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let b = mask(input(ins, "bin"), w);
+            vec![("gray".to_string(), b ^ (b >> 1))]
+        })),
+    }
+}
+
+fn gen_absdiff(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["absdiff", "abs_difference", "delta"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] y\n);\n    assign y = (a > b) ? (a - b) : (b - a);\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" computing the absolute difference of two {w}-bit unsigned inputs: y = |a - b|."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "absdiff",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![PortSpec::new("y", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            vec![("y".to_string(), a.abs_diff(b))]
+        })),
+    }
+}
+
+fn gen_minmax(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["minmax", "min_max", "extrema"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] min_val,\n    output [{m}:0] max_val\n);\n    assign min_val = (a < b) ? a : b;\n    assign max_val = (a < b) ? b : a;\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" that outputs both the minimum (min_val) and maximum (max_val) of two {w}-bit unsigned inputs a and b."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "minmax",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![PortSpec::new("min_val", w), PortSpec::new("max_val", w)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let (a, b) = (input(ins, "a"), input(ins, "b"));
+            vec![
+                ("min_val".to_string(), a.min(b)),
+                ("max_val".to_string(), a.max(b)),
+            ]
+        })),
+    }
+}
+
+fn gen_sign_extend(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 6);
+    let w2 = w + pick_width(rng, 2, 6);
+    let name = { let base = pick(rng, &["sign_extend", "sext", "sign_ext_unit"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input [{m}:0] a,\n    output [{m2}:0] y\n);\n    assign y = {{{{{rep}{{a[{m}]}}}}, a}};\nendmodule\n",
+        m = w - 1,
+        m2 = w2 - 1,
+        rep = w2 - w
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" sign-extending a {w}-bit input a to {w2} bits by replicating the sign bit, output y."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "sign_extend",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", w)],
+            vec![PortSpec::new("y", w2)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let a = mask(input(ins, "a"), w);
+            let sign = (a >> (w - 1)) & 1;
+            let y = if sign == 1 { a | (mask(u64::MAX, w2) & !mask(u64::MAX, w)) } else { a };
+            vec![("y".to_string(), mask(y, w2))]
+        })),
+    }
+}
+
+fn gen_majority(rng: &mut SmallRng) -> GeneratedModule {
+    let name = { let base = pick(rng, &["majority3", "voter", "majority_gate"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input a,\n    input b,\n    input c,\n    output y\n);\n    assign y = (a & b) | (a & c) | (b & c);\nendmodule\n"
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a 3-input majority voter whose output y is high when at least two of the inputs a, b, c are high."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "majority",
+        source,
+        description,
+        interface: Interface::comb(
+            vec![PortSpec::new("a", 1), PortSpec::new("b", 1), PortSpec::new("c", 1)],
+            vec![PortSpec::new("y", 1)],
+        ),
+        golden: Golden::Comb(Arc::new(move |ins| {
+            let s = input(ins, "a") + input(ins, "b") + input(ins, "c");
+            vec![("y".to_string(), (s >= 2) as u64)]
+        })),
+    }
+}

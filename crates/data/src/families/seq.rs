@@ -1,0 +1,553 @@
+//! Sequential module families: registers, counters, shift registers,
+//! FSMs, FIFOs, and friends.
+//!
+//! Golden models mirror the RTL exactly (same state variables, same
+//! two-state initialization) and return *post-clock-edge* outputs, per
+//! the harness protocol.
+
+use super::{pick, pick_width, vary_name};
+use crate::iface::{input, mask, Golden, GeneratedModule, Interface, PortSpec, ResetWiring};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Registered sequential families.
+pub fn families() -> Vec<super::Family> {
+    vec![
+        ("data_register", gen_data_register as fn(&mut SmallRng) -> GeneratedModule),
+        ("register_en", gen_register_en),
+        ("counter_up", gen_counter_up),
+        ("counter_updown", gen_counter_updown),
+        ("counter_load", gen_counter_load),
+        ("shift_register", gen_shift_register),
+        ("edge_detector", gen_edge_detector),
+        ("clock_divider", gen_clock_divider),
+        ("fsm_detector", gen_fsm_detector),
+        ("fifo", gen_fifo),
+        ("pwm", gen_pwm),
+        ("lfsr", gen_lfsr),
+        ("accumulator", gen_accumulator),
+        ("ram", gen_ram),
+    ]
+}
+
+fn gen_data_register(rng: &mut SmallRng) -> GeneratedModule {
+    // The paper's Fig. 3 / Fig. 5 example family.
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["data_register", "dff_vec", "register"]); vary_name(rng, base) };
+    let (din, dout) = (
+        pick(rng, &["data_in", "din"]).to_string(),
+        pick(rng, &["data_out", "q"]).to_string(),
+    );
+    let source = format!(
+        "module {name} (\n    input clk,\n    input [{m}:0] {din},\n    output reg [{m}:0] {dout}\n);\n    always @(posedge clk) begin\n        {dout} <= {din};\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = match rng.gen_range(0..3u8) {
+        0 => format!(
+            "Create a simple Verilog module named \"{name}\" that takes a {w}-bit input {din} and assigns it to a {w}-bit output {dout} using a non-blocking assignment on the positive edge of the clock."
+        ),
+        1 => format!(
+            "Write a Verilog module \"{name}\": a {w}-bit data register capturing {din} into {dout} on every rising clock edge."
+        ),
+        _ => format!(
+            "Please act as a professional Verilog designer. Implement \"{name}\", a {w}-bit D-type register with clock clk, input {din} and registered output {dout}."
+        ),
+    };
+    let (di, do_) = (din.clone(), dout.clone());
+    GeneratedModule {
+        name: name.clone(),
+        family: "data_register",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new(din, w)],
+            vec![PortSpec::new(dout, w)],
+            "clk",
+            None,
+        ),
+        golden: Golden::Seq(Arc::new(move |
+        | {
+            let (di, do_) = (di.clone(), do_.clone());
+            Box::new(move |ins| vec![(do_.clone(), mask(input(ins, &di), w))])
+        })),
+    }
+}
+
+fn gen_register_en(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 2, 8);
+    let name = { let base = pick(rng, &["register_en", "en_reg", "dff_en"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst_n,\n    input en,\n    input [{m}:0] d,\n    output reg [{m}:0] q\n);\n    always @(posedge clk or negedge rst_n) begin\n        if (!rst_n)\n            q <= {w}'d0;\n        else if (en)\n            q <= d;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {w}-bit register with asynchronous active-low reset rst_n and clock enable en; q captures d on rising clk only when en is high."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "register_en",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("en", 1), PortSpec::new("d", w)],
+            vec![PortSpec::new("q", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst_n".into(), active_low: true }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut q = 0u64;
+            Box::new(move |ins| {
+                if input(ins, "en") != 0 {
+                    q = mask(input(ins, "d"), w);
+                }
+                vec![("q".to_string(), q)]
+            })
+        })),
+    }
+}
+
+fn gen_counter_up(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["counter", "up_counter", "counter_up"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input en,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (en)\n            count <= count + 1;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = match rng.gen_range(0..2u8) {
+        0 => format!(
+            "Write a Verilog module \"{name}\": a {w}-bit up counter with synchronous reset rst and enable en, incrementing count on each rising clock edge."
+        ),
+        _ => format!(
+            "Design a {w}-bit binary counter named \"{name}\". On posedge clk: reset to zero when rst is high, else increment when en is high."
+        ),
+    };
+    GeneratedModule {
+        name: name.clone(),
+        family: "counter_up",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("en", 1)],
+            vec![PortSpec::new("count", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut count = 0u64;
+            Box::new(move |ins| {
+                if input(ins, "en") != 0 {
+                    count = mask(count + 1, w);
+                }
+                vec![("count".to_string(), count)]
+            })
+        })),
+    }
+}
+
+fn gen_counter_updown(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["updown_counter", "counter_updown", "bidir_counter"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input up,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (up)\n            count <= count + 1;\n        else\n            count <= count - 1;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {w}-bit up/down counter with synchronous reset. When up is 1 it increments, otherwise it decrements (wrapping)."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "counter_updown",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("up", 1)],
+            vec![PortSpec::new("count", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut count = 0u64;
+            Box::new(move |ins| {
+                count = if input(ins, "up") != 0 {
+                    mask(count + 1, w)
+                } else {
+                    mask(count.wrapping_sub(1), w)
+                };
+                vec![("count".to_string(), count)]
+            })
+        })),
+    }
+}
+
+fn gen_counter_load(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["loadable_counter", "counter_load", "preset_counter"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input load,\n    input [{m}:0] din,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (load)\n            count <= din;\n        else\n            count <= count + 1;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {w}-bit counter with synchronous reset and parallel load. When load is high, count takes din; otherwise it increments each clock."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "counter_load",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("load", 1), PortSpec::new("din", w)],
+            vec![PortSpec::new("count", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut count = 0u64;
+            Box::new(move |ins| {
+                count = if input(ins, "load") != 0 {
+                    mask(input(ins, "din"), w)
+                } else {
+                    mask(count + 1, w)
+                };
+                vec![("count".to_string(), count)]
+            })
+        })),
+    }
+}
+
+fn gen_shift_register(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 3, 8);
+    let name = { let base = pick(rng, &["shift_register", "sipo", "shift_reg"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output reg [{m}:0] q\n);\n    always @(posedge clk) begin\n        if (rst)\n            q <= {w}'d0;\n        else\n            q <= {{q[{m2}:0], din}};\n    end\nendmodule\n",
+        m = w - 1,
+        m2 = w - 2
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {w}-bit serial-in parallel-out shift register with synchronous reset; on each clock, q shifts left by one and din enters at the LSB."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "shift_register",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("din", 1)],
+            vec![PortSpec::new("q", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut q = 0u64;
+            Box::new(move |ins| {
+                q = mask((q << 1) | (input(ins, "din") & 1), w);
+                vec![("q".to_string(), q)]
+            })
+        })),
+    }
+}
+
+fn gen_edge_detector(rng: &mut SmallRng) -> GeneratedModule {
+    let name = { let base = pick(rng, &["edge_detector", "rising_edge", "pulse_gen"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output reg pulse\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            prev <= 1'b0;\n            pulse <= 1'b0;\n        end else begin\n            pulse <= din & ~prev;\n            prev <= din;\n        end\n    end\nendmodule\n"
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" that detects rising edges of din: the registered output pulse is high for one cycle after din transitions from 0 to 1."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "edge_detector",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("din", 1)],
+            vec![PortSpec::new("pulse", 1)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut prev = 0u64;
+            Box::new(move |ins| {
+                let d = input(ins, "din") & 1;
+                let pulse = d & !prev & 1;
+                prev = d;
+                vec![("pulse".to_string(), pulse)]
+            })
+        })),
+    }
+}
+
+fn gen_clock_divider(rng: &mut SmallRng) -> GeneratedModule {
+    let bits = pick_width(rng, 2, 4);
+    let period = 1u64 << bits;
+    let name = { let base = pick(rng, &["clock_divider", "tick_gen", "divider"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    output reg tick\n);\n    reg [{m}:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            cnt <= {bits}'d0;\n            tick <= 1'b0;\n        end else begin\n            cnt <= cnt + 1;\n            tick <= (cnt == {bits}'d{last});\n        end\n    end\nendmodule\n",
+        m = bits - 1,
+        last = period - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\" producing a single-cycle tick output every {period} clock cycles using a {bits}-bit internal counter with synchronous reset."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "clock_divider",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![],
+            vec![PortSpec::new("tick", 1)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut cnt = 0u64;
+            Box::new(move |_ins| {
+                let tick = (cnt == period - 1) as u64;
+                cnt = (cnt + 1) % period;
+                vec![("tick".to_string(), tick)]
+            })
+        })),
+    }
+}
+
+fn gen_fsm_detector(rng: &mut SmallRng) -> GeneratedModule {
+    // Moore FSM detecting the serial pattern 101 (with overlap).
+    let name = { let base = pick(rng, &["seq_detector", "fsm_101", "pattern_fsm"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output detected\n);\n    localparam [1:0] S_IDLE = 2'd0, S_1 = 2'd1, S_10 = 2'd2, S_101 = 2'd3;\n    reg [1:0] state;\n    assign detected = (state == S_101);\n    always @(posedge clk) begin\n        if (rst)\n            state <= S_IDLE;\n        else begin\n            case (state)\n                S_IDLE: state <= din ? S_1 : S_IDLE;\n                S_1:    state <= din ? S_1 : S_10;\n                S_10:   state <= din ? S_101 : S_IDLE;\n                S_101:  state <= din ? S_1 : S_10;\n                default: state <= S_IDLE;\n            endcase\n        end\n    end\nendmodule\n"
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a Moore FSM that detects the overlapping serial bit pattern 101 on din; detected goes high for the cycle after the pattern completes."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "fsm_detector",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("din", 1)],
+            vec![PortSpec::new("detected", 1)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut state = 0u64; // S_IDLE
+            Box::new(move |ins| {
+                let d = input(ins, "din") & 1;
+                state = match (state, d) {
+                    (0, 1) => 1,
+                    (0, 0) => 0,
+                    (1, 1) => 1,
+                    (1, 0) => 2,
+                    (2, 1) => 3,
+                    (2, 0) => 0,
+                    (3, 1) => 1,
+                    (3, 0) => 2,
+                    _ => 0,
+                };
+                vec![("detected".to_string(), (state == 3) as u64)]
+            })
+        })),
+    }
+}
+
+fn gen_fifo(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let depth_bits = rng.gen_range(2..=3u32);
+    let depth = 1u64 << depth_bits;
+    let name = { let base = pick(rng, &["sync_fifo", "fifo", "queue"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input wr,\n    input rd,\n    input [{m}:0] din,\n    output [{m}:0] dout,\n    output full,\n    output empty\n);\n    reg [{m}:0] mem [0:{dm}];\n    reg [{cb}:0] count;\n    reg [{pb}:0] wptr;\n    reg [{pb}:0] rptr;\n    assign full = (count == {cw}'d{depth});\n    assign empty = (count == {cw}'d0);\n    assign dout = mem[rptr];\n    always @(posedge clk) begin\n        if (rst) begin\n            count <= {cw}'d0;\n            wptr <= {pw}'d0;\n            rptr <= {pw}'d0;\n        end else begin\n            if (wr && !full) begin\n                mem[wptr] <= din;\n                wptr <= wptr + 1;\n            end\n            if (rd && !empty)\n                rptr <= rptr + 1;\n            case ({{wr && !full, rd && !empty}})\n                2'b10: count <= count + 1;\n                2'b01: count <= count - 1;\n                default: count <= count;\n            endcase\n        end\n    end\nendmodule\n",
+        m = w - 1,
+        dm = depth - 1,
+        cb = depth_bits, // count needs depth_bits+1 bits
+        pb = depth_bits - 1,
+        cw = depth_bits + 1,
+        pw = depth_bits,
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a synchronous FIFO of depth {depth} storing {w}-bit words, with write enable wr, read enable rd, data ports din/dout, and full/empty flags. Reads and writes are gated by the flags."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "fifo",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("wr", 1), PortSpec::new("rd", 1), PortSpec::new("din", w)],
+            vec![
+                PortSpec::new("dout", w),
+                PortSpec::new("full", 1),
+                PortSpec::new("empty", 1),
+            ],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            // Mirror the RTL state exactly (two-state memory initialized 0).
+            let mut mem = vec![0u64; depth as usize];
+            let mut count = 0u64;
+            let mut wptr = 0u64;
+            let mut rptr = 0u64;
+            Box::new(move |ins| {
+                let full = count == depth;
+                let empty = count == 0;
+                let do_wr = input(ins, "wr") != 0 && !full;
+                let do_rd = input(ins, "rd") != 0 && !empty;
+                if do_wr {
+                    mem[wptr as usize] = mask(input(ins, "din"), w);
+                    wptr = (wptr + 1) % depth;
+                }
+                if do_rd {
+                    rptr = (rptr + 1) % depth;
+                }
+                match (do_wr, do_rd) {
+                    (true, false) => count += 1,
+                    (false, true) => count -= 1,
+                    _ => {}
+                }
+                vec![
+                    ("dout".to_string(), mem[rptr as usize]),
+                    ("full".to_string(), (count == depth) as u64),
+                    ("empty".to_string(), (count == 0) as u64),
+                ]
+            })
+        })),
+    }
+}
+
+fn gen_pwm(rng: &mut SmallRng) -> GeneratedModule {
+    let bits = pick_width(rng, 3, 6);
+    let name = { let base = pick(rng, &["pwm", "pwm_gen", "pulse_width_mod"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input [{m}:0] duty,\n    output reg pwm_out\n);\n    reg [{m}:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            cnt <= {bits}'d0;\n            pwm_out <= 1'b0;\n        end else begin\n            cnt <= cnt + 1;\n            pwm_out <= (cnt < duty);\n        end\n    end\nendmodule\n",
+        m = bits - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a PWM generator with a free-running {bits}-bit counter; pwm_out is high while the counter is below the duty input."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "pwm",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("duty", bits)],
+            vec![PortSpec::new("pwm_out", 1)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut cnt = 0u64;
+            Box::new(move |ins| {
+                let out = (cnt < mask(input(ins, "duty"), bits)) as u64;
+                cnt = mask(cnt + 1, bits);
+                vec![("pwm_out".to_string(), out)]
+            })
+        })),
+    }
+}
+
+fn gen_lfsr(rng: &mut SmallRng) -> GeneratedModule {
+    let name = { let base = pick(rng, &["lfsr4", "lfsr", "prbs_gen"]); vary_name(rng, base) };
+    // 4-bit Fibonacci LFSR, taps 4 and 3, seeded to 1 on reset.
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst)\n            q <= 4'd1;\n        else\n            q <= {{q[2:0], q[3] ^ q[2]}};\n    end\nendmodule\n"
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a 4-bit Fibonacci LFSR with taps at bits 3 and 2, shifting left each clock and reseeding to 1 on synchronous reset."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "lfsr",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![],
+            vec![PortSpec::new("q", 4)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut q = 1u64; // post-reset value
+            Box::new(move |_| {
+                let fb = ((q >> 3) ^ (q >> 2)) & 1;
+                q = mask((q << 1) | fb, 4);
+                vec![("q".to_string(), q)]
+            })
+        })),
+    }
+}
+
+fn gen_accumulator(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let name = { let base = pick(rng, &["accumulator", "acc", "running_sum"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input rst,\n    input en,\n    input [{m}:0] din,\n    output reg [{m}:0] acc\n);\n    always @(posedge clk) begin\n        if (rst)\n            acc <= {w}'d0;\n        else if (en)\n            acc <= acc + din;\n    end\nendmodule\n",
+        m = w - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a {w}-bit accumulator that adds din into acc on each enabled rising clock edge, with synchronous reset."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "accumulator",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("en", 1), PortSpec::new("din", w)],
+            vec![PortSpec::new("acc", w)],
+            "clk",
+            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut acc = 0u64;
+            Box::new(move |ins| {
+                if input(ins, "en") != 0 {
+                    acc = mask(acc + input(ins, "din"), w);
+                }
+                vec![("acc".to_string(), acc)]
+            })
+        })),
+    }
+}
+
+fn gen_ram(rng: &mut SmallRng) -> GeneratedModule {
+    let w = pick_width(rng, 4, 8);
+    let abits = rng.gen_range(2..=4u32);
+    let depth = 1u64 << abits;
+    let name = { let base = pick(rng, &["single_port_ram", "ram", "scratchpad"]); vary_name(rng, base) };
+    let source = format!(
+        "module {name} (\n    input clk,\n    input we,\n    input [{am}:0] addr,\n    input [{m}:0] din,\n    output [{m}:0] dout\n);\n    reg [{m}:0] mem [0:{dm}];\n    assign dout = mem[addr];\n    always @(posedge clk) begin\n        if (we)\n            mem[addr] <= din;\n    end\nendmodule\n",
+        m = w - 1,
+        am = abits - 1,
+        dm = depth - 1
+    );
+    let description = format!(
+        "Write a Verilog module \"{name}\": a single-port RAM with {depth} words of {w} bits, synchronous write (we) and asynchronous read (dout = mem[addr])."
+    );
+    GeneratedModule {
+        name: name.clone(),
+        family: "ram",
+        source,
+        description,
+        interface: Interface::seq(
+            vec![PortSpec::new("we", 1), PortSpec::new("addr", abits), PortSpec::new("din", w)],
+            vec![PortSpec::new("dout", w)],
+            "clk",
+            None,
+        ),
+        golden: Golden::Seq(Arc::new(move || {
+            let mut mem = vec![0u64; depth as usize];
+            Box::new(move |ins| {
+                let addr = (input(ins, "addr") & (depth - 1)) as usize;
+                if input(ins, "we") != 0 {
+                    mem[addr] = mask(input(ins, "din"), w);
+                }
+                vec![("dout".to_string(), mem[addr])]
+            })
+        })),
+    }
+}

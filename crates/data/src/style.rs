@@ -1,0 +1,108 @@
+//! Seeded formatting diversity for generated modules.
+//!
+//! Real scraped corpora mix indentation and spacing styles; our
+//! generators emit one canonical style. This module applies a
+//! per-module style profile (indent width, comma padding, operator
+//! padding) so the training distribution has realistic formatting
+//! entropy. Restyling is token-safe: it only rewrites whitespace, so the
+//! AST is unchanged (asserted in tests).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A formatting profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StyleProfile {
+    /// What one indentation level looks like.
+    pub indent: &'static str,
+    /// Whether commas carry a trailing space.
+    pub comma_space: bool,
+    /// Whether binary `=` / `<=` keep surrounding spaces.
+    pub op_space: bool,
+}
+
+impl StyleProfile {
+    /// Samples a profile.
+    pub fn sample(rng: &mut SmallRng) -> StyleProfile {
+        const INDENTS: [&str; 4] = ["    ", "  ", "   ", "\t"];
+        StyleProfile {
+            indent: INDENTS[rng.gen_range(0..INDENTS.len())],
+            comma_space: rng.gen_bool(0.7),
+            op_space: rng.gen_bool(0.8),
+        }
+    }
+}
+
+/// Rewrites the canonical generator formatting (4-space indents,
+/// `", "` commas, spaced operators) into the profile's style.
+pub fn restyle(source: &str, profile: StyleProfile) -> String {
+    let mut out = String::with_capacity(source.len());
+    for (i, line) in source.split('\n').enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        // Re-indent: count leading 4-space units.
+        let mut rest = line;
+        let mut levels = 0;
+        while let Some(r) = rest.strip_prefix("    ") {
+            rest = r;
+            levels += 1;
+        }
+        for _ in 0..levels {
+            out.push_str(profile.indent);
+        }
+        let mut body = rest.to_string();
+        if !profile.comma_space {
+            body = body.replace(", ", ",");
+        }
+        if !profile.op_space {
+            body = body.replace(" <= ", "<=").replace(" = ", "=");
+        }
+        out.push_str(&body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const SRC: &str = "module m (\n    input [3:0] a, b,\n    output reg [3:0] y\n);\n    always @(*) begin\n        y = a + b;\n    end\nendmodule\n";
+
+    #[test]
+    fn restyle_preserves_the_ast() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let original = verispec_verilog::parse(SRC).expect("parse");
+        for _ in 0..16 {
+            let p = StyleProfile::sample(&mut rng);
+            let styled = restyle(SRC, p);
+            let reparsed = verispec_verilog::parse(&styled)
+                .unwrap_or_else(|e| panic!("style broke parse: {e}\n{styled}"));
+            assert_eq!(reparsed, original, "{p:?}\n{styled}");
+        }
+    }
+
+    #[test]
+    fn tab_indent_profile_applies() {
+        let p = StyleProfile { indent: "\t", comma_space: false, op_space: false };
+        let styled = restyle(SRC, p);
+        assert!(styled.contains("\n\talways"));
+        assert!(styled.contains("\t\ty=a + b;") || styled.contains("y=a + b;"));
+        assert!(styled.contains("a,b"));
+    }
+
+    #[test]
+    fn default_like_profile_is_identity() {
+        let p = StyleProfile { indent: "    ", comma_space: true, op_space: true };
+        assert_eq!(restyle(SRC, p), SRC);
+    }
+
+    #[test]
+    fn profiles_vary() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let set: std::collections::HashSet<String> =
+            (0..24).map(|_| restyle(SRC, StyleProfile::sample(&mut rng))).collect();
+        assert!(set.len() >= 4, "expected style diversity, got {}", set.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Minimal dense `f32` linear algebra for the tiny language models.
+//!
+//! Row-major matrices with exactly the operations the MLP LM's forward
+//! and hand-written backward passes need. No BLAS, no SIMD intrinsics —
+//! the models are small enough that scalar loops in release mode suffice.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix filled from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat parameter slice (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat mutable parameter slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = A x` (length `rows`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ x` (length `cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let xv = x[r];
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += xv * a;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `A += dy xᵀ` (gradient accumulation for `y = A x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, dy: &[f32], x: &[f32]) {
+        assert_eq!(dy.len(), self.rows, "add_outer rows mismatch");
+        assert_eq!(x.len(), self.cols, "add_outer cols mismatch");
+        for r in 0..self.rows {
+            let g = dy[r];
+            if g == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, xv) in row.iter_mut().zip(x) {
+                *a += g * xv;
+            }
+        }
+    }
+
+    /// Sets every entry to zero (reused gradient buffers).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = out.iter().sum();
+    if sum > 0.0 {
+        out.iter_mut().for_each(|v| *v /= sum);
+    }
+    out
+}
+
+/// Numerically stable log-softmax.
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = logits.iter().map(|&l| (l - max).exp()).sum::<f32>().ln() + max;
+    logits.iter().map(|&l| l - log_sum).collect()
+}
+
+/// Shannon entropy (nats) of a probability distribution.
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+}
+
+/// SiLU activation `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Derivative of SiLU: `σ(x)·(1 + x·(1 − σ(x)))`.
+pub fn silu_prime(x: f32) -> f32 {
+    let s = 1.0 / (1.0 + (-x).exp());
+    s * (1.0 + x * (1.0 - s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32); // [[0,1,2],[3,4,5]]
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![8.0, 26.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_manual() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let y = a.matvec_t(&[1.0, 2.0]);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(a.row(0), &[3.0, 4.0]);
+        assert_eq!(a.row(1), &[6.0, 8.0]);
+        a.add_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(a.row(0), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let logits = [0.5f32, -1.0, 2.0, 0.0];
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (a, b) in p.iter().zip(&lp) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let p = vec![0.25f32; 4];
+        assert!((entropy(&p) - (4.0f32).ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn silu_prime_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0] {
+            let eps = 1e-3;
+            let fd = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            let an = silu_prime(x);
+            assert!((fd - an).abs() < 1e-2, "x={x}: fd={fd} an={an}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Token sampling strategies: greedy and temperature sampling with
+//! optional top-k truncation (the paper evaluates greedy decoding and
+//! sampling at temperatures 0.2–0.8, §IV-A3).
+
+use crate::matrix::softmax;
+use crate::mlp::TokenId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the next token is chosen from a logit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Sampling {
+    /// Always pick the arg-max token.
+    Greedy,
+    /// Softmax sampling at `temperature`, optionally truncated to the
+    /// `top_k` most likely tokens (`0` disables truncation).
+    Temperature {
+        /// Softmax temperature (> 0).
+        temperature: f32,
+        /// Keep only this many candidates; `0` keeps all.
+        top_k: usize,
+    },
+}
+
+impl Sampling {
+    /// Convenience constructor for plain temperature sampling.
+    pub fn temperature(t: f32) -> Self {
+        Sampling::Temperature { temperature: t, top_k: 0 }
+    }
+}
+
+/// A seeded sampler. Deterministic given seed and call sequence.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Creates a sampler with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Picks a token from `logits` using `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty or the temperature is not positive.
+    pub fn sample(&mut self, logits: &[f32], strategy: Sampling) -> TokenId {
+        assert!(!logits.is_empty(), "cannot sample from empty logits");
+        match strategy {
+            Sampling::Greedy => argmax(logits),
+            Sampling::Temperature { temperature, top_k } => {
+                assert!(temperature > 0.0, "temperature must be positive");
+                let scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+                let mut probs = softmax(&scaled);
+                if top_k > 0 && top_k < probs.len() {
+                    let mut idx: Vec<usize> = (0..probs.len()).collect();
+                    idx.sort_unstable_by(|&a, &b| {
+                        probs[b].partial_cmp(&probs[a]).expect("finite probs")
+                    });
+                    for &i in &idx[top_k..] {
+                        probs[i] = 0.0;
+                    }
+                    let sum: f32 = probs.iter().sum();
+                    probs.iter_mut().for_each(|p| *p /= sum);
+                }
+                self.sample_from_probs(&probs)
+            }
+        }
+    }
+
+    /// Samples an index from an explicit probability vector.
+    pub fn sample_from_probs(&mut self, probs: &[f32]) -> TokenId {
+        let r: f32 = self.rng.gen();
+        let mut acc = 0.0f32;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if r < acc {
+                return i as TokenId;
+            }
+        }
+        // Floating-point slack: fall back to the last nonzero entry.
+        probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .map(|i| i as TokenId)
+            .unwrap_or(0)
+    }
+
+    /// Uniformly random integer in `[0, n)` (corpus shuffling helper).
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Index of the maximum logit (first one on ties).
+pub fn argmax(logits: &[f32]) -> TokenId {
+    let mut best = 0usize;
+    for (i, &l) in logits.iter().enumerate() {
+        if l > logits[best] {
+            best = i;
+        }
+    }
+    best as TokenId
+}
+
+/// The indices of the `k` largest logits, in descending logit order.
+pub fn top_k_indices(logits: &[f32], k: usize) -> Vec<TokenId> {
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_unstable_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite logits"));
+    idx.truncate(k);
+    idx.into_iter().map(|i| i as TokenId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_argmax() {
+        let mut s = Sampler::new(0);
+        assert_eq!(s.sample(&[0.1, 2.0, 0.5], Sampling::Greedy), 1);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let logits = vec![0.0f32, 1.0, 2.0, 0.5];
+        let a: Vec<TokenId> = {
+            let mut s = Sampler::new(42);
+            (0..20).map(|_| s.sample(&logits, Sampling::temperature(0.8))).collect()
+        };
+        let b: Vec<TokenId> = {
+            let mut s = Sampler::new(42);
+            (0..20).map(|_| s.sample(&logits, Sampling::temperature(0.8))).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        let logits = vec![0.0f32, 5.0, 0.0];
+        let mut s = Sampler::new(7);
+        let picks: Vec<TokenId> =
+            (0..50).map(|_| s.sample(&logits, Sampling::temperature(0.1))).collect();
+        assert!(picks.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn high_temperature_spreads() {
+        let logits = vec![0.0f32, 1.0, 0.0];
+        let mut s = Sampler::new(7);
+        let picks: Vec<TokenId> =
+            (0..200).map(|_| s.sample(&logits, Sampling::temperature(5.0))).collect();
+        let distinct: std::collections::HashSet<_> = picks.into_iter().collect();
+        assert!(distinct.len() >= 2, "high temperature should sample multiple tokens");
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let logits = vec![0.0f32, 10.0, 9.0, -5.0];
+        let mut s = Sampler::new(3);
+        for _ in 0..100 {
+            let t = s.sample(&logits, Sampling::Temperature { temperature: 2.0, top_k: 2 });
+            assert!(t == 1 || t == 2, "got {t}");
+        }
+    }
+
+    #[test]
+    fn top_k_indices_ordered() {
+        assert_eq!(top_k_indices(&[0.1, 5.0, 3.0, 4.0], 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&[1.0], 5), vec![0]);
+    }
+
+    #[test]
+    fn sample_from_probs_respects_zero_mass() {
+        let mut s = Sampler::new(1);
+        for _ in 0..50 {
+            let t = s.sample_from_probs(&[0.0, 1.0, 0.0]);
+            assert_eq!(t, 1);
+        }
+    }
+}

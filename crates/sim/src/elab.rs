@@ -1,0 +1,737 @@
+//! Elaboration: resolving a parsed [`Module`] into an executable
+//! [`Design`] — parameters folded, ANSI and non-ANSI port declarations
+//! merged, signals interned, and processes collected.
+//!
+//! Elaboration performs the semantic checks iverilog would report at
+//! compile time: undeclared identifiers, procedural assignment to wires,
+//! continuous assignment to regs, bad memory usage. The evaluation
+//! harness counts an elaboration failure as a *syntax* failure, matching
+//! the paper's "design and testbench compile together" criterion.
+
+use crate::value::BitVec;
+use std::collections::HashMap;
+use std::fmt;
+use verispec_verilog::ast::{
+    Direction, Edge, Expr, Item, LValue, Module, NetKind, Range, Sensitivity, Stmt,
+};
+
+/// Errors raised during elaboration or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SimError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Interned signal index.
+pub type SignalId = usize;
+
+/// What kind of storage a signal denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// Continuous-assignment driven net.
+    Wire,
+    /// Procedurally assigned register.
+    Reg,
+    /// 32-bit signed integer variable.
+    Integer,
+    /// A memory (`reg [w] m [lo:hi]`): `depth` elements addressed from
+    /// `lo`.
+    Memory {
+        /// Number of elements.
+        depth: u32,
+        /// Lowest address.
+        lo: u64,
+    },
+}
+
+/// An elaborated signal.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Source name.
+    pub name: String,
+    /// Element width in bits.
+    pub width: u32,
+    /// Declared `signed`.
+    pub signed: bool,
+    /// Storage kind.
+    pub kind: SignalKind,
+    /// Port direction, if the signal is a port.
+    pub dir: Option<Direction>,
+    /// Declaration-time initializer (`reg r = 1'b0;`).
+    pub init: Option<BitVec>,
+}
+
+/// An executable process.
+#[derive(Debug, Clone)]
+pub enum Process {
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+    },
+    /// `always @(*) body` or `always @(a or b) body` without edges.
+    Comb {
+        /// Process body.
+        body: Stmt,
+    },
+    /// `always @(posedge clk or negedge rst_n) body`.
+    Clocked {
+        /// Edge-qualified event sources.
+        events: Vec<(SignalId, Edge)>,
+        /// Process body.
+        body: Stmt,
+    },
+    /// `initial body` — run once at time zero.
+    Initial {
+        /// Process body.
+        body: Stmt,
+    },
+}
+
+/// A fully elaborated, executable module.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Module name.
+    pub name: String,
+    signals: Vec<Signal>,
+    by_name: HashMap<String, SignalId>,
+    /// Resolved parameter/localparam values.
+    pub params: HashMap<String, BitVec>,
+    /// Executable processes in declaration order.
+    pub processes: Vec<Process>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+}
+
+impl Design {
+    /// All signals.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Looks up a signal id by name.
+    pub fn signal_id(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The signal record for an id.
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id]
+    }
+
+    /// Input port ids in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Output port ids in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+}
+
+/// Elaborates `module` with default parameter values.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] for unsupported constructs, undeclared names,
+/// illegal drivers, and non-constant widths.
+pub fn elaborate(module: &Module) -> SimResult<Design> {
+    elaborate_with_params(module, &[])
+}
+
+/// Elaborates with parameter overrides (`.W(8)`-style).
+///
+/// # Errors
+///
+/// See [`elaborate`]; unknown override names are also rejected.
+pub fn elaborate_with_params(module: &Module, overrides: &[(String, u64)]) -> SimResult<Design> {
+    Elaborator::new(module, overrides)?.run()
+}
+
+struct Elaborator<'m> {
+    module: &'m Module,
+    params: HashMap<String, BitVec>,
+}
+
+/// Port info accumulated from header and body declarations.
+#[derive(Default, Clone)]
+struct PortInfo {
+    dir: Option<Direction>,
+    net: Option<NetKind>,
+    signed: bool,
+    range: Option<Range>,
+}
+
+impl<'m> Elaborator<'m> {
+    fn new(module: &'m Module, overrides: &[(String, u64)]) -> SimResult<Self> {
+        let mut this = Self { module, params: HashMap::new() };
+        let over: HashMap<&str, u64> =
+            overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        for (name, _) in overrides {
+            if !module.params.iter().any(|p| &p.name == name) {
+                return Err(SimError::new(format!(
+                    "parameter override `{name}` does not exist on module `{}`",
+                    module.name
+                )));
+            }
+        }
+        // Header parameters (may reference earlier ones).
+        for p in &module.params {
+            let v = match over.get(p.name.as_str()) {
+                Some(&v) => BitVec::new(32, v),
+                None => this.const_eval(&p.value)?,
+            };
+            this.params.insert(p.name.clone(), v);
+        }
+        // Body parameters and localparams.
+        for item in &module.items {
+            if let Item::Param(decls) | Item::Localparam(decls) = item {
+                for d in decls {
+                    let v = match over.get(d.name.as_str()) {
+                        Some(&v) => BitVec::new(32, v),
+                        None => this.const_eval(&d.value)?,
+                    };
+                    this.params.insert(d.name.clone(), v);
+                }
+            }
+        }
+        Ok(this)
+    }
+
+    /// Evaluates a parameter-only constant expression.
+    fn const_eval(&self, e: &Expr) -> SimResult<BitVec> {
+        match e {
+            Expr::Number(l) => {
+                if l.has_xz() {
+                    // Two-state: x/z constant bits read as 0.
+                }
+                Ok(BitVec::new(l.effective_width(), l.value).with_signed(l.signed))
+            }
+            Expr::Ident(n) => self
+                .params
+                .get(n)
+                .copied()
+                .ok_or_else(|| SimError::new(format!("`{n}` is not a constant"))),
+            Expr::Unary(op, a) => {
+                use verispec_verilog::ast::UnaryOp::*;
+                let v = self.const_eval(a)?;
+                Ok(match op {
+                    Plus => v,
+                    Minus => v.neg(),
+                    Not => BitVec::from_bool(!v.is_true()),
+                    BitNot => v.not(),
+                    RedAnd => v.reduce_and(),
+                    RedOr => v.reduce_or(),
+                    RedXor => v.reduce_xor(),
+                    RedNand => v.reduce_and().not(),
+                    RedNor => v.reduce_or().not(),
+                    RedXnor => v.reduce_xor().not(),
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                use verispec_verilog::ast::BinaryOp::*;
+                let x = self.const_eval(a)?;
+                let y = self.const_eval(b)?;
+                Ok(match op {
+                    Add => x.add(y),
+                    Sub => x.sub(y),
+                    Mul => x.mul(y),
+                    Div => x.div(y),
+                    Mod => x.rem(y),
+                    Pow => x.pow(y),
+                    Shl | AShl => x.shl(y),
+                    Shr => x.shr(y),
+                    AShr => x.ashr(y),
+                    Lt => x.lt(y),
+                    Le => BitVec::from_bool(!y.lt(x).is_true()),
+                    Gt => y.lt(x),
+                    Ge => BitVec::from_bool(!x.lt(y).is_true()),
+                    Eq | CaseEq => x.eq(y),
+                    Ne | CaseNe => BitVec::from_bool(!x.eq(y).is_true()),
+                    BitAnd => x.and(y),
+                    BitOr => x.or(y),
+                    BitXor => x.xor(y),
+                    BitXnor => x.xor(y).not(),
+                    LogAnd => BitVec::from_bool(x.is_true() && y.is_true()),
+                    LogOr => BitVec::from_bool(x.is_true() || y.is_true()),
+                })
+            }
+            Expr::Ternary(c, t, f) => {
+                if self.const_eval(c)?.is_true() {
+                    self.const_eval(t)
+                } else {
+                    self.const_eval(f)
+                }
+            }
+            other => Err(SimError::new(format!("expression is not constant: {other:?}"))),
+        }
+    }
+
+    fn range_width(&self, range: &Option<Range>) -> SimResult<(u32, u64)> {
+        match range {
+            None => Ok((1, 0)),
+            Some(r) => {
+                let msb = self.const_eval(&r.msb)?.value();
+                let lsb = self.const_eval(&r.lsb)?.value();
+                let (hi, lo) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
+                let width = hi - lo + 1;
+                if width == 0 || width > 64 {
+                    return Err(SimError::new(format!(
+                        "unsupported vector width {width} (must be 1..=64)"
+                    )));
+                }
+                Ok((width as u32, lo))
+            }
+        }
+    }
+
+    fn run(self) -> SimResult<Design> {
+        let module = self.module;
+        // ---- Pass 1: merge port information ---------------------------
+        let mut port_info: HashMap<&str, PortInfo> = HashMap::new();
+        let mut port_order: Vec<&str> = Vec::new();
+        for p in &module.ports {
+            port_order.push(&p.name);
+            if port_info.contains_key(p.name.as_str()) {
+                return Err(SimError::new(format!("duplicate port `{}`", p.name)));
+            }
+            port_info.insert(
+                &p.name,
+                PortInfo {
+                    dir: p.dir,
+                    net: p.net,
+                    signed: p.signed,
+                    range: p.range.clone(),
+                },
+            );
+        }
+        for item in &module.items {
+            if let Item::PortDecl(pd) = item {
+                for name in &pd.names {
+                    let info = port_info.get_mut(name.as_str()).ok_or_else(|| {
+                        SimError::new(format!(
+                            "`{name}` declared as port but absent from the port list"
+                        ))
+                    })?;
+                    info.dir = Some(pd.dir);
+                    if pd.net.is_some() {
+                        info.net = pd.net;
+                    }
+                    info.signed |= pd.signed;
+                    if pd.range.is_some() {
+                        info.range = pd.range.clone();
+                    }
+                }
+            }
+        }
+
+        // ---- Pass 2: build the signal table ---------------------------
+        let mut signals: Vec<Signal> = Vec::new();
+        let mut by_name: HashMap<String, SignalId> = HashMap::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+
+        let add_signal = |signals: &mut Vec<Signal>,
+                              by_name: &mut HashMap<String, SignalId>,
+                              s: Signal|
+         -> SimResult<SignalId> {
+            if by_name.contains_key(&s.name) {
+                return Err(SimError::new(format!("duplicate declaration of `{}`", s.name)));
+            }
+            let id = signals.len();
+            by_name.insert(s.name.clone(), id);
+            signals.push(s);
+            Ok(id)
+        };
+
+        for name in &port_order {
+            let info = &port_info[name];
+            let dir = info.dir.ok_or_else(|| {
+                SimError::new(format!("port `{name}` has no direction declaration"))
+            })?;
+            let (width, _) = self.range_width(&info.range)?;
+            let kind = match info.net {
+                Some(NetKind::Reg) => SignalKind::Reg,
+                _ => SignalKind::Wire,
+            };
+            if dir == Direction::Input && kind == SignalKind::Reg {
+                return Err(SimError::new(format!("input port `{name}` cannot be a reg")));
+            }
+            let id = add_signal(
+                &mut signals,
+                &mut by_name,
+                Signal {
+                    name: (*name).to_string(),
+                    width,
+                    signed: info.signed,
+                    kind,
+                    dir: Some(dir),
+                    init: None,
+                },
+            )?;
+            match dir {
+                Direction::Input => inputs.push(id),
+                Direction::Output => outputs.push(id),
+                Direction::Inout => {
+                    return Err(SimError::new(format!(
+                        "inout port `{name}` is not supported by the simulator"
+                    )))
+                }
+            }
+        }
+
+        let mut processes: Vec<Process> = Vec::new();
+        // Clocked sensitivity lists reference signals that may be declared
+        // after the `always` item; collect names now, patch ids at the end.
+        let mut clocked_events: Vec<Vec<(String, Edge)>> = Vec::new();
+        let mut clocked_slots: Vec<usize> = Vec::new();
+
+        for item in &module.items {
+            match item {
+                Item::Net(nd) => {
+                    let (width, _) = self.range_width(&nd.range)?;
+                    for (name, init) in &nd.nets {
+                        add_signal(
+                            &mut signals,
+                            &mut by_name,
+                            Signal {
+                                name: name.clone(),
+                                width,
+                                signed: nd.signed,
+                                kind: SignalKind::Wire,
+                                dir: None,
+                                init: None,
+                            },
+                        )?;
+                        if let Some(e) = init {
+                            processes.push(Process::Assign {
+                                lhs: LValue::Ident(name.clone()),
+                                rhs: e.clone(),
+                            });
+                        }
+                    }
+                }
+                Item::Reg(rd) => {
+                    let (width, _) = self.range_width(&rd.range)?;
+                    for rv in &rd.regs {
+                        let kind = match &rv.mem {
+                            None => {
+                                // `output reg q` already created the port
+                                // signal; upgrade its kind instead.
+                                if let Some(&id) = by_name.get(&rv.name) {
+                                    let sig = &mut signals[id];
+                                    if sig.dir == Some(Direction::Output) {
+                                        sig.kind = SignalKind::Reg;
+                                        if rd.range.is_some() {
+                                            sig.width = width;
+                                        }
+                                        sig.signed |= rd.signed;
+                                        continue;
+                                    }
+                                    return Err(SimError::new(format!(
+                                        "duplicate declaration of `{}`",
+                                        rv.name
+                                    )));
+                                }
+                                SignalKind::Reg
+                            }
+                            Some(mem_range) => {
+                                let hi = self.const_eval(&mem_range.msb)?.value();
+                                let lo = self.const_eval(&mem_range.lsb)?.value();
+                                let (hi, lo) = if hi >= lo { (hi, lo) } else { (lo, hi) };
+                                let depth = hi - lo + 1;
+                                if depth == 0 || depth > 1 << 20 {
+                                    return Err(SimError::new(format!(
+                                        "memory `{}` depth {depth} unsupported",
+                                        rv.name
+                                    )));
+                                }
+                                SignalKind::Memory { depth: depth as u32, lo }
+                            }
+                        };
+                        let init = match &rv.init {
+                            None => None,
+                            Some(e) => Some(self.const_eval(e)?.resize(width)),
+                        };
+                        add_signal(
+                            &mut signals,
+                            &mut by_name,
+                            Signal {
+                                name: rv.name.clone(),
+                                width,
+                                signed: rd.signed,
+                                kind,
+                                dir: None,
+                                init,
+                            },
+                        )?;
+                    }
+                }
+                Item::Integer(names) => {
+                    for name in names {
+                        add_signal(
+                            &mut signals,
+                            &mut by_name,
+                            Signal {
+                                name: name.clone(),
+                                width: 32,
+                                signed: true,
+                                kind: SignalKind::Integer,
+                                dir: None,
+                                init: None,
+                            },
+                        )?;
+                    }
+                }
+                Item::Genvar(_) => {
+                    return Err(SimError::new(
+                        "genvar/generate is not supported by the simulator",
+                    ))
+                }
+                Item::Param(_) | Item::Localparam(_) | Item::PortDecl(_) => {}
+                Item::Assign(assigns) => {
+                    for (lhs, rhs) in assigns {
+                        processes.push(Process::Assign { lhs: lhs.clone(), rhs: rhs.clone() });
+                    }
+                }
+                Item::Always(ab) => match &ab.sensitivity {
+                    Sensitivity::Star => {
+                        processes.push(Process::Comb { body: ab.body.clone() });
+                    }
+                    Sensitivity::List(evs) => {
+                        let edged = evs.iter().any(|e| e.edge.is_some());
+                        if edged {
+                            if evs.iter().any(|e| e.edge.is_none()) {
+                                return Err(SimError::new(
+                                    "mixed edge and level sensitivity is not supported",
+                                ));
+                            }
+                            // Defer id resolution until after the table is
+                            // complete (clock may be declared later).
+                            processes.push(Process::Clocked {
+                                events: Vec::new(), // patched below
+                                body: ab.body.clone(),
+                            });
+                            // Remember the names for patching.
+                            clocked_events.push(
+                                evs.iter()
+                                    .map(|e| (e.signal.clone(), e.edge.expect("edged")))
+                                    .collect::<Vec<_>>(),
+                            );
+                            clocked_slots.push(processes.len() - 1);
+                        } else {
+                            // Level-sensitive list: treat as combinational.
+                            processes.push(Process::Comb { body: ab.body.clone() });
+                        }
+                    }
+                },
+                Item::Initial(body) => {
+                    processes.push(Process::Initial { body: body.clone() });
+                }
+                Item::Instance(inst) => {
+                    // Validate connection expressions parse-level only.
+                    let _ = &inst.conns;
+                    return Err(SimError::new(format!(
+                        "module instantiation (`{}`) is not supported by the behavioral simulator",
+                        inst.module
+                    )));
+                }
+            }
+        }
+
+        // ---- Pass 3: patch clocked event ids ---------------------------
+        for (slot, names) in clocked_slots.into_iter().zip(clocked_events) {
+            let mut events = Vec::with_capacity(names.len());
+            for (name, edge) in names {
+                let id = *by_name.get(&name).ok_or_else(|| {
+                    SimError::new(format!("sensitivity list references undeclared `{name}`"))
+                })?;
+                events.push((id, edge));
+            }
+            if let Process::Clocked { events: ev, .. } = &mut processes[slot] {
+                *ev = events;
+            }
+        }
+
+        let design = Design {
+            name: module.name.clone(),
+            signals,
+            by_name,
+            params: self.params.clone(),
+            processes,
+            inputs,
+            outputs,
+        };
+        self.validate(&design)?;
+        Ok(design)
+    }
+
+    /// Semantic checks over the finished design: every referenced name
+    /// resolves, drivers are legal for the signal kind.
+    fn validate(&self, design: &Design) -> SimResult<()> {
+        let resolve = |name: &str| -> SimResult<()> {
+            if design.by_name.contains_key(name) || self.params.contains_key(name) {
+                Ok(())
+            } else {
+                Err(SimError::new(format!("`{name}` is not declared")))
+            }
+        };
+        let check_expr = |e: &Expr| -> SimResult<()> {
+            let mut ids = Vec::new();
+            e.collect_idents(&mut ids);
+            for id in ids {
+                resolve(id)?;
+            }
+            Ok(())
+        };
+        fn check_lvalue(
+            design: &Design,
+            lv: &LValue,
+            procedural: bool,
+            check_expr: &dyn Fn(&Expr) -> SimResult<()>,
+        ) -> SimResult<()> {
+            for name in lv.written_names() {
+                let Some(&id) = design.by_name.get(name) else {
+                    return Err(SimError::new(format!("assignment to undeclared `{name}`")));
+                };
+                let sig = &design.signals[id];
+                if sig.dir == Some(Direction::Input) {
+                    return Err(SimError::new(format!("cannot assign to input port `{name}`")));
+                }
+                match (procedural, &sig.kind) {
+                    (true, SignalKind::Wire) => {
+                        return Err(SimError::new(format!(
+                            "procedural assignment to wire `{name}` (declare it reg)"
+                        )))
+                    }
+                    (false, SignalKind::Reg | SignalKind::Integer | SignalKind::Memory { .. }) => {
+                        return Err(SimError::new(format!(
+                            "continuous assignment to reg `{name}`"
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+            // Index expressions inside the l-value must also resolve.
+            match lv {
+                LValue::Ident(_) => {}
+                LValue::Bit(_, i) => check_expr(i)?,
+                LValue::Part(_, r) => {
+                    check_expr(&r.msb)?;
+                    check_expr(&r.lsb)?;
+                }
+                LValue::IndexedPart { base, width, .. } => {
+                    check_expr(base)?;
+                    check_expr(width)?;
+                }
+                LValue::Concat(parts) => {
+                    for p in parts {
+                        check_lvalue(design, p, procedural, check_expr)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        fn check_stmt(
+            design: &Design,
+            stmt: &Stmt,
+            check_expr: &dyn Fn(&Expr) -> SimResult<()>,
+        ) -> SimResult<()> {
+            match stmt {
+                Stmt::Block { stmts, .. } => {
+                    for s in stmts {
+                        check_stmt(design, s, check_expr)?;
+                    }
+                }
+                Stmt::If { cond, then_branch, else_branch } => {
+                    check_expr(cond)?;
+                    check_stmt(design, then_branch, check_expr)?;
+                    if let Some(e) = else_branch {
+                        check_stmt(design, e, check_expr)?;
+                    }
+                }
+                Stmt::Case { scrutinee, arms, default, .. } => {
+                    check_expr(scrutinee)?;
+                    for arm in arms {
+                        for l in &arm.labels {
+                            check_expr(l)?;
+                        }
+                        check_stmt(design, &arm.body, check_expr)?;
+                    }
+                    if let Some(d) = default {
+                        check_stmt(design, d, check_expr)?;
+                    }
+                }
+                Stmt::For { init, cond, step, body } => {
+                    check_stmt(design, init, check_expr)?;
+                    check_expr(cond)?;
+                    check_stmt(design, step, check_expr)?;
+                    check_stmt(design, body, check_expr)?;
+                }
+                Stmt::While { cond, body } | Stmt::Repeat { count: cond, body } => {
+                    check_expr(cond)?;
+                    check_stmt(design, body, check_expr)?;
+                }
+                Stmt::Blocking { lhs, rhs } | Stmt::NonBlocking { lhs, rhs } => {
+                    check_lvalue(design, lhs, true, check_expr)?;
+                    check_expr(rhs)?;
+                }
+                Stmt::Null => {}
+            }
+            Ok(())
+        }
+
+        for p in &design.processes {
+            match p {
+                Process::Assign { lhs, rhs } => {
+                    check_lvalue(design, lhs, false, &check_expr)?;
+                    check_expr(rhs)?;
+                }
+                Process::Comb { body } | Process::Initial { body } => {
+                    check_stmt(design, body, &check_expr)?
+                }
+                Process::Clocked { body, .. } => check_stmt(design, body, &check_expr)?,
+            }
+        }
+
+        // Driver conflicts iverilog would reject: two whole-signal
+        // continuous assignments to the same net. (Disjoint bit-level
+        // drivers like `assign y[0] = ...; assign y[1] = ...;` stay
+        // legal.)
+        let mut full_drivers: HashMap<&str, usize> = HashMap::new();
+        for p in &design.processes {
+            if let Process::Assign { lhs: LValue::Ident(name), .. } = p {
+                *full_drivers.entry(name.as_str()).or_insert(0) += 1;
+            }
+        }
+        for (name, count) in full_drivers {
+            if count > 1 {
+                return Err(SimError::new(format!(
+                    "`{name}` has {count} continuous drivers"
+                )));
+            }
+        }
+        Ok(())
+    }
+}

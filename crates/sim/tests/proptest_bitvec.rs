@@ -1,0 +1,120 @@
+//! Property tests: BitVec arithmetic against a wide-integer reference
+//! model, and simulator equivalence on randomly parameterized adders.
+
+use proptest::prelude::*;
+use verispec_sim::BitVec;
+
+fn mask(v: u128, w: u32) -> u64 {
+    (v & ((1u128 << w) - 1)) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_matches_u128(w in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (x, y) = (a & m, b & m);
+        let got = BitVec::new(w, x).add(BitVec::new(w, y)).value();
+        prop_assert_eq!(got, mask(x as u128 + y as u128, w));
+    }
+
+    #[test]
+    fn sub_matches_wrapping(w in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (x, y) = (a & m, b & m);
+        let got = BitVec::new(w, x).sub(BitVec::new(w, y)).value();
+        prop_assert_eq!(got, x.wrapping_sub(y) & m);
+    }
+
+    #[test]
+    fn mul_matches_u128(w in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (x, y) = (a & m, b & m);
+        let got = BitVec::new(w, x).mul(BitVec::new(w, y)).value();
+        prop_assert_eq!(got, mask(x as u128 * y as u128, w));
+    }
+
+    #[test]
+    fn concat_then_slice_recovers(hw in 1u32..=32, lw in 1u32..=32, a in any::<u64>(), b in any::<u64>()) {
+        let hi = BitVec::new(hw, a);
+        let lo = BitVec::new(lw, b);
+        let c = hi.concat(lo);
+        prop_assert_eq!(c.slice(hw + lw - 1, lw).value(), hi.value());
+        prop_assert_eq!(c.slice(lw - 1, 0).value(), lo.value());
+    }
+
+    #[test]
+    fn splice_preserves_other_bits(w in 2u32..=64, v in any::<u64>(), f in any::<u64>()) {
+        let msb = w - 1;
+        let lsb = w / 2;
+        let orig = BitVec::new(w, v);
+        let spliced = orig.splice(msb, lsb, BitVec::new(msb - lsb + 1, f));
+        // Bits below lsb unchanged.
+        if lsb > 0 {
+            prop_assert_eq!(spliced.slice(lsb - 1, 0).value(), orig.slice(lsb - 1, 0).value());
+        }
+        // Field bits replaced.
+        let m = if msb - lsb + 1 == 64 { u64::MAX } else { (1 << (msb - lsb + 1)) - 1 };
+        prop_assert_eq!(spliced.slice(msb, lsb).value(), f & m);
+    }
+
+    #[test]
+    fn signed_resize_preserves_value(w in 2u32..=32, v in any::<u64>()) {
+        let m = (1u64 << w) - 1;
+        let sv = BitVec::new_signed(w, v & m);
+        let wide = sv.resize(w + 16);
+        prop_assert_eq!(wide.as_i64(), sv.as_i64());
+    }
+
+    #[test]
+    fn reduce_xor_is_parity(w in 1u32..=64, v in any::<u64>()) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let x = v & m;
+        prop_assert_eq!(
+            BitVec::new(w, x).reduce_xor().is_true(),
+            x.count_ones() % 2 == 1
+        );
+    }
+
+    #[test]
+    fn shifts_match_reference(w in 1u32..=64, v in any::<u64>(), sh in 0u64..80) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let x = v & m;
+        let bv = BitVec::new(w, x);
+        let amt = BitVec::new(8, sh.min(255));
+        let sh_eff = sh.min(255);
+        let expect_shl = if sh_eff >= 64 { 0 } else { (x << sh_eff) & m };
+        let expect_shr = if sh_eff >= 64 { 0 } else { (x & m) >> sh_eff };
+        prop_assert_eq!(bv.shl(amt).value(), expect_shl);
+        prop_assert_eq!(bv.shr(amt).value(), expect_shr);
+    }
+}
+
+// Random-width adder modules simulate identically to u128 arithmetic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_width_adder_simulates(w in 2u32..=16, a in any::<u64>(), b in any::<u64>()) {
+        let src = format!(
+            "module add(input [{m}:0] a, input [{m}:0] b, output [{m}:0] s, output c);
+               wire [{w}:0] t;
+               assign t = {{1'b0, a}} + {{1'b0, b}};
+               assign s = t[{m}:0];
+               assign c = t[{w}];
+             endmodule",
+            m = w - 1
+        );
+        let file = verispec_verilog::parse(&src).expect("parse");
+        let design = verispec_sim::elaborate(&file.modules[0]).expect("elab");
+        let mut sim = verispec_sim::Sim::new(&design).expect("sim");
+        let mask_w = (1u64 << w) - 1;
+        let (x, y) = (a & mask_w, b & mask_w);
+        sim.set("a", x).expect("set");
+        sim.set("b", y).expect("set");
+        let total = x as u128 + y as u128;
+        prop_assert_eq!(sim.get("s").expect("s"), (total as u64) & mask_w);
+        prop_assert_eq!(sim.get("c").expect("c"), ((total >> w) & 1) as u64);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the BPE tokenizer: encode/decode inversion,
+//! special-token atomicity, and trained-vs-byte-level consistency.
+
+use proptest::prelude::*;
+use verispec_tokenizer::{special, BpeTokenizer, BpeTrainer, TokenId};
+
+fn trained() -> BpeTokenizer {
+    let corpus = [
+        "module m(input clk, input [3:0] d, output reg [3:0] q);",
+        "always @(posedge clk) q <= d;",
+        "assign y = sel ? b : a;",
+        "endmodule",
+    ];
+    BpeTrainer::new(350).train(corpus.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn byte_level_inverse(s in "\\PC{0,120}") {
+        let tok = BpeTokenizer::byte_level();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    #[test]
+    fn trained_inverse_ascii(s in "[ -~\n\t]{0,160}") {
+        let tok = trained();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    #[test]
+    fn trained_inverse_unicode(s in "\\PC{0,80}") {
+        let tok = trained();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    #[test]
+    fn frag_markers_are_atomic(pre in "[a-z ;=]{0,20}", post in "[a-z ;=]{0,20}") {
+        let tok = trained();
+        let text = format!("{pre}[FRAG]{post}");
+        let ids = tok.encode(&text);
+        let frag_count = ids.iter().filter(|&&i| i == special::FRAG).count();
+        prop_assert_eq!(frag_count, 1);
+        prop_assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn specials_never_produced_from_plain_text(s in "[a-zA-Z0-9 ;=+&|^~<>(){}:,._-]{0,120}") {
+        // Text without bracket-escaped specials must not encode to special
+        // ids (unless the spelling literally occurs, excluded by the regex).
+        let tok = trained();
+        let ids = tok.encode(&s);
+        prop_assert!(ids.iter().all(|&i| !tok.is_special(i)), "{:?}", ids);
+    }
+
+    #[test]
+    fn encodings_never_exceed_byte_count(s in "[ -~]{0,160}") {
+        let tok = trained();
+        prop_assert!(tok.encode(&s).len() <= s.len().max(1));
+    }
+
+    #[test]
+    fn all_ids_in_vocab(s in "\\PC{0,120}") {
+        let tok = trained();
+        let n = tok.vocab_size() as TokenId;
+        prop_assert!(tok.encode(&s).iter().all(|&id| id < n));
+    }
+}

@@ -1,0 +1,1032 @@
+//! Abstract syntax tree for the Verilog subset.
+//!
+//! The tree is deliberately span-free so that structural equality can be
+//! used directly in round-trip property tests (`parse(print(ast)) == ast`).
+
+use crate::span::Span;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A parsed source file: one or more modules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SourceFile {
+    /// Modules in source order.
+    pub modules: Vec<Module>,
+}
+
+/// A Verilog `module ... endmodule` definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module identifier.
+    pub name: String,
+    /// Header parameters from `#(parameter ...)`.
+    pub params: Vec<ParamDecl>,
+    /// Ports from the (ANSI or non-ANSI) port list.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), params: Vec::new(), ports: Vec::new(), items: Vec::new() }
+    }
+}
+
+/// A single `parameter`/`localparam` binding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// Optional `[msb:lsb]` range on the parameter.
+    pub range: Option<Range>,
+    /// Parameter name.
+    pub name: String,
+    /// Default / bound value.
+    pub value: Expr,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl Direction {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::Input => "input",
+            Direction::Output => "output",
+            Direction::Inout => "inout",
+        }
+    }
+}
+
+/// Net kind attached to a port or declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// One entry of a module port list.
+///
+/// For non-ANSI headers (`module m(a, b);` with directions declared in the
+/// body) only `name` is populated and `dir` is `None`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Direction, if declared in the header (ANSI style).
+    pub dir: Option<Direction>,
+    /// `wire`/`reg` qualifier, if present.
+    pub net: Option<NetKind>,
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional `[msb:lsb]` range.
+    pub range: Option<Range>,
+    /// Port name.
+    pub name: String,
+}
+
+impl Port {
+    /// An ANSI port with the given direction and optional range.
+    pub fn ansi(dir: Direction, range: Option<Range>, name: impl Into<String>) -> Self {
+        Self { dir: Some(dir), net: None, signed: false, range, name: name.into() }
+    }
+}
+
+/// A `[msb:lsb]` range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range {
+    /// Most-significant bound expression.
+    pub msb: Expr,
+    /// Least-significant bound expression.
+    pub lsb: Expr,
+}
+
+impl Range {
+    /// Builds a constant `[msb:lsb]` range.
+    pub fn constant(msb: u64, lsb: u64) -> Self {
+        Self { msb: Expr::unsized_dec(msb), lsb: Expr::unsized_dec(lsb) }
+    }
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Item {
+    /// `wire [..] a = e, b;`
+    Net(NetDecl),
+    /// `reg [..] a, mem [0:15];`
+    Reg(RegDecl),
+    /// `integer i, j;`
+    Integer(Vec<String>),
+    /// `genvar i;`
+    Genvar(Vec<String>),
+    /// `parameter P = 1, Q = 2;`
+    Param(Vec<ParamDecl>),
+    /// `localparam P = 1;`
+    Localparam(Vec<ParamDecl>),
+    /// `assign a = e, b = f;`
+    Assign(Vec<(LValue, Expr)>),
+    /// `always @(...) stmt`
+    Always(AlwaysBlock),
+    /// `initial stmt`
+    Initial(Stmt),
+    /// `adder #(.W(4)) u0 (.a(x), .b(y));`
+    Instance(Instance),
+    /// Non-ANSI port declaration in the body: `input [3:0] a, b;`
+    PortDecl(PortDecl),
+}
+
+/// Non-ANSI port direction declaration inside the module body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortDecl {
+    /// Declared direction.
+    pub dir: Direction,
+    /// Optional net kind (`output reg ...`).
+    pub net: Option<NetKind>,
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional range shared by all names.
+    pub range: Option<Range>,
+    /// Declared names.
+    pub names: Vec<String>,
+}
+
+/// `wire` declaration, possibly with inline continuous assignments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetDecl {
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional range shared by all nets.
+    pub range: Option<Range>,
+    /// `(name, optional initializer)` pairs.
+    pub nets: Vec<(String, Option<Expr>)>,
+}
+
+/// `reg` declaration; each variable may carry a memory dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegDecl {
+    /// Whether declared `signed`.
+    pub signed: bool,
+    /// Optional element range shared by all variables.
+    pub range: Option<Range>,
+    /// Declared variables.
+    pub regs: Vec<RegVar>,
+}
+
+/// One variable inside a [`RegDecl`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegVar {
+    /// Variable name.
+    pub name: String,
+    /// Memory dimension (`reg [7:0] mem [0:15]`), if any.
+    pub mem: Option<Range>,
+    /// Optional initializer (`reg r = 0;`).
+    pub init: Option<Expr>,
+}
+
+impl RegVar {
+    /// A plain scalar/vector reg without memory dimension or initializer.
+    pub fn simple(name: impl Into<String>) -> Self {
+        Self { name: name.into(), mem: None, init: None }
+    }
+}
+
+/// An `always` process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlwaysBlock {
+    /// The sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// Process body.
+    pub body: Stmt,
+}
+
+/// Sensitivity of an `always` process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// `@*` or `@(*)` — combinational.
+    Star,
+    /// `@(posedge clk or negedge rst_n or a)` — explicit list.
+    List(Vec<EventExpr>),
+}
+
+/// One entry in an explicit sensitivity list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventExpr {
+    /// Edge qualifier, if any.
+    pub edge: Option<Edge>,
+    /// The watched signal.
+    pub signal: String,
+}
+
+/// Clock/reset edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// A module instantiation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Instantiated module name.
+    pub module: String,
+    /// Parameter overrides from `#(...)`.
+    pub params: Vec<Connection>,
+    /// Instance name.
+    pub name: String,
+    /// Port connections.
+    pub conns: Vec<Connection>,
+}
+
+/// A port or parameter connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connection {
+    /// Positional connection.
+    Ordered(Expr),
+    /// `.port(expr)`; `None` expression means explicitly unconnected.
+    Named(String, Option<Expr>),
+}
+
+/// A behavioral statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `begin [: label] ... end`
+    Block {
+        /// Optional block label.
+        label: Option<String>,
+        /// Statements in order.
+        stmts: Vec<Stmt>,
+    },
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case/casez/casex (expr) ... endcase`
+    Case {
+        /// Which case flavor.
+        kind: CaseKind,
+        /// Scrutinee expression.
+        scrutinee: Expr,
+        /// Non-default arms, in order.
+        arms: Vec<CaseArm>,
+        /// Optional `default:` body.
+        default: Option<Box<Stmt>>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Loop initialization (a blocking assignment).
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop step (a blocking assignment).
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `repeat (count) body`
+    Repeat {
+        /// Iteration count.
+        count: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `lhs = rhs;`
+    Blocking {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned expression.
+        rhs: Expr,
+    },
+    /// `lhs <= rhs;`
+    NonBlocking {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned expression.
+        rhs: Expr,
+    },
+    /// A lone `;`.
+    Null,
+}
+
+impl Stmt {
+    /// Whether this statement's trailing position is an `if` with no
+    /// `else`, which would capture a following `else` when printed
+    /// without braces (the dangling-else ambiguity).
+    pub fn has_dangling_if_tail(&self) -> bool {
+        match self {
+            Stmt::If { else_branch: None, .. } => true,
+            Stmt::If { else_branch: Some(e), .. } => e.has_dangling_if_tail(),
+            Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. } => {
+                body.has_dangling_if_tail()
+            }
+            _ => false,
+        }
+    }
+
+    /// Structural normalization: unlabeled `begin/end` wrapping a single
+    /// statement is replaced by that statement. Used to compare ASTs
+    /// modulo the braces a printer may legally insert.
+    pub fn normalized(&self) -> Stmt {
+        match self {
+            Stmt::Block { label: None, stmts } if stmts.len() == 1 => stmts[0].normalized(),
+            Stmt::Block { label, stmts } => Stmt::Block {
+                label: label.clone(),
+                stmts: stmts.iter().map(Stmt::normalized).collect(),
+            },
+            Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+                cond: cond.clone(),
+                then_branch: Box::new(then_branch.normalized()),
+                else_branch: else_branch.as_ref().map(|e| Box::new(e.normalized())),
+            },
+            Stmt::Case { kind, scrutinee, arms, default } => Stmt::Case {
+                kind: *kind,
+                scrutinee: scrutinee.clone(),
+                arms: arms
+                    .iter()
+                    .map(|a| CaseArm { labels: a.labels.clone(), body: a.body.normalized() })
+                    .collect(),
+                default: default.as_ref().map(|d| Box::new(d.normalized())),
+            },
+            Stmt::For { init, cond, step, body } => Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(body.normalized()),
+            },
+            Stmt::While { cond, body } => {
+                Stmt::While { cond: cond.clone(), body: Box::new(body.normalized()) }
+            }
+            Stmt::Repeat { count, body } => {
+                Stmt::Repeat { count: count.clone(), body: Box::new(body.normalized()) }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl Module {
+    /// Normalizes every statement in the module; see [`Stmt::normalized`].
+    pub fn normalized(&self) -> Module {
+        let mut m = self.clone();
+        for item in &mut m.items {
+            match item {
+                Item::Always(ab) => ab.body = ab.body.normalized(),
+                Item::Initial(body) => *body = body.normalized(),
+                _ => {}
+            }
+        }
+        m
+    }
+}
+
+impl SourceFile {
+    /// Normalizes every module; see [`Stmt::normalized`].
+    pub fn normalized(&self) -> SourceFile {
+        SourceFile { modules: self.modules.iter().map(Module::normalized).collect() }
+    }
+}
+
+/// Flavor of a `case` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseKind {
+    /// `case` — exact match.
+    Case,
+    /// `casez` — `z`/`?` bits are wildcards.
+    Casez,
+    /// `casex` — `x`/`z`/`?` bits are wildcards.
+    Casex,
+}
+
+impl CaseKind {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CaseKind::Case => "case",
+            CaseKind::Casez => "casez",
+            CaseKind::Casex => "casex",
+        }
+    }
+}
+
+/// One non-default arm of a `case` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// Comma-separated match labels.
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValue {
+    /// `name`
+    Ident(String),
+    /// `name[idx]` — bit select or memory element.
+    Bit(String, Box<Expr>),
+    /// `name[msb:lsb]`
+    Part(String, Box<Range>),
+    /// `name[base +: width]` / `name[base -: width]`
+    IndexedPart {
+        /// Target name.
+        name: String,
+        /// Base index expression.
+        base: Box<Expr>,
+        /// Width expression (must elaborate to a constant).
+        width: Box<Expr>,
+        /// `true` for `+:`, `false` for `-:`.
+        ascending: bool,
+    },
+    /// `{a, b[0], c[3:1]}`
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// The identifiers written by this l-value, in order.
+    pub fn written_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(n) | LValue::Bit(n, _) | LValue::Part(n, _) => vec![n.as_str()],
+            LValue::IndexedPart { name, .. } => vec![name.as_str()],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.written_names()).collect(),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants mirror the Verilog operators one-to-one
+pub enum UnaryOp {
+    Plus,
+    Minus,
+    Not,      // !
+    BitNot,   // ~
+    RedAnd,   // &
+    RedOr,    // |
+    RedXor,   // ^
+    RedNand,  // ~&
+    RedNor,   // ~|
+    RedXnor,  // ~^
+}
+
+impl UnaryOp {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Plus => "+",
+            Minus => "-",
+            Not => "!",
+            BitNot => "~",
+            RedAnd => "&",
+            RedOr => "|",
+            RedXor => "^",
+            RedNand => "~&",
+            RedNor => "~|",
+            RedXnor => "~^",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants mirror the Verilog operators one-to-one
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Shl,
+    Shr,
+    AShl,
+    AShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    CaseEq,
+    CaseNe,
+    BitAnd,
+    BitOr,
+    BitXor,
+    BitXnor,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Pow => "**",
+            Shl => "<<",
+            Shr => ">>",
+            AShl => "<<<",
+            AShr => ">>>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            CaseEq => "===",
+            CaseNe => "!==",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            BitXnor => "~^",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    /// Binding power for the pretty-printer and parser; higher binds tighter.
+    pub fn precedence(&self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            LogOr => 1,
+            LogAnd => 2,
+            BitOr => 3,
+            BitXor | BitXnor => 4,
+            BitAnd => 5,
+            Eq | Ne | CaseEq | CaseNe => 6,
+            Lt | Le | Gt | Ge => 7,
+            Shl | Shr | AShl | AShr => 8,
+            Add | Sub => 9,
+            Mul | Div | Mod => 10,
+            Pow => 11,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A numeric literal.
+    Number(Literal),
+    /// A plain identifier reference.
+    Ident(String),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `name[idx]` — bit select or memory read.
+    Bit(String, Box<Expr>),
+    /// `name[msb:lsb]`
+    Part(String, Box<Range>),
+    /// `name[base +: w]` / `name[base -: w]`
+    IndexedPart {
+        /// Selected name.
+        name: String,
+        /// Base index expression.
+        base: Box<Expr>,
+        /// Constant width expression.
+        width: Box<Expr>,
+        /// `true` for `+:`.
+        ascending: bool,
+    },
+    /// `{a, b, c}`
+    Concat(Vec<Expr>),
+    /// `{n{a, b}}`
+    Repeat(Box<Expr>, Vec<Expr>),
+    /// `$signed(e)`, `$unsigned(e)`, …
+    SysCall(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Unsized decimal literal helper (`42`).
+    pub fn unsized_dec(v: u64) -> Expr {
+        Expr::Number(Literal::unsized_dec(v))
+    }
+
+    /// Identifier helper.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Collects every identifier read by this expression into `out`.
+    pub fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Number(_) => {}
+            Expr::Ident(n) => out.push(n),
+            Expr::Unary(_, e) => e.collect_idents(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_idents(out);
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Bit(n, i) => {
+                out.push(n);
+                i.collect_idents(out);
+            }
+            Expr::Part(n, r) => {
+                out.push(n);
+                r.msb.collect_idents(out);
+                r.lsb.collect_idents(out);
+            }
+            Expr::IndexedPart { name, base, width, .. } => {
+                out.push(name);
+                base.collect_idents(out);
+                width.collect_idents(out);
+            }
+            Expr::Concat(es) => {
+                for e in es {
+                    e.collect_idents(out);
+                }
+            }
+            Expr::Repeat(n, es) => {
+                n.collect_idents(out);
+                for e in es {
+                    e.collect_idents(out);
+                }
+            }
+            Expr::SysCall(_, es) => {
+                for e in es {
+                    e.collect_idents(out);
+                }
+            }
+        }
+    }
+}
+
+/// Numeric literal base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Base {
+    /// Binary (`'b`).
+    Bin,
+    /// Octal (`'o`).
+    Oct,
+    /// Decimal (`'d`, or a bare integer).
+    Dec,
+    /// Hexadecimal (`'h`).
+    Hex,
+}
+
+impl Base {
+    /// Base letter used in source text.
+    pub fn letter(&self) -> char {
+        match self {
+            Base::Bin => 'b',
+            Base::Oct => 'o',
+            Base::Dec => 'd',
+            Base::Hex => 'h',
+        }
+    }
+
+    /// Bits conveyed per digit (decimal handled separately).
+    fn bits_per_digit(&self) -> u32 {
+        match self {
+            Base::Bin => 1,
+            Base::Oct => 3,
+            Base::Hex => 4,
+            Base::Dec => 0,
+        }
+    }
+}
+
+/// A numeric literal with optional size, sign marker, and x/z digits.
+///
+/// Values wider than 64 bits are rejected at parse time; the VeriSpec
+/// subset works on ≤64-bit vectors throughout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Declared width in bits (`8'hFF` → 8), or `None` if unsized.
+    pub width: Option<u32>,
+    /// Whether spelled with the `s` marker (`4'sd3`).
+    pub signed: bool,
+    /// Spelled base; bare integers are `Dec` with `width == None`.
+    pub base: Base,
+    /// Two-state value bits (x/z positions are zero here).
+    pub value: u64,
+    /// Mask of `x` digit bit positions.
+    pub x_mask: u64,
+    /// Mask of `z`/`?` digit bit positions.
+    pub z_mask: u64,
+}
+
+impl Literal {
+    /// Unsized decimal literal.
+    pub fn unsized_dec(v: u64) -> Self {
+        Self { width: None, signed: false, base: Base::Dec, value: v, x_mask: 0, z_mask: 0 }
+    }
+
+    /// Sized literal with the given base and two-state value.
+    pub fn sized(width: u32, base: Base, value: u64) -> Self {
+        Self { width: Some(width), signed: false, base, value, x_mask: 0, z_mask: 0 }
+    }
+
+    /// Whether any digit is `x` or `z`.
+    pub fn has_xz(&self) -> bool {
+        self.x_mask != 0 || self.z_mask != 0
+    }
+
+    /// Effective width used for evaluation (32 for unsized, per the LRM's
+    /// minimum integer width convention).
+    pub fn effective_width(&self) -> u32 {
+        self.width.unwrap_or(32)
+    }
+
+    /// Parses a raw literal spelling as produced by the lexer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for widths above 64, values that do not fit, digits
+    /// invalid for the base, or `x`/`z` digits in decimal literals.
+    pub fn parse(raw: &str, span: Span) -> Result<Literal> {
+        match raw.find('\'') {
+            None => {
+                let clean: String = raw.chars().filter(|c| *c != '_').collect();
+                let value = clean
+                    .parse::<u64>()
+                    .map_err(|_| Error::new(span, format!("decimal literal `{raw}` overflows 64 bits")))?;
+                Ok(Literal::unsized_dec(value))
+            }
+            Some(tick) => {
+                let width = if tick == 0 {
+                    None
+                } else {
+                    let w: String = raw[..tick].chars().filter(|c| *c != '_').collect();
+                    let w = w
+                        .parse::<u32>()
+                        .map_err(|_| Error::new(span, format!("bad literal width in `{raw}`")))?;
+                    if w == 0 || w > 64 {
+                        return Err(Error::new(
+                            span,
+                            format!("literal width {w} outside supported range 1..=64"),
+                        ));
+                    }
+                    Some(w)
+                };
+                let mut rest = &raw[tick + 1..];
+                let mut signed = false;
+                if rest.starts_with(['s', 'S']) {
+                    signed = true;
+                    rest = &rest[1..];
+                }
+                let base_ch = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::new(span, format!("truncated literal `{raw}`")))?;
+                let base = match base_ch.to_ascii_lowercase() {
+                    'b' => Base::Bin,
+                    'o' => Base::Oct,
+                    'd' => Base::Dec,
+                    'h' => Base::Hex,
+                    other => {
+                        return Err(Error::new(span, format!("invalid base `{other}` in `{raw}`")))
+                    }
+                };
+                let digits = &rest[1..];
+                Self::parse_digits(width, signed, base, digits, raw, span)
+            }
+        }
+    }
+
+    fn parse_digits(
+        width: Option<u32>,
+        signed: bool,
+        base: Base,
+        digits: &str,
+        raw: &str,
+        span: Span,
+    ) -> Result<Literal> {
+        let mut value: u64 = 0;
+        let mut x_mask: u64 = 0;
+        let mut z_mask: u64 = 0;
+        if base == Base::Dec {
+            let clean: String = digits.chars().filter(|c| *c != '_').collect();
+            if clean.chars().any(|c| matches!(c.to_ascii_lowercase(), 'x' | 'z' | '?')) {
+                return Err(Error::new(span, format!("x/z digits unsupported in decimal `{raw}`")));
+            }
+            value = clean
+                .parse::<u64>()
+                .map_err(|_| Error::new(span, format!("decimal literal `{raw}` overflows 64 bits")))?;
+        } else {
+            let bpd = base.bits_per_digit();
+            let digit_mask = (1u64 << bpd) - 1;
+            let mut n_digits = 0u32;
+            for ch in digits.chars() {
+                if ch == '_' {
+                    continue;
+                }
+                n_digits += 1;
+                if n_digits * bpd > 64 {
+                    return Err(Error::new(span, format!("literal `{raw}` exceeds 64 bits")));
+                }
+                value <<= bpd;
+                x_mask <<= bpd;
+                z_mask <<= bpd;
+                match ch.to_ascii_lowercase() {
+                    'x' => x_mask |= digit_mask,
+                    'z' | '?' => z_mask |= digit_mask,
+                    c => {
+                        let d = c
+                            .to_digit(16)
+                            .filter(|d| *d < (1 << bpd))
+                            .ok_or_else(|| {
+                                Error::new(span, format!("digit `{c}` invalid for base in `{raw}`"))
+                            })?;
+                        value |= d as u64;
+                    }
+                }
+            }
+            if n_digits == 0 {
+                return Err(Error::new(span, format!("literal `{raw}` has no digits")));
+            }
+        }
+        if let Some(w) = width {
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            value &= mask;
+            x_mask &= mask;
+            z_mask &= mask;
+        }
+        Ok(Literal { width, signed, base, value, x_mask, z_mask })
+    }
+
+    /// Canonical source spelling. `?` digits are emitted as `z`.
+    pub fn to_source(&self) -> String {
+        match (self.width, self.base) {
+            (None, Base::Dec) if !self.signed => format!("{}", self.value),
+            _ => {
+                let w = self.width.map(|w| w.to_string()).unwrap_or_default();
+                let s = if self.signed { "s" } else { "" };
+                let b = self.base.letter();
+                format!("{w}'{s}{b}{}", self.digits_to_source())
+            }
+        }
+    }
+
+    fn digits_to_source(&self) -> String {
+        if self.base == Base::Dec {
+            return format!("{}", self.value);
+        }
+        let bpd = self.base.bits_per_digit();
+        // Sized literals print their full declared width (leading zeros
+        // kept); unsized ones print the minimal digits covering the value.
+        let n_digits = match self.width {
+            Some(w) => w.div_ceil(bpd).max(1),
+            None => {
+                let all = self.value | self.x_mask | self.z_mask;
+                let used_bits = (64 - all.leading_zeros()).max(1);
+                used_bits.div_ceil(bpd)
+            }
+        };
+        let mut out = String::new();
+        for i in (0..n_digits).rev() {
+            let shift = i * bpd;
+            let digit_mask = ((1u64 << bpd) - 1) << shift;
+            if self.x_mask & digit_mask != 0 {
+                out.push('x');
+            } else if self.z_mask & digit_mask != 0 {
+                out.push('z');
+            } else {
+                let d = (self.value & digit_mask) >> shift;
+                out.push(char::from_digit(d as u32, 16).expect("digit in range"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(raw: &str) -> Literal {
+        Literal::parse(raw, Span::point(0)).expect("parse literal")
+    }
+
+    #[test]
+    fn parses_bare_decimal() {
+        let l = lit("42");
+        assert_eq!(l.value, 42);
+        assert_eq!(l.width, None);
+        assert_eq!(l.base, Base::Dec);
+        assert_eq!(l.to_source(), "42");
+    }
+
+    #[test]
+    fn parses_sized_binary() {
+        let l = lit("4'b1010");
+        assert_eq!(l.width, Some(4));
+        assert_eq!(l.value, 0b1010);
+        assert_eq!(l.to_source(), "4'b1010");
+    }
+
+    #[test]
+    fn parses_hex_with_underscores() {
+        let l = lit("16'hDE_AD");
+        assert_eq!(l.value, 0xDEAD);
+        assert_eq!(l.to_source(), "16'hdead");
+    }
+
+    #[test]
+    fn parses_signed_literal() {
+        let l = lit("4'sd3");
+        assert!(l.signed);
+        assert_eq!(l.value, 3);
+        assert_eq!(l.to_source(), "4'sd3");
+    }
+
+    #[test]
+    fn parses_x_and_z_digits() {
+        let l = lit("4'b1x0z");
+        assert_eq!(l.value, 0b1000);
+        assert_eq!(l.x_mask, 0b0100);
+        assert_eq!(l.z_mask, 0b0001);
+        assert_eq!(l.to_source(), "4'b1x0z");
+    }
+
+    #[test]
+    fn question_mark_becomes_z() {
+        let l = lit("3'b1?1");
+        assert_eq!(l.z_mask, 0b010);
+        assert_eq!(l.to_source(), "3'b1z1");
+        // Round trip is stable.
+        assert_eq!(lit(&l.to_source()), l);
+    }
+
+    #[test]
+    fn rejects_oversized_width() {
+        assert!(Literal::parse("65'h0", Span::point(0)).is_err());
+        assert!(Literal::parse("0'b0", Span::point(0)).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_hex() {
+        assert!(Literal::parse("'hFFFF_FFFF_FFFF_FFFF_F", Span::point(0)).is_err());
+    }
+
+    #[test]
+    fn width_masks_value() {
+        let l = lit("4'hFF");
+        assert_eq!(l.value, 0xF);
+    }
+
+    #[test]
+    fn hex_round_trip_values() {
+        for raw in ["8'hff", "8'h0f", "12'o777", "1'b1", "64'hffff_ffff_ffff_ffff"] {
+            let l = lit(raw);
+            let printed = l.to_source();
+            assert_eq!(lit(&printed), l, "round trip {raw} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn collect_idents_walks_everything() {
+        let e = Expr::Ternary(
+            Box::new(Expr::ident("sel")),
+            Box::new(Expr::Bit("a".into(), Box::new(Expr::ident("i")))),
+            Box::new(Expr::Concat(vec![Expr::ident("b"), Expr::ident("c")])),
+        );
+        let mut ids = Vec::new();
+        e.collect_idents(&mut ids);
+        assert_eq!(ids, vec!["sel", "a", "i", "b", "c"]);
+    }
+
+    #[test]
+    fn written_names_of_concat_lvalue() {
+        let lv = LValue::Concat(vec![
+            LValue::Ident("hi".into()),
+            LValue::Bit("lo".into(), Box::new(Expr::unsized_dec(0))),
+        ]);
+        assert_eq!(lv.written_names(), vec!["hi", "lo"]);
+    }
+}

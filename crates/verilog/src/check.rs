@@ -1,0 +1,136 @@
+//! Syntax checking and corpus-filter helpers (paper §III-A).
+//!
+//! The dataset pipeline retains only files that pass the parser's syntax
+//! check and drops files without a complete `module`/`endmodule` structure
+//! or consisting mostly of comments.
+
+use crate::lexer::lex_full;
+use crate::parser::parse;
+use crate::token::Keyword;
+use crate::{Result, SourceFile, TokenKind};
+
+/// Parses `src`, returning the AST on success.
+///
+/// This is the VeriSpec equivalent of the paper's "Stagira parser syntax
+/// check": code that parses is *cleaned code*; code that does not is
+/// dropped from the corpus (and counted as a syntax failure during
+/// evaluation).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn syntax_check(src: &str) -> Result<SourceFile> {
+    parse(src)
+}
+
+/// Quick structural filter: balanced `module`/`endmodule` pairs, at least
+/// one of them, and no text after the final `endmodule` other than
+/// whitespace or comments.
+///
+/// This runs before full parsing so obviously truncated files are
+/// rejected cheaply, mirroring the paper's "filter out files lacking
+/// complete `module` and `endmodule` structures".
+pub fn structure_ok(src: &str) -> bool {
+    let Ok(out) = lex_full(src) else { return false };
+    let mut depth = 0i32;
+    let mut pairs = 0usize;
+    let mut after_last = false;
+    for t in &out.tokens {
+        match &t.kind {
+            TokenKind::Keyword(Keyword::Module) => {
+                if depth > 0 {
+                    return false; // nested module
+                }
+                depth += 1;
+                after_last = false;
+            }
+            TokenKind::Keyword(Keyword::Endmodule) => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+                pairs += 1;
+                after_last = true;
+            }
+            TokenKind::Eof => break,
+            _ => {
+                if after_last && depth == 0 {
+                    return false; // trailing junk after final endmodule
+                }
+                if depth == 0 {
+                    return false; // tokens before any module
+                }
+            }
+        }
+    }
+    depth == 0 && pairs > 0
+}
+
+/// Fraction of the input occupied by comments, in `[0, 1]`.
+///
+/// Files above a threshold (the pipeline uses 0.8) are dropped as
+/// "primarily consisting of comments". Returns 1.0 for unlexable input so
+/// such files are filtered as well.
+pub fn comment_ratio(src: &str) -> f64 {
+    match lex_full(src) {
+        Ok(out) => out.comment_ratio(),
+        Err(_) => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_module() {
+        assert!(syntax_check("module m(input a, output y); assign y = a; endmodule").is_ok());
+        assert!(structure_ok("module m(input a, output y); assign y = a; endmodule"));
+    }
+
+    #[test]
+    fn rejects_truncated_module() {
+        assert!(syntax_check("module m(input a, output y); assign y = a;").is_err());
+        assert!(!structure_ok("module m(input a, output y); assign y = a;"));
+    }
+
+    #[test]
+    fn rejects_trailing_junk() {
+        assert!(!structure_ok("module m(); endmodule garbage"));
+    }
+
+    #[test]
+    fn rejects_tokens_before_module() {
+        assert!(!structure_ok("wire x; module m(); endmodule"));
+    }
+
+    #[test]
+    fn rejects_nested_modules() {
+        assert!(!structure_ok("module a(); module b(); endmodule endmodule"));
+    }
+
+    #[test]
+    fn accepts_multiple_sequential_modules() {
+        assert!(structure_ok(
+            "module a(); endmodule\nmodule b(); endmodule"
+        ));
+    }
+
+    #[test]
+    fn comment_ratio_bounds() {
+        assert_eq!(comment_ratio(""), 0.0);
+        assert!(comment_ratio("// all comment") > 0.9);
+        let r = comment_ratio("module m(); endmodule // note");
+        assert!(r > 0.0 && r < 0.5);
+    }
+
+    #[test]
+    fn unlexable_input_counts_as_all_comment() {
+        assert_eq!(comment_ratio("module /* unterminated"), 1.0);
+    }
+
+    #[test]
+    fn structure_ok_allows_comments_after_endmodule() {
+        assert!(structure_ok("module m(); endmodule // done"));
+    }
+}

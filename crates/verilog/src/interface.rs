@@ -1,0 +1,310 @@
+//! Module interface summaries: resolved port directions and widths.
+//!
+//! This is the front-end-only view of what a testbench needs to know to
+//! instantiate a module — the same information `verispec-sim`'s
+//! elaborator computes, but available without building an executable
+//! design (useful for corpus statistics, prompt construction, and
+//! external tooling). Widths are resolved through `parameter` /
+//! `localparam` bindings with constant expressions; non-constant ranges
+//! yield [`PortWidth::Unresolved`].
+
+use crate::ast::{Direction, Expr, Item, Module, NetKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The width of a summarized port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortWidth {
+    /// Resolved to a constant bit count.
+    Bits(u32),
+    /// Range depends on something the front end cannot fold.
+    Unresolved,
+}
+
+impl PortWidth {
+    /// The bit count, if resolved.
+    pub fn bits(&self) -> Option<u32> {
+        match self {
+            PortWidth::Bits(b) => Some(*b),
+            PortWidth::Unresolved => None,
+        }
+    }
+}
+
+/// One summarized port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortInfo {
+    /// Port name.
+    pub name: String,
+    /// Declared direction.
+    pub dir: Direction,
+    /// Resolved width.
+    pub width: PortWidth,
+    /// Whether declared as `reg`.
+    pub is_reg: bool,
+    /// Whether declared `signed`.
+    pub signed: bool,
+}
+
+/// A module's interface summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceSummary {
+    /// Module name.
+    pub module: String,
+    /// Ports in declaration order (ANSI and non-ANSI merged).
+    pub ports: Vec<PortInfo>,
+}
+
+impl InterfaceSummary {
+    /// Ports with the given direction.
+    pub fn by_dir(&self, dir: Direction) -> impl Iterator<Item = &PortInfo> {
+        self.ports.iter().filter(move |p| p.dir == dir)
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortInfo> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Likely clock inputs (1-bit inputs named like clocks).
+    pub fn clock_candidates(&self) -> Vec<&str> {
+        self.by_dir(Direction::Input)
+            .filter(|p| p.width == PortWidth::Bits(1))
+            .filter(|p| {
+                let n = p.name.to_ascii_lowercase();
+                n == "clk" || n == "clock" || n.starts_with("clk_") || n.ends_with("_clk")
+            })
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+}
+
+/// Summarizes a module's interface; see the module docs.
+///
+/// # Errors
+///
+/// Returns an error message if a port in the list never receives a
+/// direction (a non-ANSI port with no body declaration).
+pub fn summarize_interface(module: &Module) -> Result<InterfaceSummary, String> {
+    // Constant environment from parameters/localparams (best effort).
+    let mut env: HashMap<&str, u64> = HashMap::new();
+    for p in &module.params {
+        if let Some(v) = const_fold(&p.value, &env) {
+            env.insert(&p.name, v);
+        }
+    }
+    for item in &module.items {
+        if let Item::Param(decls) | Item::Localparam(decls) = item {
+            for d in decls {
+                if let Some(v) = const_fold(&d.value, &env) {
+                    env.insert(&d.name, v);
+                }
+            }
+        }
+    }
+
+    // Merge header ports with body PortDecls.
+    struct Acc {
+        dir: Option<Direction>,
+        width: PortWidth,
+        is_reg: bool,
+        signed: bool,
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut acc: HashMap<&str, Acc> = HashMap::new();
+    for p in &module.ports {
+        order.push(&p.name);
+        let width = match &p.range {
+            None => PortWidth::Bits(1),
+            Some(r) => range_width(&r.msb, &r.lsb, &env),
+        };
+        acc.insert(
+            &p.name,
+            Acc {
+                dir: p.dir,
+                width,
+                is_reg: p.net == Some(NetKind::Reg),
+                signed: p.signed,
+            },
+        );
+    }
+    for item in &module.items {
+        match item {
+            Item::PortDecl(pd) => {
+                for name in &pd.names {
+                    if let Some(a) = acc.get_mut(name.as_str()) {
+                        a.dir = Some(pd.dir);
+                        if pd.net == Some(NetKind::Reg) {
+                            a.is_reg = true;
+                        }
+                        a.signed |= pd.signed;
+                        if let Some(r) = &pd.range {
+                            a.width = range_width(&r.msb, &r.lsb, &env);
+                        }
+                    }
+                }
+            }
+            Item::Reg(rd) => {
+                for rv in &rd.regs {
+                    if let Some(a) = acc.get_mut(rv.name.as_str()) {
+                        a.is_reg = true;
+                        if let Some(r) = &rd.range {
+                            a.width = range_width(&r.msb, &r.lsb, &env);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut ports = Vec::with_capacity(order.len());
+    for name in order {
+        let a = &acc[name];
+        let dir = a
+            .dir
+            .ok_or_else(|| format!("port `{name}` has no direction declaration"))?;
+        ports.push(PortInfo {
+            name: name.to_string(),
+            dir,
+            width: a.width,
+            is_reg: a.is_reg,
+            signed: a.signed,
+        });
+    }
+    Ok(InterfaceSummary { module: module.name.clone(), ports })
+}
+
+fn range_width(msb: &Expr, lsb: &Expr, env: &HashMap<&str, u64>) -> PortWidth {
+    match (const_fold(msb, env), const_fold(lsb, env)) {
+        (Some(m), Some(l)) => {
+            let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+            let w = hi - lo + 1;
+            if (1..=64).contains(&w) {
+                PortWidth::Bits(w as u32)
+            } else {
+                PortWidth::Unresolved
+            }
+        }
+        _ => PortWidth::Unresolved,
+    }
+}
+
+/// Best-effort constant folding over the expression subset used in port
+/// ranges (`W-1`, `2*SIZE-1`, literals, parameters).
+fn const_fold(e: &Expr, env: &HashMap<&str, u64>) -> Option<u64> {
+    use crate::ast::BinaryOp::*;
+    match e {
+        Expr::Number(l) => (!l.has_xz()).then_some(l.value),
+        Expr::Ident(n) => env.get(n.as_str()).copied(),
+        Expr::Binary(op, a, b) => {
+            let x = const_fold(a, env)?;
+            let y = const_fold(b, env)?;
+            Some(match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => x.checked_div(y)?,
+                Mod => x.checked_rem(y)?,
+                Shl => x.checked_shl(y.min(63) as u32)?,
+                Shr => x >> y.min(63),
+                _ => return None,
+            })
+        }
+        Expr::Unary(crate::ast::UnaryOp::Plus, a) => const_fold(a, env),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn summary(src: &str) -> InterfaceSummary {
+        let f = parse(src).expect("parse");
+        summarize_interface(&f.modules[0]).expect("summary")
+    }
+
+    #[test]
+    fn ansi_ports_with_widths() {
+        let s = summary(
+            "module m(input clk, input [7:0] d, output reg [3:0] q, output signed [1:0] z);
+             endmodule",
+        );
+        assert_eq!(s.module, "m");
+        assert_eq!(s.port("clk").expect("clk").width, PortWidth::Bits(1));
+        assert_eq!(s.port("d").expect("d").width, PortWidth::Bits(8));
+        let q = s.port("q").expect("q");
+        assert!(q.is_reg);
+        assert_eq!(q.dir, Direction::Output);
+        assert!(s.port("z").expect("z").signed);
+    }
+
+    #[test]
+    fn parameterized_widths_resolve() {
+        let s = summary(
+            "module p #(parameter W = 8, D = 2)(input [W-1:0] a, output [W*D-1:0] y);
+             endmodule",
+        );
+        assert_eq!(s.port("a").expect("a").width, PortWidth::Bits(8));
+        assert_eq!(s.port("y").expect("y").width, PortWidth::Bits(16));
+    }
+
+    #[test]
+    fn localparam_derived_width() {
+        let s = summary(
+            "module lp(input [HALF-1:0] a, output y);
+               localparam FULL = 8;
+               localparam HALF = FULL / 2;
+               assign y = a[0];
+             endmodule",
+        );
+        // HALF is declared after use in source order but parameters are
+        // folded before ports are resolved... localparams come from the
+        // body scan, which runs before resolution too.
+        assert_eq!(s.port("a").expect("a").width, PortWidth::Bits(4));
+    }
+
+    #[test]
+    fn non_ansi_merge() {
+        let s = summary(
+            "module n(a, b, q);
+               input a, b;
+               output q;
+               reg q;
+               assign a_unused = 0;
+             endmodule",
+        );
+        assert_eq!(s.port("a").expect("a").dir, Direction::Input);
+        let q = s.port("q").expect("q");
+        assert_eq!(q.dir, Direction::Output);
+        assert!(q.is_reg, "body reg declaration upgrades the port");
+    }
+
+    #[test]
+    fn missing_direction_is_error() {
+        let f = parse("module bad(a); endmodule").expect("parse");
+        assert!(summarize_interface(&f.modules[0]).is_err());
+    }
+
+    #[test]
+    fn unresolved_width_reported() {
+        let s = summary("module u #(parameter W = 4)(input [W+X:0] a, output y); endmodule");
+        assert_eq!(s.port("a").expect("a").width, PortWidth::Unresolved);
+        assert!(s.port("a").expect("a").width.bits().is_none());
+    }
+
+    #[test]
+    fn clock_candidates_heuristic() {
+        let s = summary(
+            "module c(input clk, input sys_clk, input [1:0] clk_bus, input data, output y);
+             endmodule",
+        );
+        let clocks = s.clock_candidates();
+        assert!(clocks.contains(&"clk"));
+        assert!(clocks.contains(&"sys_clk"));
+        assert!(!clocks.contains(&"clk_bus"), "multi-bit signals are not clocks");
+        assert!(!clocks.contains(&"data"));
+    }
+}

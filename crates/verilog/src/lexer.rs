@@ -1,0 +1,448 @@
+//! Hand-written lexer for the Verilog subset.
+//!
+//! The lexer skips whitespace and comments but records how many bytes of
+//! comment text it saw, which the dataset pipeline uses to filter files
+//! that "primarily consist of comments" (paper §III-A).
+
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+use crate::{Error, Result};
+
+/// Output of [`lex_full`]: the token stream plus comment statistics.
+#[derive(Debug, Clone)]
+pub struct LexOutput {
+    /// All tokens in source order, terminated by a single `Eof` token.
+    pub tokens: Vec<Token>,
+    /// Total bytes of comment text (both `//` and `/* */`).
+    pub comment_bytes: usize,
+    /// Total bytes in the input.
+    pub total_bytes: usize,
+}
+
+impl LexOutput {
+    /// Fraction of the input occupied by comments, in `[0, 1]`.
+    pub fn comment_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.comment_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Lexes `src` into tokens, discarding comment statistics.
+///
+/// # Errors
+///
+/// Returns an error on unterminated block comments or strings, malformed
+/// based literals, and bytes that are not part of the Verilog subset.
+///
+/// # Examples
+///
+/// ```
+/// use verispec_verilog::{lex, TokenKind};
+/// let toks = lex("assign y = 4'b1010;")?;
+/// assert!(matches!(toks[0].kind, TokenKind::Keyword(_)));
+/// assert!(matches!(toks[3].kind, TokenKind::Number(_)));
+/// # Ok::<(), verispec_verilog::Error>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Ok(lex_full(src)?.tokens)
+}
+
+/// Lexes `src` and additionally reports comment statistics.
+///
+/// # Errors
+///
+/// Same conditions as [`lex`].
+pub fn lex_full(src: &str) -> Result<LexOutput> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut tokens = Vec::new();
+    let mut comment_bytes = 0usize;
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Line comment.
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'/') {
+            let start = pos;
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            comment_bytes += pos - start;
+            continue;
+        }
+        // Block comment.
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+            let start = pos;
+            pos += 2;
+            loop {
+                if pos + 1 >= bytes.len() {
+                    return Err(Error::new(
+                        Span::new(start, bytes.len()),
+                        "unterminated block comment",
+                    ));
+                }
+                if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
+                    pos += 2;
+                    break;
+                }
+                pos += 1;
+            }
+            comment_bytes += pos - start;
+            continue;
+        }
+        // Compiler directives (`timescale etc.): skip to end of line. The
+        // corpus cleaner strips them, but raw GitHub-style files may carry
+        // them; ignoring a directive keeps the rest of the file parseable.
+        if b == b'`' {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+
+        let start = pos;
+        // Identifier or keyword.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'$')
+            {
+                pos += 1;
+            }
+            let text = &src[start..pos];
+            // An apostrophe immediately after a decimal-less identifier is
+            // impossible, so no lookahead is needed here.
+            let kind = match Keyword::from_str(text) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Ident(text.to_string()),
+            };
+            tokens.push(Token::new(kind, Span::new(start, pos)));
+            continue;
+        }
+        // Escaped identifier: `\name ` (terminated by whitespace).
+        if b == b'\\' {
+            pos += 1;
+            let id_start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos == id_start {
+                return Err(Error::new(Span::new(start, pos), "empty escaped identifier"));
+            }
+            tokens.push(Token::new(
+                TokenKind::Ident(src[id_start..pos].to_string()),
+                Span::new(start, pos),
+            ));
+            continue;
+        }
+        // System identifier: $display, $signed, ...
+        if b == b'$' {
+            pos += 1;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            tokens.push(Token::new(
+                TokenKind::SysIdent(src[start..pos].to_string()),
+                Span::new(start, pos),
+            ));
+            continue;
+        }
+        // Numbers: decimal, or (sized) based literals such as 8'hFF, 'b01,
+        // 4'sd3. An apostrophe may follow a decimal size.
+        if b.is_ascii_digit() || b == b'\'' {
+            pos = lex_number(src, pos)?;
+            tokens.push(Token::new(
+                TokenKind::Number(src[start..pos].to_string()),
+                Span::new(start, pos),
+            ));
+            continue;
+        }
+        // Strings.
+        if b == b'"' {
+            pos += 1;
+            let content_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'"' {
+                if bytes[pos] == b'\\' {
+                    pos += 1; // skip escaped char
+                }
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err(Error::new(Span::new(start, pos), "unterminated string literal"));
+            }
+            let content = src[content_start..pos].to_string();
+            pos += 1; // closing quote
+            tokens.push(Token::new(TokenKind::Str(content), Span::new(start, pos)));
+            continue;
+        }
+
+        // Non-ASCII bytes can only arrive from generated (not parsed)
+        // text; report them char-boundary-safely instead of slicing.
+        if !b.is_ascii() {
+            let ch = src[pos..].chars().next().unwrap_or('\u{FFFD}');
+            return Err(Error::new(
+                Span::new(pos, pos + ch.len_utf8()),
+                format!("unexpected character `{ch}`"),
+            ));
+        }
+
+        // Operators and punctuation, longest match first.
+        let rest = &src[pos..];
+        let (kind, len) = match_operator(rest).ok_or_else(|| {
+            Error::new(Span::new(pos, pos + 1), format!("unexpected character `{}`", b as char))
+        })?;
+        pos += len;
+        tokens.push(Token::new(kind, Span::new(start, pos)));
+    }
+
+    tokens.push(Token::new(TokenKind::Eof, Span::point(src.len())));
+    Ok(LexOutput { tokens, comment_bytes, total_bytes: src.len() })
+}
+
+/// Lexes a numeric literal starting at `pos`; returns the end offset.
+fn lex_number(src: &str, mut pos: usize) -> Result<usize> {
+    let bytes = src.as_bytes();
+    let start = pos;
+    // Optional decimal size before the apostrophe.
+    while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'_') {
+        pos += 1;
+    }
+    if pos < bytes.len() && bytes[pos] == b'\'' {
+        pos += 1;
+        // Optional signed marker.
+        if pos < bytes.len() && (bytes[pos] == b's' || bytes[pos] == b'S') {
+            pos += 1;
+        }
+        let base = bytes
+            .get(pos)
+            .copied()
+            .ok_or_else(|| Error::new(Span::new(start, pos), "truncated based literal"))?;
+        let valid = matches!(base.to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h');
+        if !valid {
+            return Err(Error::new(
+                Span::new(start, pos + 1),
+                format!("invalid number base `{}`", base as char),
+            ));
+        }
+        pos += 1;
+        // Value digits may be separated by optional whitespace per the LRM;
+        // we require them to be adjacent, which matches generated code.
+        let digits_start = pos;
+        while pos < bytes.len()
+            && (bytes[pos].is_ascii_alphanumeric()
+                || bytes[pos] == b'_'
+                || bytes[pos] == b'?'
+                || bytes[pos] == b'x'
+                || bytes[pos] == b'z')
+        {
+            // Stop if the alphanumeric run is actually an identifier glued on
+            // (e.g. `2'b10foo` is invalid and caught by digit validation below).
+            pos += 1;
+        }
+        if pos == digits_start {
+            return Err(Error::new(Span::new(start, pos), "based literal has no digits"));
+        }
+        validate_digits(src, start, digits_start, pos, base)?;
+    }
+    Ok(pos)
+}
+
+/// Checks that every digit is legal for the base.
+fn validate_digits(src: &str, lit_start: usize, start: usize, end: usize, base: u8) -> Result<()> {
+    let ok = src[start..end].bytes().all(|d| {
+        if d == b'_' || d == b'?' {
+            return true;
+        }
+        let d = d.to_ascii_lowercase();
+        match base.to_ascii_lowercase() {
+            b'b' => matches!(d, b'0' | b'1' | b'x' | b'z'),
+            b'o' => matches!(d, b'0'..=b'7' | b'x' | b'z'),
+            b'd' => d.is_ascii_digit(),
+            b'h' => d.is_ascii_hexdigit() || d == b'x' || d == b'z',
+            _ => false,
+        }
+    });
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::new(
+            Span::new(lit_start, end),
+            format!("digit not valid for base `{}`", base as char),
+        ))
+    }
+}
+
+/// Longest-match operator table.
+fn match_operator(rest: &str) -> Option<(TokenKind, usize)> {
+    use TokenKind::*;
+    const TABLE: &[(&str, fn() -> TokenKind)] = &[
+        ("<<<", || AShl),
+        (">>>", || AShr),
+        ("===", || EqEqEq),
+        ("!==", || BangEqEq),
+        ("<<", || Shl),
+        (">>", || Shr),
+        ("<=", || Le),
+        (">=", || Ge),
+        ("==", || EqEq),
+        ("!=", || BangEq),
+        ("&&", || AmpAmp),
+        ("||", || PipePipe),
+        ("~&", || TildeAmp),
+        ("~|", || TildePipe),
+        ("~^", || TildeCaret),
+        ("^~", || TildeCaret),
+        ("**", || Power),
+        ("+:", || PlusColon),
+        ("-:", || MinusColon),
+        ("(", || LParen),
+        (")", || RParen),
+        ("[", || LBracket),
+        ("]", || RBracket),
+        ("{", || LBrace),
+        ("}", || RBrace),
+        (";", || Semi),
+        (",", || Comma),
+        (":", || Colon),
+        (".", || Dot),
+        ("@", || At),
+        ("#", || Hash),
+        ("?", || Question),
+        ("=", || Assign),
+        ("+", || Plus),
+        ("-", || Minus),
+        ("*", || Star),
+        ("/", || Slash),
+        ("%", || Percent),
+        ("!", || Bang),
+        ("~", || Tilde),
+        ("&", || Amp),
+        ("|", || Pipe),
+        ("^", || Caret),
+        ("<", || Lt),
+        (">", || Gt),
+    ];
+    for (pat, make) in TABLE {
+        if rest.starts_with(pat) {
+            return Some((make(), pat.len()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_module_header() {
+        let k = kinds("module m(input a);");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("m".into()),
+                TokenKind::LParen,
+                TokenKind::Keyword(Keyword::Input),
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_based_literals() {
+        for lit in ["4'b1010", "8'hFF", "'b0", "12'o777", "4'sd3", "16'hDE_AD", "3'b1?1", "4'bxxxx"] {
+            let k = kinds(lit);
+            assert_eq!(k.len(), 2, "literal {lit} should be one token");
+            assert_eq!(k[0], TokenKind::Number(lit.into()), "literal {lit}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_base_digits() {
+        assert!(lex("2'b012").is_err());
+        assert!(lex("8'o9").is_err());
+        assert!(lex("4'q1010").is_err());
+    }
+
+    #[test]
+    fn distinguishes_shift_and_relational() {
+        let k = kinds("a <<< b << c <= d < e");
+        assert!(k.contains(&TokenKind::AShl));
+        assert!(k.contains(&TokenKind::Shl));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Lt));
+    }
+
+    #[test]
+    fn skips_comments_and_counts_bytes() {
+        let out = lex_full("// hello\nmodule /* inner */ m;").expect("lex ok");
+        assert!(out.comment_bytes >= "// hello".len() + "/* inner */".len());
+        assert_eq!(out.tokens.len(), 4); // module, m, ;, EOF
+        assert!(out.comment_ratio() > 0.0 && out.comment_ratio() < 1.0);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("module /* oops").is_err());
+    }
+
+    #[test]
+    fn skips_compiler_directives() {
+        let k = kinds("`timescale 1ns/1ps\nmodule m;");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+    }
+
+    #[test]
+    fn lexes_strings() {
+        let k = kinds(r#""hi there""#);
+        assert_eq!(k[0], TokenKind::Str("hi there".into()));
+    }
+
+    #[test]
+    fn lexes_escaped_identifier() {
+        let k = kinds("\\bus[0] ;");
+        assert_eq!(k[0], TokenKind::Ident("bus[0]".into()));
+        assert_eq!(k[1], TokenKind::Semi);
+    }
+
+    #[test]
+    fn lexes_system_identifiers() {
+        let k = kinds("$signed(x)");
+        assert_eq!(k[0], TokenKind::SysIdent("$signed".into()));
+    }
+
+    #[test]
+    fn part_select_operators() {
+        let k = kinds("a[3 +: 2] b[7 -: 4]");
+        assert!(k.contains(&TokenKind::PlusColon));
+        assert!(k.contains(&TokenKind::MinusColon));
+    }
+
+    #[test]
+    fn identifier_with_dollar_inside() {
+        let k = kinds("foo$bar");
+        assert_eq!(k[0], TokenKind::Ident("foo$bar".into()));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let src = "assign y = a;";
+        let toks = lex(src).expect("lex ok");
+        assert_eq!(toks[1].span.slice(src), "y");
+        assert_eq!(toks[3].span.slice(src), "a");
+    }
+}

@@ -1,0 +1,90 @@
+//! Byte-offset source spans.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// Spans are attached to tokens and errors so that diagnostics can point
+/// back into the exact slice of Verilog that produced them.
+///
+/// # Examples
+///
+/// ```
+/// use verispec_verilog::Span;
+/// let s = Span::new(4, 10);
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.slice("module top; endmodule"), "le top");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Self { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-input diagnostics.
+    pub fn point(pos: usize) -> Self {
+        Self { start: pos, end: pos }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns the source slice this span points at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `src`.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(3).is_empty());
+        assert!(!Span::new(3, 4).is_empty());
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "assign y = a;";
+        assert_eq!(Span::new(7, 8).slice(src), "y");
+    }
+}

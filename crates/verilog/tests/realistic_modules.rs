@@ -1,0 +1,189 @@
+//! Parser + printer acceptance tests on realistic RTL in the styles of
+//! the paper's benchmarks (RTLLM/VGen): FSMs with localparam state
+//! encodings, generate-free parameterized datapaths, memories, and the
+//! common formatting quirks of scraped code.
+
+use verispec_verilog::{parse, print_source_file, structure_ok};
+
+fn accepts(src: &str) {
+    let file = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let printed = print_source_file(&file);
+    let re = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    assert_eq!(re.normalized(), file.normalized());
+}
+
+#[test]
+fn traffic_light_fsm() {
+    accepts(
+        "module traffic_light(input clk, input rst_n, output reg [1:0] light);
+           localparam [1:0] RED = 2'd0, GREEN = 2'd1, YELLOW = 2'd2;
+           reg [3:0] timer;
+           always @(posedge clk or negedge rst_n) begin
+             if (!rst_n) begin
+               light <= RED;
+               timer <= 4'd0;
+             end else begin
+               timer <= timer + 1;
+               case (light)
+                 RED:    if (timer == 4'd9) begin light <= GREEN; timer <= 0; end
+                 GREEN:  if (timer == 4'd7) begin light <= YELLOW; timer <= 0; end
+                 YELLOW: if (timer == 4'd2) begin light <= RED; timer <= 0; end
+                 default: light <= RED;
+               endcase
+             end
+           end
+         endmodule",
+    );
+}
+
+#[test]
+fn booth_multiplier_style_datapath() {
+    accepts(
+        "module multi_pipe #(parameter SIZE = 8)(
+           input clk, rst_n,
+           input [SIZE-1:0] mul_a, mul_b,
+           output reg [2*SIZE-1:0] mul_out
+         );
+           reg [2*SIZE-1:0] stage0, stage1;
+           always @(posedge clk or negedge rst_n) begin
+             if (!rst_n) begin
+               stage0 <= 0;
+               stage1 <= 0;
+               mul_out <= 0;
+             end else begin
+               stage0 <= mul_a * mul_b;
+               stage1 <= stage0;
+               mul_out <= stage1;
+             end
+           end
+         endmodule",
+    );
+}
+
+#[test]
+fn right_shifter_with_concat_feedback() {
+    accepts(
+        "module right_shifter(input clk, input d, output reg [7:0] q);
+           always @(posedge clk) begin
+             q <= {d, q[7:1]};
+           end
+         endmodule",
+    );
+}
+
+#[test]
+fn width_8_16_adder_with_carry_chain() {
+    accepts(
+        "module adder_16bit(
+           input [15:0] a, b,
+           input cin,
+           output [15:0] sum,
+           output cout
+         );
+           wire [16:0] t;
+           assign t = {1'b0, a} + {1'b0, b} + {16'b0, cin};
+           assign sum = t[15:0];
+           assign cout = t[16];
+         endmodule",
+    );
+}
+
+#[test]
+fn asynchronous_fifo_style_flags() {
+    accepts(
+        "module flag_logic(
+           input [4:0] wptr, rptr,
+           output full, empty
+         );
+           assign empty = (wptr == rptr);
+           assign full  = (wptr[4] != rptr[4]) && (wptr[3:0] == rptr[3:0]);
+         endmodule",
+    );
+}
+
+#[test]
+fn scraped_formatting_quirks() {
+    // Tabs, CRLF-free dense style, no spaces around operators, compact
+    // port list, comments in odd places.
+    accepts(
+        "module m(input a,b,output y);//inline comment\n\tassign y=a&b;/*block*/endmodule",
+    );
+    assert!(structure_ok(
+        "module m(input a,b,output y);\tassign y=a&b; endmodule // trailing"
+    ));
+}
+
+#[test]
+fn signed_arithmetic_and_system_functions() {
+    accepts(
+        "module signed_ops(input signed [7:0] a, b, output signed [7:0] y, output neg);
+           assign y = $signed(a) >>> 2;
+           assign neg = ($signed(a) < $signed(b));
+         endmodule",
+    );
+}
+
+#[test]
+fn multiple_always_blocks_and_mixed_decls() {
+    accepts(
+        "module mixed(input clk, input [3:0] d, output reg [3:0] q1, q2);
+           wire [3:0] inv;
+           assign inv = ~d;
+           always @(posedge clk) q1 <= d;
+           always @(posedge clk) q2 <= inv;
+         endmodule",
+    );
+}
+
+#[test]
+fn deeply_nested_conditionals() {
+    accepts(
+        "module nest(input [3:0] a, output reg [1:0] y);
+           always @(*) begin
+             if (a[3])
+               if (a[2])
+                 y = 2'd3;
+               else if (a[1])
+                 y = 2'd2;
+               else
+                 y = 2'd1;
+             else
+               y = 2'd0;
+           end
+         endmodule",
+    );
+}
+
+#[test]
+fn rejects_common_llm_mistakes() {
+    // Missing semicolon.
+    assert!(parse("module m(input a, output y) assign y = a; endmodule").is_err());
+    // Unbalanced begin/end.
+    assert!(parse(
+        "module m(input a, output reg y); always @(*) begin y = a; endmodule"
+    )
+    .is_err());
+    // `endcase` without `case`.
+    assert!(parse("module m(); endcase endmodule").is_err());
+    // Expression garbage mid-statement (the NTP failure mode in Fig. 5).
+    assert!(parse(
+        "module m(input a, output reg y); always @(*) y <= <= a; endmodule"
+    )
+    .is_err());
+    // Truncated generation mid-identifier.
+    assert!(parse("module m(input a, output y); assign y = ").is_err());
+}
+
+#[test]
+fn param_dependent_ranges_parse() {
+    accepts(
+        "module pr #(parameter W = 8, D = 4)(
+           input [W-1:0] din,
+           output [W*1-1:0] dout
+         );
+           reg [W-1:0] mem [0:D-1];
+           assign dout = mem[0];
+           always @(din) mem[0] <= din;
+         endmodule",
+    );
+}

@@ -1,0 +1,40 @@
+//! Runs a reduced Table-I/Table-II evaluation and prints the tables.
+//!
+//! This is the example-sized version of the full harness in
+//! `verispec-bench`; it uses the quick scale so it completes in minutes
+//! even on a laptop.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example benchmark_eval
+//! ```
+
+use verispec::eval::{
+    fig6_from_cells, render_table1, render_table2, run_table1, run_table2, Pipeline, Scale,
+};
+
+fn main() {
+    println!("== VeriSpec benchmark evaluation (quick scale) ==\n");
+    let scale = Scale::quick();
+    let pipe = Pipeline::build(scale.pipeline);
+    println!(
+        "corpus {} items, vocab {}, methods trained per cell on demand\n",
+        pipe.corpus.stats.retained,
+        pipe.tokenizer.vocab_size()
+    );
+
+    let speed = run_table2(&scale, &pipe);
+    println!("{}", render_table2(&speed));
+
+    let cells = run_table1(&scale, &pipe);
+    println!("{}", render_table1(&cells));
+
+    println!("Fig. 6 series (Small model, pass@5 vs data fraction):");
+    for p in fig6_from_cells(&cells) {
+        println!(
+            "  {:<8} {:<10} {}/{}  func {:>6.2}%  syntax {:>6.2}%",
+            p.method, p.benchmark, p.fraction.0, p.fraction.1, p.function_pass5, p.syntax_pass5
+        );
+    }
+    println!("\nfor the full-scale artifacts run the verispec-bench binaries");
+}
