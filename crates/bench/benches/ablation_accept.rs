@@ -30,7 +30,10 @@ fn bench_accept(c: &mut Criterion) {
     let probs = softmax(&logits);
     let mut group = c.benchmark_group("typical_acceptance");
     for (eps, delta) in [(0.01f32, 0.1f32), (0.09, 0.3), (0.3, 0.6)] {
-        let acc = TypicalAcceptance { epsilon: eps, delta };
+        let acc = TypicalAcceptance {
+            epsilon: eps,
+            delta,
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("eps{eps}_delta{delta}")),
             &acc,
@@ -50,7 +53,10 @@ fn bench_accept(c: &mut Criterion) {
         let cfg = DecodeConfig {
             max_tokens: 96,
             sampling: Sampling::temperature(0.8),
-            acceptance: TypicalAcceptance { epsilon: eps, delta },
+            acceptance: TypicalAcceptance {
+                epsilon: eps,
+                delta,
+            },
             syntax_aligned: true,
             seed: 3,
             ..Default::default()

@@ -29,8 +29,18 @@ fn bench_heads(c: &mut Criterion) {
     for n_heads in [2usize, 4, 6, 8, 10] {
         let pipe = pipeline(n_heads);
         let model = pipe.model_for(ModelScale::Small, TrainMethod::Ours, (1, 1));
-        let cfg = DecodeConfig { max_tokens: 64, ..Default::default() };
-        let g = generate(&model, &pipe.tokenizer, problem, TrainMethod::Ours, &cfg, &cost);
+        let cfg = DecodeConfig {
+            max_tokens: 64,
+            ..Default::default()
+        };
+        let g = generate(
+            &model,
+            &pipe.tokenizer,
+            problem,
+            TrainMethod::Ours,
+            &cfg,
+            &cost,
+        );
         report.push_str(&format!(
             "  heads={n_heads:<2}  tokens/step={:.2}  sim tok/s={:.1}\n",
             g.output.clock.tokens_per_step(),
@@ -41,8 +51,18 @@ fn bench_heads(c: &mut Criterion) {
             &(pipe, model),
             |b, (pipe, model)| {
                 b.iter(|| {
-                    let cfg = DecodeConfig { max_tokens: 48, ..Default::default() };
-                    generate(model, &pipe.tokenizer, problem, TrainMethod::Ours, &cfg, &cost)
+                    let cfg = DecodeConfig {
+                        max_tokens: 48,
+                        ..Default::default()
+                    };
+                    generate(
+                        model,
+                        &pipe.tokenizer,
+                        problem,
+                        TrainMethod::Ours,
+                        &cfg,
+                        &cost,
+                    )
                 })
             },
         );

@@ -2,11 +2,21 @@
 //! decode throughput of the three engines on a trained model (the
 //! simulated-GPU speeds come from the harness binaries; this measures
 //! the real Rust implementation).
+//!
+//! Each engine is measured twice — through the model's cached
+//! [`verispec_lm::DecodeSession`] and through the stateless shim — and
+//! the run emits `BENCH_decode.json` at the workspace root with
+//! tokens/sec for both paths, so the perf trajectory of the session
+//! layer is tracked from PR 1 onward.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::Criterion;
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use verispec_core::{DecodeConfig, TrainMethod};
-use verispec_eval::{generate, rtllm_sim, ModelScale, Pipeline, PipelineConfig};
+use verispec_eval::{
+    generate, generate_stateless, render_session_bench, rtllm_sim, run_session_bench, ModelScale,
+    Pipeline, PipelineConfig, Scale,
+};
 use verispec_lm::MlpLm;
 
 fn pipeline() -> &'static Pipeline {
@@ -31,23 +41,55 @@ fn bench_decode(c: &mut Criterion) {
     let bench = rtllm_sim();
     let problem = &bench.problems[0];
     let cost = ModelScale::Small.cost_model();
-    let mut group = c.benchmark_group("decode_speed");
-    group.sample_size(10);
-    for method in [TrainMethod::Ntp, TrainMethod::Medusa, TrainMethod::Ours] {
-        let m = model(method);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, &method| {
+    for (group_name, stateless) in [
+        ("decode_speed/session", false),
+        ("decode_speed/stateless", true),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(10);
+        for method in [TrainMethod::Ntp, TrainMethod::Medusa, TrainMethod::Ours] {
+            let m = model(method);
+            group.bench_function(method.name(), |b| {
                 b.iter(|| {
-                    let cfg = DecodeConfig { max_tokens: 64, ..Default::default() };
-                    generate(&m, &pipe.tokenizer, problem, method, &cfg, &cost)
+                    let cfg = DecodeConfig {
+                        max_tokens: 64,
+                        ..Default::default()
+                    };
+                    if stateless {
+                        generate_stateless(&m, &pipe.tokenizer, problem, method, &cfg, &cost)
+                    } else {
+                        generate(&m, &pipe.tokenizer, problem, method, &cfg, &cost)
+                    }
                 })
-            },
-        );
+            });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_decode);
-criterion_main!(benches);
+/// Writes `BENCH_decode.json` at the workspace root: tokens/sec of the
+/// session path vs. the stateless shim for each method, measured over
+/// the speed-prompt set with identical-output verification.
+fn emit_bench_artifact() {
+    let pipe = pipeline();
+    let scale = Scale {
+        speed_prompt_count: 6,
+        ..Scale::quick()
+    };
+    let rows = run_session_bench(&scale, pipe, ModelScale::Small);
+    print!("{}", render_session_bench(&rows));
+    let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(body) => match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize BENCH_decode.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_decode(&mut c);
+    emit_bench_artifact();
+}

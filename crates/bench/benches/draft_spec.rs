@@ -37,7 +37,12 @@ fn bench_draft(c: &mut Criterion) {
     group.sample_size(10);
     let mut report = String::new();
     for gamma in [2usize, 4, 8] {
-        let cfg = DraftConfig { gamma, max_tokens: 96, seed: 5, ..Default::default() };
+        let cfg = DraftConfig {
+            gamma,
+            max_tokens: 96,
+            seed: 5,
+            ..Default::default()
+        };
         let (out, stats) = decode_draft_speculative(target, draft, &prompt, &cfg, &cost);
         report.push_str(&format!(
             "  gamma={gamma}: acceptance={:.2}, tokens/step={:.2}, sim tok/s={:.1}\n",
@@ -47,7 +52,12 @@ fn bench_draft(c: &mut Criterion) {
         ));
         group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
             b.iter(|| {
-                let cfg = DraftConfig { gamma, max_tokens: 64, seed: 5, ..Default::default() };
+                let cfg = DraftConfig {
+                    gamma,
+                    max_tokens: 64,
+                    seed: 5,
+                    ..Default::default()
+                };
                 decode_draft_speculative(target, draft, &prompt, &cfg, &cost)
             })
         });

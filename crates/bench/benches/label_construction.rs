@@ -13,7 +13,7 @@ fn synthetic_tokens(len: usize) -> Vec<TokenId> {
     let mut i = 0u32;
     while v.len() < len {
         v.push(20 + (i % 37));
-        if i % 3 == 0 {
+        if i.is_multiple_of(3) {
             v.push(special::FRAG);
         }
         i += 1;

@@ -8,9 +8,16 @@ use verispec_verilog::fragment::fragmentize;
 use verispec_verilog::significant::SignificantTokens;
 
 fn bench_parser(c: &mut Criterion) {
-    let corpus = Corpus::build(&CorpusConfig { size: 128, ..Default::default() });
-    let blob: String =
-        corpus.items.iter().map(|i| i.source.as_str()).collect::<Vec<_>>().join("\n");
+    let corpus = Corpus::build(&CorpusConfig {
+        size: 128,
+        ..Default::default()
+    });
+    let blob: String = corpus
+        .items
+        .iter()
+        .map(|i| i.source.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
     let bytes = blob.len() as u64;
 
     let mut group = c.benchmark_group("verilog_frontend");

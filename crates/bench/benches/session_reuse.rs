@@ -1,0 +1,129 @@
+//! `session_reuse`: cached [`verispec_lm::DecodeSession`]s against the
+//! stateless `logits(&prefix)` shim, at equal outputs.
+//!
+//! Two layers of comparison:
+//!
+//! * **engine level** — full speculative decodes through
+//!   [`verispec_eval::generate`] (cached session) vs.
+//!   [`verispec_eval::generate_stateless`] (fresh recompute per query),
+//!   asserting token-for-token identical outputs first;
+//! * **model level** — a raw `verify_batch` microbench over a fixed
+//!   candidate tree, the hot call of MEDUSA tree verification.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use std::sync::OnceLock;
+use verispec_core::{DecodeConfig, TrainMethod};
+use verispec_eval::{
+    generate, generate_stateless, rtllm_sim, ModelScale, Pipeline, PipelineConfig,
+};
+use verispec_lm::{LanguageModel, MlpLm, Stateless, TokenId};
+
+fn pipeline() -> &'static Pipeline {
+    static PIPE: OnceLock<Pipeline> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        Pipeline::build(PipelineConfig {
+            corpus_size: 96,
+            vocab: 420,
+            n_heads: 6,
+            epochs: 1,
+            ..Default::default()
+        })
+    })
+}
+
+fn model(method: TrainMethod) -> MlpLm {
+    pipeline().model_for(ModelScale::Small, method, (1, 1))
+}
+
+fn bench_engine_level(c: &mut Criterion) {
+    let pipe = pipeline();
+    let bench = rtllm_sim();
+    let problem = &bench.problems[0];
+    let cost = ModelScale::Small.cost_model();
+    let mut group = c.benchmark_group("session_reuse/engine");
+    group.sample_size(10);
+    for method in [TrainMethod::Ntp, TrainMethod::Medusa, TrainMethod::Ours] {
+        let m = model(method);
+        let cfg = DecodeConfig {
+            max_tokens: 96,
+            ..Default::default()
+        };
+        // Equal outputs is a precondition of the comparison.
+        let a = generate(&m, &pipe.tokenizer, problem, method, &cfg, &cost);
+        let b = generate_stateless(&m, &pipe.tokenizer, problem, method, &cfg, &cost);
+        assert_eq!(
+            a.output.tokens,
+            b.output.tokens,
+            "session and stateless decodes must match ({})",
+            method.name()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("session", method.name()),
+            &method,
+            |b, &method| b.iter(|| generate(&m, &pipe.tokenizer, problem, method, &cfg, &cost)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stateless", method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| generate_stateless(&m, &pipe.tokenizer, problem, method, &cfg, &cost))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify_batch(c: &mut Criterion) {
+    let m = model(TrainMethod::Medusa);
+    let prompt: Vec<TokenId> = (5..45).collect();
+    // A binary candidate tree of depth 5: 32 paths, heavy prefix sharing.
+    let paths: Vec<Vec<TokenId>> = (0..32u32)
+        .map(|bits| (0..5).map(|d| 50 + ((bits >> d) & 1)).collect())
+        .collect();
+    let path_refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+
+    let mut group = c.benchmark_group("session_reuse/verify_batch");
+    group.sample_size(20);
+    group.bench_function("batched", |b| {
+        let mut session = m.session();
+        session.append(&prompt);
+        b.iter(|| black_box(session.verify_batch(&path_refs, true)))
+    });
+    group.bench_function("stateless", |b| {
+        let shim = Stateless(&m);
+        let mut session = shim.session();
+        session.append(&prompt);
+        b.iter(|| black_box(session.verify_batch(&path_refs, true)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_engine_level(&mut c);
+    bench_verify_batch(&mut c);
+    // Summarize the session-vs-stateless ratios measured above.
+    let mut pairs: Vec<(String, f64, f64)> = Vec::new();
+    for r in &c.results {
+        if let Some(rest) = r.id.strip_prefix("session_reuse/engine/session/") {
+            let other = format!("session_reuse/engine/stateless/{rest}");
+            if let Some(s) = c.results.iter().find(|x| x.id == other) {
+                pairs.push((rest.to_string(), r.mean_secs, s.mean_secs));
+            }
+        }
+    }
+    if let (Some(b), Some(s)) = (
+        c.results
+            .iter()
+            .find(|x| x.id == "session_reuse/verify_batch/batched"),
+        c.results
+            .iter()
+            .find(|x| x.id == "session_reuse/verify_batch/stateless"),
+    ) {
+        pairs.push(("verify_batch".into(), b.mean_secs, s.mean_secs));
+    }
+    println!("\nsession speedup over stateless shim (equal outputs):");
+    for (name, session, stateless) in pairs {
+        println!("  {name:<14} {:>6.2}x", stateless / session.max(1e-12));
+    }
+}

@@ -24,7 +24,11 @@ fn main() {
     println!("d_hidden   method   nll(plain|tagged)   syntax pass@5   syntax PassRate");
     for d_hidden in [32usize, 64, 96] {
         for method in [TrainMethod::Ours, TrainMethod::Ntp] {
-            let n_heads = if method == TrainMethod::Ntp { 0 } else { pipe.config.n_heads };
+            let n_heads = if method == TrainMethod::Ntp {
+                0
+            } else {
+                pipe.config.n_heads
+            };
             let lm_cfg = MlpLmConfig {
                 vocab: pipe.tokenizer.vocab_size(),
                 d_emb: 12,
@@ -42,10 +46,16 @@ fn main() {
                 seed: pipe.config.seed,
                 ..TrainConfig::paper_defaults(method)
             };
-            let (model, _) = train(lm_cfg, &train_seqs.to_vec(), &tc);
+            let (model, _) = train(lm_cfg, train_seqs, &tc);
             let nll: f32 = held.iter().map(|s| model.nll(s)).sum::<f32>() / held.len() as f32;
-            let (_, syntax) =
-                score_benchmark(&pipe, &model, ModelScale::Large, method, &bench, &args.scale);
+            let (_, syntax) = score_benchmark(
+                &pipe,
+                &model,
+                ModelScale::Large,
+                method,
+                &bench,
+                &args.scale,
+            );
             println!(
                 "{:<10} {:<8} {:<19.3} {:<15.2} {:<15.2}",
                 d_hidden,

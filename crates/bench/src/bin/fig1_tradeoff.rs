@@ -42,6 +42,9 @@ fn main() {
         }
         println!("{line}");
     }
-    println!("           +{} -> tokens/s (max {max_speed:.0})", "-".repeat(40));
+    println!(
+        "           +{} -> tokens/s (max {max_speed:.0})",
+        "-".repeat(40)
+    );
     args.write_json(&points);
 }

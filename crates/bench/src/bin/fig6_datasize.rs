@@ -26,9 +26,7 @@ fn main() {
                     points
                         .iter()
                         .find(|p| {
-                            p.benchmark == benchmark
-                                && p.fraction == fraction
-                                && p.method == method
+                            p.benchmark == benchmark && p.fraction == fraction && p.method == method
                         })
                         .map(|p| if f { p.function_pass5 } else { p.syntax_pass5 })
                         .unwrap_or(f64::NAN)

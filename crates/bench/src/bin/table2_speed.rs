@@ -9,7 +9,10 @@ fn main() {
     let args = HarnessArgs::parse();
     eprintln!("building pipeline...");
     let pipe = Pipeline::build(args.scale.pipeline);
-    eprintln!("measuring speed over {} prompts...", args.scale.speed_prompt_count);
+    eprintln!(
+        "measuring speed over {} prompts...",
+        args.scale.speed_prompt_count
+    );
     let rows = run_table2(&args.scale, &pipe);
     println!("{}", render_table2(&rows));
     println!("paper reference (Table II): CodeLlama 420.13/294.99/83.13 tok/s (5.05x/3.55x/1x); CodeT5p 243.70/106.33/91.65 (2.66x/1.16x/1x)");

@@ -46,12 +46,17 @@ impl HarnessArgs {
                 }
                 "--json" => json = args.next(),
                 "--samples" => {
-                    scale.n_samples =
-                        args.next().and_then(|v| v.parse().ok()).expect("--samples N");
+                    scale.n_samples = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--samples N");
                 }
                 "--problems" => {
-                    scale.problem_limit =
-                        Some(args.next().and_then(|v| v.parse().ok()).expect("--problems N"));
+                    scale.problem_limit = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--problems N"),
+                    );
                 }
                 "--help" | "-h" => {
                     println!("usage: <bin> [--scale quick|full] [--json PATH]");

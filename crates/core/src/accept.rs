@@ -29,7 +29,10 @@ pub struct TypicalAcceptance {
 impl Default for TypicalAcceptance {
     /// MEDUSA's published defaults (ε = 0.09, δ = 0.3).
     fn default() -> Self {
-        Self { epsilon: 0.09, delta: 0.3 }
+        Self {
+            epsilon: 0.09,
+            delta: 0.3,
+        }
     }
 }
 
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn threshold_is_capped_by_epsilon() {
-        let acc = TypicalAcceptance { epsilon: 0.05, delta: 10.0 };
+        let acc = TypicalAcceptance {
+            epsilon: 0.05,
+            delta: 10.0,
+        };
         let probs = vec![0.9f32, 0.1];
         assert!(acc.threshold(&probs) <= 0.05);
     }
@@ -84,8 +90,14 @@ mod tests {
 
     #[test]
     fn stricter_epsilon_rejects_more() {
-        let lax = TypicalAcceptance { epsilon: 0.001, delta: 0.3 };
-        let strict = TypicalAcceptance { epsilon: 0.2, delta: 3.0 };
+        let lax = TypicalAcceptance {
+            epsilon: 0.001,
+            delta: 0.3,
+        };
+        let strict = TypicalAcceptance {
+            epsilon: 0.2,
+            delta: 3.0,
+        };
         // Borderline token with p = 0.1 under a moderately peaked dist.
         let probs = vec![0.8f32, 0.1, 0.05, 0.05];
         assert!(lax.accepts(&probs, 1));

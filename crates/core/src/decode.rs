@@ -3,7 +3,16 @@
 //! ("Ours") that truncates every committed span at a complete fragment
 //! boundary (§III-B).
 //!
-//! All engines run against the simulated GPU clock
+//! All engines drive a [`verispec_lm::DecodeSession`] (the KV-cache
+//! analogue): one session per generation, extended with committed
+//! tokens, rolled back after rejected speculation, and asked to verify
+//! the whole MEDUSA candidate tree in a **single**
+//! [`verispec_lm::DecodeSession::verify_batch`] call per decoding step —
+//! the draft-then-verify formulation where all K speculated positions
+//! are scored by one batched forward instead of one forward per
+//! candidate path.
+//!
+//! All engines also run against the simulated GPU clock
 //! ([`verispec_lm::GpuCostModel`]) so that tokens/second reflects the
 //! paper's measurement model: one base-model forward per decoding step
 //! plus a marginal cost per speculated candidate token.
@@ -82,10 +91,19 @@ pub struct DecodeOutput {
 }
 
 impl DecodeOutput {
-    /// Generated tokens with `[EOS]` and other specials stripped except
-    /// `[FRAG]`, which callers strip via text-level defragmentation.
+    /// Generated tokens up to (excluding) the first `[EOS]`.
+    ///
+    /// Generation stops after committing `[EOS]`, so everything from the
+    /// first occurrence on is dead weight (a speculated span can commit
+    /// tokens after it within the same step); `[FRAG]` markers are kept
+    /// for callers to strip via text-level defragmentation.
     pub fn tokens_without_eos(&self) -> Vec<TokenId> {
-        self.tokens.iter().copied().filter(|&t| t != special::EOS).collect()
+        let end = self
+            .tokens
+            .iter()
+            .position(|&t| t == special::EOS)
+            .unwrap_or(self.tokens.len());
+        self.tokens[..end].to_vec()
     }
 }
 
@@ -97,7 +115,8 @@ pub fn decode_ntp(
     cost: &GpuCostModel,
 ) -> DecodeOutput {
     let mut sampler = Sampler::new(cfg.seed);
-    let mut prefix = prompt.to_vec();
+    let mut session = model.session();
+    session.append(prompt);
     let mut out = DecodeOutput {
         tokens: Vec::new(),
         steps: 0,
@@ -105,11 +124,11 @@ pub fn decode_ntp(
         trace: Vec::new(),
     };
     while out.tokens.len() < cfg.max_tokens {
-        let logits = model.logits(&prefix);
+        let logits = session.logits();
         let tok = sampler.sample(&logits, cfg.sampling);
         out.clock.record_step(cost, 0, 1);
         out.steps += 1;
-        prefix.push(tok);
+        session.append(&[tok]);
         out.tokens.push(tok);
         out.trace.push(StepTrace {
             speculated: 0,
@@ -129,12 +148,15 @@ pub fn decode_ntp(
 /// the paper's method ("Ours"), otherwise the Medusa baseline.
 ///
 /// Each step:
-/// 1. one forward produces base logits and every head's logits;
+/// 1. one forward produces base logits and every head's logits (served
+///    from the session's cached trunk activation);
 /// 2. the base token is drawn (greedy or sampled) and always committed;
-/// 3. each head proposes its next token, forming a speculated chain;
-/// 4. the chain is verified left-to-right against the base model —
-///    exact-match under greedy decoding (lossless), Eq.-1 typical
-///    acceptance under sampling — and cut at the first rejection;
+/// 3. each head proposes its next token(s), forming the candidate tree;
+/// 4. the whole tree is scored by **one**
+///    [`verispec_lm::DecodeSession::verify_batch`] call (shared-prefix
+///    reuse, batched forwards) and verified left-to-right — exact-match
+///    under greedy decoding (lossless), Eq.-1 typical acceptance under
+///    sampling — cutting each path at its first rejection;
 /// 5. with syntax alignment, the accepted span is additionally truncated
 ///    at the last `[FRAG]` boundary (the integrity check of §III-B).
 pub fn decode_speculative(
@@ -145,7 +167,8 @@ pub fn decode_speculative(
 ) -> DecodeOutput {
     let n_heads = model.n_extra_heads();
     let mut sampler = Sampler::new(cfg.seed);
-    let mut prefix = prompt.to_vec();
+    let mut session = model.session();
+    session.append(prompt);
     let mut out = DecodeOutput {
         tokens: Vec::new(),
         steps: 0,
@@ -153,8 +176,24 @@ pub fn decode_speculative(
         trace: Vec::new(),
     };
 
+    // Converts base logits into the distribution acceptance is checked
+    // against: typical acceptance is evaluated on the *temperature-
+    // scaled* base distribution so that speculative sampling matches the
+    // baseline's sampling entropy (MEDUSA's criterion "matches the
+    // distribution the model samples from").
+    let to_probs = |logits: &[f32]| -> Vec<f32> {
+        match cfg.sampling {
+            Sampling::Temperature { temperature, .. } => {
+                let scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+                softmax(&scaled)
+            }
+            Sampling::Greedy => softmax(logits),
+        }
+    };
+
     while out.tokens.len() < cfg.max_tokens {
-        let all_logits = model.multi_logits(&prefix);
+        let step_start = session.len();
+        let all_logits = session.multi_logits();
         // Base token: drawn from the base distribution, always committed.
         let base_tok = sampler.sample(&all_logits[0], cfg.sampling);
 
@@ -165,40 +204,21 @@ pub fn decode_speculative(
         let paths: Vec<Vec<TokenId>> = build_candidate_paths(&all_logits, n_heads, &cfg.tree);
         let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
 
-        // Verify candidates against the base model; shared prefixes are
-        // evaluated once (the tree-attention analogue). The committed
+        // Verify the candidate tree against the base model in one
+        // batched call; shared prefixes are scored once. The committed
         // span is the longest accepted prefix over all candidates.
         let mut committed = vec![base_tok];
-        if base_tok != cfg.eos {
-            let mut memo: std::collections::HashMap<Vec<TokenId>, Vec<f32>> =
-                std::collections::HashMap::new();
+        if base_tok != cfg.eos && candidate_tokens > 0 {
+            session.append(&[base_tok]);
+            let path_refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+            let scored = session.verify_batch(&path_refs, false);
+            session.truncate(step_start);
+
             let mut best: Vec<TokenId> = Vec::new();
-            for path in &paths {
-                let mut accepted_prefix: Vec<TokenId> = Vec::new();
-                for &tok in path {
-                    let probs = memo
-                        .entry(accepted_prefix.clone())
-                        .or_insert_with(|| {
-                            let mut ctx = prefix.clone();
-                            ctx.push(base_tok);
-                            ctx.extend_from_slice(&accepted_prefix);
-                            let logits = model.logits(&ctx);
-                            // Typical acceptance is evaluated on the
-                            // *temperature-scaled* base distribution so
-                            // that speculative sampling matches the
-                            // baseline's sampling entropy (MEDUSA's
-                            // criterion "matches the distribution the
-                            // model samples from").
-                            match cfg.sampling {
-                                Sampling::Temperature { temperature, .. } => {
-                                    let scaled: Vec<f32> =
-                                        logits.iter().map(|&l| l / temperature).collect();
-                                    softmax(&scaled)
-                                }
-                                Sampling::Greedy => softmax(&logits),
-                            }
-                        })
-                        .clone();
+            for (path, rows) in paths.iter().zip(&scored) {
+                let mut accepted = 0usize;
+                for (pos, &tok) in path.iter().enumerate() {
+                    let probs = to_probs(&rows[pos]);
                     let ok = match cfg.sampling {
                         Sampling::Greedy => tok == argmax(&probs),
                         Sampling::Temperature { .. } => cfg.acceptance.accepts(&probs, tok),
@@ -206,15 +226,15 @@ pub fn decode_speculative(
                     if !ok {
                         break;
                     }
-                    accepted_prefix.push(tok);
+                    accepted += 1;
                     if tok == cfg.eos {
                         break;
                     }
                 }
-                if accepted_prefix.len() > best.len() {
-                    best = accepted_prefix;
+                if accepted > best.len() {
+                    best = path[..accepted].to_vec();
                 }
-                if best.iter().last() == Some(&cfg.eos) {
+                if best.last() == Some(&cfg.eos) {
                     break;
                 }
             }
@@ -239,8 +259,9 @@ pub fn decode_speculative(
         // Whether the span ends on a fragment boundary — recorded before
         // any token-budget cut, which is a harness artifact rather than a
         // property of the acceptance policy.
-        let fragment_complete =
-            committed.last().is_some_and(|&t| t == special::FRAG || t == cfg.eos);
+        let fragment_complete = committed
+            .last()
+            .is_some_and(|&t| t == special::FRAG || t == cfg.eos);
 
         // Token-budget truncation (not counted as syntax truncation).
         let remaining = cfg.max_tokens - out.tokens.len();
@@ -248,12 +269,13 @@ pub fn decode_speculative(
             committed.truncate(remaining);
         }
 
-        out.clock.record_step(cost, candidate_tokens, committed.len());
+        out.clock
+            .record_step(cost, candidate_tokens, committed.len());
         out.steps += 1;
 
         // Commit.
         let hit_eos = committed.contains(&cfg.eos);
-        prefix.extend_from_slice(&committed);
+        session.append(&committed);
         out.tokens.extend_from_slice(&committed);
         out.trace.push(StepTrace {
             speculated: candidate_tokens,
@@ -282,9 +304,9 @@ fn build_candidate_paths(
         None => vec![(1..=n_heads).map(|i| argmax(&all_logits[i])).collect()],
         Some(ks) => {
             let mut paths: Vec<Vec<TokenId>> = vec![Vec::new()];
-            for head_idx in 1..=n_heads {
+            for (head_idx, head_logits) in all_logits.iter().enumerate().take(n_heads + 1).skip(1) {
                 let k = ks.get(head_idx - 1).copied().unwrap_or(1).max(1);
-                let options = verispec_lm::top_k_indices(&all_logits[head_idx], k);
+                let options = verispec_lm::top_k_indices(head_logits, k);
                 let mut next = Vec::with_capacity(paths.len() * options.len());
                 'grow: for p in &paths {
                     for &opt in &options {
@@ -335,11 +357,17 @@ impl DecodeMethod {
         match self {
             DecodeMethod::Ntp => decode_ntp(model, prompt, cfg, cost),
             DecodeMethod::Medusa => {
-                let cfg = DecodeConfig { syntax_aligned: false, ..cfg.clone() };
+                let cfg = DecodeConfig {
+                    syntax_aligned: false,
+                    ..cfg.clone()
+                };
                 decode_speculative(model, prompt, &cfg, cost)
             }
             DecodeMethod::Ours => {
-                let cfg = DecodeConfig { syntax_aligned: true, ..cfg.clone() };
+                let cfg = DecodeConfig {
+                    syntax_aligned: true,
+                    ..cfg.clone()
+                };
                 decode_speculative(model, prompt, &cfg, cost)
             }
         }
@@ -353,7 +381,14 @@ mod tests {
 
     /// Trains a tiny MLP on a fixed cycle so decoding is predictable.
     fn cyclic_model(vocab: usize, period: usize) -> (MlpLm, Vec<TokenId>) {
-        let cfg = MlpLmConfig { vocab, d_emb: 8, d_hidden: 16, context: 4, n_heads: 4, seed: 5 };
+        let cfg = MlpLmConfig {
+            vocab,
+            d_emb: 8,
+            d_hidden: 16,
+            context: 4,
+            n_heads: 4,
+            seed: 5,
+        };
         let mut model = MlpLm::new(cfg);
         let mut opt = model.optimizer();
         let mut grads = model.zero_grads();
@@ -376,7 +411,10 @@ mod tests {
     #[test]
     fn ntp_decodes_learned_cycle() {
         let (model, seq) = cyclic_model(12, 3);
-        let cfg = DecodeConfig { max_tokens: 9, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 9,
+            ..Default::default()
+        };
         let out = decode_ntp(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
         assert_eq!(out.tokens.len(), 9);
         assert_eq!(out.steps, 9, "NTP commits one token per step");
@@ -391,18 +429,27 @@ mod tests {
         // the greedy NTP token stream (acceptance = exact match).
         let (model, seq) = cyclic_model(12, 3);
         let cost = GpuCostModel::codellama_like();
-        let cfg = DecodeConfig { max_tokens: 12, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 12,
+            ..Default::default()
+        };
         let ntp = decode_ntp(&model, &seq[..4], &cfg, &cost);
         let med = decode_speculative(&model, &seq[..4], &cfg, &cost);
         assert_eq!(ntp.tokens, med.tokens);
-        assert!(med.steps < ntp.steps, "speculation must save steps on a learned cycle");
+        assert!(
+            med.steps < ntp.steps,
+            "speculation must save steps on a learned cycle"
+        );
     }
 
     #[test]
     fn speculative_clock_is_faster_despite_overhead() {
         let (model, seq) = cyclic_model(12, 3);
         let cost = GpuCostModel::codellama_like();
-        let cfg = DecodeConfig { max_tokens: 30, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 30,
+            ..Default::default()
+        };
         let ntp = decode_ntp(&model, &seq[..4], &cfg, &cost);
         let med = decode_speculative(&model, &seq[..4], &cfg, &cost);
         assert_eq!(ntp.tokens, med.tokens);
@@ -417,7 +464,10 @@ mod tests {
         for _ in 0..10 {
             ng.train_sequence(&seq);
         }
-        let cfg = DecodeConfig { max_tokens: 50, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 50,
+            ..Default::default()
+        };
         let out = decode_ntp(&ng, &[8], &cfg, &GpuCostModel::codet5p_like());
         assert_eq!(out.tokens.last(), Some(&special::EOS));
         assert!(out.tokens.len() <= 3);
@@ -426,7 +476,14 @@ mod tests {
     #[test]
     fn syntax_alignment_truncates_at_frag() {
         // Cycle includes FRAG (id 3): ... 6 7 FRAG 6 7 FRAG ...
-        let cfg_m = MlpLmConfig { vocab: 10, d_emb: 8, d_hidden: 16, context: 4, n_heads: 4, seed: 9 };
+        let cfg_m = MlpLmConfig {
+            vocab: 10,
+            d_emb: 8,
+            d_hidden: 16,
+            context: 4,
+            n_heads: 4,
+            seed: 9,
+        };
         let mut model = MlpLm::new(cfg_m);
         let mut opt = model.optimizer();
         let mut grads = model.zero_grads();
@@ -445,8 +502,11 @@ mod tests {
             model.adam_step(&mut opt, &grads, 5e-3, 4.0);
         }
         let cost = GpuCostModel::codellama_like();
-        let cfg =
-            DecodeConfig { max_tokens: 12, syntax_aligned: true, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 12,
+            syntax_aligned: true,
+            ..Default::default()
+        };
         let out = decode_speculative(&model, &seq[..3], &cfg, &cost);
         // Every multi-token step must end on a fragment boundary.
         for st in &out.trace {
@@ -465,9 +525,11 @@ mod tests {
     #[test]
     fn trace_accounts_for_all_tokens() {
         let (model, seq) = cyclic_model(12, 4);
-        let cfg = DecodeConfig { max_tokens: 16, ..Default::default() };
-        let out =
-            decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
+        let cfg = DecodeConfig {
+            max_tokens: 16,
+            ..Default::default()
+        };
+        let out = decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
         let committed_total: usize = out.trace.iter().map(|t| t.committed.len()).sum();
         assert_eq!(committed_total, out.tokens.len());
         for st in &out.trace {
@@ -495,7 +557,10 @@ mod tests {
     fn method_dispatcher_covers_all() {
         let (model, seq) = cyclic_model(12, 3);
         let cost = GpuCostModel::codellama_like();
-        let cfg = DecodeConfig { max_tokens: 6, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 6,
+            ..Default::default()
+        };
         for m in [DecodeMethod::Ntp, DecodeMethod::Medusa, DecodeMethod::Ours] {
             let out = m.decode(&model, &seq[..4], &cfg, &cost);
             assert!(!out.tokens.is_empty(), "{}", m.name());
@@ -506,10 +571,16 @@ mod tests {
     fn tree_candidates_remain_lossless_and_never_slower() {
         let (model, seq) = cyclic_model(12, 3);
         let cost = GpuCostModel::codellama_like();
-        let base_cfg = DecodeConfig { max_tokens: 24, ..Default::default() };
+        let base_cfg = DecodeConfig {
+            max_tokens: 24,
+            ..Default::default()
+        };
         let ntp = decode_ntp(&model, &seq[..4], &base_cfg, &cost);
         let chain = decode_speculative(&model, &seq[..4], &base_cfg, &cost);
-        let tree_cfg = DecodeConfig { tree: Some(vec![3, 2, 2, 1]), ..base_cfg };
+        let tree_cfg = DecodeConfig {
+            tree: Some(vec![3, 2, 2, 1]),
+            ..base_cfg
+        };
         let tree = decode_speculative(&model, &seq[..4], &tree_cfg, &cost);
         assert_eq!(ntp.tokens, tree.tokens, "tree greedy must stay lossless");
         assert!(tree.steps <= ntp.steps, "tree cannot be slower than NTP");
@@ -539,9 +610,11 @@ mod tests {
     #[test]
     fn max_tokens_is_respected_mid_speculation() {
         let (model, seq) = cyclic_model(12, 3);
-        let cfg = DecodeConfig { max_tokens: 5, ..Default::default() };
-        let out =
-            decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
+        let cfg = DecodeConfig {
+            max_tokens: 5,
+            ..Default::default()
+        };
+        let out = decode_speculative(&model, &seq[..4], &cfg, &GpuCostModel::codellama_like());
         assert!(out.tokens.len() <= 5);
     }
 }

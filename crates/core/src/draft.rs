@@ -9,6 +9,15 @@
 //! * on the first rejection, resample from `normalize(max(0, p − q))`;
 //! * if every draft token is accepted, sample one bonus token from `p`.
 //!
+//! Both models are driven through persistent
+//! [`verispec_lm::DecodeSession`]s: the draft session extends
+//! incrementally while proposing, the target scores all `γ + 1`
+//! verification positions with a single
+//! [`verispec_lm::DecodeSession::verify_batch`] call (the original
+//! draft-verify formulation: K speculated positions plus the bonus
+//! position verified in one forward), and both sessions roll back to
+//! the committed prefix on rejection.
+//!
 //! VeriSpec uses the n-gram model as the draft and the MLP as the target.
 //! This engine exists as the paper's point of comparison for why MEDUSA
 //! heads (no separate draft model to maintain) are preferable; its
@@ -37,7 +46,13 @@ pub struct DraftConfig {
 
 impl Default for DraftConfig {
     fn default() -> Self {
-        Self { gamma: 4, max_tokens: 256, temperature: 1.0, eos: special::EOS, seed: 0 }
+        Self {
+            gamma: 4,
+            max_tokens: 256,
+            temperature: 1.0,
+            eos: special::EOS,
+            seed: 0,
+        }
     }
 }
 
@@ -83,7 +98,10 @@ pub fn decode_draft_speculative(
 ) -> (DecodeOutput, DraftStats) {
     assert!(cfg.gamma >= 1, "gamma must be at least 1");
     let mut sampler = Sampler::new(cfg.seed);
-    let mut prefix = prompt.to_vec();
+    let mut draft_session = draft.session();
+    draft_session.append(prompt);
+    let mut target_session = target.session();
+    target_session.append(prompt);
     let mut out = DecodeOutput {
         tokens: Vec::new(),
         steps: 0,
@@ -93,28 +111,44 @@ pub fn decode_draft_speculative(
     let mut stats = DraftStats::default();
 
     'outer: while out.tokens.len() < cfg.max_tokens {
-        // Draft proposes a block of gamma tokens with its own probs.
-        let mut draft_ctx = prefix.clone();
+        let step_start = draft_session.len();
+        // Draft proposes a block of gamma tokens with its own probs,
+        // extending its session as it goes.
         let mut proposals: Vec<(TokenId, Vec<f32>)> = Vec::with_capacity(cfg.gamma);
         for _ in 0..cfg.gamma {
-            let mut q = softmax(&draft.logits(&draft_ctx));
+            let mut q = softmax(&draft_session.logits());
             tempered(&mut q, cfg.temperature);
             let tok = sampler.sample_from_probs(&q);
             proposals.push((tok, q));
-            draft_ctx.push(tok);
+            draft_session.append(&[tok]);
             if tok == cfg.eos {
                 break;
             }
         }
         stats.proposed += proposals.len();
 
-        // Target verifies with the exact rejection rule.
+        // The target scores all γ + 1 positions (each proposal's context
+        // plus the bonus position) in one batched verification call.
+        let path: Vec<TokenId> = proposals.iter().map(|(t, _)| *t).collect();
+        let scored = target_session
+            .verify_batch(&[&path], true)
+            .into_iter()
+            .next()
+            .expect("one path scored");
+        let target_probs: Vec<Vec<f32>> = scored
+            .into_iter()
+            .map(|logits| {
+                let mut p = softmax(&logits);
+                tempered(&mut p, cfg.temperature);
+                p
+            })
+            .collect();
+
+        // Exact rejection rule over the pre-scored distributions.
         let mut committed: Vec<TokenId> = Vec::new();
-        let mut verify_ctx = prefix.clone();
         let mut rejected = false;
-        for (tok, q) in &proposals {
-            let mut p = softmax(&target.logits(&verify_ctx));
-            tempered(&mut p, cfg.temperature);
+        for (pos, (tok, q)) in proposals.iter().enumerate() {
+            let p = &target_probs[pos];
             let (pt, qt) = (p[*tok as usize], q[*tok as usize].max(f32::MIN_POSITIVE));
             // Uniform draw on a fine grid (the Sampler API is index-based).
             let u: f32 = {
@@ -124,7 +158,6 @@ pub fn decode_draft_speculative(
             if u < (pt / qt).min(1.0) {
                 committed.push(*tok);
                 stats.accepted += 1;
-                verify_ctx.push(*tok);
                 if *tok == cfg.eos {
                     break;
                 }
@@ -144,20 +177,24 @@ pub fn decode_draft_speculative(
                 break;
             }
         }
-        // Bonus token when everything was accepted.
+        // Bonus token when everything was accepted: drawn from the
+        // already-scored position after the full proposal block.
         if !rejected && committed.last() != Some(&cfg.eos) {
-            let mut p = softmax(&target.logits(&verify_ctx));
-            tempered(&mut p, cfg.temperature);
-            committed.push(sampler.sample_from_probs(&p));
+            let p = &target_probs[committed.len()];
+            committed.push(sampler.sample_from_probs(p));
         }
 
         let remaining = cfg.max_tokens - out.tokens.len();
         committed.truncate(remaining);
 
-        out.clock.record_step(cost, proposals.len(), committed.len());
+        out.clock
+            .record_step(cost, proposals.len(), committed.len());
         out.steps += 1;
         let hit_eos = committed.contains(&cfg.eos);
-        prefix.extend_from_slice(&committed);
+        // Roll both sessions back to the committed prefix and extend.
+        draft_session.truncate(step_start);
+        draft_session.append(&committed);
+        target_session.append(&committed);
         out.tokens.extend_from_slice(&committed);
         out.trace.push(StepTrace {
             speculated: proposals.len(),
@@ -189,7 +226,10 @@ mod tests {
     fn identical_models_accept_almost_everything() {
         let target = cyclic_ngram(3, 12, 3);
         let draft = cyclic_ngram(3, 12, 3);
-        let cfg = DraftConfig { max_tokens: 40, ..Default::default() };
+        let cfg = DraftConfig {
+            max_tokens: 40,
+            ..Default::default()
+        };
         let (out, stats) = decode_draft_speculative(
             &target,
             &draft,
@@ -210,7 +250,11 @@ mod tests {
     fn weak_draft_still_produces_target_like_text() {
         let target = cyclic_ngram(3, 12, 3);
         let draft = NgramLm::new(1, 12); // untrained, uniform-ish
-        let cfg = DraftConfig { max_tokens: 30, seed: 4, ..Default::default() };
+        let cfg = DraftConfig {
+            max_tokens: 30,
+            seed: 4,
+            ..Default::default()
+        };
         let (out, stats) = decode_draft_speculative(
             &target,
             &draft,
@@ -219,7 +263,10 @@ mod tests {
             &GpuCostModel::codellama_like(),
         );
         assert_eq!(out.tokens.len(), 30);
-        assert!(stats.acceptance_rate() < 0.9, "uniform draft should get rejected often");
+        assert!(
+            stats.acceptance_rate() < 0.9,
+            "uniform draft should get rejected often"
+        );
         // Output should mostly follow the target's cycle 6,7,8.
         let in_cycle = out.tokens.iter().filter(|&&t| (6..=8).contains(&t)).count();
         assert!(in_cycle as f64 > 0.8 * out.tokens.len() as f64);
@@ -229,7 +276,11 @@ mod tests {
     fn deterministic_given_seed() {
         let target = cyclic_ngram(3, 12, 4);
         let draft = cyclic_ngram(2, 12, 4);
-        let cfg = DraftConfig { max_tokens: 25, seed: 9, ..Default::default() };
+        let cfg = DraftConfig {
+            max_tokens: 25,
+            seed: 9,
+            ..Default::default()
+        };
         let cost = GpuCostModel::codellama_like();
         let (a, _) = decode_draft_speculative(&target, &draft, &[6], &cfg, &cost);
         let (b, _) = decode_draft_speculative(&target, &draft, &[6], &cfg, &cost);
@@ -240,14 +291,13 @@ mod tests {
     fn respects_max_tokens() {
         let target = cyclic_ngram(3, 12, 3);
         let draft = cyclic_ngram(3, 12, 3);
-        let cfg = DraftConfig { max_tokens: 7, gamma: 5, ..Default::default() };
-        let (out, _) = decode_draft_speculative(
-            &target,
-            &draft,
-            &[6],
-            &cfg,
-            &GpuCostModel::codellama_like(),
-        );
+        let cfg = DraftConfig {
+            max_tokens: 7,
+            gamma: 5,
+            ..Default::default()
+        };
+        let (out, _) =
+            decode_draft_speculative(&target, &draft, &[6], &cfg, &GpuCostModel::codellama_like());
         assert!(out.tokens.len() <= 7);
     }
 

@@ -49,7 +49,11 @@ impl LabelGrid {
                     .collect()
             })
             .collect();
-        Self { n_heads, seq_len, rows }
+        Self {
+            n_heads,
+            seq_len,
+            rows,
+        }
     }
 
     /// Next-token-prediction labels: only the base row is supervised.
@@ -158,13 +162,10 @@ impl LabelGrid {
     /// Supervised `(head, target)` pairs at position `s`, skipping
     /// `[IGNORE]` entries.
     pub fn targets_at(&self, s: usize) -> impl Iterator<Item = (usize, TokenId)> + '_ {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(move |(h, row)| {
-                let t = row[s];
-                (t != special::IGNORE).then_some((h, t))
-            })
+        self.rows.iter().enumerate().filter_map(move |(h, row)| {
+            let t = row[s];
+            (t != special::IGNORE).then_some((h, t))
+        })
     }
 
     /// Fraction of head-row entries masked to `[IGNORE]` (diagnostic; the

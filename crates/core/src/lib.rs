@@ -40,7 +40,9 @@ pub mod labels;
 pub mod train;
 
 pub use accept::TypicalAcceptance;
-pub use decode::{decode_ntp, decode_speculative, DecodeConfig, DecodeMethod, DecodeOutput, StepTrace};
+pub use decode::{
+    decode_ntp, decode_speculative, DecodeConfig, DecodeMethod, DecodeOutput, StepTrace,
+};
 pub use draft::{decode_draft_speculative, DraftConfig, DraftStats};
 pub use labels::LabelGrid;
 pub use train::{train, train_in_place, TrainConfig, TrainMethod, TrainReport};

@@ -99,7 +99,10 @@ impl TrainConfig {
 
     /// MEDUSA-1 defaults: frozen backbone, heads-only training.
     pub fn medusa1_defaults() -> Self {
-        Self { freeze_base: true, ..Self::paper_defaults(TrainMethod::Medusa) }
+        Self {
+            freeze_base: true,
+            ..Self::paper_defaults(TrainMethod::Medusa)
+        }
     }
 }
 
@@ -149,7 +152,11 @@ pub fn train_in_place(
 ) -> TrainReport {
     let n_heads = model.n_heads();
     if !matches!(tc.method, TrainMethod::Ntp) {
-        assert!(n_heads > 0, "{} training requires Medusa heads", tc.method.name());
+        assert!(
+            n_heads > 0,
+            "{} training requires Medusa heads",
+            tc.method.name()
+        );
     }
     let mut opt = model.optimizer();
     let mut grads = model.zero_grads();
@@ -158,11 +165,16 @@ pub fn train_in_place(
 
     // Pre-build label grids once; they are method- and data-dependent
     // but epoch-invariant.
-    let grids: Vec<LabelGrid> =
-        sequences.iter().map(|seq| tc.method.labels(seq, n_heads)).collect();
+    let grids: Vec<LabelGrid> = sequences
+        .iter()
+        .map(|seq| tc.method.labels(seq, n_heads))
+        .collect();
 
-    let total_positions: usize =
-        sequences.iter().map(|s| s.len().saturating_sub(1)).sum::<usize>().max(1);
+    let total_positions: usize = sequences
+        .iter()
+        .map(|s| s.len().saturating_sub(1))
+        .sum::<usize>()
+        .max(1);
     let total_steps = (total_positions * tc.epochs).max(1);
     let mut global_pos = 0usize;
 
@@ -186,8 +198,7 @@ pub fn train_in_place(
             for pos in 0..seq.len() - 1 {
                 // λ sine ramp over global progress (Eq. 2).
                 let progress = global_pos as f32 / total_steps as f32;
-                let lambda =
-                    tc.lambda_max * (progress * std::f32::consts::FRAC_PI_2).sin();
+                let lambda = tc.lambda_max * (progress * std::f32::consts::FRAC_PI_2).sin();
                 global_pos += 1;
 
                 let targets: Vec<HeadTarget> = grid
@@ -271,13 +282,23 @@ mod tests {
     }
 
     fn tiny_cfg(n_heads: usize) -> MlpLmConfig {
-        MlpLmConfig { vocab: 40, d_emb: 8, d_hidden: 16, context: 4, n_heads, seed: 3 }
+        MlpLmConfig {
+            vocab: 40,
+            d_emb: 8,
+            d_hidden: 16,
+            context: 4,
+            n_heads,
+            seed: 3,
+        }
     }
 
     #[test]
     fn ntp_training_reduces_base_loss() {
         let seqs = toy_sequences(false, 4);
-        let tc = TrainConfig { epochs: 4, ..TrainConfig::paper_defaults(TrainMethod::Ntp) };
+        let tc = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::paper_defaults(TrainMethod::Ntp)
+        };
         let (_, report) = train(tiny_cfg(0), &seqs, &tc);
         assert!(report.base_losses.len() == 4);
         assert!(
@@ -290,9 +311,15 @@ mod tests {
     #[test]
     fn medusa_training_engages_heads() {
         let seqs = toy_sequences(false, 4);
-        let tc = TrainConfig { epochs: 3, ..TrainConfig::paper_defaults(TrainMethod::Medusa) };
+        let tc = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::paper_defaults(TrainMethod::Medusa)
+        };
         let (model, report) = train(tiny_cfg(4), &seqs, &tc);
-        assert!(report.head_losses.iter().any(|&l| l > 0.0), "heads must incur loss");
+        assert!(
+            report.head_losses.iter().any(|&l| l > 0.0),
+            "heads must incur loss"
+        );
         assert_eq!(model.n_heads(), 4);
     }
 
@@ -324,7 +351,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let seqs = toy_sequences(true, 3);
-        let tc = TrainConfig { epochs: 1, ..TrainConfig::paper_defaults(TrainMethod::Ours) };
+        let tc = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::paper_defaults(TrainMethod::Ours)
+        };
         let (a, ra) = train(tiny_cfg(3), &seqs, &tc);
         let (b, rb) = train(tiny_cfg(3), &seqs, &tc);
         assert_eq!(ra, rb);
@@ -336,7 +366,10 @@ mod tests {
         // Indirect check: with one epoch, head loss (weighted) must stay
         // well below base loss since λ ramps from 0.
         let seqs = toy_sequences(false, 3);
-        let tc = TrainConfig { epochs: 1, ..TrainConfig::paper_defaults(TrainMethod::Medusa) };
+        let tc = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::paper_defaults(TrainMethod::Medusa)
+        };
         let (_, report) = train(tiny_cfg(4), &seqs, &tc);
         assert!(report.head_losses[0] < report.base_losses[0]);
     }
@@ -348,7 +381,10 @@ mod tests {
         let fresh = verispec_lm::MlpLm::new(cfg);
         let baseline_logits = fresh.logits(&[10, 20]);
 
-        let tc = TrainConfig { epochs: 2, ..TrainConfig::medusa1_defaults() };
+        let tc = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::medusa1_defaults()
+        };
         let (trained, report) = train(cfg, &seqs, &tc);
         // Base head logits unchanged (backbone frozen).
         assert_eq!(trained.logits(&[10, 20]), baseline_logits);
@@ -362,7 +398,10 @@ mod tests {
     #[test]
     fn short_sequences_are_skipped_gracefully() {
         let seqs = vec![vec![5u32], vec![], vec![7, 8, 9, 10, 11]];
-        let tc = TrainConfig { epochs: 1, ..TrainConfig::paper_defaults(TrainMethod::Ntp) };
+        let tc = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::paper_defaults(TrainMethod::Ntp)
+        };
         let (_, report) = train(tiny_cfg(0), &seqs, &tc);
         assert_eq!(report.positions[0], 4, "only the long sequence contributes");
     }

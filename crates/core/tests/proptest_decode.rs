@@ -70,13 +70,20 @@ impl LanguageModel for HashLm {
     }
 
     fn multi_logits(&self, prefix: &[TokenId]) -> Vec<Vec<f32>> {
-        (0..=self.n_heads).map(|h| self.logits_for(prefix, h)).collect()
+        (0..=self.n_heads)
+            .map(|h| self.logits_for(prefix, h))
+            .collect()
     }
 }
 
 fn any_model() -> impl Strategy<Value = HashLm> {
     (8usize..40, 0usize..8, any::<u64>(), 0.0f32..6.0).prop_map(
-        |(vocab, n_heads, seed, frag_boost)| HashLm { vocab, n_heads, seed, frag_boost },
+        |(vocab, n_heads, seed, frag_boost)| HashLm {
+            vocab,
+            n_heads,
+            seed,
+            frag_boost,
+        },
     )
 }
 
@@ -100,7 +107,16 @@ proptest! {
         prop_assert_eq!(&ntp.tokens, &ours.tokens, "ours greedy must match ntp greedy");
         prop_assert!(medusa.steps <= ntp.steps);
         prop_assert!(ours.steps <= ntp.steps);
-        prop_assert!(ours.steps >= medusa.steps, "truncation can only add steps");
+        // Truncation can only shorten the span committed from a given
+        // position. Only the first step starts from the same position in
+        // both decoders — afterwards they diverge, and global step totals
+        // are not monotone (same caveat as the tree comparison below).
+        if let (Some(m0), Some(o0)) = (medusa.trace.first(), ours.trace.first()) {
+            prop_assert!(
+                o0.committed.len() <= m0.committed.len(),
+                "truncation cannot lengthen a step"
+            );
+        }
         // Tree candidates keep losslessness too. (No global step-count
         // comparison: committing more per step moves the decoder to
         // different positions, so step totals are not monotone in the

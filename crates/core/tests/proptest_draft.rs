@@ -24,8 +24,8 @@ proptest! {
         max_tokens in 1usize..64,
         seed in any::<u64>(),
     ) {
-        let target = trained_ngram(3, 16, &[seq.clone()]);
-        let draft = trained_ngram(2, 16, &[seq.clone()]);
+        let target = trained_ngram(3, 16, std::slice::from_ref(&seq));
+        let draft = trained_ngram(2, 16, std::slice::from_ref(&seq));
         let cfg = DraftConfig { gamma, max_tokens, seed, ..Default::default() };
         let (out, stats) = decode_draft_speculative(
             &target,
@@ -50,7 +50,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let seq: Vec<TokenId> = (0..240).map(|i| 5 + (i % period) as TokenId).collect();
-        let lm = trained_ngram(3, 16, &[seq.clone()]);
+        let lm = trained_ngram(3, 16, std::slice::from_ref(&seq));
         let cfg = DraftConfig { gamma, max_tokens: 48, seed, ..Default::default() };
         let (_, stats) = decode_draft_speculative(
             &lm,
@@ -71,8 +71,8 @@ proptest! {
         seq in prop::collection::vec(5u32..15, 10..60),
         seed in any::<u64>(),
     ) {
-        let target = trained_ngram(3, 16, &[seq.clone()]);
-        let draft = trained_ngram(1, 16, &[seq.clone()]);
+        let target = trained_ngram(3, 16, std::slice::from_ref(&seq));
+        let draft = trained_ngram(1, 16, std::slice::from_ref(&seq));
         let cfg = DraftConfig { gamma: 3, max_tokens: 32, seed, ..Default::default() };
         let cost = GpuCostModel::codet5p_like();
         let (a, sa) = decode_draft_speculative(&target, &draft, &seq[..1], &cfg, &cost);

@@ -59,7 +59,12 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        Self { size: 512, seed: 0xC0FFEE, dedup_threshold: 0.95, max_comment_ratio: 0.8 }
+        Self {
+            size: 512,
+            seed: 0xC0FFEE,
+            dedup_threshold: 0.95,
+            max_comment_ratio: 0.8,
+        }
     }
 }
 
@@ -92,7 +97,10 @@ impl Corpus {
     /// Refines pre-generated modules (exposed for tests and for mixing in
     /// externally supplied raw code).
     pub fn refine(raw: Vec<GeneratedModule>, cfg: &CorpusConfig) -> Corpus {
-        let mut stats = CorpusStats { generated: raw.len(), ..Default::default() };
+        let mut stats = CorpusStats {
+            generated: raw.len(),
+            ..Default::default()
+        };
         let mut cleaned: Vec<(GeneratedModule, String)> = Vec::new();
 
         for gm in raw {
@@ -183,7 +191,10 @@ mod tests {
 
     #[test]
     fn build_produces_items_across_families() {
-        let corpus = Corpus::build(&CorpusConfig { size: 96, ..Default::default() });
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 96,
+            ..Default::default()
+        });
         assert!(corpus.stats.retained > 48, "stats: {:?}", corpus.stats);
         let families: std::collections::HashSet<&str> =
             corpus.items.iter().map(|i| i.family.as_str()).collect();
@@ -223,7 +234,10 @@ mod tests {
 
     #[test]
     fn subsets_are_prefixes() {
-        let corpus = Corpus::build(&CorpusConfig { size: 64, ..Default::default() });
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 64,
+            ..Default::default()
+        });
         let half = corpus.subset(1, 2);
         let full = corpus.subset(1, 1);
         assert_eq!(full.len(), corpus.items.len());
@@ -242,7 +256,10 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let cfg = CorpusConfig { size: 40, ..Default::default() };
+        let cfg = CorpusConfig {
+            size: 40,
+            ..Default::default()
+        };
         let a = Corpus::build(&cfg);
         let b = Corpus::build(&cfg);
         assert_eq!(a.items.len(), b.items.len());

@@ -67,7 +67,12 @@ impl MinHash {
 
     /// Estimated Jaccard similarity between two signatures.
     pub fn similarity(&self, other: &MinHash) -> f64 {
-        let same = self.sig.iter().zip(&other.sig).filter(|(a, b)| a == b).count();
+        let same = self
+            .sig
+            .iter()
+            .zip(&other.sig)
+            .filter(|(a, b)| a == b)
+            .count();
         same as f64 / SIGNATURE_SIZE as f64
     }
 }

@@ -2,7 +2,7 @@
 //! encoders, ALUs, shifters, parity, bit tricks.
 
 use super::{pick, pick_width, vary_name};
-use crate::iface::{input, mask, Golden, GeneratedModule, Interface, PortSpec};
+use crate::iface::{input, mask, GeneratedModule, Golden, Interface, PortSpec};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -33,8 +33,14 @@ pub fn families() -> Vec<super::Family> {
 
 fn gen_mux2(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["mux2to1", "mux2", "two_way_mux"]); vary_name(rng, base) };
-    let (a, b) = (pick(rng, &["a", "in0"]).to_string(), pick(rng, &["b", "in1"]).to_string());
+    let name = {
+        let base = pick(rng, &["mux2to1", "mux2", "two_way_mux"]);
+        vary_name(rng, base)
+    };
+    let (a, b) = (
+        pick(rng, &["a", "in0"]).to_string(),
+        pick(rng, &["b", "in1"]).to_string(),
+    );
     let sel = pick(rng, &["sel", "select"]).to_string();
     let y = pick(rng, &["y", "out"]).to_string();
     let source = format!(
@@ -59,11 +65,19 @@ fn gen_mux2(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::comb(
-            vec![PortSpec::new(a, w), PortSpec::new(b, w), PortSpec::new(sel, 1)],
+            vec![
+                PortSpec::new(a, w),
+                PortSpec::new(b, w),
+                PortSpec::new(sel, 1),
+            ],
             vec![PortSpec::new(y, w)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
-            let v = if input(ins, &sn) != 0 { input(ins, &bn) } else { input(ins, &an) };
+            let v = if input(ins, &sn) != 0 {
+                input(ins, &bn)
+            } else {
+                input(ins, &an)
+            };
             vec![(yn.clone(), mask(v, w))]
         })),
     }
@@ -71,7 +85,10 @@ fn gen_mux2(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_mux4(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["mux4to1", "mux4", "four_way_mux"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["mux4to1", "mux4", "four_way_mux"]);
+        vary_name(rng, base)
+    };
     let y = pick(rng, &["y", "dout"]).to_string();
     let source = format!(
         "module {name} (\n    input [{m}:0] d0,\n    input [{m}:0] d1,\n    input [{m}:0] d2,\n    input [{m}:0] d3,\n    input [1:0] sel,\n    output reg [{m}:0] {y}\n);\n    always @(*) begin\n        case (sel)\n            2'b00: {y} = d0;\n            2'b01: {y} = d1;\n            2'b10: {y} = d2;\n            default: {y} = d3;\n        endcase\n    end\nendmodule\n",
@@ -111,7 +128,10 @@ fn gen_mux4(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_adder(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["adder", "add_unit", "full_adder_vec"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["adder", "add_unit", "full_adder_vec"]);
+        vary_name(rng, base)
+    };
     let (a, b) = ("a".to_string(), "b".to_string());
     let s = pick(rng, &["sum", "result"]).to_string();
     let co = pick(rng, &["cout", "carry"]).to_string();
@@ -149,7 +169,10 @@ fn gen_adder(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_subtractor(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["subtractor", "sub_unit", "minus"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["subtractor", "sub_unit", "minus"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] diff,\n    output borrow\n);\n    wire [{w}:0] total;\n    assign total = {{1'b0, a}} - {{1'b0, b}};\n    assign diff = total[{m}:0];\n    assign borrow = total[{w}];\nendmodule\n",
         m = w - 1
@@ -178,7 +201,10 @@ fn gen_subtractor(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_addsub(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["addsub", "add_sub", "arith_unit"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["addsub", "add_sub", "arith_unit"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    input mode,\n    output reg [{m}:0] y\n);\n    always @(*) begin\n        if (mode)\n            y = a - b;\n        else\n            y = a + b;\n    end\nendmodule\n",
         m = w - 1
@@ -192,12 +218,20 @@ fn gen_addsub(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::comb(
-            vec![PortSpec::new("a", w), PortSpec::new("b", w), PortSpec::new("mode", 1)],
+            vec![
+                PortSpec::new("a", w),
+                PortSpec::new("b", w),
+                PortSpec::new("mode", 1),
+            ],
             vec![PortSpec::new("y", w)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
             let (a, b) = (input(ins, "a"), input(ins, "b"));
-            let y = if input(ins, "mode") != 0 { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+            let y = if input(ins, "mode") != 0 {
+                a.wrapping_sub(b)
+            } else {
+                a.wrapping_add(b)
+            };
             vec![("y".to_string(), mask(y, w))]
         })),
     }
@@ -205,7 +239,10 @@ fn gen_addsub(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_comparator(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["comparator", "cmp", "compare_unit"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["comparator", "cmp", "compare_unit"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output eq,\n    output lt,\n    output gt\n);\n    assign eq = (a == b);\n    assign lt = (a < b);\n    assign gt = (a > b);\nendmodule\n",
         m = w - 1
@@ -220,7 +257,11 @@ fn gen_comparator(rng: &mut SmallRng) -> GeneratedModule {
         description,
         interface: Interface::comb(
             vec![PortSpec::new("a", w), PortSpec::new("b", w)],
-            vec![PortSpec::new("eq", 1), PortSpec::new("lt", 1), PortSpec::new("gt", 1)],
+            vec![
+                PortSpec::new("eq", 1),
+                PortSpec::new("lt", 1),
+                PortSpec::new("gt", 1),
+            ],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
             let (a, b) = (input(ins, "a"), input(ins, "b"));
@@ -272,14 +313,21 @@ fn gen_decoder(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("y", outw)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
-            let y = if input(ins, "en") != 0 { 1u64 << (input(ins, "sel") & ((1 << n) - 1)) } else { 0 };
+            let y = if input(ins, "en") != 0 {
+                1u64 << (input(ins, "sel") & ((1 << n) - 1))
+            } else {
+                0
+            };
             vec![("y".to_string(), mask(y, outw))]
         })),
     }
 }
 
 fn gen_priority_encoder(rng: &mut SmallRng) -> GeneratedModule {
-    let name = { let base = pick(rng, &["priority_encoder", "prio_enc", "arbiter_enc"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["priority_encoder", "prio_enc", "arbiter_enc"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [3:0] req,\n    output reg [1:0] grant,\n    output reg valid\n);\n    always @(*) begin\n        valid = 1'b1;\n        casez (req)\n            4'b1???: grant = 2'd3;\n            4'b01??: grant = 2'd2;\n            4'b001?: grant = 2'd1;\n            4'b0001: grant = 2'd0;\n            default: begin\n                grant = 2'd0;\n                valid = 1'b0;\n            end\n        endcase\n    end\nendmodule\n"
     );
@@ -315,7 +363,10 @@ fn gen_priority_encoder(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_parity(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 10);
-    let name = { let base = pick(rng, &["parity_gen", "parity", "parity_checker"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["parity_gen", "parity", "parity_checker"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] data,\n    output odd,\n    output even\n);\n    assign odd = ^data;\n    assign even = ~^data;\nendmodule\n",
         m = w - 1
@@ -341,7 +392,10 @@ fn gen_parity(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_alu(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
-    let name = { let base = pick(rng, &["alu", "simple_alu", "alu_core"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["alu", "simple_alu", "alu_core"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [2:0] op,\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output reg [{m}:0] y,\n    output zero\n);\n    assign zero = (y == {w}'d0);\n    always @(*) begin\n        case (op)\n            3'b000: y = a + b;\n            3'b001: y = a - b;\n            3'b010: y = a & b;\n            3'b011: y = a | b;\n            3'b100: y = a ^ b;\n            3'b101: y = ~a;\n            3'b110: y = a << 1;\n            default: y = a >> 1;\n        endcase\n    end\nendmodule\n",
         m = w - 1
@@ -355,7 +409,11 @@ fn gen_alu(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::comb(
-            vec![PortSpec::new("op", 3), PortSpec::new("a", w), PortSpec::new("b", w)],
+            vec![
+                PortSpec::new("op", 3),
+                PortSpec::new("a", w),
+                PortSpec::new("b", w),
+            ],
             vec![PortSpec::new("y", w), PortSpec::new("zero", 1)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
@@ -378,7 +436,10 @@ fn gen_alu(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_shifter(rng: &mut SmallRng) -> GeneratedModule {
     let w = 8u32;
-    let name = { let base = pick(rng, &["barrel_shifter", "shifter", "shift_unit"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["barrel_shifter", "shifter", "shift_unit"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] data,\n    input [2:0] amount,\n    input dir,\n    output [{m}:0] y\n);\n    assign y = dir ? (data >> amount) : (data << amount);\nendmodule\n",
         m = w - 1
@@ -392,13 +453,21 @@ fn gen_shifter(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::comb(
-            vec![PortSpec::new("data", w), PortSpec::new("amount", 3), PortSpec::new("dir", 1)],
+            vec![
+                PortSpec::new("data", w),
+                PortSpec::new("amount", 3),
+                PortSpec::new("dir", 1),
+            ],
             vec![PortSpec::new("y", w)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {
             let d = input(ins, "data");
             let amt = input(ins, "amount") & 7;
-            let y = if input(ins, "dir") != 0 { mask(d, w) >> amt } else { d << amt };
+            let y = if input(ins, "dir") != 0 {
+                mask(d, w) >> amt
+            } else {
+                d << amt
+            };
             vec![("y".to_string(), mask(y, w))]
         })),
     }
@@ -406,7 +475,10 @@ fn gen_shifter(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_bit_reverse(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
-    let name = { let base = pick(rng, &["bit_reverse", "reverser", "bitrev"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["bit_reverse", "reverser", "bitrev"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] din,\n    output reg [{m}:0] dout\n);\n    integer i;\n    always @(*) begin\n        for (i = 0; i < {w}; i = i + 1)\n            dout[i] = din[{m} - i];\n    end\nendmodule\n",
         m = w - 1
@@ -437,8 +509,11 @@ fn gen_bit_reverse(rng: &mut SmallRng) -> GeneratedModule {
 fn gen_popcount(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
     let cw = 32 - (w.leading_zeros()) + 1; // enough bits for count
-    let cw = cw.min(8).max(4);
-    let name = { let base = pick(rng, &["popcount", "ones_counter", "bit_counter"]); vary_name(rng, base) };
+    let cw = cw.clamp(4, 8);
+    let name = {
+        let base = pick(rng, &["popcount", "ones_counter", "bit_counter"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] din,\n    output reg [{cm}:0] count\n);\n    integer i;\n    always @(*) begin\n        count = {cw}'d0;\n        for (i = 0; i < {w}; i = i + 1)\n            count = count + din[i];\n    end\nendmodule\n",
         m = w - 1,
@@ -464,7 +539,10 @@ fn gen_popcount(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_bin2gray(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["bin2gray", "gray_encoder", "binary_to_gray"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["bin2gray", "gray_encoder", "binary_to_gray"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] bin,\n    output [{m}:0] gray\n);\n    assign gray = bin ^ (bin >> 1);\nendmodule\n",
         m = w - 1
@@ -490,7 +568,10 @@ fn gen_bin2gray(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_absdiff(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["absdiff", "abs_difference", "delta"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["absdiff", "abs_difference", "delta"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] y\n);\n    assign y = (a > b) ? (a - b) : (b - a);\nendmodule\n",
         m = w - 1
@@ -516,7 +597,10 @@ fn gen_absdiff(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_minmax(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["minmax", "min_max", "extrema"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["minmax", "min_max", "extrema"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    input [{m}:0] b,\n    output [{m}:0] min_val,\n    output [{m}:0] max_val\n);\n    assign min_val = (a < b) ? a : b;\n    assign max_val = (a < b) ? b : a;\nendmodule\n",
         m = w - 1
@@ -546,7 +630,10 @@ fn gen_minmax(rng: &mut SmallRng) -> GeneratedModule {
 fn gen_sign_extend(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 6);
     let w2 = w + pick_width(rng, 2, 6);
-    let name = { let base = pick(rng, &["sign_extend", "sext", "sign_ext_unit"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["sign_extend", "sext", "sign_ext_unit"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input [{m}:0] a,\n    output [{m2}:0] y\n);\n    assign y = {{{{{rep}{{a[{m}]}}}}, a}};\nendmodule\n",
         m = w - 1,
@@ -561,21 +648,25 @@ fn gen_sign_extend(rng: &mut SmallRng) -> GeneratedModule {
         family: "sign_extend",
         source,
         description,
-        interface: Interface::comb(
-            vec![PortSpec::new("a", w)],
-            vec![PortSpec::new("y", w2)],
-        ),
+        interface: Interface::comb(vec![PortSpec::new("a", w)], vec![PortSpec::new("y", w2)]),
         golden: Golden::Comb(Arc::new(move |ins| {
             let a = mask(input(ins, "a"), w);
             let sign = (a >> (w - 1)) & 1;
-            let y = if sign == 1 { a | (mask(u64::MAX, w2) & !mask(u64::MAX, w)) } else { a };
+            let y = if sign == 1 {
+                a | (mask(u64::MAX, w2) & !mask(u64::MAX, w))
+            } else {
+                a
+            };
             vec![("y".to_string(), mask(y, w2))]
         })),
     }
 }
 
 fn gen_majority(rng: &mut SmallRng) -> GeneratedModule {
-    let name = { let base = pick(rng, &["majority3", "voter", "majority_gate"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["majority3", "voter", "majority_gate"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input a,\n    input b,\n    input c,\n    output y\n);\n    assign y = (a & b) | (a & c) | (b & c);\nendmodule\n"
     );
@@ -588,7 +679,11 @@ fn gen_majority(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::comb(
-            vec![PortSpec::new("a", 1), PortSpec::new("b", 1), PortSpec::new("c", 1)],
+            vec![
+                PortSpec::new("a", 1),
+                PortSpec::new("b", 1),
+                PortSpec::new("c", 1),
+            ],
             vec![PortSpec::new("y", 1)],
         ),
         golden: Golden::Comb(Arc::new(move |ins| {

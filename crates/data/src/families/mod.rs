@@ -55,7 +55,11 @@ mod tests {
     #[test]
     fn registry_is_populated_and_distinct() {
         let fams = all_families();
-        assert!(fams.len() >= 20, "expect at least 20 families, got {}", fams.len());
+        assert!(
+            fams.len() >= 20,
+            "expect at least 20 families, got {}",
+            fams.len()
+        );
         let mut names: Vec<&str> = fams.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

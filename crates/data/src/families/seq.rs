@@ -6,7 +6,7 @@
 //! the harness protocol.
 
 use super::{pick, pick_width, vary_name};
-use crate::iface::{input, mask, Golden, GeneratedModule, Interface, PortSpec, ResetWiring};
+use crate::iface::{input, mask, GeneratedModule, Golden, Interface, PortSpec, ResetWiring};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -14,7 +14,10 @@ use std::sync::Arc;
 /// Registered sequential families.
 pub fn families() -> Vec<super::Family> {
     vec![
-        ("data_register", gen_data_register as fn(&mut SmallRng) -> GeneratedModule),
+        (
+            "data_register",
+            gen_data_register as fn(&mut SmallRng) -> GeneratedModule,
+        ),
         ("register_en", gen_register_en),
         ("counter_up", gen_counter_up),
         ("counter_updown", gen_counter_updown),
@@ -34,7 +37,10 @@ pub fn families() -> Vec<super::Family> {
 fn gen_data_register(rng: &mut SmallRng) -> GeneratedModule {
     // The paper's Fig. 3 / Fig. 5 example family.
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["data_register", "dff_vec", "register"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["data_register", "dff_vec", "register"]);
+        vary_name(rng, base)
+    };
     let (din, dout) = (
         pick(rng, &["data_in", "din"]).to_string(),
         pick(rng, &["data_out", "q"]).to_string(),
@@ -66,8 +72,7 @@ fn gen_data_register(rng: &mut SmallRng) -> GeneratedModule {
             "clk",
             None,
         ),
-        golden: Golden::Seq(Arc::new(move |
-        | {
+        golden: Golden::Seq(Arc::new(move || {
             let (di, do_) = (di.clone(), do_.clone());
             Box::new(move |ins| vec![(do_.clone(), mask(input(ins, &di), w))])
         })),
@@ -76,7 +81,10 @@ fn gen_data_register(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_register_en(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 2, 8);
-    let name = { let base = pick(rng, &["register_en", "en_reg", "dff_en"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["register_en", "en_reg", "dff_en"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst_n,\n    input en,\n    input [{m}:0] d,\n    output reg [{m}:0] q\n);\n    always @(posedge clk or negedge rst_n) begin\n        if (!rst_n)\n            q <= {w}'d0;\n        else if (en)\n            q <= d;\n    end\nendmodule\n",
         m = w - 1
@@ -93,7 +101,10 @@ fn gen_register_en(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("en", 1), PortSpec::new("d", w)],
             vec![PortSpec::new("q", w)],
             "clk",
-            Some(ResetWiring { signal: "rst_n".into(), active_low: true }),
+            Some(ResetWiring {
+                signal: "rst_n".into(),
+                active_low: true,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut q = 0u64;
@@ -109,7 +120,10 @@ fn gen_register_en(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_counter_up(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["counter", "up_counter", "counter_up"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["counter", "up_counter", "counter_up"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input en,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (en)\n            count <= count + 1;\n    end\nendmodule\n",
         m = w - 1
@@ -131,7 +145,10 @@ fn gen_counter_up(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("en", 1)],
             vec![PortSpec::new("count", w)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut count = 0u64;
@@ -147,7 +164,10 @@ fn gen_counter_up(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_counter_updown(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["updown_counter", "counter_updown", "bidir_counter"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["updown_counter", "counter_updown", "bidir_counter"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input up,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (up)\n            count <= count + 1;\n        else\n            count <= count - 1;\n    end\nendmodule\n",
         m = w - 1
@@ -164,7 +184,10 @@ fn gen_counter_updown(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("up", 1)],
             vec![PortSpec::new("count", w)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut count = 0u64;
@@ -182,7 +205,10 @@ fn gen_counter_updown(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_counter_load(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["loadable_counter", "counter_load", "preset_counter"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["loadable_counter", "counter_load", "preset_counter"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input load,\n    input [{m}:0] din,\n    output reg [{m}:0] count\n);\n    always @(posedge clk) begin\n        if (rst)\n            count <= {w}'d0;\n        else if (load)\n            count <= din;\n        else\n            count <= count + 1;\n    end\nendmodule\n",
         m = w - 1
@@ -199,7 +225,10 @@ fn gen_counter_load(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("load", 1), PortSpec::new("din", w)],
             vec![PortSpec::new("count", w)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut count = 0u64;
@@ -217,7 +246,10 @@ fn gen_counter_load(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_shift_register(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 3, 8);
-    let name = { let base = pick(rng, &["shift_register", "sipo", "shift_reg"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["shift_register", "sipo", "shift_reg"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output reg [{m}:0] q\n);\n    always @(posedge clk) begin\n        if (rst)\n            q <= {w}'d0;\n        else\n            q <= {{q[{m2}:0], din}};\n    end\nendmodule\n",
         m = w - 1,
@@ -235,7 +267,10 @@ fn gen_shift_register(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("din", 1)],
             vec![PortSpec::new("q", w)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut q = 0u64;
@@ -248,7 +283,10 @@ fn gen_shift_register(rng: &mut SmallRng) -> GeneratedModule {
 }
 
 fn gen_edge_detector(rng: &mut SmallRng) -> GeneratedModule {
-    let name = { let base = pick(rng, &["edge_detector", "rising_edge", "pulse_gen"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["edge_detector", "rising_edge", "pulse_gen"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output reg pulse\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            prev <= 1'b0;\n            pulse <= 1'b0;\n        end else begin\n            pulse <= din & ~prev;\n            prev <= din;\n        end\n    end\nendmodule\n"
     );
@@ -264,7 +302,10 @@ fn gen_edge_detector(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("din", 1)],
             vec![PortSpec::new("pulse", 1)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut prev = 0u64;
@@ -281,7 +322,10 @@ fn gen_edge_detector(rng: &mut SmallRng) -> GeneratedModule {
 fn gen_clock_divider(rng: &mut SmallRng) -> GeneratedModule {
     let bits = pick_width(rng, 2, 4);
     let period = 1u64 << bits;
-    let name = { let base = pick(rng, &["clock_divider", "tick_gen", "divider"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["clock_divider", "tick_gen", "divider"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    output reg tick\n);\n    reg [{m}:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            cnt <= {bits}'d0;\n            tick <= 1'b0;\n        end else begin\n            cnt <= cnt + 1;\n            tick <= (cnt == {bits}'d{last});\n        end\n    end\nendmodule\n",
         m = bits - 1,
@@ -299,7 +343,10 @@ fn gen_clock_divider(rng: &mut SmallRng) -> GeneratedModule {
             vec![],
             vec![PortSpec::new("tick", 1)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut cnt = 0u64;
@@ -314,7 +361,10 @@ fn gen_clock_divider(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_fsm_detector(rng: &mut SmallRng) -> GeneratedModule {
     // Moore FSM detecting the serial pattern 101 (with overlap).
-    let name = { let base = pick(rng, &["seq_detector", "fsm_101", "pattern_fsm"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["seq_detector", "fsm_101", "pattern_fsm"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input din,\n    output detected\n);\n    localparam [1:0] S_IDLE = 2'd0, S_1 = 2'd1, S_10 = 2'd2, S_101 = 2'd3;\n    reg [1:0] state;\n    assign detected = (state == S_101);\n    always @(posedge clk) begin\n        if (rst)\n            state <= S_IDLE;\n        else begin\n            case (state)\n                S_IDLE: state <= din ? S_1 : S_IDLE;\n                S_1:    state <= din ? S_1 : S_10;\n                S_10:   state <= din ? S_101 : S_IDLE;\n                S_101:  state <= din ? S_1 : S_10;\n                default: state <= S_IDLE;\n            endcase\n        end\n    end\nendmodule\n"
     );
@@ -330,7 +380,10 @@ fn gen_fsm_detector(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("din", 1)],
             vec![PortSpec::new("detected", 1)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut state = 0u64; // S_IDLE
@@ -357,7 +410,10 @@ fn gen_fifo(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
     let depth_bits = rng.gen_range(2..=3u32);
     let depth = 1u64 << depth_bits;
-    let name = { let base = pick(rng, &["sync_fifo", "fifo", "queue"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["sync_fifo", "fifo", "queue"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input wr,\n    input rd,\n    input [{m}:0] din,\n    output [{m}:0] dout,\n    output full,\n    output empty\n);\n    reg [{m}:0] mem [0:{dm}];\n    reg [{cb}:0] count;\n    reg [{pb}:0] wptr;\n    reg [{pb}:0] rptr;\n    assign full = (count == {cw}'d{depth});\n    assign empty = (count == {cw}'d0);\n    assign dout = mem[rptr];\n    always @(posedge clk) begin\n        if (rst) begin\n            count <= {cw}'d0;\n            wptr <= {pw}'d0;\n            rptr <= {pw}'d0;\n        end else begin\n            if (wr && !full) begin\n                mem[wptr] <= din;\n                wptr <= wptr + 1;\n            end\n            if (rd && !empty)\n                rptr <= rptr + 1;\n            case ({{wr && !full, rd && !empty}})\n                2'b10: count <= count + 1;\n                2'b01: count <= count - 1;\n                default: count <= count;\n            endcase\n        end\n    end\nendmodule\n",
         m = w - 1,
@@ -376,14 +432,21 @@ fn gen_fifo(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::seq(
-            vec![PortSpec::new("wr", 1), PortSpec::new("rd", 1), PortSpec::new("din", w)],
+            vec![
+                PortSpec::new("wr", 1),
+                PortSpec::new("rd", 1),
+                PortSpec::new("din", w),
+            ],
             vec![
                 PortSpec::new("dout", w),
                 PortSpec::new("full", 1),
                 PortSpec::new("empty", 1),
             ],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             // Mirror the RTL state exactly (two-state memory initialized 0).
@@ -420,7 +483,10 @@ fn gen_fifo(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_pwm(rng: &mut SmallRng) -> GeneratedModule {
     let bits = pick_width(rng, 3, 6);
-    let name = { let base = pick(rng, &["pwm", "pwm_gen", "pulse_width_mod"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["pwm", "pwm_gen", "pulse_width_mod"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input [{m}:0] duty,\n    output reg pwm_out\n);\n    reg [{m}:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            cnt <= {bits}'d0;\n            pwm_out <= 1'b0;\n        end else begin\n            cnt <= cnt + 1;\n            pwm_out <= (cnt < duty);\n        end\n    end\nendmodule\n",
         m = bits - 1
@@ -437,7 +503,10 @@ fn gen_pwm(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("duty", bits)],
             vec![PortSpec::new("pwm_out", 1)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut cnt = 0u64;
@@ -451,7 +520,10 @@ fn gen_pwm(rng: &mut SmallRng) -> GeneratedModule {
 }
 
 fn gen_lfsr(rng: &mut SmallRng) -> GeneratedModule {
-    let name = { let base = pick(rng, &["lfsr4", "lfsr", "prbs_gen"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["lfsr4", "lfsr", "prbs_gen"]);
+        vary_name(rng, base)
+    };
     // 4-bit Fibonacci LFSR, taps 4 and 3, seeded to 1 on reset.
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst)\n            q <= 4'd1;\n        else\n            q <= {{q[2:0], q[3] ^ q[2]}};\n    end\nendmodule\n"
@@ -468,7 +540,10 @@ fn gen_lfsr(rng: &mut SmallRng) -> GeneratedModule {
             vec![],
             vec![PortSpec::new("q", 4)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut q = 1u64; // post-reset value
@@ -483,7 +558,10 @@ fn gen_lfsr(rng: &mut SmallRng) -> GeneratedModule {
 
 fn gen_accumulator(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
-    let name = { let base = pick(rng, &["accumulator", "acc", "running_sum"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["accumulator", "acc", "running_sum"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input rst,\n    input en,\n    input [{m}:0] din,\n    output reg [{m}:0] acc\n);\n    always @(posedge clk) begin\n        if (rst)\n            acc <= {w}'d0;\n        else if (en)\n            acc <= acc + din;\n    end\nendmodule\n",
         m = w - 1
@@ -500,7 +578,10 @@ fn gen_accumulator(rng: &mut SmallRng) -> GeneratedModule {
             vec![PortSpec::new("en", 1), PortSpec::new("din", w)],
             vec![PortSpec::new("acc", w)],
             "clk",
-            Some(ResetWiring { signal: "rst".into(), active_low: false }),
+            Some(ResetWiring {
+                signal: "rst".into(),
+                active_low: false,
+            }),
         ),
         golden: Golden::Seq(Arc::new(move || {
             let mut acc = 0u64;
@@ -518,7 +599,10 @@ fn gen_ram(rng: &mut SmallRng) -> GeneratedModule {
     let w = pick_width(rng, 4, 8);
     let abits = rng.gen_range(2..=4u32);
     let depth = 1u64 << abits;
-    let name = { let base = pick(rng, &["single_port_ram", "ram", "scratchpad"]); vary_name(rng, base) };
+    let name = {
+        let base = pick(rng, &["single_port_ram", "ram", "scratchpad"]);
+        vary_name(rng, base)
+    };
     let source = format!(
         "module {name} (\n    input clk,\n    input we,\n    input [{am}:0] addr,\n    input [{m}:0] din,\n    output [{m}:0] dout\n);\n    reg [{m}:0] mem [0:{dm}];\n    assign dout = mem[addr];\n    always @(posedge clk) begin\n        if (we)\n            mem[addr] <= din;\n    end\nendmodule\n",
         m = w - 1,
@@ -534,7 +618,11 @@ fn gen_ram(rng: &mut SmallRng) -> GeneratedModule {
         source,
         description,
         interface: Interface::seq(
-            vec![PortSpec::new("we", 1), PortSpec::new("addr", abits), PortSpec::new("din", w)],
+            vec![
+                PortSpec::new("we", 1),
+                PortSpec::new("addr", abits),
+                PortSpec::new("din", w),
+            ],
             vec![PortSpec::new("dout", w)],
             "clk",
             None,

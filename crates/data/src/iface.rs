@@ -30,7 +30,10 @@ pub struct PortSpec {
 impl PortSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, width: u32) -> Self {
-        Self { name: name.into(), width }
+        Self {
+            name: name.into(),
+            width,
+        }
     }
 }
 
@@ -61,7 +64,12 @@ pub struct Interface {
 impl Interface {
     /// A purely combinational interface.
     pub fn comb(inputs: Vec<PortSpec>, outputs: Vec<PortSpec>) -> Self {
-        Self { inputs, outputs, clock: None, reset: None }
+        Self {
+            inputs,
+            outputs,
+            clock: None,
+            reset: None,
+        }
     }
 
     /// A clocked interface.
@@ -71,7 +79,12 @@ impl Interface {
         clock: impl Into<String>,
         reset: Option<ResetWiring>,
     ) -> Self {
-        Self { inputs, outputs, clock: Some(clock.into()), reset }
+        Self {
+            inputs,
+            outputs,
+            clock: Some(clock.into()),
+            reset,
+        }
     }
 
     /// Whether the module is sequential.
@@ -88,7 +101,11 @@ impl Interface {
                 .inputs
                 .iter()
                 .map(|p| {
-                    let max = if p.width == 64 { u64::MAX } else { (1u64 << p.width) - 1 };
+                    let max = if p.width == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << p.width) - 1
+                    };
                     let v = match i {
                         0 => 0,
                         1 => max,
@@ -175,7 +192,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let v = iface.random_stimuli(&mut rng, 10);
         assert_eq!(v.len(), 10);
-        assert!(v[0].iter().all(|(_, x)| *x == 0), "first vector is all zeros");
+        assert!(
+            v[0].iter().all(|(_, x)| *x == 0),
+            "first vector is all zeros"
+        );
         assert_eq!(v[1][0].1, 0xF, "second vector is all ones (masked)");
         assert_eq!(v[1][1].1, u64::MAX);
         for vec in &v {

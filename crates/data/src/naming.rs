@@ -11,7 +11,9 @@
 /// Appends the naming sentence to a description, choosing one of three
 /// stable phrasings by name hash (diversity without prompt instability).
 pub fn with_naming_tail(description: &str, module_name: &str) -> String {
-    let h = module_name.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    let h = module_name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
     let tail = match h % 3 {
         0 => format!(" Name the module \"{module_name}\"."),
         1 => format!(" The module must be named \"{module_name}\"."),

@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn tab_indent_profile_applies() {
-        let p = StyleProfile { indent: "\t", comma_space: false, op_space: false };
+        let p = StyleProfile {
+            indent: "\t",
+            comma_space: false,
+            op_space: false,
+        };
         let styled = restyle(SRC, p);
         assert!(styled.contains("\n\talways"));
         assert!(styled.contains("\t\ty=a + b;") || styled.contains("y=a + b;"));
@@ -94,15 +98,24 @@ mod tests {
 
     #[test]
     fn default_like_profile_is_identity() {
-        let p = StyleProfile { indent: "    ", comma_space: true, op_space: true };
+        let p = StyleProfile {
+            indent: "    ",
+            comma_space: true,
+            op_space: true,
+        };
         assert_eq!(restyle(SRC, p), SRC);
     }
 
     #[test]
     fn profiles_vary() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let set: std::collections::HashSet<String> =
-            (0..24).map(|_| restyle(SRC, StyleProfile::sample(&mut rng))).collect();
-        assert!(set.len() >= 4, "expected style diversity, got {}", set.len());
+        let set: std::collections::HashSet<String> = (0..24)
+            .map(|_| restyle(SRC, StyleProfile::sample(&mut rng)))
+            .collect();
+        assert!(
+            set.len() >= 4,
+            "expected style diversity, got {}",
+            set.len()
+        );
     }
 }

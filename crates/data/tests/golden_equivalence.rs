@@ -19,9 +19,7 @@ fn check(gm: &GeneratedModule, seed: u64) {
     let vectors = gm.interface.random_stimuli(&mut rng, 32);
 
     let result = match (&gm.golden, gm.interface.clock.as_ref()) {
-        (Golden::Comb(f), None) => {
-            run_combinational(&design, &vectors, |ins| f(ins))
-        }
+        (Golden::Comb(f), None) => run_combinational(&design, &vectors, |ins| f(ins)),
         (Golden::Seq(factory), Some(clock)) => {
             let spec = SeqSpec {
                 clock: clock.clone(),
@@ -34,7 +32,10 @@ fn check(gm: &GeneratedModule, seed: u64) {
             let mut golden = factory();
             run_sequential(&design, &spec, &vectors, |ins| golden(ins))
         }
-        (g, c) => panic!("[{}] inconsistent golden/clock combo: {g:?} clock={c:?}", gm.family),
+        (g, c) => panic!(
+            "[{}] inconsistent golden/clock combo: {g:?} clock={c:?}",
+            gm.family
+        ),
     }
     .unwrap_or_else(|e| panic!("[{}] simulation fault: {e}\n{}", gm.family, gm.source));
 
@@ -60,8 +61,10 @@ fn every_family_matches_its_golden_model() {
 #[test]
 fn corpus_items_simulate() {
     // End-to-end: items that survive the pipeline still elaborate.
-    let corpus =
-        verispec_data::Corpus::build(&verispec_data::CorpusConfig { size: 64, ..Default::default() });
+    let corpus = verispec_data::Corpus::build(&verispec_data::CorpusConfig {
+        size: 64,
+        ..Default::default()
+    });
     for item in corpus.items.iter().take(32) {
         let file = verispec_verilog::parse(&item.source).expect("parse");
         elaborate(&file.modules[0])

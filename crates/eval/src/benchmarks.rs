@@ -79,7 +79,10 @@ pub struct Benchmark {
 fn header_of(source: &str) -> Option<String> {
     let semi = source.find(';')?;
     let rest = &source[semi + 1..];
-    let nl = rest.find('\n').map(|i| semi + 1 + i + 1).unwrap_or(semi + 1);
+    let nl = rest
+        .find('\n')
+        .map(|i| semi + 1 + i + 1)
+        .unwrap_or(semi + 1);
     Some(source[..nl].to_string())
 }
 
@@ -93,12 +96,7 @@ fn tagged_header_of(tagged: &str) -> Option<String> {
     Some(tagged[..nl].to_string())
 }
 
-fn build_problems(
-    prefix: &str,
-    style: PromptStyle,
-    count: usize,
-    seed: u64,
-) -> Vec<Problem> {
+fn build_problems(prefix: &str, style: PromptStyle, count: usize, seed: u64) -> Vec<Problem> {
     let families = all_families();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut problems = Vec::with_capacity(count);
@@ -107,8 +105,7 @@ fn build_problems(
         let mut module = gen(&mut rng);
         // Benchmark prompts follow the same convention as the training
         // corpus: the naming sentence closes the instruction.
-        module.description =
-            verispec_data::with_naming_tail(&module.description, &module.name);
+        module.description = verispec_data::with_naming_tail(&module.description, &module.name);
         let (plain_header, tagged_header) = if style == PromptStyle::Vgen {
             let plain = header_of(&module.source);
             let tagged = verispec_verilog::parse(&module.source)
@@ -133,12 +130,18 @@ fn build_problems(
 
 /// The RTLLM-sim suite: 29 high-level-prompt problems.
 pub fn rtllm_sim() -> Benchmark {
-    Benchmark { name: "RTLLM-sim", problems: build_problems("rtllm", PromptStyle::Rtllm, 29, 0x52544C) }
+    Benchmark {
+        name: "RTLLM-sim",
+        problems: build_problems("rtllm", PromptStyle::Rtllm, 29, 0x52544C),
+    }
 }
 
 /// The VGen-sim suite: 17 header-seeded problems.
 pub fn vgen_sim() -> Benchmark {
-    Benchmark { name: "VGen-sim", problems: build_problems("vgen", PromptStyle::Vgen, 17, 0x5647454E) }
+    Benchmark {
+        name: "VGen-sim",
+        problems: build_problems("vgen", PromptStyle::Vgen, 17, 0x5647454E),
+    }
 }
 
 /// Extra prompt set for the speed evaluation (the paper augments RTLLM
@@ -147,7 +150,12 @@ pub fn vgen_sim() -> Benchmark {
 pub fn speed_prompts(count: usize, seed: u64) -> Vec<Problem> {
     let half = count / 2;
     let mut v = build_problems("speed_r", PromptStyle::Rtllm, half, seed);
-    v.extend(build_problems("speed_v", PromptStyle::Vgen, count - half, seed ^ 0xABCD));
+    v.extend(build_problems(
+        "speed_v",
+        PromptStyle::Vgen,
+        count - half,
+        seed ^ 0xABCD,
+    ));
     v
 }
 
@@ -180,7 +188,10 @@ mod tests {
             let th = p.tagged_header.as_ref().expect("tagged header");
             assert!(th.contains("[FRAG]module[FRAG]"), "{th}");
             assert!(th.trim_end().ends_with("[FRAG];[FRAG]"), "{th}");
-            assert!(p.module.source.starts_with(h), "header must prefix the source");
+            assert!(
+                p.module.source.starts_with(h),
+                "header must prefix the source"
+            );
         }
     }
 
@@ -210,8 +221,11 @@ mod tests {
 
     #[test]
     fn problems_cover_many_families() {
-        let fams: std::collections::HashSet<&str> =
-            rtllm_sim().problems.iter().map(|p| p.module.family).collect();
+        let fams: std::collections::HashSet<&str> = rtllm_sim()
+            .problems
+            .iter()
+            .map(|p| p.module.family)
+            .collect();
         assert!(fams.len() >= 20, "{}", fams.len());
     }
 }

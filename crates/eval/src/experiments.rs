@@ -7,7 +7,7 @@ use crate::benchmarks::{rtllm_sim, speed_prompts, vgen_sim, Benchmark, Problem};
 use crate::judge::judge;
 use crate::metrics::{mean_speed, speedup, PromptCounts, QualityRow};
 use crate::pipeline::{
-    generate, token_budget, ModelScale, Pipeline, PipelineConfig,
+    generate, generate_stateless, token_budget, ModelScale, Pipeline, PipelineConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -17,8 +17,7 @@ use verispec_core::{DecodeConfig, TrainMethod};
 use verispec_lm::{MlpLm, Sampling};
 
 /// The three training/decoding regimes compared throughout.
-pub const METHODS: [TrainMethod; 3] =
-    [TrainMethod::Ours, TrainMethod::Medusa, TrainMethod::Ntp];
+pub const METHODS: [TrainMethod; 3] = [TrainMethod::Ours, TrainMethod::Medusa, TrainMethod::Ntp];
 
 /// Experiment scale knobs (quick for CI, full for the paper artifacts).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,17 +91,16 @@ where
     let n = items.len();
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.max(1) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = queue.lock().expect("queue lock").pop();
                 let Some((idx, item)) = job else { break };
                 let r = f(item);
                 results.lock().expect("results lock")[idx] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
         .expect("results lock")
@@ -147,13 +145,19 @@ pub fn score_benchmark(
     let counts: Vec<PromptCounts> = problems
         .iter()
         .map(|problem| {
-            let mut pc = PromptCounts { n: scale.n_samples, ..Default::default() };
+            let mut pc = PromptCounts {
+                n: scale.n_samples,
+                ..Default::default()
+            };
             let budget = token_budget(&pipe.tokenizer, problem, method);
             for sample in 0..scale.n_samples {
                 let temp = scale.temperatures[sample % scale.temperatures.len()];
                 let cfg = DecodeConfig {
                     max_tokens: budget,
-                    sampling: Sampling::Temperature { temperature: temp, top_k: 0 },
+                    sampling: Sampling::Temperature {
+                        temperature: temp,
+                        top_k: 0,
+                    },
                     seed: sample_seed(&problem.id, sample, 11),
                     ..Default::default()
                 };
@@ -244,7 +248,10 @@ pub fn run_table2(scale: &Scale, pipe: &Pipeline) -> Vec<SpeedRow> {
                     let mut steps = 0usize;
                     for (i, sampling) in [
                         Sampling::Greedy,
-                        Sampling::Temperature { temperature: 0.8, top_k: 0 },
+                        Sampling::Temperature {
+                            temperature: 0.8,
+                            top_k: 0,
+                        },
                     ]
                     .into_iter()
                     .enumerate()
@@ -255,8 +262,7 @@ pub fn run_table2(scale: &Scale, pipe: &Pipeline) -> Vec<SpeedRow> {
                             seed: sample_seed(&problem.id, i, 23),
                             ..Default::default()
                         };
-                        let g =
-                            generate(&model, &pipe.tokenizer, problem, method, &cfg, &cost);
+                        let g = generate(&model, &pipe.tokenizer, problem, method, &cfg, &cost);
                         tokens += g.output.clock.tokens;
                         secs += g.output.clock.seconds;
                         steps += g.output.steps;
@@ -264,11 +270,14 @@ pub fn run_table2(scale: &Scale, pipe: &Pipeline) -> Vec<SpeedRow> {
                     (tokens, secs, steps as f64)
                 },
             );
-            let speed_runs: Vec<(usize, f64)> =
-                runs.iter().map(|&(t, s, _)| (t, s)).collect();
+            let speed_runs: Vec<(usize, f64)> = runs.iter().map(|&(t, s, _)| (t, s)).collect();
             let total_tokens: usize = runs.iter().map(|r| r.0).sum();
             let total_steps: f64 = runs.iter().map(|r| r.2).sum();
-            let tps = if total_steps > 0.0 { total_tokens as f64 / total_steps } else { 0.0 };
+            let tps = if total_steps > 0.0 {
+                total_tokens as f64 / total_steps
+            } else {
+                0.0
+            };
             speeds.push((method, mean_speed(&speed_runs), tps));
         }
         let ntp_speed = speeds
@@ -287,6 +296,104 @@ pub fn run_table2(scale: &Scale, pipe: &Pipeline) -> Vec<SpeedRow> {
         }
     }
     rows
+}
+
+// ---------------------------------------------------------------------
+// Session-reuse wall-clock comparison (BENCH_decode.json)
+// ---------------------------------------------------------------------
+
+/// One row of the cached-session vs. stateless-shim wall-clock
+/// comparison: the same engine, same outputs, different model-layer
+/// backend. Unlike the simulated Table-II speeds, these are *real*
+/// seconds of the Rust implementation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionBenchRow {
+    /// Method name (NTP / Medusa / Ours).
+    pub method: &'static str,
+    /// Tokens generated (identical on both paths by construction).
+    pub tokens: usize,
+    /// Wall-clock seconds decoding through cached sessions.
+    pub session_secs: f64,
+    /// Wall-clock seconds decoding through the stateless shim.
+    pub stateless_secs: f64,
+    /// Tokens/second through cached sessions.
+    pub session_tps: f64,
+    /// Tokens/second through the stateless shim.
+    pub stateless_tps: f64,
+    /// `session_tps / stateless_tps`.
+    pub speedup: f64,
+}
+
+/// Measures wall-clock decode throughput of the session-based model
+/// layer against the stateless shim on the speed-prompt set, verifying
+/// token-for-token identical outputs along the way.
+///
+/// # Panics
+///
+/// Panics if the two paths ever produce different tokens — that would
+/// mean the session cache changed semantics, which the engines rely on
+/// never happening.
+pub fn run_session_bench(
+    scale: &Scale,
+    pipe: &Pipeline,
+    model_scale: ModelScale,
+) -> Vec<SessionBenchRow> {
+    let prompts = speed_prompts(scale.speed_prompt_count, 0x5E55);
+    let cost = model_scale.cost_model();
+    METHODS
+        .iter()
+        .map(|&method| {
+            let model = pipe.model_for(model_scale, method, (1, 1));
+            let mut tokens = 0usize;
+            let mut session_secs = 0.0f64;
+            let mut stateless_secs = 0.0f64;
+            for (i, problem) in prompts.iter().enumerate() {
+                let cfg = DecodeConfig {
+                    max_tokens: token_budget(&pipe.tokenizer, problem, method),
+                    seed: sample_seed(&problem.id, i, 31),
+                    ..Default::default()
+                };
+                let t0 = std::time::Instant::now();
+                let with_session = generate(&model, &pipe.tokenizer, problem, method, &cfg, &cost);
+                session_secs += t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
+                let with_shim =
+                    generate_stateless(&model, &pipe.tokenizer, problem, method, &cfg, &cost);
+                stateless_secs += t1.elapsed().as_secs_f64();
+                assert_eq!(
+                    with_session.output.tokens,
+                    with_shim.output.tokens,
+                    "session vs stateless divergence ({} on {})",
+                    method.name(),
+                    problem.id
+                );
+                tokens += with_session.output.tokens.len();
+            }
+            SessionBenchRow {
+                method: method.name(),
+                tokens,
+                session_secs,
+                stateless_secs,
+                session_tps: tokens as f64 / session_secs.max(1e-12),
+                stateless_tps: tokens as f64 / stateless_secs.max(1e-12),
+                speedup: stateless_secs / session_secs.max(1e-12),
+            }
+        })
+        .collect()
+}
+
+/// Renders the session-reuse comparison as a table.
+pub fn render_session_bench(rows: &[SessionBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Decode wall-clock: cached session vs stateless shim\n");
+    out.push_str("method   tokens   session tok/s   stateless tok/s   speedup\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>6}  {:>13.0}  {:>16.0}  {:>7.2}x\n",
+            r.method, r.tokens, r.session_tps, r.stateless_tps, r.speedup
+        ));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -319,9 +426,7 @@ pub fn run_fig1(scale: &Scale, pipe: &Pipeline) -> Vec<TradeoffPoint> {
                 score_benchmark(pipe, &model, ModelScale::Large, method, &bench, scale);
             let speed = speed_rows
                 .iter()
-                .find(|r| {
-                    r.model == ModelScale::Large && r.method == method.name()
-                })
+                .find(|r| r.model == ModelScale::Large && r.method == method.name())
                 .map(|r| r.speed)
                 .unwrap_or(0.0);
             TradeoffPoint {
@@ -378,8 +483,12 @@ pub fn run_fig5(pipe: &Pipeline, model_scale: ModelScale) -> Vec<TraceSummary> {
                 .iter()
                 .map(|st| pipe.tokenizer.decode(&st.committed))
                 .collect();
-            let multi: Vec<_> =
-                g.output.trace.iter().filter(|st| st.committed.len() > 1).collect();
+            let multi: Vec<_> = g
+                .output
+                .trace
+                .iter()
+                .filter(|st| st.committed.len() > 1)
+                .collect();
             let frag_ok = multi.iter().filter(|st| st.fragment_complete).count();
             TraceSummary {
                 method: method.name(),
@@ -455,10 +564,7 @@ pub fn render_table1(cells: &[QualityCell]) -> String {
         };
         for fraction in fractions {
             for benchmark in ["RTLLM-sim", "VGen-sim"] {
-                for (section, get) in [
-                    ("func", true),
-                    ("syntax", false),
-                ] {
+                for (section, get) in [("func", true), ("syntax", false)] {
                     for (metric, field) in [
                         ("pass@1", 0usize),
                         ("pass@5", 1),

@@ -60,7 +60,10 @@ pub fn judge(code: &str, problem: &Problem, seed: u64) -> Verdict {
     let Some(module) = file.modules.iter().find(|m| &m.name == want) else {
         return Verdict::SyntaxFail(format!(
             "testbench needs module `{want}`, generated `{}`",
-            file.modules.first().map(|m| m.name.as_str()).unwrap_or("<none>")
+            file.modules
+                .first()
+                .map(|m| m.name.as_str())
+                .unwrap_or("<none>")
         ));
     };
     let design = match elaborate(module) {

@@ -196,8 +196,16 @@ mod tests {
     #[test]
     fn quality_row_percentages() {
         let counts = vec![
-            PromptCounts { n: 20, syntax_passes: 20, functional_passes: 10 },
-            PromptCounts { n: 20, syntax_passes: 0, functional_passes: 0 },
+            PromptCounts {
+                n: 20,
+                syntax_passes: 20,
+                functional_passes: 10,
+            },
+            PromptCounts {
+                n: 20,
+                syntax_passes: 0,
+                functional_passes: 0,
+            },
         ];
         let func = QualityRow::from_counts(&counts, |c| c.functional_passes);
         assert!((func.pass_at_1 - 25.0).abs() < 1e-9);

@@ -129,8 +129,12 @@ impl Pipeline {
             .map(|it| alpaca_format(&it.description, &it.tagged_source))
             .collect();
 
-        let tokenizer = BpeTrainer::new(config.vocab)
-            .train(plain_texts.iter().map(String::as_str).chain(tagged_texts.iter().map(String::as_str)));
+        let tokenizer = BpeTrainer::new(config.vocab).train(
+            plain_texts
+                .iter()
+                .map(String::as_str)
+                .chain(tagged_texts.iter().map(String::as_str)),
+        );
 
         let encode_all = |texts: &[String]| -> Vec<Vec<TokenId>> {
             texts
@@ -144,7 +148,13 @@ impl Pipeline {
         };
         let plain_sequences = encode_all(&plain_texts);
         let tagged_sequences = encode_all(&tagged_texts);
-        Pipeline { config, corpus, tokenizer, plain_sequences, tagged_sequences }
+        Pipeline {
+            config,
+            corpus,
+            tokenizer,
+            plain_sequences,
+            tagged_sequences,
+        }
     }
 
     /// The training sequences a method consumes, cut to the paper's
@@ -169,7 +179,11 @@ impl Pipeline {
         method: TrainMethod,
         fraction: (usize, usize),
     ) -> MlpLm {
-        let n_heads = if method == TrainMethod::Ntp { 0 } else { self.config.n_heads };
+        let n_heads = if method == TrainMethod::Ntp {
+            0
+        } else {
+            self.config.n_heads
+        };
         let lm_cfg = self.lm_config(scale, method);
         let key = cache_key(&self.config, scale, method, fraction, n_heads);
         if let Some(model) = load_cached(&key, &lm_cfg) {
@@ -188,7 +202,11 @@ impl Pipeline {
 
     /// The LM configuration for a scale/method pair.
     pub fn lm_config(&self, scale: ModelScale, method: TrainMethod) -> MlpLmConfig {
-        let n_heads = if method == TrainMethod::Ntp { 0 } else { self.config.n_heads };
+        let n_heads = if method == TrainMethod::Ntp {
+            0
+        } else {
+            self.config.n_heads
+        };
         scale.lm_config(self.tokenizer.vocab_size(), n_heads, self.config.seed)
     }
 }
@@ -215,9 +233,12 @@ fn cache_key(
 }
 
 fn cache_dir() -> PathBuf {
+    // Anchor to the workspace target dir so tests and benches (whose
+    // CWD is their *package* dir) share one cache instead of littering
+    // per-crate target/ directories.
     let base = std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"));
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target")));
     base.join("verispec-cache")
 }
 
@@ -258,9 +279,45 @@ pub struct Generation {
     pub output: DecodeOutput,
 }
 
-/// Generates a completion for `problem` with the given trained model.
+/// Generates a completion for `problem` with the given trained model,
+/// decoding through its native cached [`verispec_lm::DecodeSession`].
 pub fn generate(
     model: &MlpLm,
+    tokenizer: &BpeTokenizer,
+    problem: &Problem,
+    method: TrainMethod,
+    decode_cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> Generation {
+    generate_on(model, tokenizer, problem, method, decode_cfg, cost)
+}
+
+/// Like [`generate`], but forces the stateless migration shim
+/// ([`verispec_lm::Stateless`]): every query recomputes from the full
+/// prefix, as the pre-session engines did. Equal outputs to
+/// [`generate`] by construction — this is the baseline side of the
+/// `session_reuse` bench and of `BENCH_decode.json`.
+pub fn generate_stateless(
+    model: &MlpLm,
+    tokenizer: &BpeTokenizer,
+    problem: &Problem,
+    method: TrainMethod,
+    decode_cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> Generation {
+    generate_on(
+        &verispec_lm::Stateless(model),
+        tokenizer,
+        problem,
+        method,
+        decode_cfg,
+        cost,
+    )
+}
+
+/// Shared generation body over any [`LanguageModel`].
+fn generate_on(
+    model: &dyn verispec_lm::LanguageModel,
     tokenizer: &BpeTokenizer,
     problem: &Problem,
     method: TrainMethod,
@@ -287,17 +344,11 @@ pub fn generate(
 /// A reasonable decode budget for a problem: twice the reference length
 /// plus slack, capped. Tagged references are longer, so "Ours" gets a
 /// proportionally larger raw-token budget.
-pub fn token_budget(
-    tokenizer: &BpeTokenizer,
-    problem: &Problem,
-    method: TrainMethod,
-) -> usize {
+pub fn token_budget(tokenizer: &BpeTokenizer, problem: &Problem, method: TrainMethod) -> usize {
     let reference = match method {
         TrainMethod::Ours => {
             // Tagged reference length.
-            tokenizer
-                .encode(&problem_reference_tagged(problem))
-                .len()
+            tokenizer.encode(&problem_reference_tagged(problem)).len()
         }
         _ => tokenizer.encode(&problem.module.source).len(),
     };
@@ -339,7 +390,10 @@ mod tests {
         assert!(p.tagged_sequences[0].contains(&special::FRAG));
         assert!(!p.plain_sequences[0].contains(&special::FRAG));
         // All end with EOS.
-        assert_eq!(*p.plain_sequences[0].last().expect("nonempty"), special::EOS);
+        assert_eq!(
+            *p.plain_sequences[0].last().expect("nonempty"),
+            special::EOS
+        );
     }
 
     #[test]
@@ -355,7 +409,10 @@ mod tests {
         let p = tiny_pipeline();
         let model = p.model_for(ModelScale::Small, TrainMethod::Ntp, (1, 2));
         let bench = rtllm_sim();
-        let cfg = DecodeConfig { max_tokens: 48, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 48,
+            ..Default::default()
+        };
         let g = generate(
             &model,
             &p.tokenizer,
@@ -366,6 +423,42 @@ mod tests {
         );
         assert!(g.output.tokens.len() <= 48);
         assert!(!g.code.contains("[FRAG]"));
+    }
+
+    #[test]
+    fn stateless_shim_generation_is_identical() {
+        let p = tiny_pipeline();
+        let model = p.model_for(ModelScale::Small, TrainMethod::Medusa, (1, 2));
+        let bench = rtllm_sim();
+        let cost = ModelScale::Small.cost_model();
+        for (seed, problem) in bench.problems.iter().take(2).enumerate() {
+            let cfg = DecodeConfig {
+                max_tokens: 40,
+                seed: seed as u64,
+                ..Default::default()
+            };
+            let a = generate(
+                &model,
+                &p.tokenizer,
+                problem,
+                TrainMethod::Medusa,
+                &cfg,
+                &cost,
+            );
+            let b = generate_stateless(
+                &model,
+                &p.tokenizer,
+                problem,
+                TrainMethod::Medusa,
+                &cfg,
+                &cost,
+            );
+            assert_eq!(
+                a.output.tokens, b.output.tokens,
+                "session vs shim divergence"
+            );
+            assert_eq!(a.code, b.code);
+        }
     }
 
     #[test]

@@ -47,17 +47,13 @@ fn missing_port_is_syntax_fail() {
     let p = bench
         .problems
         .iter()
-        .find(|p| {
-            p.module.interface.clock.is_none() && p.module.interface.inputs.len() >= 2
-        })
+        .find(|p| p.module.interface.clock.is_none() && p.module.interface.inputs.len() >= 2)
         .expect("combinational problem");
     let victim = &p.module.interface.inputs[0].name;
     // Remove the port from the header line only.
     let mut lines: Vec<String> = p.module.source.lines().map(String::from).collect();
     let before = lines.len();
-    lines.retain(|l| {
-        !(l.trim_start().starts_with("input") && l.contains(victim.as_str()))
-    });
+    lines.retain(|l| !(l.trim_start().starts_with("input") && l.contains(victim.as_str())));
     assert!(lines.len() < before, "port line must have been removed");
     let code = lines.join("\n");
     let v = judge(&code, p, 5);
@@ -82,7 +78,11 @@ fn stuck_output_is_functional_fail() {
     }
     let code = format!("{header}{body}\nendmodule\n");
     let v = judge(&code, p, 5);
-    assert!(matches!(v, Verdict::FunctionalFail(_)), "{}: {v:?}\n{code}", p.id);
+    assert!(
+        matches!(v, Verdict::FunctionalFail(_)),
+        "{}: {v:?}\n{code}",
+        p.id
+    );
 }
 
 #[test]

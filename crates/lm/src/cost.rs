@@ -32,7 +32,11 @@ impl GpuCostModel {
     /// `1 / 0.012028 ≈ 83.1` tokens/s at one token per step, matching the
     /// paper's NTP baseline for CodeLlama.
     pub fn codellama_like() -> Self {
-        Self { t_forward: 0.012_028, alpha: 0.012, overhead: 0.000_2 }
+        Self {
+            t_forward: 0.012_028,
+            alpha: 0.012,
+            overhead: 0.000_2,
+        }
     }
 
     /// Cost model for the CodeT5p-220m-scale ("Small") configuration.
@@ -43,7 +47,11 @@ impl GpuCostModel {
     /// speculation bookkeeping eats a bigger share (this is why the paper
     /// sees a smaller Medusa speedup on CodeT5p — 1.16× vs 3.55×).
     pub fn codet5p_like() -> Self {
-        Self { t_forward: 0.010_911, alpha: 0.045, overhead: 0.000_4 }
+        Self {
+            t_forward: 0.010_911,
+            alpha: 0.045,
+            overhead: 0.000_4,
+        }
     }
 
     /// Seconds consumed by one decoding step that additionally evaluates

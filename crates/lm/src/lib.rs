@@ -10,10 +10,36 @@
 //!   hand-written backprop (the "base model + heads" of paper §III-B).
 //! * [`ngram`] — an interpolated n-gram model used as the classical
 //!   speculative-decoding draft model and in tests.
+//! * [`session`] — stateful [`DecodeSession`]s (the KV-cache analogue):
+//!   incremental append/rollback contexts with cached activations and
+//!   batched candidate-tree verification.
 //! * [`sampler`] — greedy / temperature / top-k sampling.
 //! * [`cost`] — the deterministic GPU latency model that converts decode
 //!   steps into simulated tokens/second (Table II's measurement).
 //! * [`matrix`] — the minimal dense linear algebra underneath.
+//!
+//! # Sessions vs. stateless calls
+//!
+//! The decoding engines in `verispec-core` open one [`DecodeSession`]
+//! per generation and drive it incrementally:
+//!
+//! ```
+//! use verispec_lm::{LanguageModel, MlpLm, MlpLmConfig};
+//!
+//! let model = MlpLm::new(MlpLmConfig::tiny(16));
+//! let mut session = model.session();
+//! session.append(&[1, 2, 3]);
+//! let next = session.logits();               // cached trunk activation
+//! let paths: Vec<&[u32]> = vec![&[4, 5], &[4, 6]];
+//! let scored = session.verify_batch(&paths, true); // one batched forward
+//! assert_eq!(scored[0].len(), 3);            // K positions + bonus row
+//! session.truncate(3);                       // rollback after rejection
+//! assert_eq!(next, model.logits(&[1, 2, 3])); // sessions never drift
+//! ```
+//!
+//! The stateless `logits(&prefix)` / `multi_logits(&prefix)` methods
+//! remain available as a shim over a fresh session, so existing
+//! [`LanguageModel`] implementations and callers migrate gradually.
 //!
 //! # Examples
 //!
@@ -45,18 +71,29 @@ pub mod matrix;
 pub mod mlp;
 pub mod ngram;
 pub mod sampler;
+pub mod session;
 
 pub use cost::{DecodeClock, GpuCostModel};
 pub use mlp::{HeadTarget, MlpLm, MlpLmConfig, PositionLoss, TokenId, PAD_ID};
 pub use ngram::NgramLm;
 pub use sampler::{argmax, top_k_indices, Sampler, Sampling};
+pub use session::{DecodeSession, MlpSession, NgramSession, Stateless, StatelessSession};
 
 /// A language model that exposes base-head logits over a prefix, and
 /// optionally extra Medusa heads predicting further-ahead tokens.
 ///
 /// Implemented by [`MlpLm`] (trainable, with heads) and [`NgramLm`]
 /// (count-based, base head only). The speculative decoding engines in
-/// `verispec-core` are generic over this trait.
+/// `verispec-core` are generic over this trait and drive it through
+/// [`LanguageModel::session`].
+///
+/// Implementations must provide **at least one** of
+/// [`LanguageModel::session`] or [`LanguageModel::logits`] — each has a
+/// default written in terms of the other (stateless calls open a fresh
+/// session; the default session recomputes statelessly). A type
+/// overriding neither panics with a descriptive message on first use
+/// (a depth guard in the defaults turns the would-be infinite
+/// recursion into a diagnosable error).
 pub trait LanguageModel {
     /// Vocabulary size (length of each logit vector).
     fn vocab_size(&self) -> usize;
@@ -66,14 +103,58 @@ pub trait LanguageModel {
         0
     }
 
+    /// Opens an empty [`DecodeSession`] over this model.
+    ///
+    /// The default is the [`StatelessSession`] shim (full recompute per
+    /// query); models with cacheable state override this with an
+    /// incremental session ([`MlpSession`], [`NgramSession`]).
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(StatelessSession::new(self))
+    }
+
     /// Base-head logits for the next token after `prefix`.
-    fn logits(&self, prefix: &[TokenId]) -> Vec<f32>;
+    ///
+    /// Default: a shim over a fresh [`LanguageModel::session`], kept so
+    /// external callers of the stateless API migrate gradually.
+    fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
+        session::shim_recursion_guard(|| {
+            let mut session = self.session();
+            session.append(prefix);
+            session.logits()
+        })
+    }
 
     /// Logits for the base head and every extra head.
     ///
-    /// Default implementation returns just the base head.
+    /// Default: a shim over a fresh [`LanguageModel::session`].
     fn multi_logits(&self, prefix: &[TokenId]) -> Vec<Vec<f32>> {
-        vec![self.logits(prefix)]
+        session::shim_recursion_guard(|| {
+            let mut session = self.session();
+            session.append(prefix);
+            session.multi_logits()
+        })
+    }
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for &M {
+    fn vocab_size(&self) -> usize {
+        (**self).vocab_size()
+    }
+
+    fn n_extra_heads(&self) -> usize {
+        (**self).n_extra_heads()
+    }
+
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        (**self).session()
+    }
+
+    fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
+        (**self).logits(prefix)
+    }
+
+    fn multi_logits(&self, prefix: &[TokenId]) -> Vec<Vec<f32>> {
+        (**self).multi_logits(prefix)
     }
 }
 
@@ -84,6 +165,10 @@ impl LanguageModel for MlpLm {
 
     fn n_extra_heads(&self) -> usize {
         self.n_heads()
+    }
+
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(MlpSession::new(self))
     }
 
     fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
@@ -100,12 +185,12 @@ impl LanguageModel for NgramLm {
         NgramLm::vocab_size(self)
     }
 
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(NgramSession::new(self))
+    }
+
     fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
-        // Logits are log-probabilities; softmax recovers the distribution.
-        self.distribution(prefix)
-            .into_iter()
-            .map(|p| p.max(f32::MIN_POSITIVE).ln())
-            .collect()
+        NgramLm::logits(self, prefix)
     }
 }
 

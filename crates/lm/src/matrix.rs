@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix filled from a function of `(row, col)`.
@@ -77,15 +81,75 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
+    }
+
+    /// `y_k = A x_k` for every input in `xs`, in one fused pass.
+    ///
+    /// This is where batched session verification beats per-candidate
+    /// forwards on real hardware: a single [`Matrix::matvec`] is a chain
+    /// of dependent scalar adds (FP reassociation is not allowed, so it
+    /// cannot vectorize), but across a batch the accumulators are
+    /// independent. The inputs are transposed into column-major form and
+    /// the inner loop runs over the batch lane `k`, which auto-vectorizes
+    /// while every individual output still accumulates its columns in
+    /// exactly [`Matrix::matvec`]'s order — results are bit-identical,
+    /// only the instruction-level parallelism changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `x.len() != cols`.
+    pub fn matvec_batch(&self, xs: &[&[f32]]) -> Vec<Vec<f32>> {
+        /// Fixed SIMD-friendly lane count: the inner loop runs over a
+        /// `[f32; LANES]` accumulator, which the compiler unrolls and
+        /// vectorizes (the batch is zero-padded up to a lane multiple).
+        const LANES: usize = 8;
+        let n = xs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        for x in xs {
+            assert_eq!(x.len(), self.cols, "matvec_batch dimension mismatch");
+        }
+        let chunks = n.div_ceil(LANES);
+        let stride = chunks * LANES;
+        // Transpose to padded column-major: xt[c * stride + k] = xs[k][c].
+        let mut xt = vec![0.0f32; self.cols * stride];
+        for (k, x) in xs.iter().enumerate() {
+            for (c, &v) in x.iter().enumerate() {
+                xt[c * stride + k] = v;
+            }
+        }
+        let mut ys = vec![vec![0.0f32; self.rows]; n];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for chunk in 0..chunks {
+                let mut acc = [0.0f32; LANES];
+                let offset = chunk * LANES;
+                for (c, &rv) in row.iter().enumerate() {
+                    let base = c * stride + offset;
+                    let lane: &[f32; LANES] =
+                        xt[base..base + LANES].try_into().expect("fixed lane width");
+                    for l in 0..LANES {
+                        acc[l] += rv * lane[l];
+                    }
+                }
+                for (l, &a) in acc.iter().enumerate() {
+                    if let Some(y) = ys.get_mut(offset + l) {
+                        y[r] = a;
+                    }
+                }
+            }
+        }
+        ys
     }
 
     /// `y = Aᵀ x` (length `cols`).
@@ -96,8 +160,7 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            let xv = x[r];
+        for (r, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
             }
@@ -117,8 +180,7 @@ impl Matrix {
     pub fn add_outer(&mut self, dy: &[f32], x: &[f32]) {
         assert_eq!(dy.len(), self.rows, "add_outer rows mismatch");
         assert_eq!(x.len(), self.cols, "add_outer cols mismatch");
-        for r in 0..self.rows {
-            let g = dy[r];
+        for (r, &g) in dy.iter().enumerate() {
             if g == 0.0 {
                 continue;
             }
@@ -155,7 +217,11 @@ pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
 
 /// Shannon entropy (nats) of a probability distribution.
 pub fn entropy(probs: &[f32]) -> f32 {
-    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
 }
 
 /// SiLU activation `x * sigmoid(x)`.
@@ -178,6 +244,24 @@ mod tests {
         let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32); // [[0,1,2],[3,4,5]]
         let y = a.matvec(&[1.0, 2.0, 3.0]);
         assert_eq!(y, vec![8.0, 26.0]);
+    }
+
+    #[test]
+    fn matvec_batch_matches_matvec_bitwise() {
+        let a = Matrix::from_fn(5, 7, |r, c| ((r * 31 + c * 17) as f32).sin());
+        let xs: Vec<Vec<f32>> = (0..4)
+            .map(|k| (0..7).map(|c| ((k * 13 + c) as f32).cos()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let batched = a.matvec_batch(&refs);
+        for (x, y) in xs.iter().zip(&batched) {
+            let single = a.matvec(x);
+            assert!(single
+                .iter()
+                .zip(y)
+                .all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+        assert!(a.matvec_batch(&[]).is_empty());
     }
 
     #[test]

@@ -47,7 +47,14 @@ pub struct MlpLmConfig {
 impl MlpLmConfig {
     /// A deliberately tiny configuration for unit tests.
     pub fn tiny(vocab: usize) -> Self {
-        Self { vocab, d_emb: 8, d_hidden: 16, context: 4, n_heads: 3, seed: 7 }
+        Self {
+            vocab,
+            d_emb: 8,
+            d_hidden: 16,
+            context: 4,
+            n_heads: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -122,7 +129,11 @@ impl MlpLm {
         let emb = init(cfg.vocab, cfg.d_emb);
         let w1 = init(cfg.d_hidden, cfg.context * cfg.d_emb);
         let mut heads = Vec::with_capacity(cfg.n_heads + 1);
-        heads.push(Head { p: None, u: init(cfg.vocab, cfg.d_hidden), c: vec![0.0; cfg.vocab] });
+        heads.push(Head {
+            p: None,
+            u: init(cfg.vocab, cfg.d_hidden),
+            c: vec![0.0; cfg.vocab],
+        });
         for _ in 0..cfg.n_heads {
             heads.push(Head {
                 p: Some(init(cfg.d_hidden, cfg.d_hidden)),
@@ -130,7 +141,13 @@ impl MlpLm {
                 c: vec![0.0; cfg.vocab],
             });
         }
-        Self { cfg, emb, w1, b1: vec![0.0; cfg.d_hidden], heads }
+        Self {
+            cfg,
+            emb,
+            w1,
+            b1: vec![0.0; cfg.d_hidden],
+            heads,
+        }
     }
 
     /// The model configuration.
@@ -169,13 +186,7 @@ impl MlpLm {
     ///
     /// Panics if `window.len() != context` or a token id is out of range.
     pub fn forward_trunk(&self, window: &[TokenId]) -> Activations {
-        assert_eq!(window.len(), self.cfg.context, "window length mismatch");
-        let d = self.cfg.d_emb;
-        let mut x = vec![0.0f32; self.cfg.context * d];
-        for (j, &t) in window.iter().enumerate() {
-            let row = self.emb.row(t as usize);
-            x[j * d..(j + 1) * d].copy_from_slice(row);
-        }
+        let x = self.embed_window(window);
         let mut a = self.w1.matvec(&x);
         for (av, bv) in a.iter_mut().zip(&self.b1) {
             *av += bv;
@@ -184,19 +195,109 @@ impl MlpLm {
         Activations { x, a, h }
     }
 
+    /// Embedding row of one token (sessions use this to update only the
+    /// window tail that changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tok` is out of the vocabulary.
+    pub fn embed_token(&self, tok: TokenId) -> &[f32] {
+        self.emb.row(tok as usize)
+    }
+
+    /// Concatenated embeddings of a context window — the `x` the trunk
+    /// consumes, and the state a [`crate::session::MlpSession`] caches
+    /// and shifts incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != context` or a token id is out of range.
+    pub fn embed_window(&self, window: &[TokenId]) -> Vec<f32> {
+        assert_eq!(window.len(), self.cfg.context, "window length mismatch");
+        let d = self.cfg.d_emb;
+        let mut x = vec![0.0f32; self.cfg.context * d];
+        for (j, &t) in window.iter().enumerate() {
+            x[j * d..(j + 1) * d].copy_from_slice(self.emb.row(t as usize));
+        }
+        x
+    }
+
+    /// Trunk hidden state from a prebuilt embedding concat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != context * d_emb`.
+    pub fn trunk_hidden(&self, x: &[f32]) -> Vec<f32> {
+        let mut a = self.w1.matvec(x);
+        for (av, bv) in a.iter_mut().zip(&self.b1) {
+            *av += bv;
+        }
+        a.iter().map(|&v| silu(v)).collect()
+    }
+
+    /// Batched trunk hidden states for many embedding concats in one
+    /// fused pass (see [`crate::matrix::Matrix::matvec_batch`]); each
+    /// result is bit-identical to the corresponding
+    /// [`MlpLm::trunk_hidden`] call.
+    pub fn trunk_hidden_batch(&self, xs: &[&[f32]]) -> Vec<Vec<f32>> {
+        let mut pre = self.w1.matvec_batch(xs);
+        for a in &mut pre {
+            for (av, bv) in a.iter_mut().zip(&self.b1) {
+                *av += bv;
+            }
+            a.iter_mut().for_each(|v| *v = silu(*v));
+        }
+        pre
+    }
+
+    /// Logits of one head from a trunk hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_idx > n_heads`.
+    pub fn head_logits_from_hidden(&self, h: &[f32], head_idx: usize) -> Vec<f32> {
+        let head = &self.heads[head_idx];
+        let z = self.head_z(head, h);
+        let mut logits = head.u.matvec(&z);
+        for (l, c) in logits.iter_mut().zip(&head.c) {
+            *l += c;
+        }
+        logits
+    }
+
+    /// Batched logits of one head over many hidden states, with the
+    /// output projection running one fused vectorized pass. Bit-identical
+    /// to per-state [`MlpLm::head_logits_from_hidden`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_idx > n_heads`.
+    pub fn head_logits_from_hidden_batch(&self, hs: &[&[f32]], head_idx: usize) -> Vec<Vec<f32>> {
+        let head = &self.heads[head_idx];
+        let mut logits = match &head.p {
+            // Base head: z == h, project the hidden states directly.
+            None => head.u.matvec_batch(hs),
+            Some(_) => {
+                let zs: Vec<Vec<f32>> = hs.iter().map(|h| self.head_z(head, h)).collect();
+                let z_refs: Vec<&[f32]> = zs.iter().map(Vec::as_slice).collect();
+                head.u.matvec_batch(&z_refs)
+            }
+        };
+        for l in &mut logits {
+            for (lv, c) in l.iter_mut().zip(&head.c) {
+                *lv += c;
+            }
+        }
+        logits
+    }
+
     /// Logits of one head given trunk activations.
     ///
     /// # Panics
     ///
     /// Panics if `head_idx > n_heads`.
     pub fn head_logits(&self, acts: &Activations, head_idx: usize) -> Vec<f32> {
-        let head = &self.heads[head_idx];
-        let z = self.head_z(head, &acts.h);
-        let mut logits = head.u.matvec(&z);
-        for (l, c) in logits.iter_mut().zip(&head.c) {
-            *l += c;
-        }
-        logits
+        self.head_logits_from_hidden(&acts.h, head_idx)
     }
 
     fn head_z(&self, head: &Head, h: &[f32]) -> Vec<f32> {
@@ -218,7 +319,9 @@ impl MlpLm {
     /// Logits of the base head and every Medusa head for a prefix.
     pub fn multi_logits(&self, prefix: &[TokenId]) -> Vec<Vec<f32>> {
         let acts = self.forward_trunk(&self.window(prefix));
-        (0..=self.cfg.n_heads).map(|i| self.head_logits(&acts, i)).collect()
+        (0..=self.cfg.n_heads)
+            .map(|i| self.head_logits(&acts, i))
+            .collect()
     }
 
     /// Average base-head negative log-likelihood (nats/token) of `tokens`.
@@ -289,8 +392,11 @@ impl MlpLm {
                 (Some(p), Some(gp)) => {
                     // z = h + silu(u), u = P h
                     let u = p.matvec(&acts.h);
-                    let du: Vec<f32> =
-                        dz.iter().zip(&u).map(|(&d, &uv)| d * silu_prime(uv)).collect();
+                    let du: Vec<f32> = dz
+                        .iter()
+                        .zip(&u)
+                        .map(|(&d, &uv)| d * silu_prime(uv))
+                        .collect();
                     gp.add_outer(&du, &acts.h);
                     let dh_p = p.matvec_t(&du);
                     for ((d, r), v) in dh.iter_mut().zip(&dz).zip(&dh_p) {
@@ -302,8 +408,11 @@ impl MlpLm {
         }
 
         // Trunk backward.
-        let da: Vec<f32> =
-            dh.iter().zip(&acts.a).map(|(&d, &av)| d * silu_prime(av)).collect();
+        let da: Vec<f32> = dh
+            .iter()
+            .zip(&acts.a)
+            .map(|(&d, &av)| d * silu_prime(av))
+            .collect();
         grads.w1.add_outer(&da, &acts.x);
         for (g, d) in grads.b1.iter_mut().zip(&da) {
             *g += d;
@@ -363,9 +472,7 @@ impl MlpLm {
             );
             adam_update(&mut self.b1, &grads.b1, &mut opt.b1, base_lr, scale, t);
         }
-        for ((head, ghead), ohead) in
-            self.heads.iter_mut().zip(&grads.heads).zip(&mut opt.heads)
-        {
+        for ((head, ghead), ohead) in self.heads.iter_mut().zip(&grads.heads).zip(&mut opt.heads) {
             let lr = if head.p.is_some() { head_lr } else { base_lr };
             if lr == 0.0 {
                 continue;
@@ -373,7 +480,14 @@ impl MlpLm {
             if let (Some(p), Some(gp), Some(op)) = (&mut head.p, &ghead.p, &mut ohead.p) {
                 adam_update(p.as_mut_slice(), gp.as_slice(), op, lr, scale, t);
             }
-            adam_update(head.u.as_mut_slice(), ghead.u.as_slice(), &mut ohead.u, lr, scale, t);
+            adam_update(
+                head.u.as_mut_slice(),
+                ghead.u.as_slice(),
+                &mut ohead.u,
+                lr,
+                scale,
+                t,
+            );
             adam_update(&mut head.c, &ghead.c, &mut ohead.c, lr, scale, t);
         }
     }
@@ -461,7 +575,10 @@ struct AdamBuf {
 
 impl AdamBuf {
     fn new(n: usize) -> Self {
-        Self { m: vec![0.0; n], v: vec![0.0; n] }
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 }
 
@@ -534,7 +651,14 @@ mod tests {
     /// Finite-difference gradient check on every parameter family.
     #[test]
     fn gradients_match_finite_differences() {
-        let cfg = MlpLmConfig { vocab: 6, d_emb: 3, d_hidden: 4, context: 3, n_heads: 2, seed: 3 };
+        let cfg = MlpLmConfig {
+            vocab: 6,
+            d_emb: 3,
+            d_hidden: 4,
+            context: 3,
+            n_heads: 2,
+            seed: 3,
+        };
         let mut model = MlpLm::new(cfg);
         let window = vec![1u32, 2, 3];
         let targets: Vec<HeadTarget> = vec![(0, 4, 1.0), (1, 5, 0.5), (2, 1, 0.25)];
@@ -549,14 +673,23 @@ mod tests {
 
         let eps = 1e-3f32;
         // Check a sampling of coordinates in each tensor.
+        #[allow(clippy::type_complexity)] // (name, accessor, analytic grads) triples
         let checks: Vec<(&str, Box<dyn Fn(&mut MlpLm) -> &mut [f32]>, Vec<f32>)> = vec![
             (
                 "emb",
                 Box::new(|m: &mut MlpLm| m.emb.as_mut_slice()),
                 grads.emb.as_slice().to_vec(),
             ),
-            ("w1", Box::new(|m: &mut MlpLm| m.w1.as_mut_slice()), grads.w1.as_slice().to_vec()),
-            ("b1", Box::new(|m: &mut MlpLm| &mut m.b1[..]), grads.b1.clone()),
+            (
+                "w1",
+                Box::new(|m: &mut MlpLm| m.w1.as_mut_slice()),
+                grads.w1.as_slice().to_vec(),
+            ),
+            (
+                "b1",
+                Box::new(|m: &mut MlpLm| &mut m.b1[..]),
+                grads.b1.clone(),
+            ),
             (
                 "head0.u",
                 Box::new(|m: &mut MlpLm| m.heads[0].u.as_mut_slice()),
@@ -601,7 +734,14 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_on_repetitive_sequence() {
-        let cfg = MlpLmConfig { vocab: 8, d_emb: 6, d_hidden: 12, context: 3, n_heads: 2, seed: 1 };
+        let cfg = MlpLmConfig {
+            vocab: 8,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 3,
+            n_heads: 2,
+            seed: 1,
+        };
         let mut model = MlpLm::new(cfg);
         let mut opt = model.optimizer();
         let mut grads = model.zero_grads();
@@ -633,7 +773,14 @@ mod tests {
 
     #[test]
     fn heads_learn_lookahead() {
-        let cfg = MlpLmConfig { vocab: 8, d_emb: 6, d_hidden: 12, context: 3, n_heads: 2, seed: 2 };
+        let cfg = MlpLmConfig {
+            vocab: 8,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 3,
+            n_heads: 2,
+            seed: 2,
+        };
         let mut model = MlpLm::new(cfg);
         let mut opt = model.optimizer();
         let mut grads = model.zero_grads();
@@ -642,8 +789,11 @@ mod tests {
             grads.reset();
             for pos in 0..seq.len() - 3 {
                 let window = model.window(&seq[..=pos]);
-                let targets: Vec<HeadTarget> =
-                    vec![(0, seq[pos + 1], 1.0), (1, seq[pos + 2], 0.5), (2, seq[pos + 3], 0.4)];
+                let targets: Vec<HeadTarget> = vec![
+                    (0, seq[pos + 1], 1.0),
+                    (1, seq[pos + 2], 0.5),
+                    (2, seq[pos + 3], 0.4),
+                ];
                 model.accumulate_position(&mut grads, &window, &targets);
             }
             model.adam_step(&mut opt, &grads, 5e-3, 4.0);

@@ -101,7 +101,9 @@ impl NgramLm {
                 break;
             }
             let ctx = &prefix[prefix.len() - k..];
-            let Some(cc) = self.counts[k].get(ctx) else { continue };
+            let Some(cc) = self.counts[k].get(ctx) else {
+                continue;
+            };
             if cc.total == 0 {
                 continue;
             }
@@ -112,6 +114,15 @@ impl NgramLm {
             }
         }
         probs
+    }
+
+    /// Base-head logits for a prefix: elementwise log of
+    /// [`NgramLm::distribution`] (softmax recovers the distribution).
+    pub fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
+        self.distribution(prefix)
+            .into_iter()
+            .map(|p| p.max(f32::MIN_POSITIVE).ln())
+            .collect()
     }
 
     /// Probability of `token` following `prefix`.
@@ -175,7 +186,7 @@ mod tests {
         let mut lm = NgramLm::new(3, 8);
         lm.train_sequence(&cyclic(8, 60));
         let d = lm.distribution(&[7, 7]); // unseen bigram context
-        // Unigram statistics still apply, but nothing should be zero.
+                                          // Unigram statistics still apply, but nothing should be zero.
         assert!(d.iter().all(|&p| p > 0.0));
     }
 
@@ -202,7 +213,11 @@ mod tests {
     fn context_counts_grow_with_order() {
         let mut lm = NgramLm::new(3, 6);
         lm.train_sequence(&cyclic(6, 100));
-        assert_eq!(lm.context_count(0), 1, "order 0 has the single empty context");
+        assert_eq!(
+            lm.context_count(0),
+            1,
+            "order 0 has the single empty context"
+        );
         assert!(lm.context_count(1) >= 5);
         assert!(lm.context_count(2) >= 5);
     }

@@ -26,7 +26,10 @@ pub enum Sampling {
 impl Sampling {
     /// Convenience constructor for plain temperature sampling.
     pub fn temperature(t: f32) -> Self {
-        Sampling::Temperature { temperature: t, top_k: 0 }
+        Sampling::Temperature {
+            temperature: t,
+            top_k: 0,
+        }
     }
 }
 
@@ -39,7 +42,9 @@ pub struct Sampler {
 impl Sampler {
     /// Creates a sampler with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Picks a token from `logits` using `strategy`.
@@ -134,11 +139,15 @@ mod tests {
         let logits = vec![0.0f32, 1.0, 2.0, 0.5];
         let a: Vec<TokenId> = {
             let mut s = Sampler::new(42);
-            (0..20).map(|_| s.sample(&logits, Sampling::temperature(0.8))).collect()
+            (0..20)
+                .map(|_| s.sample(&logits, Sampling::temperature(0.8)))
+                .collect()
         };
         let b: Vec<TokenId> = {
             let mut s = Sampler::new(42);
-            (0..20).map(|_| s.sample(&logits, Sampling::temperature(0.8))).collect()
+            (0..20)
+                .map(|_| s.sample(&logits, Sampling::temperature(0.8)))
+                .collect()
         };
         assert_eq!(a, b);
     }
@@ -147,8 +156,9 @@ mod tests {
     fn low_temperature_concentrates() {
         let logits = vec![0.0f32, 5.0, 0.0];
         let mut s = Sampler::new(7);
-        let picks: Vec<TokenId> =
-            (0..50).map(|_| s.sample(&logits, Sampling::temperature(0.1))).collect();
+        let picks: Vec<TokenId> = (0..50)
+            .map(|_| s.sample(&logits, Sampling::temperature(0.1)))
+            .collect();
         assert!(picks.iter().all(|&t| t == 1));
     }
 
@@ -156,10 +166,14 @@ mod tests {
     fn high_temperature_spreads() {
         let logits = vec![0.0f32, 1.0, 0.0];
         let mut s = Sampler::new(7);
-        let picks: Vec<TokenId> =
-            (0..200).map(|_| s.sample(&logits, Sampling::temperature(5.0))).collect();
+        let picks: Vec<TokenId> = (0..200)
+            .map(|_| s.sample(&logits, Sampling::temperature(5.0)))
+            .collect();
         let distinct: std::collections::HashSet<_> = picks.into_iter().collect();
-        assert!(distinct.len() >= 2, "high temperature should sample multiple tokens");
+        assert!(
+            distinct.len() >= 2,
+            "high temperature should sample multiple tokens"
+        );
     }
 
     #[test]
@@ -167,7 +181,13 @@ mod tests {
         let logits = vec![0.0f32, 10.0, 9.0, -5.0];
         let mut s = Sampler::new(3);
         for _ in 0..100 {
-            let t = s.sample(&logits, Sampling::Temperature { temperature: 2.0, top_k: 2 });
+            let t = s.sample(
+                &logits,
+                Sampling::Temperature {
+                    temperature: 2.0,
+                    top_k: 2,
+                },
+            );
             assert!(t == 1 || t == 2, "got {t}");
         }
     }

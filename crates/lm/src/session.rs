@@ -1,0 +1,657 @@
+//! Stateful decode sessions: the KV-cache analogue for VeriSpec's
+//! laptop-scale models.
+//!
+//! The speculative-decoding engines in `verispec-core` drive a
+//! [`DecodeSession`] instead of calling the stateless
+//! `LanguageModel::logits(&prefix)` per position. A session owns the
+//! growing token context and supports the full speculative lifecycle:
+//!
+//! * [`DecodeSession::append`] — extend the context with committed (or
+//!   tentatively speculated) tokens;
+//! * [`DecodeSession::truncate`] — roll back after rejected speculation
+//!   (the KV-cache trim);
+//! * [`DecodeSession::logits`] / [`DecodeSession::multi_logits`] —
+//!   next-token logits served from cached state where the model allows;
+//! * [`DecodeSession::verify_batch`] — score *every* candidate-tree path
+//!   in one call with shared-prefix reuse, the draft-then-verify
+//!   formulation where K speculated positions are verified together
+//!   instead of one forward per candidate path.
+//!
+//! Three implementations live here:
+//!
+//! * [`MlpSession`] — caches the trunk activation of the current window
+//!   and answers `verify_batch` with *batched* trunk/head matmuls
+//!   ([`crate::matrix::Matrix::matvec_batch`]): each weight row is
+//!   streamed once across all candidate windows, which is where the
+//!   real-hardware "one forward verifies the whole tree" speedup comes
+//!   from. All outputs are bit-identical to the stateless path.
+//! * [`NgramSession`] — keeps the context and caches the count-lookup
+//!   distribution of the current position.
+//! * [`StatelessSession`] — the migration shim: a fresh-compute session
+//!   over any [`LanguageModel`], used as the default
+//!   `LanguageModel::session()` so external model implementations keep
+//!   working unchanged (and as the baseline in the `session_reuse`
+//!   bench).
+
+use crate::mlp::{MlpLm, TokenId};
+use crate::ngram::NgramLm;
+use crate::LanguageModel;
+
+/// Guards the mutually-recursive `LanguageModel` defaults
+/// (`logits`/`multi_logits` ⇄ `session`): a type overriding neither
+/// would otherwise recurse until the stack overflows. The threshold is
+/// generous so legitimate nesting (a model whose `logits` internally
+/// queries another model's shim) never trips it.
+pub(crate) fn shim_recursion_guard<T>(f: impl FnOnce() -> T) -> T {
+    use std::cell::Cell;
+    thread_local! {
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+    DEPTH.with(|depth| {
+        assert!(
+            depth.get() < 64,
+            "LanguageModel default-impl cycle: implement at least one of \
+             `session()` or `logits()` (see the LanguageModel trait docs)"
+        );
+        depth.set(depth.get() + 1);
+        struct Restore<'a>(&'a Cell<u32>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() - 1);
+            }
+        }
+        let _restore = Restore(depth);
+        f()
+    })
+}
+
+/// A stateful, rollback-capable decoding context over one model.
+///
+/// Implementations must keep [`DecodeSession::logits`] equal to the
+/// stateless `LanguageModel::logits(tokens())` at every point — sessions
+/// are a performance mechanism, never a semantic one. Engines rely on
+/// that equivalence for lossless speculation.
+pub trait DecodeSession {
+    /// Number of tokens currently in the context.
+    fn len(&self) -> usize;
+
+    /// Whether the context is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current context tokens.
+    fn tokens(&self) -> &[TokenId];
+
+    /// Appends tokens to the context.
+    fn append(&mut self, tokens: &[TokenId]);
+
+    /// Rolls the context back to `len` tokens (no-op if already
+    /// shorter). This is the KV-cache trim after rejected speculation.
+    fn truncate(&mut self, len: usize);
+
+    /// Base-head logits for the next token after the current context.
+    fn logits(&mut self) -> Vec<f32>;
+
+    /// Logits for the base head and every extra (Medusa) head.
+    fn multi_logits(&mut self) -> Vec<Vec<f32>>;
+
+    /// Scores every candidate path in one call.
+    ///
+    /// `result[i][j]` is the base-head logits after appending
+    /// `paths[i][..j]` to the current context. With `include_bonus`
+    /// set, `j` runs over `0..=paths[i].len()` — the K speculated
+    /// positions *plus* the bonus position after a fully accepted path
+    /// (the draft-verify formulation needs the extra row to sample its
+    /// bonus token); without it, `j` runs over `0..paths[i].len()`,
+    /// which is all MEDUSA acceptance reads — pure-leaf forwards are
+    /// skipped entirely. Shared path prefixes are evaluated once. The
+    /// session context is unchanged when the call returns.
+    ///
+    /// The default implementation walks a prefix trie with
+    /// `append`/`truncate` rollback and one `logits` call per unique
+    /// node; model-aware sessions override it with batched forwards.
+    fn verify_batch(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> Vec<Vec<Vec<f32>>> {
+        let base_len = self.len();
+        struct Node {
+            token: TokenId,
+            children: Vec<usize>,
+            logits: Option<Vec<f32>>,
+        }
+        let mut nodes = vec![Node {
+            token: 0,
+            children: Vec::new(),
+            logits: None,
+        }];
+        // Session tokens appended beyond `base_len` right now.
+        let mut cur: Vec<TokenId> = Vec::new();
+        let mut results = Vec::with_capacity(paths.len());
+        for &path in paths {
+            let rows_wanted = path.len() + usize::from(include_bonus);
+            let mut rows = Vec::with_capacity(rows_wanted);
+            let mut node = 0usize;
+            for j in 0..rows_wanted {
+                if nodes[node].logits.is_none() {
+                    // Re-sync the session to this prefix, reusing the
+                    // longest common prefix with its current state.
+                    let prefix = &path[..j];
+                    let common = cur
+                        .iter()
+                        .zip(prefix.iter())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    if common < cur.len() {
+                        self.truncate(base_len + common);
+                        cur.truncate(common);
+                    }
+                    if common < prefix.len() {
+                        self.append(&prefix[common..]);
+                        cur.extend_from_slice(&prefix[common..]);
+                    }
+                    nodes[node].logits = Some(self.logits());
+                }
+                rows.push(nodes[node].logits.clone().expect("computed above"));
+                if j < path.len() {
+                    let tok = path[j];
+                    let found = nodes[node]
+                        .children
+                        .iter()
+                        .copied()
+                        .find(|&c| nodes[c].token == tok);
+                    node = match found {
+                        Some(c) => c,
+                        None => {
+                            nodes.push(Node {
+                                token: tok,
+                                children: Vec::new(),
+                                logits: None,
+                            });
+                            let id = nodes.len() - 1;
+                            nodes[node].children.push(id);
+                            id
+                        }
+                    };
+                }
+            }
+            results.push(rows);
+        }
+        self.truncate(base_len);
+        results
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stateless shim
+// ---------------------------------------------------------------------
+
+/// The migration shim: a session over any [`LanguageModel`] that
+/// recomputes from the full context on every query.
+///
+/// This is the default [`LanguageModel::session`] implementation, so
+/// model types that only provide the stateless `logits` keep working
+/// with the session-driven engines. It is deliberately cache-free: the
+/// `session_reuse` bench uses it (via [`Stateless`]) as the
+/// "fresh forward per query" baseline.
+pub struct StatelessSession<'a, M: LanguageModel + ?Sized> {
+    model: &'a M,
+    tokens: Vec<TokenId>,
+}
+
+impl<'a, M: LanguageModel + ?Sized> StatelessSession<'a, M> {
+    /// Opens an empty stateless session over `model`.
+    pub fn new(model: &'a M) -> Self {
+        StatelessSession {
+            model,
+            tokens: Vec::new(),
+        }
+    }
+}
+
+impl<M: LanguageModel + ?Sized> DecodeSession for StatelessSession<'_, M> {
+    fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    fn append(&mut self, tokens: &[TokenId]) {
+        self.tokens.extend_from_slice(tokens);
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.tokens.truncate(len);
+    }
+
+    fn logits(&mut self) -> Vec<f32> {
+        self.model.logits(&self.tokens)
+    }
+
+    fn multi_logits(&mut self) -> Vec<Vec<f32>> {
+        self.model.multi_logits(&self.tokens)
+    }
+}
+
+/// Wrapper that forces the stateless default session on a model that
+/// has a native one — the baseline side of cached-vs-stateless
+/// comparisons (`session_reuse` bench, parity property tests).
+pub struct Stateless<M>(pub M);
+
+impl<M: LanguageModel> LanguageModel for Stateless<M> {
+    fn vocab_size(&self) -> usize {
+        self.0.vocab_size()
+    }
+
+    fn n_extra_heads(&self) -> usize {
+        self.0.n_extra_heads()
+    }
+
+    fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
+        self.0.logits(prefix)
+    }
+
+    fn multi_logits(&self, prefix: &[TokenId]) -> Vec<Vec<f32>> {
+        self.0.multi_logits(prefix)
+    }
+    // `session()` intentionally not overridden: the default
+    // StatelessSession shim is the point of this wrapper.
+}
+
+// ---------------------------------------------------------------------
+// MLP session
+// ---------------------------------------------------------------------
+
+/// Cached session over an [`MlpLm`].
+///
+/// The cached state is exactly what the architecture allows reusing:
+/// the **context-window embedding** `x` (appending a token shifts the
+/// window by one embedding block and writes only the new tail — the
+/// rest is reused) and the **trunk hidden state** of the current
+/// position (so `logits` and `multi_logits` at one position share one
+/// trunk forward). [`DecodeSession::verify_batch`] is overridden with
+/// fused batched matmuls over the unique candidate-tree nodes: node
+/// embeddings are derived from their parent's cached embedding, and the
+/// trunk + base-head projections run one vectorized pass across the
+/// whole tree instead of one scalar forward per candidate.
+pub struct MlpSession<'a> {
+    model: &'a MlpLm,
+    tokens: Vec<TokenId>,
+    /// Embedding concat of the current window, shifted incrementally.
+    x: Option<Vec<f32>>,
+    /// Trunk hidden state at the current position.
+    hidden: Option<Vec<f32>>,
+}
+
+impl<'a> MlpSession<'a> {
+    /// Opens an empty session over `model`.
+    pub fn new(model: &'a MlpLm) -> Self {
+        MlpSession {
+            model,
+            tokens: Vec::new(),
+            x: None,
+            hidden: None,
+        }
+    }
+
+    fn d_emb(&self) -> usize {
+        self.model.config().d_emb
+    }
+
+    fn ensure_x(&mut self) -> &Vec<f32> {
+        if self.x.is_none() {
+            self.x = Some(self.model.embed_window(&self.model.window(&self.tokens)));
+        }
+        self.x.as_ref().expect("ensured above")
+    }
+
+    fn ensure_hidden(&mut self) {
+        if self.hidden.is_none() {
+            self.ensure_x();
+            let x = self.x.as_ref().expect("ensured above");
+            self.hidden = Some(self.model.trunk_hidden(x));
+        }
+    }
+}
+
+impl DecodeSession for MlpSession<'_> {
+    fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    fn append(&mut self, tokens: &[TokenId]) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.tokens.extend_from_slice(tokens);
+        self.hidden = None;
+        // Recompute only the window tail that changed: each appended
+        // token shifts the embedding concat one block left and fills the
+        // last block; the prior blocks carry over.
+        if let Some(x) = &mut self.x {
+            let d = self.model.config().d_emb;
+            for &tok in tokens {
+                x.copy_within(d.., 0);
+                let n = x.len();
+                x[n - d..].copy_from_slice(self.model.embed_token(tok));
+            }
+        }
+    }
+
+    fn truncate(&mut self, len: usize) {
+        if len >= self.tokens.len() {
+            return;
+        }
+        self.tokens.truncate(len);
+        // Rollback re-exposes tokens left of the window; rebuild lazily.
+        self.x = None;
+        self.hidden = None;
+    }
+
+    fn logits(&mut self) -> Vec<f32> {
+        self.ensure_hidden();
+        self.model
+            .head_logits_from_hidden(self.hidden.as_ref().expect("ensured above"), 0)
+    }
+
+    fn multi_logits(&mut self) -> Vec<Vec<f32>> {
+        self.ensure_hidden();
+        let h = self.hidden.as_ref().expect("ensured above");
+        (0..=self.model.n_heads())
+            .map(|i| self.model.head_logits_from_hidden(h, i))
+            .collect()
+    }
+
+    fn verify_batch(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> Vec<Vec<Vec<f32>>> {
+        // 1. Deduplicate the *scored* path prefixes into a trie. Node 0
+        //    is the root (the current context); children extend by one
+        //    token. Without the bonus row the full-path leaves are never
+        //    read, so they get no node and no forward.
+        struct Node {
+            token: TokenId,
+            parent: usize,
+            children: Vec<usize>,
+        }
+        let mut nodes = vec![Node {
+            token: 0,
+            parent: usize::MAX,
+            children: Vec::new(),
+        }];
+        // result[i][j] reads from node_of[i][j].
+        let mut node_of: Vec<Vec<usize>> = Vec::with_capacity(paths.len());
+        for &path in paths {
+            let rows_wanted = path.len() + usize::from(include_bonus);
+            let mut ids = Vec::with_capacity(rows_wanted);
+            let mut node = 0usize;
+            if rows_wanted > 0 {
+                ids.push(node);
+            }
+            for &tok in &path[..rows_wanted.saturating_sub(1)] {
+                let found = nodes[node]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| nodes[c].token == tok);
+                node = match found {
+                    Some(c) => c,
+                    None => {
+                        nodes.push(Node {
+                            token: tok,
+                            parent: node,
+                            children: Vec::new(),
+                        });
+                        let id = nodes.len() - 1;
+                        nodes[node].children.push(id);
+                        id
+                    }
+                };
+                ids.push(node);
+            }
+            node_of.push(ids);
+        }
+
+        // 2. One embedding concat per unique node, derived from the
+        //    parent's by a one-block shift (nodes are created
+        //    parent-first, so xs[parent] always exists).
+        let d = self.d_emb();
+        let root_x = self.ensure_x().clone();
+        let mut xs: Vec<Vec<f32>> = Vec::with_capacity(nodes.len());
+        xs.push(root_x);
+        for node in &nodes[1..] {
+            let parent = &xs[node.parent];
+            let mut x = Vec::with_capacity(parent.len());
+            x.extend_from_slice(&parent[d..]);
+            x.extend_from_slice(self.model.embed_token(node.token));
+            xs.push(x);
+        }
+
+        // 3. One batched forward scores every node: the trunk and the
+        //    base head each run a single fused, vectorized pass across
+        //    the whole candidate tree.
+        let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let hs = self.model.trunk_hidden_batch(&x_refs);
+        let h_refs: Vec<&[f32]> = hs.iter().map(Vec::as_slice).collect();
+        let logits = self.model.head_logits_from_hidden_batch(&h_refs, 0);
+
+        node_of
+            .iter()
+            .map(|ids| ids.iter().map(|&id| logits[id].clone()).collect())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// N-gram session
+// ---------------------------------------------------------------------
+
+/// Cached session over an [`NgramLm`].
+///
+/// The n-gram model only inspects the last `order − 1` tokens, so the
+/// session state is the token ring plus the memoized count-lookup
+/// distribution of the current position (invalidated on append/rollback).
+pub struct NgramSession<'a> {
+    model: &'a NgramLm,
+    tokens: Vec<TokenId>,
+    logits_cache: Option<Vec<f32>>,
+}
+
+impl<'a> NgramSession<'a> {
+    /// Opens an empty session over `model`.
+    pub fn new(model: &'a NgramLm) -> Self {
+        NgramSession {
+            model,
+            tokens: Vec::new(),
+            logits_cache: None,
+        }
+    }
+}
+
+impl DecodeSession for NgramSession<'_> {
+    fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    fn append(&mut self, tokens: &[TokenId]) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.tokens.extend_from_slice(tokens);
+        self.logits_cache = None;
+    }
+
+    fn truncate(&mut self, len: usize) {
+        if len >= self.tokens.len() {
+            return;
+        }
+        self.tokens.truncate(len);
+        self.logits_cache = None;
+    }
+
+    fn logits(&mut self) -> Vec<f32> {
+        if let Some(cached) = &self.logits_cache {
+            return cached.clone();
+        }
+        let logits = self.model.logits(&self.tokens);
+        self.logits_cache = Some(logits.clone());
+        logits
+    }
+
+    fn multi_logits(&mut self) -> Vec<Vec<f32>> {
+        vec![self.logits()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpLmConfig;
+
+    fn tiny_mlp() -> MlpLm {
+        MlpLm::new(MlpLmConfig::tiny(12))
+    }
+
+    fn trained_ngram() -> NgramLm {
+        let mut ng = NgramLm::new(3, 12);
+        let seq: Vec<TokenId> = (0..90).map(|i| 5 + (i % 4) as TokenId).collect();
+        ng.train_sequence(&seq);
+        ng
+    }
+
+    #[test]
+    fn mlp_session_matches_stateless_logits() {
+        let model = tiny_mlp();
+        let mut s = model.session();
+        let prefix = [1u32, 2, 3, 4, 5];
+        for i in 0..prefix.len() {
+            s.append(&prefix[i..=i]);
+            assert_eq!(s.logits(), model.logits(&prefix[..=i]), "position {i}");
+            assert_eq!(s.multi_logits(), model.multi_logits(&prefix[..=i]));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.tokens(), &prefix);
+    }
+
+    #[test]
+    fn truncate_rolls_back_exactly() {
+        let model = tiny_mlp();
+        let mut s = model.session();
+        s.append(&[1, 2, 3]);
+        let at3 = s.logits();
+        s.append(&[7, 8]);
+        assert_ne!(s.logits(), at3, "context change must change logits");
+        s.truncate(3);
+        assert_eq!(s.logits(), at3, "rollback must restore position state");
+        s.truncate(10); // beyond current length: no-op
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn verify_batch_matches_stateless_forwards_bitwise() {
+        let model = tiny_mlp();
+        let mut s = model.session();
+        let prefix = [2u32, 4, 6];
+        s.append(&prefix);
+        let paths: Vec<Vec<TokenId>> = vec![vec![1, 2, 3], vec![1, 2, 7], vec![5], vec![1, 9]];
+        let path_refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+        let scored = s.verify_batch(&path_refs, true);
+        assert_eq!(scored.len(), paths.len());
+        for (path, rows) in paths.iter().zip(&scored) {
+            assert_eq!(rows.len(), path.len() + 1);
+            for (j, row) in rows.iter().enumerate() {
+                let mut ctx = prefix.to_vec();
+                ctx.extend_from_slice(&path[..j]);
+                let expect = model.logits(&ctx);
+                assert!(
+                    row.iter()
+                        .zip(&expect)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "path {path:?} pos {j}"
+                );
+            }
+        }
+        // Without the bonus row, each path gets exactly len rows and the
+        // shared rows are identical.
+        let trimmed = s.verify_batch(&path_refs, false);
+        for ((path, with_bonus), without) in paths.iter().zip(&scored).zip(&trimmed) {
+            assert_eq!(without.len(), path.len());
+            assert_eq!(&with_bonus[..path.len()], &without[..]);
+        }
+        // The session context is unchanged.
+        assert_eq!(s.tokens(), &prefix);
+        assert_eq!(s.logits(), model.logits(&prefix));
+    }
+
+    #[test]
+    fn default_verify_batch_agrees_with_batched_override() {
+        let model = tiny_mlp();
+        let paths: Vec<Vec<TokenId>> = vec![vec![3, 1], vec![3, 2], vec![8]];
+        let path_refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+
+        for include_bonus in [true, false] {
+            let mut native = model.session();
+            native.append(&[1, 2]);
+            let a = native.verify_batch(&path_refs, include_bonus);
+
+            let shim = Stateless(&model);
+            let mut stateless = shim.session();
+            stateless.append(&[1, 2]);
+            let b = stateless.verify_batch(&path_refs, include_bonus);
+
+            assert_eq!(a, b, "shim and batched session must agree exactly");
+        }
+    }
+
+    #[test]
+    fn default_impl_cycle_panics_instead_of_overflowing() {
+        // A broken implementor that overrides neither `session` nor
+        // `logits`: the depth guard must turn the infinite recursion
+        // into a catchable panic with a pointer to the fix.
+        struct Neither;
+        impl LanguageModel for Neither {
+            fn vocab_size(&self) -> usize {
+                4
+            }
+        }
+        let err = std::panic::catch_unwind(|| Neither.logits(&[1]))
+            .expect_err("must panic, not overflow");
+        let msg = err
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("implement at least one"), "got: {msg}");
+    }
+
+    #[test]
+    fn ngram_session_matches_stateless() {
+        let ng = trained_ngram();
+        let mut s = ng.session();
+        let prefix = [5u32, 6, 7, 8, 5, 6];
+        for i in 0..prefix.len() {
+            s.append(&prefix[i..=i]);
+            assert_eq!(s.logits(), LanguageModel::logits(&ng, &prefix[..=i]));
+        }
+        s.truncate(2);
+        assert_eq!(s.logits(), LanguageModel::logits(&ng, &prefix[..2]));
+    }
+
+    #[test]
+    fn stateless_wrapper_forwards_model_behavior() {
+        let model = tiny_mlp();
+        let shim = Stateless(&model);
+        assert_eq!(shim.vocab_size(), model.vocab_size());
+        assert_eq!(shim.n_extra_heads(), model.n_extra_heads());
+        assert_eq!(shim.logits(&[1, 2]), model.logits(&[1, 2]));
+        let mut s = shim.session();
+        s.append(&[1, 2]);
+        assert_eq!(s.logits(), model.logits(&[1, 2]));
+    }
+}

@@ -25,7 +25,9 @@ pub struct SimError {
 impl SimError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -185,9 +187,11 @@ struct PortInfo {
 
 impl<'m> Elaborator<'m> {
     fn new(module: &'m Module, overrides: &[(String, u64)]) -> SimResult<Self> {
-        let mut this = Self { module, params: HashMap::new() };
-        let over: HashMap<&str, u64> =
-            overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let mut this = Self {
+            module,
+            params: HashMap::new(),
+        };
+        let over: HashMap<&str, u64> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         for (name, _) in overrides {
             if !module.params.iter().any(|p| &p.name == name) {
                 return Err(SimError::new(format!(
@@ -284,7 +288,9 @@ impl<'m> Elaborator<'m> {
                     self.const_eval(f)
                 }
             }
-            other => Err(SimError::new(format!("expression is not constant: {other:?}"))),
+            other => Err(SimError::new(format!(
+                "expression is not constant: {other:?}"
+            ))),
         }
     }
 
@@ -353,11 +359,14 @@ impl<'m> Elaborator<'m> {
         let mut outputs = Vec::new();
 
         let add_signal = |signals: &mut Vec<Signal>,
-                              by_name: &mut HashMap<String, SignalId>,
-                              s: Signal|
+                          by_name: &mut HashMap<String, SignalId>,
+                          s: Signal|
          -> SimResult<SignalId> {
             if by_name.contains_key(&s.name) {
-                return Err(SimError::new(format!("duplicate declaration of `{}`", s.name)));
+                return Err(SimError::new(format!(
+                    "duplicate declaration of `{}`",
+                    s.name
+                )));
             }
             let id = signals.len();
             by_name.insert(s.name.clone(), id);
@@ -376,7 +385,9 @@ impl<'m> Elaborator<'m> {
                 _ => SignalKind::Wire,
             };
             if dir == Direction::Input && kind == SignalKind::Reg {
-                return Err(SimError::new(format!("input port `{name}` cannot be a reg")));
+                return Err(SimError::new(format!(
+                    "input port `{name}` cannot be a reg"
+                )));
             }
             let id = add_signal(
                 &mut signals,
@@ -467,7 +478,10 @@ impl<'m> Elaborator<'m> {
                                         rv.name
                                     )));
                                 }
-                                SignalKind::Memory { depth: depth as u32, lo }
+                                SignalKind::Memory {
+                                    depth: depth as u32,
+                                    lo,
+                                }
                             }
                         };
                         let init = match &rv.init {
@@ -512,12 +526,17 @@ impl<'m> Elaborator<'m> {
                 Item::Param(_) | Item::Localparam(_) | Item::PortDecl(_) => {}
                 Item::Assign(assigns) => {
                     for (lhs, rhs) in assigns {
-                        processes.push(Process::Assign { lhs: lhs.clone(), rhs: rhs.clone() });
+                        processes.push(Process::Assign {
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        });
                     }
                 }
                 Item::Always(ab) => match &ab.sensitivity {
                     Sensitivity::Star => {
-                        processes.push(Process::Comb { body: ab.body.clone() });
+                        processes.push(Process::Comb {
+                            body: ab.body.clone(),
+                        });
                     }
                     Sensitivity::List(evs) => {
                         let edged = evs.iter().any(|e| e.edge.is_some());
@@ -542,7 +561,9 @@ impl<'m> Elaborator<'m> {
                             clocked_slots.push(processes.len() - 1);
                         } else {
                             // Level-sensitive list: treat as combinational.
-                            processes.push(Process::Comb { body: ab.body.clone() });
+                            processes.push(Process::Comb {
+                                body: ab.body.clone(),
+                            });
                         }
                     }
                 },
@@ -617,7 +638,9 @@ impl<'m> Elaborator<'m> {
                 };
                 let sig = &design.signals[id];
                 if sig.dir == Some(Direction::Input) {
-                    return Err(SimError::new(format!("cannot assign to input port `{name}`")));
+                    return Err(SimError::new(format!(
+                        "cannot assign to input port `{name}`"
+                    )));
                 }
                 match (procedural, &sig.kind) {
                     (true, SignalKind::Wire) => {
@@ -664,14 +687,23 @@ impl<'m> Elaborator<'m> {
                         check_stmt(design, s, check_expr)?;
                     }
                 }
-                Stmt::If { cond, then_branch, else_branch } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     check_expr(cond)?;
                     check_stmt(design, then_branch, check_expr)?;
                     if let Some(e) = else_branch {
                         check_stmt(design, e, check_expr)?;
                     }
                 }
-                Stmt::Case { scrutinee, arms, default, .. } => {
+                Stmt::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                    ..
+                } => {
                     check_expr(scrutinee)?;
                     for arm in arms {
                         for l in &arm.labels {
@@ -683,7 +715,12 @@ impl<'m> Elaborator<'m> {
                         check_stmt(design, d, check_expr)?;
                     }
                 }
-                Stmt::For { init, cond, step, body } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
                     check_stmt(design, init, check_expr)?;
                     check_expr(cond)?;
                     check_stmt(design, step, check_expr)?;
@@ -721,7 +758,11 @@ impl<'m> Elaborator<'m> {
         // legal.)
         let mut full_drivers: HashMap<&str, usize> = HashMap::new();
         for p in &design.processes {
-            if let Process::Assign { lhs: LValue::Ident(name), .. } = p {
+            if let Process::Assign {
+                lhs: LValue::Ident(name),
+                ..
+            } = p
+            {
                 *full_drivers.entry(name.as_str()).or_insert(0) += 1;
             }
         }

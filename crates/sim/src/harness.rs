@@ -78,7 +78,11 @@ pub fn run_combinational(
     mut golden: impl FnMut(&InputVector) -> OutputVector,
 ) -> SimResult<TbResult> {
     let mut sim = Sim::new(design)?;
-    let mut result = TbResult { passed: true, cycles_run: 0, mismatches: Vec::new() };
+    let mut result = TbResult {
+        passed: true,
+        cycles_run: 0,
+        mismatches: Vec::new(),
+    };
     for (cycle, vec) in vectors.iter().enumerate() {
         for (name, value) in vec {
             sim.set(name, *value)?;
@@ -119,7 +123,11 @@ pub fn run_sequential(
         sim.set(&rst.signal, deassert_v)?;
     }
 
-    let mut result = TbResult { passed: true, cycles_run: 0, mismatches: Vec::new() };
+    let mut result = TbResult {
+        passed: true,
+        cycles_run: 0,
+        mismatches: Vec::new(),
+    };
     for (cycle, vec) in vectors.iter().enumerate() {
         for (name, value) in vec {
             sim.set(name, *value)?;

@@ -72,7 +72,12 @@ impl<'d> Sim<'d> {
                 _ => None,
             });
         }
-        let mut sim = Self { design, values, mems, edge_snapshot: Vec::new() };
+        let mut sim = Self {
+            design,
+            values,
+            mems,
+            edge_snapshot: Vec::new(),
+        };
         // Run initial blocks once (blocking semantics).
         for p in &design.processes {
             if let Process::Initial { body } = p {
@@ -159,7 +164,9 @@ impl<'d> Sim<'d> {
             }
             self.apply_writes(nba);
         }
-        Err(SimError::new("edge cascade did not quiesce (derived-clock loop?)"))
+        Err(SimError::new(
+            "edge cascade did not quiesce (derived-clock loop?)",
+        ))
     }
 
     /// Evaluates continuous assignments and combinational always blocks
@@ -194,7 +201,9 @@ impl<'d> Sim<'d> {
                 return Ok(());
             }
         }
-        Err(SimError::new("combinational logic did not settle (oscillation)"))
+        Err(SimError::new(
+            "combinational logic did not settle (oscillation)",
+        ))
     }
 
     fn snapshot_event_sources(&self) -> Vec<(SignalId, bool)> {
@@ -287,14 +296,23 @@ impl<'d> Sim<'d> {
                     self.exec_stmt(s, nba, budget)?;
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond)?.is_true() {
                     self.exec_stmt(then_branch, nba, budget)?;
                 } else if let Some(e) = else_branch {
                     self.exec_stmt(e, nba, budget)?;
                 }
             }
-            Stmt::Case { kind, scrutinee, arms, default } => {
+            Stmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let scrut = self.eval(scrutinee)?;
                 let mut matched = false;
                 'arms: for arm in arms {
@@ -312,7 +330,12 @@ impl<'d> Sim<'d> {
                     }
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec_stmt(init, nba, budget)?;
                 while self.eval(cond)?.is_true() {
                     self.exec_stmt(body, nba, budget)?;
@@ -424,20 +447,31 @@ impl<'d> Sim<'d> {
                 let (msb, lsb) = self.eval_range(range)?;
                 out.push(WriteOp::Bits(id, msb, lsb, value));
             }
-            LValue::IndexedPart { name, base, width, ascending } => {
+            LValue::IndexedPart {
+                name,
+                base,
+                width,
+                ascending,
+            } => {
                 let id = self.lookup(name)?;
                 let b = self.eval(base)?.value() as u32;
                 let w = self.eval(width)?.value() as u32;
                 if w == 0 {
                     return Err(SimError::new("zero-width part select"));
                 }
-                let (msb, lsb) = if *ascending { (b + w - 1, b) } else { (b, b.saturating_sub(w - 1)) };
+                let (msb, lsb) = if *ascending {
+                    (b + w - 1, b)
+                } else {
+                    (b, b.saturating_sub(w - 1))
+                };
                 out.push(WriteOp::Bits(id, msb, lsb, value));
             }
             LValue::Concat(parts) => {
                 // Distribute value bits MSB-first across the parts.
-                let widths: Vec<u32> =
-                    parts.iter().map(|p| self.lvalue_width(p)).collect::<SimResult<_>>()?;
+                let widths: Vec<u32> = parts
+                    .iter()
+                    .map(|p| self.lvalue_width(p))
+                    .collect::<SimResult<_>>()?;
                 let total: u32 = widths.iter().sum();
                 let value = value.resize(total);
                 let mut hi = total;
@@ -487,7 +521,9 @@ impl<'d> Sim<'d> {
             return Err(SimError::new(format!("reversed part select [{msb}:{lsb}]")));
         }
         if msb >= 64 {
-            return Err(SimError::new(format!("part select [{msb}:{lsb}] out of range")));
+            return Err(SimError::new(format!(
+                "part select [{msb}:{lsb}] out of range"
+            )));
         }
         Ok((msb as u32, lsb as u32))
     }
@@ -544,8 +580,15 @@ impl<'d> Sim<'d> {
                 _ => 1, // logical not and reductions
             },
             Expr::Binary(op, a, b) => match op {
-                B::Add | B::Sub | B::Mul | B::Div | B::Mod | B::BitAnd | B::BitOr
-                | B::BitXor | B::BitXnor => self.self_width(a)?.max(self.self_width(b)?),
+                B::Add
+                | B::Sub
+                | B::Mul
+                | B::Div
+                | B::Mod
+                | B::BitAnd
+                | B::BitOr
+                | B::BitXor
+                | B::BitXnor => self.self_width(a)?.max(self.self_width(b)?),
                 B::Shl | B::Shr | B::AShl | B::AShr | B::Pow => self.self_width(a)?,
                 _ => 1, // comparisons, logical and/or
             },
@@ -628,9 +671,7 @@ impl<'d> Sim<'d> {
                 UnaryOp::Minus => self.eval_ctx(a, ctx)?.neg(),
                 UnaryOp::BitNot => self.eval_ctx(a, ctx)?.not(),
                 // Self-determined operand, 1-bit result widened to ctx.
-                UnaryOp::Not => {
-                    BitVec::from_bool(!self.eval(a)?.is_true()).resize(ctx)
-                }
+                UnaryOp::Not => BitVec::from_bool(!self.eval(a)?.is_true()).resize(ctx),
                 UnaryOp::RedAnd => self.eval(a)?.reduce_and().resize(ctx),
                 UnaryOp::RedOr => self.eval(a)?.reduce_or().resize(ctx),
                 UnaryOp::RedXor => self.eval(a)?.reduce_xor().resize(ctx),
@@ -725,15 +766,23 @@ impl<'d> Sim<'d> {
                 let (msb, lsb) = self.eval_range(range)?;
                 Ok(self.values[id].slice(msb, lsb).resize(ctx))
             }
-            Expr::IndexedPart { name, base, width, ascending } => {
+            Expr::IndexedPart {
+                name,
+                base,
+                width,
+                ascending,
+            } => {
                 let id = self.lookup(name)?;
                 let b = self.eval(base)?.value() as u32;
                 let w = self.eval(width)?.value() as u32;
                 if w == 0 || w > 64 {
                     return Err(SimError::new("bad indexed part-select width"));
                 }
-                let (msb, lsb) =
-                    if *ascending { (b + w - 1, b) } else { (b, b.saturating_sub(w - 1)) };
+                let (msb, lsb) = if *ascending {
+                    (b + w - 1, b)
+                } else {
+                    (b, b.saturating_sub(w - 1))
+                };
                 Ok(self.values[id].slice(msb, lsb).resize(ctx))
             }
             Expr::Concat(items) => {
@@ -751,7 +800,9 @@ impl<'d> Sim<'d> {
                         }
                     });
                 }
-                Ok(acc.ok_or_else(|| SimError::new("empty concatenation"))?.resize(ctx))
+                Ok(acc
+                    .ok_or_else(|| SimError::new("empty concatenation"))?
+                    .resize(ctx))
             }
             Expr::Repeat(count, items) => {
                 let n = self.eval(count)?.value();
@@ -763,9 +814,7 @@ impl<'d> Sim<'d> {
                             None => v,
                             Some(a) => {
                                 if a.width() + v.width() > 64 {
-                                    return Err(SimError::new(
-                                        "replication exceeds 64 bits",
-                                    ));
+                                    return Err(SimError::new("replication exceeds 64 bits"));
                                 }
                                 a.concat(v)
                             }

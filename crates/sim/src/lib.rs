@@ -42,7 +42,9 @@ pub mod harness;
 pub mod interp;
 pub mod value;
 
-pub use elab::{elaborate, elaborate_with_params, Design, Process, Signal, SignalKind, SimError, SimResult};
+pub use elab::{
+    elaborate, elaborate_with_params, Design, Process, Signal, SignalKind, SimError, SimResult,
+};
 pub use harness::{
     run_combinational, run_sequential, InputVector, Mismatch, OutputVector, ResetSpec, SeqSpec,
     TbResult,
@@ -137,7 +139,11 @@ mod tests {
         assert_eq!(sim.get("q").expect("q"), 1);
         // Async reset without a clock edge.
         sim.set("rst_n", 0).expect("set");
-        assert_eq!(sim.get("q").expect("q"), 0, "reset must apply asynchronously");
+        assert_eq!(
+            sim.get("q").expect("q"),
+            0,
+            "reset must apply asynchronously"
+        );
         // Held in reset across clocks.
         sim.clock_pulse("clk").expect("clk");
         assert_eq!(sim.get("q").expect("q"), 0);
@@ -223,9 +229,13 @@ mod tests {
              endmodule",
         );
         let mut sim = Sim::new(&d).expect("sim");
-        for (req, grant, valid) in
-            [(0b1010u64, 3u64, 1u64), (0b0110, 2, 1), (0b0011, 1, 1), (0b0001, 0, 1), (0, 0, 0)]
-        {
+        for (req, grant, valid) in [
+            (0b1010u64, 3u64, 1u64),
+            (0b0110, 2, 1),
+            (0b0011, 1, 1),
+            (0b0001, 0, 1),
+            (0, 0, 0),
+        ] {
             sim.set("req", req).expect("set");
             assert_eq!(sim.get("grant").expect("g"), grant, "req={req:04b}");
             assert_eq!(sim.get("valid").expect("v"), valid, "req={req:04b}");
@@ -250,40 +260,31 @@ mod tests {
 
     #[test]
     fn undeclared_identifier_is_elab_error() {
-        let file = parse(
-            "module bad(input a, output y); assign y = a & ghost; endmodule",
-        )
-        .expect("parse");
+        let file =
+            parse("module bad(input a, output y); assign y = a & ghost; endmodule").expect("parse");
         let err = elaborate(&file.modules[0]).expect_err("must fail");
         assert!(err.message.contains("ghost"), "{err}");
     }
 
     #[test]
     fn procedural_assign_to_wire_is_elab_error() {
-        let file = parse(
-            "module bad(input a, output y); always @(*) y = a; endmodule",
-        )
-        .expect("parse");
+        let file =
+            parse("module bad(input a, output y); always @(*) y = a; endmodule").expect("parse");
         let err = elaborate(&file.modules[0]).expect_err("must fail");
         assert!(err.message.contains("wire"), "{err}");
     }
 
     #[test]
     fn continuous_assign_to_reg_is_elab_error() {
-        let file = parse(
-            "module bad(input a, output reg y); assign y = a; endmodule",
-        )
-        .expect("parse");
+        let file =
+            parse("module bad(input a, output reg y); assign y = a; endmodule").expect("parse");
         let err = elaborate(&file.modules[0]).expect_err("must fail");
         assert!(err.message.contains("reg"), "{err}");
     }
 
     #[test]
     fn instance_is_unsupported() {
-        let file = parse(
-            "module top(input a, output y); inv u0 (a, y); endmodule",
-        )
-        .expect("parse");
+        let file = parse("module top(input a, output y); inv u0 (a, y); endmodule").expect("parse");
         let err = elaborate(&file.modules[0]).expect_err("must fail");
         assert!(err.message.contains("instantiation"), "{err}");
     }
@@ -339,9 +340,7 @@ mod tests {
 
     #[test]
     fn harness_combinational_pass_and_fail() {
-        let d = design_of(
-            "module and2(input a, b, output y); assign y = a & b; endmodule",
-        );
+        let d = design_of("module and2(input a, b, output y); assign y = a & b; endmodule");
         let vectors: Vec<InputVector> = (0..4)
             .map(|i| vec![("a".to_string(), i & 1), ("b".to_string(), (i >> 1) & 1)])
             .collect();
@@ -373,7 +372,11 @@ mod tests {
         );
         let spec = SeqSpec {
             clock: "clk".into(),
-            reset: Some(ResetSpec { signal: "rst".into(), active_low: false, cycles: 2 }),
+            reset: Some(ResetSpec {
+                signal: "rst".into(),
+                active_low: false,
+                cycles: 2,
+            }),
         };
         let vectors: Vec<InputVector> = (0..10).map(|_| vec![("rst".to_string(), 0)]).collect();
         let mut count = 0u64;
@@ -444,7 +447,11 @@ mod context_width_tests {
         let mut sim = Sim::new(&d).expect("sim");
         sim.set("a", 15).expect("set");
         sim.set("b", 15).expect("set");
-        assert_eq!(sim.get("y").expect("y"), 225, "product must not wrap at 4 bits");
+        assert_eq!(
+            sim.get("y").expect("y"),
+            225,
+            "product must not wrap at 4 bits"
+        );
     }
 
     #[test]
@@ -489,7 +496,11 @@ mod context_width_tests {
         );
         let mut sim = Sim::new(&d).expect("sim");
         sim.set("a", 0x9).expect("set");
-        assert_eq!(sim.get("y").expect("y"), 0x99, "concat stays 8 bits, zero-extended");
+        assert_eq!(
+            sim.get("y").expect("y"),
+            0x99,
+            "concat stays 8 bits, zero-extended"
+        );
     }
 
     #[test]

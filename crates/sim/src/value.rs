@@ -26,8 +26,15 @@ impl BitVec {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32, value: u64) -> Self {
-        assert!((1..=64).contains(&width), "width {width} out of range 1..=64");
-        Self { width, value: value & Self::mask_for(width), signed: false }
+        assert!(
+            (1..=64).contains(&width),
+            "width {width} out of range 1..=64"
+        );
+        Self {
+            width,
+            value: value & Self::mask_for(width),
+            signed: false,
+        }
     }
 
     /// Creates a signed value (affects comparisons, `>>>`, and widening).
@@ -104,13 +111,21 @@ impl BitVec {
         } else {
             self.value
         };
-        Self { width, value: extended & Self::mask_for(width), signed: self.signed }
+        Self {
+            width,
+            value: extended & Self::mask_for(width),
+            signed: self.signed,
+        }
     }
 
     /// Extracts bit `idx` (0 = LSB); out-of-range reads yield 0, matching
     /// the two-state treatment of x.
     pub fn bit(&self, idx: u32) -> Self {
-        let b = if idx < self.width { (self.value >> idx) & 1 } else { 0 };
+        let b = if idx < self.width {
+            (self.value >> idx) & 1
+        } else {
+            0
+        };
         Self::new(1, b)
     }
 

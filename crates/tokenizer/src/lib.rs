@@ -89,8 +89,10 @@ impl BpeTokenizer {
 
     /// Reconstructs a tokenizer from its merge list.
     pub fn from_merges(merges: Vec<(TokenId, TokenId)>) -> Self {
-        let mut vocab_bytes: Vec<Vec<u8>> =
-            special::TEXTS.iter().map(|t| t.as_bytes().to_vec()).collect();
+        let mut vocab_bytes: Vec<Vec<u8>> = special::TEXTS
+            .iter()
+            .map(|t| t.as_bytes().to_vec())
+            .collect();
         for b in 0..=255u8 {
             vocab_bytes.push(vec![b]);
         }
@@ -102,7 +104,11 @@ impl BpeTokenizer {
             vocab_bytes.push(bytes);
             merge_map.insert((a, b), id);
         }
-        Self { merges, vocab_bytes, merge_map }
+        Self {
+            merges,
+            vocab_bytes,
+            merge_map,
+        }
     }
 
     /// Rebuilds the transient merge map after deserialization.
@@ -151,8 +157,7 @@ impl BpeTokenizer {
     /// Encodes text that contains no special-token spellings.
     fn encode_plain(&self, text: &str, out: &mut Vec<TokenId>) {
         for word in pre_tokenize(text) {
-            let mut ids: Vec<TokenId> =
-                word.bytes().map(|b| BYTE_BASE + b as TokenId).collect();
+            let mut ids: Vec<TokenId> = word.bytes().map(|b| BYTE_BASE + b as TokenId).collect();
             // Greedy lowest-rank merge loop (standard BPE application).
             loop {
                 let mut best: Option<(usize, TokenId)> = None;
@@ -186,7 +191,10 @@ impl BpeTokenizer {
 
     /// Returns `ids` with all special tokens removed.
     pub fn strip_specials<'a>(&self, ids: impl IntoIterator<Item = &'a TokenId>) -> Vec<TokenId> {
-        ids.into_iter().copied().filter(|&id| !self.is_special(id)).collect()
+        ids.into_iter()
+            .copied()
+            .filter(|&id| !self.is_special(id))
+            .collect()
     }
 }
 
@@ -289,7 +297,10 @@ pub struct BpeTrainer {
 impl BpeTrainer {
     /// A trainer that stops at `target_vocab` total vocabulary entries.
     pub fn new(target_vocab: usize) -> Self {
-        Self { target_vocab: target_vocab.max(MERGE_BASE as usize), min_pair_count: 2 }
+        Self {
+            target_vocab: target_vocab.max(MERGE_BASE as usize),
+            min_pair_count: 2,
+        }
     }
 
     /// Sets the minimum pair frequency required to create a merge
@@ -378,7 +389,12 @@ mod tests {
     #[test]
     fn byte_level_round_trips_everything() {
         let tok = BpeTokenizer::byte_level();
-        for s in ["", "hello", "module m;\n  assign y = ~a;\nendmodule", "ünïcode ✓"] {
+        for s in [
+            "",
+            "hello",
+            "module m;\n  assign y = ~a;\nendmodule",
+            "ünïcode ✓",
+        ] {
             assert_eq!(tok.decode(&tok.encode(s)), s);
         }
     }
@@ -435,12 +451,19 @@ mod tests {
     fn vocab_size_respects_target() {
         let tok = small_tok();
         assert!(tok.vocab_size() <= 320);
-        assert!(tok.merge_count() > 0, "corpus has repeats, merges must form");
+        assert!(
+            tok.merge_count() > 0,
+            "corpus has repeats, merges must form"
+        );
     }
 
     #[test]
     fn training_is_deterministic() {
-        let corpus = ["assign y = a & b;", "assign z = a | b;", "assign y = a ^ b;"];
+        let corpus = [
+            "assign y = a & b;",
+            "assign z = a | b;",
+            "assign y = a ^ b;",
+        ];
         let t1 = BpeTrainer::new(300).train(corpus.iter().copied());
         let t2 = BpeTrainer::new(300).train(corpus.iter().copied());
         assert_eq!(t1, t2);

@@ -30,7 +30,12 @@ pub struct Module {
 impl Module {
     /// Creates an empty module with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), params: Vec::new(), ports: Vec::new(), items: Vec::new() }
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            ports: Vec::new(),
+            items: Vec::new(),
+        }
     }
 }
 
@@ -97,7 +102,13 @@ pub struct Port {
 impl Port {
     /// An ANSI port with the given direction and optional range.
     pub fn ansi(dir: Direction, range: Option<Range>, name: impl Into<String>) -> Self {
-        Self { dir: Some(dir), net: None, signed: false, range, name: name.into() }
+        Self {
+            dir: Some(dir),
+            net: None,
+            signed: false,
+            range,
+            name: name.into(),
+        }
     }
 }
 
@@ -113,7 +124,10 @@ pub struct Range {
 impl Range {
     /// Builds a constant `[msb:lsb]` range.
     pub fn constant(msb: u64, lsb: u64) -> Self {
-        Self { msb: Expr::unsized_dec(msb), lsb: Expr::unsized_dec(lsb) }
+        Self {
+            msb: Expr::unsized_dec(msb),
+            lsb: Expr::unsized_dec(lsb),
+        }
     }
 }
 
@@ -195,7 +209,11 @@ pub struct RegVar {
 impl RegVar {
     /// A plain scalar/vector reg without memory dimension or initializer.
     pub fn simple(name: impl Into<String>) -> Self {
-        Self { name: name.into(), mem: None, init: None }
+        Self {
+            name: name.into(),
+            mem: None,
+            init: None,
+        }
     }
 }
 
@@ -336,8 +354,13 @@ impl Stmt {
     /// without braces (the dangling-else ambiguity).
     pub fn has_dangling_if_tail(&self) -> bool {
         match self {
-            Stmt::If { else_branch: None, .. } => true,
-            Stmt::If { else_branch: Some(e), .. } => e.has_dangling_if_tail(),
+            Stmt::If {
+                else_branch: None, ..
+            } => true,
+            Stmt::If {
+                else_branch: Some(e),
+                ..
+            } => e.has_dangling_if_tail(),
             Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Repeat { body, .. } => {
                 body.has_dangling_if_tail()
             }
@@ -355,32 +378,51 @@ impl Stmt {
                 label: label.clone(),
                 stmts: stmts.iter().map(Stmt::normalized).collect(),
             },
-            Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
                 cond: cond.clone(),
                 then_branch: Box::new(then_branch.normalized()),
                 else_branch: else_branch.as_ref().map(|e| Box::new(e.normalized())),
             },
-            Stmt::Case { kind, scrutinee, arms, default } => Stmt::Case {
+            Stmt::Case {
+                kind,
+                scrutinee,
+                arms,
+                default,
+            } => Stmt::Case {
                 kind: *kind,
                 scrutinee: scrutinee.clone(),
                 arms: arms
                     .iter()
-                    .map(|a| CaseArm { labels: a.labels.clone(), body: a.body.normalized() })
+                    .map(|a| CaseArm {
+                        labels: a.labels.clone(),
+                        body: a.body.normalized(),
+                    })
                     .collect(),
                 default: default.as_ref().map(|d| Box::new(d.normalized())),
             },
-            Stmt::For { init, cond, step, body } => Stmt::For {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
                 init: init.clone(),
                 cond: cond.clone(),
                 step: step.clone(),
                 body: Box::new(body.normalized()),
             },
-            Stmt::While { cond, body } => {
-                Stmt::While { cond: cond.clone(), body: Box::new(body.normalized()) }
-            }
-            Stmt::Repeat { count, body } => {
-                Stmt::Repeat { count: count.clone(), body: Box::new(body.normalized()) }
-            }
+            Stmt::While { cond, body } => Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(body.normalized()),
+            },
+            Stmt::Repeat { count, body } => Stmt::Repeat {
+                count: count.clone(),
+                body: Box::new(body.normalized()),
+            },
             other => other.clone(),
         }
     }
@@ -404,7 +446,9 @@ impl Module {
 impl SourceFile {
     /// Normalizes every module; see [`Stmt::normalized`].
     pub fn normalized(&self) -> SourceFile {
-        SourceFile { modules: self.modules.iter().map(Module::normalized).collect() }
+        SourceFile {
+            modules: self.modules.iter().map(Module::normalized).collect(),
+        }
     }
 }
 
@@ -480,14 +524,14 @@ impl LValue {
 pub enum UnaryOp {
     Plus,
     Minus,
-    Not,      // !
-    BitNot,   // ~
-    RedAnd,   // &
-    RedOr,    // |
-    RedXor,   // ^
-    RedNand,  // ~&
-    RedNor,   // ~|
-    RedXnor,  // ~^
+    Not,     // !
+    BitNot,  // ~
+    RedAnd,  // &
+    RedOr,   // |
+    RedXor,  // ^
+    RedNand, // ~&
+    RedNor,  // ~|
+    RedXnor, // ~^
 }
 
 impl UnaryOp {
@@ -661,7 +705,9 @@ impl Expr {
                 r.msb.collect_idents(out);
                 r.lsb.collect_idents(out);
             }
-            Expr::IndexedPart { name, base, width, .. } => {
+            Expr::IndexedPart {
+                name, base, width, ..
+            } => {
                 out.push(name);
                 base.collect_idents(out);
                 width.collect_idents(out);
@@ -744,12 +790,26 @@ pub struct Literal {
 impl Literal {
     /// Unsized decimal literal.
     pub fn unsized_dec(v: u64) -> Self {
-        Self { width: None, signed: false, base: Base::Dec, value: v, x_mask: 0, z_mask: 0 }
+        Self {
+            width: None,
+            signed: false,
+            base: Base::Dec,
+            value: v,
+            x_mask: 0,
+            z_mask: 0,
+        }
     }
 
     /// Sized literal with the given base and two-state value.
     pub fn sized(width: u32, base: Base, value: u64) -> Self {
-        Self { width: Some(width), signed: false, base, value, x_mask: 0, z_mask: 0 }
+        Self {
+            width: Some(width),
+            signed: false,
+            base,
+            value,
+            x_mask: 0,
+            z_mask: 0,
+        }
     }
 
     /// Whether any digit is `x` or `z`.
@@ -773,9 +833,9 @@ impl Literal {
         match raw.find('\'') {
             None => {
                 let clean: String = raw.chars().filter(|c| *c != '_').collect();
-                let value = clean
-                    .parse::<u64>()
-                    .map_err(|_| Error::new(span, format!("decimal literal `{raw}` overflows 64 bits")))?;
+                let value = clean.parse::<u64>().map_err(|_| {
+                    Error::new(span, format!("decimal literal `{raw}` overflows 64 bits"))
+                })?;
                 Ok(Literal::unsized_dec(value))
             }
             Some(tick) => {
@@ -810,7 +870,10 @@ impl Literal {
                     'd' => Base::Dec,
                     'h' => Base::Hex,
                     other => {
-                        return Err(Error::new(span, format!("invalid base `{other}` in `{raw}`")))
+                        return Err(Error::new(
+                            span,
+                            format!("invalid base `{other}` in `{raw}`"),
+                        ))
                     }
                 };
                 let digits = &rest[1..];
@@ -832,12 +895,18 @@ impl Literal {
         let mut z_mask: u64 = 0;
         if base == Base::Dec {
             let clean: String = digits.chars().filter(|c| *c != '_').collect();
-            if clean.chars().any(|c| matches!(c.to_ascii_lowercase(), 'x' | 'z' | '?')) {
-                return Err(Error::new(span, format!("x/z digits unsupported in decimal `{raw}`")));
+            if clean
+                .chars()
+                .any(|c| matches!(c.to_ascii_lowercase(), 'x' | 'z' | '?'))
+            {
+                return Err(Error::new(
+                    span,
+                    format!("x/z digits unsupported in decimal `{raw}`"),
+                ));
             }
-            value = clean
-                .parse::<u64>()
-                .map_err(|_| Error::new(span, format!("decimal literal `{raw}` overflows 64 bits")))?;
+            value = clean.parse::<u64>().map_err(|_| {
+                Error::new(span, format!("decimal literal `{raw}` overflows 64 bits"))
+            })?;
         } else {
             let bpd = base.bits_per_digit();
             let digit_mask = (1u64 << bpd) - 1;
@@ -857,12 +926,9 @@ impl Literal {
                     'x' => x_mask |= digit_mask,
                     'z' | '?' => z_mask |= digit_mask,
                     c => {
-                        let d = c
-                            .to_digit(16)
-                            .filter(|d| *d < (1 << bpd))
-                            .ok_or_else(|| {
-                                Error::new(span, format!("digit `{c}` invalid for base in `{raw}`"))
-                            })?;
+                        let d = c.to_digit(16).filter(|d| *d < (1 << bpd)).ok_or_else(|| {
+                            Error::new(span, format!("digit `{c}` invalid for base in `{raw}`"))
+                        })?;
                         value |= d as u64;
                     }
                 }
@@ -877,7 +943,14 @@ impl Literal {
             x_mask &= mask;
             z_mask &= mask;
         }
-        Ok(Literal { width, signed, base, value, x_mask, z_mask })
+        Ok(Literal {
+            width,
+            signed,
+            base,
+            value,
+            x_mask,
+            z_mask,
+        })
     }
 
     /// Canonical source spelling. `?` digits are emitted as `z`.
@@ -1002,7 +1075,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip_values() {
-        for raw in ["8'hff", "8'h0f", "12'o777", "1'b1", "64'hffff_ffff_ffff_ffff"] {
+        for raw in [
+            "8'hff",
+            "8'h0f",
+            "12'o777",
+            "1'b1",
+            "64'hffff_ffff_ffff_ffff",
+        ] {
             let l = lit(raw);
             let printed = l.to_source();
             assert_eq!(lit(&printed), l, "round trip {raw} -> {printed}");

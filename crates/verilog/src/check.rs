@@ -85,7 +85,9 @@ mod tests {
     #[test]
     fn accepts_wellformed_module() {
         assert!(syntax_check("module m(input a, output y); assign y = a; endmodule").is_ok());
-        assert!(structure_ok("module m(input a, output y); assign y = a; endmodule"));
+        assert!(structure_ok(
+            "module m(input a, output y); assign y = a; endmodule"
+        ));
     }
 
     #[test]
@@ -111,9 +113,7 @@ mod tests {
 
     #[test]
     fn accepts_multiple_sequential_modules() {
-        assert!(structure_ok(
-            "module a(); endmodule\nmodule b(); endmodule"
-        ));
+        assert!(structure_ok("module a(); endmodule\nmodule b(); endmodule"));
     }
 
     #[test]

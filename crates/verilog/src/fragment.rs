@@ -142,7 +142,10 @@ pub fn defragmentize(tagged: &str) -> String {
 /// Splits tagged text into fragments (the pieces between markers),
 /// dropping empty pieces that arise from adjacent markers.
 pub fn fragments(tagged: &str) -> Vec<&str> {
-    tagged.split(FRAG_MARKER).filter(|s| !s.is_empty()).collect()
+    tagged
+        .split(FRAG_MARKER)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Number of fragment markers in `tagged`.
@@ -232,19 +235,29 @@ endmodule";
         // The expression parens stay unwrapped: exactly one wrapped lparen
         // (the port list's) in the whole module.
         assert_eq!(tagged.matches("[FRAG]([FRAG]").count(), 1, "{tagged}");
-        assert!(tagged.contains("([FRAG]a[FRAG]"), "expression lparen should be bare: {tagged}");
+        assert!(
+            tagged.contains("([FRAG]a[FRAG]"),
+            "expression lparen should be bare: {tagged}"
+        );
         assert!(tagged.contains("[FRAG])[FRAG][FRAG];[FRAG]"));
     }
 
     #[test]
     fn parameter_header_ports_still_wrap() {
-        let src = "module m #(parameter W = 4)(input [W-1:0] a, output y); assign y = a[0]; endmodule";
+        let src =
+            "module m #(parameter W = 4)(input [W-1:0] a, output y); assign y = a[0]; endmodule";
         let tagged = tag(src);
         assert_eq!(defragmentize(&tagged), src);
         assert!(tagged.contains("[FRAG]W[FRAG]"));
         // The parameter-list parens stay bare; the port-list lparen wraps.
-        assert!(tagged.contains("#("), "param lparen must stay bare: {tagged}");
-        assert!(tagged.contains(")[FRAG]([FRAG]"), "port lparen must wrap: {tagged}");
+        assert!(
+            tagged.contains("#("),
+            "param lparen must stay bare: {tagged}"
+        );
+        assert!(
+            tagged.contains(")[FRAG]([FRAG]"),
+            "port lparen must wrap: {tagged}"
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ pub fn summarize_interface(module: &Module) -> Result<InterfaceSummary, String> 
             signed: a.signed,
         });
     }
-    Ok(InterfaceSummary { module: module.name.clone(), ports })
+    Ok(InterfaceSummary {
+        module: module.name.clone(),
+        ports,
+    })
 }
 
 fn range_width(msb: &Expr, lsb: &Expr, env: &HashMap<&str, u64>) -> PortWidth {
@@ -304,7 +307,10 @@ mod tests {
         let clocks = s.clock_candidates();
         assert!(clocks.contains(&"clk"));
         assert!(clocks.contains(&"sys_clk"));
-        assert!(!clocks.contains(&"clk_bus"), "multi-bit signals are not clocks");
+        assert!(
+            !clocks.contains(&"clk_bus"),
+            "multi-bit signals are not clocks"
+        );
         assert!(!clocks.contains(&"data"));
     }
 }

@@ -133,7 +133,10 @@ pub fn lex_full(src: &str) -> Result<LexOutput> {
                 pos += 1;
             }
             if pos == id_start {
-                return Err(Error::new(Span::new(start, pos), "empty escaped identifier"));
+                return Err(Error::new(
+                    Span::new(start, pos),
+                    "empty escaped identifier",
+                ));
             }
             tokens.push(Token::new(
                 TokenKind::Ident(src[id_start..pos].to_string()),
@@ -174,7 +177,10 @@ pub fn lex_full(src: &str) -> Result<LexOutput> {
                 pos += 1;
             }
             if pos >= bytes.len() {
-                return Err(Error::new(Span::new(start, pos), "unterminated string literal"));
+                return Err(Error::new(
+                    Span::new(start, pos),
+                    "unterminated string literal",
+                ));
             }
             let content = src[content_start..pos].to_string();
             pos += 1; // closing quote
@@ -195,14 +201,21 @@ pub fn lex_full(src: &str) -> Result<LexOutput> {
         // Operators and punctuation, longest match first.
         let rest = &src[pos..];
         let (kind, len) = match_operator(rest).ok_or_else(|| {
-            Error::new(Span::new(pos, pos + 1), format!("unexpected character `{}`", b as char))
+            Error::new(
+                Span::new(pos, pos + 1),
+                format!("unexpected character `{}`", b as char),
+            )
         })?;
         pos += len;
         tokens.push(Token::new(kind, Span::new(start, pos)));
     }
 
     tokens.push(Token::new(TokenKind::Eof, Span::point(src.len())));
-    Ok(LexOutput { tokens, comment_bytes, total_bytes: src.len() })
+    Ok(LexOutput {
+        tokens,
+        comment_bytes,
+        total_bytes: src.len(),
+    })
 }
 
 /// Lexes a numeric literal starting at `pos`; returns the end offset.
@@ -246,7 +259,10 @@ fn lex_number(src: &str, mut pos: usize) -> Result<usize> {
             pos += 1;
         }
         if pos == digits_start {
-            return Err(Error::new(Span::new(start, pos), "based literal has no digits"));
+            return Err(Error::new(
+                Span::new(start, pos),
+                "based literal has no digits",
+            ));
         }
         validate_digits(src, start, digits_start, pos, base)?;
     }
@@ -281,6 +297,7 @@ fn validate_digits(src: &str, lit_start: usize, start: usize, end: usize, base: 
 /// Longest-match operator table.
 fn match_operator(rest: &str) -> Option<(TokenKind, usize)> {
     use TokenKind::*;
+    #[allow(clippy::type_complexity)] // plain operator lookup table
     const TABLE: &[(&str, fn() -> TokenKind)] = &[
         ("<<<", || AShl),
         (">>>", || AShr),
@@ -341,7 +358,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -364,7 +385,16 @@ mod tests {
 
     #[test]
     fn lexes_based_literals() {
-        for lit in ["4'b1010", "8'hFF", "'b0", "12'o777", "4'sd3", "16'hDE_AD", "3'b1?1", "4'bxxxx"] {
+        for lit in [
+            "4'b1010",
+            "8'hFF",
+            "'b0",
+            "12'o777",
+            "4'sd3",
+            "16'hDE_AD",
+            "3'b1?1",
+            "4'bxxxx",
+        ] {
             let k = kinds(lit);
             assert_eq!(k.len(), 2, "literal {lit} should be one token");
             assert_eq!(k[0], TokenKind::Number(lit.into()), "literal {lit}");

@@ -74,13 +74,20 @@ pub struct Error {
 impl Error {
     /// Creates a new error covering `span`.
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        Self { span, message: message.into() }
+        Self {
+            span,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at bytes {}..{}", self.message, self.span.start, self.span.end)
+        write!(
+            f,
+            "{} at bytes {}..{}",
+            self.message, self.span.start, self.span.end
+        )
     }
 }
 

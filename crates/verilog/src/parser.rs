@@ -112,7 +112,11 @@ impl Parser {
             let t = self.peek();
             Err(Error::new(
                 t.span,
-                format!("expected keyword `{}`, found `{}`", kw.as_str(), t.kind.text()),
+                format!(
+                    "expected keyword `{}`, found `{}`",
+                    kw.as_str(),
+                    t.kind.text()
+                ),
             ))
         }
     }
@@ -126,7 +130,10 @@ impl Parser {
             }
             other => {
                 let span = self.peek().span;
-                Err(Error::new(span, format!("expected identifier, found `{}`", other.text())))
+                Err(Error::new(
+                    span,
+                    format!("expected identifier, found `{}`", other.text()),
+                ))
             }
         }
     }
@@ -136,7 +143,10 @@ impl Parser {
             Ok(())
         } else {
             let t = self.peek();
-            Err(Error::new(t.span, format!("expected end of input, found `{}`", t.kind.text())))
+            Err(Error::new(
+                t.span,
+                format!("expected end of input, found `{}`", t.kind.text()),
+            ))
         }
     }
 
@@ -169,7 +179,11 @@ impl Parser {
                 let pname = self.expect_ident()?;
                 self.expect(&TokenKind::Assign)?;
                 let value = self.expr()?;
-                module.params.push(ParamDecl { range, name: pname, value });
+                module.params.push(ParamDecl {
+                    range,
+                    name: pname,
+                    value,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -337,13 +351,21 @@ impl Parser {
     }
 
     fn port_decl_item(&mut self) -> Result<Item> {
-        let dir = self.optional_direction().expect("caller checked direction keyword");
+        let dir = self
+            .optional_direction()
+            .expect("caller checked direction keyword");
         let net = self.optional_net_kind();
         let signed = self.eat_keyword(Keyword::Signed);
         let range = self.optional_range()?;
         let names = self.ident_list()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Item::PortDecl(PortDecl { dir, net, signed, range, names }))
+        Ok(Item::PortDecl(PortDecl {
+            dir,
+            net,
+            signed,
+            range,
+            names,
+        }))
     }
 
     fn net_decl_item(&mut self) -> Result<Item> {
@@ -353,14 +375,22 @@ impl Parser {
         let mut nets = Vec::new();
         loop {
             let name = self.expect_ident()?;
-            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             nets.push((name, init));
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(Item::Net(NetDecl { signed, range, nets }))
+        Ok(Item::Net(NetDecl {
+            signed,
+            range,
+            nets,
+        }))
     }
 
     fn reg_decl_item(&mut self) -> Result<Item> {
@@ -371,14 +401,22 @@ impl Parser {
         loop {
             let name = self.expect_ident()?;
             let mem = self.optional_range()?;
-            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             regs.push(RegVar { name, mem, init });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(Item::Reg(RegDecl { signed, range, regs }))
+        Ok(Item::Reg(RegDecl {
+            signed,
+            range,
+            regs,
+        }))
     }
 
     fn param_decl_list(&mut self) -> Result<Vec<ParamDecl>> {
@@ -388,7 +426,11 @@ impl Parser {
             let name = self.expect_ident()?;
             self.expect(&TokenKind::Assign)?;
             let value = self.expr()?;
-            decls.push(ParamDecl { range: shared_range.clone(), name, value });
+            decls.push(ParamDecl {
+                range: shared_range.clone(),
+                name,
+                value,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -414,10 +456,19 @@ impl Parser {
         }
         let name = self.expect_ident()?;
         self.expect(&TokenKind::LParen)?;
-        let conns = if self.at(&TokenKind::RParen) { Vec::new() } else { self.connection_list()? };
+        let conns = if self.at(&TokenKind::RParen) {
+            Vec::new()
+        } else {
+            self.connection_list()?
+        };
         self.expect(&TokenKind::RParen)?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Item::Instance(Instance { module, params, name, conns }))
+        Ok(Item::Instance(Instance {
+            module,
+            params,
+            name,
+            conns,
+        }))
     }
 
     fn connection_list(&mut self) -> Result<Vec<Connection>> {
@@ -426,7 +477,11 @@ impl Parser {
             if self.eat(&TokenKind::Dot) {
                 let port = self.expect_ident()?;
                 self.expect(&TokenKind::LParen)?;
-                let expr = if self.at(&TokenKind::RParen) { None } else { Some(self.expr()?) };
+                let expr = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::RParen)?;
                 conns.push(Connection::Named(port, expr));
             } else {
@@ -504,7 +559,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
             }
             TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
                 let kind = match kw {
@@ -539,7 +598,12 @@ impl Parser {
                     arms.push(CaseArm { labels, body });
                 }
                 self.expect_keyword(Keyword::Endcase)?;
-                Ok(Stmt::Case { kind, scrutinee, arms, default })
+                Ok(Stmt::Case {
+                    kind,
+                    scrutinee,
+                    arms,
+                    default,
+                })
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.bump();
@@ -551,7 +615,12 @@ impl Parser {
                 let step = Box::new(self.assign_stmt_no_semi()?);
                 self.expect(&TokenKind::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             TokenKind::Keyword(Keyword::While) => {
                 self.bump();
@@ -578,7 +647,10 @@ impl Parser {
                 self.expect(&TokenKind::Semi)?;
                 Ok(stmt)
             }
-            other => Err(Error::new(t.span, format!("expected statement, found `{}`", other.text()))),
+            other => Err(Error::new(
+                t.span,
+                format!("expected statement, found `{}`", other.text()),
+            )),
         }
     }
 
@@ -594,7 +666,10 @@ impl Parser {
             Ok(Stmt::NonBlocking { lhs, rhs })
         } else {
             let t = self.peek();
-            Err(Error::new(t.span, format!("expected `=` or `<=`, found `{}`", t.kind.text())))
+            Err(Error::new(
+                t.span,
+                format!("expected `=` or `<=`, found `{}`", t.kind.text()),
+            ))
         }
     }
 
@@ -653,7 +728,11 @@ impl Parser {
             let then_e = self.expr()?;
             self.expect(&TokenKind::Colon)?;
             let else_e = self.expr()?;
-            Ok(Expr::Ternary(Box::new(cond), Box::new(then_e), Box::new(else_e)))
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ))
         } else {
             Ok(cond)
         }
@@ -661,8 +740,7 @@ impl Parser {
 
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some(op) = self.peek_binary_op() else { break };
+        while let Some(op) = self.peek_binary_op() {
             let prec = op.precedence();
             if prec < min_prec {
                 break;
@@ -815,9 +893,10 @@ impl Parser {
                 self.expect(&TokenKind::RBrace)?;
                 Ok(Expr::Concat(items))
             }
-            other => {
-                Err(Error::new(t.span, format!("expected expression, found `{}`", other.text())))
-            }
+            other => Err(Error::new(
+                t.span,
+                format!("expected expression, found `{}`", other.text()),
+            )),
         }
     }
 }
@@ -844,7 +923,10 @@ mod tests {
         assert_eq!(m.ports[0].dir, Some(Direction::Input));
         assert_eq!(m.ports[1].name, "b");
         assert!(m.ports[1].range.is_some(), "range carries over to `b`");
-        assert!(m.ports[2].range.is_none(), "explicit `input sel` resets range");
+        assert!(
+            m.ports[2].range.is_none(),
+            "explicit `input sel` resets range"
+        );
         assert_eq!(m.ports[3].dir, Some(Direction::Output));
         assert!(matches!(m.items[0], Item::Assign(_)));
     }
@@ -861,7 +943,13 @@ mod tests {
         assert_eq!(m.ports.len(), 2);
         assert_eq!(m.ports[0].dir, None);
         assert!(matches!(m.items[0], Item::PortDecl(_)));
-        assert!(matches!(m.items[1], Item::PortDecl(PortDecl { net: Some(NetKind::Reg), .. })));
+        assert!(matches!(
+            m.items[1],
+            Item::PortDecl(PortDecl {
+                net: Some(NetKind::Reg),
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -883,8 +971,12 @@ mod tests {
                always @(posedge clk) q <= d;
              endmodule",
         );
-        let Item::Always(ab) = &m.items[0] else { panic!("expected always") };
-        let Sensitivity::List(evs) = &ab.sensitivity else { panic!("expected list") };
+        let Item::Always(ab) = &m.items[0] else {
+            panic!("expected always")
+        };
+        let Sensitivity::List(evs) = &ab.sensitivity else {
+            panic!("expected list")
+        };
         assert_eq!(evs[0].edge, Some(Edge::Pos));
         assert!(matches!(ab.body, Stmt::NonBlocking { .. }));
     }
@@ -897,8 +989,12 @@ mod tests {
                  if (!rst_n) q <= 1'b0; else q <= d;
              endmodule",
         );
-        let Item::Always(ab) = &m.items[0] else { panic!("expected always") };
-        let Sensitivity::List(evs) = &ab.sensitivity else { panic!("expected list") };
+        let Item::Always(ab) = &m.items[0] else {
+            panic!("expected always")
+        };
+        let Sensitivity::List(evs) = &ab.sensitivity else {
+            panic!("expected list")
+        };
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[1].edge, Some(Edge::Neg));
     }
@@ -910,7 +1006,9 @@ mod tests {
             "module c(input a, output reg y); always @(*) y = a; endmodule",
         ] {
             let m = parse_one(src);
-            let Item::Always(ab) = &m.items[0] else { panic!("expected always") };
+            let Item::Always(ab) = &m.items[0] else {
+                panic!("expected always")
+            };
             assert_eq!(ab.sensitivity, Sensitivity::Star);
         }
     }
@@ -929,9 +1027,15 @@ mod tests {
                end
              endmodule",
         );
-        let Item::Always(ab) = &m.items[0] else { panic!("expected always") };
-        let Stmt::Block { stmts, .. } = &ab.body else { panic!("expected block") };
-        let Stmt::Case { arms, default, .. } = &stmts[0] else { panic!("expected case") };
+        let Item::Always(ab) = &m.items[0] else {
+            panic!("expected always")
+        };
+        let Stmt::Block { stmts, .. } = &ab.body else {
+            panic!("expected block")
+        };
+        let Stmt::Case { arms, default, .. } = &stmts[0] else {
+            panic!("expected case")
+        };
         assert_eq!(arms.len(), 3);
         assert_eq!(arms[2].labels.len(), 2);
         assert!(default.is_some());
@@ -948,8 +1052,12 @@ mod tests {
                end
              endmodule",
         );
-        let Item::Always(ab) = &m.items[1] else { panic!("expected always") };
-        let Stmt::Block { stmts, .. } = &ab.body else { panic!("expected block") };
+        let Item::Always(ab) = &m.items[1] else {
+            panic!("expected always")
+        };
+        let Stmt::Block { stmts, .. } = &ab.body else {
+            panic!("expected block")
+        };
         assert!(matches!(stmts[0], Stmt::For { .. }));
     }
 
@@ -958,7 +1066,9 @@ mod tests {
         let m = parse_one(
             "module ram(input clk); reg [7:0] mem [0:15]; always @(posedge clk) mem[0] <= 8'h00; endmodule",
         );
-        let Item::Reg(rd) = &m.items[0] else { panic!("expected reg decl") };
+        let Item::Reg(rd) = &m.items[0] else {
+            panic!("expected reg decl")
+        };
         assert!(rd.regs[0].mem.is_some());
     }
 
@@ -969,7 +1079,9 @@ mod tests {
                and_gate #(.W(1)) u0 (.x(a), .y(b), .z(y));
              endmodule",
         );
-        let Item::Instance(inst) = &m.items[0] else { panic!("expected instance") };
+        let Item::Instance(inst) = &m.items[0] else {
+            panic!("expected instance")
+        };
         assert_eq!(inst.module, "and_gate");
         assert_eq!(inst.name, "u0");
         assert_eq!(inst.params.len(), 1);
@@ -979,35 +1091,45 @@ mod tests {
     #[test]
     fn parses_instance_with_ordered_connections() {
         let m = parse_one("module top(input a, output y); inv u1 (a, y); endmodule");
-        let Item::Instance(inst) = &m.items[0] else { panic!("expected instance") };
+        let Item::Instance(inst) = &m.items[0] else {
+            panic!("expected instance")
+        };
         assert!(matches!(inst.conns[0], Connection::Ordered(_)));
     }
 
     #[test]
     fn expression_precedence() {
         let e = parse_expr("a + b * c").expect("parse");
-        let Expr::Binary(BinaryOp::Add, _, rhs) = e else { panic!("expected add at top") };
+        let Expr::Binary(BinaryOp::Add, _, rhs) = e else {
+            panic!("expected add at top")
+        };
         assert!(matches!(*rhs, Expr::Binary(BinaryOp::Mul, _, _)));
     }
 
     #[test]
     fn ternary_is_right_associative() {
         let e = parse_expr("a ? b : c ? d : e").expect("parse");
-        let Expr::Ternary(_, _, else_e) = e else { panic!("expected ternary") };
+        let Expr::Ternary(_, _, else_e) = e else {
+            panic!("expected ternary")
+        };
         assert!(matches!(*else_e, Expr::Ternary(_, _, _)));
     }
 
     #[test]
     fn power_is_right_associative() {
         let e = parse_expr("a ** b ** c").expect("parse");
-        let Expr::Binary(BinaryOp::Pow, _, rhs) = e else { panic!("expected pow") };
+        let Expr::Binary(BinaryOp::Pow, _, rhs) = e else {
+            panic!("expected pow")
+        };
         assert!(matches!(*rhs, Expr::Binary(BinaryOp::Pow, _, _)));
     }
 
     #[test]
     fn reduction_vs_binary_ampersand() {
         let e = parse_expr("a & &b").expect("parse");
-        let Expr::Binary(BinaryOp::BitAnd, _, rhs) = e else { panic!("expected bitand") };
+        let Expr::Binary(BinaryOp::BitAnd, _, rhs) = e else {
+            panic!("expected bitand")
+        };
         assert!(matches!(*rhs, Expr::Unary(UnaryOp::RedAnd, _)));
     }
 
@@ -1023,21 +1145,32 @@ mod tests {
 
     #[test]
     fn parses_part_selects() {
-        assert!(matches!(parse_expr("a[7:4]").expect("parse"), Expr::Part(_, _)));
+        assert!(matches!(
+            parse_expr("a[7:4]").expect("parse"),
+            Expr::Part(_, _)
+        ));
         assert!(matches!(
             parse_expr("a[i +: 4]").expect("parse"),
-            Expr::IndexedPart { ascending: true, .. }
+            Expr::IndexedPart {
+                ascending: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("a[i -: 4]").expect("parse"),
-            Expr::IndexedPart { ascending: false, .. }
+            Expr::IndexedPart {
+                ascending: false,
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_syscall() {
         let e = parse_expr("$signed(a) >>> 1").expect("parse");
-        let Expr::Binary(BinaryOp::AShr, lhs, _) = e else { panic!("expected >>>") };
+        let Expr::Binary(BinaryOp::AShr, lhs, _) = e else {
+            panic!("expected >>>")
+        };
         assert!(matches!(*lhs, Expr::SysCall(ref n, _) if n == "$signed"));
     }
 
@@ -1048,7 +1181,9 @@ mod tests {
                assign {hi, lo} = a;
              endmodule",
         );
-        let Item::Assign(assigns) = &m.items[0] else { panic!("expected assign") };
+        let Item::Assign(assigns) = &m.items[0] else {
+            panic!("expected assign")
+        };
         assert!(matches!(assigns[0].0, LValue::Concat(_)));
     }
 
@@ -1096,7 +1231,9 @@ mod tests {
     #[test]
     fn wire_with_initializer() {
         let m = parse_one("module w(input a); wire b = ~a, c; endmodule");
-        let Item::Net(nd) = &m.items[0] else { panic!("expected net decl") };
+        let Item::Net(nd) = &m.items[0] else {
+            panic!("expected net decl")
+        };
         assert!(nd.nets[0].1.is_some());
         assert!(nd.nets[1].1.is_none());
     }
@@ -1115,10 +1252,10 @@ mod tests {
 
     #[test]
     fn named_begin_block() {
-        let m = parse_one(
-            "module n(input a); always @(*) begin : blk ; end endmodule",
-        );
-        let Item::Always(ab) = &m.items[0] else { panic!("expected always") };
+        let m = parse_one("module n(input a); always @(*) begin : blk ; end endmodule");
+        let Item::Always(ab) = &m.items[0] else {
+            panic!("expected always")
+        };
         assert!(matches!(&ab.body, Stmt::Block { label: Some(l), .. } if l == "blk"));
     }
 }

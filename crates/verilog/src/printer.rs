@@ -52,7 +52,7 @@ fn print_module_into(m: &Module, out: &mut String) {
             let _ = write!(out, "{} = {}", p.name, expr_str(&p.value));
             out.push_str(if i + 1 < m.params.len() { ",\n" } else { "\n" });
         }
-        out.push_str(")");
+        out.push(')');
     }
     if !m.ports.is_empty() {
         out.push_str(" (\n");
@@ -148,13 +148,17 @@ fn print_item(item: &Item, level: usize, out: &mut String) {
             out.push_str(";\n");
         }
         Item::Integer(names) => {
-            let _ = write!(out, "integer {};\n", names.join(", "));
+            let _ = writeln!(out, "integer {};", names.join(", "));
         }
         Item::Genvar(names) => {
-            let _ = write!(out, "genvar {};\n", names.join(", "));
+            let _ = writeln!(out, "genvar {};", names.join(", "));
         }
         Item::Param(decls) | Item::Localparam(decls) => {
-            out.push_str(if matches!(item, Item::Param(_)) { "parameter " } else { "localparam " });
+            out.push_str(if matches!(item, Item::Param(_)) {
+                "parameter "
+            } else {
+                "localparam "
+            });
             if let Some(r) = decls.first().and_then(|d| d.range.as_ref()) {
                 let _ = write!(out, "{} ", range_str(r));
             }
@@ -272,7 +276,11 @@ fn print_stmt(stmt: &Stmt, level: usize, inline_head: bool, out: &mut String) {
             indent(level, out);
             out.push_str("end\n");
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = write!(out, "if ({})", expr_str(cond));
             // Guard against the dangling-else ambiguity: if the then branch
             // ends in an else-less `if`, a following `else` would re-attach
@@ -291,8 +299,13 @@ fn print_stmt(stmt: &Stmt, level: usize, inline_head: bool, out: &mut String) {
                 print_branch(els, level, out);
             }
         }
-        Stmt::Case { kind, scrutinee, arms, default } => {
-            let _ = write!(out, "{} ({})\n", kind.as_str(), expr_str(scrutinee));
+        Stmt::Case {
+            kind,
+            scrutinee,
+            arms,
+            default,
+        } => {
+            let _ = writeln!(out, "{} ({})", kind.as_str(), expr_str(scrutinee));
             for arm in arms {
                 indent(level + 1, out);
                 let labels: Vec<String> = arm.labels.iter().map(expr_str).collect();
@@ -307,7 +320,12 @@ fn print_stmt(stmt: &Stmt, level: usize, inline_head: bool, out: &mut String) {
             indent(level, out);
             out.push_str("endcase\n");
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let _ = write!(
                 out,
                 "for ({}; {}; {})",
@@ -326,10 +344,10 @@ fn print_stmt(stmt: &Stmt, level: usize, inline_head: bool, out: &mut String) {
             print_branch(body, level, out);
         }
         Stmt::Blocking { lhs, rhs } => {
-            let _ = write!(out, "{} = {};\n", lvalue_str(lhs), expr_str(rhs));
+            let _ = writeln!(out, "{} = {};", lvalue_str(lhs), expr_str(rhs));
         }
         Stmt::NonBlocking { lhs, rhs } => {
-            let _ = write!(out, "{} <= {};\n", lvalue_str(lhs), expr_str(rhs));
+            let _ = writeln!(out, "{} <= {};", lvalue_str(lhs), expr_str(rhs));
         }
         Stmt::Null => out.push_str(";\n"),
     }
@@ -363,7 +381,12 @@ pub fn lvalue_str(lv: &LValue) -> String {
         LValue::Ident(n) => n.clone(),
         LValue::Bit(n, i) => format!("{}[{}]", n, expr_str(i)),
         LValue::Part(n, r) => format!("{}{}", n, range_str(r)),
-        LValue::IndexedPart { name, base, width, ascending } => format!(
+        LValue::IndexedPart {
+            name,
+            base,
+            width,
+            ascending,
+        } => format!(
             "{}[{} {}: {}]",
             name,
             expr_str(base),
@@ -404,8 +427,11 @@ fn expr_prec(e: &Expr, min_prec: u8) -> String {
             let prec = op.precedence();
             // Left-assoc: left child may be same precedence; right child
             // must bind tighter. `**` is the mirror image.
-            let (lmin, rmin) =
-                if *op == BinaryOp::Pow { (prec + 1, prec) } else { (prec, prec + 1) };
+            let (lmin, rmin) = if *op == BinaryOp::Pow {
+                (prec + 1, prec)
+            } else {
+                (prec, prec + 1)
+            };
             let s = format!(
                 "{} {} {}",
                 expr_prec(a, lmin),
@@ -435,7 +461,12 @@ fn expr_prec(e: &Expr, min_prec: u8) -> String {
         }
         Expr::Bit(n, i) => format!("{}[{}]", n, expr_str(i)),
         Expr::Part(n, r) => format!("{}{}", n, range_str(r)),
-        Expr::IndexedPart { name, base, width, ascending } => format!(
+        Expr::IndexedPart {
+            name,
+            base,
+            width,
+            ascending,
+        } => format!(
             "{}[{} {}: {}]",
             name,
             expr_str(base),
@@ -466,7 +497,10 @@ fn needs_space(op: &UnaryOp, inner: &Expr) -> bool {
         // Conservative: same leading char or concatenation forms a longer op.
         let glued = format!("{a}{b}");
         a.ends_with(b.chars().next().unwrap_or(' '))
-            || matches!(glued.as_str(), "&&" | "||" | "~&" | "~|" | "~^" | "^~" | "**")
+            || matches!(
+                glued.as_str(),
+                "&&" | "||" | "~&" | "~|" | "~^" | "^~" | "**"
+            )
     } else {
         false
     }
@@ -480,8 +514,7 @@ mod tests {
     fn round_trip(src: &str) {
         let file = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
         let printed = print_source_file(&file);
-        let reparsed =
-            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(reparsed, file, "round trip changed the AST:\n{printed}");
     }
 

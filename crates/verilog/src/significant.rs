@@ -165,14 +165,23 @@ impl SignificantTokens {
                     self.add_stmt(s);
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.add_expr(cond);
                 self.add_stmt(then_branch);
                 if let Some(e) = else_branch {
                     self.add_stmt(e);
                 }
             }
-            Stmt::Case { scrutinee, arms, default, .. } => {
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                ..
+            } => {
                 self.add_expr(scrutinee);
                 for arm in arms {
                     for l in &arm.labels {
@@ -184,7 +193,12 @@ impl SignificantTokens {
                     self.add_stmt(d);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.add_stmt(init);
                 self.add_expr(cond);
                 self.add_stmt(step);
@@ -215,7 +229,9 @@ impl SignificantTokens {
                 self.idents.insert(n.clone());
                 self.add_range(r);
             }
-            LValue::IndexedPart { name, base, width, .. } => {
+            LValue::IndexedPart {
+                name, base, width, ..
+            } => {
                 self.idents.insert(name.clone());
                 self.add_expr(base);
                 self.add_expr(width);
@@ -274,7 +290,11 @@ impl SignificantTokens {
         if matches!(text, "=" | "<=") {
             return true;
         }
-        if text.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '\'') {
+        if text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '\'')
+        {
             return true;
         }
         self.contains_ident(text)
@@ -287,9 +307,33 @@ impl SignificantTokens {
 /// Exposed for documentation and tests; [`SignificantTokens`] treats every
 /// reserved word as significant.
 pub const EXTRA_KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "integer", "parameter",
-    "localparam", "assign", "always", "initial", "begin", "end", "if", "else", "case", "casez",
-    "casex", "endcase", "default", "for", "while", "posedge", "negedge", "signed",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "integer",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "casex",
+    "endcase",
+    "default",
+    "for",
+    "while",
+    "posedge",
+    "negedge",
+    "signed",
 ];
 
 #[cfg(test)]

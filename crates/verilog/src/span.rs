@@ -36,7 +36,10 @@ impl Span {
 
     /// A zero-width span at `pos`, used for end-of-input diagnostics.
     pub fn point(pos: usize) -> Self {
-        Self { start: pos, end: pos }
+        Self {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// Number of bytes covered.
@@ -60,7 +63,10 @@ impl Span {
 
     /// Smallest span covering both `self` and `other`.
     pub fn merge(&self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 

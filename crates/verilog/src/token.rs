@@ -53,6 +53,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not std::str::FromStr
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
@@ -356,7 +357,11 @@ mod tests {
     fn non_keyword_is_none() {
         assert_eq!(Keyword::from_str("modules"), None);
         assert_eq!(Keyword::from_str(""), None);
-        assert_eq!(Keyword::from_str("Module"), None, "keywords are case-sensitive");
+        assert_eq!(
+            Keyword::from_str("Module"),
+            None,
+            "keywords are case-sensitive"
+        );
     }
 
     #[test]

@@ -86,13 +86,19 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 ];
                 Expr::Binary(ops[op as usize % ops.len()], Box::new(a), Box::new(b))
             }),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::Ternary(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
             (ident_strategy(), inner.clone()).prop_map(|(n, i)| Expr::Bit(n, Box::new(i))),
             (ident_strategy(), 0u64..16, 0u64..16).prop_map(|(n, msb, lsb)| {
                 Expr::Part(
                     n,
-                    Box::new(Range { msb: Expr::unsized_dec(msb), lsb: Expr::unsized_dec(lsb) }),
+                    Box::new(Range {
+                        msb: Expr::unsized_dec(msb),
+                        lsb: Expr::unsized_dec(lsb),
+                    }),
                 )
             }),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Concat),
@@ -109,7 +115,10 @@ fn lvalue_strategy() -> impl Strategy<Value = LValue> {
         (ident_strategy(), 0u64..16, 0u64..16).prop_map(|(n, m, l)| {
             LValue::Part(
                 n,
-                Box::new(Range { msb: Expr::unsized_dec(m), lsb: Expr::unsized_dec(l) }),
+                Box::new(Range {
+                    msb: Expr::unsized_dec(m),
+                    lsb: Expr::unsized_dec(l),
+                }),
             )
         }),
     ]
@@ -124,20 +133,29 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4)
                 .prop_map(|stmts| Stmt::Block { label: None, stmts }),
-            (expr_strategy(), inner.clone(), prop::option::of(inner.clone())).prop_map(
-                |(cond, t, e)| Stmt::If {
+            (
+                expr_strategy(),
+                inner.clone(),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(cond, t, e)| Stmt::If {
                     cond,
                     then_branch: Box::new(t),
                     else_branch: e.map(Box::new),
-                }
-            ),
-            (expr_strategy(), prop::collection::vec((expr_strategy(), inner.clone()), 1..3))
+                }),
+            (
+                expr_strategy(),
+                prop::collection::vec((expr_strategy(), inner.clone()), 1..3)
+            )
                 .prop_map(|(scrutinee, arms)| Stmt::Case {
                     kind: CaseKind::Case,
                     scrutinee,
                     arms: arms
                         .into_iter()
-                        .map(|(l, body)| CaseArm { labels: vec![l], body })
+                        .map(|(l, body)| CaseArm {
+                            labels: vec![l],
+                            body
+                        })
                         .collect(),
                     default: None,
                 }),
@@ -156,7 +174,11 @@ fn module_strategy() -> impl Strategy<Value = Module> {
             let mut m = Module::new(format!("m_{name}"));
             let n_ports = ports.len();
             for (i, (pname, width)) in ports.into_iter().enumerate() {
-                let dir = if i + 1 == n_ports { Direction::Output } else { Direction::Input };
+                let dir = if i + 1 == n_ports {
+                    Direction::Output
+                } else {
+                    Direction::Input
+                };
                 let range = width.map(|w| Range::constant(w, 0));
                 // Deduplicate port names by position suffix.
                 m.ports.push(Port::ansi(dir, range, format!("{pname}_{i}")));

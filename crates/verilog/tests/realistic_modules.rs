@@ -105,9 +105,7 @@ fn asynchronous_fifo_style_flags() {
 fn scraped_formatting_quirks() {
     // Tabs, CRLF-free dense style, no spaces around operators, compact
     // port list, comments in odd places.
-    accepts(
-        "module m(input a,b,output y);//inline comment\n\tassign y=a&b;/*block*/endmodule",
-    );
+    accepts("module m(input a,b,output y);//inline comment\n\tassign y=a&b;/*block*/endmodule");
     assert!(structure_ok(
         "module m(input a,b,output y);\tassign y=a&b; endmodule // trailing"
     ));
@@ -159,17 +157,11 @@ fn rejects_common_llm_mistakes() {
     // Missing semicolon.
     assert!(parse("module m(input a, output y) assign y = a; endmodule").is_err());
     // Unbalanced begin/end.
-    assert!(parse(
-        "module m(input a, output reg y); always @(*) begin y = a; endmodule"
-    )
-    .is_err());
+    assert!(parse("module m(input a, output reg y); always @(*) begin y = a; endmodule").is_err());
     // `endcase` without `case`.
     assert!(parse("module m(); endcase endmodule").is_err());
     // Expression garbage mid-statement (the NTP failure mode in Fig. 5).
-    assert!(parse(
-        "module m(input a, output reg y); always @(*) y <= <= a; endmodule"
-    )
-    .is_err());
+    assert!(parse("module m(input a, output reg y); always @(*) y <= <= a; endmodule").is_err());
     // Truncated generation mid-identifier.
     assert!(parse("module m(input a, output y); assign y = ").is_err());
 }

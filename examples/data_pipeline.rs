@@ -20,7 +20,10 @@ fn main() {
     println!("== VeriSpec data pipeline ==\n");
 
     // 1. Corpus refinement with statistics (Fig. 2).
-    let corpus = Corpus::build(&CorpusConfig { size: 256, ..Default::default() });
+    let corpus = Corpus::build(&CorpusConfig {
+        size: 256,
+        ..Default::default()
+    });
     let s = corpus.stats;
     println!("generated          : {}", s.generated);
     println!("dropped (structure): {}", s.dropped_structure);
@@ -36,7 +39,10 @@ fn main() {
         .iter()
         .find(|i| i.family == "data_register")
         .unwrap_or(&corpus.items[0]);
-    println!("--- module `{}` ({}) ---\n{}", item.name, item.family, item.source);
+    println!(
+        "--- module `{}` ({}) ---\n{}",
+        item.name, item.family, item.source
+    );
 
     let file = verispec::verilog::parse(&item.source).expect("corpus items parse");
     let sig = SignificantTokens::from_source_file(&file);
@@ -45,12 +51,15 @@ fn main() {
     println!("[FRAG]-tagged source:\n{}\n", item.tagged_source);
 
     // 3. Syntax-enriched labels (Fig. 4): tokenize and build the grid.
-    let tok = BpeTrainer::new(512)
-        .train(corpus.items.iter().map(|i| i.tagged_source.as_str()));
+    let tok = BpeTrainer::new(512).train(corpus.items.iter().map(|i| i.tagged_source.as_str()));
     let ids = tok.encode(&item.tagged_source);
     let n_heads = 10;
     let grid = LabelGrid::syntax_enriched_parallel(&ids, n_heads);
-    println!("label grid: {} positions x {} heads", grid.seq_len(), n_heads);
+    println!(
+        "label grid: {} positions x {} heads",
+        grid.seq_len(),
+        n_heads
+    );
     for h in [1, 3, 5, 10] {
         println!(
             "  head {h:>2}: {:>5.1}% of positions masked [IGNORE]",
@@ -72,7 +81,11 @@ fn main() {
         } else {
             format!("{:?}", tok.token_text(l))
         };
-        let row = if h == 0 { "base".to_string() } else { format!("head {h}") };
+        let row = if h == 0 {
+            "base".to_string()
+        } else {
+            format!("head {h}")
+        };
         println!("  {row:>7}: {text}");
     }
 }

@@ -43,8 +43,14 @@ fn main() {
         }
     }
 
-    let ntp = traces.iter().find(|t| t.method == "NTP").expect("ntp trace");
-    let ours = traces.iter().find(|t| t.method == "Ours").expect("ours trace");
+    let ntp = traces
+        .iter()
+        .find(|t| t.method == "NTP")
+        .expect("ntp trace");
+    let ours = traces
+        .iter()
+        .find(|t| t.method == "Ours")
+        .expect("ours trace");
     println!(
         "\nsummary: Ours used {} steps vs NTP's {} ({}x fewer), mirroring \
          the paper's 14 vs 77 example",

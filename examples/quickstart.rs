@@ -41,7 +41,10 @@ fn main() {
         .iter()
         .find(|p| p.module.family == "data_register")
         .unwrap_or(&bench.problems[0]);
-    println!("\nprompt ({}):\n  {}\n", problem.id, problem.module.description);
+    println!(
+        "\nprompt ({}):\n  {}\n",
+        problem.id, problem.module.description
+    );
 
     // 3. Train and generate with each method.
     for method in [TrainMethod::Ours, TrainMethod::Medusa, TrainMethod::Ntp] {
@@ -62,7 +65,10 @@ fn main() {
             verdict
         );
         let preview: String = g.code.chars().take(160).collect();
-        println!("  generated: {}\n", preview.replace('\n', "\n             "));
+        println!(
+            "  generated: {}\n",
+            preview.replace('\n', "\n             ")
+        );
     }
 
     println!("done — see `cargo run -p verispec-bench --bin table2_speed` for the full tables");

@@ -10,7 +10,10 @@ use verispec::verilog::significant::SignificantTokens;
 
 #[test]
 fn corpus_items_survive_the_full_front_end() {
-    let corpus = Corpus::build(&CorpusConfig { size: 128, ..Default::default() });
+    let corpus = Corpus::build(&CorpusConfig {
+        size: 128,
+        ..Default::default()
+    });
     assert!(corpus.stats.retained >= 64, "{:?}", corpus.stats);
     for item in &corpus.items {
         // Parse.
@@ -30,7 +33,11 @@ fn corpus_items_survive_the_full_front_end() {
         let sig = SignificantTokens::from_source_file(&file);
         let tagged = fragmentize(&item.source, &sig).expect("fragmentize");
         assert_eq!(defragmentize(&tagged), item.source, "[{}]", item.family);
-        assert_eq!(tagged, item.tagged_source, "[{}] pipeline tagging agrees", item.family);
+        assert_eq!(
+            tagged, item.tagged_source,
+            "[{}] pipeline tagging agrees",
+            item.family
+        );
         // Elaborate.
         elaborate(&file.modules[0])
             .unwrap_or_else(|e| panic!("[{}] elaborate: {e}\n{}", item.family, item.source));
@@ -39,11 +46,17 @@ fn corpus_items_survive_the_full_front_end() {
 
 #[test]
 fn corpus_stats_are_consistent() {
-    let corpus = Corpus::build(&CorpusConfig { size: 100, ..Default::default() });
+    let corpus = Corpus::build(&CorpusConfig {
+        size: 100,
+        ..Default::default()
+    });
     let s = corpus.stats;
     assert_eq!(
         s.generated,
-        s.dropped_structure + s.dropped_comments + s.dropped_syntax + s.dropped_duplicates
+        s.dropped_structure
+            + s.dropped_comments
+            + s.dropped_syntax
+            + s.dropped_duplicates
             + s.retained,
         "{s:?}"
     );

@@ -23,7 +23,10 @@ fn tagged_sequences_are_longer_but_same_code() {
     for (plain, tagged) in p.plain_sequences.iter().zip(&p.tagged_sequences).take(10) {
         assert!(tagged.len() > plain.len(), "FRAG markers must add tokens");
         let frag_count = tagged.iter().filter(|&&t| t == special::FRAG).count();
-        assert!(frag_count >= 10, "expected many FRAG tokens, got {frag_count}");
+        assert!(
+            frag_count >= 10,
+            "expected many FRAG tokens, got {frag_count}"
+        );
     }
 }
 

@@ -46,7 +46,11 @@ fn full_loop_produces_judgeable_output_for_all_methods() {
         assert!(g.output.steps > 0);
         assert_eq!(
             g.output.tokens.len(),
-            g.output.trace.iter().map(|t| t.committed.len()).sum::<usize>(),
+            g.output
+                .trace
+                .iter()
+                .map(|t| t.committed.len())
+                .sum::<usize>(),
             "{}: trace must account for all tokens",
             method.name()
         );
@@ -91,7 +95,11 @@ fn reference_solutions_pass_all_benchmarks() {
     for bench in [rtllm_sim(), vgen_sim()] {
         for p in &bench.problems {
             let completion = match &p.plain_header {
-                Some(h) => p.module.source.strip_prefix(h.as_str()).expect("header prefixes"),
+                Some(h) => p
+                    .module
+                    .source
+                    .strip_prefix(h.as_str())
+                    .expect("header prefixes"),
                 None => p.module.source.as_str(),
             };
             let v = judge(completion, p, 42);
@@ -109,7 +117,10 @@ fn greedy_speculative_decoding_is_lossless_end_to_end() {
     let bench = rtllm_sim();
     for problem in bench.problems.iter().take(3) {
         let prompt = pipe.tokenizer.encode(&problem.prompt_plain());
-        let cfg = DecodeConfig { max_tokens: 48, ..Default::default() };
+        let cfg = DecodeConfig {
+            max_tokens: 48,
+            ..Default::default()
+        };
         let cost = ModelScale::Small.cost_model();
         let ntp = verispec::core::decode_ntp(&model, &prompt, &cfg, &cost);
         let med = verispec::core::decode_speculative(&model, &prompt, &cfg, &cost);

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box` — with simple wall-clock
+//! timing: each benchmark runs a short warm-up followed by `sample_size`
+//! timed iterations, reporting mean time per iteration.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the most recent `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up round (also primes lazy statics inside the routine).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput (reported alongside time).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.last_mean);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_mean);
+        self
+    }
+
+    fn report(&mut self, id: &str, mean_secs: f64) {
+        let full = format!("{}/{}", self.name, id);
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / mean_secs.max(1e-12))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / mean_secs.max(1e-12) / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{full:<50} {}{extra}", format_duration(mean_secs));
+        self.criterion.results.push(BenchResult {
+            id: full,
+            mean_secs,
+        });
+    }
+
+    /// Finishes the group (no-op; results are reported eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>10.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>10.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>10.3} µs", secs * 1e6)
+    } else {
+        format!("{:>10.3} ns", secs * 1e9)
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/benchmark` identifier.
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_secs: f64,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded so far (inspectable by custom mains).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group `{name}`");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+
+    /// Elapsed-time helper used by custom measurement loops.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags (e.g. `--bench`); ignore them.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.mean_secs >= 0.0));
+    }
+}

@@ -1,0 +1,733 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API surface this workspace's property tests use:
+//! the `proptest!` / `prop_assert*` / `prop_oneof!` macros, range and
+//! tuple strategies, `Just`, `any::<T>()`, regex-like string patterns,
+//! `prop_map`, `prop_recursive`, `prop::collection::vec`, and
+//! `prop::option::of`. Cases are generated from a deterministic
+//! per-(file, test, case) seed; there is no shrinking — a failing case
+//! panics with the normal assertion message and is reproducible because
+//! generation is deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Runner configuration (`cases` is the only knob used).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic test-case RNG.
+pub mod test_runner {
+    use super::*;
+
+    /// Wrapper around the vendored `SmallRng`.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// Seeds deterministically from file, test name, and case index.
+        pub fn for_case(file: &str, test: &str, case: u64) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in file.bytes().chain(test.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `branch`
+    /// wraps an inner strategy into composite values, nesting at most
+    /// `depth` levels. `desired_size`/`expected_branch_size` are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let grown = branch(cur).boxed();
+            cur = strategy::Union::new(vec![leaf.clone(), grown]).boxed();
+        }
+        cur
+    }
+}
+
+/// A clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty : $via:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen::<$via>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8: u64, u16: u64, u32: u64, u64: u64, usize: u64,
+                    i8: u64, i16: u64, i32: u64, i64: u64, isize: u64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats spanning a wide magnitude range.
+        let mag = rng.0.gen_range(-30.0f32..30.0);
+        let sign = if rng.0.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mag.exp2() * rng.0.gen::<f32>()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// --- ranges -----------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty : $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = rng.0.gen::<u64>() as u128;
+                (self.start as i128 + (r.wrapping_mul(span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+// --- tuples -----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// --- strategy building blocks ----------------------------------------
+
+/// Additional strategy types used by the macros.
+pub mod strategy {
+    use super::*;
+
+    /// Chooses uniformly among alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.0.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Acceptable size specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower and inclusive upper bound.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Strategy for `Vec`s of `elem` values with a length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` or `Some(inner)`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(inner)` — `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.0.gen_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// --- regex-like string patterns ---------------------------------------
+
+/// `&str` patterns act as strategies generating matching strings, as in
+/// proptest. Supported syntax: literal characters, character classes
+/// `[a-z0-9_;]` (ranges, `\n`/`\t`/`\\` escapes, literal `-` first or
+/// last), `\PC` (any non-control character), and counted repetition
+/// `{m,n}` / `{n}` on the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let reps =
+            pattern::parse(self).unwrap_or_else(|e| panic!("bad string pattern {self:?}: {e}"));
+        pattern::generate(&reps, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub enum Atom {
+        /// Inclusive character ranges (single chars are 1-char ranges).
+        Class(Vec<(char, char)>),
+        /// `\PC`: any non-control character.
+        AnyNonControl,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Rep {
+        pub atom: Atom,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    pub fn parse(pat: &str) -> Result<Vec<Rep>, String> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out: Vec<Rep> = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = match chars[i] {
+                            '\\' => {
+                                i += 1;
+                                unescape(*chars.get(i).ok_or("dangling escape")?)?
+                            }
+                            c => c,
+                        };
+                        // Range `c-d` (a trailing `-` is literal).
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            let d = match chars[i + 2] {
+                                '\\' => {
+                                    i += 1;
+                                    unescape(*chars.get(i + 2).ok_or("dangling escape")?)?
+                                }
+                                d => d,
+                            };
+                            if d < c {
+                                return Err(format!("inverted range {c}-{d}"));
+                            }
+                            ranges.push((c, d));
+                            i += 3;
+                        } else {
+                            ranges.push((c, c));
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated character class".into());
+                    }
+                    i += 1; // past ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') if chars.get(i + 1) == Some(&'C') => {
+                            i += 2;
+                            Atom::AnyNonControl
+                        }
+                        Some(&e) => {
+                            i += 1;
+                            Atom::Class(vec![(unescape(e)?, unescape(e)?)])
+                        }
+                        None => return Err("dangling escape".into()),
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+            };
+            // Optional counted repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated {..}")?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| format!("bad bound `{lo}`"))?,
+                        hi.parse().map_err(|_| format!("bad bound `{hi}`"))?,
+                    ),
+                    None => {
+                        let n = body.parse().map_err(|_| format!("bad count `{body}`"))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            out.push(Rep { atom, min, max });
+        }
+        Ok(out)
+    }
+
+    fn unescape(c: char) -> Result<char, String> {
+        Ok(match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '\\' | '-' | ']' | '[' | '{' | '}' | '.' | '+' | '*' | '?' | '(' | ')' | '^' | '$'
+            | '|' | '/' => c,
+            other => return Err(format!("unsupported escape \\{other}")),
+        })
+    }
+
+    /// A mixed pool for `\PC`: printable ASCII most of the time plus a
+    /// sprinkle of multi-byte characters (never control characters).
+    const UNICODE_POOL: &[char] = &[
+        'é', 'ß', 'λ', '→', '€', '中', '文', 'Ω', 'ж', '🦀', '𝛼', '\u{00A0}',
+    ];
+
+    pub fn generate(reps: &[Rep], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for rep in reps {
+            let n = rng.0.gen_range(rep.min..=rep.max);
+            for _ in 0..n {
+                match &rep.atom {
+                    Atom::AnyNonControl => {
+                        if rng.0.gen_range(0..8usize) == 0 {
+                            let idx = rng.0.gen_range(0..UNICODE_POOL.len());
+                            out.push(UNICODE_POOL[idx]);
+                        } else {
+                            out.push(rng.0.gen_range(0x20u32..0x7F) as u8 as char);
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.0.gen_range(0..total);
+                        for &(a, b) in ranges {
+                            let span = (b as u64) - (a as u64) + 1;
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(a as u32 + pick as u32)
+                                        .expect("class range stays in char space"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The `prop::` namespace, mirroring proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// --- macros -----------------------------------------------------------
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...) { .. }`
+/// over `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                        file!(),
+                        stringify!($name),
+                        case as u64,
+                    );
+                    let ( $($arg,)+ ) = (
+                        $( $crate::Strategy::generate(&($strat), &mut __proptest_rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Chooses uniformly among the listed strategies (all must share a
+/// value type). Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($item)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("f", "t", 0);
+        for case in 0..200u64 {
+            let mut rng2 = crate::test_runner::TestRng::for_case("f", "t", case);
+            let v = (1u32..=8, 0usize..5, -2.0f32..2.0).generate(&mut rng2);
+            assert!((1..=8).contains(&v.0));
+            assert!(v.1 < 5);
+            assert!((-2.0..2.0).contains(&v.2));
+        }
+        let s = prop::collection::vec(0u32..10, 2..6).generate(&mut rng);
+        assert!((2..6).contains(&s.len()));
+        assert!(s.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        for case in 0..200u64 {
+            let mut rng = crate::test_runner::TestRng::for_case("f", "p", case);
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let mut rng = crate::test_runner::TestRng::for_case("f", "q", case);
+            let t = "[ -~\n\t]{0,20}".generate(&mut rng);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+            let mut rng = crate::test_runner::TestRng::for_case("f", "r", case);
+            let u = "\\PC{0,30}".generate(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u32..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut saw_node = false;
+        for case in 0..200u64 {
+            let mut rng = crate::test_runner::TestRng::for_case("f", "rec", case);
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion should fire sometimes");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_arguments(x in 0u32..50, mut v in prop::collection::vec(0u8..4, 0..5)) {
+            v.push(0);
+            prop_assert!(x < 50);
+            prop_assert_eq!(*v.last().unwrap(), 0u8, "pushed zero {v:?}");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-written derive macros (no `syn`/`quote`) generating impls of
+//! the vendored `serde` stand-in's `Serialize`/`Deserialize` traits.
+//! Supports non-generic named-field structs and enums with unit, tuple,
+//! and struct variants, plus the `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct FieldDef {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<FieldDef>),
+}
+
+#[derive(Debug)]
+struct VariantDef {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum ItemDef {
+    Struct {
+        name: String,
+        fields: Vec<FieldDef>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<VariantDef>,
+    },
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+/// Skips leading attributes, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == "skip"))
+            {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Skips `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<ItemDef, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive stand-in does not support generics (type {name})"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "derive stand-in does not support tuple structs ({name})"
+            ))
+        }
+        other => return Err(format!("expected {{...}} body for {name}, found {other:?}")),
+    };
+    match keyword.as_str() {
+        "struct" => Ok(ItemDef::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(ItemDef::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("expected struct/enum, found `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<FieldDef>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(FieldDef { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-variant fields: top-level commas + 1, ignoring a
+/// trailing comma.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<VariantDef>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(VariantDef { name, kind });
+    }
+    Ok(variants)
+}
+
+// --- code generation --------------------------------------------------
+
+fn str_key(name: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from({name:?}))")
+}
+
+fn gen_serialize(item: &ItemDef) -> String {
+    match item {
+        ItemDef::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                entries.push_str(&format!(
+                    "({}, ::serde::Serialize::to_value(&self.{})),",
+                    str_key(&f.name),
+                    f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        ItemDef::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let key = str_key(vn);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![({key}, \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![({key}, \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({}, ::serde::Serialize::to_value({}))",
+                                    str_key(&f.name),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![({key}, \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            binds.join(","),
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &ItemDef) -> String {
+    match item {
+        ItemDef::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_value(v.field({:?})?)?,",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        ItemDef::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{ let items = payload.seq_items({n})?; \
+                             ::core::result::Result::Ok({name}::{vn}({})) }},",
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::core::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{}: ::serde::Deserialize::from_value(\
+                                         payload.field({:?})?)?",
+                                        f.name, f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::core::result::Result::Err(::serde::Error::new(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (k, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match k.as_str().unwrap_or(\"\") {{\n\
+                                     {payload_arms}\n\
+                                     other => ::core::result::Result::Err(::serde::Error::new(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => ::core::result::Result::Err(::serde::Error::new(\
+                                 format!(\"cannot deserialize {name} from {{}}\", \
+                                 other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
