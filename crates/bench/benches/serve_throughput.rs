@@ -1,0 +1,52 @@
+//! Serving-throughput bench: the `verispec-serve` continuous-batching
+//! engine against the serial one-request-at-a-time baseline, on a
+//! mixed workload (short comb modules and long seq modules, all six
+//! per-request engine choices, greedy and sampled).
+//!
+//! Sweeps concurrency {1, 4, 16, 64} and emits `BENCH_serve.json` at
+//! the workspace root. Every served output is asserted token-for-token
+//! equal to the serial engine's inside `run_serve_bench`, so the
+//! numbers are produced under proven output parity.
+//!
+//! `--test` runs a shrunk workload (CI smoke) but still emits the
+//! artifact.
+
+use std::path::PathBuf;
+use verispec_eval::{
+    render_serve_bench, run_serve_bench, ModelScale, Pipeline, PipelineConfig, Scale,
+};
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    // Same pipeline as `decode_speed`, so the trained-model cache is
+    // shared between the two benches.
+    let pipeline = PipelineConfig {
+        corpus_size: 96,
+        vocab: 420,
+        n_heads: 6,
+        epochs: 1,
+        ..Default::default()
+    };
+    let (speed_prompt_count, concurrencies): (usize, &[usize]) = if test_mode {
+        (6, &[1, 4])
+    } else {
+        (64, &[1, 4, 16, 64])
+    };
+    let scale = Scale {
+        pipeline,
+        speed_prompt_count,
+        ..Scale::quick()
+    };
+    let pipe = Pipeline::build(scale.pipeline);
+    let rows = run_serve_bench(&scale, &pipe, ModelScale::Small, concurrencies);
+    print!("{}", render_serve_bench(&rows));
+
+    let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(body) => match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize BENCH_serve.json: {e}"),
+    }
+}

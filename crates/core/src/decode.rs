@@ -19,8 +19,7 @@
 
 use crate::accept::TypicalAcceptance;
 use serde::{Deserialize, Serialize};
-use verispec_lm::matrix::softmax;
-use verispec_lm::{argmax, DecodeClock, GpuCostModel, LanguageModel, Sampler, Sampling, TokenId};
+use verispec_lm::{argmax, DecodeClock, GpuCostModel, LanguageModel, Sampling, TokenId};
 use verispec_tokenizer::special;
 
 /// Configuration for a decode run.
@@ -108,40 +107,18 @@ impl DecodeOutput {
 }
 
 /// Conventional next-token-prediction decoding (the NTP baseline).
+///
+/// A thin loop over [`crate::step::Stepper`], so the serial path and a
+/// scheduler-driven served path execute the same per-step code.
 pub fn decode_ntp(
     model: &dyn LanguageModel,
     prompt: &[TokenId],
     cfg: &DecodeConfig,
     cost: &GpuCostModel,
 ) -> DecodeOutput {
-    let mut sampler = Sampler::new(cfg.seed);
-    let mut session = model.session();
-    session.append(prompt);
-    let mut out = DecodeOutput {
-        tokens: Vec::new(),
-        steps: 0,
-        clock: DecodeClock::new(),
-        trace: Vec::new(),
-    };
-    while out.tokens.len() < cfg.max_tokens {
-        let logits = session.logits();
-        let tok = sampler.sample(&logits, cfg.sampling);
-        out.clock.record_step(cost, 0, 1);
-        out.steps += 1;
-        session.append(&[tok]);
-        out.tokens.push(tok);
-        out.trace.push(StepTrace {
-            speculated: 0,
-            accepted: 1,
-            truncated: 0,
-            committed: vec![tok],
-            fragment_complete: tok == special::FRAG,
-        });
-        if tok == cfg.eos {
-            break;
-        }
-    }
-    out
+    let mut stepper = crate::step::Stepper::ntp(model, prompt, cfg.clone());
+    while stepper.step(cost) {}
+    stepper.into_output()
 }
 
 /// MEDUSA-style speculative decoding; with `cfg.syntax_aligned` this is
@@ -165,137 +142,16 @@ pub fn decode_speculative(
     cfg: &DecodeConfig,
     cost: &GpuCostModel,
 ) -> DecodeOutput {
-    let n_heads = model.n_extra_heads();
-    let mut sampler = Sampler::new(cfg.seed);
-    let mut session = model.session();
-    session.append(prompt);
-    let mut out = DecodeOutput {
-        tokens: Vec::new(),
-        steps: 0,
-        clock: DecodeClock::new(),
-        trace: Vec::new(),
-    };
-
-    // Converts base logits into the distribution acceptance is checked
-    // against: typical acceptance is evaluated on the *temperature-
-    // scaled* base distribution so that speculative sampling matches the
-    // baseline's sampling entropy (MEDUSA's criterion "matches the
-    // distribution the model samples from").
-    let to_probs = |logits: &[f32]| -> Vec<f32> {
-        match cfg.sampling {
-            Sampling::Temperature { temperature, .. } => {
-                let scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
-                softmax(&scaled)
-            }
-            Sampling::Greedy => softmax(logits),
-        }
-    };
-
-    while out.tokens.len() < cfg.max_tokens {
-        let step_start = session.len();
-        let all_logits = session.multi_logits();
-        // Base token: drawn from the base distribution, always committed.
-        let base_tok = sampler.sample(&all_logits[0], cfg.sampling);
-
-        // Head proposals (offset i+1 ahead). Without a tree this is the
-        // deterministic top-1 chain; with one, the candidate set is the
-        // cartesian product of each head's top-k (capped), as in MEDUSA's
-        // tree attention.
-        let paths: Vec<Vec<TokenId>> = build_candidate_paths(&all_logits, n_heads, &cfg.tree);
-        let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
-
-        // Verify the candidate tree against the base model in one
-        // batched call; shared prefixes are scored once. The committed
-        // span is the longest accepted prefix over all candidates.
-        let mut committed = vec![base_tok];
-        if base_tok != cfg.eos && candidate_tokens > 0 {
-            session.append(&[base_tok]);
-            let path_refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
-            let scored = session.verify_batch(&path_refs, false);
-            session.truncate(step_start);
-
-            let mut best: Vec<TokenId> = Vec::new();
-            for (path, rows) in paths.iter().zip(&scored) {
-                let mut accepted = 0usize;
-                for (pos, &tok) in path.iter().enumerate() {
-                    let probs = to_probs(&rows[pos]);
-                    let ok = match cfg.sampling {
-                        Sampling::Greedy => tok == argmax(&probs),
-                        Sampling::Temperature { .. } => cfg.acceptance.accepts(&probs, tok),
-                    };
-                    if !ok {
-                        break;
-                    }
-                    accepted += 1;
-                    if tok == cfg.eos {
-                        break;
-                    }
-                }
-                if accepted > best.len() {
-                    best = path[..accepted].to_vec();
-                }
-                if best.last() == Some(&cfg.eos) {
-                    break;
-                }
-            }
-            committed.extend_from_slice(&best);
-        }
-        let accepted = committed.len();
-
-        // Syntax-integrity check (§III-B): the committed span must end on
-        // a complete fragment. Keep up to the last `[FRAG]` boundary; if
-        // the speculated span formed no boundary at all, discard every
-        // head token and keep only the base token.
-        let mut truncated = 0usize;
-        if cfg.syntax_aligned && !committed.contains(&cfg.eos) {
-            let keep = committed
-                .iter()
-                .rposition(|&t| t == special::FRAG)
-                .map(|p| p + 1)
-                .unwrap_or(1);
-            truncated = committed.len() - keep;
-            committed.truncate(keep);
-        }
-        // Whether the span ends on a fragment boundary — recorded before
-        // any token-budget cut, which is a harness artifact rather than a
-        // property of the acceptance policy.
-        let fragment_complete = committed
-            .last()
-            .is_some_and(|&t| t == special::FRAG || t == cfg.eos);
-
-        // Token-budget truncation (not counted as syntax truncation).
-        let remaining = cfg.max_tokens - out.tokens.len();
-        if committed.len() > remaining {
-            committed.truncate(remaining);
-        }
-
-        out.clock
-            .record_step(cost, candidate_tokens, committed.len());
-        out.steps += 1;
-
-        // Commit.
-        let hit_eos = committed.contains(&cfg.eos);
-        session.append(&committed);
-        out.tokens.extend_from_slice(&committed);
-        out.trace.push(StepTrace {
-            speculated: candidate_tokens,
-            accepted,
-            truncated,
-            committed,
-            fragment_complete,
-        });
-        if hit_eos {
-            break;
-        }
-    }
-    out
+    let mut stepper = crate::step::Stepper::speculative(model, prompt, cfg.clone());
+    while stepper.step(cost) {}
+    stepper.into_output()
 }
 
 /// Maximum number of candidate paths explored per step in tree mode.
 const MAX_CANDIDATE_PATHS: usize = 32;
 
 /// Builds the speculated candidate paths from per-head logits.
-fn build_candidate_paths(
+pub(crate) fn build_candidate_paths(
     all_logits: &[Vec<f32>],
     n_heads: usize,
     tree: &Option<Vec<usize>>,

@@ -23,10 +23,9 @@
 //! heads (no separate draft model to maintain) are preferable; its
 //! acceptance rate and speedup are measured in `bench/draft_spec`.
 
-use crate::decode::{DecodeOutput, StepTrace};
+use crate::decode::DecodeOutput;
 use serde::{Deserialize, Serialize};
-use verispec_lm::matrix::softmax;
-use verispec_lm::{DecodeClock, GpuCostModel, LanguageModel, Sampler, TokenId};
+use verispec_lm::{GpuCostModel, LanguageModel, TokenId};
 use verispec_tokenizer::special;
 
 /// Configuration for draft-model speculative decoding.
@@ -76,7 +75,7 @@ impl DraftStats {
     }
 }
 
-fn tempered(probs: &mut [f32], temperature: f32) {
+pub(crate) fn tempered(probs: &mut [f32], temperature: f32) {
     if (temperature - 1.0).abs() < f32::EPSILON {
         return;
     }
@@ -89,6 +88,13 @@ fn tempered(probs: &mut [f32], temperature: f32) {
 
 /// Runs draft-model speculative decoding; returns the decode output and
 /// acceptance statistics.
+///
+/// A thin loop over [`crate::step::Stepper`], so the serial path and a
+/// scheduler-driven served path execute the same per-step code.
+///
+/// # Panics
+///
+/// Panics if `cfg.gamma == 0`.
 pub fn decode_draft_speculative(
     target: &dyn LanguageModel,
     draft: &dyn LanguageModel,
@@ -96,118 +102,10 @@ pub fn decode_draft_speculative(
     cfg: &DraftConfig,
     cost: &GpuCostModel,
 ) -> (DecodeOutput, DraftStats) {
-    assert!(cfg.gamma >= 1, "gamma must be at least 1");
-    let mut sampler = Sampler::new(cfg.seed);
-    let mut draft_session = draft.session();
-    draft_session.append(prompt);
-    let mut target_session = target.session();
-    target_session.append(prompt);
-    let mut out = DecodeOutput {
-        tokens: Vec::new(),
-        steps: 0,
-        clock: DecodeClock::new(),
-        trace: Vec::new(),
-    };
-    let mut stats = DraftStats::default();
-
-    'outer: while out.tokens.len() < cfg.max_tokens {
-        let step_start = draft_session.len();
-        // Draft proposes a block of gamma tokens with its own probs,
-        // extending its session as it goes.
-        let mut proposals: Vec<(TokenId, Vec<f32>)> = Vec::with_capacity(cfg.gamma);
-        for _ in 0..cfg.gamma {
-            let mut q = softmax(&draft_session.logits());
-            tempered(&mut q, cfg.temperature);
-            let tok = sampler.sample_from_probs(&q);
-            proposals.push((tok, q));
-            draft_session.append(&[tok]);
-            if tok == cfg.eos {
-                break;
-            }
-        }
-        stats.proposed += proposals.len();
-
-        // The target scores all γ + 1 positions (each proposal's context
-        // plus the bonus position) in one batched verification call.
-        let path: Vec<TokenId> = proposals.iter().map(|(t, _)| *t).collect();
-        let scored = target_session
-            .verify_batch(&[&path], true)
-            .into_iter()
-            .next()
-            .expect("one path scored");
-        let target_probs: Vec<Vec<f32>> = scored
-            .into_iter()
-            .map(|logits| {
-                let mut p = softmax(&logits);
-                tempered(&mut p, cfg.temperature);
-                p
-            })
-            .collect();
-
-        // Exact rejection rule over the pre-scored distributions.
-        let mut committed: Vec<TokenId> = Vec::new();
-        let mut rejected = false;
-        for (pos, (tok, q)) in proposals.iter().enumerate() {
-            let p = &target_probs[pos];
-            let (pt, qt) = (p[*tok as usize], q[*tok as usize].max(f32::MIN_POSITIVE));
-            // Uniform draw on a fine grid (the Sampler API is index-based).
-            let u: f32 = {
-                let grid = 1_000_000usize;
-                sampler.gen_range(grid) as f32 / grid as f32
-            };
-            if u < (pt / qt).min(1.0) {
-                committed.push(*tok);
-                stats.accepted += 1;
-                if *tok == cfg.eos {
-                    break;
-                }
-            } else {
-                // Resample from max(0, p - q), renormalized.
-                let mut residual: Vec<f32> =
-                    p.iter().zip(q).map(|(&a, &b)| (a - b).max(0.0)).collect();
-                let sum: f32 = residual.iter().sum();
-                if sum > 0.0 {
-                    residual.iter_mut().for_each(|v| *v /= sum);
-                } else {
-                    residual = p.clone();
-                }
-                let tok = sampler.sample_from_probs(&residual);
-                committed.push(tok);
-                rejected = true;
-                break;
-            }
-        }
-        // Bonus token when everything was accepted: drawn from the
-        // already-scored position after the full proposal block.
-        if !rejected && committed.last() != Some(&cfg.eos) {
-            let p = &target_probs[committed.len()];
-            committed.push(sampler.sample_from_probs(p));
-        }
-
-        let remaining = cfg.max_tokens - out.tokens.len();
-        committed.truncate(remaining);
-
-        out.clock
-            .record_step(cost, proposals.len(), committed.len());
-        out.steps += 1;
-        let hit_eos = committed.contains(&cfg.eos);
-        // Roll both sessions back to the committed prefix and extend.
-        draft_session.truncate(step_start);
-        draft_session.append(&committed);
-        target_session.append(&committed);
-        out.tokens.extend_from_slice(&committed);
-        out.trace.push(StepTrace {
-            speculated: proposals.len(),
-            accepted: committed.len(),
-            truncated: 0,
-            committed,
-            fragment_complete: false,
-        });
-        if hit_eos {
-            break 'outer;
-        }
-    }
-    (out, stats)
+    let mut stepper = crate::step::Stepper::draft_verify(target, draft, prompt, *cfg);
+    while stepper.step(cost) {}
+    let stats = stepper.draft_stats().expect("draft stepper tracks stats");
+    (stepper.into_output(), stats)
 }
 
 #[cfg(test)]

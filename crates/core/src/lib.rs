@@ -14,7 +14,11 @@
 //!   Leviathan-style baseline with an n-gram draft;
 //! * **Training orchestration** ([`train`]) — MEDUSA-2's Eq.-2 loss with
 //!   λ sine ramp, γ decay, and 4× head learning rate, parameterized over
-//!   the three regimes compared in the paper.
+//!   the three regimes compared in the paper;
+//! * **Step-granular decoding** ([`step`]) — every engine decomposed
+//!   into propose → verify → commit phases over a [`Stepper`], the hook
+//!   a multi-request scheduler (`verispec-serve`) drives to fuse
+//!   verification across concurrent generations.
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@ pub mod accept;
 pub mod decode;
 pub mod draft;
 pub mod labels;
+pub mod step;
 pub mod train;
 
 pub use accept::TypicalAcceptance;
@@ -45,4 +50,5 @@ pub use decode::{
 };
 pub use draft::{decode_draft_speculative, DraftConfig, DraftStats};
 pub use labels::LabelGrid;
+pub use step::{Phase, Stepper};
 pub use train::{train, train_in_place, TrainConfig, TrainMethod, TrainReport};

@@ -1,0 +1,938 @@
+//! Step-granular decoding: the scheduler-facing decomposition of the
+//! engines in [`crate::decode`] and [`crate::draft`].
+//!
+//! A [`Stepper`] owns one generation's sessions, sampler, and output,
+//! and advances it **one decoding step at a time** through three
+//! phases:
+//!
+//! 1. **propose** ([`Stepper::propose`]) — draw the base token and
+//!    build the candidate paths (MEDUSA heads) or the draft block
+//!    (draft-verify). Returns which [`Phase`] the step needs next.
+//! 2. **verify** — score the pending candidate paths against the
+//!    target model, either per-session ([`Stepper::verify_local`],
+//!    what the serial engines do) or fused across many requests: a
+//!    server extracts [`Stepper::verify_plan`]s from a batch of
+//!    steppers and executes them in one [`verispec_lm::verify_many`]
+//!    pass.
+//! 3. **commit** ([`Stepper::commit`]) — run acceptance over the
+//!    scores, apply the syntax-integrity truncation, advance the
+//!    simulated clock, and extend the session with the committed span.
+//!
+//! The serial convenience [`Stepper::step`] chains the three phases,
+//! and the public engines (`decode_ntp`, `decode_speculative`,
+//! `decode_draft_speculative`) are thin loops over it — so the serial
+//! path and a scheduler-driven path execute **the same code** and
+//! produce bit-identical token streams (the sessions' batched kernels
+//! guarantee bit-identical logits regardless of batch composition).
+//!
+//! Between steps a stepper is always at its *committed* context —
+//! speculative appends have been rolled back — which is what makes
+//! [`Stepper::park`]/[`Stepper::unpark`] (rollback-aware preemption)
+//! safe: parking drops the sessions, and unparking rebuilds them by
+//! replaying `prompt + generated tokens` into fresh sessions, an exact
+//! reconstruction because sessions are pure functions of their token
+//! context.
+
+use crate::decode::{build_candidate_paths, DecodeConfig, DecodeOutput, StepTrace};
+use crate::draft::{tempered, DraftConfig, DraftStats};
+use verispec_lm::matrix::softmax;
+use verispec_lm::{
+    argmax, DecodeClock, DecodeSession, GpuCostModel, LanguageModel, Sampler, Sampling, TokenId,
+    VerifyPlan,
+};
+use verispec_tokenizer::special;
+
+/// What a pending step needs next, as reported by [`Stepper::propose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The step has candidate paths that must be scored (with
+    /// [`Stepper::verify_local`] or a fused [`Stepper::verify_plan`]
+    /// execution) before [`Stepper::commit`].
+    Verify {
+        /// Whether the scoring must include the bonus row (the position
+        /// after a fully accepted path).
+        include_bonus: bool,
+    },
+    /// Nothing to verify this step; call [`Stepper::commit`] with empty
+    /// scores.
+    Commit,
+    /// The generation has finished; the stepper will make no further
+    /// progress.
+    Done,
+}
+
+/// Engine-specific configuration and state.
+enum EngineBody {
+    /// Conventional next-token prediction.
+    Ntp { cfg: DecodeConfig },
+    /// MEDUSA-style self-speculation (chain, tree, or syntax-aligned,
+    /// per the [`DecodeConfig`]).
+    Spec { cfg: DecodeConfig, n_heads: usize },
+    /// Classical draft-model speculation.
+    Draft { cfg: DraftConfig, stats: DraftStats },
+}
+
+/// The in-flight state of one step between propose and commit.
+enum Pending {
+    /// NTP: the single base-logits row is pending.
+    Ntp,
+    /// Speculative: base token drawn, candidate paths built.
+    Spec {
+        step_start: usize,
+        base_tok: TokenId,
+        paths: Vec<Vec<TokenId>>,
+        candidate_tokens: usize,
+        verify_issued: bool,
+    },
+    /// Draft-verify: the draft block proposed, with per-position draft
+    /// probabilities.
+    Draft {
+        step_start: usize,
+        proposals: Vec<(TokenId, Vec<f32>)>,
+    },
+}
+
+/// One generation advanced step-by-step; see the module docs.
+pub struct Stepper<'m> {
+    target_model: &'m dyn LanguageModel,
+    draft_model: Option<&'m dyn LanguageModel>,
+    /// `None` only while parked.
+    target: Option<Box<dyn DecodeSession + 'm>>,
+    draft: Option<Box<dyn DecodeSession + 'm>>,
+    prompt: Vec<TokenId>,
+    sampler: Sampler,
+    engine: EngineBody,
+    out: DecodeOutput,
+    pending: Option<Pending>,
+    done: bool,
+}
+
+impl<'m> Stepper<'m> {
+    fn new_output() -> DecodeOutput {
+        DecodeOutput {
+            tokens: Vec::new(),
+            steps: 0,
+            clock: DecodeClock::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn build(
+        target_model: &'m dyn LanguageModel,
+        draft_model: Option<&'m dyn LanguageModel>,
+        session: Option<Box<dyn DecodeSession + 'm>>,
+        rest: &[TokenId],
+        seed: u64,
+        engine: EngineBody,
+    ) -> Self {
+        // The session's current context (a shared, already-ingested
+        // prompt prefix when forked) plus `rest` forms the full prompt.
+        let mut target = session.unwrap_or_else(|| target_model.session());
+        let mut prompt = target.tokens().to_vec();
+        prompt.extend_from_slice(rest);
+        target.append(rest);
+        let draft = draft_model.map(|d| {
+            let mut s = d.session();
+            s.append(&prompt);
+            s
+        });
+        Stepper {
+            target_model,
+            draft_model,
+            target: Some(target),
+            draft,
+            prompt,
+            sampler: Sampler::new(seed),
+            engine,
+            out: Self::new_output(),
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// A conventional next-token-prediction generation.
+    pub fn ntp(model: &'m dyn LanguageModel, prompt: &[TokenId], cfg: DecodeConfig) -> Self {
+        let seed = cfg.seed;
+        Self::build(model, None, None, prompt, seed, EngineBody::Ntp { cfg })
+    }
+
+    /// Like [`Stepper::ntp`], continuing from an already-ingested
+    /// session (prefix sharing): the session's current context is the
+    /// shared prompt prefix and `rest` is appended to it.
+    pub fn ntp_from_session(
+        model: &'m dyn LanguageModel,
+        session: Box<dyn DecodeSession + 'm>,
+        rest: &[TokenId],
+        cfg: DecodeConfig,
+    ) -> Self {
+        let seed = cfg.seed;
+        Self::build(
+            model,
+            None,
+            Some(session),
+            rest,
+            seed,
+            EngineBody::Ntp { cfg },
+        )
+    }
+
+    /// A MEDUSA-style speculative generation (chain, tree, or
+    /// syntax-aligned, per the config).
+    pub fn speculative(
+        model: &'m dyn LanguageModel,
+        prompt: &[TokenId],
+        cfg: DecodeConfig,
+    ) -> Self {
+        let seed = cfg.seed;
+        let body = EngineBody::Spec {
+            cfg,
+            n_heads: model.n_extra_heads(),
+        };
+        Self::build(model, None, None, prompt, seed, body)
+    }
+
+    /// Like [`Stepper::speculative`], continuing from an
+    /// already-ingested session (prefix sharing).
+    pub fn speculative_from_session(
+        model: &'m dyn LanguageModel,
+        session: Box<dyn DecodeSession + 'm>,
+        rest: &[TokenId],
+        cfg: DecodeConfig,
+    ) -> Self {
+        let seed = cfg.seed;
+        let body = EngineBody::Spec {
+            cfg,
+            n_heads: model.n_extra_heads(),
+        };
+        Self::build(model, None, Some(session), rest, seed, body)
+    }
+
+    /// A classical draft-then-verify generation (draft model proposes a
+    /// γ-token block, the target verifies all γ + 1 positions at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.gamma == 0`.
+    pub fn draft_verify(
+        target: &'m dyn LanguageModel,
+        draft: &'m dyn LanguageModel,
+        prompt: &[TokenId],
+        cfg: DraftConfig,
+    ) -> Self {
+        Self::draft_verify_from_session(target, draft, target.session(), prompt, cfg)
+    }
+
+    /// Like [`Stepper::draft_verify`], continuing the **target** from an
+    /// already-ingested session (the draft session is rebuilt fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.gamma == 0`.
+    pub fn draft_verify_from_session(
+        target: &'m dyn LanguageModel,
+        draft: &'m dyn LanguageModel,
+        session: Box<dyn DecodeSession + 'm>,
+        rest: &[TokenId],
+        cfg: DraftConfig,
+    ) -> Self {
+        assert!(cfg.gamma >= 1, "gamma must be at least 1");
+        let seed = cfg.seed;
+        let body = EngineBody::Draft {
+            cfg,
+            stats: DraftStats::default(),
+        };
+        Self::build(target, Some(draft), Some(session), rest, seed, body)
+    }
+
+    /// Whether the generation has finished.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// The output accumulated so far.
+    pub fn output(&self) -> &DecodeOutput {
+        &self.out
+    }
+
+    /// Number of tokens generated so far (scheduler fairness input).
+    pub fn generated(&self) -> usize {
+        self.out.tokens.len()
+    }
+
+    /// Acceptance statistics, for draft-verify steppers.
+    pub fn draft_stats(&self) -> Option<DraftStats> {
+        match &self.engine {
+            EngineBody::Draft { stats, .. } => Some(*stats),
+            _ => None,
+        }
+    }
+
+    /// Consumes the stepper, returning the final output.
+    pub fn into_output(self) -> DecodeOutput {
+        self.out
+    }
+
+    /// Whether the next [`Stepper::propose`] consumes the current
+    /// position's multi-head logits — true for MEDUSA-style steppers,
+    /// whose propose phase a server can fuse across requests by
+    /// collecting [`Stepper::embed_plan`]s and running one
+    /// [`verispec_lm::multi_logits_many`] pass.
+    pub fn wants_multi_logits(&self) -> bool {
+        match &self.engine {
+            // Budget-exhausted steppers are excluded up front, so a
+            // fused propose pass never computes logits that the next
+            // `propose` would immediately discard as `Phase::Done`.
+            EngineBody::Spec { cfg, .. } => !self.done && self.out.tokens.len() < cfg.max_tokens,
+            _ => false,
+        }
+    }
+
+    /// The target session's current-position model input for fused
+    /// propose (see [`verispec_lm::DecodeSession::embed_plan`]).
+    pub fn embed_plan(&mut self) -> Option<Vec<f32>> {
+        self.target.as_mut().and_then(|s| s.embed_plan())
+    }
+
+    fn target_mut(&mut self) -> &mut dyn DecodeSession {
+        self.target
+            .as_mut()
+            .expect("stepper is parked; unpark before stepping")
+            .as_mut()
+    }
+
+    /// Phase 1: advance to the next step's verification point.
+    ///
+    /// `all_logits`, when given, must equal the target session's
+    /// `multi_logits()` at the current position (a server computes it
+    /// in a fused cross-request pass); `None` computes it locally.
+    /// Engines that do not consume multi-head logits ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step is already pending (propose/commit must
+    /// alternate) or the stepper is parked.
+    pub fn propose(&mut self, all_logits: Option<Vec<Vec<f32>>>) -> Phase {
+        assert!(self.pending.is_none(), "propose called with a step pending");
+        if self.done {
+            return Phase::Done;
+        }
+        match &self.engine {
+            EngineBody::Ntp { cfg } => {
+                if self.out.tokens.len() >= cfg.max_tokens {
+                    self.done = true;
+                    return Phase::Done;
+                }
+                self.pending = Some(Pending::Ntp);
+                Phase::Verify {
+                    include_bonus: true,
+                }
+            }
+            EngineBody::Spec { cfg, n_heads } => {
+                if self.out.tokens.len() >= cfg.max_tokens {
+                    self.done = true;
+                    return Phase::Done;
+                }
+                // Direct field access keeps `cfg` borrowed from
+                // `self.engine` while the disjoint session/sampler
+                // fields are used — no per-step config clone.
+                let session = self
+                    .target
+                    .as_mut()
+                    .expect("stepper is parked; unpark before stepping");
+                let step_start = session.len();
+                let all = all_logits.unwrap_or_else(|| session.multi_logits());
+                let base_tok = self.sampler.sample(&all[0], cfg.sampling);
+                let paths = build_candidate_paths(&all, *n_heads, &cfg.tree);
+                let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
+                let verify_issued = base_tok != cfg.eos && candidate_tokens > 0;
+                if verify_issued {
+                    session.append(&[base_tok]);
+                }
+                self.pending = Some(Pending::Spec {
+                    step_start,
+                    base_tok,
+                    paths,
+                    candidate_tokens,
+                    verify_issued,
+                });
+                if verify_issued {
+                    Phase::Verify {
+                        include_bonus: false,
+                    }
+                } else {
+                    Phase::Commit
+                }
+            }
+            EngineBody::Draft { cfg, .. } => {
+                if self.out.tokens.len() >= cfg.max_tokens {
+                    self.done = true;
+                    return Phase::Done;
+                }
+                let cfg = *cfg;
+                let draft = self
+                    .draft
+                    .as_mut()
+                    .expect("draft stepper has a draft session")
+                    .as_mut();
+                let step_start = draft.len();
+                // The draft proposes a block of gamma tokens with its
+                // own probs, extending its session as it goes.
+                let mut proposals: Vec<(TokenId, Vec<f32>)> = Vec::with_capacity(cfg.gamma);
+                for _ in 0..cfg.gamma {
+                    let mut q = softmax(&draft.logits());
+                    tempered(&mut q, cfg.temperature);
+                    let tok = self.sampler.sample_from_probs(&q);
+                    proposals.push((tok, q));
+                    draft.append(&[tok]);
+                    if tok == cfg.eos {
+                        break;
+                    }
+                }
+                if let EngineBody::Draft { stats, .. } = &mut self.engine {
+                    stats.proposed += proposals.len();
+                }
+                self.pending = Some(Pending::Draft {
+                    step_start,
+                    proposals,
+                });
+                Phase::Verify {
+                    include_bonus: true,
+                }
+            }
+        }
+    }
+
+    /// Phase 2 (fused): extracts the pending verification as a
+    /// [`VerifyPlan`] for cross-request execution, or `None` when the
+    /// target session is not fusable (fall back to
+    /// [`Stepper::verify_local`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is pending verification.
+    pub fn verify_plan(&mut self) -> Option<VerifyPlan> {
+        let session = self
+            .target
+            .as_mut()
+            .expect("stepper is parked; unpark before stepping");
+        match self.pending.as_ref().expect("a step is pending") {
+            Pending::Ntp => session.verify_plan(&[&[]], true),
+            Pending::Spec { paths, .. } => {
+                let refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+                session.verify_plan(&refs, false)
+            }
+            Pending::Draft { proposals, .. } => {
+                let path: Vec<TokenId> = proposals.iter().map(|(t, _)| *t).collect();
+                session.verify_plan(&[&path], true)
+            }
+        }
+    }
+
+    /// Phase 2 (serial): scores the pending verification against this
+    /// stepper's own target session — exactly what the serial engines
+    /// do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is pending verification.
+    pub fn verify_local(&mut self) -> Vec<Vec<Vec<f32>>> {
+        let session = self
+            .target
+            .as_mut()
+            .expect("stepper is parked; unpark before stepping");
+        match self.pending.as_ref().expect("a step is pending") {
+            // Fast path preserved from `decode_ntp`: the single row is
+            // the session's (cached) current-position logits.
+            Pending::Ntp => vec![vec![session.logits()]],
+            Pending::Spec { paths, .. } => {
+                let refs: Vec<&[TokenId]> = paths.iter().map(Vec::as_slice).collect();
+                session.verify_batch(&refs, false)
+            }
+            Pending::Draft { proposals, .. } => {
+                let path: Vec<TokenId> = proposals.iter().map(|(t, _)| *t).collect();
+                session.verify_batch(&[&path], true)
+            }
+        }
+    }
+
+    /// Phase 3: accepts/commits the pending step from its verification
+    /// scores (`scored` must come from [`Stepper::verify_local`] or a
+    /// fused execution of [`Stepper::verify_plan`]; pass an empty vec
+    /// when [`Stepper::propose`] returned [`Phase::Commit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is pending.
+    pub fn commit(&mut self, scored: Vec<Vec<Vec<f32>>>, cost: &GpuCostModel) {
+        let pending = self.pending.take().expect("a step is pending");
+        match pending {
+            Pending::Ntp => self.commit_ntp(&scored, cost),
+            Pending::Spec {
+                step_start,
+                base_tok,
+                paths,
+                candidate_tokens,
+                verify_issued,
+            } => {
+                self.commit_spec(
+                    step_start,
+                    base_tok,
+                    &paths,
+                    candidate_tokens,
+                    verify_issued,
+                    &scored,
+                    cost,
+                );
+            }
+            Pending::Draft {
+                step_start,
+                proposals,
+            } => self.commit_draft(step_start, &proposals, &scored, cost),
+        }
+    }
+
+    fn commit_ntp(&mut self, scored: &[Vec<Vec<f32>>], cost: &GpuCostModel) {
+        let EngineBody::Ntp { cfg } = &self.engine else {
+            unreachable!("pending/engine mismatch");
+        };
+        let (sampling, eos) = (cfg.sampling, cfg.eos);
+        let tok = self.sampler.sample(&scored[0][0], sampling);
+        self.out.clock.record_step(cost, 0, 1);
+        self.out.steps += 1;
+        self.target_mut().append(&[tok]);
+        self.out.tokens.push(tok);
+        self.out.trace.push(StepTrace {
+            speculated: 0,
+            accepted: 1,
+            truncated: 0,
+            committed: vec![tok],
+            fragment_complete: tok == special::FRAG,
+        });
+        if tok == eos {
+            self.done = true;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // private phase glue, not API
+    fn commit_spec(
+        &mut self,
+        step_start: usize,
+        base_tok: TokenId,
+        paths: &[Vec<TokenId>],
+        candidate_tokens: usize,
+        verify_issued: bool,
+        scored: &[Vec<Vec<f32>>],
+        cost: &GpuCostModel,
+    ) {
+        let EngineBody::Spec { cfg, .. } = &self.engine else {
+            unreachable!("pending/engine mismatch");
+        };
+        // Everything acceptance needs from the config is Copy; snapshot
+        // it so the hot loop never clones the config (or its tree Vec).
+        let (sampling, acceptance, eos, syntax_aligned, max_tokens) = (
+            cfg.sampling,
+            cfg.acceptance,
+            cfg.eos,
+            cfg.syntax_aligned,
+            cfg.max_tokens,
+        );
+        // Typical acceptance is evaluated on the *temperature-scaled*
+        // base distribution so that speculative sampling matches the
+        // baseline's sampling entropy.
+        let to_probs = |logits: &[f32]| -> Vec<f32> {
+            match sampling {
+                Sampling::Temperature { temperature, .. } => {
+                    let scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+                    softmax(&scaled)
+                }
+                Sampling::Greedy => softmax(logits),
+            }
+        };
+
+        let mut committed = vec![base_tok];
+        if verify_issued {
+            self.target_mut().truncate(step_start);
+            let mut best: Vec<TokenId> = Vec::new();
+            for (path, rows) in paths.iter().zip(scored) {
+                let mut accepted = 0usize;
+                for (pos, &tok) in path.iter().enumerate() {
+                    let probs = to_probs(&rows[pos]);
+                    let ok = match sampling {
+                        Sampling::Greedy => tok == argmax(&probs),
+                        Sampling::Temperature { .. } => acceptance.accepts(&probs, tok),
+                    };
+                    if !ok {
+                        break;
+                    }
+                    accepted += 1;
+                    if tok == eos {
+                        break;
+                    }
+                }
+                if accepted > best.len() {
+                    best = path[..accepted].to_vec();
+                }
+                if best.last() == Some(&eos) {
+                    break;
+                }
+            }
+            committed.extend_from_slice(&best);
+        }
+        let accepted = committed.len();
+
+        // Syntax-integrity check (§III-B): the committed span must end
+        // on a complete fragment.
+        let mut truncated = 0usize;
+        if syntax_aligned && !committed.contains(&eos) {
+            let keep = committed
+                .iter()
+                .rposition(|&t| t == special::FRAG)
+                .map(|p| p + 1)
+                .unwrap_or(1);
+            truncated = committed.len() - keep;
+            committed.truncate(keep);
+        }
+        let fragment_complete = committed
+            .last()
+            .is_some_and(|&t| t == special::FRAG || t == eos);
+
+        // Token-budget truncation (not counted as syntax truncation).
+        let remaining = max_tokens - self.out.tokens.len();
+        if committed.len() > remaining {
+            committed.truncate(remaining);
+        }
+
+        self.out
+            .clock
+            .record_step(cost, candidate_tokens, committed.len());
+        self.out.steps += 1;
+
+        let hit_eos = committed.contains(&eos);
+        self.target_mut().append(&committed);
+        self.out.tokens.extend_from_slice(&committed);
+        self.out.trace.push(StepTrace {
+            speculated: candidate_tokens,
+            accepted,
+            truncated,
+            committed,
+            fragment_complete,
+        });
+        if hit_eos {
+            self.done = true;
+        }
+    }
+
+    fn commit_draft(
+        &mut self,
+        step_start: usize,
+        proposals: &[(TokenId, Vec<f32>)],
+        scored: &[Vec<Vec<f32>>],
+        cost: &GpuCostModel,
+    ) {
+        let EngineBody::Draft { cfg, .. } = &self.engine else {
+            unreachable!("pending/engine mismatch");
+        };
+        let cfg = *cfg;
+        let target_probs: Vec<Vec<f32>> = scored[0]
+            .iter()
+            .map(|logits| {
+                let mut p = softmax(logits);
+                tempered(&mut p, cfg.temperature);
+                p
+            })
+            .collect();
+
+        // Exact rejection rule over the pre-scored distributions.
+        let mut committed: Vec<TokenId> = Vec::new();
+        let mut rejected = false;
+        let mut accepted_now = 0usize;
+        for (pos, (tok, q)) in proposals.iter().enumerate() {
+            let p = &target_probs[pos];
+            let (pt, qt) = (p[*tok as usize], q[*tok as usize].max(f32::MIN_POSITIVE));
+            // Uniform draw on a fine grid (the Sampler API is index-based).
+            let u: f32 = {
+                let grid = 1_000_000usize;
+                self.sampler.gen_range(grid) as f32 / grid as f32
+            };
+            if u < (pt / qt).min(1.0) {
+                committed.push(*tok);
+                accepted_now += 1;
+                if *tok == cfg.eos {
+                    break;
+                }
+            } else {
+                // Resample from max(0, p - q), renormalized.
+                let mut residual: Vec<f32> =
+                    p.iter().zip(q).map(|(&a, &b)| (a - b).max(0.0)).collect();
+                let sum: f32 = residual.iter().sum();
+                if sum > 0.0 {
+                    residual.iter_mut().for_each(|v| *v /= sum);
+                } else {
+                    residual = p.clone();
+                }
+                let tok = self.sampler.sample_from_probs(&residual);
+                committed.push(tok);
+                rejected = true;
+                break;
+            }
+        }
+        if let EngineBody::Draft { stats, .. } = &mut self.engine {
+            stats.accepted += accepted_now;
+        }
+        // Bonus token when everything was accepted: drawn from the
+        // already-scored position after the full proposal block.
+        if !rejected && committed.last() != Some(&cfg.eos) {
+            let p = &target_probs[committed.len()];
+            committed.push(self.sampler.sample_from_probs(p));
+        }
+
+        let remaining = cfg.max_tokens - self.out.tokens.len();
+        committed.truncate(remaining);
+
+        self.out
+            .clock
+            .record_step(cost, proposals.len(), committed.len());
+        self.out.steps += 1;
+        let hit_eos = committed.contains(&cfg.eos);
+        // Roll both sessions back to the committed prefix and extend.
+        let draft = self
+            .draft
+            .as_mut()
+            .expect("draft stepper has a draft session");
+        draft.truncate(step_start);
+        draft.append(&committed);
+        self.target_mut().append(&committed);
+        self.out.tokens.extend_from_slice(&committed);
+        self.out.trace.push(StepTrace {
+            speculated: proposals.len(),
+            accepted: committed.len(),
+            truncated: 0,
+            committed,
+            fragment_complete: false,
+        });
+        if hit_eos {
+            self.done = true;
+        }
+    }
+
+    /// Runs one full step serially (propose → verify → commit).
+    /// Returns `false` once the generation is done.
+    pub fn step(&mut self, cost: &GpuCostModel) -> bool {
+        match self.propose(None) {
+            Phase::Done => false,
+            Phase::Commit => {
+                self.commit(Vec::new(), cost);
+                !self.done
+            }
+            Phase::Verify { .. } => {
+                let scored = self.verify_local();
+                self.commit(scored, cost);
+                !self.done
+            }
+        }
+    }
+
+    /// Whether the stepper's sessions are currently released.
+    pub fn is_parked(&self) -> bool {
+        self.target.is_none()
+    }
+
+    /// Releases the sessions (rollback-aware preemption): legal only
+    /// between steps, when the sessions hold exactly the committed
+    /// context. The sampler, output, and engine state are retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step is pending (propose without commit).
+    pub fn park(&mut self) {
+        assert!(
+            self.pending.is_none(),
+            "cannot park mid-step: commit or abandon the pending step first"
+        );
+        self.target = None;
+        self.draft = None;
+    }
+
+    /// Rebuilds the sessions of a parked stepper by replaying the
+    /// committed context (`prompt + generated tokens`) into fresh
+    /// sessions — an exact reconstruction, since sessions are pure
+    /// functions of their token context.
+    pub fn unpark(&mut self) {
+        if self.target.is_some() {
+            return;
+        }
+        let mut target = self.target_model.session();
+        target.append(&self.prompt);
+        target.append(&self.out.tokens);
+        self.target = Some(target);
+        self.draft = self.draft_model.map(|d| {
+            let mut s = d.session();
+            s.append(&self.prompt);
+            s.append(&self.out.tokens);
+            s
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode_speculative, DecodeMethod};
+    use crate::draft::decode_draft_speculative;
+    use verispec_lm::{MlpLm, MlpLmConfig, NgramLm};
+
+    fn tiny_model() -> MlpLm {
+        MlpLm::new(MlpLmConfig {
+            vocab: 14,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 4,
+            n_heads: 3,
+            seed: 21,
+        })
+    }
+
+    fn cyclic_ngram() -> NgramLm {
+        let mut lm = NgramLm::new(3, 14);
+        let seq: Vec<TokenId> = (0..200).map(|i| 6 + (i % 3) as TokenId).collect();
+        lm.train_sequence(&seq);
+        lm
+    }
+
+    #[test]
+    fn phase_driven_stepper_matches_serial_engines() {
+        // Driving the stepper through explicit propose/verify/commit
+        // phases must reproduce the public engines exactly.
+        let model = tiny_model();
+        let cost = GpuCostModel::codellama_like();
+        for (syntax, tree) in [(false, None), (true, Some(vec![2, 2]))] {
+            let cfg = DecodeConfig {
+                max_tokens: 18,
+                sampling: Sampling::temperature(0.8),
+                seed: 5,
+                syntax_aligned: syntax,
+                tree,
+                ..Default::default()
+            };
+            let serial = decode_speculative(&model, &[1, 2, 3], &cfg, &cost);
+            let mut st = Stepper::speculative(&model, &[1, 2, 3], cfg.clone());
+            loop {
+                match st.propose(None) {
+                    Phase::Done => break,
+                    Phase::Commit => st.commit(Vec::new(), &cost),
+                    Phase::Verify { .. } => {
+                        let scored = st.verify_local();
+                        st.commit(scored, &cost);
+                    }
+                }
+            }
+            let out = st.into_output();
+            assert_eq!(out.tokens, serial.tokens);
+            assert_eq!(out.steps, serial.steps);
+            assert_eq!(out.trace, serial.trace);
+        }
+    }
+
+    #[test]
+    fn fused_verify_plan_path_matches_verify_local() {
+        let model = tiny_model();
+        let cost = GpuCostModel::codellama_like();
+        let cfg = DecodeConfig {
+            max_tokens: 16,
+            tree: Some(vec![2, 2, 1]),
+            ..Default::default()
+        };
+        let serial = decode_speculative(&model, &[2, 4], &cfg, &cost);
+        let mut st = Stepper::speculative(&model, &[2, 4], cfg);
+        loop {
+            match st.propose(None) {
+                Phase::Done => break,
+                Phase::Commit => st.commit(Vec::new(), &cost),
+                Phase::Verify { .. } => {
+                    let plan = st.verify_plan().expect("mlp session is fusable");
+                    let scored = verispec_lm::verify_many(&model, &[plan])
+                        .pop()
+                        .expect("one plan");
+                    st.commit(scored, &cost);
+                }
+            }
+        }
+        assert_eq!(st.output().tokens, serial.tokens);
+    }
+
+    #[test]
+    fn park_unpark_round_trip_is_lossless() {
+        let model = tiny_model();
+        let ng = cyclic_ngram();
+        let cost = GpuCostModel::codet5p_like();
+        let cfg = DecodeConfig {
+            max_tokens: 20,
+            sampling: Sampling::temperature(0.6),
+            seed: 9,
+            tree: Some(vec![2]),
+            ..Default::default()
+        };
+        let serial = decode_speculative(&model, &[3, 1], &cfg, &cost);
+        let mut st = Stepper::speculative(&model, &[3, 1], cfg);
+        let mut steps = 0;
+        while st.step(&cost) {
+            steps += 1;
+            if steps % 2 == 1 {
+                st.park();
+                assert!(st.is_parked());
+                st.unpark();
+            }
+        }
+        assert_eq!(st.output().tokens, serial.tokens, "park/unpark drifted");
+
+        // Draft stepper parks both sessions.
+        let dcfg = DraftConfig {
+            gamma: 3,
+            max_tokens: 15,
+            seed: 4,
+            ..Default::default()
+        };
+        let (dserial, dstats) = decode_draft_speculative(&ng, &ng, &[6, 7], &dcfg, &cost);
+        let mut st = Stepper::draft_verify(&ng, &ng, &[6, 7], dcfg);
+        let mut i = 0;
+        while st.step(&cost) {
+            i += 1;
+            if i == 2 {
+                st.park();
+                st.unpark();
+            }
+        }
+        assert_eq!(st.output().tokens, dserial.tokens);
+        assert_eq!(st.draft_stats(), Some(dstats));
+    }
+
+    #[test]
+    fn from_session_continues_a_shared_prefix_exactly() {
+        let model = tiny_model();
+        let cost = GpuCostModel::codellama_like();
+        let prompt: Vec<TokenId> = vec![1, 2, 3, 4, 5];
+        for method in [DecodeMethod::Ntp, DecodeMethod::Ours] {
+            let cfg = DecodeConfig {
+                max_tokens: 12,
+                ..Default::default()
+            };
+            let serial = method.decode(&model, &prompt, &cfg, &cost);
+            // Ingest the first three tokens once, fork, append the rest.
+            let mut prefix = model.session();
+            prefix.append(&prompt[..3]);
+            let forked = prefix.fork().expect("mlp fork");
+            let cfg_run = DecodeConfig {
+                syntax_aligned: method == DecodeMethod::Ours,
+                ..cfg
+            };
+            let mut st = match method {
+                DecodeMethod::Ntp => {
+                    Stepper::ntp_from_session(&model, forked, &prompt[3..], cfg_run)
+                }
+                _ => Stepper::speculative_from_session(&model, forked, &prompt[3..], cfg_run),
+            };
+            while st.step(&cost) {}
+            assert_eq!(st.output().tokens, serial.tokens, "{:?}", method);
+        }
+    }
+}

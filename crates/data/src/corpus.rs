@@ -158,18 +158,28 @@ impl Corpus {
     }
 }
 
+/// The fixed Alpaca instruction preamble every formatted item and
+/// prompt starts with. Exposed so serving paths can ingest (tokenize +
+/// session-append) it **once** and share it across requests: it ends
+/// in a lone `\n` and descriptions start with a non-whitespace
+/// character, so the boundary is a pre-tokenization word boundary and
+/// splitting the encode there is exact.
+const ALPACA_PREAMBLE: &str = "Below is an instruction that describes a task. Write a response that appropriately completes the request.\n\n### Instruction:\n";
+
+/// The shared Alpaca preamble (see [`alpaca_format`] /
+/// [`alpaca_prompt`], which both start with it).
+pub fn alpaca_preamble() -> &'static str {
+    ALPACA_PREAMBLE
+}
+
 /// Formats an item in Alpaca instruction style (paper §IV-A1).
 pub fn alpaca_format(description: &str, code: &str) -> String {
-    format!(
-        "Below is an instruction that describes a task. Write a response that appropriately completes the request.\n\n### Instruction:\n{description}\n\n### Response:\n{code}"
-    )
+    format!("{ALPACA_PREAMBLE}{description}\n\n### Response:\n{code}")
 }
 
 /// The instruction-only prefix used at inference time (the prompt).
 pub fn alpaca_prompt(description: &str) -> String {
-    format!(
-        "Below is an instruction that describes a task. Write a response that appropriately completes the request.\n\n### Instruction:\n{description}\n\n### Response:\n"
-    )
+    format!("{ALPACA_PREAMBLE}{description}\n\n### Response:\n")
 }
 
 #[cfg(test)]

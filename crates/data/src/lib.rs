@@ -36,7 +36,9 @@ pub mod iface;
 pub mod naming;
 pub mod style;
 
-pub use corpus::{alpaca_format, alpaca_prompt, Corpus, CorpusConfig, CorpusItem, CorpusStats};
+pub use corpus::{
+    alpaca_format, alpaca_preamble, alpaca_prompt, Corpus, CorpusConfig, CorpusItem, CorpusStats,
+};
 pub use dedup::{dedup_indices, jaccard, MinHash};
 pub use iface::{
     input, mask, GeneratedModule, Golden, InputVector, Interface, OutputVector, PortSpec,

@@ -37,12 +37,13 @@ pub mod pipeline;
 
 pub use benchmarks::{rtllm_sim, speed_prompts, vgen_sim, Benchmark, Problem, PromptStyle};
 pub use experiments::{
-    fig6_from_cells, render_session_bench, render_table1, render_table2, run_fig1, run_fig5,
-    run_session_bench, run_table1, run_table2, QualityCell, Scale, SessionBenchRow, SpeedRow,
-    TraceSummary, TradeoffPoint,
+    fig6_from_cells, render_serve_bench, render_session_bench, render_table1, render_table2,
+    run_fig1, run_fig5, run_serve_bench, run_session_bench, run_table1, run_table2, QualityCell,
+    Scale, ServeBenchRow, SessionBenchRow, SpeedRow, TraceSummary, TradeoffPoint,
 };
 pub use judge::{judge, Verdict};
 pub use metrics::{mean_pass_at_k, pass_at_k, pass_rate, PromptCounts, QualityRow};
 pub use pipeline::{
     generate, generate_stateless, token_budget, Generation, ModelScale, Pipeline, PipelineConfig,
+    SharedPrefixEncoder,
 };

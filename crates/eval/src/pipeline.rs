@@ -260,6 +260,59 @@ fn store_cached(key: &str, model: &MlpLm) {
     }
 }
 
+/// Prefix-sharing prompt encoder: the common Alpaca preamble is
+/// BPE-encoded **once**, and every prompt starting with it reuses the
+/// cached ids, encoding only the per-request remainder.
+///
+/// Exactness: BPE merges never cross pre-tokenization word boundaries,
+/// the preamble ends in a lone `\n` (a complete whitespace word — no
+/// trailing space for the tokenizer to glue onto the next word), and
+/// the split is only taken when the remainder starts with a
+/// non-whitespace character. Under those conditions
+/// `encode(preamble) ++ encode(rest) == encode(preamble ++ rest)`
+/// bit-for-bit (`debug_assert`ed, and pinned over every benchmark
+/// prompt by the tests). Anything else falls back to a full encode.
+///
+/// Served runs pair this with [`verispec_lm::DecodeSession::fork`]:
+/// one session ingests `preamble_ids` once and each request forks it,
+/// appending only its remainder (see `run_serve_bench`).
+pub struct SharedPrefixEncoder<'t> {
+    tokenizer: &'t BpeTokenizer,
+    preamble: &'static str,
+    /// Token ids of the shared preamble.
+    pub preamble_ids: Vec<TokenId>,
+}
+
+impl<'t> SharedPrefixEncoder<'t> {
+    /// Encodes the Alpaca preamble once.
+    pub fn new(tokenizer: &'t BpeTokenizer) -> Self {
+        let preamble = verispec_data::alpaca_preamble();
+        SharedPrefixEncoder {
+            tokenizer,
+            preamble,
+            preamble_ids: tokenizer.encode(preamble),
+        }
+    }
+
+    /// Encodes `prompt`, reusing the cached preamble ids when the split
+    /// is provably exact. Always equals `tokenizer.encode(prompt)`.
+    pub fn encode(&self, prompt: &str) -> Vec<TokenId> {
+        match prompt.strip_prefix(self.preamble) {
+            Some(rest) if rest.starts_with(|c: char| !c.is_whitespace()) => {
+                let mut ids = self.preamble_ids.clone();
+                ids.extend(self.tokenizer.encode(rest));
+                debug_assert_eq!(
+                    ids,
+                    self.tokenizer.encode(prompt),
+                    "shared-prefix split must be exact"
+                );
+                ids
+            }
+            _ => self.tokenizer.encode(prompt),
+        }
+    }
+}
+
 /// The decode method a training method is evaluated with.
 pub fn decode_method_of(method: TrainMethod) -> DecodeMethod {
     match method {
@@ -468,6 +521,31 @@ mod tests {
         let b = p.model_for(ModelScale::Small, TrainMethod::Ntp, (1, 4));
         // Second call loads the cached model: identical behaviour.
         assert_eq!(a.logits(&[1, 2, 3]), b.logits(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn shared_prefix_encoder_is_exact_on_all_benchmark_prompts() {
+        let p = tiny_pipeline();
+        let enc = SharedPrefixEncoder::new(&p.tokenizer);
+        assert!(!enc.preamble_ids.is_empty());
+        let mut checked = 0usize;
+        for bench in [rtllm_sim(), crate::benchmarks::vgen_sim()] {
+            for problem in &bench.problems {
+                for prompt in [problem.prompt_plain(), problem.prompt_tagged()] {
+                    assert_eq!(
+                        enc.encode(&prompt),
+                        p.tokenizer.encode(&prompt),
+                        "split encode diverged on {}",
+                        problem.id
+                    );
+                    assert!(enc.encode(&prompt).starts_with(&enc.preamble_ids));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 40, "covered both suites");
+        // Non-preamble prompts fall back to a plain encode.
+        assert_eq!(enc.encode("module m;"), p.tokenizer.encode("module m;"));
     }
 
     #[test]

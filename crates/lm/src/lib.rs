@@ -77,7 +77,10 @@ pub use cost::{DecodeClock, GpuCostModel};
 pub use mlp::{HeadTarget, MlpLm, MlpLmConfig, PositionLoss, TokenId, PAD_ID};
 pub use ngram::NgramLm;
 pub use sampler::{argmax, top_k_indices, Sampler, Sampling};
-pub use session::{DecodeSession, MlpSession, NgramSession, Stateless, StatelessSession};
+pub use session::{
+    multi_logits_many, verify_many, DecodeSession, MlpSession, NgramSession, Stateless,
+    StatelessSession, VerifyPlan,
+};
 
 /// A language model that exposes base-head logits over a prefix, and
 /// optionally extra Medusa heads predicting further-ahead tokens.

@@ -2,9 +2,40 @@
 //!
 //! Row-major matrices with exactly the operations the MLP LM's forward
 //! and hand-written backward passes need. No BLAS, no SIMD intrinsics —
-//! the models are small enough that scalar loops in release mode suffice.
+//! the models are small enough that scalar loops in release mode suffice
+//! for the single-vector paths. The batched kernel additionally shards
+//! its rows across threads once the work size crosses
+//! [`MATVEC_PAR_THRESHOLD`] (large fused candidate trees, cross-request
+//! serving batches), with bit-identical results: rows are independent,
+//! so splitting them never changes any accumulation order.
 
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// SIMD-friendly lane count of the batched kernel: the inner loop runs
+/// over a `[f32; LANES]` accumulator, which the compiler unrolls and
+/// vectorizes (the batch is zero-padded up to a lane multiple).
+const LANES: usize = 8;
+
+/// Work size (`rows × cols × padded batch`) above which
+/// [`Matrix::matvec_batch`] shards its rows across threads. Below it,
+/// thread spawn/join overhead outweighs the parallel compute; the
+/// typical single-request candidate tree stays under this, while fused
+/// cross-request serving batches and large-model verification cross it.
+pub const MATVEC_PAR_THRESHOLD: usize = 1 << 22;
+
+/// Threads the batched kernel should use for a given work size: one
+/// below [`MATVEC_PAR_THRESHOLD`], then growing with the work, capped by
+/// the machine's available parallelism and the row count (each thread
+/// needs at least one row).
+pub fn matvec_batch_threads(rows: usize, cols: usize, batch: usize) -> usize {
+    let work = rows * cols * batch.div_ceil(LANES) * LANES;
+    if work < MATVEC_PAR_THRESHOLD || rows < 2 {
+        return 1;
+    }
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    avail.min(work / MATVEC_PAR_THRESHOLD + 1).min(rows)
+}
 
 /// A row-major dense matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,14 +135,27 @@ impl Matrix {
     /// exactly [`Matrix::matvec`]'s order — results are bit-identical,
     /// only the instruction-level parallelism changes.
     ///
+    /// Above [`MATVEC_PAR_THRESHOLD`] of work the rows are additionally
+    /// sharded across threads (see [`Matrix::matvec_batch_threaded`]);
+    /// rows are independent, so the results stay bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if any `x.len() != cols`.
     pub fn matvec_batch(&self, xs: &[&[f32]]) -> Vec<Vec<f32>> {
-        /// Fixed SIMD-friendly lane count: the inner loop runs over a
-        /// `[f32; LANES]` accumulator, which the compiler unrolls and
-        /// vectorizes (the batch is zero-padded up to a lane multiple).
-        const LANES: usize = 8;
+        self.matvec_batch_threaded(xs, matvec_batch_threads(self.rows, self.cols, xs.len()))
+    }
+
+    /// [`Matrix::matvec_batch`] with an explicit thread count: rows are
+    /// split into contiguous shards, one `std::thread::scope` worker per
+    /// shard. Every output element is accumulated by exactly the same
+    /// lane kernel regardless of `threads`, so results are bit-identical
+    /// for any thread count (the tests pin this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `x.len() != cols`.
+    pub fn matvec_batch_threaded(&self, xs: &[&[f32]], threads: usize) -> Vec<Vec<f32>> {
         let n = xs.len();
         if n == 0 {
             return Vec::new();
@@ -119,8 +163,7 @@ impl Matrix {
         for x in xs {
             assert_eq!(x.len(), self.cols, "matvec_batch dimension mismatch");
         }
-        let chunks = n.div_ceil(LANES);
-        let stride = chunks * LANES;
+        let stride = n.div_ceil(LANES) * LANES;
         // Transpose to padded column-major: xt[c * stride + k] = xs[k][c].
         let mut xt = vec![0.0f32; self.cols * stride];
         for (k, x) in xs.iter().enumerate() {
@@ -128,8 +171,37 @@ impl Matrix {
                 xt[c * stride + k] = v;
             }
         }
+        // Row-major padded result buffer: flat[r * stride + k] = y_k[r].
+        let mut flat = vec![0.0f32; self.rows * stride];
+        let threads = threads.clamp(1, self.rows.max(1));
+        if threads <= 1 {
+            self.batch_rows_into(&xt, stride, 0..self.rows, &mut flat);
+        } else {
+            let per = self.rows.div_ceil(threads);
+            let xt = &xt;
+            std::thread::scope(|s| {
+                for (t, shard) in flat.chunks_mut(per * stride).enumerate() {
+                    let r0 = t * per;
+                    let rows = r0..r0 + shard.len() / stride;
+                    s.spawn(move || self.batch_rows_into(xt, stride, rows, shard));
+                }
+            });
+        }
         let mut ys = vec![vec![0.0f32; self.rows]; n];
         for r in 0..self.rows {
+            let row = &flat[r * stride..r * stride + n];
+            for (y, &v) in ys.iter_mut().zip(row) {
+                y[r] = v;
+            }
+        }
+        ys
+    }
+
+    /// The batched-kernel inner loop over a contiguous row range,
+    /// writing into `out` (layout `out[(r - rows.start) * stride + k]`).
+    fn batch_rows_into(&self, xt: &[f32], stride: usize, rows: Range<usize>, out: &mut [f32]) {
+        let chunks = stride / LANES;
+        for (ri, r) in rows.enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for chunk in 0..chunks {
                 let mut acc = [0.0f32; LANES];
@@ -142,14 +214,9 @@ impl Matrix {
                         acc[l] += rv * lane[l];
                     }
                 }
-                for (l, &a) in acc.iter().enumerate() {
-                    if let Some(y) = ys.get_mut(offset + l) {
-                        y[r] = a;
-                    }
-                }
+                out[ri * stride + offset..ri * stride + offset + LANES].copy_from_slice(&acc);
             }
         }
-        ys
     }
 
     /// `y = Aᵀ x` (length `cols`).
@@ -262,6 +329,48 @@ mod tests {
                 .all(|(p, q)| p.to_bits() == q.to_bits()));
         }
         assert!(a.matvec_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn matvec_batch_threaded_is_bit_identical_for_any_thread_count() {
+        // 13 rows so shards are uneven; 19 inputs so the last lane chunk
+        // is partially padded.
+        let a = Matrix::from_fn(13, 11, |r, c| ((r * 7 + c * 3) as f32).sin());
+        let xs: Vec<Vec<f32>> = (0..19)
+            .map(|k| (0..11).map(|c| ((k * 5 + c) as f32).cos()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let serial = a.matvec_batch_threaded(&refs, 1);
+        for threads in [2, 3, 8, 64] {
+            let sharded = a.matvec_batch_threaded(&refs, threads);
+            assert_eq!(serial.len(), sharded.len());
+            for (p, q) in serial.iter().zip(&sharded) {
+                assert!(
+                    p.iter().zip(q).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "threads={threads} diverged"
+                );
+            }
+        }
+        // And both agree bitwise with the scalar matvec.
+        for (x, y) in xs.iter().zip(&serial) {
+            let single = a.matvec(x);
+            assert!(single
+                .iter()
+                .zip(y)
+                .all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+
+    #[test]
+    fn matvec_batch_thread_policy_respects_threshold() {
+        // Tiny work: always single-threaded.
+        assert_eq!(matvec_batch_threads(16, 32, 4), 1);
+        // One row can never shard.
+        assert_eq!(matvec_batch_threads(1, 1 << 24, 8), 1);
+        // Huge work: more than one thread (machine permitting) but never
+        // more than the row count.
+        let big = matvec_batch_threads(64, 1024, 4096);
+        assert!((1..=64).contains(&big));
     }
 
     #[test]

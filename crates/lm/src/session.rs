@@ -37,6 +37,95 @@ use crate::mlp::{MlpLm, TokenId};
 use crate::ngram::NgramLm;
 use crate::LanguageModel;
 
+/// A fusable verification plan extracted from a model-aware session
+/// (see [`DecodeSession::verify_plan`]): the deduplicated candidate-tree
+/// nodes' window embeddings plus the mapping from requested result rows
+/// back to nodes. Executing the plan against the owning model
+/// ([`verify_many`]) reproduces [`DecodeSession::verify_batch`]
+/// bit-identically — which is what lets a serving engine concatenate
+/// many sessions' plans into **one** fused trunk/head pass.
+pub struct VerifyPlan {
+    /// Embedding concat per unique trie node (root first, parent-first
+    /// order).
+    xs: Vec<Vec<f32>>,
+    /// `result[i][j]` reads the logits of node `node_of[i][j]`.
+    node_of: Vec<Vec<usize>>,
+}
+
+impl VerifyPlan {
+    /// Number of unique nodes (= forwards) this plan needs.
+    pub fn n_nodes(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Assembles this plan's `verify_batch`-shaped result from the fused
+    /// logits buffer, whose rows `offset..offset + n_nodes` belong to
+    /// this plan.
+    fn scatter(&self, logits: &[Vec<f32>], offset: usize) -> Vec<Vec<Vec<f32>>> {
+        self.node_of
+            .iter()
+            .map(|ids| ids.iter().map(|&id| logits[offset + id].clone()).collect())
+            .collect()
+    }
+}
+
+/// Executes many sessions' [`VerifyPlan`]s against one shared model in a
+/// single fused pass: every node of every plan goes through **one**
+/// batched trunk projection and **one** batched base-head projection
+/// ([`crate::matrix::Matrix::matvec_batch`], which also shards across
+/// threads above its work threshold). `result[p]` is bit-identical to
+/// what the `p`-th session's own `verify_batch` call would have
+/// returned — the batched kernel guarantees per-input bit-identity
+/// regardless of batch composition.
+///
+/// This is the continuous-batching primitive: concurrent generations
+/// share trunk/head matmuls instead of issuing one small batch each.
+pub fn verify_many(model: &MlpLm, plans: &[VerifyPlan]) -> Vec<Vec<Vec<Vec<f32>>>> {
+    let x_refs: Vec<&[f32]> = plans
+        .iter()
+        .flat_map(|p| p.xs.iter().map(Vec::as_slice))
+        .collect();
+    let logits = if x_refs.is_empty() {
+        Vec::new()
+    } else {
+        let hs = model.trunk_hidden_batch(&x_refs);
+        let h_refs: Vec<&[f32]> = hs.iter().map(Vec::as_slice).collect();
+        model.head_logits_from_hidden_batch(&h_refs, 0)
+    };
+    let mut out = Vec::with_capacity(plans.len());
+    let mut offset = 0usize;
+    for plan in plans {
+        out.push(plan.scatter(&logits, offset));
+        offset += plan.n_nodes();
+    }
+    out
+}
+
+/// Fused multi-head logits for many positions (one embedding concat
+/// each, typically from [`DecodeSession::embed_plan`] across many
+/// sessions): one batched trunk pass plus one batched projection per
+/// head. `result[k][h]` is bit-identical to what session `k`'s
+/// `multi_logits()[h]` would return at that position.
+pub fn multi_logits_many(model: &MlpLm, xs: &[Vec<f32>]) -> Vec<Vec<Vec<f32>>> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+    let hs = model.trunk_hidden_batch(&x_refs);
+    let h_refs: Vec<&[f32]> = hs.iter().map(Vec::as_slice).collect();
+    let mut per_head: Vec<Vec<Vec<f32>>> = (0..=model.n_heads())
+        .map(|i| model.head_logits_from_hidden_batch(&h_refs, i))
+        .collect();
+    (0..xs.len())
+        .map(|k| {
+            per_head
+                .iter_mut()
+                .map(|h| std::mem::take(&mut h[k]))
+                .collect()
+        })
+        .collect()
+}
+
 /// Guards the mutually-recursive `LanguageModel` defaults
 /// (`logits`/`multi_logits` ⇄ `session`): a type overriding neither
 /// would otherwise recurse until the stack overflows. The threshold is
@@ -178,6 +267,36 @@ pub trait DecodeSession {
         self.truncate(base_len);
         results
     }
+
+    /// Extracts a fusable [`VerifyPlan`] for the same scoring that
+    /// [`DecodeSession::verify_batch`] would perform, so a serving
+    /// engine can execute many sessions' verification in one fused pass
+    /// ([`verify_many`]). Returns `None` when the session has no
+    /// fusable representation (the default); callers must then fall
+    /// back to per-session `verify_batch`. Like `verify_batch`, the
+    /// session context is unchanged when the call returns.
+    fn verify_plan(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> Option<VerifyPlan> {
+        let _ = (paths, include_bonus);
+        None
+    }
+
+    /// The model input representing the session's **current position**
+    /// (for [`MlpSession`]: the cached window-embedding concat), so a
+    /// serving engine can fuse many sessions' next-position forwards
+    /// into one batched pass ([`multi_logits_many`]). `None` when the
+    /// session has no fusable representation (the default).
+    fn embed_plan(&mut self) -> Option<Vec<f32>> {
+        None
+    }
+
+    /// Forks the session: an independent session over the same model
+    /// with the same context, from which both copies may diverge. This
+    /// is the prefix-sharing primitive — ingest a common prompt prefix
+    /// once, then fork per request. `None` when the session cannot be
+    /// forked (the default).
+    fn fork(&self) -> Option<Box<dyn DecodeSession + '_>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -231,6 +350,13 @@ impl<M: LanguageModel + ?Sized> DecodeSession for StatelessSession<'_, M> {
     fn multi_logits(&mut self) -> Vec<Vec<f32>> {
         self.model.multi_logits(&self.tokens)
     }
+
+    fn fork(&self) -> Option<Box<dyn DecodeSession + '_>> {
+        Some(Box::new(StatelessSession {
+            model: self.model,
+            tokens: self.tokens.clone(),
+        }))
+    }
 }
 
 /// Wrapper that forces the stateless default session on a model that
@@ -274,6 +400,7 @@ impl<M: LanguageModel> LanguageModel for Stateless<M> {
 /// embeddings are derived from their parent's cached embedding, and the
 /// trunk + base-head projections run one vectorized pass across the
 /// whole tree instead of one scalar forward per candidate.
+#[derive(Clone)]
 pub struct MlpSession<'a> {
     model: &'a MlpLm,
     tokens: Vec<TokenId>,
@@ -367,6 +494,30 @@ impl DecodeSession for MlpSession<'_> {
     }
 
     fn verify_batch(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> Vec<Vec<Vec<f32>>> {
+        let plan = self.build_verify_plan(paths, include_bonus);
+        verify_many(self.model, std::slice::from_ref(&plan))
+            .pop()
+            .expect("one plan executed")
+    }
+
+    fn verify_plan(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> Option<VerifyPlan> {
+        Some(self.build_verify_plan(paths, include_bonus))
+    }
+
+    fn embed_plan(&mut self) -> Option<Vec<f32>> {
+        Some(self.ensure_x().clone())
+    }
+
+    fn fork(&self) -> Option<Box<dyn DecodeSession + '_>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+impl MlpSession<'_> {
+    /// Builds the verification trie and per-node window embeddings that
+    /// both [`DecodeSession::verify_batch`] (single session) and
+    /// [`verify_many`] (fused across sessions) execute.
+    fn build_verify_plan(&mut self, paths: &[&[TokenId]], include_bonus: bool) -> VerifyPlan {
         // 1. Deduplicate the *scored* path prefixes into a trie. Node 0
         //    is the root (the current context); children extend by one
         //    token. Without the bonus row the full-path leaves are never
@@ -416,7 +567,10 @@ impl DecodeSession for MlpSession<'_> {
 
         // 2. One embedding concat per unique node, derived from the
         //    parent's by a one-block shift (nodes are created
-        //    parent-first, so xs[parent] always exists).
+        //    parent-first, so xs[parent] always exists). The batched
+        //    forward itself (trunk + base head, one fused vectorized
+        //    pass across the whole tree) runs at plan execution time —
+        //    [`verify_many`] — so it can span many sessions.
         let d = self.d_emb();
         let root_x = self.ensure_x().clone();
         let mut xs: Vec<Vec<f32>> = Vec::with_capacity(nodes.len());
@@ -429,18 +583,7 @@ impl DecodeSession for MlpSession<'_> {
             xs.push(x);
         }
 
-        // 3. One batched forward scores every node: the trunk and the
-        //    base head each run a single fused, vectorized pass across
-        //    the whole candidate tree.
-        let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
-        let hs = self.model.trunk_hidden_batch(&x_refs);
-        let h_refs: Vec<&[f32]> = hs.iter().map(Vec::as_slice).collect();
-        let logits = self.model.head_logits_from_hidden_batch(&h_refs, 0);
-
-        node_of
-            .iter()
-            .map(|ids| ids.iter().map(|&id| logits[id].clone()).collect())
-            .collect()
+        VerifyPlan { xs, node_of }
     }
 }
 
@@ -453,6 +596,7 @@ impl DecodeSession for MlpSession<'_> {
 /// The n-gram model only inspects the last `order − 1` tokens, so the
 /// session state is the token ring plus the memoized count-lookup
 /// distribution of the current position (invalidated on append/rollback).
+#[derive(Clone)]
 pub struct NgramSession<'a> {
     model: &'a NgramLm,
     tokens: Vec<TokenId>,
@@ -506,6 +650,10 @@ impl DecodeSession for NgramSession<'_> {
 
     fn multi_logits(&mut self) -> Vec<Vec<f32>> {
         vec![self.logits()]
+    }
+
+    fn fork(&self) -> Option<Box<dyn DecodeSession + '_>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -607,6 +755,85 @@ mod tests {
 
             assert_eq!(a, b, "shim and batched session must agree exactly");
         }
+    }
+
+    #[test]
+    fn verify_many_fuses_sessions_bit_identically() {
+        // Three sessions at different contexts, different candidate
+        // trees, mixed bonus settings: the fused cross-session pass
+        // must reproduce each session's own verify_batch exactly.
+        let model = tiny_mlp();
+        let contexts: [&[TokenId]; 3] = [&[1, 2, 3], &[4, 5], &[9]];
+        let trees: [Vec<Vec<TokenId>>; 3] = [
+            vec![vec![1, 2], vec![1, 3]],
+            vec![vec![7]],
+            vec![vec![2, 2, 2], vec![3], vec![2, 4]],
+        ];
+        let bonus = [true, false, true];
+        let mut plans = Vec::new();
+        for ((ctx, tree), &b) in contexts.iter().zip(&trees).zip(&bonus) {
+            let mut s = model.session();
+            s.append(ctx);
+            let refs: Vec<&[TokenId]> = tree.iter().map(Vec::as_slice).collect();
+            plans.push(s.verify_plan(&refs, b).expect("mlp sessions fuse"));
+        }
+        let fused = verify_many(&model, &plans);
+        for (i, ((ctx, tree), &b)) in contexts.iter().zip(&trees).zip(&bonus).enumerate() {
+            let mut s = model.session();
+            s.append(ctx);
+            let refs: Vec<&[TokenId]> = tree.iter().map(Vec::as_slice).collect();
+            let own = s.verify_batch(&refs, b);
+            assert_eq!(fused[i], own, "session {i} diverged under fusion");
+        }
+        assert!(verify_many(&model, &[]).is_empty());
+    }
+
+    #[test]
+    fn multi_logits_many_matches_per_session_calls() {
+        let model = tiny_mlp();
+        let contexts: [&[TokenId]; 3] = [&[1, 2, 3, 4, 5], &[2], &[7, 7]];
+        let mut xs = Vec::new();
+        for ctx in &contexts {
+            let mut s = model.session();
+            s.append(ctx);
+            xs.push(s.embed_plan().expect("mlp sessions expose x"));
+        }
+        let fused = multi_logits_many(&model, &xs);
+        for (i, ctx) in contexts.iter().enumerate() {
+            let mut s = model.session();
+            s.append(ctx);
+            assert_eq!(fused[i], s.multi_logits(), "position {i} diverged");
+        }
+        assert!(multi_logits_many(&model, &[]).is_empty());
+    }
+
+    #[test]
+    fn forked_sessions_diverge_independently() {
+        let model = tiny_mlp();
+        let mut prefix = model.session();
+        prefix.append(&[1, 2, 3]);
+        let mut a = prefix.fork().expect("mlp fork");
+        let mut b = prefix.fork().expect("mlp fork");
+        a.append(&[4]);
+        b.append(&[5, 6]);
+        assert_eq!(a.logits(), model.logits(&[1, 2, 3, 4]));
+        assert_eq!(b.logits(), model.logits(&[1, 2, 3, 5, 6]));
+        // The parent is untouched.
+        assert_eq!(prefix.tokens(), &[1, 2, 3]);
+
+        // Ngram and stateless sessions fork too.
+        let ng = trained_ngram();
+        let mut s = ng.session();
+        s.append(&[5, 6]);
+        let mut f = s.fork().expect("ngram fork");
+        f.append(&[7]);
+        assert_eq!(f.logits(), LanguageModel::logits(&ng, &[5, 6, 7]));
+        let shim = Stateless(&model);
+        let mut ss = shim.session();
+        ss.append(&[2, 4]);
+        let mut sf = ss.fork().expect("stateless fork");
+        sf.append(&[6]);
+        assert_eq!(sf.logits(), model.logits(&[2, 4, 6]));
     }
 
     #[test]

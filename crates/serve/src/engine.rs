@@ -1,0 +1,571 @@
+//! The continuous-batching serving engine: a pool of
+//! [`verispec_lm::DecodeSession`]-backed [`Stepper`]s advanced by a
+//! tick loop that fuses the model work of concurrent requests.
+//!
+//! Each tick:
+//!
+//! 1. **admission** — queued requests whose arrival tick has passed
+//!    fill free session slots (up to `max_active`); if none is free
+//!    and a request has waited past `preempt_wait`, the most-advanced
+//!    active request is *preempted*: its stepper is parked (sessions
+//!    released — legal between steps because speculation has been
+//!    rolled back, so the stepper holds exactly its committed context)
+//!    and re-queued, and the starved request takes its slot.
+//! 2. **selection** — the [`Scheduler`] picks up to `max_batch` active
+//!    requests (round-robin / shortest-first / seeded order, with an
+//!    aging guard bounding every request's service gap — see
+//!    [`Scheduler::starvation_bound`]).
+//! 3. **fused propose** — the MEDUSA-style members of the batch expose
+//!    their current-position embeddings and get their multi-head
+//!    logits from **one** [`verispec_lm::multi_logits_many`] pass.
+//! 4. **fused verify** — every member's candidate paths become a
+//!    [`verispec_lm::VerifyPlan`]; all plans execute in **one**
+//!    [`verispec_lm::verify_many`] pass (per-request `verify_batch`
+//!    is the fallback for non-fusable sessions).
+//! 5. **commit** — each stepper applies acceptance/rollback locally.
+//!
+//! Because the batched kernels are bit-identical to the single-vector
+//! paths for every input regardless of batch composition, each
+//! request's token stream equals the serial single-session engine's —
+//! the property `tests/proptest_serve.rs` pins.
+
+use crate::request::{Completion, EngineChoice, Request};
+use crate::scheduler::{ActiveView, Scheduler, TickOrder};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use verispec_core::{Phase, Stepper};
+use verispec_lm::{
+    multi_logits_many, verify_many, DecodeSession, GpuCostModel, LanguageModel, MlpLm, VerifyPlan,
+};
+
+/// Serving-engine knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Session-pool size: maximum concurrently active requests.
+    pub max_active: usize,
+    /// Maximum requests stepped (and fused) per tick.
+    pub max_batch: usize,
+    /// Selection order within a tick.
+    pub order: TickOrder,
+    /// Queue-wait ticks after which an arrived request may preempt the
+    /// most-advanced active request; `None` disables preemption.
+    pub preempt_wait: Option<u64>,
+    /// Fuse propose/verify model work across the batch (needs a fused
+    /// model handle, see [`ServeEngine::new`]); `false` forces
+    /// per-session execution — same outputs, used for A/B testing.
+    pub fuse: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_active: 8,
+            max_batch: 8,
+            order: TickOrder::RoundRobin,
+            preempt_wait: None,
+            fuse: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config serving up to `n` requests concurrently (pool and batch
+    /// both `n`).
+    pub fn concurrency(n: usize) -> Self {
+        ServeConfig {
+            max_active: n.max(1),
+            max_batch: n.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Aggregate counters of one serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+    /// Positions whose multi-head logits came from fused cross-request
+    /// passes.
+    pub fused_propose_positions: usize,
+    /// Candidate-tree nodes scored through fused [`verify_many`] calls.
+    pub fused_verify_nodes: usize,
+    /// Fused [`verify_many`] calls (one per tick with fusable work).
+    pub fused_verify_calls: usize,
+    /// Per-session `verify_batch`/`logits` fallback verifications.
+    pub local_verify_calls: usize,
+    /// Preemptions performed.
+    pub preemptions: usize,
+    /// Largest active-set size observed.
+    pub peak_active: usize,
+    /// Total tokens committed across all completed requests.
+    pub served_tokens: usize,
+}
+
+/// The result of a serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// All finished requests, sorted by id.
+    pub completions: Vec<Completion>,
+    /// Aggregate counters.
+    pub stats: ServeStats,
+}
+
+impl ServeReport {
+    /// The completion of request `id`, if it finished.
+    pub fn completion(&self, id: u64) -> Option<&Completion> {
+        self.completions.iter().find(|c| c.id == id)
+    }
+
+    /// Total generated tokens across all completions.
+    pub fn total_tokens(&self) -> usize {
+        self.completions.iter().map(|c| c.output.tokens.len()).sum()
+    }
+}
+
+/// One admitted request.
+struct Active<'m> {
+    id: u64,
+    stepper: Stepper<'m>,
+    submitted: u64,
+    admitted: u64,
+    last_step: u64,
+    max_gap: u64,
+    preemptions: u32,
+}
+
+/// One queued (not yet active) request.
+enum QueueEntry<'m> {
+    /// Awaiting first admission, optionally with a forked, pre-ingested
+    /// prompt-prefix session.
+    Fresh {
+        req: Request,
+        session: Option<Box<dyn DecodeSession + 'm>>,
+    },
+    /// Preempted mid-generation; resumes by unparking (boxed: a parked
+    /// request carries its whole stepper state).
+    Parked(Box<Active<'m>>),
+}
+
+/// The serving engine; see the module docs for the tick anatomy.
+pub struct ServeEngine<'m> {
+    target: &'m dyn LanguageModel,
+    /// Concrete model handle for fused cross-request execution; `None`
+    /// serves correctly but without fusion.
+    fused: Option<&'m MlpLm>,
+    draft: Option<&'m dyn LanguageModel>,
+    cfg: ServeConfig,
+    scheduler: Scheduler,
+    queue: Vec<QueueEntry<'m>>,
+    active: Vec<Active<'m>>,
+    completions: Vec<Completion>,
+    tick: u64,
+    stats: ServeStats,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// An engine over a fusable model: cross-request propose/verify
+    /// fusion is enabled (unless `cfg.fuse` is off).
+    pub fn new(model: &'m MlpLm, cfg: ServeConfig) -> Self {
+        let fused = cfg.fuse.then_some(model);
+        Self::build(model, fused, cfg)
+    }
+
+    /// An engine over any [`LanguageModel`]: correct but unfused (every
+    /// session verifies its own work) — the A/B baseline and the path
+    /// for models without a fusable session representation.
+    pub fn new_unfused(model: &'m dyn LanguageModel, cfg: ServeConfig) -> Self {
+        Self::build(model, None, cfg)
+    }
+
+    fn build(target: &'m dyn LanguageModel, fused: Option<&'m MlpLm>, cfg: ServeConfig) -> Self {
+        let scheduler = Scheduler::new(cfg.order, cfg.max_active, cfg.max_batch);
+        ServeEngine {
+            target,
+            fused,
+            draft: None,
+            cfg,
+            scheduler,
+            queue: Vec::new(),
+            active: Vec::new(),
+            completions: Vec::new(),
+            tick: 0,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Attaches the draft model [`EngineChoice::DraftVerify`] requests
+    /// verify against.
+    pub fn with_draft(mut self, draft: &'m dyn LanguageModel) -> Self {
+        self.draft = Some(draft);
+        self
+    }
+
+    /// Enqueues a request.
+    pub fn submit(&mut self, req: Request) {
+        self.queue.push(QueueEntry::Fresh { req, session: None });
+    }
+
+    /// Enqueues a request whose prompt prefix is already ingested in
+    /// `session` (typically a [`DecodeSession::fork`] of one shared
+    /// prefix session); only the prompt remainder is appended at
+    /// admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's context is not a prefix of `req.prompt`.
+    pub fn submit_with_session(&mut self, req: Request, session: Box<dyn DecodeSession + 'm>) {
+        assert!(
+            req.prompt.starts_with(session.tokens()),
+            "prefix session context must be a prefix of the request prompt"
+        );
+        self.queue.push(QueueEntry::Fresh {
+            req,
+            session: Some(session),
+        });
+    }
+
+    /// Requests not yet completed (queued + active).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + self.active.len()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    fn make_stepper(
+        &self,
+        req: &Request,
+        session: Option<Box<dyn DecodeSession + 'm>>,
+    ) -> Stepper<'m> {
+        let session = session.unwrap_or_else(|| self.target.session());
+        let ingested = session.tokens().len();
+        debug_assert!(req.prompt.starts_with(session.tokens()));
+        let rest = &req.prompt[ingested..];
+        match &req.engine {
+            EngineChoice::Ntp => Stepper::ntp_from_session(
+                self.target,
+                session,
+                rest,
+                req.engine.decode_config(&req.cfg),
+            ),
+            EngineChoice::DraftVerify { .. } => {
+                let draft = self
+                    .draft
+                    .expect("DraftVerify requests need ServeEngine::with_draft");
+                let dcfg = req
+                    .engine
+                    .draft_config(&req.cfg)
+                    .expect("draft engine resolves a draft config");
+                Stepper::draft_verify_from_session(self.target, draft, session, rest, dcfg)
+            }
+            _ => Stepper::speculative_from_session(
+                self.target,
+                session,
+                rest,
+                req.engine.decode_config(&req.cfg),
+            ),
+        }
+    }
+
+    fn admit(&mut self, entry: QueueEntry<'m>) {
+        match entry {
+            QueueEntry::Fresh { req, session } => {
+                let stepper = self.make_stepper(&req, session);
+                self.active.push(Active {
+                    id: req.id,
+                    stepper,
+                    submitted: req.arrival,
+                    admitted: self.tick,
+                    last_step: self.tick,
+                    max_gap: 0,
+                    preemptions: 0,
+                });
+            }
+            QueueEntry::Parked(mut a) => {
+                a.stepper.unpark();
+                a.last_step = self.tick;
+                self.active.push(*a);
+            }
+        }
+    }
+
+    fn entry_ready(&self, entry: &QueueEntry<'m>) -> bool {
+        match entry {
+            QueueEntry::Fresh { req, .. } => req.arrival <= self.tick,
+            QueueEntry::Parked(_) => true,
+        }
+    }
+
+    fn admit_ready(&mut self) {
+        while self.active.len() < self.cfg.max_active {
+            let Some(pos) = (0..self.queue.len()).find(|&i| self.entry_ready(&self.queue[i]))
+            else {
+                break;
+            };
+            let entry = self.queue.remove(pos);
+            self.admit(entry);
+        }
+    }
+
+    /// Rollback-aware preemption: when an arrived request has waited
+    /// past `preempt_wait` with the pool full, the most-advanced active
+    /// request (never one already preempted — bounds ping-pong) is
+    /// parked to the queue and the starved request takes its slot.
+    fn maybe_preempt(&mut self) {
+        let Some(wait) = self.cfg.preempt_wait else {
+            return;
+        };
+        if self.active.len() < self.cfg.max_active {
+            return;
+        }
+        let starved = (0..self.queue.len()).find(|&i| match &self.queue[i] {
+            QueueEntry::Fresh { req, .. } => {
+                req.arrival <= self.tick && self.tick - req.arrival >= wait
+            }
+            QueueEntry::Parked(_) => false,
+        });
+        let Some(pos) = starved else {
+            return;
+        };
+        let victim = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.preemptions == 0)
+            .max_by_key(|(_, a)| (a.stepper.generated(), a.id))
+            .map(|(i, _)| i);
+        let Some(v) = victim else {
+            return;
+        };
+        let mut parked = self.active.swap_remove(v);
+        parked.stepper.park();
+        parked.preemptions += 1;
+        self.stats.preemptions += 1;
+        self.queue.push(QueueEntry::Parked(Box::new(parked)));
+        let entry = self.queue.remove(pos);
+        self.admit(entry);
+    }
+
+    fn finish(&mut self, a: Active<'m>) {
+        self.stats.served_tokens += a.stepper.generated();
+        let draft_stats = a.stepper.draft_stats();
+        self.completions.push(Completion {
+            id: a.id,
+            output: a.stepper.into_output(),
+            draft_stats,
+            submitted: a.submitted,
+            admitted: a.admitted,
+            finished: self.tick,
+            max_service_gap: a.max_gap,
+            preemptions: a.preemptions,
+        });
+    }
+
+    /// Runs one scheduler tick; returns `false` once no work remains.
+    pub fn tick(&mut self, cost: &GpuCostModel) -> bool {
+        if self.queue.is_empty() && self.active.is_empty() {
+            return false;
+        }
+        self.tick += 1;
+        self.stats.ticks += 1;
+        self.admit_ready();
+        self.maybe_preempt();
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+
+        let views: Vec<ActiveView> = self
+            .active
+            .iter()
+            .map(|a| ActiveView {
+                id: a.id,
+                last_step: a.last_step,
+                admitted: a.admitted,
+                generated: a.stepper.generated(),
+            })
+            .collect();
+        let selected = self.scheduler.select(&views, self.tick, self.cfg.max_batch);
+        for &i in &selected {
+            let a = &mut self.active[i];
+            a.max_gap = a.max_gap.max(self.tick - a.last_step);
+            a.last_step = self.tick;
+        }
+
+        // Fused propose: one batched trunk + per-head pass serves every
+        // MEDUSA-style member of the batch. Below the batched kernel's
+        // lane width the padded lanes + per-head transposes cost more
+        // than the per-session cached path saves (measured in
+        // BENCH_serve.json), so propose fusion waits for a full lane;
+        // verify fusion has no such floor because the serial path runs
+        // the same batched kernel anyway.
+        const MIN_FUSED_PROPOSE: usize = 8;
+        let mut pre: HashMap<usize, Vec<Vec<f32>>> = HashMap::new();
+        if let Some(model) = self.fused {
+            // Count candidates before gathering, so small batches never
+            // pay the embedding clones just to throw them away.
+            let candidates = selected
+                .iter()
+                .filter(|&&i| self.active[i].stepper.wants_multi_logits())
+                .count();
+            if candidates >= MIN_FUSED_PROPOSE {
+                let mut idxs = Vec::with_capacity(candidates);
+                let mut xs: Vec<Vec<f32>> = Vec::with_capacity(candidates);
+                for &i in &selected {
+                    let st = &mut self.active[i].stepper;
+                    if st.wants_multi_logits() {
+                        if let Some(x) = st.embed_plan() {
+                            idxs.push(i);
+                            xs.push(x);
+                        }
+                    }
+                }
+                self.stats.fused_propose_positions += xs.len();
+                for (i, logits) in idxs.into_iter().zip(multi_logits_many(model, &xs)) {
+                    pre.insert(i, logits);
+                }
+            }
+        }
+        let mut phases: Vec<(usize, Phase)> = Vec::with_capacity(selected.len());
+        for &i in &selected {
+            let logits = pre.remove(&i);
+            let phase = self.active[i].stepper.propose(logits);
+            phases.push((i, phase));
+        }
+
+        // Fused verify: every member's candidate tree in one pass.
+        let mut scored: HashMap<usize, Vec<Vec<Vec<f32>>>> = HashMap::new();
+        let mut plan_idx: Vec<usize> = Vec::new();
+        let mut plans: Vec<VerifyPlan> = Vec::new();
+        for &(i, phase) in &phases {
+            if matches!(phase, Phase::Verify { .. }) {
+                let st = &mut self.active[i].stepper;
+                match self.fused.and_then(|_| st.verify_plan()) {
+                    Some(plan) => {
+                        plan_idx.push(i);
+                        plans.push(plan);
+                    }
+                    None => {
+                        self.stats.local_verify_calls += 1;
+                        scored.insert(i, st.verify_local());
+                    }
+                }
+            }
+        }
+        if !plans.is_empty() {
+            self.stats.fused_verify_calls += 1;
+            self.stats.fused_verify_nodes += plans.iter().map(VerifyPlan::n_nodes).sum::<usize>();
+            let model = self.fused.expect("plans only exist with a fused model");
+            for (i, result) in plan_idx.into_iter().zip(verify_many(model, &plans)) {
+                scored.insert(i, result);
+            }
+        }
+
+        // Commit: acceptance, rollback, clock — all request-local.
+        for (i, phase) in phases {
+            match phase {
+                Phase::Done => {}
+                Phase::Commit => self.active[i].stepper.commit(Vec::new(), cost),
+                Phase::Verify { .. } => {
+                    let s = scored.remove(&i).expect("scored in verify phase");
+                    self.active[i].stepper.commit(s, cost);
+                }
+            }
+        }
+
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].stepper.done() {
+                let a = self.active.swap_remove(i);
+                self.finish(a);
+            } else {
+                i += 1;
+            }
+        }
+        !(self.queue.is_empty() && self.active.is_empty())
+    }
+
+    /// Drives the tick loop until every submitted request completes.
+    pub fn run(mut self, cost: &GpuCostModel) -> ServeReport {
+        while self.tick(cost) {}
+        self.completions.sort_by_key(|c| c.id);
+        ServeReport {
+            completions: self.completions,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Serves `requests` to completion on one engine (single worker).
+pub fn serve_all(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    cost: &GpuCostModel,
+) -> ServeReport {
+    let mut engine = ServeEngine::new(model, cfg.clone());
+    if let Some(d) = draft {
+        engine = engine.with_draft(d);
+    }
+    for req in requests {
+        engine.submit(req);
+    }
+    engine.run(cost)
+}
+
+/// The multi-core variant: requests are sharded round-robin across
+/// `workers` engines running in a `std::thread::scope` pool over the
+/// same shared model. Per-request outputs are identical to
+/// [`serve_all`] — each request is processed by exactly one
+/// deterministic engine. Merged stats sum the counters; `ticks` and
+/// `peak_active` take the per-worker maximum.
+pub fn serve_all_threaded(
+    model: &MlpLm,
+    draft: Option<&(dyn LanguageModel + Sync)>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    cost: &GpuCostModel,
+    workers: usize,
+) -> ServeReport {
+    let workers = workers.max(1);
+    let mut shards: Vec<Vec<Request>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, req) in requests.into_iter().enumerate() {
+        shards[i % workers].push(req);
+    }
+    let reports: Vec<ServeReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                s.spawn(move || {
+                    serve_all(
+                        model,
+                        draft.map(|d| d as &dyn LanguageModel),
+                        shard,
+                        cfg,
+                        cost,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    let mut completions = Vec::new();
+    let mut stats = ServeStats::default();
+    for r in reports {
+        completions.extend(r.completions);
+        stats.ticks = stats.ticks.max(r.stats.ticks);
+        stats.peak_active = stats.peak_active.max(r.stats.peak_active);
+        stats.fused_propose_positions += r.stats.fused_propose_positions;
+        stats.fused_verify_nodes += r.stats.fused_verify_nodes;
+        stats.fused_verify_calls += r.stats.fused_verify_calls;
+        stats.local_verify_calls += r.stats.local_verify_calls;
+        stats.preemptions += r.stats.preemptions;
+        stats.served_tokens += r.stats.served_tokens;
+    }
+    completions.sort_by_key(|c| c.id);
+    ServeReport { completions, stats }
+}

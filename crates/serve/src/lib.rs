@@ -1,0 +1,383 @@
+//! `verispec-serve`: continuous-batching multi-request serving over
+//! [`verispec_lm::DecodeSession`].
+//!
+//! # Serving architecture
+//!
+//! The single-request engines in `verispec-core` drive one session per
+//! generation. Under realistic serving load, that leaves the model
+//! kernels starved: every request pays its own small trunk/head matmul
+//! per decoding step, and speculative-decoding speedups measured on a
+//! single stream can evaporate once requests compete (the
+//! "Performance or Illusion?" concern). This crate adds the request
+//! level:
+//!
+//! ```text
+//!   submit(Request)            ServeEngine                   model
+//!   ───────────────►  queue ─► admission ─► active pool
+//!                                (arrival,    one Stepper
+//!                                 preempt)    per request
+//!                              ┌───────────────────────────┐
+//!                       tick:  │ Scheduler.select ≤ batch  │
+//!                              │ fused propose  ───────────┼─► multi_logits_many
+//!                              │ fused verify   ───────────┼─► verify_many
+//!                              │ per-request commit        │   (one matvec_batch
+//!                              └───────────────────────────┘    pass each, row-
+//!                                     │ done                    sharded across
+//!                                     ▼                         threads when big)
+//!                               Completion{output, stats}
+//! ```
+//!
+//! * **[`Request`]** — prompt, per-request engine choice
+//!   ([`EngineChoice`]: NTP / MEDUSA chain / tree / syntax-aligned /
+//!   draft-verify), decode budgets, arrival tick.
+//! * **[`Scheduler`]** — selects each tick's batch under a fairness
+//!   policy ([`TickOrder`]), with an aging guard that bounds every
+//!   request's service gap by its forcing threshold plus a few
+//!   rotations (no starvation under *any* order), and
+//!   rollback-aware preemption: between steps a stepper holds exactly
+//!   its committed context (speculation already rolled back), so a
+//!   victim's sessions can be dropped and later rebuilt by replaying
+//!   `prompt + generated` — an exact reconstruction.
+//! * **[`ServeEngine`]** — the tick loop. The batch's propose phase
+//!   (multi-head logits) and verify phase (candidate-tree scoring) are
+//!   fused across requests into single
+//!   [`verispec_lm::multi_logits_many`] / [`verispec_lm::verify_many`]
+//!   passes over the shared model, so concurrent generations share
+//!   trunk/head matmuls instead of issuing one small batch each.
+//! * **[`serve_all`] / [`serve_all_threaded`]** — synchronous drivers;
+//!   the threaded variant shards requests across a
+//!   `std::thread::scope` worker pool of engines over the same model.
+//!
+//! # The invariant
+//!
+//! Serving is a **performance mechanism, never a semantic one**: every
+//! request's token stream is bit-identical to running the serial
+//! single-session engine (`decode_ntp` / `decode_speculative` /
+//! `decode_draft_speculative`) on it alone — for greedy decoding and
+//! seeded sampling alike, under any scheduler order, batch size,
+//! preemption pattern, or fusion setting. Three layers guarantee it:
+//! the steppers are the *same code* the serial engines run; the fused
+//! kernels are bit-identical per input regardless of batch
+//! composition; and each request owns its sampler and sessions, so
+//! scheduling cannot perturb its randomness. `tests/proptest_serve.rs`
+//! pins the property over random request mixes, engines, seeds, and
+//! tick orders, along with the no-starvation bound.
+//!
+//! # Example
+//!
+//! ```
+//! use verispec_core::DecodeConfig;
+//! use verispec_lm::{GpuCostModel, MlpLm, MlpLmConfig};
+//! use verispec_serve::{serve_all, EngineChoice, Request, ServeConfig};
+//!
+//! let model = MlpLm::new(MlpLmConfig::tiny(16));
+//! let cfg = DecodeConfig { max_tokens: 8, ..Default::default() };
+//! let requests = vec![
+//!     Request::new(0, vec![1, 2], EngineChoice::MedusaChain, cfg.clone()),
+//!     Request::new(1, vec![3], EngineChoice::Ntp, cfg),
+//! ];
+//! let report = serve_all(
+//!     &model,
+//!     None,
+//!     requests,
+//!     &ServeConfig::concurrency(2),
+//!     &GpuCostModel::codellama_like(),
+//! );
+//! assert_eq!(report.completions.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod request;
+pub mod scheduler;
+
+pub use engine::{
+    serve_all, serve_all_threaded, ServeConfig, ServeEngine, ServeReport, ServeStats,
+};
+pub use request::{Completion, EngineChoice, Request};
+pub use scheduler::{ActiveView, Scheduler, TickOrder};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verispec_core::{decode_draft_speculative, decode_ntp, decode_speculative, DecodeConfig};
+    use verispec_lm::{
+        GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, Sampling, TokenId,
+    };
+
+    fn model() -> MlpLm {
+        MlpLm::new(MlpLmConfig {
+            vocab: 14,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 4,
+            n_heads: 3,
+            seed: 33,
+        })
+    }
+
+    fn draft() -> NgramLm {
+        let mut lm = NgramLm::new(3, 14);
+        let seq: Vec<TokenId> = (0..200).map(|i| 6 + (i % 3) as TokenId).collect();
+        lm.train_sequence(&seq);
+        lm
+    }
+
+    fn mixed_requests(max_tokens: usize) -> Vec<Request> {
+        let engines = [
+            EngineChoice::Ntp,
+            EngineChoice::MedusaChain,
+            EngineChoice::MedusaTree(vec![2, 2]),
+            EngineChoice::SyntaxAligned { tree: None },
+            EngineChoice::SyntaxAligned {
+                tree: Some(vec![2]),
+            },
+            EngineChoice::DraftVerify { gamma: 3 },
+        ];
+        engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| {
+                let cfg = DecodeConfig {
+                    max_tokens,
+                    sampling: if i % 2 == 0 {
+                        Sampling::Greedy
+                    } else {
+                        Sampling::temperature(0.7)
+                    },
+                    seed: i as u64 * 31 + 5,
+                    ..Default::default()
+                };
+                Request::new(i as u64, vec![1 + i as TokenId, 2, 3], engine, cfg)
+            })
+            .collect()
+    }
+
+    fn serial_output(m: &MlpLm, d: &NgramLm, req: &Request, cost: &GpuCostModel) -> Vec<TokenId> {
+        match &req.engine {
+            EngineChoice::Ntp => {
+                decode_ntp(m, &req.prompt, &req.engine.decode_config(&req.cfg), cost).tokens
+            }
+            EngineChoice::DraftVerify { .. } => {
+                let dcfg = req.engine.draft_config(&req.cfg).expect("draft cfg");
+                decode_draft_speculative(m, d, &req.prompt, &dcfg, cost)
+                    .0
+                    .tokens
+            }
+            _ => {
+                decode_speculative(m, &req.prompt, &req.engine.decode_config(&req.cfg), cost).tokens
+            }
+        }
+    }
+
+    #[test]
+    fn served_outputs_match_serial_engines_exactly() {
+        let m = model();
+        let d = draft();
+        let cost = GpuCostModel::codellama_like();
+        let requests = mixed_requests(14);
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| serial_output(&m, &d, r, &cost))
+            .collect();
+        for concurrency in [1usize, 3, 6] {
+            let report = serve_all(
+                &m,
+                Some(&d),
+                requests.clone(),
+                &ServeConfig::concurrency(concurrency),
+                &cost,
+            );
+            assert_eq!(report.completions.len(), requests.len());
+            for (c, want) in report.completions.iter().zip(&expected) {
+                assert_eq!(
+                    &c.output.tokens, want,
+                    "request {} diverged at concurrency {concurrency}",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfused_engine_produces_identical_outputs() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let mut requests = mixed_requests(10);
+        requests.retain(|r| !matches!(r.engine, EngineChoice::DraftVerify { .. }));
+        let fused = serve_all(
+            &m,
+            None,
+            requests.clone(),
+            &ServeConfig::concurrency(4),
+            &cost,
+        );
+        let mut engine = ServeEngine::new_unfused(&m, ServeConfig::concurrency(4));
+        for r in requests {
+            engine.submit(r);
+        }
+        let unfused = engine.run(&cost);
+        for (a, b) in fused.completions.iter().zip(&unfused.completions) {
+            assert_eq!(a.output.tokens, b.output.tokens);
+        }
+        assert!(fused.stats.fused_verify_calls > 0, "fusion actually ran");
+        assert_eq!(unfused.stats.fused_verify_calls, 0);
+        assert!(unfused.stats.local_verify_calls > 0);
+    }
+
+    #[test]
+    fn preemption_parks_and_resumes_without_changing_outputs() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        // Two long early requests fill the pool; a later arrival must
+        // preempt one of them. NTP with an unreachable EOS id commits
+        // exactly one token per tick, so the long runs provably outlast
+        // the preemption deadline.
+        let mk = |id: u64, arrival: u64, max_tokens: usize, engine: EngineChoice| Request {
+            arrival,
+            ..Request::new(
+                id,
+                vec![1 + id as TokenId, 2],
+                engine,
+                DecodeConfig {
+                    max_tokens,
+                    seed: id,
+                    eos: 999,
+                    ..Default::default()
+                },
+            )
+        };
+        let requests = vec![
+            mk(0, 0, 30, EngineChoice::Ntp),
+            mk(1, 0, 30, EngineChoice::Ntp),
+            mk(2, 3, 6, EngineChoice::MedusaChain),
+        ];
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| match &r.engine {
+                EngineChoice::Ntp => {
+                    decode_ntp(&m, &r.prompt, &r.engine.decode_config(&r.cfg), &cost).tokens
+                }
+                _ => {
+                    decode_speculative(&m, &r.prompt, &r.engine.decode_config(&r.cfg), &cost).tokens
+                }
+            })
+            .collect();
+        let cfg = ServeConfig {
+            max_active: 2,
+            max_batch: 2,
+            preempt_wait: Some(2),
+            ..Default::default()
+        };
+        let report = serve_all(&m, None, requests, &cfg, &cost);
+        assert!(report.stats.preemptions > 0, "preemption must trigger");
+        for (c, want) in report.completions.iter().zip(&expected) {
+            assert_eq!(&c.output.tokens, want, "request {} diverged", c.id);
+        }
+        // The preempted request records its round trip.
+        assert!(report.completions.iter().any(|c| c.preemptions > 0));
+    }
+
+    #[test]
+    fn prefix_forked_sessions_serve_identically() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let shared: Vec<TokenId> = vec![1, 2, 3];
+        let mut prefix_session = m.session();
+        prefix_session.append(&shared);
+        let mut engine = ServeEngine::new(&m, ServeConfig::concurrency(3));
+        let mut expected = Vec::new();
+        for i in 0..3u64 {
+            let mut prompt = shared.clone();
+            prompt.push(4 + i as TokenId);
+            let req = Request::new(
+                i,
+                prompt,
+                EngineChoice::SyntaxAligned { tree: None },
+                DecodeConfig {
+                    max_tokens: 10,
+                    seed: i,
+                    ..Default::default()
+                },
+            );
+            expected.push(
+                decode_speculative(&m, &req.prompt, &req.engine.decode_config(&req.cfg), &cost)
+                    .tokens,
+            );
+            let fork = prefix_session.fork().expect("mlp sessions fork");
+            engine.submit_with_session(req, fork);
+        }
+        let report = engine.run(&cost);
+        for (c, want) in report.completions.iter().zip(&expected) {
+            assert_eq!(&c.output.tokens, want, "prefix-forked request diverged");
+        }
+    }
+
+    #[test]
+    fn threaded_worker_pool_matches_single_engine() {
+        let m = model();
+        let d = draft();
+        let cost = GpuCostModel::codellama_like();
+        let requests = mixed_requests(12);
+        let single = serve_all(
+            &m,
+            Some(&d),
+            requests.clone(),
+            &ServeConfig::concurrency(6),
+            &cost,
+        );
+        let pooled = serve_all_threaded(
+            &m,
+            Some(&d as &(dyn LanguageModel + Sync)),
+            requests,
+            &ServeConfig::concurrency(3),
+            &cost,
+            3,
+        );
+        assert_eq!(single.completions.len(), pooled.completions.len());
+        for (a, b) in single.completions.iter().zip(&pooled.completions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.output.tokens, b.output.tokens);
+        }
+    }
+
+    #[test]
+    fn service_gaps_respect_the_aging_bound() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        // Adversarial seeded order, tight batch: aging must still bound
+        // every request's service gap.
+        let requests: Vec<Request> = (0..8u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2],
+                    EngineChoice::MedusaChain,
+                    DecodeConfig {
+                        max_tokens: 12,
+                        seed: i,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let cfg = ServeConfig {
+            max_active: 8,
+            max_batch: 2,
+            order: TickOrder::Seeded(0xFEED),
+            ..Default::default()
+        };
+        let bound = Scheduler::new(cfg.order, cfg.max_active, cfg.max_batch).starvation_bound();
+        let report = serve_all(&m, None, requests, &cfg, &cost);
+        for c in &report.completions {
+            assert!(
+                c.max_service_gap <= bound + cfg.max_active as u64,
+                "request {} gap {} exceeds bound {}",
+                c.id,
+                c.max_service_gap,
+                bound
+            );
+        }
+    }
+}

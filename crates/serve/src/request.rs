@@ -1,0 +1,142 @@
+//! The request model: what a client submits to the serving engine and
+//! what it gets back.
+
+use serde::{Deserialize, Serialize};
+use verispec_core::{DecodeConfig, DecodeOutput, DraftConfig, DraftStats};
+use verispec_lm::{Sampling, TokenId};
+
+/// Which decoding engine a request runs under. All choices drive the
+/// same target model; the choice controls speculation shape and the
+/// syntax-integrity check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineChoice {
+    /// Conventional next-token prediction (no speculation).
+    Ntp,
+    /// MEDUSA top-1 chain speculation (no tree, no syntax check).
+    MedusaChain,
+    /// MEDUSA tree speculation: entry `i` is head `i+1`'s top-k width.
+    MedusaTree(Vec<usize>),
+    /// The paper's syntax-aligned speculation ("Ours"), chain or tree.
+    SyntaxAligned {
+        /// Optional candidate-tree widths (`None` = top-1 chain).
+        tree: Option<Vec<usize>>,
+    },
+    /// Classical draft-then-verify speculation with a separate draft
+    /// model (the engine must be configured with one).
+    DraftVerify {
+        /// Draft block length γ.
+        gamma: usize,
+    },
+}
+
+impl EngineChoice {
+    /// Human-readable engine name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineChoice::Ntp => "NTP",
+            EngineChoice::MedusaChain => "Medusa-chain",
+            EngineChoice::MedusaTree(_) => "Medusa-tree",
+            EngineChoice::SyntaxAligned { tree: None } => "Ours-chain",
+            EngineChoice::SyntaxAligned { tree: Some(_) } => "Ours-tree",
+            EngineChoice::DraftVerify { .. } => "Draft-verify",
+        }
+    }
+
+    /// Resolves the request's base [`DecodeConfig`] into the engine's
+    /// effective one (tree widths, syntax alignment). The serial
+    /// baseline a served run is compared against must use the same
+    /// resolution.
+    pub fn decode_config(&self, base: &DecodeConfig) -> DecodeConfig {
+        match self {
+            EngineChoice::Ntp | EngineChoice::MedusaChain => DecodeConfig {
+                syntax_aligned: false,
+                tree: None,
+                ..base.clone()
+            },
+            EngineChoice::MedusaTree(widths) => DecodeConfig {
+                syntax_aligned: false,
+                tree: Some(widths.clone()),
+                ..base.clone()
+            },
+            EngineChoice::SyntaxAligned { tree } => DecodeConfig {
+                syntax_aligned: true,
+                tree: tree.clone(),
+                ..base.clone()
+            },
+            EngineChoice::DraftVerify { .. } => base.clone(),
+        }
+    }
+
+    /// The [`DraftConfig`] equivalent of a request's base config, for
+    /// [`EngineChoice::DraftVerify`] requests (greedy maps to
+    /// temperature 1.0 — classical draft-verify always samples).
+    pub fn draft_config(&self, base: &DecodeConfig) -> Option<DraftConfig> {
+        let EngineChoice::DraftVerify { gamma } = self else {
+            return None;
+        };
+        Some(DraftConfig {
+            gamma: *gamma,
+            max_tokens: base.max_tokens,
+            temperature: match base.sampling {
+                Sampling::Temperature { temperature, .. } => temperature,
+                Sampling::Greedy => 1.0,
+            },
+            eos: base.eos,
+            seed: base.seed,
+        })
+    }
+}
+
+/// One generation request submitted to the serving engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen identifier; completions are reported under it.
+    pub id: u64,
+    /// Full prompt token ids (when submitted with a forked prefix
+    /// session, the session's context must be a prefix of this).
+    pub prompt: Vec<TokenId>,
+    /// Decoding engine for this request.
+    pub engine: EngineChoice,
+    /// Budgets, sampling, seed, EOS. Tree/syntax fields are overridden
+    /// by [`EngineChoice::decode_config`].
+    pub cfg: DecodeConfig,
+    /// Tick at which the request becomes visible to admission (0 =
+    /// immediately). Models request arrival in an open-loop workload.
+    pub arrival: u64,
+}
+
+impl Request {
+    /// A request with default arrival (immediately admissible).
+    pub fn new(id: u64, prompt: Vec<TokenId>, engine: EngineChoice, cfg: DecodeConfig) -> Self {
+        Request {
+            id,
+            prompt,
+            engine,
+            cfg,
+            arrival: 0,
+        }
+    }
+}
+
+/// A finished request with scheduling metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request id.
+    pub id: u64,
+    /// The generation result — bit-identical to the serial
+    /// single-session engine's output for the same request.
+    pub output: DecodeOutput,
+    /// Acceptance stats for draft-verify requests.
+    pub draft_stats: Option<DraftStats>,
+    /// Tick at which the request was submitted (arrival tick).
+    pub submitted: u64,
+    /// Tick at which it was first admitted to the active set.
+    pub admitted: u64,
+    /// Tick of its final decoding step.
+    pub finished: u64,
+    /// Largest gap in ticks between consecutive scheduled steps while
+    /// active — the starvation metric the scheduler's aging bounds.
+    pub max_service_gap: u64,
+    /// Times the request was preempted (parked and later resumed).
+    pub preemptions: u32,
+}

@@ -1,0 +1,180 @@
+//! Property tests pinning the serving invariant: for random request
+//! mixes (engines, prompts, budgets, seeds, sampling), random scheduler
+//! configurations (tick order, batch size, pool size, preemption), and
+//! prefix-forked admissions, every served request's output is
+//! **token-for-token identical** to running the serial single-session
+//! engine (`decode_ntp` / `decode_speculative` /
+//! `decode_draft_speculative`) on it alone — and no request starves
+//! (every request completes, with its service gap within the
+//! scheduler's aging bound).
+
+use proptest::prelude::*;
+use verispec_core::{
+    decode_draft_speculative, decode_ntp, decode_speculative, DecodeConfig, DecodeOutput,
+};
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, Sampling, TokenId};
+use verispec_serve::{EngineChoice, Request, Scheduler, ServeConfig, ServeEngine, TickOrder};
+
+fn any_mlp() -> impl Strategy<Value = MlpLm> {
+    (12usize..32, 2usize..8, 2usize..6, 0usize..5, any::<u64>()).prop_map(
+        |(vocab, d_emb, context, n_heads, seed)| {
+            MlpLm::new(MlpLmConfig {
+                vocab,
+                d_emb,
+                d_hidden: 2 * d_emb,
+                context,
+                n_heads,
+                seed,
+            })
+        },
+    )
+}
+
+fn any_engine() -> impl Strategy<Value = EngineChoice> {
+    prop_oneof![
+        Just(EngineChoice::Ntp),
+        Just(EngineChoice::MedusaChain),
+        (1usize..3, 1usize..3).prop_map(|(a, b)| EngineChoice::MedusaTree(vec![a, b])),
+        Just(EngineChoice::SyntaxAligned { tree: None }),
+        (1usize..3).prop_map(|k| EngineChoice::SyntaxAligned {
+            tree: Some(vec![k, k])
+        }),
+        (1usize..4).prop_map(|gamma| EngineChoice::DraftVerify { gamma }),
+    ]
+}
+
+fn any_sampling() -> impl Strategy<Value = Sampling> {
+    prop_oneof![
+        Just(Sampling::Greedy),
+        (0.3f32..1.2).prop_map(Sampling::temperature),
+    ]
+}
+
+fn any_order() -> impl Strategy<Value = TickOrder> {
+    prop_oneof![
+        Just(TickOrder::RoundRobin),
+        Just(TickOrder::ShortestFirst),
+        any::<u64>().prop_map(TickOrder::Seeded),
+    ]
+}
+
+/// Per-request raw material: ((engine, prompt suffix, max_tokens),
+/// (sampling, seed, arrival, share_prefix)).
+type RawRequest = (
+    (EngineChoice, Vec<TokenId>, usize),
+    (Sampling, u64, u64, bool),
+);
+
+fn any_requests() -> impl Strategy<Value = Vec<RawRequest>> {
+    prop::collection::vec(
+        (
+            (
+                any_engine(),
+                prop::collection::vec(4u32..10, 1..4),
+                1usize..20,
+            ),
+            (any_sampling(), any::<u64>(), 0u64..6, any::<bool>()),
+        ),
+        1..7,
+    )
+}
+
+fn serial_reference(
+    model: &MlpLm,
+    draft: &NgramLm,
+    req: &Request,
+    cost: &GpuCostModel,
+) -> DecodeOutput {
+    match &req.engine {
+        EngineChoice::Ntp => decode_ntp(
+            model,
+            &req.prompt,
+            &req.engine.decode_config(&req.cfg),
+            cost,
+        ),
+        EngineChoice::DraftVerify { .. } => {
+            let dcfg = req.engine.draft_config(&req.cfg).expect("draft config");
+            decode_draft_speculative(model, draft, &req.prompt, &dcfg, cost).0
+        }
+        _ => decode_speculative(
+            model,
+            &req.prompt,
+            &req.engine.decode_config(&req.cfg),
+            cost,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Served == serial, token for token, under arbitrary scheduling.
+    #[test]
+    fn served_outputs_equal_serial_and_nobody_starves(
+        model in any_mlp(),
+        draft_seq in prop::collection::vec(4u32..10, 12..60),
+        raw in any_requests(),
+        max_active in 1usize..5,
+        max_batch in 1usize..4,
+        order in any_order(),
+        preempt in prop_oneof![Just(None), (1u64..4).prop_map(Some)],
+        fuse in any::<bool>(),
+    ) {
+        let mut draft = NgramLm::new(2, model.vocab_size());
+        draft.train_sequence(&draft_seq);
+        let cost = GpuCostModel::codellama_like();
+
+        // Requests share a common two-token prompt prefix; some are
+        // submitted with a session forked from one ingested prefix.
+        let shared: Vec<TokenId> = vec![5, 6];
+        let requests: Vec<(Request, bool)> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((engine, suffix, max_tokens), (sampling, seed, arrival, share)))| {
+                let mut prompt = shared.clone();
+                prompt.extend_from_slice(&suffix);
+                let cfg = DecodeConfig { max_tokens, sampling, seed, ..Default::default() };
+                (Request { arrival, ..Request::new(i as u64, prompt, engine, cfg) }, share)
+            })
+            .collect();
+
+        let serve_cfg = ServeConfig {
+            max_active,
+            max_batch,
+            order,
+            preempt_wait: preempt,
+            fuse,
+        };
+        let mut prefix_session = model.session();
+        prefix_session.append(&shared);
+        let mut engine = ServeEngine::new(&model, serve_cfg.clone()).with_draft(&draft);
+        for (req, share) in &requests {
+            if *share {
+                let fork = prefix_session.fork().expect("mlp sessions fork");
+                engine.submit_with_session(req.clone(), fork);
+            } else {
+                engine.submit(req.clone());
+            }
+        }
+        let report = engine.run(&cost);
+
+        // Everyone completes (no starvation, no lost requests).
+        prop_assert_eq!(report.completions.len(), requests.len());
+        let bound = Scheduler::new(order, max_active, max_batch).starvation_bound();
+        for (c, (req, _)) in report.completions.iter().zip(&requests) {
+            let want = serial_reference(&model, &draft, req, &cost);
+            prop_assert_eq!(c.id, req.id);
+            prop_assert_eq!(
+                &c.output.tokens, &want.tokens,
+                "request {} tokens diverged from serial", req.id
+            );
+            prop_assert_eq!(c.output.steps, want.steps, "request {} steps", req.id);
+            prop_assert_eq!(&c.output.trace, &want.trace, "request {} trace", req.id);
+            prop_assert!(
+                c.max_service_gap <= bound + max_active as u64,
+                "request {} service gap {} exceeds aging bound {}",
+                req.id, c.max_service_gap, bound
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`lm`] | `verispec-lm` | MLP LM with Medusa heads, n-gram LM, GPU cost model |
 //! | [`core`] | `verispec-core` | syntax-enriched labels, acceptance, decoding engines |
 //! | [`data`] | `verispec-data` | synthetic corpus with golden models |
+//! | [`serve`] | `verispec-serve` | continuous-batching multi-request serving engine |
 //! | [`sim`] | `verispec-sim` | behavioral simulator + testbench harness |
 //! | [`eval`] | `verispec-eval` | benchmarks, judge, experiment runners |
 //!
@@ -39,6 +40,7 @@ pub use verispec_core as core;
 pub use verispec_data as data;
 pub use verispec_eval as eval;
 pub use verispec_lm as lm;
+pub use verispec_serve as serve;
 pub use verispec_sim as sim;
 pub use verispec_tokenizer as tokenizer;
 pub use verispec_verilog as verilog;
