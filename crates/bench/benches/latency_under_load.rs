@@ -1,0 +1,61 @@
+//! Latency-under-load bench: the serve-aware Table II. An open-loop
+//! Poisson workload (seeded arrivals, mixed short/long prompts, greedy
+//! and sampled) is served through `verispec-serve`'s **streaming
+//! admission** path at three offered-load levels — light, near the NTP
+//! service capacity, and overload — once per method (syntax-aligned
+//! tree speculation, MEDUSA tree, NTP) with identical arrivals,
+//! prompts, budgets, and seeds: equal offered load, only the engine
+//! differs.
+//!
+//! Emits `BENCH_load.json` at the workspace root with exact
+//! p50/p90/p99 queueing delay, TTFT, per-token inter-commit gaps, and
+//! end-to-end latency in scheduler ticks plus measured wall-clock,
+//! alongside session-eviction high-water stats. Every streamed run is
+//! asserted token-for-token and tick-for-tick identical to batch
+//! submission before its numbers are recorded.
+//!
+//! `--test` runs a shrunk workload (CI smoke) but still sweeps all
+//! three load levels and emits the artifact.
+
+use std::path::PathBuf;
+use verispec_eval::{
+    render_load_bench, run_load_bench, ModelScale, Pipeline, PipelineConfig, Scale,
+};
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    // Same pipeline as `decode_speed`/`serve_throughput`, so the
+    // trained-model cache is shared across the bench suite.
+    let pipeline = PipelineConfig {
+        corpus_size: 96,
+        vocab: 420,
+        n_heads: 6,
+        epochs: 1,
+        ..Default::default()
+    };
+    // More requests than the pool (8), so queueing — the thing the
+    // percentiles measure — actually occurs even in the CI smoke.
+    let speed_prompt_count = if test_mode { 12 } else { 48 };
+    // Offered load as a fraction of the NTP service capacity
+    // (`max_batch` tokens/tick): light, near-saturation, overload.
+    // Speculation raises effective capacity by its tokens-per-step
+    // factor, which is exactly the gap the percentiles expose.
+    let utilizations = [0.25, 0.9, 2.0];
+    let scale = Scale {
+        pipeline,
+        speed_prompt_count,
+        ..Scale::quick()
+    };
+    let pipe = Pipeline::build(scale.pipeline);
+    let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &utilizations);
+    print!("{}", render_load_bench(&rows));
+
+    let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_load.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(body) => match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize BENCH_load.json: {e}"),
+    }
+}

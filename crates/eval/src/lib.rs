@@ -12,7 +12,10 @@
 //! * [`pipeline`] — corpus → tokenizer → trained models (with on-disk
 //!   caching) → generation;
 //! * [`experiments`] — Table I, Table II, Fig. 1, Fig. 5, Fig. 6
-//!   runners with quick/full scales.
+//!   runners with quick/full scales;
+//! * [`load`] — the serve-aware Table II: latency percentiles under an
+//!   open-loop arrival process at equal offered load (streaming
+//!   admission, `BENCH_load.json`).
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 pub mod benchmarks;
 pub mod experiments;
 pub mod judge;
+pub mod load;
 pub mod metrics;
 pub mod pipeline;
 
@@ -42,6 +46,10 @@ pub use experiments::{
     Scale, ServeBenchRow, SessionBenchRow, SpeedRow, TraceSummary, TradeoffPoint,
 };
 pub use judge::{judge, Verdict};
+pub use load::{
+    load_families, load_methods, mean_budget, rates_for_utilizations, render_load_bench,
+    run_load_bench,
+};
 pub use metrics::{mean_pass_at_k, pass_at_k, pass_rate, PromptCounts, QualityRow};
 pub use pipeline::{
     generate, generate_stateless, token_budget, Generation, ModelScale, Pipeline, PipelineConfig,

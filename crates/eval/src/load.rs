@@ -1,0 +1,291 @@
+//! The latency-under-load experiment: the paper's Table II re-measured
+//! the way "Speculative Decoding: Performance or Illusion?" demands —
+//! per-request latency percentiles under an **open-loop arrival
+//! process at equal offered load**, speculative vs. NTP, served
+//! through `verispec-serve`'s streaming admission path.
+//!
+//! Each cell serves the *same* workload (same arrival ticks, prompts,
+//! budgets, sampling, seeds — only the engine differs) and reports
+//! exact p50/p90/p99 queueing delay, TTFT, per-token inter-commit
+//! gaps, and end-to-end latency in scheduler ticks plus measured
+//! wall-clock. Every streamed run is asserted bit-identical to batch
+//! submission before its numbers are recorded, so `BENCH_load.json` is
+//! produced under proven output parity — serving and measurement never
+//! change semantics.
+
+use crate::benchmarks::speed_prompts;
+use crate::pipeline::{token_budget, ModelScale, Pipeline, SharedPrefixEncoder};
+use crate::Scale;
+use verispec_core::TrainMethod;
+use verispec_load::{
+    run_open_loop, ArrivalProcess, LoadBenchRow, PromptFamily, RequestMix, Workload,
+};
+use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine};
+
+/// The three methods of the serve-aware Table II (all drive the same
+/// "Ours"-trained model; the engine choice is what Table II compares).
+pub fn load_methods() -> Vec<(&'static str, EngineChoice)> {
+    vec![
+        (
+            "Ours-tree",
+            EngineChoice::SyntaxAligned {
+                tree: Some(vec![2, 2, 1]),
+            },
+        ),
+        ("Medusa-tree", EngineChoice::MedusaTree(vec![3, 2])),
+        ("NTP", EngineChoice::Ntp),
+    ]
+}
+
+/// Builds the workload's prompt families from the speed-prompt set:
+/// prompts are encoded through the shared-prefix encoder, given their
+/// usual per-prompt budgets, and split at the median encoded length
+/// into a "short" and a "long" family (comb-ish vs seq-ish modules),
+/// so the mix draws realistic size diversity.
+pub fn load_families(
+    pipe: &Pipeline,
+    enc: &SharedPrefixEncoder<'_>,
+    count: usize,
+) -> Vec<(PromptFamily, f64)> {
+    let problems = speed_prompts(count.max(2), 0x10AD);
+    let mut encoded: Vec<(Vec<u32>, usize)> = problems
+        .iter()
+        .map(|p| {
+            let prompt = enc.encode(&p.prompt_tagged());
+            let budget = token_budget(&pipe.tokenizer, p, TrainMethod::Ours);
+            (prompt, budget)
+        })
+        .collect();
+    encoded.sort_by_key(|(p, _)| p.len());
+    let long = encoded.split_off(encoded.len() / 2);
+    vec![
+        (
+            PromptFamily {
+                name: "short".into(),
+                prompts: encoded,
+            },
+            1.0,
+        ),
+        (
+            PromptFamily {
+                name: "long".into(),
+                prompts: long,
+            },
+            1.0,
+        ),
+    ]
+}
+
+/// Mean decode budget across the families — the per-request service
+/// demand estimate the offered-load levels are scaled by.
+pub fn mean_budget(families: &[(PromptFamily, f64)]) -> f64 {
+    let budgets: Vec<usize> = families
+        .iter()
+        .flat_map(|(f, _)| f.prompts.iter().map(|(_, b)| *b))
+        .collect();
+    budgets.iter().sum::<usize>() as f64 / budgets.len().max(1) as f64
+}
+
+/// Offered-load levels spanning light traffic to overload: each entry
+/// is a target utilization of the **NTP** service capacity
+/// (`max_batch` tokens per tick — NTP commits exactly one token per
+/// request per tick), converted to requests per tick via the mean
+/// request budget. Speculation raises effective capacity by its
+/// tokens-per-step factor, which is exactly the gap the latency
+/// percentiles expose.
+pub fn rates_for_utilizations(utils: &[f64], max_batch: usize, mean_budget: f64) -> Vec<f64> {
+    utils
+        .iter()
+        .map(|u| (u * max_batch as f64 / mean_budget.max(1.0)).max(1e-4))
+        .collect()
+}
+
+/// Runs the latency-under-load sweep: `utilizations` offered-load
+/// levels × the three methods, all under streaming admission with
+/// prefix-forked sessions and a session cap of twice the pool.
+///
+/// # Panics
+///
+/// Panics if any streamed output diverges from batch submission of the
+/// identical workload — the bit-identity guarantee the bench relies on.
+pub fn run_load_bench(
+    scale: &Scale,
+    pipe: &Pipeline,
+    model_scale: ModelScale,
+    utilizations: &[f64],
+) -> Vec<LoadBenchRow> {
+    let model = pipe.model_for(model_scale, TrainMethod::Ours, (1, 1));
+    let cost = model_scale.cost_model();
+    let enc = SharedPrefixEncoder::new(&pipe.tokenizer);
+    let families = load_families(pipe, &enc, scale.speed_prompt_count.max(2));
+    let concurrency = 8usize;
+    let cfg = ServeConfig {
+        session_cap: Some(2 * concurrency),
+        ..ServeConfig::concurrency(concurrency)
+    };
+    let rates = rates_for_utilizations(utilizations, cfg.max_batch, mean_budget(&families));
+
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        let workload = Workload {
+            process: ArrivalProcess::Poisson { rate },
+            mix: RequestMix {
+                engines: load_methods().into_iter().map(|(_, e)| (e, 1.0)).collect(),
+                families: families.clone(),
+                greedy_fraction: 0.5,
+                temperature: (0.4, 0.9),
+                base: Default::default(),
+            },
+            count: scale.speed_prompt_count.max(2),
+            seed: 0x10AD_5EED,
+        };
+        for (name, engine) in load_methods() {
+            // Equal offered load: identical arrivals/prompts/budgets/
+            // seeds across methods, engine forced.
+            let requests = workload.requests_with_engine(Some(&engine));
+            let run = run_open_loop(
+                &model,
+                None,
+                Some(&enc.preamble_ids),
+                requests.clone(),
+                &cfg,
+                &cost,
+            );
+            assert_streaming_matches_batch(
+                &model,
+                &enc.preamble_ids,
+                &requests,
+                &cfg,
+                &cost,
+                &run,
+                name,
+            );
+            rows.push(LoadBenchRow::new(workload.process.name(), rate, name, &run));
+        }
+    }
+    rows
+}
+
+/// Asserts the streamed run's outputs equal batch submission of the
+/// same workload, token for token and tick for tick.
+#[allow(clippy::too_many_arguments)] // private assertion glue
+fn assert_streaming_matches_batch(
+    model: &verispec_lm::MlpLm,
+    preamble: &[u32],
+    requests: &[Request],
+    cfg: &ServeConfig,
+    cost: &verispec_lm::GpuCostModel,
+    run: &verispec_load::LoadRunReport,
+    method: &str,
+) {
+    use verispec_lm::LanguageModel;
+    let mut prefix = model.session();
+    prefix.append(preamble);
+    let mut engine = ServeEngine::new(model, cfg.clone()).with_prefix(&*prefix);
+    for req in requests {
+        engine.submit(req.clone());
+    }
+    let batch = engine.run(cost);
+    assert_eq!(
+        batch.completions.len(),
+        run.serve.completions.len(),
+        "{method}: streamed run lost requests"
+    );
+    for (a, b) in batch.completions.iter().zip(&run.serve.completions) {
+        assert_eq!(
+            a.output.tokens, b.output.tokens,
+            "{method}: streamed output diverged from batch (request {})",
+            a.id
+        );
+        assert_eq!(
+            a.step_ticks, b.step_ticks,
+            "{method}: streamed schedule diverged from batch (request {})",
+            a.id
+        );
+    }
+}
+
+/// Renders the sweep as the serve-aware Table II.
+pub fn render_load_bench(rows: &[LoadBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Latency under load — serve-aware Table II (streaming admission, equal offered load)\n",
+    );
+    out.push_str(
+        "process  rate    method       reqs  tokens  ticks  tok/tick  \
+         TTFT p50/p90/p99      E2E p50/p90/p99 (ticks)  evict\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<7.4} {:<12} {:>4} {:>7} {:>6} {:>9.2}  \
+             {:>5.0}/{:>5.0}/{:>6.0}  {:>7.0}/{:>7.0}/{:>8.0}  {:>5}\n",
+            r.process,
+            r.offered_rate,
+            r.method,
+            r.requests,
+            r.tokens,
+            r.ticks,
+            r.tokens_per_tick,
+            r.ttft_ticks.p50,
+            r.ttft_ticks.p90,
+            r.ttft_ticks.p99,
+            r.e2e_ticks.p50,
+            r.e2e_ticks.p90,
+            r.e2e_ticks.p99,
+            r.session_evictions,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+
+    #[test]
+    fn load_bench_sweeps_methods_at_equal_load_with_parity() {
+        let scale = Scale {
+            pipeline: PipelineConfig {
+                corpus_size: 48,
+                vocab: 380,
+                n_heads: 3,
+                epochs: 1,
+                ..Default::default()
+            },
+            speed_prompt_count: 4,
+            ..Scale::quick()
+        };
+        let pipe = Pipeline::build(scale.pipeline);
+        // run_load_bench asserts streamed == batch internally, so a
+        // clean return is itself the parity proof.
+        let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &[0.4, 1.5]);
+        assert_eq!(rows.len(), 2 * 3, "2 load levels x 3 methods");
+        for r in &rows {
+            assert_eq!(r.requests, 4);
+            assert!(r.tokens > 0);
+            assert!(r.ticks > 0);
+            assert!(r.ttft_ticks.p99 >= r.ttft_ticks.p50);
+            assert!(r.e2e_ticks.p99 >= r.e2e_ticks.p50);
+            assert!(r.e2e_ticks.p50 >= r.ttft_ticks.p50);
+        }
+        // Equal offered load: same rate axis for every method.
+        let ntp: Vec<_> = rows.iter().filter(|r| r.method == "NTP").collect();
+        let ours: Vec<_> = rows.iter().filter(|r| r.method == "Ours-tree").collect();
+        assert_eq!(ntp.len(), ours.len());
+        for (a, b) in ntp.iter().zip(&ours) {
+            assert_eq!(a.offered_rate, b.offered_rate);
+        }
+        let rendered = render_load_bench(&rows);
+        assert!(rendered.contains("NTP") && rendered.contains("Ours-tree"));
+        assert!(rendered.contains("Table II"));
+    }
+
+    #[test]
+    fn utilization_rates_scale_with_capacity() {
+        let rates = rates_for_utilizations(&[0.25, 1.0], 8, 100.0);
+        assert!((rates[0] - 0.02).abs() < 1e-9);
+        assert!((rates[1] - 0.08).abs() < 1e-9);
+        assert!(rates_for_utilizations(&[0.5], 4, 0.0)[0] > 0.0);
+    }
+}

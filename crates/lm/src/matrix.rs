@@ -12,10 +12,30 @@
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
-/// SIMD-friendly lane count of the batched kernel: the inner loop runs
-/// over a `[f32; LANES]` accumulator, which the compiler unrolls and
-/// vectorizes (the batch is zero-padded up to a lane multiple).
-const LANES: usize = 8;
+/// The lane width [`Matrix::matvec_batch`] selects for a given batch
+/// size: the inner loop runs over a `[f32; LANES]` accumulator, which
+/// the compiler unrolls and vectorizes, and the batch is zero-padded up
+/// to a lane multiple — so the width is a padding/ILP trade-off. Small
+/// batches take the 4-lane kernel (padding a 2-batch to 4 lanes wastes
+/// 2 slots instead of 6, which is what lets cross-request propose
+/// fusion pay in the 2–8 batch range), mid-size batches the 8-lane
+/// kernel, and larger ones the 16-lane kernel, whose wider accumulator
+/// block amortizes each streamed weight row better once the batch can
+/// fill it.
+///
+/// Bit-identity holds for **any** lane width: lanes only regroup
+/// *independent* accumulators, so every output element still sums its
+/// columns in exactly [`Matrix::matvec`]'s order (the tests pin this
+/// across 4/8/16).
+pub fn lanes_for(batch: usize) -> usize {
+    if batch <= 4 {
+        4
+    } else if batch <= 8 {
+        8
+    } else {
+        16
+    }
+}
 
 /// Work size (`rows × cols × padded batch`) above which
 /// [`Matrix::matvec_batch`] shards its rows across threads. Below it,
@@ -29,7 +49,13 @@ pub const MATVEC_PAR_THRESHOLD: usize = 1 << 22;
 /// the machine's available parallelism and the row count (each thread
 /// needs at least one row).
 pub fn matvec_batch_threads(rows: usize, cols: usize, batch: usize) -> usize {
-    let work = rows * cols * batch.div_ceil(LANES) * LANES;
+    threads_for(rows, cols, batch, lanes_for(batch))
+}
+
+/// [`matvec_batch_threads`] for an explicit lane width, so the padded
+/// work estimate matches the kernel that actually runs.
+fn threads_for(rows: usize, cols: usize, batch: usize, lanes: usize) -> usize {
+    let work = rows * cols * batch.div_ceil(lanes) * lanes;
     if work < MATVEC_PAR_THRESHOLD || rows < 2 {
         return 1;
     }
@@ -137,7 +163,9 @@ impl Matrix {
     ///
     /// Above [`MATVEC_PAR_THRESHOLD`] of work the rows are additionally
     /// sharded across threads (see [`Matrix::matvec_batch_threaded`]);
-    /// rows are independent, so the results stay bit-identical.
+    /// rows are independent, so the results stay bit-identical. The
+    /// accumulator lane width is chosen per batch size ([`lanes_for`]),
+    /// also without affecting any output bit.
     ///
     /// # Panics
     ///
@@ -156,6 +184,33 @@ impl Matrix {
     ///
     /// Panics if any `x.len() != cols`.
     pub fn matvec_batch_threaded(&self, xs: &[&[f32]], threads: usize) -> Vec<Vec<f32>> {
+        self.matvec_batch_impl(xs, lanes_for(xs.len()), threads)
+    }
+
+    /// [`Matrix::matvec_batch`] with an explicit accumulator lane width
+    /// (4, 8, or 16), overriding the per-batch [`lanes_for`] selection.
+    /// Results are bit-identical for every supported width — lanes only
+    /// regroup independent accumulators (the tests pin this); the width
+    /// is purely a throughput knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 4, 8, or 16, or any `x.len() != cols`.
+    pub fn matvec_batch_with_lanes(&self, xs: &[&[f32]], lanes: usize) -> Vec<Vec<f32>> {
+        self.matvec_batch_impl(
+            xs,
+            lanes,
+            threads_for(self.rows, self.cols, xs.len(), lanes),
+        )
+    }
+
+    fn matvec_batch_impl(&self, xs: &[&[f32]], lanes: usize, threads: usize) -> Vec<Vec<f32>> {
+        let kernel: fn(&Matrix, &[f32], usize, Range<usize>, &mut [f32]) = match lanes {
+            4 => Matrix::batch_rows_into::<4>,
+            8 => Matrix::batch_rows_into::<8>,
+            16 => Matrix::batch_rows_into::<16>,
+            other => panic!("unsupported matvec_batch lane width {other} (use 4, 8, or 16)"),
+        };
         let n = xs.len();
         if n == 0 {
             return Vec::new();
@@ -163,7 +218,7 @@ impl Matrix {
         for x in xs {
             assert_eq!(x.len(), self.cols, "matvec_batch dimension mismatch");
         }
-        let stride = n.div_ceil(LANES) * LANES;
+        let stride = n.div_ceil(lanes) * lanes;
         // Transpose to padded column-major: xt[c * stride + k] = xs[k][c].
         let mut xt = vec![0.0f32; self.cols * stride];
         for (k, x) in xs.iter().enumerate() {
@@ -175,7 +230,7 @@ impl Matrix {
         let mut flat = vec![0.0f32; self.rows * stride];
         let threads = threads.clamp(1, self.rows.max(1));
         if threads <= 1 {
-            self.batch_rows_into(&xt, stride, 0..self.rows, &mut flat);
+            kernel(self, &xt, stride, 0..self.rows, &mut flat);
         } else {
             let per = self.rows.div_ceil(threads);
             let xt = &xt;
@@ -183,7 +238,7 @@ impl Matrix {
                 for (t, shard) in flat.chunks_mut(per * stride).enumerate() {
                     let r0 = t * per;
                     let rows = r0..r0 + shard.len() / stride;
-                    s.spawn(move || self.batch_rows_into(xt, stride, rows, shard));
+                    s.spawn(move || kernel(self, xt, stride, rows, shard));
                 }
             });
         }
@@ -199,22 +254,27 @@ impl Matrix {
 
     /// The batched-kernel inner loop over a contiguous row range,
     /// writing into `out` (layout `out[(r - rows.start) * stride + k]`).
-    fn batch_rows_into(&self, xt: &[f32], stride: usize, rows: Range<usize>, out: &mut [f32]) {
-        let chunks = stride / LANES;
+    fn batch_rows_into<const L: usize>(
+        &self,
+        xt: &[f32],
+        stride: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
+        let chunks = stride / L;
         for (ri, r) in rows.enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for chunk in 0..chunks {
-                let mut acc = [0.0f32; LANES];
-                let offset = chunk * LANES;
+                let mut acc = [0.0f32; L];
+                let offset = chunk * L;
                 for (c, &rv) in row.iter().enumerate() {
                     let base = c * stride + offset;
-                    let lane: &[f32; LANES] =
-                        xt[base..base + LANES].try_into().expect("fixed lane width");
-                    for l in 0..LANES {
+                    let lane: &[f32; L] = xt[base..base + L].try_into().expect("fixed lane width");
+                    for l in 0..L {
                         acc[l] += rv * lane[l];
                     }
                 }
-                out[ri * stride + offset..ri * stride + offset + LANES].copy_from_slice(&acc);
+                out[ri * stride + offset..ri * stride + offset + L].copy_from_slice(&acc);
             }
         }
     }
@@ -359,6 +419,50 @@ mod tests {
                 .zip(y)
                 .all(|(p, q)| p.to_bits() == q.to_bits()));
         }
+    }
+
+    #[test]
+    fn matvec_batch_lane_widths_are_bit_identical() {
+        // 13 rows, 11 cols; batch sizes straddling every lane-selection
+        // boundary (and padding every width partially).
+        let a = Matrix::from_fn(13, 11, |r, c| ((r * 19 + c * 5) as f32).sin());
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 17, 33] {
+            let xs: Vec<Vec<f32>> = (0..n)
+                .map(|k| (0..11).map(|c| ((k * 3 + c) as f32).cos()).collect())
+                .collect();
+            let refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+            let auto = a.matvec_batch(&refs);
+            for lanes in [4usize, 8, 16] {
+                let forced = a.matvec_batch_with_lanes(&refs, lanes);
+                for (p, q) in auto.iter().zip(&forced) {
+                    assert!(
+                        p.iter().zip(q).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "lanes={lanes} n={n} diverged from auto selection"
+                    );
+                }
+            }
+            // And all agree bitwise with the scalar matvec.
+            for (x, y) in xs.iter().zip(&auto) {
+                let single = a.matvec(x);
+                assert!(
+                    single
+                        .iter()
+                        .zip(y)
+                        .all(|(p, q)| p.to_bits() == q.to_bits()),
+                    "n={n} diverged from matvec"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_selection_covers_the_batch_spectrum() {
+        assert_eq!(lanes_for(1), 4);
+        assert_eq!(lanes_for(4), 4);
+        assert_eq!(lanes_for(5), 8);
+        assert_eq!(lanes_for(8), 8);
+        assert_eq!(lanes_for(9), 16);
+        assert_eq!(lanes_for(4096), 16);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Deterministic open-loop workload generation: seeded arrival
+//! processes over the virtual tick clock, and seeded request mixes
+//! drawing each arrival's engine, prompt family, budget, and sampling.
+//!
+//! Open-loop means arrivals do **not** wait for completions: the
+//! process fixes every request's arrival tick up front, exactly like
+//! independent users hitting a service. Offered load is therefore a
+//! property of the workload, not of the server — which is what makes
+//! "speculative vs. NTP at *equal offered load*" a fair comparison
+//! (the serve-aware Table II in `BENCH_load.json`).
+
+use crate::clock::{LoadRng, VirtualClock};
+use verispec_core::DecodeConfig;
+use verispec_lm::{Sampling, TokenId};
+use verispec_serve::{EngineChoice, Request};
+
+/// A deterministic open-loop arrival process over virtual ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` requests per tick (exponential
+    /// inter-arrival gaps) — the classic open-loop baseline.
+    Poisson {
+        /// Mean requests per tick.
+        rate: f64,
+    },
+    /// Bursty on/off arrivals: Poisson at `rate` during on-windows of
+    /// `on_ticks`, silent for `off_ticks` between them (a square-wave
+    /// modulated Poisson process).
+    OnOff {
+        /// Mean requests per tick while the source is on.
+        rate: f64,
+        /// Length of each on-window in ticks.
+        on_ticks: f64,
+        /// Length of each off-window in ticks.
+        off_ticks: f64,
+    },
+    /// Load ramp: the instantaneous rate climbs linearly from
+    /// `start_rate` to `end_rate` over `ramp_ticks`, then holds
+    /// (sampled by Lewis–Shedler thinning against the peak rate, so the
+    /// non-homogeneous intensity is exact, not piecewise-approximated).
+    Ramp {
+        /// Rate at tick 0.
+        start_rate: f64,
+        /// Rate from `ramp_ticks` onward.
+        end_rate: f64,
+        /// Ramp duration in ticks.
+        ramp_ticks: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Human-readable process name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::OnOff { .. } => "on-off",
+            ArrivalProcess::Ramp { .. } => "ramp",
+        }
+    }
+
+    /// Long-run offered load in requests per tick (the equal-load axis
+    /// of the serve-aware Table II; the ramp settles at its end rate).
+    pub fn offered_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff {
+                rate,
+                on_ticks,
+                off_ticks,
+            } => rate * on_ticks / (on_ticks + off_ticks).max(f64::MIN_POSITIVE),
+            ArrivalProcess::Ramp { end_rate, .. } => end_rate,
+        }
+    }
+
+    /// The first `n` arrival ticks, deterministically from `seed`
+    /// (non-decreasing; several arrivals may share a tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates or window lengths.
+    pub fn arrival_ticks(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = LoadRng::new(seed ^ 0xA221_7A1C_0C5E_ED01);
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut clock = VirtualClock::new();
+                for _ in 0..n {
+                    out.push(clock.advance(rng.exp_gap(rate)));
+                }
+            }
+            ArrivalProcess::OnOff {
+                rate,
+                on_ticks,
+                off_ticks,
+            } => {
+                assert!(
+                    on_ticks > 0.0 && off_ticks >= 0.0,
+                    "on/off windows must be positive"
+                );
+                // Arrivals live in accumulated *on-time*; each is then
+                // shifted by the off-time of every full cycle before it.
+                let mut on_time = 0.0f64;
+                let mut clock = VirtualClock::new();
+                for _ in 0..n {
+                    on_time += rng.exp_gap(rate);
+                    let cycles = (on_time / on_ticks).floor();
+                    clock.jump_to(on_time + cycles * off_ticks);
+                    out.push(clock.advance(0.0));
+                }
+            }
+            ArrivalProcess::Ramp {
+                start_rate,
+                end_rate,
+                ramp_ticks,
+            } => {
+                assert!(ramp_ticks > 0.0, "ramp duration must be positive");
+                let peak = start_rate.max(end_rate);
+                assert!(peak > 0.0, "ramp needs a positive peak rate");
+                let rate_at = |t: f64| {
+                    let frac = (t / ramp_ticks).clamp(0.0, 1.0);
+                    start_rate + (end_rate - start_rate) * frac
+                };
+                let mut clock = VirtualClock::new();
+                while out.len() < n {
+                    let tick = clock.advance(rng.exp_gap(peak));
+                    // Thinning: keep the candidate with prob rate/peak.
+                    if rng.uniform() * peak <= rate_at(clock.now()) {
+                        out.push(tick);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A named pool of already-encoded prompts with per-prompt decode
+/// budgets — e.g. "short comb modules" vs "long seq modules".
+#[derive(Debug, Clone)]
+pub struct PromptFamily {
+    /// Family name (telemetry breakdown key).
+    pub name: String,
+    /// `(prompt tokens, max_tokens budget)` pairs.
+    pub prompts: Vec<(Vec<TokenId>, usize)>,
+}
+
+/// The seeded distributions one request is drawn from.
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    /// Weighted engine menu.
+    pub engines: Vec<(EngineChoice, f64)>,
+    /// Weighted prompt families.
+    pub families: Vec<(PromptFamily, f64)>,
+    /// Probability of greedy decoding (otherwise temperature sampling).
+    pub greedy_fraction: f64,
+    /// Temperature range `[lo, hi)` for sampled requests.
+    pub temperature: (f32, f32),
+    /// Base decode config (EOS, acceptance); `max_tokens`, `sampling`,
+    /// and `seed` are drawn per request.
+    pub base: DecodeConfig,
+}
+
+/// A complete open-loop workload: arrival process × request mix, fully
+/// determined by its seed.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// When requests arrive.
+    pub process: ArrivalProcess,
+    /// What each request asks for.
+    pub mix: RequestMix,
+    /// Number of requests.
+    pub count: usize,
+    /// Master seed (arrivals and mix draw from decorrelated substreams).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Generates the request sequence (ids `0..count`, arrival ticks
+    /// non-decreasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has no engines or no non-empty family.
+    pub fn requests(&self) -> Vec<Request> {
+        self.requests_with_engine(None)
+    }
+
+    /// Like [`Workload::requests`], but with every request's engine
+    /// forced to `engine` — the equal-offered-load A/B the serve-aware
+    /// Table II runs (arrivals, prompts, budgets, sampling, and seeds
+    /// are all identical across methods because the engine draw is
+    /// still consumed from the RNG stream before being overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has no engines or no non-empty family.
+    pub fn requests_with_engine(&self, engine: Option<&EngineChoice>) -> Vec<Request> {
+        self.generate(engine).0
+    }
+
+    /// The prompt-family name each request was drawn from (aligned with
+    /// [`Workload::requests`] ids).
+    pub fn family_names(&self) -> Vec<String> {
+        self.generate(None).1
+    }
+
+    /// The single draw path behind [`Workload::requests_with_engine`]
+    /// and [`Workload::family_names`]: one RNG stream produces the
+    /// requests and their family labels together, so the two can never
+    /// desync.
+    fn generate(&self, engine: Option<&EngineChoice>) -> (Vec<Request>, Vec<String>) {
+        let arrivals = self.process.arrival_ticks(self.count, self.seed);
+        let mut rng = LoadRng::new(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let engine_weights: Vec<f64> = self.mix.engines.iter().map(|(_, w)| *w).collect();
+        let family_weights: Vec<f64> = self.mix.families.iter().map(|(_, w)| *w).collect();
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let drawn = &self.mix.engines[rng.weighted(&engine_weights)].0;
+                let family = &self.mix.families[rng.weighted(&family_weights)].0;
+                assert!(
+                    !family.prompts.is_empty(),
+                    "family {} is empty",
+                    family.name
+                );
+                let (prompt, budget) = &family.prompts[rng.below(family.prompts.len())];
+                let sampling = if rng.uniform() < self.mix.greedy_fraction {
+                    Sampling::Greedy
+                } else {
+                    Sampling::Temperature {
+                        temperature: rng.range_f32(self.mix.temperature.0, self.mix.temperature.1),
+                        top_k: 0,
+                    }
+                };
+                let cfg = DecodeConfig {
+                    max_tokens: *budget,
+                    sampling,
+                    seed: rng.seed(),
+                    ..self.mix.base.clone()
+                };
+                let request = Request {
+                    arrival,
+                    ..Request::new(
+                        i as u64,
+                        prompt.clone(),
+                        engine.unwrap_or(drawn).clone(),
+                        cfg,
+                    )
+                };
+                (request, family.name.clone())
+            })
+            .unzip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> RequestMix {
+        RequestMix {
+            engines: vec![
+                (EngineChoice::SyntaxAligned { tree: None }, 2.0),
+                (EngineChoice::Ntp, 1.0),
+            ],
+            families: vec![
+                (
+                    PromptFamily {
+                        name: "short".into(),
+                        prompts: vec![(vec![1, 2], 6), (vec![3], 4)],
+                    },
+                    1.0,
+                ),
+                (
+                    PromptFamily {
+                        name: "long".into(),
+                        prompts: vec![(vec![1, 2, 3, 4, 5], 12)],
+                    },
+                    1.0,
+                ),
+            ],
+            greedy_fraction: 0.5,
+            temperature: (0.4, 0.9),
+            base: DecodeConfig::default(),
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_deterministic() {
+        for process in [
+            ArrivalProcess::Poisson { rate: 0.3 },
+            ArrivalProcess::OnOff {
+                rate: 1.0,
+                on_ticks: 5.0,
+                off_ticks: 20.0,
+            },
+            ArrivalProcess::Ramp {
+                start_rate: 0.05,
+                end_rate: 1.0,
+                ramp_ticks: 50.0,
+            },
+        ] {
+            let a = process.arrival_ticks(64, 9);
+            let b = process.arrival_ticks(64, 9);
+            assert_eq!(a, b, "{} not deterministic", process.name());
+            assert!(
+                a.windows(2).all(|w| w[0] <= w[1]),
+                "{} unsorted",
+                process.name()
+            );
+            let c = process.arrival_ticks(64, 10);
+            assert_ne!(a, c, "{} ignores its seed", process.name());
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let n = 4000;
+        let ticks = ArrivalProcess::Poisson { rate: 0.25 }.arrival_ticks(n, 5);
+        let span = *ticks.last().expect("nonempty") as f64;
+        let rate = n as f64 / span;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn on_off_leaves_silent_windows() {
+        let process = ArrivalProcess::OnOff {
+            rate: 2.0,
+            on_ticks: 10.0,
+            off_ticks: 90.0,
+        };
+        let ticks = process.arrival_ticks(200, 11);
+        // Off-windows of 90 ticks must show up as large gaps.
+        let max_gap = ticks.windows(2).map(|w| w[1] - w[0]).max().expect("gaps");
+        assert!(max_gap >= 80, "no burst gap found (max {max_gap})");
+        assert!((process.offered_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_accelerates() {
+        let ticks = ArrivalProcess::Ramp {
+            start_rate: 0.02,
+            end_rate: 1.0,
+            ramp_ticks: 400.0,
+        }
+        .arrival_ticks(300, 13);
+        // The second half of the arrivals spans far less time than the
+        // first half.
+        let mid = ticks[150] - ticks[0];
+        let late = ticks[299] - ticks[150];
+        assert!(late * 2 < mid, "ramp did not accelerate ({mid} vs {late})");
+    }
+
+    #[test]
+    fn forced_engine_changes_nothing_but_the_engine() {
+        let w = Workload {
+            process: ArrivalProcess::Poisson { rate: 0.5 },
+            mix: mix(),
+            count: 40,
+            seed: 77,
+        };
+        let free = w.requests();
+        let forced = w.requests_with_engine(Some(&EngineChoice::Ntp));
+        assert_eq!(free.len(), forced.len());
+        let names = w.family_names();
+        assert_eq!(names.len(), free.len());
+        for (i, (a, b)) in free.iter().zip(&forced).enumerate() {
+            let name = &names[i];
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt, b.prompt);
+            assert_eq!(a.cfg.max_tokens, b.cfg.max_tokens);
+            assert_eq!(a.cfg.sampling, b.cfg.sampling);
+            assert_eq!(a.cfg.seed, b.cfg.seed);
+            assert_eq!(b.engine, EngineChoice::Ntp);
+            assert!(name == "short" || name == "long");
+        }
+        assert!(
+            free.iter().any(|r| r.engine != EngineChoice::Ntp),
+            "the free draw should use the menu"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! `verispec-load`: open-loop load generation, streaming-admission
+//! driving, and latency-percentile telemetry — the measurement layer of
+//! the serving stack.
+//!
+//! # Why open-loop
+//!
+//! `verispec-serve`'s throughput sweep (`BENCH_serve.json`) answers
+//! "how fast does the engine chew through a fixed batch?" — a
+//! *closed-loop* question: new work only appears when old work
+//! finishes. Production traffic is *open-loop*: arrivals come from
+//! independent users on their own clock, keep coming while the server
+//! is busy, and the number that matters is **per-request latency at a
+//! given offered load** — especially the tail (p99), where queueing
+//! turns small throughput differences into large waiting times. The
+//! "Speculative Decoding: Performance or Illusion?" question from
+//! PAPERS.md is exactly this: single-stream speedups can evaporate (or
+//! compound) once requests compete, so the paper's Table II speed
+//! claims should be re-measured as TTFT/p99 at equal offered load —
+//! which is what `BENCH_load.json` reports.
+//!
+//! # The serving stack
+//!
+//! ```text
+//!   verispec-load                 verispec-serve              verispec-lm
+//!   ─────────────                 ──────────────              ───────────
+//!   ArrivalProcess ─┐
+//!   (poisson/on-off/│ Workload::requests()
+//!    ramp, seeded)  ├──────────► [Request; n] ── mpsc ─► drain_arrivals
+//!   RequestMix ─────┘  arrival ticks + mixes            (per tick, joins
+//!   (engine/family/                                      mid-flight)
+//!    budget/sampling)                                       │
+//!                                               ServeEngine tick loop
+//!                                               admission → scheduler →
+//!                                               fused propose/verify →
+//!                                               commit (step_ticks)
+//!                                                           │
+//!   LatencyReport ◄──────────── Completion{output, step_ticks, secs}
+//!   queueing/TTFT/gaps/e2e,
+//!   exact p50/p90/p99,              LoadBenchRow (BENCH_load.json:
+//!   per-engine breakdown ─────────► serve-aware Table II, spec vs NTP
+//!                                   at equal offered load)
+//! ```
+//!
+//! * [`ArrivalProcess`] — seeded Poisson, bursty on/off, and ramp
+//!   arrival processes over the virtual tick clock ([`VirtualClock`]
+//!   quantizes continuous inter-arrival gaps to engine ticks without
+//!   drift).
+//! * [`Workload`] / [`RequestMix`] — draws each request's engine,
+//!   prompt family, budget, and sampling from seeded distributions;
+//!   [`Workload::requests_with_engine`] forces one engine while keeping
+//!   arrivals/prompts/budgets/seeds identical — the equal-offered-load
+//!   A/B.
+//! * [`run_open_loop`] — feeds the workload through the streaming
+//!   admission channel and collects [`LatencyReport`]: per-request
+//!   queueing delay, TTFT, per-token inter-commit gaps, and end-to-end
+//!   latency in ticks and wall-clock, aggregated into exact-quantile
+//!   p50/p90/p99 summaries ([`QuantileSummary`]) plus per-engine
+//!   breakdowns.
+//! * [`LoadBenchRow`] — one cell of the serve-aware Table II.
+//!
+//! # The invariant, extended
+//!
+//! Streaming admission inherits the serving invariant: per-request
+//! outputs are bit-identical to batch `serve_all` *and* to the serial
+//! single-session engines, under any arrival process, session cap, or
+//! eviction pressure — and when every arrival is sent before its tick
+//! falls due, the entire tick schedule (admissions, commit ticks,
+//! latencies) matches the batch run too. `tests/proptest_streaming.rs`
+//! pins both properties.
+//!
+//! # Example
+//!
+//! ```
+//! use verispec_core::DecodeConfig;
+//! use verispec_lm::{GpuCostModel, MlpLm, MlpLmConfig};
+//! use verispec_load::{
+//!     run_open_loop, ArrivalProcess, PromptFamily, RequestMix, Workload,
+//! };
+//! use verispec_serve::{EngineChoice, ServeConfig};
+//!
+//! let model = MlpLm::new(MlpLmConfig::tiny(16));
+//! let workload = Workload {
+//!     process: ArrivalProcess::Poisson { rate: 0.5 },
+//!     mix: RequestMix {
+//!         engines: vec![(EngineChoice::MedusaChain, 1.0), (EngineChoice::Ntp, 1.0)],
+//!         families: vec![(
+//!             PromptFamily { name: "tiny".into(), prompts: vec![(vec![1, 2], 6)] },
+//!             1.0,
+//!         )],
+//!         greedy_fraction: 1.0,
+//!         temperature: (0.4, 0.9),
+//!         base: DecodeConfig::default(),
+//!     },
+//!     count: 8,
+//!     seed: 7,
+//! };
+//! let run = run_open_loop(
+//!     &model,
+//!     None,
+//!     None,
+//!     workload.requests(),
+//!     &ServeConfig::concurrency(4),
+//!     &GpuCostModel::codellama_like(),
+//! );
+//! assert_eq!(run.serve.completions.len(), 8);
+//! assert_eq!(run.latency.overall.requests, 8);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod generator;
+pub mod report;
+pub mod telemetry;
+
+pub use clock::{LoadRng, VirtualClock};
+pub use generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
+pub use report::{run_open_loop, LoadBenchRow, LoadRunReport};
+pub use telemetry::{
+    per_token_gaps, LatencyReport, LatencySummary, QuantileSummary, RequestLatency,
+};

@@ -1,0 +1,148 @@
+//! Driving an open-loop workload through the serving stack and
+//! packaging the result for `BENCH_load.json`.
+//!
+//! [`run_open_loop`] is the canonical driver: it feeds a generated
+//! request sequence through the streaming-admission path
+//! ([`verispec_serve::ServeEngine::run_streaming`]) — arrivals enter
+//! via the channel and join mid-flight at their arrival ticks — and
+//! returns the serve report together with the aggregated latency
+//! telemetry and the measured wall clock. [`LoadBenchRow`] is one line
+//! of the serve-aware Table II: one (arrival process, offered load,
+//! decoding method) cell with exact p50/p90/p99 TTFT and end-to-end
+//! latency.
+
+use crate::telemetry::{LatencyReport, QuantileSummary};
+use serde::{Deserialize, Serialize};
+use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm, TokenId};
+use verispec_serve::{Request, ServeConfig, ServeEngine, ServeReport};
+
+/// Everything one open-loop run produces.
+#[derive(Debug, Clone)]
+pub struct LoadRunReport {
+    /// The serving engine's completions and counters.
+    pub serve: ServeReport,
+    /// Aggregated latency telemetry.
+    pub latency: LatencyReport,
+    /// Measured wall-clock seconds of the whole run.
+    pub wall_secs: f64,
+}
+
+/// Serves `requests` through the streaming-admission path: every
+/// request is sent into the engine's arrival channel (in arrival
+/// order, ahead of its arrival tick, so the tick schedule is
+/// deterministic and identical to batch [`verispec_serve::serve_all`])
+/// and admission happens tick by tick as arrivals fall due. With
+/// `prefix_tokens`, a shared prefix session is ingested once and every
+/// matching request is admitted from a fork of it.
+pub fn run_open_loop(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    cost: &GpuCostModel,
+) -> LoadRunReport {
+    let originals = requests.clone();
+    let prefix_session: Option<Box<dyn DecodeSession + '_>> = prefix_tokens.map(|toks| {
+        let mut s = model.session();
+        s.append(toks);
+        s
+    });
+    let t0 = std::time::Instant::now();
+    let mut engine = ServeEngine::new(model, cfg.clone());
+    if let Some(d) = draft {
+        engine = engine.with_draft(d);
+    }
+    if let Some(p) = prefix_session.as_deref() {
+        engine = engine.with_prefix(p);
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    for req in requests {
+        tx.send(req).expect("arrival receiver alive");
+    }
+    drop(tx);
+    let serve = engine.run_streaming(rx, cost);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let latency = LatencyReport::new(&originals, &serve.completions);
+    LoadRunReport {
+        serve,
+        latency,
+        wall_secs,
+    }
+}
+
+/// One row of the serve-aware Table II in `BENCH_load.json`: a
+/// (process, offered load, method) cell measured under streaming
+/// admission at equal offered load across methods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadBenchRow {
+    /// Arrival-process name.
+    pub process: String,
+    /// Offered load in requests per tick.
+    pub offered_rate: f64,
+    /// Decoding method served (all requests forced to it).
+    pub method: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Scheduler ticks worked.
+    pub ticks: u64,
+    /// Idle ticks the engine fast-forwarded over.
+    pub idle_ticks_skipped: u64,
+    /// Measured wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Tokens committed per worked tick (service rate).
+    pub tokens_per_tick: f64,
+    /// Mean tokens per decoding step (speculation effectiveness under
+    /// load).
+    pub tokens_per_step: f64,
+    /// Queueing delay in ticks.
+    pub queue_ticks: QuantileSummary,
+    /// Time to first token in ticks.
+    pub ttft_ticks: QuantileSummary,
+    /// End-to-end latency in ticks.
+    pub e2e_ticks: QuantileSummary,
+    /// Per-token inter-commit gaps in ticks.
+    pub gap_ticks: QuantileSummary,
+    /// Time to first token in wall seconds.
+    pub ttft_secs: QuantileSummary,
+    /// End-to-end latency in wall seconds.
+    pub e2e_secs: QuantileSummary,
+    /// Idle prefix forks evicted by the session cap.
+    pub session_evictions: usize,
+    /// High-water resident sessions.
+    pub peak_resident_sessions: usize,
+    /// Preemptions performed.
+    pub preemptions: usize,
+}
+
+impl LoadBenchRow {
+    /// Assembles one Table-II row from a run.
+    pub fn new(process: &str, offered_rate: f64, method: &str, run: &LoadRunReport) -> Self {
+        let stats = &run.serve.stats;
+        let steps: usize = run.serve.completions.iter().map(|c| c.output.steps).sum();
+        let tokens = run.serve.total_tokens();
+        LoadBenchRow {
+            process: process.to_string(),
+            offered_rate,
+            method: method.to_string(),
+            requests: run.serve.completions.len(),
+            tokens,
+            ticks: stats.ticks,
+            idle_ticks_skipped: stats.idle_ticks_skipped,
+            wall_secs: run.wall_secs,
+            tokens_per_tick: tokens as f64 / (stats.ticks.max(1)) as f64,
+            tokens_per_step: tokens as f64 / steps.max(1) as f64,
+            queue_ticks: run.latency.overall.queue_ticks,
+            ttft_ticks: run.latency.overall.ttft_ticks,
+            e2e_ticks: run.latency.overall.e2e_ticks,
+            gap_ticks: run.latency.overall.gap_ticks,
+            ttft_secs: run.latency.overall.ttft_secs,
+            e2e_secs: run.latency.overall.e2e_secs,
+            session_evictions: stats.session_evictions,
+            peak_resident_sessions: stats.peak_resident_sessions,
+            preemptions: stats.preemptions,
+        }
+    }
+}

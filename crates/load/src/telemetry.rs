@@ -1,0 +1,317 @@
+//! Latency-percentile telemetry over a serving run.
+//!
+//! The serving engine stamps every [`Completion`] with its submission,
+//! admission, per-step commit ticks, and engine-relative wall-clock
+//! timestamps. This module turns those stamps into the latencies that
+//! matter at production load — per-request **queueing delay**,
+//! **TTFT** (time to first token), **per-token inter-commit gaps**,
+//! and **end-to-end latency**, in scheduler ticks and wall-clock
+//! seconds — and aggregates them into *exact* (nearest-rank, not
+//! sketched) p50/p90/p99 summaries, overall and per engine.
+//!
+//! Tick latencies are deterministic (pure functions of the schedule),
+//! so they are the A/B axis of the serve-aware Table II; wall-clock
+//! latencies are measured from the real run and carry machine noise.
+
+use serde::{Deserialize, Serialize};
+use verispec_serve::{Completion, Request};
+
+/// An exact quantile summary of one latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Exact median (nearest-rank).
+    pub p50: f64,
+    /// Exact 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// Exact 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl QuantileSummary {
+    /// Summarizes `values` exactly: the full sample set is sorted and
+    /// each percentile is the nearest-rank order statistic (`⌈q·n⌉`-th
+    /// smallest) — no sketches, no interpolation beyond the sample.
+    pub fn exact(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |q: f64| -> f64 {
+            let k = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        QuantileSummary {
+            n: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// The latency stamps of one completed request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// Request id.
+    pub id: u64,
+    /// Engine name ([`verispec_serve::EngineChoice::name`]).
+    pub engine: String,
+    /// Generated tokens.
+    pub tokens: usize,
+    /// Ticks from submission (arrival) to first admission.
+    pub queue_ticks: u64,
+    /// Ticks from submission to the first committed token.
+    pub ttft_ticks: u64,
+    /// Ticks from submission to the final decoding step.
+    pub e2e_ticks: u64,
+    /// Largest per-token inter-commit gap in ticks (tokens committed in
+    /// the same step are 0 apart; across steps the gap is the tick
+    /// difference).
+    pub max_gap_ticks: u64,
+    /// Mean per-token inter-commit gap in ticks.
+    pub mean_gap_ticks: f64,
+    /// Wall-clock seconds from first visibility to the first token.
+    pub ttft_secs: f64,
+    /// Wall-clock seconds from first visibility to completion.
+    pub e2e_secs: f64,
+}
+
+impl RequestLatency {
+    /// Extracts the latencies of one completion. A request that
+    /// committed no tokens (a zero `max_tokens` budget finishes
+    /// without ever stepping) has no first token; its TTFT falls back
+    /// to its completion time so aggregation stays total.
+    pub fn of(engine: &str, c: &Completion) -> Self {
+        let first = c.first_token_tick().unwrap_or(c.finished);
+        let gaps = per_token_gaps(c);
+        let (max_gap, sum_gap) = gaps
+            .iter()
+            .fold((0u64, 0u64), |(m, s), &g| (m.max(g), s + g));
+        RequestLatency {
+            id: c.id,
+            engine: engine.to_string(),
+            tokens: c.output.tokens.len(),
+            queue_ticks: c.queue_ticks(),
+            ttft_ticks: first.saturating_sub(c.submitted),
+            e2e_ticks: c.finished.saturating_sub(c.submitted),
+            max_gap_ticks: max_gap,
+            mean_gap_ticks: if gaps.is_empty() {
+                0.0
+            } else {
+                sum_gap as f64 / gaps.len() as f64
+            },
+            ttft_secs: (c.first_token_secs.unwrap_or(c.finished_secs) - c.seen_secs).max(0.0),
+            e2e_secs: (c.finished_secs - c.seen_secs).max(0.0),
+        }
+    }
+}
+
+/// Per-token inter-commit gaps of one completion: token `j ≥ 1` gets
+/// the tick distance to token `j − 1` (0 within a multi-token step).
+/// The first token is excluded — its latency is TTFT.
+pub fn per_token_gaps(c: &Completion) -> Vec<u64> {
+    let mut gaps = Vec::with_capacity(c.output.tokens.len().saturating_sub(1));
+    let mut last_tick: Option<u64> = None;
+    for (step, tick) in c.step_ticks.iter().enumerate() {
+        let committed = c.output.trace.get(step).map_or(0, |t| t.committed.len());
+        for j in 0..committed {
+            match last_tick {
+                None => {}
+                Some(prev) if j == 0 => gaps.push(tick - prev),
+                Some(_) => gaps.push(0),
+            }
+            last_tick = Some(*tick);
+        }
+    }
+    gaps
+}
+
+/// One engine's (or the overall) aggregated latency summaries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests aggregated.
+    pub requests: usize,
+    /// Tokens generated across them.
+    pub tokens: usize,
+    /// Queueing delay in ticks.
+    pub queue_ticks: QuantileSummary,
+    /// Time to first token in ticks.
+    pub ttft_ticks: QuantileSummary,
+    /// End-to-end latency in ticks.
+    pub e2e_ticks: QuantileSummary,
+    /// Per-token inter-commit gaps in ticks, pooled across requests.
+    pub gap_ticks: QuantileSummary,
+    /// Time to first token in wall-clock seconds.
+    pub ttft_secs: QuantileSummary,
+    /// End-to-end latency in wall-clock seconds.
+    pub e2e_secs: QuantileSummary,
+}
+
+impl LatencySummary {
+    fn aggregate(lats: &[&RequestLatency], gaps: &[f64]) -> Self {
+        let col = |f: &dyn Fn(&RequestLatency) -> f64| -> Vec<f64> {
+            lats.iter().map(|l| f(l)).collect()
+        };
+        LatencySummary {
+            requests: lats.len(),
+            tokens: lats.iter().map(|l| l.tokens).sum(),
+            queue_ticks: QuantileSummary::exact(&col(&|l| l.queue_ticks as f64)),
+            ttft_ticks: QuantileSummary::exact(&col(&|l| l.ttft_ticks as f64)),
+            e2e_ticks: QuantileSummary::exact(&col(&|l| l.e2e_ticks as f64)),
+            gap_ticks: QuantileSummary::exact(gaps),
+            ttft_secs: QuantileSummary::exact(&col(&|l| l.ttft_secs)),
+            e2e_secs: QuantileSummary::exact(&col(&|l| l.e2e_secs)),
+        }
+    }
+}
+
+/// The full latency report of one serving run: per-request stamps, the
+/// overall summary, and per-engine breakdowns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Every completed request's latencies, sorted by id.
+    pub per_request: Vec<RequestLatency>,
+    /// Aggregates over all requests.
+    pub overall: LatencySummary,
+    /// Aggregates per engine name, sorted by name.
+    pub per_engine: Vec<(String, LatencySummary)>,
+}
+
+impl LatencyReport {
+    /// Builds the report by joining `requests` (for engine names) with
+    /// the run's completions by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completion has no matching request.
+    pub fn new(requests: &[Request], completions: &[Completion]) -> Self {
+        let engine_of = |id: u64| -> &str {
+            requests
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.engine.name())
+                .expect("completion for an unknown request id")
+        };
+        let mut per_request: Vec<RequestLatency> = completions
+            .iter()
+            .map(|c| RequestLatency::of(engine_of(c.id), c))
+            .collect();
+        per_request.sort_by_key(|l| l.id);
+
+        let all_gaps: Vec<f64> = completions
+            .iter()
+            .flat_map(per_token_gaps)
+            .map(|g| g as f64)
+            .collect();
+        let refs: Vec<&RequestLatency> = per_request.iter().collect();
+        let overall = LatencySummary::aggregate(&refs, &all_gaps);
+
+        let mut names: Vec<String> = per_request.iter().map(|l| l.engine.clone()).collect();
+        names.sort();
+        names.dedup();
+        let per_engine = names
+            .into_iter()
+            .map(|name| {
+                let subset: Vec<&RequestLatency> =
+                    per_request.iter().filter(|l| l.engine == name).collect();
+                let ids: Vec<u64> = subset.iter().map(|l| l.id).collect();
+                let gaps: Vec<f64> = completions
+                    .iter()
+                    .filter(|c| ids.contains(&c.id))
+                    .flat_map(per_token_gaps)
+                    .map(|g| g as f64)
+                    .collect();
+                let summary = LatencySummary::aggregate(&subset, &gaps);
+                (name, summary)
+            })
+            .collect();
+
+        LatencyReport {
+            per_request,
+            overall,
+            per_engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let q = QuantileSummary::exact(&values);
+        assert_eq!(q.n, 100);
+        assert_eq!(q.p50, 50.0);
+        assert_eq!(q.p90, 90.0);
+        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.max, 100.0);
+        assert!((q.mean - 50.5).abs() < 1e-12);
+
+        // Tiny samples: nearest-rank clamps sanely.
+        let q = QuantileSummary::exact(&[7.0]);
+        assert_eq!((q.p50, q.p90, q.p99, q.max), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(QuantileSummary::exact(&[]).n, 0);
+    }
+
+    #[test]
+    fn quantiles_ignore_input_order() {
+        let a = QuantileSummary::exact(&[3.0, 1.0, 2.0, 9.0, 4.0]);
+        let b = QuantileSummary::exact(&[9.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 3.0);
+    }
+
+    #[test]
+    fn zero_budget_requests_do_not_break_the_report() {
+        use verispec_core::DecodeConfig;
+        use verispec_lm::{GpuCostModel, MlpLm, MlpLmConfig};
+        use verispec_serve::{EngineChoice, Request, ServeConfig};
+
+        let model = MlpLm::new(MlpLmConfig::tiny(14));
+        let requests = vec![
+            // A zero-token budget completes without ever committing.
+            Request::new(
+                0,
+                vec![1],
+                EngineChoice::Ntp,
+                DecodeConfig {
+                    max_tokens: 0,
+                    ..Default::default()
+                },
+            ),
+            Request::new(
+                1,
+                vec![2],
+                EngineChoice::MedusaChain,
+                DecodeConfig {
+                    max_tokens: 4,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let run = crate::report::run_open_loop(
+            &model,
+            None,
+            None,
+            requests,
+            &ServeConfig::concurrency(2),
+            &GpuCostModel::codellama_like(),
+        );
+        assert_eq!(run.latency.per_request.len(), 2);
+        let zero = &run.latency.per_request[0];
+        assert_eq!(zero.tokens, 0);
+        // No first token: TTFT falls back to completion time.
+        assert_eq!(zero.ttft_ticks, zero.e2e_ticks);
+    }
+}

@@ -54,6 +54,15 @@ pub struct ServeConfig {
     /// model handle, see [`ServeEngine::new`]); `false` forces
     /// per-session execution — same outputs, used for A/B testing.
     pub fuse: bool,
+    /// Memory budget: maximum resident sessions (active steppers plus
+    /// queued pre-ingested prefix forks). When streaming admission
+    /// queues thousands of forked arrivals, the engine evicts idle
+    /// forks least-recently-submitted first by *dropping* them — the
+    /// same exact-replay path preemption uses, so admission rebuilds
+    /// the session from the full prompt and outputs are unchanged.
+    /// Active sessions are never evicted below `max_active` (the
+    /// working set); `None` disables the cap.
+    pub session_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +73,7 @@ impl Default for ServeConfig {
             order: TickOrder::RoundRobin,
             preempt_wait: None,
             fuse: true,
+            session_cap: None,
         }
     }
 }
@@ -100,6 +110,17 @@ pub struct ServeStats {
     pub peak_active: usize,
     /// Total tokens committed across all completed requests.
     pub served_tokens: usize,
+    /// Idle prefix-fork sessions dropped by the memory-budget cap
+    /// ([`ServeConfig::session_cap`]); each evicted request is rebuilt
+    /// exactly at admission by replaying its full prompt.
+    pub session_evictions: usize,
+    /// High-water mark of resident sessions (active steppers + queued
+    /// prefix forks) — the memory the cap bounds.
+    pub peak_resident_sessions: usize,
+    /// Empty ticks skipped by the idle fast-forward (nothing active,
+    /// every queued request still in the future): the clock jumps to
+    /// the next arrival instead of burning these one by one.
+    pub idle_ticks_skipped: u64,
 }
 
 /// The result of a serving run.
@@ -132,6 +153,12 @@ struct Active<'m> {
     last_step: u64,
     max_gap: u64,
     preemptions: u32,
+    /// Engine-relative wall seconds at which the request became visible.
+    seen_secs: f64,
+    /// Tick of every decoding step taken so far.
+    step_ticks: Vec<u64>,
+    /// Engine-relative wall seconds of the first committed token.
+    first_commit_secs: Option<f64>,
 }
 
 /// One queued (not yet active) request.
@@ -141,6 +168,8 @@ enum QueueEntry<'m> {
     Fresh {
         req: Request,
         session: Option<Box<dyn DecodeSession + 'm>>,
+        /// Engine-relative wall seconds at submission/receipt.
+        seen_secs: f64,
     },
     /// Preempted mid-generation; resumes by unparking (boxed: a parked
     /// request carries its whole stepper state).
@@ -154,13 +183,21 @@ pub struct ServeEngine<'m> {
     /// serves correctly but without fusion.
     fused: Option<&'m MlpLm>,
     draft: Option<&'m dyn LanguageModel>,
+    /// Shared, already-ingested prompt-prefix session: submissions whose
+    /// prompt starts with its context are admitted from a fork of it.
+    prefix: Option<&'m dyn DecodeSession>,
     cfg: ServeConfig,
     scheduler: Scheduler,
     queue: Vec<QueueEntry<'m>>,
+    /// Queued [`QueueEntry::Fresh`] entries currently holding a prefix
+    /// fork — kept as a running count so residency checks on the
+    /// per-submission hot path are O(1), not an O(queue) scan.
+    queued_forks: usize,
     active: Vec<Active<'m>>,
     completions: Vec<Completion>,
     tick: u64,
     stats: ServeStats,
+    started: std::time::Instant,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -184,13 +221,16 @@ impl<'m> ServeEngine<'m> {
             target,
             fused,
             draft: None,
+            prefix: None,
             cfg,
             scheduler,
             queue: Vec::new(),
+            queued_forks: 0,
             active: Vec::new(),
             completions: Vec::new(),
             tick: 0,
             stats: ServeStats::default(),
+            started: std::time::Instant::now(),
         }
     }
 
@@ -201,9 +241,41 @@ impl<'m> ServeEngine<'m> {
         self
     }
 
-    /// Enqueues a request.
+    /// Attaches a shared, already-ingested prompt-prefix session: every
+    /// subsequently submitted or drained request whose prompt starts
+    /// with the session's context is admitted from a
+    /// [`DecodeSession::fork`] of it, so the shared prefix (typically
+    /// the Alpaca preamble) is ingested once instead of per request.
+    /// The session stays caller-owned — the engine only forks from it.
+    pub fn with_prefix(mut self, prefix: &'m dyn DecodeSession) -> Self {
+        self.prefix = Some(prefix);
+        self
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Enqueues a request. With a prefix session attached
+    /// ([`ServeEngine::with_prefix`]) and a matching prompt, the
+    /// request carries a pre-ingested fork into the queue.
     pub fn submit(&mut self, req: Request) {
-        self.queue.push(QueueEntry::Fresh { req, session: None });
+        let session = self.prefix.and_then(|p| {
+            if req.prompt.starts_with(p.tokens()) {
+                p.fork()
+            } else {
+                None
+            }
+        });
+        let seen_secs = self.now_secs();
+        self.queued_forks += usize::from(session.is_some());
+        self.queue.push(QueueEntry::Fresh {
+            req,
+            session,
+            seen_secs,
+        });
+        self.note_resident();
+        self.enforce_session_cap();
     }
 
     /// Enqueues a request whose prompt prefix is already ingested in
@@ -219,10 +291,37 @@ impl<'m> ServeEngine<'m> {
             req.prompt.starts_with(session.tokens()),
             "prefix session context must be a prefix of the request prompt"
         );
+        let seen_secs = self.now_secs();
+        self.queued_forks += 1;
         self.queue.push(QueueEntry::Fresh {
             req,
             session: Some(session),
+            seen_secs,
         });
+        self.note_resident();
+        self.enforce_session_cap();
+    }
+
+    /// Pulls every request currently waiting in `rx` into the admission
+    /// queue — the streaming-admission entry point the serve loop
+    /// consults each tick, so open-loop arrivals join mid-flight
+    /// instead of all-at-front. Returns `(received, disconnected)`;
+    /// once the channel reports disconnected the stream is drained for
+    /// good.
+    pub fn drain_arrivals(&mut self, rx: &std::sync::mpsc::Receiver<Request>) -> (usize, bool) {
+        use std::sync::mpsc::TryRecvError;
+        let mut received = 0usize;
+        let disconnected = loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    self.submit(req);
+                    received += 1;
+                }
+                Err(TryRecvError::Empty) => break false,
+                Err(TryRecvError::Disconnected) => break true,
+            }
+        };
+        (received, disconnected)
     }
 
     /// Requests not yet completed (queued + active).
@@ -230,9 +329,90 @@ impl<'m> ServeEngine<'m> {
         self.queue.len() + self.active.len()
     }
 
+    /// Whether any request is still queued or active.
+    pub fn has_work(&self) -> bool {
+        !(self.queue.is_empty() && self.active.is_empty())
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// Resident sessions right now: active steppers plus queued
+    /// pre-ingested prefix forks (parked steppers hold none — parking
+    /// drops their sessions). O(1) via the running fork count.
+    fn resident_sessions(&self) -> usize {
+        debug_assert_eq!(
+            self.queued_forks,
+            self.queue
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        QueueEntry::Fresh {
+                            session: Some(_),
+                            ..
+                        }
+                    )
+                })
+                .count(),
+            "queued-fork counter out of sync with the queue"
+        );
+        self.active.len() + self.queued_forks
+    }
+
+    fn note_resident(&mut self) {
+        self.stats.peak_resident_sessions = self
+            .stats
+            .peak_resident_sessions
+            .max(self.resident_sessions());
+    }
+
+    /// Enforces [`ServeConfig::session_cap`]: while over budget, idle
+    /// prefix forks are dropped least-recently-submitted first (queue
+    /// order). Dropping is the exact-replay eviction path — the request
+    /// is admitted later from a fresh session replaying its full
+    /// prompt, which reconstructs the fork's state exactly (sessions
+    /// are pure functions of their token context), so outputs are
+    /// untouched. Active sessions are never evicted here; the cap
+    /// squeezes the idle pool that unbounded streaming arrivals grow.
+    fn enforce_session_cap(&mut self) {
+        let Some(cap) = self.cfg.session_cap else {
+            return;
+        };
+        let mut over = self.resident_sessions().saturating_sub(cap.max(1));
+        if over == 0 {
+            return;
+        }
+        for entry in self.queue.iter_mut() {
+            if over == 0 {
+                break;
+            }
+            if let QueueEntry::Fresh { session, .. } = entry {
+                if session.is_some() {
+                    *session = None;
+                    self.queued_forks -= 1;
+                    self.stats.session_evictions += 1;
+                    over -= 1;
+                }
+            }
+        }
+    }
+
+    /// Removes queue entry `pos`, keeping the fork counter in sync.
+    fn take_queued(&mut self, pos: usize) -> QueueEntry<'m> {
+        let entry = self.queue.remove(pos);
+        if matches!(
+            entry,
+            QueueEntry::Fresh {
+                session: Some(_),
+                ..
+            }
+        ) {
+            self.queued_forks -= 1;
+        }
+        entry
     }
 
     fn make_stepper(
@@ -272,7 +452,11 @@ impl<'m> ServeEngine<'m> {
 
     fn admit(&mut self, entry: QueueEntry<'m>) {
         match entry {
-            QueueEntry::Fresh { req, session } => {
+            QueueEntry::Fresh {
+                req,
+                session,
+                seen_secs,
+            } => {
                 let stepper = self.make_stepper(&req, session);
                 self.active.push(Active {
                     id: req.id,
@@ -282,6 +466,9 @@ impl<'m> ServeEngine<'m> {
                     last_step: self.tick,
                     max_gap: 0,
                     preemptions: 0,
+                    seen_secs,
+                    step_ticks: Vec::new(),
+                    first_commit_secs: None,
                 });
             }
             QueueEntry::Parked(mut a) => {
@@ -305,7 +492,7 @@ impl<'m> ServeEngine<'m> {
             else {
                 break;
             };
-            let entry = self.queue.remove(pos);
+            let entry = self.take_queued(pos);
             self.admit(entry);
         }
     }
@@ -345,30 +532,74 @@ impl<'m> ServeEngine<'m> {
         parked.preemptions += 1;
         self.stats.preemptions += 1;
         self.queue.push(QueueEntry::Parked(Box::new(parked)));
-        let entry = self.queue.remove(pos);
+        let entry = self.take_queued(pos);
         self.admit(entry);
     }
 
     fn finish(&mut self, a: Active<'m>) {
         self.stats.served_tokens += a.stepper.generated();
         let draft_stats = a.stepper.draft_stats();
+        let output = a.stepper.into_output();
+        debug_assert_eq!(
+            a.step_ticks.len(),
+            output.trace.len(),
+            "every decoding step commits on some tick"
+        );
         self.completions.push(Completion {
             id: a.id,
-            output: a.stepper.into_output(),
+            output,
             draft_stats,
             submitted: a.submitted,
             admitted: a.admitted,
             finished: self.tick,
             max_service_gap: a.max_gap,
             preemptions: a.preemptions,
+            step_ticks: a.step_ticks,
+            seen_secs: a.seen_secs,
+            first_token_secs: a.first_commit_secs,
+            finished_secs: self.started.elapsed().as_secs_f64(),
         });
+    }
+
+    /// Idle fast-forward: with nothing active and nothing admissible
+    /// before some future arrival tick, jump the clock there instead of
+    /// burning empty ticks one by one (open-loop workloads can be
+    /// sparse). Parked entries are always admissible, so the jump only
+    /// happens when every queue entry is a future fresh arrival.
+    fn fast_forward_idle(&mut self) {
+        if !self.active.is_empty() || self.queue.is_empty() {
+            return;
+        }
+        let next = self
+            .queue
+            .iter()
+            .map(|e| match e {
+                QueueEntry::Fresh { req, .. } => req.arrival,
+                QueueEntry::Parked(_) => 0,
+            })
+            .min()
+            .expect("queue is non-empty");
+        if next > self.tick + 1 {
+            self.stats.idle_ticks_skipped += next - 1 - self.tick;
+            self.tick = next - 1;
+        }
     }
 
     /// Runs one scheduler tick; returns `false` once no work remains.
     pub fn tick(&mut self, cost: &GpuCostModel) -> bool {
-        if self.queue.is_empty() && self.active.is_empty() {
+        if !self.has_work() {
             return false;
         }
+        self.run_tick(cost);
+        self.has_work()
+    }
+
+    /// The tick body: admission, selection, fused propose/verify,
+    /// commit. Requires work to exist.
+    fn run_tick(&mut self, cost: &GpuCostModel) {
+        self.enforce_session_cap();
+        self.note_resident();
+        self.fast_forward_idle();
         self.tick += 1;
         self.stats.ticks += 1;
         self.admit_ready();
@@ -393,13 +624,14 @@ impl<'m> ServeEngine<'m> {
         }
 
         // Fused propose: one batched trunk + per-head pass serves every
-        // MEDUSA-style member of the batch. Below the batched kernel's
-        // lane width the padded lanes + per-head transposes cost more
-        // than the per-session cached path saves (measured in
-        // BENCH_serve.json), so propose fusion waits for a full lane;
-        // verify fusion has no such floor because the serial path runs
-        // the same batched kernel anyway.
-        const MIN_FUSED_PROPOSE: usize = 8;
+        // MEDUSA-style member of the batch. The batched kernel now
+        // selects its accumulator lane width per batch size
+        // (`verispec_lm::matrix::lanes_for`: 4 lanes up to batch 4, 8
+        // up to 8, 16 beyond), so a 2-candidate fusion pads to 4 lanes
+        // instead of 8 and cross-request propose fusion pays from the
+        // 2–8 batch range this engine actually serves; only a lone
+        // candidate still takes the cached per-session path.
+        const MIN_FUSED_PROPOSE: usize = 2;
         let mut pre: HashMap<usize, Vec<Vec<f32>>> = HashMap::new();
         if let Some(model) = self.fused {
             // Count candidates before gathering, so small batches never
@@ -462,15 +694,23 @@ impl<'m> ServeEngine<'m> {
         }
 
         // Commit: acceptance, rollback, clock — all request-local.
+        // Every non-Done phase commits at least one token (NTP/draft
+        // always commit; speculative commits at least its base token),
+        // so the commit tick doubles as the inter-token telemetry
+        // timestamp.
         for (i, phase) in phases {
             match phase {
-                Phase::Done => {}
+                Phase::Done => continue,
                 Phase::Commit => self.active[i].stepper.commit(Vec::new(), cost),
                 Phase::Verify { .. } => {
                     let s = scored.remove(&i).expect("scored in verify phase");
                     self.active[i].stepper.commit(s, cost);
                 }
             }
+            let now = self.started.elapsed().as_secs_f64();
+            let a = &mut self.active[i];
+            a.step_ticks.push(self.tick);
+            a.first_commit_secs.get_or_insert(now);
         }
 
         let mut i = 0;
@@ -482,17 +722,59 @@ impl<'m> ServeEngine<'m> {
                 i += 1;
             }
         }
-        !(self.queue.is_empty() && self.active.is_empty())
     }
 
-    /// Drives the tick loop until every submitted request completes.
-    pub fn run(mut self, cost: &GpuCostModel) -> ServeReport {
-        while self.tick(cost) {}
+    fn into_report(mut self) -> ServeReport {
         self.completions.sort_by_key(|c| c.id);
         ServeReport {
             completions: self.completions,
             stats: self.stats,
         }
+    }
+
+    /// Drives the tick loop until every submitted request completes.
+    pub fn run(mut self, cost: &GpuCostModel) -> ServeReport {
+        while self.tick(cost) {}
+        self.into_report()
+    }
+
+    /// Drives the engine against a live arrival channel: each loop
+    /// iteration drains newly arrived requests into the admission queue
+    /// ([`ServeEngine::drain_arrivals`]) and runs one tick; when idle
+    /// with the stream still open it blocks for the next arrival
+    /// instead of spinning. Returns once the channel disconnects and
+    /// every drained request has completed.
+    ///
+    /// Per-request outputs are bit-identical to batch
+    /// [`ServeEngine::run`] regardless of send timing (serving never
+    /// changes semantics), and when every request is sent before its
+    /// arrival tick is processed the whole tick schedule — admission,
+    /// queueing delays, commit ticks — matches the batch run too (the
+    /// property `verispec-load`'s streaming proptest pins).
+    pub fn run_streaming(
+        mut self,
+        arrivals: std::sync::mpsc::Receiver<Request>,
+        cost: &GpuCostModel,
+    ) -> ServeReport {
+        let mut open = true;
+        loop {
+            if open {
+                let (_, disconnected) = self.drain_arrivals(&arrivals);
+                open = !disconnected;
+            }
+            if self.has_work() {
+                self.run_tick(cost);
+            } else if open {
+                // Idle with the stream open: block for the next arrival.
+                match arrivals.recv() {
+                    Ok(req) => self.submit(req),
+                    Err(_) => open = false,
+                }
+            } else {
+                break;
+            }
+        }
+        self.into_report()
     }
 }
 
@@ -512,6 +794,28 @@ pub fn serve_all(
         engine.submit(req);
     }
     engine.run(cost)
+}
+
+/// The open-loop sibling of [`serve_all`]: serves requests as they
+/// arrive on `arrivals` (see [`ServeEngine::run_streaming`]), with an
+/// optional shared prompt-prefix session each matching arrival is
+/// forked from ([`ServeEngine::with_prefix`]).
+pub fn serve_streaming<'m>(
+    model: &'m MlpLm,
+    draft: Option<&'m dyn LanguageModel>,
+    prefix: Option<&'m dyn DecodeSession>,
+    arrivals: std::sync::mpsc::Receiver<Request>,
+    cfg: &ServeConfig,
+    cost: &GpuCostModel,
+) -> ServeReport {
+    let mut engine = ServeEngine::new(model, cfg.clone());
+    if let Some(d) = draft {
+        engine = engine.with_draft(d);
+    }
+    if let Some(p) = prefix {
+        engine = engine.with_prefix(p);
+    }
+    engine.run_streaming(arrivals, cost)
 }
 
 /// The multi-core variant: requests are sharded round-robin across
@@ -565,6 +869,11 @@ pub fn serve_all_threaded(
         stats.local_verify_calls += r.stats.local_verify_calls;
         stats.preemptions += r.stats.preemptions;
         stats.served_tokens += r.stats.served_tokens;
+        stats.session_evictions += r.stats.session_evictions;
+        stats.peak_resident_sessions = stats
+            .peak_resident_sessions
+            .max(r.stats.peak_resident_sessions);
+        stats.idle_ticks_skipped = stats.idle_ticks_skipped.max(r.stats.idle_ticks_skipped);
     }
     completions.sort_by_key(|c| c.id);
     ServeReport { completions, stats }

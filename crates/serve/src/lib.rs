@@ -12,19 +12,22 @@
 //! level:
 //!
 //! ```text
-//!   submit(Request)            ServeEngine                   model
-//!   ───────────────►  queue ─► admission ─► active pool
-//!                                (arrival,    one Stepper
-//!                                 preempt)    per request
+//!   submit(Request) ──────────┐      ServeEngine                 model
+//!   mpsc arrivals ─► drain_ ──┴► queue ─► admission ─► active pool
+//!   (open-loop,      arrivals   (prefix    (arrival,    one Stepper
+//!    per tick)                   forks ≤    preempt,    per request
+//!                                session_   LRU evict
+//!                                cap)       = replay)
 //!                              ┌───────────────────────────┐
 //!                       tick:  │ Scheduler.select ≤ batch  │
 //!                              │ fused propose  ───────────┼─► multi_logits_many
 //!                              │ fused verify   ───────────┼─► verify_many
 //!                              │ per-request commit        │   (one matvec_batch
-//!                              └───────────────────────────┘    pass each, row-
-//!                                     │ done                    sharded across
-//!                                     ▼                         threads when big)
-//!                               Completion{output, stats}
+//!                              │  └ step_ticks telemetry   │    pass each, lane-
+//!                              └───────────────────────────┘    tuned 4/8/16 and
+//!                                     │ done                    row-sharded when
+//!                                     ▼                         big)
+//!                          Completion{output, step_ticks, stats}
 //! ```
 //!
 //! * **[`Request`]** — prompt, per-request engine choice
@@ -33,7 +36,8 @@
 //! * **[`Scheduler`]** — selects each tick's batch under a fairness
 //!   policy ([`TickOrder`]), with an aging guard that bounds every
 //!   request's service gap by its forcing threshold plus a few
-//!   rotations (no starvation under *any* order), and
+//!   rotations (no starvation under *any* order, including streaming
+//!   admission — arrivals join the same queue the guard covers), and
 //!   rollback-aware preemption: between steps a stepper holds exactly
 //!   its committed context (speculation already rolled back), so a
 //!   victim's sessions can be dropped and later rebuilt by replaying
@@ -44,9 +48,18 @@
 //!   [`verispec_lm::multi_logits_many`] / [`verispec_lm::verify_many`]
 //!   passes over the shared model, so concurrent generations share
 //!   trunk/head matmuls instead of issuing one small batch each.
-//! * **[`serve_all`] / [`serve_all_threaded`]** — synchronous drivers;
-//!   the threaded variant shards requests across a
-//!   `std::thread::scope` worker pool of engines over the same model.
+//!   Streaming admission ([`ServeEngine::drain_arrivals`] /
+//!   [`ServeEngine::run_streaming`]) feeds the queue from an `mpsc`
+//!   channel each tick so open-loop arrivals join mid-flight; a
+//!   memory budget ([`ServeConfig::session_cap`]) LRU-evicts queued
+//!   prefix forks through the same exact-replay path so thousands of
+//!   queued arrivals cannot grow the session pool unboundedly; and
+//!   per-request commit ticks plus wall timestamps land in
+//!   [`Completion`] for the latency telemetry in `verispec-load`.
+//! * **[`serve_all`] / [`serve_streaming`] / [`serve_all_threaded`]** —
+//!   drivers: closed-loop batch, open-loop channel-fed, and the
+//!   `std::thread::scope` worker pool sharding requests across engines
+//!   over the same model.
 //!
 //! # The invariant
 //!
@@ -60,8 +73,11 @@
 //! kernels are bit-identical per input regardless of batch
 //! composition; and each request owns its sampler and sessions, so
 //! scheduling cannot perturb its randomness. `tests/proptest_serve.rs`
-//! pins the property over random request mixes, engines, seeds, and
-//! tick orders, along with the no-starvation bound.
+//! pins the property over random request mixes, engines, seeds, tick
+//! orders, and session caps, along with the no-starvation bound;
+//! `verispec-load`'s streaming proptest additionally pins streaming
+//! admission == batch [`serve_all`] under random arrival processes and
+//! eviction pressure.
 //!
 //! # Example
 //!
@@ -93,7 +109,8 @@ pub mod request;
 pub mod scheduler;
 
 pub use engine::{
-    serve_all, serve_all_threaded, ServeConfig, ServeEngine, ServeReport, ServeStats,
+    serve_all, serve_all_threaded, serve_streaming, ServeConfig, ServeEngine, ServeReport,
+    ServeStats,
 };
 pub use request::{Completion, EngineChoice, Request};
 pub use scheduler::{ActiveView, Scheduler, TickOrder};
@@ -339,6 +356,102 @@ mod tests {
         for (a, b) in single.completions.iter().zip(&pooled.completions) {
             assert_eq!(a.id, b.id);
             assert_eq!(a.output.tokens, b.output.tokens);
+        }
+    }
+
+    #[test]
+    fn streaming_admission_matches_batch_run_tick_for_tick() {
+        let m = model();
+        let d = draft();
+        let cost = GpuCostModel::codellama_like();
+        // Staggered arrivals, including a sparse gap the idle
+        // fast-forward must bridge identically on both paths.
+        let mut requests = mixed_requests(10);
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = [0u64, 0, 3, 3, 40, 41][i % 6];
+        }
+        let cfg = ServeConfig {
+            max_active: 3,
+            max_batch: 2,
+            preempt_wait: Some(2),
+            ..Default::default()
+        };
+        let batch = serve_all(&m, Some(&d), requests.clone(), &cfg, &cost);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for r in requests {
+            tx.send(r).expect("receiver alive");
+        }
+        drop(tx);
+        let streamed = serve_streaming(&m, Some(&d), None, rx, &cfg, &cost);
+        assert_eq!(batch.completions.len(), streamed.completions.len());
+        for (a, b) in batch.completions.iter().zip(&streamed.completions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.output.tokens, b.output.tokens);
+            assert_eq!(a.output.trace, b.output.trace);
+            assert_eq!(a.submitted, b.submitted);
+            assert_eq!(a.admitted, b.admitted, "request {} admission tick", a.id);
+            assert_eq!(a.finished, b.finished);
+            assert_eq!(a.step_ticks, b.step_ticks, "request {} commit ticks", a.id);
+        }
+        assert_eq!(batch.stats.ticks, streamed.stats.ticks);
+        assert!(
+            streamed.stats.idle_ticks_skipped > 0,
+            "the sparse tail must exercise the idle fast-forward"
+        );
+    }
+
+    #[test]
+    fn session_cap_evicts_idle_forks_without_changing_outputs() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let shared: Vec<TokenId> = vec![1, 2, 3];
+        let mut prefix = m.session();
+        prefix.append(&shared);
+        let mk_requests = || -> Vec<Request> {
+            (0..6u64)
+                .map(|i| {
+                    let mut prompt = shared.clone();
+                    prompt.push(4 + (i % 3) as TokenId);
+                    Request::new(
+                        i,
+                        prompt,
+                        EngineChoice::SyntaxAligned { tree: None },
+                        DecodeConfig {
+                            max_tokens: 8,
+                            seed: i,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect()
+        };
+        let run = |cap: Option<usize>| -> ServeReport {
+            let cfg = ServeConfig {
+                max_active: 2,
+                max_batch: 2,
+                session_cap: cap,
+                ..Default::default()
+            };
+            let mut engine = ServeEngine::new(&m, cfg).with_prefix(&*prefix);
+            for r in mk_requests() {
+                engine.submit(r);
+            }
+            engine.run(&cost)
+        };
+        let unbounded = run(None);
+        let capped = run(Some(3));
+        // Six queued forks against a budget of 3 (2 of which the active
+        // pool occupies) must evict.
+        assert!(unbounded.stats.session_evictions == 0);
+        assert!(unbounded.stats.peak_resident_sessions >= 6);
+        assert!(capped.stats.session_evictions > 0, "cap must evict forks");
+        // The cap binds: apart from the submit-time transient (+1
+        // before enforcement runs), residency never exceeds the budget.
+        assert!(capped.stats.peak_resident_sessions <= 3 + 1);
+        assert!(capped.stats.peak_resident_sessions < unbounded.stats.peak_resident_sessions);
+        for (a, b) in unbounded.completions.iter().zip(&capped.completions) {
+            assert_eq!(a.output.tokens, b.output.tokens, "eviction changed output");
+            assert_eq!(a.output.trace, b.output.trace);
         }
     }
 

@@ -139,4 +139,28 @@ pub struct Completion {
     pub max_service_gap: u64,
     /// Times the request was preempted (parked and later resumed).
     pub preemptions: u32,
+    /// Tick of every decoding step, aligned with `output.trace` (each
+    /// step commits at least one token, so `step_ticks[0]` is the
+    /// time-to-first-token tick and consecutive differences are the
+    /// inter-commit gaps the latency telemetry aggregates).
+    pub step_ticks: Vec<u64>,
+    /// Engine-relative wall-clock seconds at which the request became
+    /// visible (submission or arrival-channel receipt).
+    pub seen_secs: f64,
+    /// Engine-relative wall-clock seconds of the first committed token.
+    pub first_token_secs: Option<f64>,
+    /// Engine-relative wall-clock seconds of the final decoding step.
+    pub finished_secs: f64,
+}
+
+impl Completion {
+    /// Tick at which the request committed its first token.
+    pub fn first_token_tick(&self) -> Option<u64> {
+        self.step_ticks.first().copied()
+    }
+
+    /// Queueing delay in ticks: submission to first admission.
+    pub fn queue_ticks(&self) -> u64 {
+        self.admitted.saturating_sub(self.submitted)
+    }
 }

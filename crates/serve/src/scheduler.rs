@@ -7,9 +7,12 @@
 //! beyond `max_batch` waits at the head of the next ticks), so every
 //! policy — including the deliberately adversarial seeded shuffle the
 //! property tests use — has a hard worst-case service gap of the
-//! threshold plus a few rotations (see [`Scheduler::starvation_bound`]). Outputs are unaffected by selection order (each
-//! request's sampler and sessions are private), so scheduling is purely
-//! a throughput/fairness lever.
+//! threshold plus a few rotations (see [`Scheduler::starvation_bound`]).
+//! The bound is per-request and admission-agnostic: requests admitted
+//! mid-flight by streaming arrivals are covered from their admission
+//! tick exactly like closed-loop submissions. Outputs are unaffected by
+//! selection order (each request's sampler and sessions are private),
+//! so scheduling is purely a throughput/fairness lever.
 
 use serde::{Deserialize, Serialize};
 

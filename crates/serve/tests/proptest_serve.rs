@@ -1,7 +1,8 @@
 //! Property tests pinning the serving invariant: for random request
 //! mixes (engines, prompts, budgets, seeds, sampling), random scheduler
-//! configurations (tick order, batch size, pool size, preemption), and
-//! prefix-forked admissions, every served request's output is
+//! configurations (tick order, batch size, pool size, preemption,
+//! session-eviction caps), and prefix-forked admissions, every served
+//! request's output is
 //! **token-for-token identical** to running the serial single-session
 //! engine (`decode_ntp` / `decode_speculative` /
 //! `decode_draft_speculative`) on it alone — and no request starves
@@ -119,6 +120,7 @@ proptest! {
         order in any_order(),
         preempt in prop_oneof![Just(None), (1u64..4).prop_map(Some)],
         fuse in any::<bool>(),
+        session_cap in prop_oneof![Just(None), (1usize..6).prop_map(Some)],
     ) {
         let mut draft = NgramLm::new(2, model.vocab_size());
         draft.train_sequence(&draft_seq);
@@ -144,6 +146,7 @@ proptest! {
             order,
             preempt_wait: preempt,
             fuse,
+            session_cap,
         };
         let mut prefix_session = model.session();
         prefix_session.append(&shared);

@@ -18,6 +18,7 @@
 //! | [`core`] | `verispec-core` | syntax-enriched labels, acceptance, decoding engines |
 //! | [`data`] | `verispec-data` | synthetic corpus with golden models |
 //! | [`serve`] | `verispec-serve` | continuous-batching multi-request serving engine |
+//! | [`load`] | `verispec-load` | open-loop load generation + latency-percentile telemetry |
 //! | [`sim`] | `verispec-sim` | behavioral simulator + testbench harness |
 //! | [`eval`] | `verispec-eval` | benchmarks, judge, experiment runners |
 //!
@@ -40,6 +41,7 @@ pub use verispec_core as core;
 pub use verispec_data as data;
 pub use verispec_eval as eval;
 pub use verispec_lm as lm;
+pub use verispec_load as load;
 pub use verispec_serve as serve;
 pub use verispec_sim as sim;
 pub use verispec_tokenizer as tokenizer;
