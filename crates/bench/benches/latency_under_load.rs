@@ -7,12 +7,25 @@
 //! prompts, budgets, and seeds: equal offered load, only the engine
 //! differs.
 //!
+//! On top of the method sweep, each load level runs the **speculation
+//! policy A/B**: the same arrivals forced to Ours-tree, now carrying
+//! SLO deadlines, served under a fixed per-tick verify capacity with
+//! earliest-deadline-first scheduling and load-shedding admission
+//! control, once per policy — static (frozen tree), adaptive
+//! (per-request history-driven speculation length), and budgeted
+//! (shrink-to-fit packing of the tick's candidate budget). The rows
+//! record SLO attainment and acceptance rates alongside the latency
+//! percentiles — the measured answer to "Performance or Illusion?"
+//! under batch pressure.
+//!
 //! Emits `BENCH_load.json` at the workspace root with exact
 //! p50/p90/p99 queueing delay, TTFT, per-token inter-commit gaps, and
 //! end-to-end latency in scheduler ticks plus measured wall-clock,
 //! alongside session-eviction high-water stats. Every streamed run is
 //! asserted token-for-token and tick-for-tick identical to batch
-//! submission before its numbers are recorded.
+//! submission before its numbers are recorded, and every workload's
+//! realized arrivals are asserted to round-trip bit-identically
+//! through the JSON `ArrivalTrace`.
 //!
 //! `--test` runs a shrunk workload (CI smoke) but still sweeps all
 //! three load levels and emits the artifact.

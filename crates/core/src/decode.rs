@@ -18,6 +18,7 @@
 //! plus a marginal cost per speculated candidate token.
 
 use crate::accept::TypicalAcceptance;
+use crate::policy::{SpecPolicy, SpecShape};
 use serde::{Deserialize, Serialize};
 use verispec_lm::{argmax, DecodeClock, GpuCostModel, LanguageModel, Sampling, TokenId};
 use verispec_tokenizer::special;
@@ -147,21 +148,55 @@ pub fn decode_speculative(
     stepper.into_output()
 }
 
-/// Maximum number of candidate paths explored per step in tree mode.
-const MAX_CANDIDATE_PATHS: usize = 32;
+/// [`decode_speculative`] under an explicit speculation policy: each
+/// step's candidate-tree shape is the policy's decision over the
+/// generation's own acceptance history instead of the frozen
+/// `cfg.tree`. With [`crate::policy::StaticPolicy`] this is exactly
+/// [`decode_speculative`]; with [`crate::policy::AdaptivePolicy`] it is
+/// the serial reference a policy-driven serving engine is
+/// token-identical to.
+pub fn decode_speculative_with_policy(
+    model: &dyn LanguageModel,
+    prompt: &[TokenId],
+    cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+    policy: &dyn SpecPolicy,
+) -> DecodeOutput {
+    let mut stepper =
+        crate::step::Stepper::speculative(model, prompt, cfg.clone()).with_policy(policy);
+    while stepper.step(cost) {}
+    stepper.into_output()
+}
 
-/// Builds the speculated candidate paths from per-head logits.
+/// Maximum number of candidate paths explored per step in tree mode.
+pub(crate) const MAX_CANDIDATE_PATHS: usize = 32;
+
+/// Builds the speculated candidate paths from per-head logits for one
+/// step's [`SpecShape`] (the per-step decision of a
+/// [`crate::policy::SpecPolicy`]; the static policy maps
+/// `DecodeConfig.tree` onto shapes exactly, so this is the same
+/// construction the engines always ran). `shape.depth == n_heads`
+/// with the configured widths reproduces the pre-policy builder
+/// bit-identically.
+///
+/// # Panics
+///
+/// Panics on [`SpecShape::Draft`]: draft blocks are proposed by the
+/// draft model, not built from head logits.
 pub(crate) fn build_candidate_paths(
     all_logits: &[Vec<f32>],
     n_heads: usize,
-    tree: &Option<Vec<usize>>,
+    shape: &SpecShape,
 ) -> Vec<Vec<TokenId>> {
-    match tree {
-        None => vec![(1..=n_heads).map(|i| argmax(&all_logits[i])).collect()],
-        Some(ks) => {
+    match shape {
+        SpecShape::Chain { depth } => vec![(1..=(*depth).min(n_heads))
+            .map(|i| argmax(&all_logits[i]))
+            .collect()],
+        SpecShape::Tree { widths, depth } => {
+            let depth = (*depth).min(n_heads);
             let mut paths: Vec<Vec<TokenId>> = vec![Vec::new()];
-            for (head_idx, head_logits) in all_logits.iter().enumerate().take(n_heads + 1).skip(1) {
-                let k = ks.get(head_idx - 1).copied().unwrap_or(1).max(1);
+            for (head_idx, head_logits) in all_logits.iter().enumerate().take(depth + 1).skip(1) {
+                let k = widths.get(head_idx - 1).copied().unwrap_or(1).max(1);
                 let options = verispec_lm::top_k_indices(head_logits, k);
                 let mut next = Vec::with_capacity(paths.len() * options.len());
                 'grow: for p in &paths {
@@ -177,6 +212,9 @@ pub(crate) fn build_candidate_paths(
                 paths = next;
             }
             paths
+        }
+        SpecShape::Draft { .. } => {
+            unreachable!("draft blocks are proposed by the draft model, not built from head logits")
         }
     }
 }
@@ -457,10 +495,17 @@ mod tests {
             vec![9.0, 1.0, 0.0, 0.0], // head 1: top-2 = [0, 1]
             vec![0.0, 0.0, 3.0, 2.0], // head 2: top-1 = [2]
         ];
-        let paths = super::build_candidate_paths(&logits, 2, &Some(vec![2, 1]));
+        let tree = SpecShape::Tree {
+            widths: vec![2, 1],
+            depth: 2,
+        };
+        let paths = super::build_candidate_paths(&logits, 2, &tree);
         assert_eq!(paths, vec![vec![0, 2], vec![1, 2]]);
-        let chain = super::build_candidate_paths(&logits, 2, &None);
+        let chain = super::build_candidate_paths(&logits, 2, &SpecShape::Chain { depth: 2 });
         assert_eq!(chain, vec![vec![0, 2]]);
+        // A shallower shape explores fewer head levels.
+        let short = super::build_candidate_paths(&logits, 2, &SpecShape::Chain { depth: 1 });
+        assert_eq!(short, vec![vec![0]]);
     }
 
     #[test]

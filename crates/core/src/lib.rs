@@ -18,7 +18,11 @@
 //! * **Step-granular decoding** ([`step`]) — every engine decomposed
 //!   into propose → verify → commit phases over a [`Stepper`], the hook
 //!   a multi-request scheduler (`verispec-serve`) drives to fuse
-//!   verification across concurrent generations.
+//!   verification across concurrent generations;
+//! * **Speculation policies** ([`policy`]) — the per-request, per-step
+//!   decision of *how much speculation to buy*: the static configured
+//!   shape, history-adaptive speculation length, or a per-tick
+//!   candidate budget a serving engine divides across its batch.
 //!
 //! # Examples
 //!
@@ -41,14 +45,20 @@ pub mod accept;
 pub mod decode;
 pub mod draft;
 pub mod labels;
+pub mod policy;
 pub mod step;
 pub mod train;
 
 pub use accept::TypicalAcceptance;
 pub use decode::{
-    decode_ntp, decode_speculative, DecodeConfig, DecodeMethod, DecodeOutput, StepTrace,
+    decode_ntp, decode_speculative, decode_speculative_with_policy, DecodeConfig, DecodeMethod,
+    DecodeOutput, StepTrace,
 };
 pub use draft::{decode_draft_speculative, DraftConfig, DraftStats};
 pub use labels::LabelGrid;
+pub use policy::{
+    AcceptHistory, AdaptivePolicy, BudgetedPolicy, ShapeQuery, SpecPolicy, SpecShape, StaticPolicy,
+    STATIC_POLICY,
+};
 pub use step::{Phase, Stepper};
 pub use train::{train, train_in_place, TrainConfig, TrainMethod, TrainReport};

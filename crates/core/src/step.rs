@@ -32,9 +32,20 @@
 //! replaying `prompt + generated tokens` into fresh sessions, an exact
 //! reconstruction because sessions are pure functions of their token
 //! context.
+//!
+//! **How much speculation each step buys** is decided by a
+//! [`crate::policy::SpecPolicy`]: every propose asks the policy for
+//! the step's [`crate::policy::SpecShape`] (tree widths/depth or draft
+//! γ) given the generation's own [`crate::policy::AcceptHistory`],
+//! which the stepper records at every commit and preserves across
+//! park/unpark. The default static policy reproduces the configured
+//! shape bit-identically; a serving engine may instead *pin* the shape
+//! it budgeted for ([`Stepper::pin_shape`]) so per-tick capacity
+//! accounting and the built candidate paths agree exactly.
 
 use crate::decode::{build_candidate_paths, DecodeConfig, DecodeOutput, StepTrace};
 use crate::draft::{tempered, DraftConfig, DraftStats};
+use crate::policy::{AcceptHistory, ShapeQuery, SpecPolicy, SpecShape, STATIC_POLICY};
 use verispec_lm::matrix::softmax;
 use verispec_lm::{
     argmax, DecodeClock, DecodeSession, GpuCostModel, LanguageModel, Sampler, Sampling, TokenId,
@@ -105,6 +116,19 @@ pub struct Stepper<'m> {
     out: DecodeOutput,
     pending: Option<Pending>,
     done: bool,
+    /// Per-step speculation-shape decision procedure; the default
+    /// [`crate::policy::StaticPolicy`] reproduces the configured shape
+    /// bit-identically.
+    policy: &'m dyn SpecPolicy,
+    /// Shape pinned by a serving engine for the next propose (so the
+    /// engine's per-tick budget accounting and the built paths agree).
+    pinned: Option<SpecShape>,
+    /// The configured shape, computed once at construction (`None` for
+    /// NTP) — propose never rebuilds it on the hot path.
+    base: Option<SpecShape>,
+    /// The generation's own per-step acceptance history — the pure
+    /// input adaptive policies decide from.
+    history: AcceptHistory,
 }
 
 impl<'m> Stepper<'m> {
@@ -136,6 +160,17 @@ impl<'m> Stepper<'m> {
             s.append(&prompt);
             s
         });
+        let base = match &engine {
+            EngineBody::Ntp { .. } => None,
+            EngineBody::Spec { cfg, n_heads } => Some(match &cfg.tree {
+                None => SpecShape::Chain { depth: *n_heads },
+                Some(widths) => SpecShape::Tree {
+                    widths: widths.clone(),
+                    depth: *n_heads,
+                },
+            }),
+            EngineBody::Draft { cfg, .. } => Some(SpecShape::Draft { gamma: cfg.gamma }),
+        };
         Stepper {
             target_model,
             draft_model,
@@ -147,7 +182,20 @@ impl<'m> Stepper<'m> {
             out: Self::new_output(),
             pending: None,
             done: false,
+            policy: &STATIC_POLICY,
+            pinned: None,
+            base,
+            history: AcceptHistory::default(),
         }
+    }
+
+    /// Replaces the speculation policy (default:
+    /// [`crate::policy::StaticPolicy`], the configured shape). The
+    /// policy decides each step's candidate-tree widths/depth or draft
+    /// block length from this generation's own acceptance history.
+    pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// A conventional next-token-prediction generation.
@@ -267,6 +315,44 @@ impl<'m> Stepper<'m> {
         }
     }
 
+    /// This generation's per-step acceptance history (speculated vs.
+    /// accepted candidate tokens) — the pure input speculation policies
+    /// decide from. Survives preemption: `park`/`unpark` never touch it.
+    pub fn history(&self) -> &AcceptHistory {
+        &self.history
+    }
+
+    /// The request's *configured* speculation shape — what the policy
+    /// adapts from. `None` for NTP steppers (nothing to speculate).
+    pub fn base_shape(&self) -> Option<SpecShape> {
+        self.base.clone()
+    }
+
+    /// Pins the shape of the **next** [`Stepper::propose`] (a serving
+    /// engine pins the shape it budgeted for, so cost accounting and
+    /// the built candidate paths agree). Without a pinned shape,
+    /// propose asks this stepper's own policy — the serial path.
+    pub fn pin_shape(&mut self, shape: SpecShape) {
+        self.pinned = Some(shape);
+    }
+
+    /// The shape the next step will run: the pinned one if a serving
+    /// engine set it, otherwise this stepper's policy decision over the
+    /// current history.
+    fn next_shape(&mut self) -> SpecShape {
+        match self.pinned.take() {
+            Some(shape) => shape,
+            None => self.policy.shape(&ShapeQuery {
+                base: self
+                    .base
+                    .as_ref()
+                    .expect("only speculative engines take shapes"),
+                history: &self.history,
+                cap: None,
+            }),
+        }
+    }
+
     /// Consumes the stepper, returning the final output.
     pub fn into_output(self) -> DecodeOutput {
         self.out
@@ -332,19 +418,26 @@ impl<'m> Stepper<'m> {
                     self.done = true;
                     return Phase::Done;
                 }
-                // Direct field access keeps `cfg` borrowed from
-                // `self.engine` while the disjoint session/sampler
-                // fields are used — no per-step config clone.
+                // Snapshot the Copy fields so the `self.engine`
+                // borrow ends before the policy and session fields are
+                // touched mutably.
+                let n_heads = *n_heads;
+                let (sampling, eos) = (cfg.sampling, cfg.eos);
+                // This step's speculation shape: pinned by the serving
+                // engine's budget pass, or this stepper's own policy
+                // (the static default reproduces the configured shape
+                // exactly).
+                let shape = self.next_shape();
                 let session = self
                     .target
                     .as_mut()
                     .expect("stepper is parked; unpark before stepping");
                 let step_start = session.len();
                 let all = all_logits.unwrap_or_else(|| session.multi_logits());
-                let base_tok = self.sampler.sample(&all[0], cfg.sampling);
-                let paths = build_candidate_paths(&all, *n_heads, &cfg.tree);
+                let base_tok = self.sampler.sample(&all[0], sampling);
+                let paths = build_candidate_paths(&all, n_heads, &shape);
                 let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
-                let verify_issued = base_tok != cfg.eos && candidate_tokens > 0;
+                let verify_issued = base_tok != eos && candidate_tokens > 0;
                 if verify_issued {
                     session.append(&[base_tok]);
                 }
@@ -369,6 +462,12 @@ impl<'m> Stepper<'m> {
                     return Phase::Done;
                 }
                 let cfg = *cfg;
+                // This step's draft block length: the policy's decision
+                // (static default = the configured γ).
+                let gamma = match self.next_shape() {
+                    SpecShape::Draft { gamma } => gamma.max(1),
+                    _ => cfg.gamma,
+                };
                 let draft = self
                     .draft
                     .as_mut()
@@ -377,8 +476,8 @@ impl<'m> Stepper<'m> {
                 let step_start = draft.len();
                 // The draft proposes a block of gamma tokens with its
                 // own probs, extending its session as it goes.
-                let mut proposals: Vec<(TokenId, Vec<f32>)> = Vec::with_capacity(cfg.gamma);
-                for _ in 0..cfg.gamma {
+                let mut proposals: Vec<(TokenId, Vec<f32>)> = Vec::with_capacity(gamma);
+                for _ in 0..gamma {
                     let mut q = softmax(&draft.logits());
                     tempered(&mut q, cfg.temperature);
                     let tok = self.sampler.sample_from_probs(&q);
@@ -579,6 +678,9 @@ impl<'m> Stepper<'m> {
             committed.extend_from_slice(&best);
         }
         let accepted = committed.len();
+        // Acceptance history: candidates offered vs. cashed (the base
+        // token is always committed, so it is excluded from both).
+        self.history.record(candidate_tokens, accepted - 1);
 
         // Syntax-integrity check (§III-B): the committed span must end
         // on a complete fragment.
@@ -679,6 +781,7 @@ impl<'m> Stepper<'m> {
         if let EngineBody::Draft { stats, .. } = &mut self.engine {
             stats.accepted += accepted_now;
         }
+        self.history.record(proposals.len(), accepted_now);
         // Bonus token when everything was accepted: drawn from the
         // already-scored position after the full proposal block.
         if !rejected && committed.last() != Some(&cfg.eos) {

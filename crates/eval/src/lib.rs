@@ -47,8 +47,8 @@ pub use experiments::{
 };
 pub use judge::{judge, Verdict};
 pub use load::{
-    load_families, load_methods, mean_budget, rates_for_utilizations, render_load_bench,
-    run_load_bench,
+    load_families, load_methods, mean_budget, policy_menu, rates_for_utilizations,
+    render_load_bench, run_load_bench,
 };
 pub use metrics::{mean_pass_at_k, pass_at_k, pass_rate, PromptCounts, QualityRow};
 pub use pipeline::{

@@ -16,11 +16,12 @@
 use crate::benchmarks::speed_prompts;
 use crate::pipeline::{token_budget, ModelScale, Pipeline, SharedPrefixEncoder};
 use crate::Scale;
-use verispec_core::TrainMethod;
+use verispec_core::{AdaptivePolicy, BudgetedPolicy, SpecPolicy, StaticPolicy, TrainMethod};
 use verispec_load::{
-    run_open_loop, ArrivalProcess, LoadBenchRow, PromptFamily, RequestMix, Workload,
+    run_open_loop, run_open_loop_with_policy, ArrivalProcess, ArrivalTrace, LoadBenchRow,
+    PromptFamily, RequestMix, Workload,
 };
-use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine};
+use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine, TickOrder};
 
 /// The three methods of the serve-aware Table II (all drive the same
 /// "Ours"-trained model; the engine choice is what Table II compares).
@@ -34,6 +35,37 @@ pub fn load_methods() -> Vec<(&'static str, EngineChoice)> {
         ),
         ("Medusa-tree", EngineChoice::MedusaTree(vec![3, 2])),
         ("NTP", EngineChoice::Ntp),
+    ]
+}
+
+/// Per-tick verify capacity of the policy A/B, as a multiple of
+/// `max_batch` (the NTP tokens-per-tick capacity): speculation must
+/// pay for its candidate tokens out of this budget, which is what
+/// makes "how much speculation to buy" a real per-tick decision.
+pub const POLICY_CAPACITY_FACTOR: usize = 3;
+
+/// SLO deadline slack of the policy A/B: each request must finish
+/// within this multiple of its ideal NTP service time (`budget` ticks).
+pub const POLICY_SLO_SLACK: f64 = 4.0;
+
+/// The policy A/B menu: (policy name, `ServeConfig::tick_capacity` to
+/// set, policy). All three run at the *same* effective per-tick verify
+/// capacity — static and adaptive via the engine knob, budgeted via
+/// its own [`verispec_core::SpecPolicy::tick_budget`] — so the A/B
+/// isolates the allocation policy, not the capacity.
+pub fn policy_menu(capacity: usize) -> Vec<(&'static str, Option<usize>, Box<dyn SpecPolicy>)> {
+    vec![
+        ("static", Some(capacity), Box::new(StaticPolicy)),
+        (
+            "adaptive",
+            Some(capacity),
+            Box::new(AdaptivePolicy::default()),
+        ),
+        (
+            "budgeted",
+            None,
+            Box::new(BudgetedPolicy { per_tick: capacity }),
+        ),
     ]
 }
 
@@ -101,13 +133,22 @@ pub fn rates_for_utilizations(utils: &[f64], max_batch: usize, mean_budget: f64)
 }
 
 /// Runs the latency-under-load sweep: `utilizations` offered-load
-/// levels × the three methods, all under streaming admission with
-/// prefix-forked sessions and a session cap of twice the pool.
+/// levels × the three methods (the legacy Table II, uncapacitated),
+/// plus the **policy A/B** — Ours-tree served under static vs.
+/// adaptive vs. budgeted speculation at the same per-tick verify
+/// capacity, with SLO deadlines, earliest-deadline-first scheduling,
+/// and load-shedding admission control — all under streaming admission
+/// with prefix-forked sessions and a session cap of twice the pool.
+///
+/// Also round-trips every workload's realized arrivals through the
+/// JSON [`ArrivalTrace`] and asserts the replay is field-for-field
+/// identical, so the CI smoke continuously proves trace replay.
 ///
 /// # Panics
 ///
 /// Panics if any streamed output diverges from batch submission of the
-/// identical workload — the bit-identity guarantee the bench relies on.
+/// identical workload (the bit-identity guarantee the bench relies on)
+/// or a recorded trace fails to replay exactly.
 pub fn run_load_bench(
     scale: &Scale,
     pipe: &Pipeline,
@@ -127,18 +168,21 @@ pub fn run_load_bench(
 
     let mut rows = Vec::new();
     for &rate in &rates {
+        let mix = RequestMix {
+            engines: load_methods().into_iter().map(|(_, e)| (e, 1.0)).collect(),
+            families: families.clone(),
+            greedy_fraction: 0.5,
+            temperature: (0.4, 0.9),
+            base: Default::default(),
+            deadline_slack: None,
+        };
         let workload = Workload {
             process: ArrivalProcess::Poisson { rate },
-            mix: RequestMix {
-                engines: load_methods().into_iter().map(|(_, e)| (e, 1.0)).collect(),
-                families: families.clone(),
-                greedy_fraction: 0.5,
-                temperature: (0.4, 0.9),
-                base: Default::default(),
-            },
+            mix,
             count: scale.speed_prompt_count.max(2),
             seed: 0x10AD_5EED,
         };
+        assert_trace_replays_exactly(&workload);
         for (name, engine) in load_methods() {
             // Equal offered load: identical arrivals/prompts/budgets/
             // seeds across methods, engine forced.
@@ -159,15 +203,84 @@ pub fn run_load_bench(
                 &cost,
                 &run,
                 name,
+                None,
             );
             rows.push(LoadBenchRow::new(workload.process.name(), rate, name, &run));
+        }
+
+        // Policy A/B: the same arrivals/prompts/budgets/seeds, now with
+        // SLO deadlines, all forced to Ours-tree, served under a fixed
+        // per-tick verify capacity with EDF scheduling and
+        // load-shedding admission control. Only the speculation policy
+        // varies.
+        let slo_workload = Workload {
+            mix: RequestMix {
+                deadline_slack: Some(POLICY_SLO_SLACK),
+                ..workload.mix.clone()
+            },
+            ..workload.clone()
+        };
+        let (ours_name, ours_engine) = load_methods().remove(0);
+        let requests = slo_workload.requests_with_engine(Some(&ours_engine));
+        let capacity = POLICY_CAPACITY_FACTOR * cfg.max_batch;
+        for (policy_name, tick_capacity, policy) in policy_menu(capacity) {
+            let pcfg = ServeConfig {
+                order: TickOrder::Edf,
+                tick_capacity,
+                shed_depth: Some(4 * concurrency),
+                ..cfg.clone()
+            };
+            let run = run_open_loop_with_policy(
+                &model,
+                None,
+                Some(&enc.preamble_ids),
+                requests.clone(),
+                &pcfg,
+                &cost,
+                Some(policy.as_ref()),
+            );
+            assert_streaming_matches_batch(
+                &model,
+                &enc.preamble_ids,
+                &requests,
+                &pcfg,
+                &cost,
+                &run,
+                policy_name,
+                Some(policy.as_ref()),
+            );
+            rows.push(LoadBenchRow::with_policy(
+                slo_workload.process.name(),
+                rate,
+                ours_name,
+                policy_name,
+                Some(capacity),
+                &run,
+            ));
         }
     }
     rows
 }
 
+/// Records the workload's realized arrivals, round-trips them through
+/// JSON, and asserts the replay is field-for-field identical — the
+/// trace-replay guarantee, continuously proven in the CI smoke.
+fn assert_trace_replays_exactly(workload: &Workload) {
+    let requests = workload.requests();
+    let trace = ArrivalTrace::record(&requests, workload.seed, &workload.mix.base);
+    let json = trace.to_json().expect("trace serializes");
+    let replayed = ArrivalTrace::from_json(&json)
+        .expect("trace parses back")
+        .replay();
+    assert_eq!(
+        replayed, requests,
+        "trace replay must reproduce the workload exactly"
+    );
+}
+
 /// Asserts the streamed run's outputs equal batch submission of the
-/// same workload, token for token and tick for tick.
+/// same workload, token for token and tick for tick (including which
+/// requests load shedding rejected).
 #[allow(clippy::too_many_arguments)] // private assertion glue
 fn assert_streaming_matches_batch(
     model: &verispec_lm::MlpLm,
@@ -177,11 +290,15 @@ fn assert_streaming_matches_batch(
     cost: &verispec_lm::GpuCostModel,
     run: &verispec_load::LoadRunReport,
     method: &str,
+    policy: Option<&dyn SpecPolicy>,
 ) {
     use verispec_lm::LanguageModel;
     let mut prefix = model.session();
     prefix.append(preamble);
     let mut engine = ServeEngine::new(model, cfg.clone()).with_prefix(&*prefix);
+    if let Some(p) = policy {
+        engine = engine.with_policy(p);
+    }
     for req in requests {
         engine.submit(req.clone());
     }
@@ -190,6 +307,10 @@ fn assert_streaming_matches_batch(
         batch.completions.len(),
         run.serve.completions.len(),
         "{method}: streamed run lost requests"
+    );
+    assert_eq!(
+        batch.shed, run.serve.shed,
+        "{method}: streamed shedding diverged from batch"
     );
     for (a, b) in batch.completions.iter().zip(&run.serve.completions) {
         assert_eq!(
@@ -205,34 +326,47 @@ fn assert_streaming_matches_batch(
     }
 }
 
-/// Renders the sweep as the serve-aware Table II.
+/// Renders the sweep as the serve-aware Table II, policy A/B included.
 pub fn render_load_bench(rows: &[LoadBenchRow]) -> String {
     let mut out = String::new();
     out.push_str(
         "Latency under load — serve-aware Table II (streaming admission, equal offered load)\n",
     );
     out.push_str(
-        "process  rate    method       reqs  tokens  ticks  tok/tick  \
-         TTFT p50/p90/p99      E2E p50/p90/p99 (ticks)  evict\n",
+        "process  rate    method       policy    cap  reqs shed  tokens  ticks  tok/tick  acc%  \
+         TTFT p50/p90/p99      E2E p50/p90/p99 (ticks)  SLO%\n",
     );
     for r in rows {
+        let cap = r
+            .tick_capacity
+            .map_or("  - ".to_string(), |c| format!("{c:>4}"));
+        let acc = r
+            .acceptance_rate
+            .map_or("  - ".to_string(), |a| format!("{:>4.0}", 100.0 * a));
+        let slo = r
+            .slo_attainment
+            .map_or("   -".to_string(), |s| format!("{:>4.0}", 100.0 * s));
         out.push_str(&format!(
-            "{:<8} {:<7.4} {:<12} {:>4} {:>7} {:>6} {:>9.2}  \
-             {:>5.0}/{:>5.0}/{:>6.0}  {:>7.0}/{:>7.0}/{:>8.0}  {:>5}\n",
+            "{:<8} {:<7.4} {:<12} {:<9} {} {:>4} {:>4} {:>7} {:>6} {:>9.2}  {}  \
+             {:>5.0}/{:>5.0}/{:>6.0}  {:>7.0}/{:>7.0}/{:>8.0}  {}\n",
             r.process,
             r.offered_rate,
             r.method,
+            r.policy,
+            cap,
             r.requests,
+            r.shed_requests,
             r.tokens,
             r.ticks,
             r.tokens_per_tick,
+            acc,
             r.ttft_ticks.p50,
             r.ttft_ticks.p90,
             r.ttft_ticks.p99,
             r.e2e_ticks.p50,
             r.e2e_ticks.p90,
             r.e2e_ticks.p99,
-            r.session_evictions,
+            slo,
         ));
     }
     out
@@ -257,12 +391,16 @@ mod tests {
             ..Scale::quick()
         };
         let pipe = Pipeline::build(scale.pipeline);
-        // run_load_bench asserts streamed == batch internally, so a
-        // clean return is itself the parity proof.
+        // run_load_bench asserts streamed == batch (and trace replay)
+        // internally, so a clean return is itself the parity proof.
         let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &[0.4, 1.5]);
-        assert_eq!(rows.len(), 2 * 3, "2 load levels x 3 methods");
+        assert_eq!(
+            rows.len(),
+            2 * (3 + 3),
+            "2 load levels x (3 methods + 3 policies)"
+        );
         for r in &rows {
-            assert_eq!(r.requests, 4);
+            assert!(r.requests + r.shed_requests == 4, "served + shed = offered");
             assert!(r.tokens > 0);
             assert!(r.ticks > 0);
             assert!(r.ttft_ticks.p99 >= r.ttft_ticks.p50);
@@ -271,13 +409,32 @@ mod tests {
         }
         // Equal offered load: same rate axis for every method.
         let ntp: Vec<_> = rows.iter().filter(|r| r.method == "NTP").collect();
-        let ours: Vec<_> = rows.iter().filter(|r| r.method == "Ours-tree").collect();
+        let ours: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                r.method == "Ours-tree" && r.policy == "static" && r.tick_capacity.is_none()
+            })
+            .collect();
         assert_eq!(ntp.len(), ours.len());
         for (a, b) in ntp.iter().zip(&ours) {
             assert_eq!(a.offered_rate, b.offered_rate);
         }
+        // The policy A/B rows carry the new axes: a shared capacity,
+        // SLO deadlines on every request, and measured acceptance.
+        let policy_rows: Vec<_> = rows.iter().filter(|r| r.tick_capacity.is_some()).collect();
+        assert_eq!(policy_rows.len(), 2 * 3);
+        for r in &policy_rows {
+            assert_eq!(r.method, "Ours-tree");
+            assert_eq!(r.deadlines, 4, "every A/B request carries a deadline");
+            assert!(r.slo_attainment.is_some());
+            assert!(r.acceptance_rate.is_some(), "speculation was measured");
+        }
+        for p in ["static", "adaptive", "budgeted"] {
+            assert!(policy_rows.iter().any(|r| r.policy == p), "{p} row missing");
+        }
         let rendered = render_load_bench(&rows);
         assert!(rendered.contains("NTP") && rendered.contains("Ours-tree"));
+        assert!(rendered.contains("budgeted") && rendered.contains("adaptive"));
         assert!(rendered.contains("Table II"));
     }
 

@@ -58,6 +58,13 @@ impl VerifyPlan {
         self.xs.len()
     }
 
+    /// Number of scored result rows the plan will deliver (`Σ` rows per
+    /// path) — the verify-cost a speculation policy budgets per step,
+    /// before deduplication; `n_nodes() <= n_rows()` always.
+    pub fn n_rows(&self) -> usize {
+        self.node_of.iter().map(Vec::len).sum()
+    }
+
     /// Assembles this plan's `verify_batch`-shaped result from the fused
     /// logits buffer, whose rows `offset..offset + n_nodes` belong to
     /// this plan.
@@ -527,11 +534,20 @@ impl MlpSession<'_> {
             parent: usize,
             children: Vec<usize>,
         }
-        let mut nodes = vec![Node {
+        // Size the trie up front from the plan's row count: every
+        // non-root scored row creates at most one node (dedup only
+        // shrinks that), so per-step shape changes from the speculation
+        // policy never reallocate mid-build.
+        let max_nodes: usize = 1 + paths
+            .iter()
+            .map(|p| (p.len() + usize::from(include_bonus)).saturating_sub(1))
+            .sum::<usize>();
+        let mut nodes = Vec::with_capacity(max_nodes);
+        nodes.push(Node {
             token: 0,
             parent: usize::MAX,
             children: Vec::new(),
-        }];
+        });
         // result[i][j] reads from node_of[i][j].
         let mut node_of: Vec<Vec<usize>> = Vec::with_capacity(paths.len());
         for &path in paths {
@@ -571,6 +587,7 @@ impl MlpSession<'_> {
         //    forward itself (trunk + base head, one fused vectorized
         //    pass across the whole tree) runs at plan execution time —
         //    [`verify_many`] — so it can span many sessions.
+        debug_assert!(nodes.len() <= max_nodes, "trie exceeded its row bound");
         let d = self.d_emb();
         let root_x = self.ensure_x().clone();
         let mut xs: Vec<Vec<f32>> = Vec::with_capacity(nodes.len());
@@ -776,6 +793,11 @@ mod tests {
             s.append(ctx);
             let refs: Vec<&[TokenId]> = tree.iter().map(Vec::as_slice).collect();
             plans.push(s.verify_plan(&refs, b).expect("mlp sessions fuse"));
+        }
+        for (plan, (tree, &b)) in plans.iter().zip(trees.iter().zip(&bonus)) {
+            let rows: usize = tree.iter().map(|p| p.len() + usize::from(b)).sum();
+            assert_eq!(plan.n_rows(), rows, "plan row count");
+            assert!(plan.n_nodes() <= plan.n_rows().max(1), "dedup only shrinks");
         }
         let fused = verify_many(&model, &plans);
         for (i, ((ctx, tree), &b)) in contexts.iter().zip(&trees).zip(&bonus).enumerate() {

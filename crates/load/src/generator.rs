@@ -158,6 +158,12 @@ pub struct RequestMix {
     /// Base decode config (EOS, acceptance); `max_tokens`, `sampling`,
     /// and `seed` are drawn per request.
     pub base: DecodeConfig,
+    /// SLO deadline slack as a multiple of the request's decode budget:
+    /// each request's deadline is `arrival + ⌈slack · budget⌉` ticks
+    /// (an NTP request served alone needs ≈ `budget` ticks, so slack is
+    /// "how many times the ideal service time may elapse"). `None`
+    /// issues best-effort requests with no deadline.
+    pub deadline_slack: Option<f64>,
 }
 
 /// A complete open-loop workload: arrival process × request mix, fully
@@ -239,8 +245,13 @@ impl Workload {
                     seed: rng.seed(),
                     ..self.mix.base.clone()
                 };
+                let deadline = self
+                    .mix
+                    .deadline_slack
+                    .map(|slack| arrival + (slack * *budget as f64).ceil() as u64);
                 let request = Request {
                     arrival,
+                    deadline,
                     ..Request::new(
                         i as u64,
                         prompt.clone(),
@@ -283,6 +294,28 @@ mod tests {
             greedy_fraction: 0.5,
             temperature: (0.4, 0.9),
             base: DecodeConfig::default(),
+            deadline_slack: None,
+        }
+    }
+
+    #[test]
+    fn deadline_slack_assigns_absolute_deadlines() {
+        let mut w = Workload {
+            process: ArrivalProcess::Poisson { rate: 0.5 },
+            mix: mix(),
+            count: 20,
+            seed: 3,
+        };
+        assert!(w.requests().iter().all(|r| r.deadline.is_none()));
+        w.mix.deadline_slack = Some(2.0);
+        let requests = w.requests();
+        for r in &requests {
+            assert_eq!(r.deadline, Some(r.arrival + 2 * r.cfg.max_tokens as u64));
+        }
+        // Forcing the engine keeps deadlines (equal-offered-load A/B).
+        let forced = w.requests_with_engine(Some(&EngineChoice::Ntp));
+        for (a, b) in requests.iter().zip(&forced) {
+            assert_eq!(a.deadline, b.deadline);
         }
     }
 

@@ -27,18 +27,23 @@
 //!   (poisson/on-off/│ Workload::requests()
 //!    ramp, seeded)  ├──────────► [Request; n] ── mpsc ─► drain_arrivals
 //!   RequestMix ─────┘  arrival ticks + mixes            (per tick, joins
-//!   (engine/family/                                      mid-flight)
-//!    budget/sampling)                                       │
-//!                                               ServeEngine tick loop
-//!                                               admission → scheduler →
-//!                                               fused propose/verify →
-//!                                               commit (step_ticks)
+//!   (engine/family/      │ + deadlines                   mid-flight; shed
+//!    budget/sampling/    ▼ (deadline_slack)              overflow)
+//!    deadline slack)  ArrivalTrace                          │
+//!                     (JSON record/replay,     ServeEngine tick loop
+//!                      bit-identical)          admission → scheduler (EDF…)
+//!                                              → SpecPolicy divides the
+//!                                                per-tick verify capacity
+//!                                              → fused propose/verify →
+//!                                              commit (step_ticks)
 //!                                                           │
-//!   LatencyReport ◄──────────── Completion{output, step_ticks, secs}
-//!   queueing/TTFT/gaps/e2e,
-//!   exact p50/p90/p99,              LoadBenchRow (BENCH_load.json:
-//!   per-engine breakdown ─────────► serve-aware Table II, spec vs NTP
-//!                                   at equal offered load)
+//!   LatencyReport ◄──────────── Completion{output, step_ticks, secs,
+//!   queueing/TTFT/gaps/e2e,                deadline, proposed/accepted}
+//!   exact p50/p90/p99,
+//!   SLO attainment + acceptance     LoadBenchRow (BENCH_load.json:
+//!   per engine ───────────────────► serve-aware Table II, spec vs NTP
+//!                                   at equal offered load + the policy
+//!                                   A/B: static/adaptive/budgeted)
 //! ```
 //!
 //! * [`ArrivalProcess`] — seeded Poisson, bursty on/off, and ramp
@@ -90,6 +95,7 @@
 //!         greedy_fraction: 1.0,
 //!         temperature: (0.4, 0.9),
 //!         base: DecodeConfig::default(),
+//!         deadline_slack: None,
 //!     },
 //!     count: 8,
 //!     seed: 7,
@@ -112,10 +118,13 @@ pub mod clock;
 pub mod generator;
 pub mod report;
 pub mod telemetry;
+pub mod trace;
 
 pub use clock::{LoadRng, VirtualClock};
 pub use generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
-pub use report::{run_open_loop, LoadBenchRow, LoadRunReport};
+pub use report::{run_open_loop, run_open_loop_with_policy, LoadBenchRow, LoadRunReport};
 pub use telemetry::{
-    per_token_gaps, LatencyReport, LatencySummary, QuantileSummary, RequestLatency,
+    per_token_gaps, AcceptanceSummary, LatencyReport, LatencySummary, QuantileSummary,
+    RequestLatency, SloSummary,
 };
+pub use trace::{ArrivalTrace, TraceEntry};

@@ -13,6 +13,7 @@
 
 use crate::telemetry::{LatencyReport, QuantileSummary};
 use serde::{Deserialize, Serialize};
+use verispec_core::SpecPolicy;
 use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm, TokenId};
 use verispec_serve::{Request, ServeConfig, ServeEngine, ServeReport};
 
@@ -42,6 +43,21 @@ pub fn run_open_loop(
     cfg: &ServeConfig,
     cost: &GpuCostModel,
 ) -> LoadRunReport {
+    run_open_loop_with_policy(model, draft, prefix_tokens, requests, cfg, cost, None)
+}
+
+/// [`run_open_loop`] under an explicit speculation policy (the policy
+/// A/B axis of the serve-aware Table II); `None` runs the static
+/// default.
+pub fn run_open_loop_with_policy(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    cost: &GpuCostModel,
+    policy: Option<&dyn SpecPolicy>,
+) -> LoadRunReport {
     let originals = requests.clone();
     let prefix_session: Option<Box<dyn DecodeSession + '_>> = prefix_tokens.map(|toks| {
         let mut s = model.session();
@@ -55,6 +71,9 @@ pub fn run_open_loop(
     }
     if let Some(p) = prefix_session.as_deref() {
         engine = engine.with_prefix(p);
+    }
+    if let Some(p) = policy {
+        engine = engine.with_policy(p);
     }
     let (tx, rx) = std::sync::mpsc::channel();
     for req in requests {
@@ -82,6 +101,13 @@ pub struct LoadBenchRow {
     pub offered_rate: f64,
     /// Decoding method served (all requests forced to it).
     pub method: String,
+    /// Speculation policy the run was served under
+    /// ([`verispec_core::SpecPolicy::name`]; "static" is the
+    /// pre-policy behavior).
+    pub policy: String,
+    /// Per-tick verify capacity the policy divided, if the run was
+    /// capacity-gated (`None` = unlimited, the legacy rows).
+    pub tick_capacity: Option<usize>,
     /// Requests served.
     pub requests: usize,
     /// Tokens generated.
@@ -115,18 +141,48 @@ pub struct LoadBenchRow {
     pub peak_resident_sessions: usize,
     /// Preemptions performed.
     pub preemptions: usize,
+    /// SLO attainment: fraction of deadline-carrying requests finishing
+    /// by their deadline (`None` for best-effort workloads).
+    pub slo_attainment: Option<f64>,
+    /// Submitted requests carrying a deadline.
+    pub deadlines: usize,
+    /// Of those, requests that met it.
+    pub deadlines_met: usize,
+    /// Speculation acceptance rate (`accepted / proposed` candidate
+    /// tokens; `None` for NTP rows, which speculate nothing).
+    pub acceptance_rate: Option<f64>,
+    /// Requests rejected by load-shedding admission control.
+    pub shed_requests: usize,
+    /// Steps deferred by the per-tick verify capacity.
+    pub deferred_steps: u64,
 }
 
 impl LoadBenchRow {
     /// Assembles one Table-II row from a run.
     pub fn new(process: &str, offered_rate: f64, method: &str, run: &LoadRunReport) -> Self {
+        Self::with_policy(process, offered_rate, method, "static", None, run)
+    }
+
+    /// Assembles one policy-A/B row: like [`LoadBenchRow::new`] with
+    /// the policy name and per-tick capacity recorded.
+    pub fn with_policy(
+        process: &str,
+        offered_rate: f64,
+        method: &str,
+        policy: &str,
+        tick_capacity: Option<usize>,
+        run: &LoadRunReport,
+    ) -> Self {
         let stats = &run.serve.stats;
         let steps: usize = run.serve.completions.iter().map(|c| c.output.steps).sum();
         let tokens = run.serve.total_tokens();
+        let slo = &run.latency.overall.slo;
         LoadBenchRow {
             process: process.to_string(),
             offered_rate,
             method: method.to_string(),
+            policy: policy.to_string(),
+            tick_capacity,
             requests: run.serve.completions.len(),
             tokens,
             ticks: stats.ticks,
@@ -143,6 +199,12 @@ impl LoadBenchRow {
             session_evictions: stats.session_evictions,
             peak_resident_sessions: stats.peak_resident_sessions,
             preemptions: stats.preemptions,
+            slo_attainment: slo.attainment(),
+            deadlines: slo.deadlines,
+            deadlines_met: slo.met,
+            acceptance_rate: run.latency.overall.acceptance.rate(),
+            shed_requests: stats.shed_requests,
+            deferred_steps: stats.deferred_steps,
         }
     }
 }

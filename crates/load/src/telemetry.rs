@@ -12,6 +12,13 @@
 //! Tick latencies are deterministic (pure functions of the schedule),
 //! so they are the A/B axis of the serve-aware Table II; wall-clock
 //! latencies are measured from the real run and carry machine noise.
+//!
+//! Beyond latency, the report carries the two signals the
+//! speculation-policy layer closes its loop on: **SLO attainment**
+//! (fraction of deadline-carrying requests that finished by their
+//! deadline — requests shed by admission control or never completed
+//! count as missed) and **acceptance rates** (speculated vs. cashed
+//! candidate tokens, per engine), both overall and per engine.
 
 use serde::{Deserialize, Serialize};
 use verispec_serve::{Completion, Request};
@@ -83,6 +90,14 @@ pub struct RequestLatency {
     pub ttft_secs: f64,
     /// Wall-clock seconds from first visibility to completion.
     pub e2e_secs: f64,
+    /// The request's SLO deadline tick, if it carried one.
+    pub deadline: Option<u64>,
+    /// Whether it finished by its deadline (`None` without one).
+    pub met_deadline: Option<bool>,
+    /// Candidate tokens the request speculated (paid for).
+    pub proposed_tokens: usize,
+    /// Speculated tokens accepted (cashed).
+    pub accepted_tokens: usize,
 }
 
 impl RequestLatency {
@@ -111,7 +126,53 @@ impl RequestLatency {
             },
             ttft_secs: (c.first_token_secs.unwrap_or(c.finished_secs) - c.seen_secs).max(0.0),
             e2e_secs: (c.finished_secs - c.seen_secs).max(0.0),
+            deadline: c.deadline,
+            met_deadline: c.met_deadline(),
+            proposed_tokens: c.proposed_tokens,
+            accepted_tokens: c.accepted_tokens,
         }
+    }
+}
+
+/// SLO attainment over one request population.
+///
+/// The denominator counts every *submitted* request that carried a
+/// deadline — including requests shed by admission control or still
+/// unfinished, which can never have met it — so attainment reflects
+/// what clients experienced, not just the survivors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSummary {
+    /// Submitted requests carrying a deadline.
+    pub deadlines: usize,
+    /// Of those, requests that completed by their deadline.
+    pub met: usize,
+    /// Deadline-carrying requests with no completion at all (shed by
+    /// admission control, or the run ended without them).
+    pub unserved: usize,
+}
+
+impl SloSummary {
+    /// Fraction of deadline-carrying requests that met their deadline;
+    /// `None` when no request carried one.
+    pub fn attainment(&self) -> Option<f64> {
+        (self.deadlines > 0).then(|| self.met as f64 / self.deadlines as f64)
+    }
+}
+
+/// Aggregate speculation acceptance over one request population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptanceSummary {
+    /// Candidate tokens speculated.
+    pub proposed: usize,
+    /// Speculated tokens accepted.
+    pub accepted: usize,
+}
+
+impl AcceptanceSummary {
+    /// Fraction of speculated tokens accepted; `None` when nothing was
+    /// speculated (e.g. an all-NTP population).
+    pub fn rate(&self) -> Option<f64> {
+        (self.proposed > 0).then(|| self.accepted as f64 / self.proposed as f64)
     }
 }
 
@@ -154,12 +215,26 @@ pub struct LatencySummary {
     pub ttft_secs: QuantileSummary,
     /// End-to-end latency in wall-clock seconds.
     pub e2e_secs: QuantileSummary,
+    /// SLO attainment (completed requests only; the report-level
+    /// summaries add shed/unserved requests to the denominator).
+    pub slo: SloSummary,
+    /// Speculation acceptance across the population.
+    pub acceptance: AcceptanceSummary,
 }
 
 impl LatencySummary {
     fn aggregate(lats: &[&RequestLatency], gaps: &[f64]) -> Self {
         let col = |f: &dyn Fn(&RequestLatency) -> f64| -> Vec<f64> {
             lats.iter().map(|l| f(l)).collect()
+        };
+        let slo = SloSummary {
+            deadlines: lats.iter().filter(|l| l.deadline.is_some()).count(),
+            met: lats.iter().filter(|l| l.met_deadline == Some(true)).count(),
+            unserved: 0,
+        };
+        let acceptance = AcceptanceSummary {
+            proposed: lats.iter().map(|l| l.proposed_tokens).sum(),
+            accepted: lats.iter().map(|l| l.accepted_tokens).sum(),
         };
         LatencySummary {
             requests: lats.len(),
@@ -170,6 +245,8 @@ impl LatencySummary {
             gap_ticks: QuantileSummary::exact(gaps),
             ttft_secs: QuantileSummary::exact(&col(&|l| l.ttft_secs)),
             e2e_secs: QuantileSummary::exact(&col(&|l| l.e2e_secs)),
+            slo,
+            acceptance,
         }
     }
 }
@@ -187,8 +264,11 @@ pub struct LatencyReport {
 }
 
 impl LatencyReport {
-    /// Builds the report by joining `requests` (for engine names) with
-    /// the run's completions by id.
+    /// Builds the report by joining `requests` (for engine names and
+    /// the SLO denominator) with the run's completions by id.
+    /// Submitted requests with no completion — shed by admission
+    /// control, or the run ended without them — appear only in the
+    /// [`SloSummary`] denominators, as `unserved`.
     ///
     /// # Panics
     ///
@@ -213,9 +293,37 @@ impl LatencyReport {
             .map(|g| g as f64)
             .collect();
         let refs: Vec<&RequestLatency> = per_request.iter().collect();
-        let overall = LatencySummary::aggregate(&refs, &all_gaps);
+        let mut overall = LatencySummary::aggregate(&refs, &all_gaps);
+
+        // Requests that never completed (shed / unserved) still count
+        // against SLO attainment — a dropped deadline is a missed one.
+        let completed_ids: std::collections::HashSet<u64> =
+            completions.iter().map(|c| c.id).collect();
+        let unserved: Vec<&Request> = requests
+            .iter()
+            .filter(|r| !completed_ids.contains(&r.id))
+            .collect();
+        let unserved_deadlines = |engine: Option<&str>| -> usize {
+            unserved
+                .iter()
+                .filter(|r| r.deadline.is_some())
+                .filter(|r| engine.is_none_or(|e| r.engine.name() == e))
+                .count()
+        };
+        let missed = unserved_deadlines(None);
+        overall.slo.deadlines += missed;
+        overall.slo.unserved += missed;
 
         let mut names: Vec<String> = per_request.iter().map(|l| l.engine.clone()).collect();
+        // Unserved requests only need a per-engine row for the SLO
+        // denominator; best-effort ones would add an all-zero phantom
+        // summary, so only deadline-carrying ones extend the name set.
+        names.extend(
+            unserved
+                .iter()
+                .filter(|r| r.deadline.is_some())
+                .map(|r| r.engine.name().to_string()),
+        );
         names.sort();
         names.dedup();
         let per_engine = names
@@ -230,7 +338,10 @@ impl LatencyReport {
                     .flat_map(per_token_gaps)
                     .map(|g| g as f64)
                     .collect();
-                let summary = LatencySummary::aggregate(&subset, &gaps);
+                let mut summary = LatencySummary::aggregate(&subset, &gaps);
+                let missed = unserved_deadlines(Some(&name));
+                summary.slo.deadlines += missed;
+                summary.slo.unserved += missed;
                 (name, summary)
             })
             .collect();

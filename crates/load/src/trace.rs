@@ -1,0 +1,238 @@
+//! Arrival-trace record/replay: a compact, serializable capture of a
+//! workload's *realized* arrivals that replays bit-identically.
+//!
+//! The generators in [`crate::generator`] are synthetic: a workload is
+//! a seed plus distributions. For regression hunting ("this exact
+//! arrival pattern made p99 blow up") the realized draw itself is the
+//! artifact worth keeping. An [`ArrivalTrace`] records, per request,
+//! exactly what the ISSUE of record is: `(tick, prompt-id, engine,
+//! budget, seed)` — plus the sampling draw and optional SLO deadline —
+//! with prompts deduplicated into a table so the trace stays compact
+//! under prompt families. Shared config (EOS, acceptance) is stored
+//! once as the base [`DecodeConfig`].
+//!
+//! Round-tripping through JSON (`to_json` / `from_json`, via the
+//! vendored serde) and replaying yields a request sequence equal to
+//! the original field-for-field, so serving it reproduces the original
+//! run's outputs and tick schedule exactly (the serving engine is a
+//! deterministic function of its requests).
+
+use serde::{Deserialize, Serialize};
+use verispec_core::DecodeConfig;
+use verispec_lm::{Sampling, TokenId};
+use verispec_serve::{EngineChoice, Request};
+
+/// One recorded arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Request id.
+    pub id: u64,
+    /// Arrival tick.
+    pub tick: u64,
+    /// Index into [`ArrivalTrace::prompts`].
+    pub prompt_id: usize,
+    /// Decoding engine.
+    pub engine: EngineChoice,
+    /// Decode budget (`max_tokens`).
+    pub budget: usize,
+    /// Sampling draw.
+    pub sampling: Sampling,
+    /// Per-request RNG seed.
+    pub seed: u64,
+    /// Optional SLO deadline tick.
+    pub deadline: Option<u64>,
+}
+
+/// A recorded request sequence: the replayable form of one workload
+/// realization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// The workload seed the trace was drawn from (provenance only —
+    /// replay never re-derives anything from it).
+    pub workload_seed: u64,
+    /// Request-config fields shared by every entry (EOS, acceptance);
+    /// per-entry fields override `max_tokens`, `sampling`, and `seed`.
+    pub base: DecodeConfig,
+    /// Deduplicated prompt table.
+    pub prompts: Vec<Vec<TokenId>>,
+    /// One entry per request, in submission order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl ArrivalTrace {
+    /// Records `requests` (as produced by
+    /// [`crate::generator::Workload::requests`]) into a trace.
+    ///
+    /// `base` must carry the shared config the workload's mix used —
+    /// replay rebuilds each request as `DecodeConfig { max_tokens,
+    /// sampling, seed, ..base }`, so any per-request deviation in the
+    /// shared fields would not survive the round trip. Debug builds
+    /// assert this.
+    pub fn record(requests: &[Request], workload_seed: u64, base: &DecodeConfig) -> Self {
+        let mut prompts: Vec<Vec<TokenId>> = Vec::new();
+        let entries = requests
+            .iter()
+            .map(|req| {
+                debug_assert_eq!(
+                    DecodeConfig {
+                        max_tokens: base.max_tokens,
+                        sampling: base.sampling,
+                        seed: base.seed,
+                        ..req.cfg.clone()
+                    },
+                    *base,
+                    "request {} deviates from the shared base config",
+                    req.id
+                );
+                let prompt_id = match prompts.iter().position(|p| p == &req.prompt) {
+                    Some(i) => i,
+                    None => {
+                        prompts.push(req.prompt.clone());
+                        prompts.len() - 1
+                    }
+                };
+                TraceEntry {
+                    id: req.id,
+                    tick: req.arrival,
+                    prompt_id,
+                    engine: req.engine.clone(),
+                    budget: req.cfg.max_tokens,
+                    sampling: req.cfg.sampling,
+                    seed: req.cfg.seed,
+                    deadline: req.deadline,
+                }
+            })
+            .collect();
+        ArrivalTrace {
+            workload_seed,
+            base: base.clone(),
+            prompts,
+            entries,
+        }
+    }
+
+    /// Rebuilds the recorded request sequence, field-for-field equal to
+    /// what was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's `prompt_id` is out of range (a corrupt
+    /// trace).
+    pub fn replay(&self) -> Vec<Request> {
+        self.entries
+            .iter()
+            .map(|e| Request {
+                id: e.id,
+                prompt: self.prompts[e.prompt_id].clone(),
+                engine: e.engine.clone(),
+                cfg: DecodeConfig {
+                    max_tokens: e.budget,
+                    sampling: e.sampling,
+                    seed: e.seed,
+                    ..self.base.clone()
+                },
+                arrival: e.tick,
+                deadline: e.deadline,
+            })
+            .collect()
+    }
+
+    /// Serializes the trace to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a trace back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
+    use verispec_lm::{GpuCostModel, MlpLm, MlpLmConfig};
+    use verispec_serve::{serve_all, ServeConfig};
+
+    fn workload(deadline_slack: Option<f64>) -> Workload {
+        Workload {
+            process: ArrivalProcess::Poisson { rate: 0.4 },
+            mix: RequestMix {
+                engines: vec![
+                    (
+                        EngineChoice::SyntaxAligned {
+                            tree: Some(vec![2, 2]),
+                        },
+                        2.0,
+                    ),
+                    (EngineChoice::Ntp, 1.0),
+                    (EngineChoice::MedusaTree(vec![2]), 1.0),
+                ],
+                families: vec![
+                    (
+                        PromptFamily {
+                            name: "short".into(),
+                            prompts: vec![(vec![1, 2], 6), (vec![3], 5)],
+                        },
+                        1.0,
+                    ),
+                    (
+                        PromptFamily {
+                            name: "long".into(),
+                            prompts: vec![(vec![1, 2, 3, 4, 5], 10)],
+                        },
+                        1.0,
+                    ),
+                ],
+                greedy_fraction: 0.5,
+                temperature: (0.4, 0.9),
+                base: DecodeConfig::default(),
+                deadline_slack,
+            },
+            count: 24,
+            seed: 0xCAFE,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_replays_field_for_field() {
+        for slack in [None, Some(3.0)] {
+            let w = workload(slack);
+            let requests = w.requests();
+            let trace = ArrivalTrace::record(&requests, w.seed, &w.mix.base);
+            let json = trace.to_json().expect("trace serializes");
+            let back = ArrivalTrace::from_json(&json).expect("trace parses");
+            assert_eq!(back, trace, "trace survived the JSON round trip");
+            assert_eq!(back.replay(), requests, "replay is field-for-field exact");
+            // Prompt dedup actually deduplicates: 24 requests over 3
+            // distinct prompts.
+            assert_eq!(back.prompts.len(), 3);
+        }
+    }
+
+    #[test]
+    fn replayed_trace_serves_bit_identically() {
+        let model = MlpLm::new(MlpLmConfig::tiny(16));
+        let cost = GpuCostModel::codellama_like();
+        let cfg = ServeConfig::concurrency(4);
+        let w = workload(Some(2.5));
+        let requests = w.requests();
+        let trace = ArrivalTrace::record(&requests, w.seed, &w.mix.base);
+        let json = trace.to_json().expect("serializes");
+        let replayed = ArrivalTrace::from_json(&json).expect("parses").replay();
+        let original = serve_all(&model, None, requests, &cfg, &cost);
+        let again = serve_all(&model, None, replayed, &cfg, &cost);
+        assert_eq!(
+            original.completions.len(),
+            again.completions.len(),
+            "replay lost requests"
+        );
+        for (a, b) in original.completions.iter().zip(&again.completions) {
+            assert_eq!(a.output.tokens, b.output.tokens, "request {} tokens", a.id);
+            assert_eq!(a.step_ticks, b.step_ticks, "request {} schedule", a.id);
+            assert_eq!(a.deadline, b.deadline);
+        }
+        assert_eq!(original.stats, again.stats);
+    }
+}

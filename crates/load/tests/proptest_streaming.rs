@@ -51,6 +51,7 @@ fn any_order() -> impl Strategy<Value = TickOrder> {
         Just(TickOrder::RoundRobin),
         Just(TickOrder::ShortestFirst),
         any::<u64>().prop_map(TickOrder::Seeded),
+        Just(TickOrder::Edf),
     ]
 }
 
@@ -90,6 +91,7 @@ fn full_mix() -> RequestMix {
         greedy_fraction: 0.5,
         temperature: (0.4, 1.1),
         base: DecodeConfig::default(),
+        deadline_slack: None,
     }
 }
 
@@ -135,11 +137,15 @@ proptest! {
         order in any_order(),
         preempt in prop_oneof![Just(None), (1u64..4).prop_map(Some)],
         session_cap in prop_oneof![Just(None), (1usize..5).prop_map(Some)],
+        tick_capacity in prop_oneof![Just(None), (2usize..24).prop_map(Some)],
+        deadline_slack in prop_oneof![Just(None), (1.0f64..6.0).prop_map(Some)],
     ) {
         let mut draft = NgramLm::new(2, model.vocab_size());
         draft.train_sequence(&draft_seq);
         let cost = GpuCostModel::codellama_like();
-        let workload = Workload { process, mix: full_mix(), count, seed };
+        let mut mix = full_mix();
+        mix.deadline_slack = deadline_slack;
+        let workload = Workload { process, mix, count, seed };
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
@@ -153,6 +159,8 @@ proptest! {
             preempt_wait: preempt,
             fuse: true,
             session_cap,
+            tick_capacity,
+            ..Default::default()
         };
         let batch = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost);
 

@@ -33,7 +33,7 @@ use crate::request::{Completion, EngineChoice, Request};
 use crate::scheduler::{ActiveView, Scheduler, TickOrder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use verispec_core::{Phase, Stepper};
+use verispec_core::{Phase, ShapeQuery, SpecPolicy, SpecShape, Stepper, STATIC_POLICY};
 use verispec_lm::{
     multi_logits_many, verify_many, DecodeSession, GpuCostModel, LanguageModel, MlpLm, VerifyPlan,
 };
@@ -63,6 +63,27 @@ pub struct ServeConfig {
     /// Active sessions are never evicted below `max_active` (the
     /// working set); `None` disables the cap.
     pub session_cap: Option<usize>,
+    /// Per-tick verify capacity in [`verispec_core::SpecShape::step_cost`]
+    /// units (base/bonus row + candidate tokens; an NTP step costs 1).
+    /// When set, each tick's batch is gated by this budget instead of
+    /// only `max_batch`: the engine walks the scheduler's order, asks
+    /// the speculation policy for each request's shape with the
+    /// remaining budget as its cap, and defers requests whose shape
+    /// does not fit (the first request in order always steps, so the
+    /// aging guard's no-starvation bound survives). `None` (the
+    /// default) keeps the pre-policy behavior: candidates are not
+    /// charged against tick time. A policy with its own
+    /// [`verispec_core::SpecPolicy::tick_budget`] supplies the capacity
+    /// when this is `None`.
+    pub tick_capacity: Option<usize>,
+    /// Load-shedding admission control: when more than this many
+    /// *ready* fresh requests (arrival tick due, not yet admitted) are
+    /// waiting after admission, the newest arrivals are shed —
+    /// rejected outright, reported in [`ServeReport::shed`] — instead
+    /// of queueing without bound. Deterministic per tick schedule, so
+    /// batch and streaming runs shed identically. `None` disables
+    /// shedding.
+    pub shed_depth: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +95,8 @@ impl Default for ServeConfig {
             preempt_wait: None,
             fuse: true,
             session_cap: None,
+            tick_capacity: None,
+            shed_depth: None,
         }
     }
 }
@@ -121,6 +144,34 @@ pub struct ServeStats {
     /// every queued request still in the future): the clock jumps to
     /// the next arrival instead of burning these one by one.
     pub idle_ticks_skipped: u64,
+    /// Candidate tokens speculated across all completed requests (what
+    /// the speculation policies spent).
+    pub proposed_tokens: usize,
+    /// Speculated tokens accepted across all completed requests (what
+    /// the spend cashed into).
+    pub accepted_tokens: usize,
+    /// Requests rejected by load-shedding admission control
+    /// ([`ServeConfig::shed_depth`]); their ids are in
+    /// [`ServeReport::shed`].
+    pub shed_requests: usize,
+    /// Scheduled steps pushed to a later tick because the request's
+    /// speculation shape did not fit the remaining per-tick verify
+    /// capacity ([`ServeConfig::tick_capacity`]).
+    pub deferred_steps: u64,
+}
+
+/// One request rejected by load-shedding admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedRequest {
+    /// The request id.
+    pub id: u64,
+    /// Its arrival tick.
+    pub arrival: u64,
+    /// Its SLO deadline, if any (a shed deadline counts as missed in
+    /// the SLO-attainment telemetry).
+    pub deadline: Option<u64>,
+    /// The tick at which it was shed.
+    pub tick: u64,
 }
 
 /// The result of a serving run.
@@ -128,6 +179,9 @@ pub struct ServeStats {
 pub struct ServeReport {
     /// All finished requests, sorted by id.
     pub completions: Vec<Completion>,
+    /// Requests rejected by load-shedding admission control, sorted by
+    /// id (empty without [`ServeConfig::shed_depth`]).
+    pub shed: Vec<ShedRequest>,
     /// Aggregate counters.
     pub stats: ServeStats,
 }
@@ -149,6 +203,7 @@ struct Active<'m> {
     id: u64,
     stepper: Stepper<'m>,
     submitted: u64,
+    deadline: Option<u64>,
     admitted: u64,
     last_step: u64,
     max_gap: u64,
@@ -187,6 +242,9 @@ pub struct ServeEngine<'m> {
     /// prompt starts with its context are admitted from a fork of it.
     prefix: Option<&'m dyn DecodeSession>,
     cfg: ServeConfig,
+    /// The speculation policy every stepper (and the per-tick budget
+    /// pass) consults; [`verispec_core::StaticPolicy`] by default.
+    policy: &'m dyn SpecPolicy,
     scheduler: Scheduler,
     queue: Vec<QueueEntry<'m>>,
     /// Queued [`QueueEntry::Fresh`] entries currently holding a prefix
@@ -195,6 +253,7 @@ pub struct ServeEngine<'m> {
     queued_forks: usize,
     active: Vec<Active<'m>>,
     completions: Vec<Completion>,
+    shed: Vec<ShedRequest>,
     tick: u64,
     stats: ServeStats,
     started: std::time::Instant,
@@ -223,15 +282,29 @@ impl<'m> ServeEngine<'m> {
             draft: None,
             prefix: None,
             cfg,
+            policy: &STATIC_POLICY,
             scheduler,
             queue: Vec::new(),
             queued_forks: 0,
             active: Vec::new(),
             completions: Vec::new(),
+            shed: Vec::new(),
             tick: 0,
             stats: ServeStats::default(),
             started: std::time::Instant::now(),
         }
+    }
+
+    /// Replaces the speculation policy (default:
+    /// [`verispec_core::StaticPolicy`], the configured shapes —
+    /// bit-identical to the pre-policy engine). Every admitted
+    /// request's stepper runs under it, and with a per-tick verify
+    /// capacity ([`ServeConfig::tick_capacity`] or the policy's own
+    /// [`verispec_core::SpecPolicy::tick_budget`]) the tick loop
+    /// consults it to divide the budget across each tick's batch.
+    pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Attaches the draft model [`EngineChoice::DraftVerify`] requests
@@ -448,6 +521,7 @@ impl<'m> ServeEngine<'m> {
                 req.engine.decode_config(&req.cfg),
             ),
         }
+        .with_policy(self.policy)
     }
 
     fn admit(&mut self, entry: QueueEntry<'m>) {
@@ -462,6 +536,7 @@ impl<'m> ServeEngine<'m> {
                     id: req.id,
                     stepper,
                     submitted: req.arrival,
+                    deadline: req.deadline,
                     admitted: self.tick,
                     last_step: self.tick,
                     max_gap: 0,
@@ -539,6 +614,12 @@ impl<'m> ServeEngine<'m> {
     fn finish(&mut self, a: Active<'m>) {
         self.stats.served_tokens += a.stepper.generated();
         let draft_stats = a.stepper.draft_stats();
+        let (proposed_tokens, accepted_tokens) = {
+            let h = a.stepper.history();
+            (h.speculated(), h.accepted())
+        };
+        self.stats.proposed_tokens += proposed_tokens;
+        self.stats.accepted_tokens += accepted_tokens;
         let output = a.stepper.into_output();
         debug_assert_eq!(
             a.step_ticks.len(),
@@ -558,7 +639,104 @@ impl<'m> ServeEngine<'m> {
             seen_secs: a.seen_secs,
             first_token_secs: a.first_commit_secs,
             finished_secs: self.started.elapsed().as_secs_f64(),
+            deadline: a.deadline,
+            proposed_tokens,
+            accepted_tokens,
         });
+    }
+
+    /// Load-shedding admission control ([`ServeConfig::shed_depth`]):
+    /// after admission, if more *ready* fresh requests are still
+    /// waiting than the configured depth, the newest arrivals are
+    /// rejected outright (LIFO drop — the freshest request has waited
+    /// least and loses least). Parked (preempted) requests are never
+    /// shed: their work is already partially paid for. The decision is
+    /// a pure function of the tick schedule, so batch and streaming
+    /// runs shed the same requests.
+    fn shed_ready_overflow(&mut self) {
+        let Some(depth) = self.cfg.shed_depth else {
+            return;
+        };
+        let mut ready: Vec<(u64, u64, usize)> = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, e)| match e {
+                QueueEntry::Fresh { req, .. } if req.arrival <= self.tick => {
+                    Some((req.arrival, req.id, idx))
+                }
+                _ => None,
+            })
+            .collect();
+        if ready.len() <= depth {
+            return;
+        }
+        // Oldest arrivals (ties by id) keep their place; everything
+        // past the depth is the newest overflow. Remove by descending
+        // queue index so earlier removals don't shift later ones.
+        ready.sort_unstable();
+        let mut overflow: Vec<usize> = ready[depth..].iter().map(|&(_, _, idx)| idx).collect();
+        overflow.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in overflow {
+            let QueueEntry::Fresh { req, .. } = self.take_queued(idx) else {
+                unreachable!("only fresh entries are shed");
+            };
+            self.stats.shed_requests += 1;
+            self.shed.push(ShedRequest {
+                id: req.id,
+                arrival: req.arrival,
+                deadline: req.deadline,
+                tick: self.tick,
+            });
+        }
+    }
+
+    /// Divides the tick's verify capacity across the scheduler's
+    /// selection — the speculation-policy hook of the tick loop.
+    ///
+    /// Without a capacity ([`ServeConfig::tick_capacity`] and the
+    /// policy's [`SpecPolicy::tick_budget`] both `None`) every selected
+    /// request steps and each stepper consults the policy itself at
+    /// propose time — the pre-policy behavior under [`STATIC_POLICY`].
+    ///
+    /// With a capacity, the engine walks the selection order asking the
+    /// policy for each request's shape with the *remaining* budget as
+    /// its cap, pins the answer on the stepper (so budget accounting
+    /// and the built candidate paths agree exactly), and defers
+    /// requests whose shape does not fit. The head of the order always
+    /// steps even on overrun — forced aging picks sort first, so the
+    /// scheduler's no-starvation bound survives budget pressure.
+    fn divide_tick_capacity(&mut self, selected: Vec<usize>) -> Vec<usize> {
+        let Some(capacity) = self.cfg.tick_capacity.or(self.policy.tick_budget()) else {
+            return selected;
+        };
+        let policy = self.policy;
+        let mut remaining = capacity.max(1);
+        let mut stepped = Vec::with_capacity(selected.len());
+        for (pos, &i) in selected.iter().enumerate() {
+            let stepper = &mut self.active[i].stepper;
+            // NTP steppers have no shape to decide and cost one verify
+            // position; speculative ones get the policy's decision for
+            // the remaining budget.
+            let shape = stepper.base_shape().map(|base| {
+                policy.shape(&ShapeQuery {
+                    base: &base,
+                    history: stepper.history(),
+                    cap: Some(remaining),
+                })
+            });
+            let cost = shape.as_ref().map_or(1, SpecShape::step_cost);
+            if pos > 0 && cost > remaining {
+                self.stats.deferred_steps += 1;
+                continue;
+            }
+            if let Some(shape) = shape {
+                stepper.pin_shape(shape);
+            }
+            remaining = remaining.saturating_sub(cost);
+            stepped.push(i);
+        }
+        stepped
     }
 
     /// Idle fast-forward: with nothing active and nothing admissible
@@ -604,6 +782,7 @@ impl<'m> ServeEngine<'m> {
         self.stats.ticks += 1;
         self.admit_ready();
         self.maybe_preempt();
+        self.shed_ready_overflow();
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
 
         let views: Vec<ActiveView> = self
@@ -614,10 +793,12 @@ impl<'m> ServeEngine<'m> {
                 last_step: a.last_step,
                 admitted: a.admitted,
                 generated: a.stepper.generated(),
+                deadline: a.deadline,
             })
             .collect();
         let selected = self.scheduler.select(&views, self.tick, self.cfg.max_batch);
-        for &i in &selected {
+        let stepped = self.divide_tick_capacity(selected);
+        for &i in &stepped {
             let a = &mut self.active[i];
             a.max_gap = a.max_gap.max(self.tick - a.last_step);
             a.last_step = self.tick;
@@ -636,14 +817,14 @@ impl<'m> ServeEngine<'m> {
         if let Some(model) = self.fused {
             // Count candidates before gathering, so small batches never
             // pay the embedding clones just to throw them away.
-            let candidates = selected
+            let candidates = stepped
                 .iter()
                 .filter(|&&i| self.active[i].stepper.wants_multi_logits())
                 .count();
             if candidates >= MIN_FUSED_PROPOSE {
                 let mut idxs = Vec::with_capacity(candidates);
                 let mut xs: Vec<Vec<f32>> = Vec::with_capacity(candidates);
-                for &i in &selected {
+                for &i in &stepped {
                     let st = &mut self.active[i].stepper;
                     if st.wants_multi_logits() {
                         if let Some(x) = st.embed_plan() {
@@ -658,8 +839,8 @@ impl<'m> ServeEngine<'m> {
                 }
             }
         }
-        let mut phases: Vec<(usize, Phase)> = Vec::with_capacity(selected.len());
-        for &i in &selected {
+        let mut phases: Vec<(usize, Phase)> = Vec::with_capacity(stepped.len());
+        for &i in &stepped {
             let logits = pre.remove(&i);
             let phase = self.active[i].stepper.propose(logits);
             phases.push((i, phase));
@@ -726,8 +907,10 @@ impl<'m> ServeEngine<'m> {
 
     fn into_report(mut self) -> ServeReport {
         self.completions.sort_by_key(|c| c.id);
+        self.shed.sort_by_key(|s| s.id);
         ServeReport {
             completions: self.completions,
+            shed: self.shed,
             stats: self.stats,
         }
     }
@@ -858,9 +1041,11 @@ pub fn serve_all_threaded(
             .collect()
     });
     let mut completions = Vec::new();
+    let mut shed = Vec::new();
     let mut stats = ServeStats::default();
     for r in reports {
         completions.extend(r.completions);
+        shed.extend(r.shed);
         stats.ticks = stats.ticks.max(r.stats.ticks);
         stats.peak_active = stats.peak_active.max(r.stats.peak_active);
         stats.fused_propose_positions += r.stats.fused_propose_positions;
@@ -874,7 +1059,16 @@ pub fn serve_all_threaded(
             .peak_resident_sessions
             .max(r.stats.peak_resident_sessions);
         stats.idle_ticks_skipped = stats.idle_ticks_skipped.max(r.stats.idle_ticks_skipped);
+        stats.proposed_tokens += r.stats.proposed_tokens;
+        stats.accepted_tokens += r.stats.accepted_tokens;
+        stats.shed_requests += r.stats.shed_requests;
+        stats.deferred_steps += r.stats.deferred_steps;
     }
     completions.sort_by_key(|c| c.id);
-    ServeReport { completions, stats }
+    shed.sort_by_key(|s| s.id);
+    ServeReport {
+        completions,
+        shed,
+        stats,
+    }
 }

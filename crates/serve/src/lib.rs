@@ -15,26 +15,35 @@
 //!   submit(Request) ──────────┐      ServeEngine                 model
 //!   mpsc arrivals ─► drain_ ──┴► queue ─► admission ─► active pool
 //!   (open-loop,      arrivals   (prefix    (arrival,    one Stepper
-//!    per tick)                   forks ≤    preempt,    per request
-//!                                session_   LRU evict
-//!                                cap)       = replay)
-//!                              ┌───────────────────────────┐
-//!                       tick:  │ Scheduler.select ≤ batch  │
-//!                              │ fused propose  ───────────┼─► multi_logits_many
-//!                              │ fused verify   ───────────┼─► verify_many
-//!                              │ per-request commit        │   (one matvec_batch
-//!                              │  └ step_ticks telemetry   │    pass each, lane-
-//!                              └───────────────────────────┘    tuned 4/8/16 and
-//!                                     │ done                    row-sharded when
-//!                                     ▼                         big)
-//!                          Completion{output, step_ticks, stats}
+//!    per tick,                   forks ≤    preempt,    per request
+//!    deadlines)                  session_   LRU evict   (policy +
+//!                                cap, shed  = replay)    history)
+//!                                overflow)
+//!                              ┌────────────────────────────┐
+//!                       tick:  │ Scheduler.select ≤ batch   │
+//!                              │  (RR/shortest/seeded/EDF   │
+//!                              │   + aging guard)           │
+//!                              │ SpecPolicy divides the     │ ShapeQuery{base,
+//!                              │  per-tick verify capacity ─┼─ history, cap} →
+//!                              │  (pin shape / defer)       │ SpecShape per req
+//!                              │ fused propose  ────────────┼─► multi_logits_many
+//!                              │ fused verify   ────────────┼─► verify_many
+//!                              │ per-request commit         │   (one matvec_batch
+//!                              │  └ step_ticks + acceptance │    pass each, lane-
+//!                              └────────────────────────────┘    tuned 4/8/16 and
+//!                                     │ done                     row-sharded when
+//!                                     ▼                          big)
+//!                   Completion{output, step_ticks, deadline,
+//!                              proposed/accepted tokens, stats}
 //! ```
 //!
 //! * **[`Request`]** — prompt, per-request engine choice
 //!   ([`EngineChoice`]: NTP / MEDUSA chain / tree / syntax-aligned /
-//!   draft-verify), decode budgets, arrival tick.
+//!   draft-verify), decode budgets, arrival tick, and an optional SLO
+//!   deadline tick.
 //! * **[`Scheduler`]** — selects each tick's batch under a fairness
-//!   policy ([`TickOrder`]), with an aging guard that bounds every
+//!   policy ([`TickOrder`], including earliest-deadline-first for
+//!   SLO-carrying requests), with an aging guard that bounds every
 //!   request's service gap by its forcing threshold plus a few
 //!   rotations (no starvation under *any* order, including streaming
 //!   admission — arrivals join the same queue the guard covers), and
@@ -42,6 +51,22 @@
 //!   its committed context (speculation already rolled back), so a
 //!   victim's sessions can be dropped and later rebuilt by replaying
 //!   `prompt + generated` — an exact reconstruction.
+//! * **The speculation-policy layer** (`verispec-core::policy`) — each
+//!   tick, *how much speculation to buy per request* is a
+//!   [`verispec_core::SpecPolicy`] decision, not a frozen config:
+//!   under a per-tick verify capacity
+//!   ([`ServeConfig::tick_capacity`] or the policy's own
+//!   `tick_budget`) the engine walks the scheduler's order, queries
+//!   the policy with each request's own acceptance history and the
+//!   remaining budget, pins the decided shape on the stepper, and
+//!   defers requests that do not fit (head-of-order always steps, so
+//!   the no-starvation bound survives). Static = configured shapes,
+//!   bit-identical to the pre-policy engine; adaptive = pure function
+//!   of the request's history (served == serial, proptest-pinned);
+//!   budgeted = shrink-to-fit packing. Load-shedding admission
+//!   control ([`ServeConfig::shed_depth`]) rejects ready-queue
+//!   overflow newest-first, deterministically on both the batch and
+//!   streaming paths.
 //! * **[`ServeEngine`]** — the tick loop. The batch's propose phase
 //!   (multi-head logits) and verify phase (candidate-tree scoring) are
 //!   fused across requests into single
@@ -75,9 +100,17 @@
 //! scheduling cannot perturb its randomness. `tests/proptest_serve.rs`
 //! pins the property over random request mixes, engines, seeds, tick
 //! orders, and session caps, along with the no-starvation bound;
-//! `verispec-load`'s streaming proptest additionally pins streaming
-//! admission == batch [`serve_all`] under random arrival processes and
-//! eviction pressure.
+//! `tests/proptest_policy.rs` extends it to adaptive speculation
+//! (decisions are pure functions of each request's own history, so
+//! served == the serial policy-driven engine under preemption and
+//! eviction too); `verispec-load`'s streaming proptest additionally
+//! pins streaming admission == batch [`serve_all`] under random
+//! arrival processes, capacities, deadlines, and eviction pressure.
+//! The one deliberate exception is
+//! [`verispec_core::BudgetedPolicy`]: its shrink-to-fit shapes depend
+//! on batch composition, so *sampled* outputs may differ from the
+//! serial run — it trades that for packing the tick under overload
+//! (greedy requests stay lossless under any shape).
 //!
 //! # Example
 //!
@@ -110,7 +143,7 @@ pub mod scheduler;
 
 pub use engine::{
     serve_all, serve_all_threaded, serve_streaming, ServeConfig, ServeEngine, ServeReport,
-    ServeStats,
+    ServeStats, ShedRequest,
 };
 pub use request::{Completion, EngineChoice, Request};
 pub use scheduler::{ActiveView, Scheduler, TickOrder};
@@ -453,6 +486,285 @@ mod tests {
             assert_eq!(a.output.tokens, b.output.tokens, "eviction changed output");
             assert_eq!(a.output.trace, b.output.trace);
         }
+    }
+
+    #[test]
+    fn tick_capacity_defers_steps_but_static_outputs_never_change() {
+        // Charging candidate tokens against a per-tick verify budget
+        // changes *when* requests step, never *what* they generate:
+        // under the static policy every request keeps its configured
+        // shape and its token stream equals the serial engine's.
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let requests: Vec<Request> = (0..6u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2],
+                    EngineChoice::SyntaxAligned {
+                        tree: Some(vec![2, 2]),
+                    },
+                    DecodeConfig {
+                        max_tokens: 10,
+                        sampling: if i % 2 == 0 {
+                            verispec_lm::Sampling::Greedy
+                        } else {
+                            Sampling::temperature(0.7)
+                        },
+                        seed: i,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| {
+                decode_speculative(&m, &r.prompt, &r.engine.decode_config(&r.cfg), &cost).tokens
+            })
+            .collect();
+        let free = serve_all(
+            &m,
+            None,
+            requests.clone(),
+            &ServeConfig::concurrency(6),
+            &cost,
+        );
+        let capped_cfg = ServeConfig {
+            // Tree [2,2] over 3 heads costs 1 + 3·4 = 13 per step; a
+            // budget of 16 fits one full tree per tick, so the rest of
+            // the batch defers.
+            tick_capacity: Some(16),
+            ..ServeConfig::concurrency(6)
+        };
+        let capped = serve_all(&m, None, requests, &capped_cfg, &cost);
+        assert!(
+            capped.stats.deferred_steps > 0,
+            "the budget must actually bind"
+        );
+        assert!(
+            capped.stats.ticks > free.stats.ticks,
+            "deferred steps stretch the schedule"
+        );
+        for (c, want) in capped.completions.iter().zip(&expected) {
+            assert_eq!(&c.output.tokens, want, "request {} diverged", c.id);
+        }
+    }
+
+    #[test]
+    fn budgeted_policy_packs_the_tick_and_greedy_stays_lossless() {
+        use verispec_core::BudgetedPolicy;
+        // Same verify capacity, two allocation policies: static defers
+        // whole requests, budgeted shrinks shapes to pack the tick.
+        // Greedy speculation is lossless under any shape, so outputs
+        // still equal the serial engine's token-for-token.
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let requests: Vec<Request> = (0..6u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2],
+                    EngineChoice::SyntaxAligned {
+                        tree: Some(vec![2, 2]),
+                    },
+                    DecodeConfig {
+                        max_tokens: 10,
+                        seed: i,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| {
+                decode_speculative(&m, &r.prompt, &r.engine.decode_config(&r.cfg), &cost).tokens
+            })
+            .collect();
+        let capacity = 16usize;
+        let run_static = {
+            let cfg = ServeConfig {
+                tick_capacity: Some(capacity),
+                ..ServeConfig::concurrency(6)
+            };
+            serve_all(&m, None, requests.clone(), &cfg, &cost)
+        };
+        let policy = BudgetedPolicy { per_tick: capacity };
+        let run_budgeted = {
+            let mut engine = ServeEngine::new(&m, ServeConfig::concurrency(6)).with_policy(&policy);
+            for r in requests.clone() {
+                engine.submit(r);
+            }
+            engine.run(&cost)
+        };
+        assert!(
+            run_budgeted.stats.deferred_steps < run_static.stats.deferred_steps,
+            "shrink-to-fit must pack more requests per tick ({} vs {})",
+            run_budgeted.stats.deferred_steps,
+            run_static.stats.deferred_steps
+        );
+        for (c, want) in run_budgeted.completions.iter().zip(&expected) {
+            assert_eq!(
+                &c.output.tokens, want,
+                "greedy request {} must stay lossless under shrunk trees",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_served_equals_serial() {
+        use verispec_core::{decode_speculative_with_policy, AdaptivePolicy};
+        // Adaptation is a pure function of the request's own history,
+        // so the served run and the serial policy-driven engine make
+        // identical per-step decisions — sampled requests included.
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let policy = AdaptivePolicy::default();
+        let requests: Vec<Request> = (0..5u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2, 3],
+                    EngineChoice::SyntaxAligned {
+                        tree: Some(vec![2, 2]),
+                    },
+                    DecodeConfig {
+                        max_tokens: 14,
+                        sampling: Sampling::temperature(0.8),
+                        seed: 31 * i + 7,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| {
+                decode_speculative_with_policy(
+                    &m,
+                    &r.prompt,
+                    &r.engine.decode_config(&r.cfg),
+                    &cost,
+                    &policy,
+                )
+                .tokens
+            })
+            .collect();
+        let mut engine = ServeEngine::new(&m, ServeConfig::concurrency(3)).with_policy(&policy);
+        for r in requests {
+            engine.submit(r);
+        }
+        let report = engine.run(&cost);
+        for (c, want) in report.completions.iter().zip(&expected) {
+            assert_eq!(&c.output.tokens, want, "request {} diverged", c.id);
+        }
+        // The report surfaces what the speculation cost and cashed.
+        assert!(report.stats.proposed_tokens > 0);
+        assert!(report
+            .completions
+            .iter()
+            .all(|c| c.accepted_tokens <= c.proposed_tokens));
+    }
+
+    #[test]
+    fn shed_depth_rejects_newest_overflow_identically_on_both_paths() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        // Ten immediate arrivals against one slot and a ready-queue
+        // depth of 2: the newest overflow must be shed.
+        let requests: Vec<Request> = (0..10u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2],
+                    EngineChoice::MedusaChain,
+                    DecodeConfig {
+                        max_tokens: 6,
+                        seed: i,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let cfg = ServeConfig {
+            max_active: 1,
+            max_batch: 1,
+            shed_depth: Some(2),
+            ..Default::default()
+        };
+        let batch = serve_all(&m, None, requests.clone(), &cfg, &cost);
+        assert!(batch.stats.shed_requests > 0, "overflow must shed");
+        assert_eq!(
+            batch.completions.len() + batch.shed.len(),
+            requests.len(),
+            "every request is either served or shed"
+        );
+        // Newest-first: the shed set is a suffix of the id space (all
+        // arrivals share tick 0, so id breaks the tie).
+        let min_shed = batch.shed.iter().map(|s| s.id).min().expect("nonempty");
+        assert!(batch.completions.iter().all(|c| c.id < min_shed));
+        // Streaming sheds the same requests at the same ticks.
+        let (tx, rx) = std::sync::mpsc::channel();
+        for r in requests {
+            tx.send(r).expect("receiver alive");
+        }
+        drop(tx);
+        let streamed = serve_streaming(&m, None, None, rx, &cfg, &cost);
+        assert_eq!(batch.shed, streamed.shed);
+        for (a, b) in batch.completions.iter().zip(&streamed.completions) {
+            assert_eq!(a.output.tokens, b.output.tokens);
+            assert_eq!(a.step_ticks, b.step_ticks);
+        }
+    }
+
+    #[test]
+    fn edf_order_improves_deadline_attainment_under_pressure() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        // Eight long generations, one served at a time; the *latest*
+        // submissions carry the tightest deadlines, so round-robin
+        // (which serves in admission order) misses them while EDF
+        // reorders to meet them.
+        let mk_requests = || -> Vec<Request> {
+            (0..8u64)
+                .map(|i| {
+                    Request::new(
+                        i,
+                        vec![1 + (i % 4) as TokenId, 2],
+                        EngineChoice::Ntp,
+                        DecodeConfig {
+                            max_tokens: 8,
+                            seed: i,
+                            eos: 999,
+                            ..Default::default()
+                        },
+                    )
+                    .with_deadline(20 + 4 * (8 - i))
+                })
+                .collect()
+        };
+        let attainment = |order: TickOrder| -> usize {
+            let cfg = ServeConfig {
+                max_active: 8,
+                max_batch: 2,
+                order,
+                ..Default::default()
+            };
+            let report = serve_all(&m, None, mk_requests(), &cfg, &cost);
+            report
+                .completions
+                .iter()
+                .filter(|c| c.met_deadline() == Some(true))
+                .count()
+        };
+        let rr = attainment(TickOrder::RoundRobin);
+        let edf = attainment(TickOrder::Edf);
+        assert!(
+            edf > rr,
+            "EDF must meet more deadlines than round-robin ({edf} vs {rr})"
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl EngineChoice {
 }
 
 /// One generation request submitted to the serving engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Client-chosen identifier; completions are reported under it.
     pub id: u64,
@@ -103,10 +103,16 @@ pub struct Request {
     /// Tick at which the request becomes visible to admission (0 =
     /// immediately). Models request arrival in an open-loop workload.
     pub arrival: u64,
+    /// Optional SLO deadline: the absolute tick by which the request
+    /// should finish. Consumed by the earliest-deadline-first tick
+    /// order ([`crate::TickOrder::Edf`]) and the SLO-attainment
+    /// telemetry; `None` means best-effort.
+    pub deadline: Option<u64>,
 }
 
 impl Request {
-    /// A request with default arrival (immediately admissible).
+    /// A request with default arrival (immediately admissible) and no
+    /// deadline.
     pub fn new(id: u64, prompt: Vec<TokenId>, engine: EngineChoice, cfg: DecodeConfig) -> Self {
         Request {
             id,
@@ -114,7 +120,14 @@ impl Request {
             engine,
             cfg,
             arrival: 0,
+            deadline: None,
         }
+    }
+
+    /// Sets the SLO deadline (absolute tick).
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -151,6 +164,16 @@ pub struct Completion {
     pub first_token_secs: Option<f64>,
     /// Engine-relative wall-clock seconds of the final decoding step.
     pub finished_secs: f64,
+    /// The request's SLO deadline tick, echoed from [`Request`].
+    pub deadline: Option<u64>,
+    /// Candidate tokens this request speculated across all steps (the
+    /// speculation it *paid for*; excludes the always-committed base
+    /// token). The input adaptive policies steer by, surfaced for bench
+    /// reports.
+    pub proposed_tokens: usize,
+    /// Speculated tokens the verifier accepted (the speculation that
+    /// *cashed out*).
+    pub accepted_tokens: usize,
 }
 
 impl Completion {
@@ -162,5 +185,17 @@ impl Completion {
     /// Queueing delay in ticks: submission to first admission.
     pub fn queue_ticks(&self) -> u64 {
         self.admitted.saturating_sub(self.submitted)
+    }
+
+    /// Whether the request met its deadline (`None` without one).
+    pub fn met_deadline(&self) -> Option<bool> {
+        self.deadline.map(|d| self.finished <= d)
+    }
+
+    /// Fraction of speculated tokens accepted, `None` if the request
+    /// never speculated.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        (self.proposed_tokens > 0)
+            .then(|| self.accepted_tokens as f64 / self.proposed_tokens as f64)
     }
 }

@@ -30,6 +30,12 @@ pub enum TickOrder {
     /// used by the property tests to prove output invariance and
     /// no-starvation under arbitrary tick orders.
     Seeded(u64),
+    /// Earliest-deadline-first: requests with the nearest SLO deadline
+    /// step first (no deadline sorts last, then round-robin by last
+    /// service). The aging guard still applies on top, so EDF cannot
+    /// starve best-effort requests — the SLO-aware order trades
+    /// throughput for deadline attainment under overload.
+    Edf,
 }
 
 /// Scheduler-visible state of one active request.
@@ -44,6 +50,8 @@ pub struct ActiveView {
     pub admitted: u64,
     /// Tokens generated so far.
     pub generated: usize,
+    /// SLO deadline tick, if the request carries one (EDF sort key).
+    pub deadline: Option<u64>,
 }
 
 /// Selects up to `max_batch` of the active requests for one tick.
@@ -110,6 +118,15 @@ impl Scheduler {
             TickOrder::Seeded(seed) => {
                 rest.sort_by_key(|&i| splitmix64(seed ^ tick.wrapping_mul(0xA5A5) ^ views[i].id));
             }
+            TickOrder::Edf => {
+                rest.sort_by_key(|&i| {
+                    (
+                        views[i].deadline.unwrap_or(u64::MAX),
+                        views[i].last_step,
+                        views[i].id,
+                    )
+                });
+            }
         }
         forced.extend(rest);
         forced.truncate(max_batch);
@@ -128,6 +145,7 @@ mod tests {
                 last_step: tick.saturating_sub(i as u64 % 3),
                 admitted: 0,
                 generated: i,
+                deadline: None,
             })
             .collect()
     }
@@ -143,6 +161,7 @@ mod tests {
                     last_step: last[i],
                     admitted: 0,
                     generated: 0,
+                    deadline: None,
                 })
                 .collect();
             let sel = s.select(&vs, tick, 2);
@@ -169,6 +188,7 @@ mod tests {
                     last_step: last[i],
                     admitted: 0,
                     generated: 0,
+                    deadline: None,
                 })
                 .collect();
             for i in s.select(&vs, tick, 1) {
@@ -189,6 +209,35 @@ mod tests {
         let s = Scheduler::new(TickOrder::ShortestFirst, 4, 2);
         let sel = s.select(&views(4, 5), 5, 2);
         assert_eq!(sel, vec![0, 1], "fewest generated tokens go first");
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_with_best_effort_last() {
+        let s = Scheduler::new(TickOrder::Edf, 4, 2);
+        let mk = |id: u64, deadline: Option<u64>| ActiveView {
+            id,
+            last_step: 4,
+            admitted: 0,
+            generated: 0,
+            deadline,
+        };
+        let vs = vec![
+            mk(0, None),
+            mk(1, Some(90)),
+            mk(2, Some(20)),
+            mk(3, Some(50)),
+        ];
+        assert_eq!(
+            s.select(&vs, 5, 4),
+            vec![2, 3, 1, 0],
+            "nearest deadline first, best-effort last"
+        );
+        // Aging still outranks deadlines: a starved best-effort request
+        // is forced ahead of every deadline.
+        let mut vs = vs;
+        vs[0].last_step = 0;
+        let tick = s.starvation_bound();
+        assert_eq!(s.select(&vs, tick, 2)[0], 0, "aging guard wins over EDF");
     }
 
     #[test]

@@ -147,6 +147,7 @@ proptest! {
             preempt_wait: preempt,
             fuse,
             session_cap,
+            ..Default::default()
         };
         let mut prefix_session = model.session();
         prefix_session.append(&shared);
