@@ -18,6 +18,19 @@
 //! percentiles — the measured answer to "Performance or Illusion?"
 //! under batch pressure.
 //!
+//! Finally, the **dispatch sweep**: one Ours-tree workload at a
+//! fleet-saturating offered load (4× the Table II overload level — a
+//! speculative engine's effective capacity is several NTP-capacities,
+//! so saturating four of them takes real heat), served once on a
+//! single engine as the melt-down baseline, then routed across 1/2/4
+//! independent engine workers under each routing policy (round-robin,
+//! join-shortest-queue by ready depth, join-least-loaded by
+//! outstanding candidate-token cost), every cell at equal offered
+//! load — the JSQ-vs-RR tail-latency comparison. Dispatched
+//! completions are asserted token-identical to the single-engine
+//! reference (and one-worker cells tick-identical) before any row is
+//! recorded.
+//!
 //! Emits `BENCH_load.json` at the workspace root with exact
 //! p50/p90/p99 queueing delay, TTFT, per-token inter-commit gaps, and
 //! end-to-end latency in scheduler ticks plus measured wall-clock,

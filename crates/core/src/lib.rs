@@ -12,7 +12,7 @@
 //!   syntax-aligned variant with the fragment-integrity check;
 //! * **Classical draft-model speculation** ([`draft`]) — the
 //!   Leviathan-style baseline with an n-gram draft;
-//! * **Training orchestration** ([`train`]) — MEDUSA-2's Eq.-2 loss with
+//! * **Training orchestration** ([`train`](mod@train)) — MEDUSA-2's Eq.-2 loss with
 //!   λ sine ramp, γ decay, and 4× head learning rate, parameterized over
 //!   the three regimes compared in the paper;
 //! * **Step-granular decoding** ([`step`]) — every engine decomposed

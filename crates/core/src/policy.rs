@@ -89,7 +89,7 @@ pub enum SpecShape {
 impl SpecShape {
     /// Candidate tokens this shape proposes per step, mirroring
     /// [`crate::decode`]'s path construction (including the
-    /// [`MAX_CANDIDATE_PATHS`] cap), so a serving engine can budget a
+    /// `MAX_CANDIDATE_PATHS` cap of 32), so a serving engine can budget a
     /// tick *before* any logits exist.
     ///
     /// The mirror is exact for shapes whose `depth`/`gamma` does not

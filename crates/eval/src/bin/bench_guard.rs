@@ -1,0 +1,283 @@
+//! Bench-trajectory guard: structural CI gate over the three committed
+//! bench artifacts (`BENCH_decode.json`, `BENCH_serve.json`,
+//! `BENCH_load.json`).
+//!
+//! The bench smokes regenerate the artifacts; this binary then fails
+//! the build if their *shape* regressed — a column renamed or dropped,
+//! a speedup that stopped parsing, a parity flag that is no longer
+//! true, a method/policy/dispatch cell that silently vanished from a
+//! sweep. Numeric trajectories (is the speedup getting worse?) stay a
+//! human judgment over the uploaded artifacts; the guard's job is to
+//! make sure the numbers are still *there*, still finite, and still
+//! produced under proven parity.
+//!
+//! Usage: `cargo run -p verispec-eval --bin bench_guard [--] [dir]`
+//! where `dir` holds the three JSONs (default: the workspace root).
+//! Exits non-zero listing every violated invariant.
+
+use serde::Value;
+
+/// Collects invariant violations instead of bailing at the first, so
+/// one run reports everything that broke.
+struct Guard {
+    violations: Vec<String>,
+    checks: usize,
+}
+
+impl Guard {
+    fn new() -> Self {
+        Guard {
+            violations: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn check(&mut self, ok: bool, what: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(what());
+        }
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Int(i) => Some(i as f64),
+        Value::UInt(u) => Some(u as f64),
+        Value::Float(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn field<'a>(row: &'a Value, name: &str) -> Option<&'a Value> {
+    row.field(name).ok()
+}
+
+/// A required finite numeric field; records a violation otherwise.
+fn number(g: &mut Guard, row: &Value, ctx: &str, name: &str) -> f64 {
+    let v = field(row, name).and_then(as_f64);
+    g.check(v.is_some_and(f64::is_finite), || {
+        format!("{ctx}: field `{name}` missing or not a finite number")
+    });
+    v.unwrap_or(f64::NAN)
+}
+
+fn string<'a>(g: &mut Guard, row: &'a Value, ctx: &str, name: &str) -> &'a str {
+    let v = field(row, name).and_then(Value::as_str);
+    g.check(v.is_some(), || {
+        format!("{ctx}: field `{name}` missing or not a string")
+    });
+    v.unwrap_or("")
+}
+
+fn rows<'a>(g: &mut Guard, doc: &'a Value, file: &str) -> &'a [Value] {
+    match doc {
+        Value::Seq(items) if !items.is_empty() => items,
+        Value::Seq(_) => {
+            g.violations.push(format!("{file}: empty row array"));
+            &[]
+        }
+        _ => {
+            g.violations.push(format!("{file}: not a JSON array"));
+            &[]
+        }
+    }
+}
+
+/// The six quantile summaries every load row must carry, each with
+/// sane order statistics (nearest-rank quantiles are monotone).
+fn check_quantiles(g: &mut Guard, row: &Value, ctx: &str) {
+    let Some(q) = field(row, "quantiles") else {
+        g.violations
+            .push(format!("{ctx}: field `quantiles` missing"));
+        return;
+    };
+    for dist in [
+        "queue_ticks",
+        "ttft_ticks",
+        "e2e_ticks",
+        "gap_ticks",
+        "ttft_secs",
+        "e2e_secs",
+    ] {
+        let Some(d) = field(q, dist) else {
+            g.violations
+                .push(format!("{ctx}: quantile summary `{dist}` missing"));
+            continue;
+        };
+        let dctx = format!("{ctx}.quantiles.{dist}");
+        let p50 = number(g, d, &dctx, "p50");
+        let p90 = number(g, d, &dctx, "p90");
+        let p99 = number(g, d, &dctx, "p99");
+        let max = number(g, d, &dctx, "max");
+        number(g, d, &dctx, "mean");
+        number(g, d, &dctx, "n");
+        g.check(p50 <= p90 && p90 <= p99 && p99 <= max, || {
+            format!("{dctx}: order statistics not monotone ({p50}/{p90}/{p99}/max {max})")
+        });
+    }
+}
+
+fn check_decode(g: &mut Guard, doc: &Value) {
+    let mut methods = Vec::new();
+    for (i, row) in rows(g, doc, "BENCH_decode.json").iter().enumerate() {
+        let ctx = format!("BENCH_decode.json[{i}]");
+        methods.push(string(g, row, &ctx, "method").to_string());
+        let tokens = number(g, row, &ctx, "tokens");
+        g.check(tokens > 0.0, || format!("{ctx}: zero tokens measured"));
+        for col in ["session_tps", "stateless_tps", "speedup"] {
+            let v = number(g, row, &ctx, col);
+            g.check(v > 0.0, || format!("{ctx}: `{col}` must be positive ({v})"));
+        }
+    }
+    for want in ["Ours", "Medusa", "NTP"] {
+        g.check(methods.iter().any(|m| m == want), || {
+            format!("BENCH_decode.json: method `{want}` vanished from the sweep")
+        });
+    }
+}
+
+fn check_serve(g: &mut Guard, doc: &Value) {
+    for (i, row) in rows(g, doc, "BENCH_serve.json").iter().enumerate() {
+        let ctx = format!("BENCH_serve.json[{i}]");
+        let conc = number(g, row, &ctx, "concurrency");
+        g.check(conc >= 1.0, || format!("{ctx}: concurrency < 1"));
+        let tokens = number(g, row, &ctx, "tokens");
+        g.check(tokens > 0.0, || format!("{ctx}: zero tokens measured"));
+        for col in [
+            "serial_tps",
+            "serve_tps",
+            "threaded_tps",
+            "speedup",
+            "threaded_speedup",
+        ] {
+            let v = number(g, row, &ctx, col);
+            g.check(v > 0.0, || format!("{ctx}: `{col}` must be positive ({v})"));
+        }
+    }
+}
+
+fn check_load(g: &mut Guard, doc: &Value) {
+    let mut methods = Vec::new();
+    let mut policies = Vec::new();
+    let mut dispatch_cells = Vec::new();
+    for (i, row) in rows(g, doc, "BENCH_load.json").iter().enumerate() {
+        let ctx = format!("BENCH_load.json[{i}]");
+        methods.push(string(g, row, &ctx, "method").to_string());
+        policies.push(string(g, row, &ctx, "policy").to_string());
+        string(g, row, &ctx, "process");
+        let route = string(g, row, &ctx, "route").to_string();
+        let workers = number(g, row, &ctx, "workers");
+        g.check(workers >= 1.0, || format!("{ctx}: workers < 1"));
+        if route != "single" {
+            dispatch_cells.push((workers as usize, route.clone()));
+        }
+
+        // The parity flag is the guard's core promise: every recorded
+        // row was produced under a proven streamed==batch (or
+        // dispatched==single-engine) assertion.
+        let parity = field(row, "parity");
+        g.check(matches!(parity, Some(Value::Bool(true))), || {
+            format!("{ctx}: `parity` missing or not true")
+        });
+
+        let tokens = number(g, row, &ctx, "tokens");
+        g.check(tokens > 0.0, || format!("{ctx}: zero tokens measured"));
+        let ticks = number(g, row, &ctx, "ticks");
+        g.check(ticks > 0.0, || format!("{ctx}: zero ticks measured"));
+        number(g, row, &ctx, "offered_rate");
+        number(g, row, &ctx, "tokens_per_tick");
+        number(g, row, &ctx, "tokens_per_step");
+        check_quantiles(g, row, &ctx);
+
+        // Routed requests account for everything served or shed.
+        let requests = number(g, row, &ctx, "requests");
+        let shed = number(g, row, &ctx, "shed_requests");
+        match field(row, "worker_requests") {
+            Some(Value::Seq(per)) => {
+                g.check(per.len() == workers as usize, || {
+                    format!(
+                        "{ctx}: worker_requests has {} entries for {workers} workers",
+                        per.len()
+                    )
+                });
+                let sum: f64 = per.iter().filter_map(as_f64).sum();
+                g.check(sum == requests + shed, || {
+                    format!("{ctx}: routed requests ({sum}) != served ({requests}) + shed ({shed})")
+                });
+            }
+            _ => g
+                .violations
+                .push(format!("{ctx}: field `worker_requests` missing")),
+        }
+    }
+    for want in ["Ours-tree", "Medusa-tree", "NTP"] {
+        g.check(methods.iter().any(|m| m == want), || {
+            format!("BENCH_load.json: method `{want}` vanished from the sweep")
+        });
+    }
+    for want in ["static", "adaptive", "budgeted"] {
+        g.check(policies.iter().any(|p| p == want), || {
+            format!("BENCH_load.json: policy `{want}` vanished from the A/B")
+        });
+    }
+    for workers in [1usize, 2, 4] {
+        for route in ["rr", "jsq", "least-loaded"] {
+            g.check(
+                dispatch_cells
+                    .iter()
+                    .any(|(w, r)| *w == workers && r == route),
+                || format!("BENCH_load.json: dispatch cell {route}@{workers} vanished"),
+            );
+        }
+    }
+}
+
+/// One artifact's structural checker.
+type Checker = fn(&mut Guard, &Value);
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let mut g = Guard::new();
+    let checkers: [(&str, Checker); 3] = [
+        ("BENCH_decode.json", check_decode),
+        ("BENCH_serve.json", check_serve),
+        ("BENCH_load.json", check_load),
+    ];
+    for (file, check) in checkers {
+        let path = dir.join(file);
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                g.violations
+                    .push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        match serde_json::from_str::<Value>(&body) {
+            Ok(doc) => check(&mut g, &doc),
+            Err(e) => g
+                .violations
+                .push(format!("{}: does not parse as JSON: {e}", path.display())),
+        }
+    }
+    if g.violations.is_empty() {
+        println!(
+            "bench guard OK: {} structural invariants hold across the three artifacts",
+            g.checks
+        );
+    } else {
+        eprintln!(
+            "bench guard FAILED: {} of {} invariants violated",
+            g.violations.len(),
+            g.checks.max(g.violations.len())
+        );
+        for v in &g.violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

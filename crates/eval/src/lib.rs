@@ -6,9 +6,9 @@
 //!   (Eqs. 3–4);
 //! * [`benchmarks`] — RTLLM-sim (29 problems) and VGen-sim (17
 //!   problems), sized to the paper's Pass-Rate quanta;
-//! * [`judge`] — the iverilog-substitute scoring protocol (compile =
-//!   parse + elaborate + interface check; function = golden-model
-//!   equivalence);
+//! * [`judge`](mod@judge) — the iverilog-substitute scoring protocol
+//!   (compile = parse + elaborate + interface check; function =
+//!   golden-model equivalence);
 //! * [`pipeline`] — corpus → tokenizer → trained models (with on-disk
 //!   caching) → generation;
 //! * [`experiments`] — Table I, Table II, Fig. 1, Fig. 5, Fig. 6
@@ -47,8 +47,8 @@ pub use experiments::{
 };
 pub use judge::{judge, Verdict};
 pub use load::{
-    load_families, load_methods, mean_budget, policy_menu, rates_for_utilizations,
-    render_load_bench, run_load_bench,
+    dispatch_routes, load_families, load_methods, mean_budget, policy_menu, rates_for_utilizations,
+    render_load_bench, run_load_bench, DISPATCH_LOAD_FACTOR, DISPATCH_WORKER_COUNTS,
 };
 pub use metrics::{mean_pass_at_k, pass_at_k, pass_rate, PromptCounts, QualityRow};
 pub use pipeline::{

@@ -18,10 +18,12 @@ use crate::pipeline::{token_budget, ModelScale, Pipeline, SharedPrefixEncoder};
 use crate::Scale;
 use verispec_core::{AdaptivePolicy, BudgetedPolicy, SpecPolicy, StaticPolicy, TrainMethod};
 use verispec_load::{
-    run_open_loop, run_open_loop_with_policy, ArrivalProcess, ArrivalTrace, LoadBenchRow,
-    PromptFamily, RequestMix, Workload,
+    run_dispatch_open_loop, run_open_loop, run_open_loop_with_policy, ArrivalProcess, ArrivalTrace,
+    DispatchRunReport, LoadBenchRow, LoadRunReport, PromptFamily, RequestMix, Workload,
 };
-use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine, TickOrder};
+use verispec_serve::{
+    DispatchConfig, EngineChoice, Request, RoutePolicy, ServeConfig, ServeEngine, TickOrder,
+};
 
 /// The three methods of the serve-aware Table II (all drive the same
 /// "Ours"-trained model; the engine choice is what Table II compares).
@@ -66,6 +68,31 @@ pub fn policy_menu(capacity: usize) -> Vec<(&'static str, Option<usize>, Box<dyn
             None,
             Box::new(BudgetedPolicy { per_tick: capacity }),
         ),
+    ]
+}
+
+/// Worker counts of the dispatch sweep: the single fused engine, and
+/// small fleets.
+pub const DISPATCH_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Offered-load multiplier of the dispatch sweep over the Table II
+/// sweep's highest level. Speculation lifts one engine's effective
+/// capacity well above the NTP tokens-per-tick the utilization axis is
+/// denominated in, so the Table II overload level barely queues a
+/// multi-worker Ours-tree fleet; the dispatch sweep therefore runs at
+/// `factor ×` that rate — enough to saturate even four workers, which
+/// is where routing policy decides the tail.
+pub const DISPATCH_LOAD_FACTOR: f64 = 4.0;
+
+/// The routing-policy menu of the dispatch sweep: load-blind
+/// round-robin vs join-shortest-queue (ready-depth) vs
+/// join-least-loaded (outstanding candidate-token cost) — the
+/// JSQ-vs-RR tail-latency comparison is the headline measurement.
+pub fn dispatch_routes() -> Vec<(&'static str, RoutePolicy)> {
+    vec![
+        ("rr", RoutePolicy::RoundRobin),
+        ("jsq", RoutePolicy::JoinShortestQueue),
+        ("least-loaded", RoutePolicy::LeastLoaded),
     ]
 }
 
@@ -138,7 +165,14 @@ pub fn rates_for_utilizations(utils: &[f64], max_batch: usize, mean_budget: f64)
 /// adaptive vs. budgeted speculation at the same per-tick verify
 /// capacity, with SLO deadlines, earliest-deadline-first scheduling,
 /// and load-shedding admission control — all under streaming admission
-/// with prefix-forked sessions and a session cap of twice the pool.
+/// with prefix-forked sessions and a session cap of twice the pool —
+/// plus the **dispatch sweep**: one Ours-tree workload at
+/// [`DISPATCH_LOAD_FACTOR`] × the highest offered load (hot enough to
+/// saturate the largest fleet), served once on a single engine (the
+/// reference row) and then routed across [`DISPATCH_WORKER_COUNTS`]
+/// workers under each [`dispatch_routes`] policy (every dispatched
+/// output asserted identical to the single-engine reference before
+/// recording).
 ///
 /// Also round-trips every workload's realized arrivals through the
 /// JSON [`ArrivalTrace`] and asserts the replay is field-for-field
@@ -259,7 +293,134 @@ pub fn run_load_bench(
             ));
         }
     }
+
+    // Dispatch sweep: worker count × routing policy, all cells fed the
+    // *same* workload (same arrivals/prompts/budgets/seeds, Ours-tree)
+    // at [`DISPATCH_LOAD_FACTOR`] × the sweep's highest offered load —
+    // hot enough to saturate even the four-worker fleet, where routing
+    // decides the tail. A single-engine run of the identical workload
+    // is recorded first (route "single") as both the melt-down baseline
+    // and the parity reference: every dispatched completion is asserted
+    // token-identical to it (itself already proven == batch == serial),
+    // and the one-worker cells are asserted tick-identical, before any
+    // row is recorded.
+    let rate = DISPATCH_LOAD_FACTOR
+        * rates
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE);
+    let (ours_name, ours_engine) = load_methods().remove(0);
+    let workload = Workload {
+        process: ArrivalProcess::Poisson { rate },
+        mix: RequestMix {
+            engines: load_methods().into_iter().map(|(_, e)| (e, 1.0)).collect(),
+            families: families.clone(),
+            greedy_fraction: 0.5,
+            temperature: (0.4, 0.9),
+            base: Default::default(),
+            deadline_slack: None,
+        },
+        count: scale.speed_prompt_count.max(2),
+        seed: 0x10AD_5EED,
+    };
+    let process = workload.process.name().to_string();
+    let requests = workload.requests_with_engine(Some(&ours_engine));
+    let reference = run_open_loop(
+        &model,
+        None,
+        Some(&enc.preamble_ids),
+        requests.clone(),
+        &cfg,
+        &cost,
+    );
+    assert_streaming_matches_batch(
+        &model,
+        &enc.preamble_ids,
+        &requests,
+        &cfg,
+        &cost,
+        &reference,
+        "dispatch-reference",
+        None,
+    );
+    rows.push(LoadBenchRow::new(&process, rate, ours_name, &reference));
+    for &workers in &DISPATCH_WORKER_COUNTS {
+        // With one worker every routing policy routes identically, so
+        // the three one-worker cells share a single run.
+        let mut shared: Option<DispatchRunReport> = None;
+        for (route_name, route) in dispatch_routes() {
+            let run = match &shared {
+                Some(run) => run.clone(),
+                None => {
+                    let dcfg = DispatchConfig::new(workers, route);
+                    let run = run_dispatch_open_loop(
+                        &model,
+                        None,
+                        Some(&enc.preamble_ids),
+                        requests.clone(),
+                        &cfg,
+                        &dcfg,
+                        &cost,
+                        None,
+                    );
+                    assert_dispatch_matches_reference(&run, &reference, workers, route_name);
+                    if workers == 1 {
+                        shared = Some(run.clone());
+                    }
+                    run
+                }
+            };
+            rows.push(LoadBenchRow::for_dispatch(
+                &process, rate, ours_name, route_name, &run,
+            ));
+        }
+    }
     rows
+}
+
+/// Asserts a dispatched run against the single-engine reference of the
+/// identical workload: every completion's token stream must match
+/// (routing never changes semantics), and a one-worker fleet must
+/// reproduce the reference tick schedule exactly (the dispatcher adds
+/// zero scheduling noise).
+fn assert_dispatch_matches_reference(
+    run: &DispatchRunReport,
+    reference: &LoadRunReport,
+    workers: usize,
+    route: &str,
+) {
+    assert_eq!(
+        run.dispatch.completions.len(),
+        reference.serve.completions.len(),
+        "{route}@{workers}: dispatched run lost requests"
+    );
+    for (a, b) in run
+        .dispatch
+        .completions
+        .iter()
+        .zip(&reference.serve.completions)
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.output.tokens, b.output.tokens,
+            "{route}@{workers}: request {} diverged from the single-engine run",
+            a.id
+        );
+        if workers == 1 {
+            assert_eq!(
+                a.step_ticks, b.step_ticks,
+                "{route}@1: request {} schedule diverged from the single engine",
+                a.id
+            );
+        }
+    }
+    if workers == 1 {
+        assert_eq!(
+            run.dispatch.stats.ticks, reference.serve.stats.ticks,
+            "{route}@1: tick count diverged from the single engine"
+        );
+    }
 }
 
 /// Records the workload's realized arrivals, round-trips them through
@@ -326,15 +487,16 @@ fn assert_streaming_matches_batch(
     }
 }
 
-/// Renders the sweep as the serve-aware Table II, policy A/B included.
+/// Renders the sweep as the serve-aware Table II, policy A/B and
+/// dispatch sweep included.
 pub fn render_load_bench(rows: &[LoadBenchRow]) -> String {
     let mut out = String::new();
     out.push_str(
         "Latency under load — serve-aware Table II (streaming admission, equal offered load)\n",
     );
     out.push_str(
-        "process  rate    method       policy    cap  reqs shed  tokens  ticks  tok/tick  acc%  \
-         TTFT p50/p90/p99      E2E p50/p90/p99 (ticks)  SLO%\n",
+        "process  rate    method       policy    cap  wrk route        reqs shed  tokens  ticks  \
+         tok/tick  acc%  TTFT p50/p90/p99      E2E p50/p90/p99 (ticks)  SLO%\n",
     );
     for r in rows {
         let cap = r
@@ -346,26 +508,29 @@ pub fn render_load_bench(rows: &[LoadBenchRow]) -> String {
         let slo = r
             .slo_attainment
             .map_or("   -".to_string(), |s| format!("{:>4.0}", 100.0 * s));
+        let q = &r.quantiles;
         out.push_str(&format!(
-            "{:<8} {:<7.4} {:<12} {:<9} {} {:>4} {:>4} {:>7} {:>6} {:>9.2}  {}  \
+            "{:<8} {:<7.4} {:<12} {:<9} {} {:>4} {:<12} {:>4} {:>4} {:>7} {:>6} {:>9.2}  {}  \
              {:>5.0}/{:>5.0}/{:>6.0}  {:>7.0}/{:>7.0}/{:>8.0}  {}\n",
             r.process,
             r.offered_rate,
             r.method,
             r.policy,
             cap,
+            r.workers,
+            r.route,
             r.requests,
             r.shed_requests,
             r.tokens,
             r.ticks,
             r.tokens_per_tick,
             acc,
-            r.ttft_ticks.p50,
-            r.ttft_ticks.p90,
-            r.ttft_ticks.p99,
-            r.e2e_ticks.p50,
-            r.e2e_ticks.p90,
-            r.e2e_ticks.p99,
+            q.ttft_ticks.p50,
+            q.ttft_ticks.p90,
+            q.ttft_ticks.p99,
+            q.e2e_ticks.p50,
+            q.e2e_ticks.p90,
+            q.e2e_ticks.p99,
             slo,
         ));
     }
@@ -396,28 +561,66 @@ mod tests {
         let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &[0.4, 1.5]);
         assert_eq!(
             rows.len(),
-            2 * (3 + 3),
-            "2 load levels x (3 methods + 3 policies)"
+            2 * (3 + 3) + 1 + 9,
+            "2 load levels x (3 methods + 3 policies) + dispatch reference + 3x3 sweep"
         );
         for r in &rows {
             assert!(r.requests + r.shed_requests == 4, "served + shed = offered");
             assert!(r.tokens > 0);
             assert!(r.ticks > 0);
-            assert!(r.ttft_ticks.p99 >= r.ttft_ticks.p50);
-            assert!(r.e2e_ticks.p99 >= r.e2e_ticks.p50);
-            assert!(r.e2e_ticks.p50 >= r.ttft_ticks.p50);
+            assert!(r.parity, "rows are only recorded under proven parity");
+            let q = &r.quantiles;
+            assert!(q.ttft_ticks.p99 >= q.ttft_ticks.p50);
+            assert!(q.e2e_ticks.p99 >= q.e2e_ticks.p50);
+            assert!(q.e2e_ticks.p50 >= q.ttft_ticks.p50);
         }
-        // Equal offered load: same rate axis for every method.
+        // Equal offered load: every NTP level has its Ours-tree
+        // counterpart at the identical rate; the one extra Ours-tree
+        // single row is the dispatch sweep's reference.
         let ntp: Vec<_> = rows.iter().filter(|r| r.method == "NTP").collect();
         let ours: Vec<_> = rows
             .iter()
             .filter(|r| {
-                r.method == "Ours-tree" && r.policy == "static" && r.tick_capacity.is_none()
+                r.method == "Ours-tree"
+                    && r.policy == "static"
+                    && r.tick_capacity.is_none()
+                    && r.route == "single"
             })
             .collect();
-        assert_eq!(ntp.len(), ours.len());
-        for (a, b) in ntp.iter().zip(&ours) {
-            assert_eq!(a.offered_rate, b.offered_rate);
+        assert_eq!(ntp.len() + 1, ours.len());
+        for n in &ntp {
+            assert!(
+                ours.iter().any(|o| o.offered_rate == n.offered_rate),
+                "no Ours-tree row at NTP rate {}",
+                n.offered_rate
+            );
+        }
+        // The dispatch sweep: every worker count x route cell at one
+        // shared fleet-saturating offered load (the reference row runs
+        // at it too), with the routed request counts adding up to the
+        // workload.
+        let top_rate = ntp.iter().map(|r| r.offered_rate).fold(f64::MIN, f64::max);
+        let dispatch_rate = DISPATCH_LOAD_FACTOR * top_rate;
+        assert!(
+            ours.iter().any(|o| o.offered_rate == dispatch_rate),
+            "dispatch reference row missing"
+        );
+        let dispatch: Vec<_> = rows.iter().filter(|r| r.route != "single").collect();
+        assert_eq!(dispatch.len(), 9);
+        for workers in DISPATCH_WORKER_COUNTS {
+            for (route, _) in dispatch_routes() {
+                let cell = dispatch
+                    .iter()
+                    .find(|r| r.workers == workers && r.route == route)
+                    .unwrap_or_else(|| panic!("missing dispatch cell {route}@{workers}"));
+                assert_eq!(cell.method, "Ours-tree");
+                assert_eq!(cell.worker_requests.len(), workers);
+                assert_eq!(cell.worker_requests.iter().sum::<usize>(), 4);
+                assert_eq!(
+                    cell.offered_rate, dispatch_rate,
+                    "dispatch cells run at the fleet-saturating load"
+                );
+            }
         }
         // The policy A/B rows carry the new axes: a shared capacity,
         // SLO deadlines on every request, and measured acceptance.
@@ -435,6 +638,7 @@ mod tests {
         let rendered = render_load_bench(&rows);
         assert!(rendered.contains("NTP") && rendered.contains("Ours-tree"));
         assert!(rendered.contains("budgeted") && rendered.contains("adaptive"));
+        assert!(rendered.contains("jsq") && rendered.contains("least-loaded"));
         assert!(rendered.contains("Table II"));
     }
 

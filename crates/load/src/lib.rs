@@ -25,25 +25,34 @@
 //!   ─────────────                 ──────────────              ───────────
 //!   ArrivalProcess ─┐
 //!   (poisson/on-off/│ Workload::requests()
-//!    ramp, seeded)  ├──────────► [Request; n] ── mpsc ─► drain_arrivals
-//!   RequestMix ─────┘  arrival ticks + mixes            (per tick, joins
-//!   (engine/family/      │ + deadlines                   mid-flight; shed
-//!    budget/sampling/    ▼ (deadline_slack)              overflow)
-//!    deadline slack)  ArrivalTrace                          │
-//!                     (JSON record/replay,     ServeEngine tick loop
-//!                      bit-identical)          admission → scheduler (EDF…)
-//!                                              → SpecPolicy divides the
-//!                                                per-tick verify capacity
-//!                                              → fused propose/verify →
-//!                                              commit (step_ticks)
-//!                                                           │
+//!    ramp, seeded)  ├──────────► [Request; n] ── mpsc ─► Dispatcher
+//!   RequestMix ─────┘  arrival ticks + mixes            (RoutePolicy:
+//!   (engine/family/      │ + deadlines                   rr / jsq /
+//!    budget/sampling/    ▼ (deadline_slack)              least-loaded /
+//!    deadline slack)  ArrivalTrace                       pinned replay)
+//!                     (JSON record/replay,         │ route per arrival
+//!                      bit-identical; CI           ▼
+//!                      replays tests/traces/)  drain_arrivals ×N workers
+//!                                              (per tick, joins
+//!                                               mid-flight; shed
+//!                                               overflow per worker)
+//!                                                  │
+//!                                    ServeEngine tick loop (per worker)
+//!                                    admission → scheduler (EDF…)
+//!                                    → SpecPolicy divides the
+//!                                      per-tick verify capacity
+//!                                    → fused propose/verify →
+//!                                    commit (step_ticks)
+//!                                                  │
 //!   LatencyReport ◄──────────── Completion{output, step_ticks, secs,
 //!   queueing/TTFT/gaps/e2e,                deadline, proposed/accepted}
-//!   exact p50/p90/p99,
+//!   exact p50/p90/p99                     (+ DispatchReport assignments)
+//!   (LatencyQuantiles),
 //!   SLO attainment + acceptance     LoadBenchRow (BENCH_load.json:
-//!   per engine ───────────────────► serve-aware Table II, spec vs NTP
-//!                                   at equal offered load + the policy
-//!                                   A/B: static/adaptive/budgeted)
+//!   per engine + per worker ──────► serve-aware Table II, spec vs NTP
+//!   (dispatcher-aware SLO)          at equal offered load + the policy
+//!                                   A/B static/adaptive/budgeted + the
+//!                                   dispatch sweep workers × route)
 //! ```
 //!
 //! * [`ArrivalProcess`] — seeded Poisson, bursty on/off, and ramp
@@ -59,9 +68,15 @@
 //!   admission channel and collects [`LatencyReport`]: per-request
 //!   queueing delay, TTFT, per-token inter-commit gaps, and end-to-end
 //!   latency in ticks and wall-clock, aggregated into exact-quantile
-//!   p50/p90/p99 summaries ([`QuantileSummary`]) plus per-engine
-//!   breakdowns.
-//! * [`LoadBenchRow`] — one cell of the serve-aware Table II.
+//!   p50/p90/p99 summaries ([`QuantileSummary`], grouped as
+//!   [`LatencyQuantiles`]) plus per-engine breakdowns.
+//! * [`run_dispatch_open_loop`] — the multi-worker sibling: the same
+//!   workload served through a `verispec-serve` dispatcher fleet, with
+//!   the realized routing joined back into a per-worker telemetry
+//!   breakdown (each worker's [`SloSummary`] counts the deadlines *it*
+//!   dropped, so bad routing shows up where it happened).
+//! * [`LoadBenchRow`] — one cell of the serve-aware Table II
+//!   (single-engine, policy-A/B, and dispatch-sweep rows alike).
 //!
 //! # The invariant, extended
 //!
@@ -122,9 +137,12 @@ pub mod trace;
 
 pub use clock::{LoadRng, VirtualClock};
 pub use generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
-pub use report::{run_open_loop, run_open_loop_with_policy, LoadBenchRow, LoadRunReport};
+pub use report::{
+    run_dispatch_open_loop, run_open_loop, run_open_loop_with_policy, DispatchRunReport,
+    LoadBenchRow, LoadRunReport,
+};
 pub use telemetry::{
-    per_token_gaps, AcceptanceSummary, LatencyReport, LatencySummary, QuantileSummary,
-    RequestLatency, SloSummary,
+    per_token_gaps, AcceptanceSummary, LatencyQuantiles, LatencyReport, LatencySummary,
+    QuantileSummary, RequestLatency, SloSummary,
 };
 pub use trace::{ArrivalTrace, TraceEntry};

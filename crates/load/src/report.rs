@@ -6,16 +6,20 @@
 //! ([`verispec_serve::ServeEngine::run_streaming`]) — arrivals enter
 //! via the channel and join mid-flight at their arrival ticks — and
 //! returns the serve report together with the aggregated latency
-//! telemetry and the measured wall clock. [`LoadBenchRow`] is one line
+//! telemetry and the measured wall clock. [`run_dispatch_open_loop`]
+//! is its multi-worker sibling over a
+//! [`verispec_serve::Dispatcher`] fleet. [`LoadBenchRow`] is one line
 //! of the serve-aware Table II: one (arrival process, offered load,
-//! decoding method) cell with exact p50/p90/p99 TTFT and end-to-end
-//! latency.
+//! decoding method — and, for dispatched runs, worker count × routing
+//! policy) cell with exact p50/p90/p99 TTFT and end-to-end latency.
 
-use crate::telemetry::{LatencyReport, QuantileSummary};
+use crate::telemetry::{LatencyQuantiles, LatencyReport};
 use serde::{Deserialize, Serialize};
 use verispec_core::SpecPolicy;
 use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm, TokenId};
-use verispec_serve::{Request, ServeConfig, ServeEngine, ServeReport};
+use verispec_serve::{
+    DispatchConfig, DispatchReport, Dispatcher, Request, ServeConfig, ServeEngine, ServeReport,
+};
 
 /// Everything one open-loop run produces.
 #[derive(Debug, Clone)]
@@ -90,6 +94,64 @@ pub fn run_open_loop_with_policy(
     }
 }
 
+/// Everything one dispatched open-loop run produces.
+#[derive(Debug, Clone)]
+pub struct DispatchRunReport {
+    /// The fleet's completions, merged + per-worker counters, and the
+    /// realized routing.
+    pub dispatch: DispatchReport,
+    /// Aggregated latency telemetry, per-worker breakdown included.
+    pub latency: LatencyReport,
+    /// Measured wall-clock seconds of the whole run.
+    pub wall_secs: f64,
+}
+
+/// The multi-worker sibling of [`run_open_loop`]: serves `requests`
+/// through a [`Dispatcher`] fleet's *paced* drive
+/// (`Dispatcher::run_paced` — each request is routed exactly when its
+/// arrival tick falls due, so load-aware routing sees live queue
+/// depths and the whole run stays deterministic), then joins the
+/// merged completions with the realized routing into a
+/// dispatcher-aware [`LatencyReport`].
+#[allow(clippy::too_many_arguments)] // driver glue mirroring run_open_loop_with_policy
+pub fn run_dispatch_open_loop(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+    policy: Option<&dyn SpecPolicy>,
+) -> DispatchRunReport {
+    let originals = requests.clone();
+    let prefix_session: Option<Box<dyn DecodeSession + '_>> = prefix_tokens.map(|toks| {
+        let mut s = model.session();
+        s.append(toks);
+        s
+    });
+    let t0 = std::time::Instant::now();
+    let mut dispatcher = Dispatcher::new(model, cfg.clone(), dcfg.clone());
+    if let Some(d) = draft {
+        dispatcher = dispatcher.with_draft(d);
+    }
+    if let Some(p) = prefix_session.as_deref() {
+        dispatcher = dispatcher.with_prefix(p);
+    }
+    if let Some(p) = policy {
+        dispatcher = dispatcher.with_policy(p);
+    }
+    let dispatch = dispatcher.run_paced(requests, cost);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let latency =
+        LatencyReport::with_assignments(&originals, &dispatch.completions, &dispatch.assignments);
+    DispatchRunReport {
+        dispatch,
+        latency,
+        wall_secs,
+    }
+}
+
 /// One row of the serve-aware Table II in `BENCH_load.json`: a
 /// (process, offered load, method) cell measured under streaming
 /// admission at equal offered load across methods.
@@ -108,6 +170,25 @@ pub struct LoadBenchRow {
     /// Per-tick verify capacity the policy divided, if the run was
     /// capacity-gated (`None` = unlimited, the legacy rows).
     pub tick_capacity: Option<usize>,
+    /// Dispatch workers the run was served on (1 = the single fused
+    /// engine, no dispatcher).
+    pub workers: usize,
+    /// Routing policy of dispatched runs
+    /// ([`verispec_serve::RoutePolicy::name`]; "single" = no
+    /// dispatcher).
+    pub route: String,
+    /// Requests routed to each worker, by worker index (served and
+    /// shed alike — routing happens before admission control), so the
+    /// entries always sum to `requests + shed_requests`. Single-engine
+    /// rows have the one entry.
+    pub worker_requests: Vec<usize>,
+    /// Whether the run's parity assertion (streamed == batch for
+    /// single-engine rows; every completion == serial decode for
+    /// dispatched rows) passed before the row was recorded. Rows are
+    /// only constructed after the assertion, so this is always `true`
+    /// in an honestly produced artifact — the bench guard trips if it
+    /// is ever not.
+    pub parity: bool,
     /// Requests served.
     pub requests: usize,
     /// Tokens generated.
@@ -123,18 +204,9 @@ pub struct LoadBenchRow {
     /// Mean tokens per decoding step (speculation effectiveness under
     /// load).
     pub tokens_per_step: f64,
-    /// Queueing delay in ticks.
-    pub queue_ticks: QuantileSummary,
-    /// Time to first token in ticks.
-    pub ttft_ticks: QuantileSummary,
-    /// End-to-end latency in ticks.
-    pub e2e_ticks: QuantileSummary,
-    /// Per-token inter-commit gaps in ticks.
-    pub gap_ticks: QuantileSummary,
-    /// Time to first token in wall seconds.
-    pub ttft_secs: QuantileSummary,
-    /// End-to-end latency in wall seconds.
-    pub e2e_secs: QuantileSummary,
+    /// The six latency distributions ([`LatencyQuantiles`] — shared
+    /// with the telemetry summaries instead of copied field by field).
+    pub quantiles: LatencyQuantiles,
     /// Idle prefix forks evicted by the session cap.
     pub session_evictions: usize,
     /// High-water resident sessions.
@@ -183,6 +255,10 @@ impl LoadBenchRow {
             method: method.to_string(),
             policy: policy.to_string(),
             tick_capacity,
+            workers: 1,
+            route: "single".to_string(),
+            worker_requests: vec![run.serve.completions.len() + stats.shed_requests],
+            parity: true,
             requests: run.serve.completions.len(),
             tokens,
             ticks: stats.ticks,
@@ -190,12 +266,64 @@ impl LoadBenchRow {
             wall_secs: run.wall_secs,
             tokens_per_tick: tokens as f64 / (stats.ticks.max(1)) as f64,
             tokens_per_step: tokens as f64 / steps.max(1) as f64,
-            queue_ticks: run.latency.overall.queue_ticks,
-            ttft_ticks: run.latency.overall.ttft_ticks,
-            e2e_ticks: run.latency.overall.e2e_ticks,
-            gap_ticks: run.latency.overall.gap_ticks,
-            ttft_secs: run.latency.overall.ttft_secs,
-            e2e_secs: run.latency.overall.e2e_secs,
+            quantiles: run.latency.overall.quantiles,
+            session_evictions: stats.session_evictions,
+            peak_resident_sessions: stats.peak_resident_sessions,
+            preemptions: stats.preemptions,
+            slo_attainment: slo.attainment(),
+            deadlines: slo.deadlines,
+            deadlines_met: slo.met,
+            acceptance_rate: run.latency.overall.acceptance.rate(),
+            shed_requests: stats.shed_requests,
+            deferred_steps: stats.deferred_steps,
+        }
+    }
+
+    /// Assembles one row of the worker-count × route-policy sweep from
+    /// a dispatched run. `ticks` is the fleet's longest worker
+    /// schedule ([`verispec_serve::ServeStats::merge`]), so
+    /// `tokens_per_tick` reads as fleet throughput against wall-clock
+    /// ticks, and `worker_requests` shows how the policy spread the
+    /// load.
+    pub fn for_dispatch(
+        process: &str,
+        offered_rate: f64,
+        method: &str,
+        route: &str,
+        run: &DispatchRunReport,
+    ) -> Self {
+        let stats = &run.dispatch.stats;
+        let steps: usize = run
+            .dispatch
+            .completions
+            .iter()
+            .map(|c| c.output.steps)
+            .sum();
+        let tokens = run.dispatch.total_tokens();
+        let slo = &run.latency.overall.slo;
+        let workers = run.dispatch.per_worker.len();
+        let mut worker_requests = vec![0usize; workers];
+        for &(_, w) in &run.dispatch.assignments {
+            worker_requests[w] += 1;
+        }
+        LoadBenchRow {
+            process: process.to_string(),
+            offered_rate,
+            method: method.to_string(),
+            policy: "static".to_string(),
+            tick_capacity: None,
+            workers,
+            route: route.to_string(),
+            worker_requests,
+            parity: true,
+            requests: run.dispatch.completions.len(),
+            tokens,
+            ticks: stats.ticks,
+            idle_ticks_skipped: stats.idle_ticks_skipped,
+            wall_secs: run.wall_secs,
+            tokens_per_tick: tokens as f64 / (stats.ticks.max(1)) as f64,
+            tokens_per_step: tokens as f64 / steps.max(1) as f64,
+            quantiles: run.latency.overall.quantiles,
             session_evictions: stats.session_evictions,
             peak_resident_sessions: stats.peak_resident_sessions,
             preemptions: stats.preemptions,

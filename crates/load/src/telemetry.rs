@@ -196,13 +196,13 @@ pub fn per_token_gaps(c: &Completion) -> Vec<u64> {
     gaps
 }
 
-/// One engine's (or the overall) aggregated latency summaries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct LatencySummary {
-    /// Requests aggregated.
-    pub requests: usize,
-    /// Tokens generated across them.
-    pub tokens: usize,
+/// The six latency distributions every aggregation level reports —
+/// **the one place** quantile aggregation lives. [`LatencySummary`]
+/// (overall / per-engine / per-worker breakdowns) and
+/// `crate::report::LoadBenchRow` (the bench artifact) both embed this
+/// struct instead of re-listing and re-copying the six summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
     /// Queueing delay in ticks.
     pub queue_ticks: QuantileSummary,
     /// Time to first token in ticks.
@@ -215,6 +215,36 @@ pub struct LatencySummary {
     pub ttft_secs: QuantileSummary,
     /// End-to-end latency in wall-clock seconds.
     pub e2e_secs: QuantileSummary,
+}
+
+impl LatencyQuantiles {
+    /// Aggregates the six distributions over one request population
+    /// (`gaps` are the population's pooled per-token inter-commit
+    /// gaps, see [`per_token_gaps`]).
+    pub fn aggregate(lats: &[&RequestLatency], gaps: &[f64]) -> Self {
+        let col = |f: &dyn Fn(&RequestLatency) -> f64| -> Vec<f64> {
+            lats.iter().map(|l| f(l)).collect()
+        };
+        LatencyQuantiles {
+            queue_ticks: QuantileSummary::exact(&col(&|l| l.queue_ticks as f64)),
+            ttft_ticks: QuantileSummary::exact(&col(&|l| l.ttft_ticks as f64)),
+            e2e_ticks: QuantileSummary::exact(&col(&|l| l.e2e_ticks as f64)),
+            gap_ticks: QuantileSummary::exact(gaps),
+            ttft_secs: QuantileSummary::exact(&col(&|l| l.ttft_secs)),
+            e2e_secs: QuantileSummary::exact(&col(&|l| l.e2e_secs)),
+        }
+    }
+}
+
+/// One engine's, worker's, or the overall aggregated latency summaries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests aggregated.
+    pub requests: usize,
+    /// Tokens generated across them.
+    pub tokens: usize,
+    /// The six latency distributions ([`LatencyQuantiles`]).
+    pub quantiles: LatencyQuantiles,
     /// SLO attainment (completed requests only; the report-level
     /// summaries add shed/unserved requests to the denominator).
     pub slo: SloSummary,
@@ -224,9 +254,6 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     fn aggregate(lats: &[&RequestLatency], gaps: &[f64]) -> Self {
-        let col = |f: &dyn Fn(&RequestLatency) -> f64| -> Vec<f64> {
-            lats.iter().map(|l| f(l)).collect()
-        };
         let slo = SloSummary {
             deadlines: lats.iter().filter(|l| l.deadline.is_some()).count(),
             met: lats.iter().filter(|l| l.met_deadline == Some(true)).count(),
@@ -239,12 +266,7 @@ impl LatencySummary {
         LatencySummary {
             requests: lats.len(),
             tokens: lats.iter().map(|l| l.tokens).sum(),
-            queue_ticks: QuantileSummary::exact(&col(&|l| l.queue_ticks as f64)),
-            ttft_ticks: QuantileSummary::exact(&col(&|l| l.ttft_ticks as f64)),
-            e2e_ticks: QuantileSummary::exact(&col(&|l| l.e2e_ticks as f64)),
-            gap_ticks: QuantileSummary::exact(gaps),
-            ttft_secs: QuantileSummary::exact(&col(&|l| l.ttft_secs)),
-            e2e_secs: QuantileSummary::exact(&col(&|l| l.e2e_secs)),
+            quantiles: LatencyQuantiles::aggregate(lats, gaps),
             slo,
             acceptance,
         }
@@ -252,7 +274,8 @@ impl LatencySummary {
 }
 
 /// The full latency report of one serving run: per-request stamps, the
-/// overall summary, and per-engine breakdowns.
+/// overall summary, and per-engine (plus, for dispatched runs,
+/// per-worker) breakdowns.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyReport {
     /// Every completed request's latencies, sorted by id.
@@ -261,6 +284,13 @@ pub struct LatencyReport {
     pub overall: LatencySummary,
     /// Aggregates per engine name, sorted by name.
     pub per_engine: Vec<(String, LatencySummary)>,
+    /// Aggregates per dispatch worker, sorted by worker index — empty
+    /// for single-engine runs. Each worker's [`SloSummary`] is
+    /// dispatcher-aware: requests the *worker* shed (or never finished)
+    /// count against that worker's deadlines, so a routing policy that
+    /// overloads one worker shows up in its attainment, not just the
+    /// fleet's.
+    pub per_worker: Vec<(usize, LatencySummary)>,
 }
 
 impl LatencyReport {
@@ -274,6 +304,28 @@ impl LatencyReport {
     ///
     /// Panics if a completion has no matching request.
     pub fn new(requests: &[Request], completions: &[Completion]) -> Self {
+        Self::build(requests, completions, &[])
+    }
+
+    /// The dispatcher-aware constructor: like [`LatencyReport::new`],
+    /// plus a per-worker breakdown grouped by the realized routing
+    /// `assignments` (`(request id, worker index)`, e.g.
+    /// [`verispec_serve::DispatchReport::assignments`]). Requests
+    /// missing from the assignment (never received) count toward the
+    /// overall SLO denominator but no worker's.
+    pub fn with_assignments(
+        requests: &[Request],
+        completions: &[Completion],
+        assignments: &[(u64, usize)],
+    ) -> Self {
+        Self::build(requests, completions, assignments)
+    }
+
+    fn build(
+        requests: &[Request],
+        completions: &[Completion],
+        assignments: &[(u64, usize)],
+    ) -> Self {
         let engine_of = |id: u64| -> &str {
             requests
                 .iter()
@@ -326,23 +378,60 @@ impl LatencyReport {
         );
         names.sort();
         names.dedup();
+        // One grouped-subset aggregation shared by the per-engine and
+        // per-worker breakdowns: summarize the subset's latencies and
+        // pooled gaps, then add the group's unserved deadlines to its
+        // SLO denominator.
+        let summarize = |subset: Vec<&RequestLatency>, unserved_missed: usize| -> LatencySummary {
+            let ids: Vec<u64> = subset.iter().map(|l| l.id).collect();
+            let gaps: Vec<f64> = completions
+                .iter()
+                .filter(|c| ids.contains(&c.id))
+                .flat_map(per_token_gaps)
+                .map(|g| g as f64)
+                .collect();
+            let mut summary = LatencySummary::aggregate(&subset, &gaps);
+            summary.slo.deadlines += unserved_missed;
+            summary.slo.unserved += unserved_missed;
+            summary
+        };
+
         let per_engine = names
             .into_iter()
             .map(|name| {
                 let subset: Vec<&RequestLatency> =
                     per_request.iter().filter(|l| l.engine == name).collect();
-                let ids: Vec<u64> = subset.iter().map(|l| l.id).collect();
-                let gaps: Vec<f64> = completions
-                    .iter()
-                    .filter(|c| ids.contains(&c.id))
-                    .flat_map(per_token_gaps)
-                    .map(|g| g as f64)
-                    .collect();
-                let mut summary = LatencySummary::aggregate(&subset, &gaps);
                 let missed = unserved_deadlines(Some(&name));
-                summary.slo.deadlines += missed;
-                summary.slo.unserved += missed;
-                (name, summary)
+                (name, summarize(subset, missed))
+            })
+            .collect();
+
+        // Per-worker breakdown: group by the realized routing. A
+        // worker appears if anything was routed to it; its SLO
+        // denominator includes the deadline-carrying requests it
+        // received but never completed (shed or unfinished) — the
+        // dispatcher-aware attainment.
+        let worker_of = |id: u64| -> Option<usize> {
+            assignments
+                .iter()
+                .find(|&&(rid, _)| rid == id)
+                .map(|&(_, w)| w)
+        };
+        let mut worker_ids: Vec<usize> = assignments.iter().map(|&(_, w)| w).collect();
+        worker_ids.sort_unstable();
+        worker_ids.dedup();
+        let per_worker = worker_ids
+            .into_iter()
+            .map(|w| {
+                let subset: Vec<&RequestLatency> = per_request
+                    .iter()
+                    .filter(|l| worker_of(l.id) == Some(w))
+                    .collect();
+                let missed = unserved
+                    .iter()
+                    .filter(|r| r.deadline.is_some() && worker_of(r.id) == Some(w))
+                    .count();
+                (w, summarize(subset, missed))
             })
             .collect();
 
@@ -350,6 +439,7 @@ impl LatencyReport {
             per_request,
             overall,
             per_engine,
+            per_worker,
         }
     }
 }

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 use verispec_core::DecodeConfig;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, TokenId};
 use verispec_load::{ArrivalProcess, PromptFamily, RequestMix, Workload};
-use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine, ServeReport, TickOrder};
+use verispec_serve::{
+    DispatchConfig, Dispatcher, EngineChoice, Request, RoutePolicy, ServeConfig, ServeEngine,
+    ServeReport, TickOrder,
+};
 
 fn any_mlp() -> impl Strategy<Value = MlpLm> {
     (14usize..32, 2usize..8, 2usize..6, 0usize..5, any::<u64>()).prop_map(
@@ -240,6 +243,88 @@ proptest! {
             prop_assert_eq!(
                 &a.output.tokens, &b.output.tokens,
                 "request {} tokens diverged under a racing sender", a.id
+            );
+            prop_assert_eq!(&a.output.trace, &b.output.trace);
+        }
+    }
+
+    /// Several live senders racing each other into a multi-worker
+    /// dispatcher: send interleaving — and therefore routing — is
+    /// nondeterministic, but every request's output still equals the
+    /// batch single-engine run's (itself pinned token-identical to the
+    /// serial engines), under any worker count and routing policy.
+    #[test]
+    fn racing_multi_sender_multi_worker_preserves_outputs(
+        model in any_mlp(),
+        draft_seq in prop::collection::vec(4u32..12, 12..60),
+        process in any_process(),
+        count in 1usize..7,
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        route in prop_oneof![
+            Just(RoutePolicy::RoundRobin),
+            Just(RoutePolicy::JoinShortestQueue),
+            Just(RoutePolicy::LeastLoaded),
+        ],
+        n_senders in 2usize..4,
+        max_active in 1usize..4,
+    ) {
+        let mut draft = NgramLm::new(2, model.vocab_size());
+        draft.train_sequence(&draft_seq);
+        let cost = GpuCostModel::codellama_like();
+        let workload = Workload { process, mix: full_mix(), count, seed };
+        let requests = workload.requests();
+
+        let shared: Vec<TokenId> = vec![5, 6];
+        let mut prefix = model.session();
+        prefix.append(&shared);
+
+        let cfg = ServeConfig::concurrency(max_active);
+        let batch = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost);
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Stripe the requests across racing sender threads; the mpsc
+        // channel interleaves them nondeterministically.
+        let stripes: Vec<Vec<Request>> = (0..n_senders)
+            .map(|s| {
+                requests
+                    .iter()
+                    .skip(s)
+                    .step_by(n_senders)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let dispatched = std::thread::scope(|scope| {
+            for stripe in stripes {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for req in stripe {
+                        if tx.send(req).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            Dispatcher::new(&model, cfg.clone(), DispatchConfig::new(workers, route.clone()))
+                .with_draft(&draft)
+                .with_prefix(&*prefix)
+                .run_streaming(rx, &cost)
+        });
+
+        prop_assert_eq!(dispatched.completions.len(), requests.len());
+        prop_assert_eq!(dispatched.assignments.len(), requests.len());
+        prop_assert!(dispatched
+            .assignments
+            .iter()
+            .all(|&(_, w)| w < workers));
+        for (a, b) in batch.completions.iter().zip(&dispatched.completions) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(
+                &a.output.tokens, &b.output.tokens,
+                "request {} tokens diverged under racing senders x {} workers ({})",
+                a.id, workers, route.name()
             );
             prop_assert_eq!(&a.output.trace, &b.output.trace);
         }

@@ -1,0 +1,361 @@
+//! Trace-replay regression corpus: committed "interesting"
+//! [`ArrivalTrace`] JSONs under `tests/traces/` — a tail-latency
+//! blowup, a shed storm, eviction churn, and EDF deadline pressure —
+//! each replayed against a pinned engine configuration and asserted
+//! **bit-identical** to its committed golden summary
+//! (`tests/traces/goldens.json`: completions, shed count, total
+//! committed tokens, tick schedule length, evictions, deadlines met).
+//!
+//! The serving engine is a deterministic function of its requests, so
+//! any diff here is a real behavior change: either an intended one
+//! (regenerate the goldens and review the diff) or a regression this
+//! corpus just caught. The traces themselves are artifacts, not
+//! generated fixtures — the replay path reads only the committed
+//! JSONs, never the workload generators, so generator changes cannot
+//! silently rewrite what CI replays.
+//!
+//! Regenerate after an intended behavior change with:
+//!
+//! ```text
+//! cargo test -p verispec-load --test trace_corpus -- --ignored regenerate
+//! ```
+
+use serde::{Deserialize, Serialize};
+use verispec_core::DecodeConfig;
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, TokenId};
+use verispec_load::{ArrivalProcess, ArrivalTrace, PromptFamily, RequestMix, Workload};
+use verispec_serve::{EngineChoice, ServeConfig, ServeEngine, ServeReport, TickOrder};
+
+/// The pinned model every trace replays against (pure seeded f32
+/// math — identical on every machine).
+fn model() -> MlpLm {
+    MlpLm::new(MlpLmConfig {
+        vocab: 16,
+        d_emb: 6,
+        d_hidden: 12,
+        context: 4,
+        n_heads: 3,
+        seed: 0xC0FFEE,
+    })
+}
+
+/// The pinned draft model for `DraftVerify` entries.
+fn draft() -> NgramLm {
+    let mut lm = NgramLm::new(2, 16);
+    let seq: Vec<TokenId> = (0..240).map(|i| 4 + (i % 7) as TokenId).collect();
+    lm.train_sequence(&seq);
+    lm
+}
+
+/// The shared prompt prefix of the corpus mixes (forked at admission
+/// in the eviction trace).
+const SHARED_PREFIX: [TokenId; 2] = [5, 6];
+
+/// One corpus case: the committed trace, the engine configuration it
+/// replays under, and (for regeneration only) the workload that drew
+/// it.
+struct TraceCase {
+    name: &'static str,
+    cfg: ServeConfig,
+    /// Replay through a pre-ingested shared-prefix session.
+    with_prefix: bool,
+    workload: Workload,
+}
+
+fn corpus_mix(deadline_slack: Option<f64>) -> RequestMix {
+    RequestMix {
+        engines: vec![
+            (EngineChoice::Ntp, 1.0),
+            (EngineChoice::MedusaChain, 1.0),
+            (EngineChoice::MedusaTree(vec![2, 2]), 1.0),
+            (
+                EngineChoice::SyntaxAligned {
+                    tree: Some(vec![2, 2]),
+                },
+                2.0,
+            ),
+            (EngineChoice::DraftVerify { gamma: 3 }, 1.0),
+        ],
+        families: vec![
+            (
+                PromptFamily {
+                    name: "short".into(),
+                    prompts: vec![(vec![5, 6, 7], 6), (vec![5, 6, 8], 9)],
+                },
+                2.0,
+            ),
+            (
+                PromptFamily {
+                    name: "long".into(),
+                    prompts: vec![(vec![5, 6, 9, 4, 7], 16), (vec![5, 6, 4, 4, 8, 9], 13)],
+                },
+                1.0,
+            ),
+        ],
+        greedy_fraction: 0.5,
+        temperature: (0.4, 1.0),
+        base: DecodeConfig::default(),
+        deadline_slack,
+    }
+}
+
+fn corpus() -> Vec<TraceCase> {
+    vec![
+        // A 2x-overload Poisson burst against a 2-slot pool: queueing
+        // dominates, the latency tail blows up — the canonical "did a
+        // scheduling change move the tail?" regression probe.
+        TraceCase {
+            name: "tail_blowup",
+            cfg: ServeConfig::concurrency(2),
+            with_prefix: false,
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 2.0 },
+                mix: corpus_mix(None),
+                count: 24,
+                seed: 0x7A11_B10B,
+            },
+        },
+        // On/off bursts into a single-slot pool with a shallow
+        // ready-queue: admission control must shed the same newest
+        // arrivals at the same ticks, every time.
+        TraceCase {
+            name: "shed_storm",
+            cfg: ServeConfig {
+                max_active: 1,
+                max_batch: 1,
+                shed_depth: Some(2),
+                ..Default::default()
+            },
+            with_prefix: false,
+            workload: Workload {
+                process: ArrivalProcess::OnOff {
+                    rate: 3.0,
+                    on_ticks: 4.0,
+                    off_ticks: 30.0,
+                },
+                mix: corpus_mix(None),
+                count: 20,
+                seed: 0x5EED_5707,
+            },
+        },
+        // Steady arrivals whose prefix forks overflow a tight session
+        // cap: the LRU eviction / exact-replay path churns constantly
+        // and must never change an output.
+        TraceCase {
+            name: "eviction_churn",
+            cfg: ServeConfig {
+                session_cap: Some(3),
+                ..ServeConfig::concurrency(2)
+            },
+            with_prefix: true,
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.0 },
+                mix: corpus_mix(None),
+                count: 18,
+                seed: 0xE71C_7C00,
+            },
+        },
+        // Deadline-carrying ramp under a per-tick verify capacity with
+        // EDF scheduling: deferred steps and deadline outcomes are the
+        // regression surface.
+        TraceCase {
+            name: "edf_pressure",
+            cfg: ServeConfig {
+                order: TickOrder::Edf,
+                tick_capacity: Some(10),
+                ..ServeConfig::concurrency(2)
+            },
+            with_prefix: false,
+            workload: Workload {
+                process: ArrivalProcess::Ramp {
+                    start_rate: 0.2,
+                    end_rate: 2.0,
+                    ramp_ticks: 30.0,
+                },
+                mix: corpus_mix(Some(2.5)),
+                count: 16,
+                seed: 0xDEAD_11E5,
+            },
+        },
+    ]
+}
+
+/// The committed per-trace summary CI asserts against.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenSummary {
+    trace: String,
+    completions: usize,
+    shed: usize,
+    /// Total committed tokens across all completions.
+    tokens: usize,
+    /// Scheduler ticks of the replayed run.
+    ticks: u64,
+    session_evictions: usize,
+    deadlines_met: usize,
+}
+
+impl GoldenSummary {
+    fn of(name: &str, report: &ServeReport) -> Self {
+        GoldenSummary {
+            trace: name.to_string(),
+            completions: report.completions.len(),
+            shed: report.shed.len(),
+            tokens: report.stats.served_tokens,
+            ticks: report.stats.ticks,
+            session_evictions: report.stats.session_evictions,
+            deadlines_met: report
+                .completions
+                .iter()
+                .filter(|c| c.met_deadline() == Some(true))
+                .count(),
+        }
+    }
+}
+
+fn traces_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/traces")
+}
+
+/// Replays a trace's requests under the case's pinned configuration.
+fn replay(case: &TraceCase, trace: &ArrivalTrace) -> ServeReport {
+    let m = model();
+    let d = draft();
+    let cost = GpuCostModel::codellama_like();
+    let mut prefix = m.session();
+    prefix.append(&SHARED_PREFIX);
+    let mut engine = ServeEngine::new(&m, case.cfg.clone()).with_draft(&d);
+    if case.with_prefix {
+        engine = engine.with_prefix(&*prefix);
+    }
+    for req in trace.replay() {
+        engine.submit(req);
+    }
+    engine.run(&cost)
+}
+
+#[test]
+fn committed_traces_replay_bit_identically_to_goldens() {
+    let dir = traces_dir();
+    let goldens_body = std::fs::read_to_string(dir.join("goldens.json"))
+        .expect("tests/traces/goldens.json is committed");
+    let goldens: Vec<GoldenSummary> = serde_json::from_str(&goldens_body).expect("goldens parse");
+    let cases = corpus();
+    assert_eq!(goldens.len(), cases.len(), "one golden per corpus trace");
+
+    for case in &cases {
+        let body = std::fs::read_to_string(dir.join(format!("{}.json", case.name)))
+            .unwrap_or_else(|e| panic!("trace {} is committed: {e}", case.name));
+        let trace = ArrivalTrace::from_json(&body)
+            .unwrap_or_else(|e| panic!("trace {} parses: {e}", case.name));
+
+        // The JSON round trip itself is part of the guarantee.
+        let rejson = trace.to_json().expect("re-serializes");
+        assert_eq!(
+            ArrivalTrace::from_json(&rejson).expect("re-parses"),
+            trace,
+            "{}: JSON round trip drifted",
+            case.name
+        );
+
+        // Bit-identical replay: two runs of the same trace agree on
+        // every token, tick stamp, and counter.
+        let a = replay(case, &trace);
+        let b = replay(case, &trace);
+        assert_eq!(a.stats, b.stats, "{}: stats not deterministic", case.name);
+        assert_eq!(a.shed, b.shed, "{}: shedding not deterministic", case.name);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.output.tokens, y.output.tokens, "{}: tokens", case.name);
+            assert_eq!(x.step_ticks, y.step_ticks, "{}: schedule", case.name);
+        }
+
+        // And the run matches its committed golden summary.
+        let golden = goldens
+            .iter()
+            .find(|g| g.trace == case.name)
+            .unwrap_or_else(|| panic!("golden for {} missing", case.name));
+        assert_eq!(
+            &GoldenSummary::of(case.name, &a),
+            golden,
+            "{}: replay diverged from the committed golden — a behavior \
+             change reached the serving path (regenerate goldens only if \
+             intended)",
+            case.name
+        );
+    }
+}
+
+/// The corpus stays interesting: each trace must keep exercising the
+/// failure mode it was committed for.
+#[test]
+fn corpus_traces_exercise_their_failure_modes() {
+    let dir = traces_dir();
+    for case in corpus() {
+        let body = std::fs::read_to_string(dir.join(format!("{}.json", case.name)))
+            .expect("trace committed");
+        let trace = ArrivalTrace::from_json(&body).expect("trace parses");
+        let report = replay(&case, &trace);
+        match case.name {
+            "tail_blowup" => {
+                // Overload means someone queues for a long time.
+                let max_queue = report
+                    .completions
+                    .iter()
+                    .map(|c| c.queue_ticks())
+                    .max()
+                    .expect("completions");
+                assert!(max_queue >= 10, "tail trace lost its blowup ({max_queue})");
+            }
+            "shed_storm" => {
+                assert!(
+                    report.stats.shed_requests >= 3,
+                    "storm trace stopped shedding ({})",
+                    report.stats.shed_requests
+                );
+            }
+            "eviction_churn" => {
+                assert!(
+                    report.stats.session_evictions >= 3,
+                    "churn trace stopped evicting ({})",
+                    report.stats.session_evictions
+                );
+            }
+            "edf_pressure" => {
+                assert!(
+                    report.stats.deferred_steps > 0,
+                    "pressure trace stopped deferring"
+                );
+                assert!(
+                    report.completions.iter().any(|c| c.deadline.is_some()),
+                    "pressure trace lost its deadlines"
+                );
+            }
+            other => panic!("unknown corpus trace {other}"),
+        }
+    }
+}
+
+/// Rewrites the committed traces and goldens from the corpus
+/// definitions and current engine behavior. Run only after an
+/// *intended* behavior change, then review the diff:
+///
+/// ```text
+/// cargo test -p verispec-load --test trace_corpus -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes tests/traces/*.json; run explicitly to regenerate"]
+fn regenerate() {
+    let dir = traces_dir();
+    std::fs::create_dir_all(&dir).expect("traces dir");
+    let mut goldens = Vec::new();
+    for case in corpus() {
+        let requests = case.workload.requests();
+        let trace = ArrivalTrace::record(&requests, case.workload.seed, &case.workload.mix.base);
+        let json = trace.to_json().expect("trace serializes");
+        std::fs::write(dir.join(format!("{}.json", case.name)), &json).expect("trace written");
+        let report = replay(&case, &trace);
+        goldens.push(GoldenSummary::of(case.name, &report));
+    }
+    let body = serde_json::to_string_pretty(&goldens).expect("goldens serialize");
+    std::fs::write(dir.join("goldens.json"), body).expect("goldens written");
+}

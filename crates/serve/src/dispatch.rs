@@ -1,0 +1,629 @@
+//! Multi-worker streaming dispatch: routing channel-fed arrivals
+//! across N independent [`ServeEngine`] workers.
+//!
+//! One fused engine is one "GPU". Past its saturation point the only
+//! way to keep tail latency down is more workers — and then the
+//! question becomes *routing*: which worker gets the next arrival?
+//! This module adds that layer without touching serving semantics:
+//!
+//! ```text
+//!   mpsc arrivals ──► Dispatcher ──route──► worker 0: ServeEngine
+//!   (open-loop,         │   ▲               worker 1: ServeEngine
+//!    deadlines)         │   │ probes        …        (own session
+//!                       │   │                         pool, queue,
+//!     RoutePolicy ──────┘   ├ ready_depth()           clock, tick
+//!     rr / jsq /            └ outstanding_cost()      loop)
+//!     least-loaded /
+//!     pinned                lockstep drive: each round, every worker
+//!                           with work runs one tick (idle workers
+//!                           fast-forward their own clocks)
+//!                                    │
+//!                                    ▼
+//!              DispatchReport{completions, shed, merged stats,
+//!                             per-worker stats, assignments}
+//! ```
+//!
+//! # Determinism
+//!
+//! Routing happens at *receipt*: each drained request is assigned once,
+//! by the policy, from the workers' probe values at that instant — and
+//! the realized assignment is recorded in
+//! [`DispatchReport::assignments`]. Given an assignment, everything
+//! downstream is the deterministic single-engine machinery: each worker
+//! serves its shard exactly as a standalone [`ServeEngine`] would serve
+//! it alone (same admission ticks, same shedding, same deadlines, same
+//! tokens), because workers share nothing but the read-only model.
+//! [`RoutePolicy::Pinned`] replays a recorded assignment, so a run can
+//! be reproduced bit-for-bit even when the original routing reacted to
+//! live load. With every arrival sent before it falls due (the batch
+//! pattern), probe values themselves are deterministic, so rr / jsq /
+//! least-loaded runs are reproducible end to end.
+//!
+//! # The invariant, again
+//!
+//! Dispatch is a performance mechanism, never a semantic one: every
+//! request's token stream is bit-identical to the serial single-session
+//! engine's under **any** worker count, routing policy, and send
+//! timing, and a one-worker dispatcher is tick-identical to
+//! [`ServeEngine::run_streaming`] (the dispatcher adds zero scheduling
+//! noise). `tests/proptest_dispatch.rs` pins both, plus
+//! shedding/deadline determinism under pinned assignments.
+
+use crate::engine::{ServeConfig, ServeEngine, ServeReport, ServeStats, ShedRequest};
+use crate::request::{Completion, Request};
+use serde::{Deserialize, Serialize};
+use verispec_core::SpecPolicy;
+use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm};
+
+/// How the dispatcher picks a worker for each arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Cyclic assignment in receipt order — load-blind, the baseline.
+    RoundRobin,
+    /// Join-shortest-queue: the worker with the smallest ready-depth
+    /// ([`ServeEngine::ready_depth`] — active plus queued requests)
+    /// wins; ties go to the lowest worker index.
+    JoinShortestQueue,
+    /// Join-least-loaded: the worker with the smallest outstanding
+    /// candidate-token cost ([`ServeEngine::outstanding_cost`] — what
+    /// the speculation policy prices its in-flight work at) wins; ties
+    /// go to the lowest worker index. Unlike JSQ this sees *how heavy*
+    /// each request is (budget × speculation shape), not just how many
+    /// there are.
+    LeastLoaded,
+    /// Replays a fixed `request id → worker` assignment (e.g. a prior
+    /// run's [`DispatchReport::assignments`]) — the determinism lever:
+    /// with the assignment pinned, shedding, deadlines, and every tick
+    /// stamp reproduce exactly.
+    Pinned(Vec<(u64, usize)>),
+}
+
+impl RoutePolicy {
+    /// Short policy name (bench-row key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "rr",
+            RoutePolicy::JoinShortestQueue => "jsq",
+            RoutePolicy::LeastLoaded => "least-loaded",
+            RoutePolicy::Pinned(_) => "pinned",
+        }
+    }
+}
+
+/// Dispatcher knobs: fleet size and routing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchConfig {
+    /// Number of independent workers (engines); clamped to ≥ 1.
+    pub workers: usize,
+    /// The routing policy.
+    pub route: RoutePolicy,
+}
+
+impl DispatchConfig {
+    /// `workers` workers under `route`.
+    pub fn new(workers: usize, route: RoutePolicy) -> Self {
+        DispatchConfig {
+            workers: workers.max(1),
+            route,
+        }
+    }
+}
+
+/// The result of a dispatched serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DispatchReport {
+    /// All finished requests across the fleet, sorted by id.
+    pub completions: Vec<Completion>,
+    /// All requests rejected by (per-worker) load shedding, sorted by
+    /// id.
+    pub shed: Vec<ShedRequest>,
+    /// Fleet-merged counters ([`ServeStats::merge`]: sums for additive
+    /// counters, per-worker maxima for schedule/high-water ones).
+    pub stats: ServeStats,
+    /// Each worker's own counters, by worker index.
+    pub per_worker: Vec<ServeStats>,
+    /// The realized routing: `(request id, worker index)` sorted by id.
+    /// Feed it back through [`RoutePolicy::Pinned`] to replay the run.
+    pub assignments: Vec<(u64, usize)>,
+}
+
+impl DispatchReport {
+    /// The worker a request was routed to, if it was received.
+    pub fn worker_of(&self, id: u64) -> Option<usize> {
+        self.assignments
+            .binary_search_by_key(&id, |&(rid, _)| rid)
+            .ok()
+            .map(|i| self.assignments[i].1)
+    }
+
+    /// Total generated tokens across all completions.
+    pub fn total_tokens(&self) -> usize {
+        self.completions.iter().map(|c| c.output.tokens.len()).sum()
+    }
+}
+
+/// The streaming dispatcher: N independent [`ServeEngine`] workers plus
+/// a routing policy. See the module docs for the drive loop and the
+/// determinism story.
+pub struct Dispatcher<'m> {
+    workers: Vec<ServeEngine<'m>>,
+    route: RoutePolicy,
+    /// Next cyclic pick for [`RoutePolicy::RoundRobin`].
+    rr_next: usize,
+    /// Realized `(request id, worker)` routing, in receipt order.
+    assignments: Vec<(u64, usize)>,
+}
+
+impl<'m> Dispatcher<'m> {
+    /// A fleet of `dcfg.workers` fused engines over the shared model,
+    /// each configured with its own copy of `cfg` (own session pool,
+    /// queue, and clock).
+    pub fn new(model: &'m MlpLm, cfg: ServeConfig, dcfg: DispatchConfig) -> Self {
+        let workers = (0..dcfg.workers.max(1))
+            .map(|_| ServeEngine::new(model, cfg.clone()))
+            .collect();
+        Dispatcher {
+            workers,
+            route: dcfg.route,
+            rr_next: 0,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// Attaches the draft model to every worker (see
+    /// [`ServeEngine::with_draft`]).
+    pub fn with_draft(mut self, draft: &'m dyn LanguageModel) -> Self {
+        self.workers = self
+            .workers
+            .into_iter()
+            .map(|w| w.with_draft(draft))
+            .collect();
+        self
+    }
+
+    /// Attaches the shared prompt-prefix session to every worker (see
+    /// [`ServeEngine::with_prefix`]); the session stays caller-owned
+    /// and workers only fork from it.
+    pub fn with_prefix(mut self, prefix: &'m dyn DecodeSession) -> Self {
+        self.workers = self
+            .workers
+            .into_iter()
+            .map(|w| w.with_prefix(prefix))
+            .collect();
+        self
+    }
+
+    /// Replaces every worker's speculation policy (see
+    /// [`ServeEngine::with_policy`]).
+    pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.workers = self
+            .workers
+            .into_iter()
+            .map(|w| w.with_policy(policy))
+            .collect();
+        self
+    }
+
+    /// Number of workers in the fleet.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Picks the worker for `req` under the routing policy.
+    fn route(&mut self, req: &Request) -> usize {
+        let n = self.workers.len();
+        match &self.route {
+            RoutePolicy::RoundRobin => {
+                let w = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                w
+            }
+            RoutePolicy::JoinShortestQueue => argmin(self.workers.iter().map(|w| w.ready_depth())),
+            RoutePolicy::LeastLoaded => argmin(self.workers.iter().map(|w| w.outstanding_cost())),
+            RoutePolicy::Pinned(assignment) => {
+                let w = assignment
+                    .iter()
+                    .find(|&&(id, _)| id == req.id)
+                    .map(|&(_, w)| w)
+                    .unwrap_or_else(|| panic!("pinned route has no worker for request {}", req.id));
+                assert!(
+                    w < n,
+                    "pinned route sends request {} to worker {w} of {n}",
+                    req.id
+                );
+                w
+            }
+        }
+    }
+
+    /// Routes and enqueues one request.
+    pub fn submit(&mut self, req: Request) {
+        let w = self.route(&req);
+        self.assignments.push((req.id, w));
+        self.workers[w].submit(req);
+    }
+
+    /// Pulls every request currently waiting in `rx`, routing each as
+    /// it is received. Returns `(received, disconnected)` like
+    /// [`ServeEngine::drain_arrivals`].
+    pub fn drain_arrivals(&mut self, rx: &std::sync::mpsc::Receiver<Request>) -> (usize, bool) {
+        use std::sync::mpsc::TryRecvError;
+        let mut received = 0usize;
+        let disconnected = loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    self.submit(req);
+                    received += 1;
+                }
+                Err(TryRecvError::Empty) => break false,
+                Err(TryRecvError::Disconnected) => break true,
+            }
+        };
+        (received, disconnected)
+    }
+
+    /// Whether any worker still has queued or active work.
+    pub fn has_work(&self) -> bool {
+        self.workers.iter().any(ServeEngine::has_work)
+    }
+
+    /// Runs one lockstep round: every worker with work executes one
+    /// tick of its own loop (idle workers skip; workers whose queue is
+    /// all future arrivals fast-forward their own clocks, exactly as a
+    /// standalone engine would). Returns `false` once the whole fleet
+    /// is drained.
+    pub fn tick(&mut self, cost: &GpuCostModel) -> bool {
+        for w in &mut self.workers {
+            w.tick(cost);
+        }
+        self.has_work()
+    }
+
+    fn into_report(self) -> DispatchReport {
+        let mut completions = Vec::new();
+        let mut shed = Vec::new();
+        let mut stats = ServeStats::default();
+        let mut per_worker = Vec::with_capacity(self.workers.len());
+        for worker in self.workers {
+            let ServeReport {
+                completions: c,
+                shed: s,
+                stats: st,
+            } = worker.into_report_parts();
+            completions.extend(c);
+            shed.extend(s);
+            stats.merge(&st);
+            per_worker.push(st);
+        }
+        completions.sort_by_key(|c| c.id);
+        shed.sort_by_key(|s| s.id);
+        let mut assignments = self.assignments;
+        assignments.sort_unstable();
+        DispatchReport {
+            completions,
+            shed,
+            stats,
+            per_worker,
+            assignments,
+        }
+    }
+
+    /// Drives the fleet until every submitted request completes.
+    pub fn run(mut self, cost: &GpuCostModel) -> DispatchReport {
+        while self.tick(cost) {}
+        self.into_report()
+    }
+
+    /// Drives the fleet through a *paced* open-loop run: each request
+    /// is routed exactly when its arrival tick falls due on the fleet
+    /// round clock, so load-aware policies see the queue state the
+    /// arrival would actually see — earlier arrivals have already been
+    /// admitted, stepped, and partially drained. (Feeding every
+    /// request up front instead, as a channel sender may, makes all
+    /// routing happen before any tick: join-shortest-queue then ties
+    /// its way into plain round-robin. This driver is what the
+    /// dispatch bench measures.)
+    ///
+    /// Requests are sorted by arrival (stable, so equal-arrival order
+    /// is preserved); the whole run is deterministic, and with one
+    /// worker the schedule is tick-identical to the single streaming
+    /// engine fed the same requests *in arrival order* (queue order
+    /// breaks ties among simultaneously-ready requests, so an
+    /// unsorted upfront feed is a different schedule).
+    pub fn run_paced(mut self, mut requests: Vec<Request>, cost: &GpuCostModel) -> DispatchReport {
+        requests.sort_by_key(|r| r.arrival);
+        let mut pending = requests.into_iter().peekable();
+        loop {
+            // The fleet's time is its most-advanced worker clock
+            // (clocks include idle fast-forward jumps, so counting
+            // lockstep rounds would fall behind). The upcoming tick
+            // moves busy workers to `now + 1`, so everything due by
+            // then must be routed *before* that tick — a tick-T
+            // arrival submitted after the fleet passes T would be
+            // admitted late and break the single-engine schedule
+            // identity.
+            let now = self
+                .workers
+                .iter()
+                .map(ServeEngine::clock)
+                .max()
+                .unwrap_or(0);
+            while pending.peek().is_some_and(|r| r.arrival <= now + 1) {
+                let req = pending.next().expect("peeked");
+                self.submit(req);
+            }
+            if self.has_work() {
+                self.tick(cost);
+            } else if let Some(next) = pending.peek().map(|r| r.arrival) {
+                // Idle gap: hand the next arrival group to the fleet;
+                // the receiving workers fast-forward their own clocks
+                // to it, exactly as they would with the request queued
+                // up front.
+                while pending.peek().is_some_and(|r| r.arrival <= next) {
+                    let req = pending.next().expect("peeked");
+                    self.submit(req);
+                }
+            } else {
+                break;
+            }
+        }
+        self.into_report()
+    }
+
+    /// Drives the fleet against a live arrival channel, mirroring
+    /// [`ServeEngine::run_streaming`]: each round drains (and routes)
+    /// newly arrived requests, then runs one lockstep tick; when idle
+    /// with the stream open it blocks for the next arrival. With one
+    /// worker this is tick-identical to the single-engine streaming
+    /// loop.
+    pub fn run_streaming(
+        mut self,
+        arrivals: std::sync::mpsc::Receiver<Request>,
+        cost: &GpuCostModel,
+    ) -> DispatchReport {
+        let mut open = true;
+        loop {
+            if open {
+                let (_, disconnected) = self.drain_arrivals(&arrivals);
+                open = !disconnected;
+            }
+            if self.has_work() {
+                self.tick(cost);
+            } else if open {
+                match arrivals.recv() {
+                    Ok(req) => self.submit(req),
+                    Err(_) => open = false,
+                }
+            } else {
+                break;
+            }
+        }
+        self.into_report()
+    }
+}
+
+/// Index of the smallest value (first wins ties — the lowest worker
+/// index, so routing is deterministic).
+fn argmin(values: impl Iterator<Item = usize>) -> usize {
+    let mut best = (usize::MAX, 0usize);
+    for (i, v) in values.enumerate() {
+        if v < best.0 {
+            best = (v, i);
+        }
+    }
+    best.1
+}
+
+/// Serves `requests` through a dispatcher fleet (closed-loop batch
+/// submission: everything is routed up front, in request order).
+pub fn dispatch_all(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+) -> DispatchReport {
+    let mut d = Dispatcher::new(model, cfg.clone(), dcfg.clone());
+    if let Some(dr) = draft {
+        d = d.with_draft(dr);
+    }
+    for req in requests {
+        d.submit(req);
+    }
+    d.run(cost)
+}
+
+/// The open-loop sibling of [`dispatch_all`]: routes and serves
+/// requests as they arrive on `arrivals` (see
+/// [`Dispatcher::run_streaming`]).
+#[allow(clippy::too_many_arguments)] // driver glue mirroring serve_streaming
+pub fn dispatch_streaming<'m>(
+    model: &'m MlpLm,
+    draft: Option<&'m dyn LanguageModel>,
+    prefix: Option<&'m dyn DecodeSession>,
+    arrivals: std::sync::mpsc::Receiver<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+) -> DispatchReport {
+    let mut d = Dispatcher::new(model, cfg.clone(), dcfg.clone());
+    if let Some(dr) = draft {
+        d = d.with_draft(dr);
+    }
+    if let Some(p) = prefix {
+        d = d.with_prefix(p);
+    }
+    d.run_streaming(arrivals, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verispec_core::DecodeConfig;
+    use verispec_lm::{MlpLmConfig, TokenId};
+
+    fn model() -> MlpLm {
+        MlpLm::new(MlpLmConfig {
+            vocab: 14,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 4,
+            n_heads: 3,
+            seed: 33,
+        })
+    }
+
+    fn ntp_request(id: u64, budget: usize) -> Request {
+        Request::new(
+            id,
+            vec![1 + (id % 4) as TokenId, 2],
+            EngineChoice::Ntp,
+            DecodeConfig {
+                max_tokens: budget,
+                seed: id,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn tree_request(id: u64, budget: usize) -> Request {
+        Request::new(
+            id,
+            vec![1 + (id % 4) as TokenId, 2],
+            EngineChoice::SyntaxAligned {
+                tree: Some(vec![2, 2]),
+            },
+            DecodeConfig {
+                max_tokens: budget,
+                seed: id,
+                ..Default::default()
+            },
+        )
+    }
+
+    use crate::request::EngineChoice;
+
+    #[test]
+    fn round_robin_cycles_through_workers() {
+        let m = model();
+        let mut d = Dispatcher::new(
+            &m,
+            ServeConfig::concurrency(2),
+            DispatchConfig::new(3, RoutePolicy::RoundRobin),
+        );
+        for id in 0..6 {
+            d.submit(ntp_request(id, 4));
+        }
+        assert_eq!(
+            d.assignments,
+            vec![(0, 0), (1, 1), (2, 2), (3, 0), (4, 1), (5, 2)]
+        );
+    }
+
+    #[test]
+    fn jsq_joins_the_shallowest_worker() {
+        let m = model();
+        let mut d = Dispatcher::new(
+            &m,
+            ServeConfig::concurrency(2),
+            DispatchConfig::new(2, RoutePolicy::JoinShortestQueue),
+        );
+        // Empty fleet: ties break to the lowest index.
+        d.submit(ntp_request(0, 4)); // depths (0,0) -> worker 0
+        d.submit(ntp_request(1, 4)); // depths (1,0) -> worker 1
+        d.submit(ntp_request(2, 4)); // depths (1,1) -> worker 0
+        assert_eq!(d.assignments, vec![(0, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn probes_expose_depth_vs_cost() {
+        let m = model();
+        let mut heavy = ServeEngine::new(&m, ServeConfig::concurrency(2));
+        heavy.submit(tree_request(0, 10)); // one wide, long request
+        let mut light = ServeEngine::new(&m, ServeConfig::concurrency(2));
+        light.submit(ntp_request(1, 2)); // two cheap shorties
+        light.submit(ntp_request(2, 2));
+        assert!(heavy.ready_depth() < light.ready_depth());
+        assert!(
+            heavy.outstanding_cost() > light.outstanding_cost(),
+            "a tree[2,2] x 10-token budget ({}) must outweigh two 2-token NTPs ({})",
+            heavy.outstanding_cost(),
+            light.outstanding_cost()
+        );
+        // The tree costs 1 + 4 paths x 3 levels = 13 per step.
+        assert_eq!(heavy.outstanding_cost(), 10 * 13);
+        assert_eq!(light.outstanding_cost(), 2 + 2);
+    }
+
+    #[test]
+    fn least_loaded_routes_by_cost_where_jsq_routes_by_count() {
+        let m = model();
+        let arrivals = || {
+            vec![
+                tree_request(0, 12), // heavy: dominates one worker's cost
+                ntp_request(1, 3),
+                ntp_request(2, 3),
+                ntp_request(3, 3),
+            ]
+        };
+        let route_with = |route: RoutePolicy| -> Vec<(u64, usize)> {
+            let mut d = Dispatcher::new(
+                &m,
+                ServeConfig::concurrency(2),
+                DispatchConfig::new(2, route),
+            );
+            for r in arrivals() {
+                d.submit(r);
+            }
+            d.assignments
+        };
+        // JSQ counts requests: after (0->w0, 1->w1) the depths tie, so
+        // request 2 joins worker 0 right next to the heavy tree.
+        assert_eq!(
+            route_with(RoutePolicy::JoinShortestQueue),
+            vec![(0, 0), (1, 1), (2, 0), (3, 1)]
+        );
+        // Least-loaded prices the tree: every shorty avoids worker 0.
+        assert_eq!(
+            route_with(RoutePolicy::LeastLoaded),
+            vec![(0, 0), (1, 1), (2, 1), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn report_lookup_and_merge_are_consistent() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let report = dispatch_all(
+            &m,
+            None,
+            (0..5).map(|id| ntp_request(id, 4)).collect(),
+            &ServeConfig::concurrency(2),
+            &DispatchConfig::new(2, RoutePolicy::RoundRobin),
+            &cost,
+        );
+        assert_eq!(report.completions.len(), 5);
+        assert_eq!(report.per_worker.len(), 2);
+        assert_eq!(report.worker_of(1), Some(1));
+        assert_eq!(report.worker_of(99), None);
+        let mut merged = ServeStats::default();
+        for s in &report.per_worker {
+            merged.merge(s);
+        }
+        assert_eq!(merged, report.stats);
+        assert_eq!(report.total_tokens(), report.stats.served_tokens);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned route has no worker")]
+    fn pinned_route_rejects_unknown_requests() {
+        let m = model();
+        let mut d = Dispatcher::new(
+            &m,
+            ServeConfig::concurrency(1),
+            DispatchConfig::new(2, RoutePolicy::Pinned(vec![(7, 1)])),
+        );
+        d.submit(ntp_request(0, 2));
+    }
+}

@@ -33,7 +33,9 @@ use crate::request::{Completion, EngineChoice, Request};
 use crate::scheduler::{ActiveView, Scheduler, TickOrder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use verispec_core::{Phase, ShapeQuery, SpecPolicy, SpecShape, Stepper, STATIC_POLICY};
+use verispec_core::{
+    AcceptHistory, Phase, ShapeQuery, SpecPolicy, SpecShape, Stepper, STATIC_POLICY,
+};
 use verispec_lm::{
     multi_logits_many, verify_many, DecodeSession, GpuCostModel, LanguageModel, MlpLm, VerifyPlan,
 };
@@ -160,6 +162,35 @@ pub struct ServeStats {
     pub deferred_steps: u64,
 }
 
+impl ServeStats {
+    /// Folds another engine's counters into these — the multi-worker
+    /// merge used by [`serve_all_threaded`] and the streaming
+    /// dispatcher ([`crate::dispatch`]). Additive counters sum;
+    /// schedule-length and high-water counters (`ticks`, `peak_active`,
+    /// `peak_resident_sessions`, `idle_ticks_skipped`) take the
+    /// per-worker maximum, because workers run independent clocks and
+    /// pools.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.ticks = self.ticks.max(other.ticks);
+        self.peak_active = self.peak_active.max(other.peak_active);
+        self.peak_resident_sessions = self
+            .peak_resident_sessions
+            .max(other.peak_resident_sessions);
+        self.idle_ticks_skipped = self.idle_ticks_skipped.max(other.idle_ticks_skipped);
+        self.fused_propose_positions += other.fused_propose_positions;
+        self.fused_verify_nodes += other.fused_verify_nodes;
+        self.fused_verify_calls += other.fused_verify_calls;
+        self.local_verify_calls += other.local_verify_calls;
+        self.preemptions += other.preemptions;
+        self.served_tokens += other.served_tokens;
+        self.session_evictions += other.session_evictions;
+        self.proposed_tokens += other.proposed_tokens;
+        self.accepted_tokens += other.accepted_tokens;
+        self.shed_requests += other.shed_requests;
+        self.deferred_steps += other.deferred_steps;
+    }
+}
+
 /// One request rejected by load-shedding admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShedRequest {
@@ -202,6 +233,9 @@ impl ServeReport {
 struct Active<'m> {
     id: u64,
     stepper: Stepper<'m>,
+    /// Decode budget (`max_tokens`), kept for the outstanding-cost
+    /// load probe (the stepper consumes the config).
+    budget: usize,
     submitted: u64,
     deadline: Option<u64>,
     admitted: u64,
@@ -412,6 +446,92 @@ impl<'m> ServeEngine<'m> {
         &self.stats
     }
 
+    /// The engine's scheduler clock: ticks executed, including any
+    /// idle fast-forward jumps. The dispatcher paces arrival routing
+    /// by the fleet's most-advanced clock.
+    pub fn clock(&self) -> u64 {
+        self.tick
+    }
+
+    /// Ready-depth load probe: every request this engine still owes
+    /// work to — active steppers plus queued entries (fresh arrivals
+    /// and parked preemptees alike; future arrivals count too, they are
+    /// committed work). The join-shortest-queue routing policy
+    /// ([`crate::dispatch::RoutePolicy::JoinShortestQueue`]) balances
+    /// on this.
+    pub fn ready_depth(&self) -> usize {
+        self.in_flight()
+    }
+
+    /// Outstanding candidate-token cost probe: an upper bound on the
+    /// verify positions this engine still has to pay, denominated in
+    /// [`SpecShape::step_cost`] units — for each in-flight request, its
+    /// remaining token budget times the per-step cost of the shape the
+    /// speculation policy would buy it right now (active and parked
+    /// requests are priced with their own acceptance history, queued
+    /// fresh ones with an empty one; an NTP step costs 1). "Upper
+    /// bound" because accepted speculation commits several tokens per
+    /// step. The join-least-loaded routing policy
+    /// ([`crate::dispatch::RoutePolicy::LeastLoaded`]) balances on
+    /// this, so a worker hoarding wide-tree long-budget requests looks
+    /// heavier than one holding the same *count* of NTP shorties.
+    pub fn outstanding_cost(&self) -> usize {
+        let priced = |base: Option<SpecShape>, history: &AcceptHistory, remaining: usize| {
+            let per_step = base.map_or(1, |b| {
+                self.policy
+                    .shape(&ShapeQuery {
+                        base: &b,
+                        history,
+                        cap: None,
+                    })
+                    .step_cost()
+            });
+            remaining * per_step
+        };
+        let active_cost = |a: &Active<'m>| {
+            priced(
+                a.stepper.base_shape(),
+                a.stepper.history(),
+                a.budget.saturating_sub(a.stepper.generated()),
+            )
+        };
+        let fresh_history = AcceptHistory::default();
+        let mut cost = 0usize;
+        for a in &self.active {
+            cost += active_cost(a);
+        }
+        for entry in &self.queue {
+            cost += match entry {
+                QueueEntry::Fresh { req, .. } => priced(
+                    self.request_base_shape(req),
+                    &fresh_history,
+                    req.cfg.max_tokens,
+                ),
+                QueueEntry::Parked(a) => active_cost(a),
+            };
+        }
+        cost
+    }
+
+    /// The configured [`SpecShape`] a request will run under once
+    /// admitted, derived without building a stepper (the queued-request
+    /// half of [`ServeEngine::outstanding_cost`]): `None` for NTP,
+    /// mirroring [`Stepper::base_shape`].
+    fn request_base_shape(&self, req: &Request) -> Option<SpecShape> {
+        let n_heads = self.target.n_extra_heads();
+        match &req.engine {
+            EngineChoice::Ntp => None,
+            EngineChoice::DraftVerify { gamma } => Some(SpecShape::Draft { gamma: *gamma }),
+            _ => Some(match req.engine.decode_config(&req.cfg).tree {
+                None => SpecShape::Chain { depth: n_heads },
+                Some(widths) => SpecShape::Tree {
+                    widths,
+                    depth: n_heads,
+                },
+            }),
+        }
+    }
+
     /// Resident sessions right now: active steppers plus queued
     /// pre-ingested prefix forks (parked steppers hold none — parking
     /// drops their sessions). O(1) via the running fork count.
@@ -535,6 +655,7 @@ impl<'m> ServeEngine<'m> {
                 self.active.push(Active {
                     id: req.id,
                     stepper,
+                    budget: req.cfg.max_tokens,
                     submitted: req.arrival,
                     deadline: req.deadline,
                     admitted: self.tick,
@@ -905,6 +1026,13 @@ impl<'m> ServeEngine<'m> {
         }
     }
 
+    /// Finalizes this worker's report without driving it further — the
+    /// dispatcher's merge hook ([`crate::dispatch::Dispatcher`] drives
+    /// ticks itself and collects each worker's completions at the end).
+    pub(crate) fn into_report_parts(self) -> ServeReport {
+        self.into_report()
+    }
+
     fn into_report(mut self) -> ServeReport {
         self.completions.sort_by_key(|c| c.id);
         self.shed.sort_by_key(|s| s.id);
@@ -1046,23 +1174,7 @@ pub fn serve_all_threaded(
     for r in reports {
         completions.extend(r.completions);
         shed.extend(r.shed);
-        stats.ticks = stats.ticks.max(r.stats.ticks);
-        stats.peak_active = stats.peak_active.max(r.stats.peak_active);
-        stats.fused_propose_positions += r.stats.fused_propose_positions;
-        stats.fused_verify_nodes += r.stats.fused_verify_nodes;
-        stats.fused_verify_calls += r.stats.fused_verify_calls;
-        stats.local_verify_calls += r.stats.local_verify_calls;
-        stats.preemptions += r.stats.preemptions;
-        stats.served_tokens += r.stats.served_tokens;
-        stats.session_evictions += r.stats.session_evictions;
-        stats.peak_resident_sessions = stats
-            .peak_resident_sessions
-            .max(r.stats.peak_resident_sessions);
-        stats.idle_ticks_skipped = stats.idle_ticks_skipped.max(r.stats.idle_ticks_skipped);
-        stats.proposed_tokens += r.stats.proposed_tokens;
-        stats.accepted_tokens += r.stats.accepted_tokens;
-        stats.shed_requests += r.stats.shed_requests;
-        stats.deferred_steps += r.stats.deferred_steps;
+        stats.merge(&r.stats);
     }
     completions.sort_by_key(|c| c.id);
     shed.sort_by_key(|s| s.id);

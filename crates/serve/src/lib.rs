@@ -12,7 +12,12 @@
 //! level:
 //!
 //! ```text
-//!   submit(Request) ──────────┐      ServeEngine                 model
+//!   mpsc arrivals ─► Dispatcher ── RoutePolicy (rr / jsq by
+//!   (open-loop,      (optional     ready_depth / least-loaded by
+//!    deadlines)       fleet)       outstanding_cost / pinned replay)
+//!                        │ one shard per worker, lockstep ticks
+//!                        ▼
+//!   submit(Request) ──────────┐      ServeEngine (× N workers)   model
 //!   mpsc arrivals ─► drain_ ──┴► queue ─► admission ─► active pool
 //!   (open-loop,      arrivals   (prefix    (arrival,    one Stepper
 //!    per tick,                   forks ≤    preempt,    per request
@@ -85,6 +90,17 @@
 //!   drivers: closed-loop batch, open-loop channel-fed, and the
 //!   `std::thread::scope` worker pool sharding requests across engines
 //!   over the same model.
+//! * **[`Dispatcher`]** (`dispatch`) — the multi-worker streaming
+//!   layer: channel-fed arrivals are *routed* across N independent
+//!   engines ([`RoutePolicy`]: round-robin, join-shortest-queue by
+//!   [`ServeEngine::ready_depth`], join-least-loaded by
+//!   [`ServeEngine::outstanding_cost`] — the speculation policy's
+//!   price of each worker's in-flight work — or a pinned replay of a
+//!   recorded assignment). Each worker owns its session pool and tick
+//!   loop and serves its shard exactly as a standalone engine, so
+//!   dispatch adds routing without touching serving semantics;
+//!   [`DispatchReport`] carries merged plus per-worker
+//!   [`ServeStats`] and the realized assignment.
 //!
 //! # The invariant
 //!
@@ -137,10 +153,14 @@
 
 #![deny(missing_docs)]
 
+pub mod dispatch;
 pub mod engine;
 pub mod request;
 pub mod scheduler;
 
+pub use dispatch::{
+    dispatch_all, dispatch_streaming, DispatchConfig, DispatchReport, Dispatcher, RoutePolicy,
+};
 pub use engine::{
     serve_all, serve_all_threaded, serve_streaming, ServeConfig, ServeEngine, ServeReport,
     ServeStats, ShedRequest,

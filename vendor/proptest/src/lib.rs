@@ -310,7 +310,7 @@ pub mod strategy {
 pub mod collection {
     use super::*;
 
-    /// Acceptable size specifications for [`vec`].
+    /// Acceptable size specifications for [`vec()`].
     pub trait IntoSizeRange {
         /// Lower and inclusive upper bound.
         fn bounds(&self) -> (usize, usize);
