@@ -31,6 +31,18 @@
 //! reference (and one-worker cells tick-identical) before any row is
 //! recorded.
 //!
+//! On top of that, the **Zipf shared-stem cache sweep**: a workload
+//! whose prompts mostly extend a few hot stems (Zipf-weighted), served
+//! with paced prompt ingestion so ingestion work costs ticks, measured
+//! cache-off vs cache-on across 1/2/4 workers under round-robin,
+//! least-loaded, and the cache-aware prefix-affine route — all at one
+//! equal offered load. The rows carry the prefix-cache telemetry
+//! (hit/miss, tokens saved, depth histogram, eviction and residency
+//! peaks); every cell's completions are asserted token-identical to an
+//! uncached single-engine reference before recording, and the bench
+//! guard gates that cache-on beats cache-off on TTFT p99 and that
+//! prefix-affine out-hits round-robin on fleets.
+//!
 //! Emits `BENCH_load.json` at the workspace root with exact
 //! p50/p90/p99 queueing delay, TTFT, per-token inter-commit gaps, and
 //! end-to-end latency in scheduler ticks plus measured wall-clock,

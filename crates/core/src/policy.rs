@@ -51,6 +51,15 @@
 //! a decision may depend only on its [`ShapeQuery`] inputs. That is
 //! what makes replayed traces, preemption (`park`/`unpark` keeps the
 //! history), and the served-equals-serial property hold.
+//!
+//! Routing is the sibling per-request decision this layer deliberately
+//! does *not* own: *where* a request runs is `verispec-serve`'s
+//! `RoutePolicy` — including the cache-aware prefix-affine route,
+//! which probes each worker's prefix cache for the deepest stem match
+//! so repeat prompts land where their session snapshots already live.
+//! The speculation policy prices the work *after* placement, from
+//! request-local state only, so the two layers compose without either
+//! reading the other's.
 
 use crate::decode::MAX_CANDIDATE_PATHS;
 use serde::{Deserialize, Serialize};

@@ -157,19 +157,49 @@ fn check_serve(g: &mut Guard, doc: &Value) {
     }
 }
 
+/// One cell of the Zipf shared-stem cache sweep, as read back from the
+/// artifact: cache state, fleet shape, TTFT order statistics, and the
+/// prefix hit-rate.
+struct ZipfCell {
+    cache: String,
+    workers: usize,
+    route: String,
+    ttft_p99: f64,
+    ttft_mean: f64,
+    hit_rate: Option<f64>,
+}
+
 fn check_load(g: &mut Guard, doc: &Value) {
     let mut methods = Vec::new();
     let mut policies = Vec::new();
     let mut dispatch_cells = Vec::new();
+    let mut zipf_cells: Vec<ZipfCell> = Vec::new();
     for (i, row) in rows(g, doc, "BENCH_load.json").iter().enumerate() {
         let ctx = format!("BENCH_load.json[{i}]");
         methods.push(string(g, row, &ctx, "method").to_string());
-        policies.push(string(g, row, &ctx, "policy").to_string());
-        string(g, row, &ctx, "process");
+        let policy = string(g, row, &ctx, "policy").to_string();
+        policies.push(policy.clone());
+        let process = string(g, row, &ctx, "process").to_string();
         let route = string(g, row, &ctx, "route").to_string();
         let workers = number(g, row, &ctx, "workers");
         g.check(workers >= 1.0, || format!("{ctx}: workers < 1"));
-        if route != "single" {
+        if process == "zipf" {
+            let ttft = |stat: &str| {
+                field(row, "quantiles")
+                    .and_then(|q| field(q, "ttft_ticks"))
+                    .and_then(|d| field(d, stat))
+                    .and_then(as_f64)
+                    .unwrap_or(f64::NAN)
+            };
+            zipf_cells.push(ZipfCell {
+                cache: policy,
+                workers: workers as usize,
+                route: route.clone(),
+                ttft_p99: ttft("p99"),
+                ttft_mean: ttft("mean"),
+                hit_rate: field(row, "prefix_hit_rate").and_then(as_f64),
+            });
+        } else if route != "single" {
             dispatch_cells.push((workers as usize, route.clone()));
         }
 
@@ -228,6 +258,78 @@ fn check_load(g: &mut Guard, doc: &Value) {
                     .iter()
                     .any(|(w, r)| *w == workers && r == route),
                 || format!("BENCH_load.json: dispatch cell {route}@{workers} vanished"),
+            );
+        }
+    }
+
+    // The Zipf shared-stem cache sweep: every cache-state x worker x
+    // route cell present; cache-on rows carry a finite hit-rate in
+    // [0, 1]; cache-on never loses to cache-off on TTFT p99, and wins
+    // somewhere on p99 or mean (small CI-smoke runs pin the nearest-
+    // rank p99 at the cold-miss warmup in every cell, but the mean
+    // still has to move — a cache that shifts neither has stopped
+    // working); and at fleets of >= 2 workers the cache-aware
+    // prefix-affine route out-hits load-blind round-robin, which
+    // scatters each hot stem across the fleet and pays its cold miss
+    // once per worker.
+    let zipf = |cache: &str, workers: usize, route: &str| {
+        zipf_cells
+            .iter()
+            .find(|c| c.cache == cache && c.workers == workers && c.route == route)
+    };
+    let mut cache_on_won_somewhere = false;
+    for workers in [1usize, 2, 4] {
+        for route in ["rr", "least-loaded", "prefix-affine"] {
+            let (on, off) = (
+                zipf("cache-on", workers, route),
+                zipf("cache-off", workers, route),
+            );
+            g.check(on.is_some() && off.is_some(), || {
+                format!("BENCH_load.json: zipf cache cell {route}@{workers} vanished")
+            });
+            let (Some(on), Some(off)) = (on, off) else {
+                continue;
+            };
+            g.check(
+                on.hit_rate
+                    .is_some_and(|h| h.is_finite() && (0.0..=1.0).contains(&h)),
+                || {
+                    format!(
+                        "BENCH_load.json: zipf cache-on {route}@{workers}: \
+                         `prefix_hit_rate` missing or not a finite rate"
+                    )
+                },
+            );
+            g.check(on.ttft_p99 <= off.ttft_p99, || {
+                format!(
+                    "BENCH_load.json: zipf {route}@{workers}: cache-on TTFT p99 \
+                     ({}) worse than cache-off ({})",
+                    on.ttft_p99, off.ttft_p99
+                )
+            });
+            cache_on_won_somewhere |= on.ttft_p99 < off.ttft_p99 || on.ttft_mean < off.ttft_mean;
+        }
+    }
+    if !zipf_cells.is_empty() {
+        g.check(cache_on_won_somewhere, || {
+            "BENCH_load.json: zipf sweep: cache-on never beat cache-off on TTFT (p99 or mean)"
+                .to_string()
+        });
+        for workers in [2usize, 4] {
+            let (affine, rr) = (
+                zipf("cache-on", workers, "prefix-affine"),
+                zipf("cache-on", workers, "rr"),
+            );
+            g.check(
+                affine.zip(rr).is_some_and(|(a, r)| {
+                    a.hit_rate.unwrap_or(f64::NAN) > r.hit_rate.unwrap_or(f64::NAN)
+                }),
+                || {
+                    format!(
+                        "BENCH_load.json: zipf @{workers} workers: prefix-affine \
+                         hit-rate does not exceed round-robin's"
+                    )
+                },
             );
         }
     }

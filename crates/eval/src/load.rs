@@ -376,7 +376,138 @@ pub fn run_load_bench(
             ));
         }
     }
+
+    // Zipf shared-stem cache sweep: a workload where most prompts
+    // extend one of a few hot stems (Zipf-weighted), served with
+    // *paced* prompt ingestion so ingestion work is visible in tick
+    // space — then measured cache-off vs cache-on across worker counts
+    // and routing policies (round-robin vs least-loaded vs
+    // prefix-affine) at one equal offered load. The cache-off
+    // single-engine run is the uncached reference; every other cell's
+    // completions are asserted token-identical to it before recording
+    // (the cache and the routing may only move ticks, never tokens).
+    // Cache state lands in the row's `policy` column; the prefix_*
+    // columns carry the hit/miss/saved telemetry the bench guard gates.
+    let vocab = verispec_lm::LanguageModel::vocab_size(&model) as u32;
+    let count = scale.speed_prompt_count.max(2);
+    let zipf_workload = Workload {
+        process: ArrivalProcess::Poisson { rate },
+        mix: RequestMix {
+            engines: vec![(ours_engine.clone(), 1.0)],
+            families: vec![(
+                PromptFamily::zipf_stems(
+                    "zipf-stems",
+                    count.max(8),
+                    4,
+                    32,
+                    4,
+                    1.2,
+                    12,
+                    vocab,
+                    0x21F5,
+                ),
+                1.0,
+            )],
+            greedy_fraction: 0.5,
+            temperature: (0.4, 0.9),
+            base: Default::default(),
+            deadline_slack: None,
+        },
+        count,
+        seed: 0x21F5_10AD,
+    };
+    assert_trace_replays_exactly(&zipf_workload);
+    let zipf_requests = zipf_workload.requests_with_engine(Some(&ours_engine));
+    let off_cfg = ServeConfig {
+        ingest_rate: Some(8),
+        ..cfg.clone()
+    };
+    let on_cfg = ServeConfig {
+        prefix_cache: true,
+        ..off_cfg.clone()
+    };
+    let zipf_reference = run_open_loop(&model, None, None, zipf_requests.clone(), &off_cfg, &cost);
+    for (cache_name, zcfg) in [("cache-off", &off_cfg), ("cache-on", &on_cfg)] {
+        for &workers in &DISPATCH_WORKER_COUNTS {
+            // One worker routes identically under every policy: share
+            // the run across the three route rows.
+            let mut shared: Option<DispatchRunReport> = None;
+            for (route_name, route) in zipf_routes() {
+                let run = match &shared {
+                    Some(run) => run.clone(),
+                    None => {
+                        let dcfg = DispatchConfig::new(workers, route);
+                        let run = run_dispatch_open_loop(
+                            &model,
+                            None,
+                            None,
+                            zipf_requests.clone(),
+                            zcfg,
+                            &dcfg,
+                            &cost,
+                            None,
+                        );
+                        assert_zipf_matches_uncached_reference(
+                            &run,
+                            &zipf_reference,
+                            cache_name,
+                            workers,
+                            route_name,
+                        );
+                        if workers == 1 {
+                            shared = Some(run.clone());
+                        }
+                        run
+                    }
+                };
+                let mut row = LoadBenchRow::for_dispatch("zipf", rate, ours_name, route_name, &run);
+                row.policy = cache_name.to_string();
+                rows.push(row);
+            }
+        }
+    }
     rows
+}
+
+/// The routing menu of the Zipf cache sweep: load-blind round-robin,
+/// cost-aware least-loaded, and the cache-aware prefix-affine policy
+/// (which degrades to least-loaded when every cache probe reads 0).
+pub fn zipf_routes() -> Vec<(&'static str, RoutePolicy)> {
+    vec![
+        ("rr", RoutePolicy::RoundRobin),
+        ("least-loaded", RoutePolicy::LeastLoaded),
+        ("prefix-affine", RoutePolicy::PrefixAffine),
+    ]
+}
+
+/// Asserts a Zipf-sweep cell's completions token-identical to the
+/// uncached single-engine reference: prefix caching, paced ingestion,
+/// and routing are performance mechanisms — ticks move, tokens never.
+fn assert_zipf_matches_uncached_reference(
+    run: &DispatchRunReport,
+    reference: &LoadRunReport,
+    cache: &str,
+    workers: usize,
+    route: &str,
+) {
+    assert_eq!(
+        run.dispatch.completions.len(),
+        reference.serve.completions.len(),
+        "{cache}/{route}@{workers}: zipf cell lost requests"
+    );
+    for (a, b) in run
+        .dispatch
+        .completions
+        .iter()
+        .zip(&reference.serve.completions)
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.output.tokens, b.output.tokens,
+            "{cache}/{route}@{workers}: request {} diverged from the uncached reference",
+            a.id
+        );
+    }
 }
 
 /// Asserts a dispatched run against the single-engine reference of the
@@ -561,8 +692,9 @@ mod tests {
         let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &[0.4, 1.5]);
         assert_eq!(
             rows.len(),
-            2 * (3 + 3) + 1 + 9,
-            "2 load levels x (3 methods + 3 policies) + dispatch reference + 3x3 sweep"
+            2 * (3 + 3) + 1 + 9 + 18,
+            "2 load levels x (3 methods + 3 policies) + dispatch reference + 3x3 sweep \
+             + cache on/off x 3x3 zipf sweep"
         );
         for r in &rows {
             assert!(r.requests + r.shed_requests == 4, "served + shed = offered");
@@ -605,7 +737,10 @@ mod tests {
             ours.iter().any(|o| o.offered_rate == dispatch_rate),
             "dispatch reference row missing"
         );
-        let dispatch: Vec<_> = rows.iter().filter(|r| r.route != "single").collect();
+        let dispatch: Vec<_> = rows
+            .iter()
+            .filter(|r| r.route != "single" && r.process != "zipf")
+            .collect();
         assert_eq!(dispatch.len(), 9);
         for workers in DISPATCH_WORKER_COUNTS {
             for (route, _) in dispatch_routes() {
@@ -634,6 +769,40 @@ mod tests {
         }
         for p in ["static", "adaptive", "budgeted"] {
             assert!(policy_rows.iter().any(|r| r.policy == p), "{p} row missing");
+        }
+        // The Zipf cache sweep: every cache state x worker count x route
+        // cell exists, cache-on rows carry prefix telemetry (the cache
+        // actually saw admissions) while cache-off rows stay bare, and
+        // every cell was recorded under proven token parity with the
+        // uncached reference (run_load_bench panics otherwise).
+        let zipf: Vec<_> = rows.iter().filter(|r| r.process == "zipf").collect();
+        assert_eq!(zipf.len(), 18);
+        for cache in ["cache-off", "cache-on"] {
+            for workers in DISPATCH_WORKER_COUNTS {
+                for (route, _) in zipf_routes() {
+                    let cell = zipf
+                        .iter()
+                        .find(|r| r.policy == cache && r.workers == workers && r.route == route)
+                        .unwrap_or_else(|| panic!("missing zipf cell {cache}/{route}@{workers}"));
+                    assert_eq!(cell.method, "Ours-tree");
+                    if cache == "cache-on" {
+                        assert!(
+                            cell.prefix_hit_rate.is_some(),
+                            "{route}@{workers}: cache-on row lost its hit-rate"
+                        );
+                        assert_eq!(
+                            cell.prefix_hits + cell.prefix_misses,
+                            cell.requests,
+                            "{route}@{workers}: every admission probes the cache once"
+                        );
+                    } else {
+                        assert!(
+                            cell.prefix_hit_rate.is_none(),
+                            "{route}@{workers}: cache-off row reports a hit-rate"
+                        );
+                    }
+                }
+            }
         }
         let rendered = render_load_bench(&rows);
         assert!(rendered.contains("NTP") && rendered.contains("Ours-tree"));

@@ -78,8 +78,8 @@ pub use mlp::{HeadTarget, MlpLm, MlpLmConfig, PositionLoss, TokenId, PAD_ID};
 pub use ngram::NgramLm;
 pub use sampler::{argmax, top_k_indices, Sampler, Sampling};
 pub use session::{
-    multi_logits_many, verify_many, DecodeSession, MlpSession, NgramSession, Stateless,
-    StatelessSession, VerifyPlan,
+    multi_logits_many, verify_many, DecodeSession, MlpSession, NgramSession, SnapshotSession,
+    Stateless, StatelessSession, VerifyPlan,
 };
 
 /// A language model that exposes base-head logits over a prefix, and
@@ -113,6 +113,18 @@ pub trait LanguageModel {
     /// incremental session ([`MlpSession`], [`NgramSession`]).
     fn session(&self) -> Box<dyn DecodeSession + '_> {
         Box::new(StatelessSession::new(self))
+    }
+
+    /// Opens an empty **storable-fork** session over this model
+    /// ([`SnapshotSession`]): forks taken through any short borrow live
+    /// for the full model lifetime, which is what lets an owner (e.g. a
+    /// prefix cache) keep boxed snapshots and fork from them later.
+    ///
+    /// `None` (the default) means callers must fall back to
+    /// [`LanguageModel::session`] and re-ingest prompts from scratch;
+    /// [`MlpLm`] and [`NgramLm`] override it.
+    fn snapshot_session(&self) -> Option<Box<dyn SnapshotSession<'_> + '_>> {
+        None
     }
 
     /// Base-head logits for the next token after `prefix`.
@@ -152,6 +164,10 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
         (**self).session()
     }
 
+    fn snapshot_session(&self) -> Option<Box<dyn SnapshotSession<'_> + '_>> {
+        (**self).snapshot_session()
+    }
+
     fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
         (**self).logits(prefix)
     }
@@ -174,6 +190,10 @@ impl LanguageModel for MlpLm {
         Box::new(MlpSession::new(self))
     }
 
+    fn snapshot_session(&self) -> Option<Box<dyn SnapshotSession<'_> + '_>> {
+        Some(Box::new(MlpSession::new(self)))
+    }
+
     fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {
         MlpLm::logits(self, prefix)
     }
@@ -190,6 +210,10 @@ impl LanguageModel for NgramLm {
 
     fn session(&self) -> Box<dyn DecodeSession + '_> {
         Box::new(NgramSession::new(self))
+    }
+
+    fn snapshot_session(&self) -> Option<Box<dyn SnapshotSession<'_> + '_>> {
+        Some(Box::new(NgramSession::new(self)))
     }
 
     fn logits(&self, prefix: &[TokenId]) -> Vec<f32> {

@@ -306,6 +306,27 @@ pub trait DecodeSession {
     }
 }
 
+/// A [`DecodeSession`] whose forks outlive the borrow they were forked
+/// through: `'m` is the **model** borrow, so a fork taken through any
+/// short `&self` still lives for the full model lifetime.
+///
+/// This is the storable prefix-sharing surface. [`DecodeSession::fork`]
+/// ties its child to `&self` — fine for forking straight off a local
+/// prefix session, useless for a cache that *owns* boxed snapshots and
+/// must hand out forks that outlive the lookup borrow. A radix-tree
+/// prefix cache (`verispec-serve`) stores
+/// `Box<dyn SnapshotSession<'m> + 'm>` per trie node and forks
+/// full-lifetime sessions from the deepest matching node.
+///
+/// Obtained from [`LanguageModel::snapshot_session`]; copy-on-write is
+/// inherited from the underlying sessions (forking clones the cached
+/// state, after which parent and child diverge independently).
+pub trait SnapshotSession<'m>: DecodeSession {
+    /// Forks an independent session with the same context whose
+    /// lifetime is the model borrow `'m`, not the `&self` borrow.
+    fn fork_snapshot(&self) -> Box<dyn SnapshotSession<'m> + 'm>;
+}
+
 // ---------------------------------------------------------------------
 // Stateless shim
 // ---------------------------------------------------------------------
@@ -363,6 +384,15 @@ impl<M: LanguageModel + ?Sized> DecodeSession for StatelessSession<'_, M> {
             model: self.model,
             tokens: self.tokens.clone(),
         }))
+    }
+}
+
+impl<'m, M: LanguageModel + ?Sized> SnapshotSession<'m> for StatelessSession<'m, M> {
+    fn fork_snapshot(&self) -> Box<dyn SnapshotSession<'m> + 'm> {
+        Box::new(StatelessSession {
+            model: self.model,
+            tokens: self.tokens.clone(),
+        })
     }
 }
 
@@ -520,6 +550,12 @@ impl DecodeSession for MlpSession<'_> {
     }
 }
 
+impl<'m> SnapshotSession<'m> for MlpSession<'m> {
+    fn fork_snapshot(&self) -> Box<dyn SnapshotSession<'m> + 'm> {
+        Box::new(self.clone())
+    }
+}
+
 impl MlpSession<'_> {
     /// Builds the verification trie and per-node window embeddings that
     /// both [`DecodeSession::verify_batch`] (single session) and
@@ -671,6 +707,12 @@ impl DecodeSession for NgramSession<'_> {
 
     fn fork(&self) -> Option<Box<dyn DecodeSession + '_>> {
         Some(Box::new(self.clone()))
+    }
+}
+
+impl<'m> SnapshotSession<'m> for NgramSession<'m> {
+    fn fork_snapshot(&self) -> Box<dyn SnapshotSession<'m> + 'm> {
+        Box::new(self.clone())
     }
 }
 
@@ -856,6 +898,38 @@ mod tests {
         let mut sf = ss.fork().expect("stateless fork");
         sf.append(&[6]);
         assert_eq!(sf.logits(), model.logits(&[2, 4, 6]));
+    }
+
+    #[test]
+    fn snapshot_forks_outlive_the_lookup_borrow() {
+        // The storable-fork surface: a container owns boxed snapshots,
+        // and a fork taken through a short borrow of one entry must
+        // live beyond that borrow (the prefix-cache access pattern).
+        let model = tiny_mlp();
+        let mut store: Vec<Box<dyn SnapshotSession<'_> + '_>> = Vec::new();
+        let mut snap = model.snapshot_session().expect("mlp snapshots");
+        snap.append(&[1, 2, 3]);
+        store.push(snap);
+        let mut fork = {
+            let entry = &store[0]; // short borrow
+            entry.fork_snapshot()
+        };
+        fork.append(&[4]);
+        assert_eq!(fork.logits(), model.logits(&[1, 2, 3, 4]));
+        // The stored parent is untouched (copy-on-write).
+        assert_eq!(store[0].tokens(), &[1, 2, 3]);
+        // Upcasting to the plain session trait hands the fork to an
+        // engine stepper.
+        let mut plain: Box<dyn DecodeSession + '_> = fork;
+        plain.append(&[5]);
+        assert_eq!(plain.logits(), model.logits(&[1, 2, 3, 4, 5]));
+
+        // Ngram models snapshot too; the `&M` forwarder passes through.
+        let ng = trained_ngram();
+        assert!(ng.snapshot_session().is_some());
+        assert!((&ng as &dyn LanguageModel).snapshot_session().is_some());
+        // Plain-logits models fall back to `None`.
+        assert!(Stateless(&model).snapshot_session().is_none());
     }
 
     #[test]

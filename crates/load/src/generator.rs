@@ -144,6 +144,62 @@ pub struct PromptFamily {
     pub prompts: Vec<(Vec<TokenId>, usize)>,
 }
 
+impl PromptFamily {
+    /// A Zipf-distributed shared-stem family: `n_stems` random stems of
+    /// `stem_len` tokens, and `count` prompts each formed as
+    /// `stem ++ unique random suffix` of `suffix_len` tokens, where the
+    /// stem for each prompt is drawn with probability ∝ `1/rankᵉ`
+    /// (rank 1 = hottest). Because [`Workload`] draws prompts
+    /// uniformly from the family list, the Zipf skew is encoded as
+    /// *multiplicity*: hot stems simply appear under more prompts.
+    ///
+    /// This is the fleet-scale prefix-cache workload: a few hot stems
+    /// (shared system prompts / module preambles) fan out into many
+    /// unique requests, so a radix-tree cache turns the repeated
+    /// O(stem) ingestion into O(suffix) on every hit, while cold stems
+    /// exercise miss + eviction paths. Tokens are drawn from
+    /// `[1, vocab)`; the whole family is a pure function of `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stems == 0`, `stem_len == 0`, or `vocab < 2`.
+    #[allow(clippy::too_many_arguments)] // workload-shape knobs, all orthogonal
+    pub fn zipf_stems(
+        name: &str,
+        count: usize,
+        n_stems: usize,
+        stem_len: usize,
+        suffix_len: usize,
+        exponent: f64,
+        budget: usize,
+        vocab: u32,
+        seed: u64,
+    ) -> PromptFamily {
+        assert!(n_stems > 0, "need at least one stem");
+        assert!(stem_len > 0, "stems must be non-empty");
+        assert!(vocab >= 2, "need at least two tokens to draw from");
+        let mut rng = LoadRng::new(seed);
+        let token = |rng: &mut LoadRng| 1 + rng.below(vocab as usize - 1) as TokenId;
+        let stems: Vec<Vec<TokenId>> = (0..n_stems)
+            .map(|_| (0..stem_len).map(|_| token(&mut rng)).collect())
+            .collect();
+        let weights: Vec<f64> = (1..=n_stems)
+            .map(|rank| 1.0 / (rank as f64).powf(exponent))
+            .collect();
+        let prompts = (0..count)
+            .map(|_| {
+                let mut prompt = stems[rng.weighted(&weights)].clone();
+                prompt.extend((0..suffix_len).map(|_| token(&mut rng)));
+                (prompt, budget)
+            })
+            .collect();
+        PromptFamily {
+            name: name.into(),
+            prompts,
+        }
+    }
+}
+
 /// The seeded distributions one request is drawn from.
 #[derive(Debug, Clone)]
 pub struct RequestMix {
@@ -413,5 +469,38 @@ mod tests {
             free.iter().any(|r| r.engine != EngineChoice::Ntp),
             "the free draw should use the menu"
         );
+    }
+
+    #[test]
+    fn zipf_stems_skews_hot_and_stays_deterministic() {
+        let fam = PromptFamily::zipf_stems("zipf", 120, 4, 8, 3, 1.2, 6, 50, 42);
+        assert_eq!(fam.prompts.len(), 120);
+        assert!(fam
+            .prompts
+            .iter()
+            .all(|(p, budget)| p.len() == 8 + 3 && *budget == 6));
+        // Group prompts by their 8-token stem: few distinct stems, and
+        // the hottest one dominates (Zipf exponent 1.2 over 4 ranks
+        // puts ≈45% of mass on rank 1).
+        let mut by_stem: std::collections::BTreeMap<&[TokenId], usize> =
+            std::collections::BTreeMap::new();
+        for (p, _) in &fam.prompts {
+            *by_stem.entry(&p[..8]).or_default() += 1;
+        }
+        assert!(by_stem.len() <= 4, "more stems than requested");
+        let hottest = by_stem.values().max().copied().expect("nonempty");
+        assert!(
+            hottest * 3 >= fam.prompts.len(),
+            "no hot stem emerged ({hottest}/120)"
+        );
+        // Suffixes make prompts (near-)unique even within one stem.
+        let distinct: std::collections::BTreeSet<&Vec<TokenId>> =
+            fam.prompts.iter().map(|(p, _)| p).collect();
+        assert!(distinct.len() > fam.prompts.len() / 2);
+        // Pure function of the seed.
+        let again = PromptFamily::zipf_stems("zipf", 120, 4, 8, 3, 1.2, 6, 50, 42);
+        assert_eq!(fam.prompts, again.prompts);
+        let other = PromptFamily::zipf_stems("zipf", 120, 4, 8, 3, 1.2, 6, 50, 43);
+        assert_ne!(fam.prompts, other.prompts);
     }
 }

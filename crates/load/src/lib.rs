@@ -27,18 +27,23 @@
 //!   (poisson/on-off/│ Workload::requests()
 //!    ramp, seeded)  ├──────────► [Request; n] ── mpsc ─► Dispatcher
 //!   RequestMix ─────┘  arrival ticks + mixes            (RoutePolicy:
-//!   (engine/family/      │ + deadlines                   rr / jsq /
-//!    budget/sampling/    ▼ (deadline_slack)              least-loaded /
-//!    deadline slack)  ArrivalTrace                       pinned replay)
-//!                     (JSON record/replay,         │ route per arrival
-//!                      bit-identical; CI           ▼
-//!                      replays tests/traces/)  drain_arrivals ×N workers
+//!   (engine/family —     │ + deadlines                   rr / jsq /
+//!    incl. Zipf shared   ▼ (deadline_slack)              least-loaded /
+//!    stems — budget/  ArrivalTrace                       pinned replay /
+//!    sampling/slack)  (JSON record/replay,               prefix-affine)
+//!                      bit-identical; CI           │ route per arrival
+//!                      replays tests/traces/)      ▼ (probes caches)
+//!                                              drain_arrivals ×N workers
 //!                                              (per tick, joins
 //!                                               mid-flight; shed
 //!                                               overflow per worker)
 //!                                                  │
 //!                                    ServeEngine tick loop (per worker)
-//!                                    admission → scheduler (EDF…)
+//!                                    admission → PrefixCache (radix
+//!                                      trie: fork deepest stem, ingest
+//!                                      suffix only, insert-on-miss,
+//!                                      cap-charged LRU eviction)
+//!                                    → scheduler (EDF…)
 //!                                    → SpecPolicy divides the
 //!                                      per-tick verify capacity
 //!                                    → fused propose/verify →
@@ -49,10 +54,11 @@
 //!   exact p50/p90/p99                     (+ DispatchReport assignments)
 //!   (LatencyQuantiles),
 //!   SLO attainment + acceptance     LoadBenchRow (BENCH_load.json:
-//!   per engine + per worker ──────► serve-aware Table II, spec vs NTP
-//!   (dispatcher-aware SLO)          at equal offered load + the policy
-//!                                   A/B static/adaptive/budgeted + the
-//!                                   dispatch sweep workers × route)
+//!   per engine + per worker         serve-aware Table II, spec vs NTP
+//!   (dispatcher-aware SLO),  ─────► at equal offered load + the policy
+//!   PrefixCacheSummary              A/B static/adaptive/budgeted + the
+//!   (hits/saved/depth hist)         dispatch sweep workers × route +
+//!                                   the Zipf-stem cache sweep)
 //! ```
 //!
 //! * [`ArrivalProcess`] — seeded Poisson, bursty on/off, and ramp
@@ -143,6 +149,6 @@ pub use report::{
 };
 pub use telemetry::{
     per_token_gaps, AcceptanceSummary, LatencyQuantiles, LatencyReport, LatencySummary,
-    QuantileSummary, RequestLatency, SloSummary,
+    PrefixCacheSummary, QuantileSummary, RequestLatency, SloSummary,
 };
 pub use trace::{ArrivalTrace, TraceEntry};

@@ -16,7 +16,7 @@
 use crate::telemetry::{LatencyQuantiles, LatencyReport};
 use serde::{Deserialize, Serialize};
 use verispec_core::SpecPolicy;
-use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm, TokenId};
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
 use verispec_serve::{
     DispatchConfig, DispatchReport, Dispatcher, Request, ServeConfig, ServeEngine, ServeReport,
 };
@@ -37,8 +37,11 @@ pub struct LoadRunReport {
 /// order, ahead of its arrival tick, so the tick schedule is
 /// deterministic and identical to batch [`verispec_serve::serve_all`])
 /// and admission happens tick by tick as arrivals fall due. With
-/// `prefix_tokens`, a shared prefix session is ingested once and every
-/// matching request is admitted from a fork of it.
+/// `prefix_tokens`, the engine's radix-tree prefix cache is enabled
+/// and pre-warmed with the stem, so every matching request is admitted
+/// from a copy-on-write fork of the cached node (this used to be
+/// bespoke shared-prefix-session plumbing; the trie subsumes it and
+/// additionally caches every *other* stem the workload repeats).
 pub fn run_open_loop(
     model: &MlpLm,
     draft: Option<&dyn LanguageModel>,
@@ -63,18 +66,15 @@ pub fn run_open_loop_with_policy(
     policy: Option<&dyn SpecPolicy>,
 ) -> LoadRunReport {
     let originals = requests.clone();
-    let prefix_session: Option<Box<dyn DecodeSession + '_>> = prefix_tokens.map(|toks| {
-        let mut s = model.session();
-        s.append(toks);
-        s
-    });
+    let mut cfg = cfg.clone();
+    cfg.prefix_cache |= prefix_tokens.is_some();
     let t0 = std::time::Instant::now();
-    let mut engine = ServeEngine::new(model, cfg.clone());
+    let mut engine = ServeEngine::new(model, cfg);
     if let Some(d) = draft {
         engine = engine.with_draft(d);
     }
-    if let Some(p) = prefix_session.as_deref() {
-        engine = engine.with_prefix(p);
+    if let Some(toks) = prefix_tokens {
+        engine.warm_prefix(toks);
     }
     if let Some(p) = policy {
         engine = engine.with_policy(p);
@@ -86,7 +86,8 @@ pub fn run_open_loop_with_policy(
     drop(tx);
     let serve = engine.run_streaming(rx, cost);
     let wall_secs = t0.elapsed().as_secs_f64();
-    let latency = LatencyReport::new(&originals, &serve.completions);
+    let latency =
+        LatencyReport::new(&originals, &serve.completions).attach_prefix_stats(&serve.stats);
     LoadRunReport {
         serve,
         latency,
@@ -125,18 +126,15 @@ pub fn run_dispatch_open_loop(
     policy: Option<&dyn SpecPolicy>,
 ) -> DispatchRunReport {
     let originals = requests.clone();
-    let prefix_session: Option<Box<dyn DecodeSession + '_>> = prefix_tokens.map(|toks| {
-        let mut s = model.session();
-        s.append(toks);
-        s
-    });
+    let mut cfg = cfg.clone();
+    cfg.prefix_cache |= prefix_tokens.is_some();
     let t0 = std::time::Instant::now();
-    let mut dispatcher = Dispatcher::new(model, cfg.clone(), dcfg.clone());
+    let mut dispatcher = Dispatcher::new(model, cfg, dcfg.clone());
     if let Some(d) = draft {
         dispatcher = dispatcher.with_draft(d);
     }
-    if let Some(p) = prefix_session.as_deref() {
-        dispatcher = dispatcher.with_prefix(p);
+    if let Some(toks) = prefix_tokens {
+        dispatcher.warm_prefix(toks);
     }
     if let Some(p) = policy {
         dispatcher = dispatcher.with_policy(p);
@@ -144,7 +142,8 @@ pub fn run_dispatch_open_loop(
     let dispatch = dispatcher.run_paced(requests, cost);
     let wall_secs = t0.elapsed().as_secs_f64();
     let latency =
-        LatencyReport::with_assignments(&originals, &dispatch.completions, &dispatch.assignments);
+        LatencyReport::with_assignments(&originals, &dispatch.completions, &dispatch.assignments)
+            .attach_prefix_stats(&dispatch.stats);
     DispatchRunReport {
         dispatch,
         latency,
@@ -227,6 +226,28 @@ pub struct LoadBenchRow {
     pub shed_requests: usize,
     /// Steps deferred by the per-tick verify capacity.
     pub deferred_steps: u64,
+    /// Prefix-cache admissions that forked a cached stem (0 when the
+    /// cache is off).
+    #[serde(default)]
+    pub prefix_hits: usize,
+    /// Prefix-cache admissions that ingested from scratch.
+    #[serde(default)]
+    pub prefix_misses: usize,
+    /// Cache hit rate (`hits / (hits + misses)`; `None` when the cache
+    /// never saw an admission — i.e. it was off).
+    #[serde(default)]
+    pub prefix_hit_rate: Option<f64>,
+    /// Prompt tokens whose ingestion the cache skipped (sum of matched
+    /// prefix depths over all hits).
+    #[serde(default)]
+    pub prefix_tokens_saved: usize,
+    /// Cached stems dropped by cap-charged LRU eviction.
+    #[serde(default)]
+    pub prefix_evictions: usize,
+    /// High-water resident trie nodes holding a session (fleet maximum
+    /// for dispatched rows).
+    #[serde(default)]
+    pub peak_resident_nodes: usize,
 }
 
 impl LoadBenchRow {
@@ -276,6 +297,12 @@ impl LoadBenchRow {
             acceptance_rate: run.latency.overall.acceptance.rate(),
             shed_requests: stats.shed_requests,
             deferred_steps: stats.deferred_steps,
+            prefix_hits: stats.prefix_hits,
+            prefix_misses: stats.prefix_misses,
+            prefix_hit_rate: prefix_hit_rate(stats),
+            prefix_tokens_saved: stats.prefix_tokens_saved,
+            prefix_evictions: stats.prefix_evictions,
+            peak_resident_nodes: stats.peak_resident_nodes,
         }
     }
 
@@ -333,6 +360,19 @@ impl LoadBenchRow {
             acceptance_rate: run.latency.overall.acceptance.rate(),
             shed_requests: stats.shed_requests,
             deferred_steps: stats.deferred_steps,
+            prefix_hits: stats.prefix_hits,
+            prefix_misses: stats.prefix_misses,
+            prefix_hit_rate: prefix_hit_rate(stats),
+            prefix_tokens_saved: stats.prefix_tokens_saved,
+            prefix_evictions: stats.prefix_evictions,
+            peak_resident_nodes: stats.peak_resident_nodes,
         }
     }
+}
+
+/// `hits / (hits + misses)`, or `None` when the cache saw no
+/// admissions (disabled, or the run had no fresh requests).
+fn prefix_hit_rate(stats: &verispec_serve::ServeStats) -> Option<f64> {
+    let total = stats.prefix_hits + stats.prefix_misses;
+    (total > 0).then(|| stats.prefix_hits as f64 / total as f64)
 }

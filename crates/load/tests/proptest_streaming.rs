@@ -265,6 +265,7 @@ proptest! {
             Just(RoutePolicy::RoundRobin),
             Just(RoutePolicy::JoinShortestQueue),
             Just(RoutePolicy::LeastLoaded),
+            Just(RoutePolicy::PrefixAffine),
         ],
         n_senders in 2usize..4,
         max_active in 1usize..4,
@@ -307,10 +308,18 @@ proptest! {
                 });
             }
             drop(tx);
-            Dispatcher::new(&model, cfg.clone(), DispatchConfig::new(workers, route.clone()))
-                .with_draft(&draft)
-                .with_prefix(&*prefix)
-                .run_streaming(rx, &cost)
+            // The fleet rides the radix-tree prefix cache (warmed with
+            // the shared stem) where the batch engine uses the legacy
+            // shared-prefix session — outputs must agree regardless.
+            let fleet_cfg = ServeConfig { prefix_cache: true, ..cfg.clone() };
+            let mut d = Dispatcher::new(
+                &model,
+                fleet_cfg,
+                DispatchConfig::new(workers, route.clone()),
+            )
+            .with_draft(&draft);
+            d.warm_prefix(&shared);
+            d.run_streaming(rx, &cost)
         });
 
         prop_assert_eq!(dispatched.completions.len(), requests.len());

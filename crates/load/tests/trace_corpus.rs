@@ -155,6 +155,32 @@ fn corpus() -> Vec<TraceCase> {
                 seed: 0xE71C_7C00,
             },
         },
+        // Zipf-distributed shared stems against the radix-tree prefix
+        // cache with paced ingestion and a tight session cap: hits,
+        // misses, split-on-divergence, and cap-charged LRU eviction all
+        // churn — and must never change an output or a tick stamp.
+        TraceCase {
+            name: "zipf_stems",
+            cfg: ServeConfig {
+                prefix_cache: true,
+                ingest_rate: Some(3),
+                session_cap: Some(5),
+                ..ServeConfig::concurrency(2)
+            },
+            with_prefix: false,
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.0 },
+                mix: RequestMix {
+                    families: vec![(
+                        PromptFamily::zipf_stems("zipf", 16, 3, 6, 3, 1.1, 8, 16, 0x57E3),
+                        1.0,
+                    )],
+                    ..corpus_mix(None)
+                },
+                count: 20,
+                seed: 0x21F5_7E35,
+            },
+        },
         // Deadline-carrying ramp under a per-tick verify capacity with
         // EDF scheduling: deferred steps and deadline outcomes are the
         // regression surface.
@@ -192,6 +218,13 @@ struct GoldenSummary {
     ticks: u64,
     session_evictions: usize,
     deadlines_met: usize,
+    /// Prefix-cache counters (all zero for cache-off cases).
+    #[serde(default)]
+    prefix_hits: usize,
+    #[serde(default)]
+    prefix_misses: usize,
+    #[serde(default)]
+    prefix_evictions: usize,
 }
 
 impl GoldenSummary {
@@ -208,6 +241,9 @@ impl GoldenSummary {
                 .iter()
                 .filter(|c| c.met_deadline() == Some(true))
                 .count(),
+            prefix_hits: report.stats.prefix_hits,
+            prefix_misses: report.stats.prefix_misses,
+            prefix_evictions: report.stats.prefix_evictions,
         }
     }
 }
@@ -318,6 +354,23 @@ fn corpus_traces_exercise_their_failure_modes() {
                     report.stats.session_evictions >= 3,
                     "churn trace stopped evicting ({})",
                     report.stats.session_evictions
+                );
+            }
+            "zipf_stems" => {
+                assert!(
+                    report.stats.prefix_hits >= 3,
+                    "zipf trace stopped hitting the cache ({})",
+                    report.stats.prefix_hits
+                );
+                assert!(
+                    report.stats.prefix_misses >= 3,
+                    "zipf trace stopped missing ({})",
+                    report.stats.prefix_misses
+                );
+                assert!(
+                    report.stats.prefix_evictions >= 3,
+                    "zipf trace stopped evicting cached stems ({})",
+                    report.stats.prefix_evictions
                 );
             }
             "edf_pressure" => {

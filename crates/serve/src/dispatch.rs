@@ -11,10 +11,11 @@
 //!   (open-loop,         │   ▲               worker 1: ServeEngine
 //!    deadlines)         │   │ probes        …        (own session
 //!                       │   │                         pool, queue,
-//!     RoutePolicy ──────┘   ├ ready_depth()           clock, tick
-//!     rr / jsq /            └ outstanding_cost()      loop)
-//!     least-loaded /
-//!     pinned                lockstep drive: each round, every worker
+//!     RoutePolicy ──────┘   ├ ready_depth()           prefix cache,
+//!     rr / jsq /            ├ outstanding_cost()      clock, tick
+//!     least-loaded /        └ prefix_match_depth()    loop)
+//!     pinned /
+//!     prefix-affine         lockstep drive: each round, every worker
 //!                           with work runs one tick (idle workers
 //!                           fast-forward their own clocks)
 //!                                    │
@@ -22,6 +23,19 @@
 //!              DispatchReport{completions, shed, merged stats,
 //!                             per-worker stats, assignments}
 //! ```
+//!
+//! # Cache-aware routing
+//!
+//! With per-worker prefix caches enabled
+//! ([`ServeConfig::prefix_cache`]), worker choice affects *where* each
+//! prompt's stem ends up resident. [`RoutePolicy::PrefixAffine`]
+//! exploits that: it probes each worker's trie for the deepest cached
+//! prefix of the incoming prompt and routes to the warmest worker, so
+//! a Zipf-shared-stem workload partitions its stems across the fleet
+//! instead of smearing every stem over every worker (what round-robin
+//! does, churning each cache with everyone's stems). Routing stays a
+//! performance mechanism: tokens are bit-identical under every policy,
+//! only hit rates and ingestion work move.
 //!
 //! # Determinism
 //!
@@ -53,7 +67,7 @@ use crate::engine::{ServeConfig, ServeEngine, ServeReport, ServeStats, ShedReque
 use crate::request::{Completion, Request};
 use serde::{Deserialize, Serialize};
 use verispec_core::SpecPolicy;
-use verispec_lm::{DecodeSession, GpuCostModel, LanguageModel, MlpLm};
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm};
 
 /// How the dispatcher picks a worker for each arrival.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +90,18 @@ pub enum RoutePolicy {
     /// with the assignment pinned, shedding, deadlines, and every tick
     /// stamp reproduce exactly.
     Pinned(Vec<(u64, usize)>),
+    /// Cache-aware routing: probe every worker's prefix cache for the
+    /// deepest cached prefix of the request's prompt
+    /// ([`ServeEngine::prefix_match_depth`]) and route to the worker
+    /// already holding the longest stem, so stem-sharing requests pile
+    /// onto the worker whose trie is already warm instead of
+    /// re-ingesting the stem fleet-wide. Ties (including the all-cold
+    /// case, depth 0 everywhere) break by least outstanding cost, then
+    /// lowest worker index — so on a cache-less fleet this degrades to
+    /// [`RoutePolicy::LeastLoaded`]. Requires
+    /// [`crate::engine::ServeConfig::prefix_cache`] on the workers to
+    /// see nonzero depths.
+    PrefixAffine,
 }
 
 impl RoutePolicy {
@@ -86,6 +112,7 @@ impl RoutePolicy {
             RoutePolicy::JoinShortestQueue => "jsq",
             RoutePolicy::LeastLoaded => "least-loaded",
             RoutePolicy::Pinned(_) => "pinned",
+            RoutePolicy::PrefixAffine => "prefix-affine",
         }
     }
 }
@@ -181,16 +208,18 @@ impl<'m> Dispatcher<'m> {
         self
     }
 
-    /// Attaches the shared prompt-prefix session to every worker (see
-    /// [`ServeEngine::with_prefix`]); the session stays caller-owned
-    /// and workers only fork from it.
-    pub fn with_prefix(mut self, prefix: &'m dyn DecodeSession) -> Self {
-        self.workers = self
-            .workers
-            .into_iter()
-            .map(|w| w.with_prefix(prefix))
-            .collect();
-        self
+    /// Seeds every worker's prefix cache with a warm stem (see
+    /// [`ServeEngine::warm_prefix`]) — the fleet-wide replacement for
+    /// the old per-worker shared-prefix session plumbing: the trie
+    /// subsumes it, and unlike the bespoke path the warmed stem is
+    /// cap-charged and LRU-evictable like any organically cached
+    /// prefix. Returns how many workers accepted the stem (0 when
+    /// [`ServeConfig::prefix_cache`] is off).
+    pub fn warm_prefix(&mut self, tokens: &[verispec_lm::TokenId]) -> usize {
+        self.workers
+            .iter_mut()
+            .map(|w| usize::from(w.warm_prefix(tokens)))
+            .sum()
     }
 
     /// Replaces every worker's speculation policy (see
@@ -232,6 +261,19 @@ impl<'m> Dispatcher<'m> {
                     req.id
                 );
                 w
+            }
+            RoutePolicy::PrefixAffine => {
+                // Argmax match depth; tie-break min outstanding cost,
+                // then lowest index (first strict improvement wins).
+                let mut best = (0usize, usize::MAX, 0usize);
+                for (i, w) in self.workers.iter().enumerate() {
+                    let depth = w.prefix_match_depth(&req.prompt);
+                    let cost = w.outstanding_cost();
+                    if depth > best.0 || (depth == best.0 && cost < best.1) {
+                        best = (depth, cost, i);
+                    }
+                }
+                best.2
             }
         }
     }
@@ -436,12 +478,14 @@ pub fn dispatch_all(
 
 /// The open-loop sibling of [`dispatch_all`]: routes and serves
 /// requests as they arrive on `arrivals` (see
-/// [`Dispatcher::run_streaming`]).
-#[allow(clippy::too_many_arguments)] // driver glue mirroring serve_streaming
-pub fn dispatch_streaming<'m>(
-    model: &'m MlpLm,
-    draft: Option<&'m dyn LanguageModel>,
-    prefix: Option<&'m dyn DecodeSession>,
+/// [`Dispatcher::run_streaming`]). Shared prompt stems no longer need
+/// a dedicated parameter here — enable
+/// [`ServeConfig::prefix_cache`] and (optionally) pre-warm stems via
+/// [`Dispatcher::warm_prefix`]; the trie subsumes the old
+/// shared-prefix-session plumbing.
+pub fn dispatch_streaming(
+    model: &MlpLm,
+    draft: Option<&dyn LanguageModel>,
     arrivals: std::sync::mpsc::Receiver<Request>,
     cfg: &ServeConfig,
     dcfg: &DispatchConfig,
@@ -450,9 +494,6 @@ pub fn dispatch_streaming<'m>(
     let mut d = Dispatcher::new(model, cfg.clone(), dcfg.clone());
     if let Some(dr) = draft {
         d = d.with_draft(dr);
-    }
-    if let Some(p) = prefix {
-        d = d.with_prefix(p);
     }
     d.run_streaming(arrivals, cost)
 }
@@ -613,6 +654,46 @@ mod tests {
         }
         assert_eq!(merged, report.stats);
         assert_eq!(report.total_tokens(), report.stats.served_tokens);
+    }
+
+    #[test]
+    fn prefix_affine_follows_the_warm_stem() {
+        let m = model();
+        let cfg = ServeConfig {
+            prefix_cache: true,
+            ..ServeConfig::concurrency(2)
+        };
+        let mut d = Dispatcher::new(&m, cfg, DispatchConfig::new(3, RoutePolicy::PrefixAffine));
+        // Warm one stem on every worker, then serve a request through
+        // worker-targeted submission so only that worker's trie grows.
+        let stem: Vec<TokenId> = vec![1, 2, 3];
+        assert_eq!(d.warm_prefix(&stem), 3);
+        let stem_req = |id: u64, prompt: Vec<TokenId>| {
+            Request::new(
+                id,
+                prompt,
+                EngineChoice::Ntp,
+                DecodeConfig {
+                    max_tokens: 4,
+                    seed: id,
+                    ..Default::default()
+                },
+            )
+        };
+        // All workers tie at depth 3 → least-loaded tie-break → worker
+        // 0 gets the first stem-sharing request; once admitted (one
+        // tick), its full prompt is cached there, so a deeper extension
+        // of the same stem follows it to worker 0 even though worker 0
+        // is now the busiest.
+        let cost = GpuCostModel::codellama_like();
+        d.submit(stem_req(0, vec![1, 2, 3, 4, 5]));
+        d.tick(&cost);
+        d.submit(stem_req(1, vec![1, 2, 3, 4, 5, 6]));
+        assert_eq!(d.assignments, vec![(0, 0), (1, 0)]);
+        // An unrelated prompt sees depth 0 everywhere and falls back to
+        // the least-loaded worker instead of piling on worker 0.
+        d.submit(stem_req(2, vec![9, 9, 9]));
+        assert_eq!(d.assignments[2], (2, 1));
     }
 
     #[test]

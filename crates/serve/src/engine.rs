@@ -29,6 +29,7 @@
 //! request's token stream equals the serial single-session engine's —
 //! the property `tests/proptest_serve.rs` pins.
 
+use crate::prefix::PrefixCache;
 use crate::request::{Completion, EngineChoice, Request};
 use crate::scheduler::{ActiveView, Scheduler, TickOrder};
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,28 @@ pub struct ServeConfig {
     /// batch and streaming runs shed identically. `None` disables
     /// shedding.
     pub shed_depth: Option<usize>,
+    /// Enables the radix-tree prefix cache ([`crate::PrefixCache`]):
+    /// admission walks the trie to the deepest cached prefix of the
+    /// prompt, forks a copy-on-write session from it, and appends only
+    /// the unmatched suffix; misses insert the prompt (splitting edges
+    /// on divergence) so later requests sharing a stem hit. Cache
+    /// residency is charged against [`ServeConfig::session_cap`]
+    /// alongside live sessions, and eviction is exact-replay (LRU
+    /// leaves are dropped; a later miss rebuilds from the full prompt,
+    /// outputs bit-identical). Requires a model with
+    /// [`LanguageModel::snapshot_session`]; inert otherwise.
+    #[serde(default)]
+    pub prefix_cache: bool,
+    /// Prompt-ingestion cost model: tokens ingested per tick at
+    /// admission. A freshly admitted request *warms up* for
+    /// `ceil(suffix / rate) - 1` ticks — where `suffix` is the part of
+    /// its prompt **not** covered by a pre-ingested session (prefix
+    /// fork or cache hit) — before it becomes schedulable, so prefix
+    /// reuse shows up as tick-space TTFT savings. `None` (the default)
+    /// keeps ingestion free, the pre-cache behavior. Token streams are
+    /// unaffected either way — warmup only shifts scheduling.
+    #[serde(default)]
+    pub ingest_rate: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +122,8 @@ impl Default for ServeConfig {
             session_cap: None,
             tick_capacity: None,
             shed_depth: None,
+            prefix_cache: false,
+            ingest_rate: None,
         }
     }
 }
@@ -160,6 +185,31 @@ pub struct ServeStats {
     /// speculation shape did not fit the remaining per-tick verify
     /// capacity ([`ServeConfig::tick_capacity`]).
     pub deferred_steps: u64,
+    /// Fresh admissions whose prompt hit the prefix cache (a cached
+    /// stem was forked instead of re-ingesting it).
+    #[serde(default)]
+    pub prefix_hits: usize,
+    /// Fresh admissions that missed the prefix cache (full-prompt
+    /// ingestion; the prompt was inserted for later requests). Only
+    /// counted while the cache is enabled.
+    #[serde(default)]
+    pub prefix_misses: usize,
+    /// Prompt tokens whose ingestion prefix-cache hits skipped (the sum
+    /// of hit depths — the O(prompt) → O(suffix) savings).
+    #[serde(default)]
+    pub prefix_tokens_saved: usize,
+    /// Cache snapshots dropped by the session cap's LRU-leaf eviction
+    /// ([`ServeConfig::session_cap`]); later misses rebuild exactly.
+    #[serde(default)]
+    pub prefix_evictions: usize,
+    /// High-water mark of snapshot-holding trie nodes.
+    #[serde(default)]
+    pub peak_resident_nodes: usize,
+    /// Histogram of prefix-cache hit depths, log₂-bucketed: bucket `i`
+    /// counts hits whose matched depth `d` satisfies
+    /// `2^i <= d < 2^(i+1)` (the last bucket absorbs deeper hits).
+    #[serde(default)]
+    pub prefix_depth_hist: [u64; 8],
 }
 
 impl ServeStats {
@@ -167,9 +217,9 @@ impl ServeStats {
     /// merge used by [`serve_all_threaded`] and the streaming
     /// dispatcher ([`crate::dispatch`]). Additive counters sum;
     /// schedule-length and high-water counters (`ticks`, `peak_active`,
-    /// `peak_resident_sessions`, `idle_ticks_skipped`) take the
-    /// per-worker maximum, because workers run independent clocks and
-    /// pools.
+    /// `peak_resident_sessions`, `peak_resident_nodes`,
+    /// `idle_ticks_skipped`) take the per-worker maximum, because
+    /// workers run independent clocks, pools, and caches.
     pub fn merge(&mut self, other: &ServeStats) {
         self.ticks = self.ticks.max(other.ticks);
         self.peak_active = self.peak_active.max(other.peak_active);
@@ -188,6 +238,18 @@ impl ServeStats {
         self.accepted_tokens += other.accepted_tokens;
         self.shed_requests += other.shed_requests;
         self.deferred_steps += other.deferred_steps;
+        self.prefix_hits += other.prefix_hits;
+        self.prefix_misses += other.prefix_misses;
+        self.prefix_tokens_saved += other.prefix_tokens_saved;
+        self.prefix_evictions += other.prefix_evictions;
+        self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
+        for (mine, theirs) in self
+            .prefix_depth_hist
+            .iter_mut()
+            .zip(&other.prefix_depth_hist)
+        {
+            *mine += theirs;
+        }
     }
 }
 
@@ -248,6 +310,11 @@ struct Active<'m> {
     step_ticks: Vec<u64>,
     /// Engine-relative wall seconds of the first committed token.
     first_commit_secs: Option<f64>,
+    /// First tick at which the request may be scheduled: admission tick
+    /// plus prompt-ingestion warmup ([`ServeConfig::ingest_rate`]; equal
+    /// to the admission tick when ingestion is free or fully covered by
+    /// a prefix fork / cache hit).
+    warm_until: u64,
 }
 
 /// One queued (not yet active) request.
@@ -275,6 +342,9 @@ pub struct ServeEngine<'m> {
     /// Shared, already-ingested prompt-prefix session: submissions whose
     /// prompt starts with its context are admitted from a fork of it.
     prefix: Option<&'m dyn DecodeSession>,
+    /// The radix-tree prefix cache ([`ServeConfig::prefix_cache`]);
+    /// `None` when disabled or the model cannot snapshot sessions.
+    cache: Option<PrefixCache<'m>>,
     cfg: ServeConfig,
     /// The speculation policy every stepper (and the per-tick budget
     /// pass) consults; [`verispec_core::StaticPolicy`] by default.
@@ -310,11 +380,14 @@ impl<'m> ServeEngine<'m> {
 
     fn build(target: &'m dyn LanguageModel, fused: Option<&'m MlpLm>, cfg: ServeConfig) -> Self {
         let scheduler = Scheduler::new(cfg.order, cfg.max_active, cfg.max_batch);
+        let cache =
+            (cfg.prefix_cache && target.snapshot_session().is_some()).then(PrefixCache::new);
         ServeEngine {
             target,
             fused,
             draft: None,
             prefix: None,
+            cache,
             cfg,
             policy: &STATIC_POLICY,
             scheduler,
@@ -357,6 +430,43 @@ impl<'m> ServeEngine<'m> {
     pub fn with_prefix(mut self, prefix: &'m dyn DecodeSession) -> Self {
         self.prefix = Some(prefix);
         self
+    }
+
+    /// Seeds the prefix cache with a warm stem: `tokens` is ingested
+    /// once and inserted into the trie, so every later prompt starting
+    /// with it admits from a fork instead of re-ingesting the stem.
+    /// This generalizes the hardcoded shared-preamble path — any stem,
+    /// not just one — and is subject to the same cap-charged LRU
+    /// eviction as organically cached prefixes. Returns `false` when
+    /// the cache is disabled ([`ServeConfig::prefix_cache`]) or the
+    /// model cannot snapshot sessions.
+    pub fn warm_prefix(&mut self, tokens: &[verispec_lm::TokenId]) -> bool {
+        if tokens.is_empty() || self.cache.is_none() {
+            return false;
+        }
+        let target = self.target;
+        let Some(mut work) = target.snapshot_session() else {
+            return false;
+        };
+        work.append(tokens);
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.insert(tokens, &mut |depth| {
+            let mut snap = work.fork_snapshot();
+            snap.truncate(depth);
+            snap
+        });
+        self.note_resident();
+        self.enforce_session_cap();
+        true
+    }
+
+    /// Deepest cached-prefix length for `prompt` in this engine's
+    /// prefix cache (0 when disabled) — the read-only probe the
+    /// cache-aware routing policy
+    /// ([`crate::dispatch::RoutePolicy::PrefixAffine`]) compares across
+    /// workers.
+    pub fn prefix_match_depth(&self, prompt: &[verispec_lm::TokenId]) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.match_depth(prompt))
     }
 
     fn now_secs(&self) -> f64 {
@@ -532,9 +642,10 @@ impl<'m> ServeEngine<'m> {
         }
     }
 
-    /// Resident sessions right now: active steppers plus queued
-    /// pre-ingested prefix forks (parked steppers hold none — parking
-    /// drops their sessions). O(1) via the running fork count.
+    /// Resident sessions right now: active steppers, queued
+    /// pre-ingested prefix forks, and prefix-cache snapshots (parked
+    /// steppers hold none — parking drops their sessions). O(1) via the
+    /// running fork count and the cache's resident counter.
     fn resident_sessions(&self) -> usize {
         debug_assert_eq!(
             self.queued_forks,
@@ -552,7 +663,7 @@ impl<'m> ServeEngine<'m> {
                 .count(),
             "queued-fork counter out of sync with the queue"
         );
-        self.active.len() + self.queued_forks
+        self.active.len() + self.queued_forks + self.cache.as_ref().map_or(0, PrefixCache::resident)
     }
 
     fn note_resident(&mut self) {
@@ -560,13 +671,18 @@ impl<'m> ServeEngine<'m> {
             .stats
             .peak_resident_sessions
             .max(self.resident_sessions());
+        if let Some(cache) = &self.cache {
+            self.stats.peak_resident_nodes = self.stats.peak_resident_nodes.max(cache.resident());
+        }
     }
 
-    /// Enforces [`ServeConfig::session_cap`]: while over budget, idle
+    /// Enforces [`ServeConfig::session_cap`]: while over budget,
+    /// prefix-cache snapshots are evicted first (LRU leaves — they are
+    /// speculative future value, rebuilt on a later miss), then idle
     /// prefix forks are dropped least-recently-submitted first (queue
-    /// order). Dropping is the exact-replay eviction path — the request
+    /// order). Both paths are exact-replay eviction — the request
     /// is admitted later from a fresh session replaying its full
-    /// prompt, which reconstructs the fork's state exactly (sessions
+    /// prompt, which reconstructs the dropped state exactly (sessions
     /// are pure functions of their token context), so outputs are
     /// untouched. Active sessions are never evicted here; the cap
     /// squeezes the idle pool that unbounded streaming arrivals grow.
@@ -575,6 +691,16 @@ impl<'m> ServeEngine<'m> {
             return;
         };
         let mut over = self.resident_sessions().saturating_sub(cap.max(1));
+        while over > 0 {
+            let Some(cache) = self.cache.as_mut() else {
+                break;
+            };
+            if !cache.evict_lru() {
+                break;
+            }
+            self.stats.prefix_evictions += 1;
+            over -= 1;
+        }
         if over == 0 {
             return;
         }
@@ -644,6 +770,56 @@ impl<'m> ServeEngine<'m> {
         .with_policy(self.policy)
     }
 
+    /// Admission through the prefix cache: walk to the deepest cached
+    /// prefix, fork its snapshot, append only the unmatched suffix, and
+    /// insert the prompt back into the trie (snapshotting the
+    /// divergence point and the full prompt) so later stem-sharing
+    /// requests hit. Returns the fully-ingested session plus the number
+    /// of prompt tokens the cache already held — the ingestion the hit
+    /// saved. `(None, 0)` when the cache is disabled.
+    fn cache_admit(&mut self, req: &Request) -> (Option<Box<dyn DecodeSession + 'm>>, usize) {
+        if self.cache.is_none() {
+            return (None, 0);
+        }
+        let target = self.target;
+        let cache = self.cache.as_mut().expect("checked above");
+        let (mut work, matched) = match cache.lookup(&req.prompt) {
+            Some((fork, depth)) => {
+                self.stats.prefix_hits += 1;
+                self.stats.prefix_tokens_saved += depth;
+                let bucket = (depth.ilog2() as usize).min(7);
+                self.stats.prefix_depth_hist[bucket] += 1;
+                (fork, depth)
+            }
+            None => {
+                self.stats.prefix_misses += 1;
+                let Some(fresh) = target.snapshot_session() else {
+                    return (None, 0);
+                };
+                (fresh, 0)
+            }
+        };
+        work.append(&req.prompt[matched..]);
+        cache.insert(&req.prompt, &mut |depth| {
+            let mut snap = work.fork_snapshot();
+            snap.truncate(depth);
+            snap
+        });
+        let work: Box<dyn DecodeSession + 'm> = work;
+        (Some(work), matched)
+    }
+
+    /// Warmup ticks a fresh admission owes for ingesting `suffix`
+    /// prompt tokens at [`ServeConfig::ingest_rate`] (0 when ingestion
+    /// is free — the default — or the suffix fits one tick).
+    fn warmup_ticks(&self, suffix: usize) -> u64 {
+        self.cfg.ingest_rate.map_or(0, |rate| {
+            (suffix as u64)
+                .div_ceil(rate.max(1) as u64)
+                .saturating_sub(1)
+        })
+    }
+
     fn admit(&mut self, entry: QueueEntry<'m>) {
         match entry {
             QueueEntry::Fresh {
@@ -651,6 +827,14 @@ impl<'m> ServeEngine<'m> {
                 session,
                 seen_secs,
             } => {
+                let (session, ingested) = match session {
+                    Some(s) => {
+                        let n = s.tokens().len();
+                        (Some(s), n)
+                    }
+                    None => self.cache_admit(&req),
+                };
+                let warm_until = self.tick + self.warmup_ticks(req.prompt.len() - ingested);
                 let stepper = self.make_stepper(&req, session);
                 self.active.push(Active {
                     id: req.id,
@@ -665,7 +849,10 @@ impl<'m> ServeEngine<'m> {
                     seen_secs,
                     step_ticks: Vec::new(),
                     first_commit_secs: None,
+                    warm_until,
                 });
+                self.note_resident();
+                self.enforce_session_cap();
             }
             QueueEntry::Parked(mut a) => {
                 a.stepper.unpark();
@@ -717,7 +904,7 @@ impl<'m> ServeEngine<'m> {
             .active
             .iter()
             .enumerate()
-            .filter(|(_, a)| a.preemptions == 0)
+            .filter(|(_, a)| a.preemptions == 0 && a.warm_until <= self.tick)
             .max_by_key(|(_, a)| (a.stepper.generated(), a.id))
             .map(|(i, _)| i);
         let Some(v) = victim else {
@@ -906,6 +1093,16 @@ impl<'m> ServeEngine<'m> {
         self.shed_ready_overflow();
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
 
+        // Requests still ingesting their prompt (paced by
+        // `ingest_rate`) occupy a slot but cannot decode yet; bumping
+        // `last_step` keeps the scheduler's aging/starvation machinery
+        // from counting warmup ticks as scheduler-inflicted gaps.
+        for a in &mut self.active {
+            if a.warm_until > self.tick {
+                a.last_step = self.tick;
+            }
+        }
+
         let views: Vec<ActiveView> = self
             .active
             .iter()
@@ -917,7 +1114,11 @@ impl<'m> ServeEngine<'m> {
                 deadline: a.deadline,
             })
             .collect();
-        let selected = self.scheduler.select(&views, self.tick, self.cfg.max_batch);
+        let mut selected = self.scheduler.select(&views, self.tick, self.cfg.max_batch);
+        // Filter *after* selection (indices align with `self.active`;
+        // filtering `views` would misalign them): warming requests give
+        // their batch slot to decodable neighbors.
+        selected.retain(|&i| self.active[i].warm_until <= self.tick);
         let stepped = self.divide_tick_capacity(selected);
         for &i in &stepped {
             let a = &mut self.active[i];

@@ -14,7 +14,9 @@
 //! ```text
 //!   mpsc arrivals ─► Dispatcher ── RoutePolicy (rr / jsq by
 //!   (open-loop,      (optional     ready_depth / least-loaded by
-//!    deadlines)       fleet)       outstanding_cost / pinned replay)
+//!    deadlines)       fleet)       outstanding_cost / prefix-affine
+//!                        │         by prefix_match_depth probes /
+//!                        │         pinned replay)
 //!                        │ one shard per worker, lockstep ticks
 //!                        ▼
 //!   submit(Request) ──────────┐      ServeEngine (× N workers)   model
@@ -23,7 +25,15 @@
 //!    per tick,                   forks ≤    preempt,    per request
 //!    deadlines)                  session_   LRU evict   (policy +
 //!                                cap, shed  = replay)    history)
-//!                                overflow)
+//!                                overflow)      │
+//!                                PrefixCache ◄──┘ lookup/insert per
+//!                                (radix trie of   admission: fork the
+//!                                 frozen session  deepest cached stem,
+//!                                 snapshots, CoW  ingest only the
+//!                                 forks, LRU      unmatched suffix,
+//!                                 leaf eviction   snapshot new nodes
+//!                                 charged to      (hits skip warmup
+//!                                 session_cap)    under ingest_rate)
 //!                              ┌────────────────────────────┐
 //!                       tick:  │ Scheduler.select ≤ batch   │
 //!                              │  (RR/shortest/seeded/EDF   │
@@ -86,6 +96,20 @@
 //!   queued arrivals cannot grow the session pool unboundedly; and
 //!   per-request commit ticks plus wall timestamps land in
 //!   [`Completion`] for the latency telemetry in `verispec-load`.
+//! * **[`PrefixCache`]** (`prefix`) — the fleet-wide prefix cache:
+//!   a copy-on-write radix trie over token prefixes whose nodes own
+//!   frozen [`verispec_lm::SnapshotSession`] snapshots. When
+//!   [`ServeConfig::prefix_cache`] is on, admission walks the trie to
+//!   the deepest cached match, forks that snapshot, and ingests only
+//!   the unmatched suffix — O(prompt) prefill becomes O(suffix) on a
+//!   hit, which [`ServeConfig::ingest_rate`] makes visible in tick
+//!   space (hits skip warmup ticks). Misses insert new snapshots
+//!   (split-on-divergence); residency is charged against
+//!   [`ServeConfig::session_cap`] and evicted LRU-leaf-first through
+//!   the same exact-replay path as queued forks, so a later miss
+//!   rebuilds bit-identically. [`ServeEngine::warm_prefix`] seeds a
+//!   stem; [`ServeEngine::prefix_match_depth`] is the read-only probe
+//!   the dispatcher routes by.
 //! * **[`serve_all`] / [`serve_streaming`] / [`serve_all_threaded`]** —
 //!   drivers: closed-loop batch, open-loop channel-fed, and the
 //!   `std::thread::scope` worker pool sharding requests across engines
@@ -95,8 +119,12 @@
 //!   engines ([`RoutePolicy`]: round-robin, join-shortest-queue by
 //!   [`ServeEngine::ready_depth`], join-least-loaded by
 //!   [`ServeEngine::outstanding_cost`] — the speculation policy's
-//!   price of each worker's in-flight work — or a pinned replay of a
-//!   recorded assignment). Each worker owns its session pool and tick
+//!   price of each worker's in-flight work — cache-aware
+//!   prefix-affine, which probes every worker's prefix cache with
+//!   [`ServeEngine::prefix_match_depth`] and routes to the deepest
+//!   match so repeat stems land where their snapshots live, or a
+//!   pinned replay of a recorded assignment). Each worker owns its
+//!   session pool and tick
 //!   loop and serves its shard exactly as a standalone engine, so
 //!   dispatch adds routing without touching serving semantics;
 //!   [`DispatchReport`] carries merged plus per-worker
@@ -155,6 +183,7 @@
 
 pub mod dispatch;
 pub mod engine;
+pub mod prefix;
 pub mod request;
 pub mod scheduler;
 
@@ -165,6 +194,7 @@ pub use engine::{
     serve_all, serve_all_threaded, serve_streaming, ServeConfig, ServeEngine, ServeReport,
     ServeStats, ShedRequest,
 };
+pub use prefix::PrefixCache;
 pub use request::{Completion, EngineChoice, Request};
 pub use scheduler::{ActiveView, Scheduler, TickOrder};
 

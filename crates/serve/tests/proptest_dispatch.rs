@@ -290,7 +290,7 @@ proptest! {
 
         let dcfg = DispatchConfig::new(1, route);
         let dispatched =
-            verispec_serve::dispatch_streaming(&model, Some(&draft), None, rx, &cfg, &dcfg, &cost);
+            verispec_serve::dispatch_streaming(&model, Some(&draft), rx, &cfg, &dcfg, &cost);
 
         prop_assert_eq!(single.completions.len(), dispatched.completions.len());
         for (a, b) in single.completions.iter().zip(&dispatched.completions) {

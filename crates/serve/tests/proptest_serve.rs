@@ -181,4 +181,84 @@ proptest! {
             );
         }
     }
+
+    /// Prefix-cached admission == uncached serial, token for token:
+    /// random prompt sets with forced shared stems (Zipf-ish: most
+    /// prompts extend one of two stems), tight session caps driving
+    /// LRU eviction churn, paced ingestion, and the full engine /
+    /// sampling / tick-order space. The cache must change scheduling
+    /// only — never a single token, step count, or trace entry.
+    #[test]
+    fn cached_admission_is_bit_identical_to_uncached(
+        model in any_mlp(),
+        draft_seq in prop::collection::vec(4u32..10, 12..60),
+        raw in any_requests(),
+        max_active in 1usize..5,
+        max_batch in 1usize..4,
+        order in any_order(),
+        session_cap in prop_oneof![Just(None), (1usize..6).prop_map(Some)],
+        ingest_rate in prop_oneof![Just(None), (1usize..4).prop_map(Some)],
+        fuse in any::<bool>(),
+    ) {
+        let mut draft = NgramLm::new(2, model.vocab_size());
+        draft.train_sequence(&draft_seq);
+        let cost = GpuCostModel::codellama_like();
+
+        // Two forced stems: the `share` bit picks which one each
+        // request extends, so stems repeat across the set and the trie
+        // sees hits, splits, and (under the tight caps) evictions.
+        let stems: [Vec<TokenId>; 2] = [vec![5, 6, 7, 8], vec![5, 6, 9]];
+        let requests: Vec<Request> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((engine, suffix, max_tokens), (sampling, seed, arrival, share)))| {
+                let mut prompt = stems[usize::from(share)].clone();
+                prompt.extend_from_slice(&suffix);
+                let cfg = DecodeConfig { max_tokens, sampling, seed, ..Default::default() };
+                Request { arrival, ..Request::new(i as u64, prompt, engine, cfg) }
+            })
+            .collect();
+
+        let serve_cfg = ServeConfig {
+            max_active,
+            max_batch,
+            order,
+            fuse,
+            session_cap,
+            prefix_cache: true,
+            ingest_rate,
+            ..Default::default()
+        };
+        let mut engine = ServeEngine::new(&model, serve_cfg).with_draft(&draft);
+        for req in &requests {
+            engine.submit(req.clone());
+        }
+        let report = engine.run(&cost);
+
+        prop_assert_eq!(report.completions.len(), requests.len());
+        // Every admission went through the cache, and under a session
+        // cap the trie never outgrew its residency charge.
+        prop_assert_eq!(
+            report.stats.prefix_hits + report.stats.prefix_misses,
+            requests.len(),
+            "every fresh admission is a cache lookup"
+        );
+        if let Some(cap) = session_cap {
+            prop_assert!(
+                report.stats.peak_resident_nodes <= cap.max(1) + requests.len(),
+                "cache residency {} blew past cap {}",
+                report.stats.peak_resident_nodes, cap
+            );
+        }
+        for (c, req) in report.completions.iter().zip(&requests) {
+            let want = serial_reference(&model, &draft, req, &cost);
+            prop_assert_eq!(c.id, req.id);
+            prop_assert_eq!(
+                &c.output.tokens, &want.tokens,
+                "request {} tokens diverged from uncached serial", req.id
+            );
+            prop_assert_eq!(c.output.steps, want.steps, "request {} steps", req.id);
+            prop_assert_eq!(&c.output.trace, &want.trace, "request {} trace", req.id);
+        }
+    }
 }
