@@ -129,6 +129,11 @@ pub struct Stepper<'m> {
     /// The generation's own per-step acceptance history — the pure
     /// input adaptive policies decide from.
     history: AcceptHistory,
+    /// The shape the most recent propose actually ran (policy-decided
+    /// or pinned) — the per-step observability hook serving engines
+    /// read when emitting trace events. `None` before the first
+    /// propose, and always `None` for NTP steppers.
+    last_shape: Option<SpecShape>,
 }
 
 impl<'m> Stepper<'m> {
@@ -186,6 +191,7 @@ impl<'m> Stepper<'m> {
             pinned: None,
             base,
             history: AcceptHistory::default(),
+            last_shape: None,
         }
     }
 
@@ -328,6 +334,14 @@ impl<'m> Stepper<'m> {
         self.base.clone()
     }
 
+    /// The shape the most recent [`Stepper::propose`] actually ran
+    /// (pinned or policy-decided), for observability: serving engines
+    /// attach it to per-step trace events. `None` before the first
+    /// propose and for NTP steppers.
+    pub fn last_shape(&self) -> Option<&SpecShape> {
+        self.last_shape.as_ref()
+    }
+
     /// Pins the shape of the **next** [`Stepper::propose`] (a serving
     /// engine pins the shape it budgeted for, so cost accounting and
     /// the built candidate paths agree). Without a pinned shape,
@@ -428,6 +442,7 @@ impl<'m> Stepper<'m> {
                 // (the static default reproduces the configured shape
                 // exactly).
                 let shape = self.next_shape();
+                self.last_shape = Some(shape.clone());
                 let session = self
                     .target
                     .as_mut()
@@ -468,6 +483,7 @@ impl<'m> Stepper<'m> {
                     SpecShape::Draft { gamma } => gamma.max(1),
                     _ => cfg.gamma,
                 };
+                self.last_shape = Some(SpecShape::Draft { gamma });
                 let draft = self
                     .draft
                     .as_mut()

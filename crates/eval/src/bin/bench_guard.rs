@@ -240,6 +240,26 @@ fn check_load(g: &mut Guard, doc: &Value) {
                 .violations
                 .push(format!("{ctx}: field `worker_requests` missing")),
         }
+
+        // Event-stream cross-check: the per-request `Finished` events
+        // the row was derived from must respect `accepted <= proposed`
+        // (lifetime acceptance-history sums), both request by request
+        // (violations counter) and in aggregate.
+        let ev_proposed = number(g, row, &ctx, "event_proposed_tokens");
+        let ev_accepted = number(g, row, &ctx, "event_accepted_tokens");
+        let ev_violations = number(g, row, &ctx, "event_accept_violations");
+        g.check(ev_violations == 0.0, || {
+            format!(
+                "{ctx}: {ev_violations} request(s) violated accepted <= proposed \
+                 in the event stream"
+            )
+        });
+        g.check(ev_accepted <= ev_proposed, || {
+            format!(
+                "{ctx}: event-stream accepted tokens ({ev_accepted}) exceed \
+                 proposed ({ev_proposed})"
+            )
+        });
     }
     for want in ["Ours-tree", "Medusa-tree", "NTP"] {
         g.check(methods.iter().any(|m| m == want), || {

@@ -58,7 +58,17 @@
 //!   (dispatcher-aware SLO),  ─────► at equal offered load + the policy
 //!   PrefixCacheSummary              A/B static/adaptive/budgeted + the
 //!   (hits/saved/depth hist)         dispatch sweep workers × route +
-//!                                   the Zipf-stem cache sweep)
+//!                                   the Zipf-stem cache sweep +
+//!                                   event-derived acceptance columns)
+//!
+//!   verispec-trace ◄── every run: the drivers attach an EventLog, so
+//!   tick-stamped TraceEvents       LoadRunReport/DispatchRunReport
+//!   (submit/route/admit/step/      carry `events` next to the latency
+//!    defer/evict/shed/finish/      telemetry → MetricsRegistry, Chrome
+//!    batch/budget)                 trace export (`trace_view` bin),
+//!                                  flame report, and the golden
+//!                                  event-log CI replay
+//!                                  (tests/traces/*.events.json)
 //! ```
 //!
 //! * [`ArrivalProcess`] — seeded Poisson, bursty on/off, and ramp
@@ -82,7 +92,22 @@
 //!   breakdown (each worker's [`SloSummary`] counts the deadlines *it*
 //!   dropped, so bad routing shows up where it happened).
 //! * [`LoadBenchRow`] — one cell of the serve-aware Table II
-//!   (single-engine, policy-A/B, and dispatch-sweep rows alike).
+//!   (single-engine, policy-A/B, and dispatch-sweep rows alike),
+//!   including event-derived acceptance columns
+//!   (`event_proposed_tokens` / `event_accepted_tokens` /
+//!   `event_accept_violations`) folded from the run's `Finished`
+//!   events — the bench guard cross-checks them against the
+//!   per-request `accepted <= proposed` invariant.
+//! * **Event capture** — both drivers run their engine (or fleet)
+//!   with a collecting [`verispec_trace::EventLog`] attached, so
+//!   every [`LoadRunReport`] / [`DispatchRunReport`] carries the
+//!   run's full deterministic event stream: render it with the
+//!   `trace_view` bin, export it with
+//!   [`verispec_trace::chrome_trace`], or diff it against a committed
+//!   golden log (`tests/event_log.rs` pins the `eviction_churn`
+//!   trace's stream byte-for-byte; `tests/proptest_events.rs` pins
+//!   stream determinism across runs and drives, and that collecting
+//!   the stream has zero observer effect).
 //!
 //! # The invariant, extended
 //!

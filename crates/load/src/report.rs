@@ -20,6 +20,7 @@ use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
 use verispec_serve::{
     DispatchConfig, DispatchReport, Dispatcher, Request, ServeConfig, ServeEngine, ServeReport,
 };
+use verispec_trace::{EventKind, EventLog, TraceEvent};
 
 /// Everything one open-loop run produces.
 #[derive(Debug, Clone)]
@@ -30,6 +31,9 @@ pub struct LoadRunReport {
     pub latency: LatencyReport,
     /// Measured wall-clock seconds of the whole run.
     pub wall_secs: f64,
+    /// The full structured event stream of the run, in emission order
+    /// (deterministic in tick space — see [`verispec_trace`]).
+    pub events: Vec<TraceEvent>,
 }
 
 /// Serves `requests` through the streaming-admission path: every
@@ -68,8 +72,9 @@ pub fn run_open_loop_with_policy(
     let originals = requests.clone();
     let mut cfg = cfg.clone();
     cfg.prefix_cache |= prefix_tokens.is_some();
+    let log = EventLog::new();
     let t0 = std::time::Instant::now();
-    let mut engine = ServeEngine::new(model, cfg);
+    let mut engine = ServeEngine::new(model, cfg).with_sink(&log);
     if let Some(d) = draft {
         engine = engine.with_draft(d);
     }
@@ -92,6 +97,7 @@ pub fn run_open_loop_with_policy(
         serve,
         latency,
         wall_secs,
+        events: log.into_events(),
     }
 }
 
@@ -105,6 +111,9 @@ pub struct DispatchRunReport {
     pub latency: LatencyReport,
     /// Measured wall-clock seconds of the whole run.
     pub wall_secs: f64,
+    /// The fleet's full structured event stream, in emission order
+    /// (routing decisions interleaved with per-worker lifecycles).
+    pub events: Vec<TraceEvent>,
 }
 
 /// The multi-worker sibling of [`run_open_loop`]: serves `requests`
@@ -128,8 +137,9 @@ pub fn run_dispatch_open_loop(
     let originals = requests.clone();
     let mut cfg = cfg.clone();
     cfg.prefix_cache |= prefix_tokens.is_some();
+    let log = EventLog::new();
     let t0 = std::time::Instant::now();
-    let mut dispatcher = Dispatcher::new(model, cfg, dcfg.clone());
+    let mut dispatcher = Dispatcher::new(model, cfg, dcfg.clone()).with_sink(&log);
     if let Some(d) = draft {
         dispatcher = dispatcher.with_draft(d);
     }
@@ -148,6 +158,7 @@ pub fn run_dispatch_open_loop(
         dispatch,
         latency,
         wall_secs,
+        events: log.into_events(),
     }
 }
 
@@ -248,6 +259,20 @@ pub struct LoadBenchRow {
     /// for dispatched rows).
     #[serde(default)]
     pub peak_resident_nodes: usize,
+    /// Candidate tokens proposed, summed from the event stream's
+    /// per-request `Finished` events (must agree with the counter-based
+    /// acceptance telemetry — the bench guard cross-checks).
+    #[serde(default)]
+    pub event_proposed_tokens: usize,
+    /// Candidate tokens accepted, summed from the same `Finished`
+    /// events.
+    #[serde(default)]
+    pub event_accepted_tokens: usize,
+    /// Requests whose `Finished` event violated the per-request
+    /// `accepted <= proposed` invariant. Always 0 in an honestly
+    /// produced artifact; the bench guard trips otherwise.
+    #[serde(default)]
+    pub event_accept_violations: usize,
 }
 
 impl LoadBenchRow {
@@ -270,6 +295,8 @@ impl LoadBenchRow {
         let steps: usize = run.serve.completions.iter().map(|c| c.output.steps).sum();
         let tokens = run.serve.total_tokens();
         let slo = &run.latency.overall.slo;
+        let (event_proposed_tokens, event_accepted_tokens, event_accept_violations) =
+            fold_finished(&run.events);
         LoadBenchRow {
             process: process.to_string(),
             offered_rate,
@@ -303,6 +330,9 @@ impl LoadBenchRow {
             prefix_tokens_saved: stats.prefix_tokens_saved,
             prefix_evictions: stats.prefix_evictions,
             peak_resident_nodes: stats.peak_resident_nodes,
+            event_proposed_tokens,
+            event_accepted_tokens,
+            event_accept_violations,
         }
     }
 
@@ -328,6 +358,8 @@ impl LoadBenchRow {
             .sum();
         let tokens = run.dispatch.total_tokens();
         let slo = &run.latency.overall.slo;
+        let (event_proposed_tokens, event_accepted_tokens, event_accept_violations) =
+            fold_finished(&run.events);
         let workers = run.dispatch.per_worker.len();
         let mut worker_requests = vec![0usize; workers];
         for &(_, w) in &run.dispatch.assignments {
@@ -366,6 +398,9 @@ impl LoadBenchRow {
             prefix_tokens_saved: stats.prefix_tokens_saved,
             prefix_evictions: stats.prefix_evictions,
             peak_resident_nodes: stats.peak_resident_nodes,
+            event_proposed_tokens,
+            event_accepted_tokens,
+            event_accept_violations,
         }
     }
 }
@@ -375,4 +410,26 @@ impl LoadBenchRow {
 fn prefix_hit_rate(stats: &verispec_serve::ServeStats) -> Option<f64> {
     let total = stats.prefix_hits + stats.prefix_misses;
     (total > 0).then(|| stats.prefix_hits as f64 / total as f64)
+}
+
+/// Folds the event stream's per-request `Finished` events into
+/// `(proposed, accepted, violations)`: lifetime candidate-token sums
+/// plus the count of requests violating `accepted <= proposed`.
+fn fold_finished(events: &[TraceEvent]) -> (usize, usize, usize) {
+    let mut proposed_sum = 0;
+    let mut accepted_sum = 0;
+    let mut violations = 0;
+    for ev in events {
+        if let EventKind::Finished {
+            proposed, accepted, ..
+        } = ev.kind
+        {
+            proposed_sum += proposed;
+            accepted_sum += accepted;
+            if accepted > proposed {
+                violations += 1;
+            }
+        }
+    }
+    (proposed_sum, accepted_sum, violations)
 }

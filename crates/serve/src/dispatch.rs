@@ -68,6 +68,7 @@ use crate::request::{Completion, Request};
 use serde::{Deserialize, Serialize};
 use verispec_core::SpecPolicy;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm};
+use verispec_trace::{EventKind, TraceEvent, TraceSink, NOOP};
 
 /// How the dispatcher picks a worker for each arrival.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -179,6 +180,9 @@ pub struct Dispatcher<'m> {
     rr_next: usize,
     /// Realized `(request id, worker)` routing, in receipt order.
     assignments: Vec<(u64, usize)>,
+    /// Structured-event sink shared by the dispatcher (routing events)
+    /// and every worker (lifecycle events); no-op by default.
+    sink: &'m dyn TraceSink,
 }
 
 impl<'m> Dispatcher<'m> {
@@ -186,15 +190,32 @@ impl<'m> Dispatcher<'m> {
     /// each configured with its own copy of `cfg` (own session pool,
     /// queue, and clock).
     pub fn new(model: &'m MlpLm, cfg: ServeConfig, dcfg: DispatchConfig) -> Self {
-        let workers = (0..dcfg.workers.max(1))
+        let mut workers: Vec<ServeEngine<'m>> = (0..dcfg.workers.max(1))
             .map(|_| ServeEngine::new(model, cfg.clone()))
             .collect();
+        for (i, w) in workers.iter_mut().enumerate() {
+            w.set_worker(i as u32);
+        }
         Dispatcher {
             workers,
             route: dcfg.route,
             rr_next: 0,
             assignments: Vec::new(),
+            sink: &NOOP,
         }
+    }
+
+    /// Attaches a structured-event sink to the dispatcher and every
+    /// worker: routing decisions ([`verispec_trace::EventKind::Routed`],
+    /// stamped at the fleet clock with the probe values that justified
+    /// the choice) interleave with each worker's lifecycle events in
+    /// one stream. Write-only — never perturbs routing or serving.
+    pub fn with_sink(mut self, sink: &'m dyn TraceSink) -> Self {
+        self.sink = sink;
+        for w in &mut self.workers {
+            w.set_sink(sink);
+        }
+        self
     }
 
     /// Attaches the draft model to every worker (see
@@ -238,17 +259,33 @@ impl<'m> Dispatcher<'m> {
         self.workers.len()
     }
 
-    /// Picks the worker for `req` under the routing policy.
-    fn route(&mut self, req: &Request) -> usize {
+    /// Picks the worker for `req` under the routing policy; also
+    /// returns the per-worker probe values the decision was based on
+    /// (empty for probe-less policies), for the routing trace event.
+    fn route(&mut self, req: &Request) -> (usize, Vec<u64>) {
         let n = self.workers.len();
         match &self.route {
             RoutePolicy::RoundRobin => {
                 let w = self.rr_next % n;
                 self.rr_next = (self.rr_next + 1) % n;
-                w
+                (w, Vec::new())
             }
-            RoutePolicy::JoinShortestQueue => argmin(self.workers.iter().map(|w| w.ready_depth())),
-            RoutePolicy::LeastLoaded => argmin(self.workers.iter().map(|w| w.outstanding_cost())),
+            RoutePolicy::JoinShortestQueue => {
+                let probes: Vec<u64> = self
+                    .workers
+                    .iter()
+                    .map(|w| w.ready_depth() as u64)
+                    .collect();
+                (argmin(probes.iter().copied()), probes)
+            }
+            RoutePolicy::LeastLoaded => {
+                let probes: Vec<u64> = self
+                    .workers
+                    .iter()
+                    .map(|w| w.outstanding_cost() as u64)
+                    .collect();
+                (argmin(probes.iter().copied()), probes)
+            }
             RoutePolicy::Pinned(assignment) => {
                 let w = assignment
                     .iter()
@@ -260,27 +297,49 @@ impl<'m> Dispatcher<'m> {
                     "pinned route sends request {} to worker {w} of {n}",
                     req.id
                 );
-                w
+                (w, Vec::new())
             }
             RoutePolicy::PrefixAffine => {
                 // Argmax match depth; tie-break min outstanding cost,
                 // then lowest index (first strict improvement wins).
+                let mut probes = Vec::with_capacity(n);
                 let mut best = (0usize, usize::MAX, 0usize);
                 for (i, w) in self.workers.iter().enumerate() {
                     let depth = w.prefix_match_depth(&req.prompt);
                     let cost = w.outstanding_cost();
+                    probes.push(depth as u64);
                     if depth > best.0 || (depth == best.0 && cost < best.1) {
                         best = (depth, cost, i);
                     }
                 }
-                best.2
+                (best.2, probes)
             }
         }
     }
 
     /// Routes and enqueues one request.
     pub fn submit(&mut self, req: Request) {
-        let w = self.route(&req);
+        let (w, probes) = self.route(&req);
+        if self.sink.enabled() {
+            // Routing events are stamped at the fleet clock — the
+            // most-advanced worker's tick, the same notion of "now"
+            // the paced driver routes by.
+            let now = self
+                .workers
+                .iter()
+                .map(ServeEngine::clock)
+                .max()
+                .unwrap_or(0);
+            self.sink.record(TraceEvent {
+                tick: now,
+                worker: w as u32,
+                request: Some(req.id),
+                kind: EventKind::Routed {
+                    policy: self.route.name().to_string(),
+                    probes,
+                },
+            });
+        }
         self.assignments.push((req.id, w));
         self.workers[w].submit(req);
     }
@@ -446,8 +505,8 @@ impl<'m> Dispatcher<'m> {
 
 /// Index of the smallest value (first wins ties — the lowest worker
 /// index, so routing is deterministic).
-fn argmin(values: impl Iterator<Item = usize>) -> usize {
-    let mut best = (usize::MAX, 0usize);
+fn argmin(values: impl Iterator<Item = u64>) -> usize {
+    let mut best = (u64::MAX, 0usize);
     for (i, v) in values.enumerate() {
         if v < best.0 {
             best = (v, i);

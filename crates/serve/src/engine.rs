@@ -40,6 +40,7 @@ use verispec_core::{
 use verispec_lm::{
     multi_logits_many, verify_many, DecodeSession, GpuCostModel, LanguageModel, MlpLm, VerifyPlan,
 };
+use verispec_trace::{EventKind, TraceEvent, TraceSink, NOOP};
 
 /// Serving-engine knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -213,6 +214,49 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// Folds one trace event into the aggregate counters — the
+    /// **single place** every event-equivalent stat is maintained, so
+    /// these counters can never disagree with the event stream that
+    /// produced them ([`verispec_trace::MetricsRegistry`] performs the
+    /// same fold over a collected log). Counters with no event
+    /// equivalent (fusion internals, high-water marks) stay inline in
+    /// the engine.
+    pub fn apply_event(&mut self, ev: &TraceEvent) {
+        match &ev.kind {
+            EventKind::CacheLookup {
+                hit,
+                depth,
+                tokens_saved,
+            } => {
+                if *hit {
+                    self.prefix_hits += 1;
+                    self.prefix_tokens_saved += tokens_saved;
+                    let bucket = ((*depth).max(1).ilog2() as usize).min(7);
+                    self.prefix_depth_hist[bucket] += 1;
+                } else {
+                    self.prefix_misses += 1;
+                }
+            }
+            EventKind::Preempted => self.preemptions += 1,
+            EventKind::Deferred => self.deferred_steps += 1,
+            EventKind::ForkEvicted => self.session_evictions += 1,
+            EventKind::PrefixEvicted => self.prefix_evictions += 1,
+            EventKind::Shed { .. } => self.shed_requests += 1,
+            EventKind::IdleSkip { skipped } => self.idle_ticks_skipped += skipped,
+            EventKind::Finished {
+                tokens,
+                proposed,
+                accepted,
+                ..
+            } => {
+                self.served_tokens += tokens;
+                self.proposed_tokens += proposed;
+                self.accepted_tokens += accepted;
+            }
+            _ => {}
+        }
+    }
+
     /// Folds another engine's counters into these — the multi-worker
     /// merge used by [`serve_all_threaded`] and the streaming
     /// dispatcher ([`crate::dispatch`]). Additive counters sum;
@@ -361,6 +405,14 @@ pub struct ServeEngine<'m> {
     tick: u64,
     stats: ServeStats,
     started: std::time::Instant,
+    /// Structured-event receiver ([`verispec_trace::TraceSink`]); the
+    /// no-op default reports itself disabled, so trace-only events are
+    /// never even built and the pre-tracing hot path is preserved
+    /// bit-for-bit.
+    sink: &'m dyn TraceSink,
+    /// This engine's fleet index, stamped on every emitted event (0
+    /// for a standalone engine; the dispatcher labels its workers).
+    worker: u32,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -399,6 +451,53 @@ impl<'m> ServeEngine<'m> {
             tick: 0,
             stats: ServeStats::default(),
             started: std::time::Instant::now(),
+            sink: &NOOP,
+            worker: 0,
+        }
+    }
+
+    /// Attaches a structured-event sink: every lifecycle transition —
+    /// admission, cache walks, per-step shapes and acceptance,
+    /// preemption, eviction, shedding, deadlines — is delivered as a
+    /// tick-stamped [`verispec_trace::TraceEvent`]. Tracing is
+    /// write-only and tick-space only, so attaching a sink never
+    /// perturbs outputs, stats, or the tick schedule.
+    pub fn with_sink(mut self, sink: &'m dyn TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Replaces the sink in place (the dispatcher wires workers after
+    /// construction).
+    pub(crate) fn set_sink(&mut self, sink: &'m dyn TraceSink) {
+        self.sink = sink;
+    }
+
+    /// Sets the fleet index stamped on this engine's events.
+    pub(crate) fn set_worker(&mut self, worker: u32) {
+        self.worker = worker;
+    }
+
+    /// Whether trace-only events (those without a stats equivalent)
+    /// should be built at all.
+    fn traced(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Builds an event stamped at the current tick, folds it into the
+    /// aggregate stats ([`ServeStats::apply_event`] — the single place
+    /// event-equivalent counters are maintained), and forwards it to
+    /// the sink when one is attached.
+    fn emit(&mut self, request: Option<u64>, kind: EventKind) {
+        let ev = TraceEvent {
+            tick: self.tick,
+            worker: self.worker,
+            request,
+            kind,
+        };
+        self.stats.apply_event(&ev);
+        if self.sink.enabled() {
+            self.sink.record(ev);
         }
     }
 
@@ -485,6 +584,16 @@ impl<'m> ServeEngine<'m> {
             }
         });
         let seen_secs = self.now_secs();
+        if self.traced() {
+            self.emit(
+                Some(req.id),
+                EventKind::Submitted {
+                    arrival: req.arrival,
+                    prompt_tokens: req.prompt.len(),
+                    deadline: req.deadline,
+                },
+            );
+        }
         self.queued_forks += usize::from(session.is_some());
         self.queue.push(QueueEntry::Fresh {
             req,
@@ -509,6 +618,16 @@ impl<'m> ServeEngine<'m> {
             "prefix session context must be a prefix of the request prompt"
         );
         let seen_secs = self.now_secs();
+        if self.traced() {
+            self.emit(
+                Some(req.id),
+                EventKind::Submitted {
+                    arrival: req.arrival,
+                    prompt_tokens: req.prompt.len(),
+                    deadline: req.deadline,
+                },
+            );
+        }
         self.queued_forks += 1;
         self.queue.push(QueueEntry::Fresh {
             req,
@@ -692,30 +811,35 @@ impl<'m> ServeEngine<'m> {
         };
         let mut over = self.resident_sessions().saturating_sub(cap.max(1));
         while over > 0 {
-            let Some(cache) = self.cache.as_mut() else {
-                break;
+            let evicted = match self.cache.as_mut() {
+                Some(cache) => cache.evict_lru(),
+                None => false,
             };
-            if !cache.evict_lru() {
+            if !evicted {
                 break;
             }
-            self.stats.prefix_evictions += 1;
+            self.emit(None, EventKind::PrefixEvicted);
             over -= 1;
         }
         if over == 0 {
             return;
         }
+        let mut dropped: Vec<u64> = Vec::new();
         for entry in self.queue.iter_mut() {
             if over == 0 {
                 break;
             }
-            if let QueueEntry::Fresh { session, .. } = entry {
+            if let QueueEntry::Fresh { req, session, .. } = entry {
                 if session.is_some() {
                     *session = None;
                     self.queued_forks -= 1;
-                    self.stats.session_evictions += 1;
+                    dropped.push(req.id);
                     over -= 1;
                 }
             }
+        }
+        for id in dropped {
+            self.emit(Some(id), EventKind::ForkEvicted);
         }
     }
 
@@ -782,24 +906,31 @@ impl<'m> ServeEngine<'m> {
             return (None, 0);
         }
         let target = self.target;
-        let cache = self.cache.as_mut().expect("checked above");
-        let (mut work, matched) = match cache.lookup(&req.prompt) {
-            Some((fork, depth)) => {
-                self.stats.prefix_hits += 1;
-                self.stats.prefix_tokens_saved += depth;
-                let bucket = (depth.ilog2() as usize).min(7);
-                self.stats.prefix_depth_hist[bucket] += 1;
-                (fork, depth)
-            }
+        let looked_up = self
+            .cache
+            .as_mut()
+            .expect("checked above")
+            .lookup(&req.prompt);
+        let matched = looked_up.as_ref().map_or(0, |&(_, depth)| depth);
+        self.emit(
+            Some(req.id),
+            EventKind::CacheLookup {
+                hit: looked_up.is_some(),
+                depth: matched,
+                tokens_saved: matched,
+            },
+        );
+        let mut work = match looked_up {
+            Some((fork, _)) => fork,
             None => {
-                self.stats.prefix_misses += 1;
                 let Some(fresh) = target.snapshot_session() else {
                     return (None, 0);
                 };
-                (fresh, 0)
+                fresh
             }
         };
         work.append(&req.prompt[matched..]);
+        let cache = self.cache.as_mut().expect("checked above");
         cache.insert(&req.prompt, &mut |depth| {
             let mut snap = work.fork_snapshot();
             snap.truncate(depth);
@@ -835,6 +966,15 @@ impl<'m> ServeEngine<'m> {
                     None => self.cache_admit(&req),
                 };
                 let warm_until = self.tick + self.warmup_ticks(req.prompt.len() - ingested);
+                if self.traced() {
+                    self.emit(
+                        Some(req.id),
+                        EventKind::Admitted {
+                            queued_ticks: self.tick.saturating_sub(req.arrival),
+                            warm_until,
+                        },
+                    );
+                }
                 let stepper = self.make_stepper(&req, session);
                 self.active.push(Active {
                     id: req.id,
@@ -857,6 +997,9 @@ impl<'m> ServeEngine<'m> {
             QueueEntry::Parked(mut a) => {
                 a.stepper.unpark();
                 a.last_step = self.tick;
+                if self.traced() {
+                    self.emit(Some(a.id), EventKind::Resumed);
+                }
                 self.active.push(*a);
             }
         }
@@ -913,21 +1056,38 @@ impl<'m> ServeEngine<'m> {
         let mut parked = self.active.swap_remove(v);
         parked.stepper.park();
         parked.preemptions += 1;
-        self.stats.preemptions += 1;
+        self.emit(Some(parked.id), EventKind::Preempted);
         self.queue.push(QueueEntry::Parked(Box::new(parked)));
         let entry = self.take_queued(pos);
         self.admit(entry);
     }
 
     fn finish(&mut self, a: Active<'m>) {
-        self.stats.served_tokens += a.stepper.generated();
         let draft_stats = a.stepper.draft_stats();
         let (proposed_tokens, accepted_tokens) = {
             let h = a.stepper.history();
             (h.speculated(), h.accepted())
         };
-        self.stats.proposed_tokens += proposed_tokens;
-        self.stats.accepted_tokens += accepted_tokens;
+        self.emit(
+            Some(a.id),
+            EventKind::Finished {
+                tokens: a.stepper.generated(),
+                steps: a.step_ticks.len(),
+                proposed: proposed_tokens,
+                accepted: accepted_tokens,
+            },
+        );
+        if self.traced() {
+            if let Some(deadline) = a.deadline {
+                self.emit(
+                    Some(a.id),
+                    EventKind::Deadline {
+                        deadline,
+                        met: self.tick <= deadline,
+                    },
+                );
+            }
+        }
         let output = a.stepper.into_output();
         debug_assert_eq!(
             a.step_ticks.len(),
@@ -989,7 +1149,13 @@ impl<'m> ServeEngine<'m> {
             let QueueEntry::Fresh { req, .. } = self.take_queued(idx) else {
                 unreachable!("only fresh entries are shed");
             };
-            self.stats.shed_requests += 1;
+            self.emit(
+                Some(req.id),
+                EventKind::Shed {
+                    arrival: req.arrival,
+                    deadline: req.deadline,
+                },
+            );
             self.shed.push(ShedRequest {
                 id: req.id,
                 arrival: req.arrival,
@@ -1019,13 +1185,14 @@ impl<'m> ServeEngine<'m> {
             return selected;
         };
         let policy = self.policy;
-        let mut remaining = capacity.max(1);
+        let capacity = capacity.max(1);
+        let mut remaining = capacity;
         let mut stepped = Vec::with_capacity(selected.len());
         for (pos, &i) in selected.iter().enumerate() {
-            let stepper = &mut self.active[i].stepper;
             // NTP steppers have no shape to decide and cost one verify
             // position; speculative ones get the policy's decision for
             // the remaining budget.
+            let stepper = &self.active[i].stepper;
             let shape = stepper.base_shape().map(|base| {
                 policy.shape(&ShapeQuery {
                     base: &base,
@@ -1035,14 +1202,25 @@ impl<'m> ServeEngine<'m> {
             });
             let cost = shape.as_ref().map_or(1, SpecShape::step_cost);
             if pos > 0 && cost > remaining {
-                self.stats.deferred_steps += 1;
+                let id = self.active[i].id;
+                self.emit(Some(id), EventKind::Deferred);
                 continue;
             }
             if let Some(shape) = shape {
-                stepper.pin_shape(shape);
+                self.active[i].stepper.pin_shape(shape);
             }
             remaining = remaining.saturating_sub(cost);
             stepped.push(i);
+        }
+        if self.traced() {
+            self.emit(
+                None,
+                EventKind::TickBudget {
+                    capacity,
+                    spent: capacity - remaining,
+                    deferred: selected.len() - stepped.len(),
+                },
+            );
         }
         stepped
     }
@@ -1066,8 +1244,9 @@ impl<'m> ServeEngine<'m> {
             .min()
             .expect("queue is non-empty");
         if next > self.tick + 1 {
-            self.stats.idle_ticks_skipped += next - 1 - self.tick;
+            let skipped = next - 1 - self.tick;
             self.tick = next - 1;
+            self.emit(None, EventKind::IdleSkip { skipped });
         }
     }
 
@@ -1120,6 +1299,10 @@ impl<'m> ServeEngine<'m> {
         // their batch slot to decodable neighbors.
         selected.retain(|&i| self.active[i].warm_until <= self.tick);
         let stepped = self.divide_tick_capacity(selected);
+        if self.traced() && !stepped.is_empty() {
+            let ids: Vec<u64> = stepped.iter().map(|&i| self.active[i].id).collect();
+            self.emit(None, EventKind::Batch { requests: ids });
+        }
         for &i in &stepped {
             let a = &mut self.active[i];
             a.max_gap = a.max_gap.max(self.tick - a.last_step);
@@ -1214,6 +1397,29 @@ impl<'m> ServeEngine<'m> {
             let a = &mut self.active[i];
             a.step_ticks.push(self.tick);
             a.first_commit_secs.get_or_insert(now);
+            if self.traced() {
+                let a = &self.active[i];
+                let id = a.id;
+                let shape = a.stepper.last_shape().cloned();
+                let tr = a
+                    .stepper
+                    .output()
+                    .trace
+                    .last()
+                    .expect("commit pushes a step trace");
+                let (proposed, accepted, truncated, committed) =
+                    (tr.speculated, tr.accepted, tr.truncated, tr.committed.len());
+                self.emit(
+                    Some(id),
+                    EventKind::Step {
+                        shape,
+                        proposed,
+                        accepted,
+                        truncated,
+                        committed,
+                    },
+                );
+            }
         }
 
         let mut i = 0;

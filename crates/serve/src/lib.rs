@@ -50,6 +50,16 @@
 //!                                     ▼                          big)
 //!                   Completion{output, step_ticks, deadline,
 //!                              proposed/accepted tokens, stats}
+//!
+//!   every transition above ───► &dyn TraceSink (verispec-trace)
+//!   (submit / route+probes /     ├ NoopSink (default): zero-cost,
+//!    cache walk / admit /        │  the bit-identity parity paths
+//!    step+shape / defer /        │  run the exact untraced code
+//!    preempt / evict / shed /    └ EventLog: tick-stamped TraceEvents
+//!    finish / deadline / batch /    → MetricsRegistry, Chrome trace
+//!    budget / idle-skip)            export, flame report, golden CI
+//!                                   event logs (ServeStats itself is
+//!                                   folded from the same events)
 //! ```
 //!
 //! * **[`Request`]** — prompt, per-request engine choice
@@ -129,6 +139,20 @@
 //!   dispatch adds routing without touching serving semantics;
 //!   [`DispatchReport`] carries merged plus per-worker
 //!   [`ServeStats`] and the realized assignment.
+//! * **Structured tracing** (`verispec-trace`) — every lifecycle
+//!   transition (submission, routing decision with its probe values,
+//!   cache walk, admission, per-step propose/verify/commit with the
+//!   policy-decided shape, deferral, preemption, eviction, shed,
+//!   finish, deadline outcome, per-tick batch composition and budget
+//!   consumption) is emitted as a tick-stamped
+//!   [`verispec_trace::TraceEvent`] into the engine's
+//!   [`verispec_trace::TraceSink`] ([`ServeEngine::with_sink`] /
+//!   [`Dispatcher::with_sink`]; the no-op default keeps the untraced
+//!   hot path bit-identical). [`ServeStats`] counters with
+//!   event-stream equivalents are folded from those same events in
+//!   one place (`ServeStats::apply_event`), so the counters, the
+//!   metrics registry, and the exported Chrome trace can never
+//!   disagree about a run.
 //!
 //! # The invariant
 //!

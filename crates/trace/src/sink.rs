@@ -1,0 +1,115 @@
+//! Where events go: the [`TraceSink`] trait, the zero-cost
+//! [`NoopSink`] default, and the collecting [`EventLog`].
+
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// Receiver for structured trace events.
+///
+/// Engines hold a `&dyn TraceSink` and call [`record`](Self::record)
+/// at every lifecycle transition. The default sink is [`NOOP`]:
+/// [`enabled`](Self::enabled) returns `false`, so instrumented code
+/// skips building allocation-carrying events entirely and every
+/// bit-identity parity suite runs exactly the pre-tracing code path.
+///
+/// Sinks are `Sync` so a single sink can collect from engines driven
+/// on different threads; `record` takes `&self` and owns interior
+/// mutability.
+pub trait TraceSink: Sync {
+    /// Delivers one event. Must not observe or mutate engine state:
+    /// tracing is strictly write-only so a sink can never perturb the
+    /// deterministic replay it observes.
+    fn record(&self, event: TraceEvent);
+
+    /// Whether the sink wants events at all. Instrumentation gates
+    /// the construction of expensive events (per-step shapes, batch
+    /// id lists) on this; cheap scalar events are built regardless
+    /// because aggregate stats derive from them.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The shared no-op sink instrumented components default to.
+pub static NOOP: NoopSink = NoopSink;
+
+/// A sink that appends every event to an in-memory log.
+///
+/// Interior mutability (a mutex, uncontended in the deterministic
+/// lockstep drives) lets one log collect a whole fleet's stream
+/// through a shared reference.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the recorded events in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Consumes the log, returning the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into_inner().expect("event log poisoned")
+    }
+}
+
+impl TraceSink for EventLog {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("event log poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn noop_is_disabled_and_log_collects_in_order() {
+        assert!(!NOOP.enabled());
+        let log = EventLog::new();
+        assert!(log.enabled());
+        assert!(log.is_empty());
+        for tick in 0..3 {
+            log.record(TraceEvent::new(
+                tick,
+                0,
+                None,
+                EventKind::IdleSkip { skipped: tick },
+            ));
+        }
+        let events = log.into_events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+}
