@@ -20,6 +20,7 @@
 use crate::accept::TypicalAcceptance;
 use crate::policy::{SpecPolicy, SpecShape};
 use serde::{Deserialize, Serialize};
+use verispec_grammar::{dead_tail_prune, GrammarOracle, PruneRecord, ViabilityState};
 use verispec_lm::{argmax, DecodeClock, GpuCostModel, LanguageModel, Sampling, TokenId};
 use verispec_tokenizer::special;
 
@@ -168,6 +169,42 @@ pub fn decode_speculative_with_policy(
     stepper.into_output()
 }
 
+/// Grammar-constrained speculative decoding: the paper's syntax-aligned
+/// engine ("Ours") with an incremental [`GrammarOracle`] pruning the
+/// candidate tree to lexically-viable continuations at **propose** time
+/// instead of discarding dead speculation only after verification.
+///
+/// Each step, relative to [`decode_speculative`]:
+/// 1. the base token, once drawn, is substituted with the highest-ranked
+///    *viable* token from the base logits when the draw itself would
+///    kill the byte stream (one RNG draw either way, so the sampled
+///    token sequence stays seed-deterministic);
+/// 2. tree construction filters each head's top-k to viable
+///    continuations of each candidate path's own viability state,
+///    falling back to the unconstrained top-k when nothing in the
+///    scanned window is viable (a dead oracle state therefore degrades
+///    bit-identically to plain [`decode_speculative`] construction);
+/// 3. built paths are dead-tail pruned
+///    ([`verispec_grammar::dead_tail_prune`]): tails past the last
+///    `[FRAG]`/`[EOS]` can never survive the post-hoc syntax cut, so
+///    they are never sent to verification; freed candidate slots are
+///    re-spent widening the surviving branches within the step's
+///    original [`SpecShape::candidate_tokens`] budget.
+///
+/// Syntax alignment is forced on: the oracle's soundness argument is
+/// stated against the post-hoc fragment-integrity cut.
+pub fn decode_grammar_speculative(
+    model: &dyn LanguageModel,
+    oracle: &GrammarOracle,
+    prompt: &[TokenId],
+    cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> DecodeOutput {
+    let mut stepper = crate::step::Stepper::grammar_speculative(model, oracle, prompt, cfg.clone());
+    while stepper.step(cost) {}
+    stepper.into_output()
+}
+
 /// Maximum number of candidate paths explored per step in tree mode.
 pub(crate) const MAX_CANDIDATE_PATHS: usize = 32;
 
@@ -217,6 +254,133 @@ pub(crate) fn build_candidate_paths(
             unreachable!("draft blocks are proposed by the draft model, not built from head logits")
         }
     }
+}
+
+/// How far past the requested width each head's ranking is scanned for
+/// viable candidates before falling back to the unconstrained top-k.
+pub(crate) const GRAMMAR_SCAN_SLACK: usize = 8;
+
+/// How many ranked base-logit candidates are scanned when the drawn
+/// base token is not lexically viable.
+pub(crate) const GRAMMAR_BASE_SCAN: usize = 32;
+
+/// Maximum widening retries after pruning frees candidate slots.
+pub(crate) const GRAMMAR_WIDEN_ROUNDS: usize = 3;
+
+/// The per-level candidate widths a [`SpecShape`] asks of `n_heads`
+/// heads (chains are width-1 trees for the grammar builder).
+fn effective_widths(shape: &SpecShape, n_heads: usize) -> Vec<usize> {
+    match shape {
+        SpecShape::Chain { depth } => vec![1; (*depth).min(n_heads)],
+        SpecShape::Tree { widths, depth } => (0..(*depth).min(n_heads))
+            .map(|i| widths.get(i).copied().unwrap_or(1).max(1))
+            .collect(),
+        SpecShape::Draft { .. } => {
+            unreachable!("draft blocks are proposed by the draft model, not built from head logits")
+        }
+    }
+}
+
+/// Grows one candidate tree, filtering each level's ranked options to
+/// tokens lexically viable after the candidate path built so far. Each
+/// path carries its own [`ViabilityState`]; when no token in the
+/// scanned window is viable (in particular whenever the state is dead),
+/// the path falls back to the unconstrained top-k — reproducing
+/// [`build_candidate_paths`]' ordering and 32-path cap exactly.
+fn grammar_tree(
+    all_logits: &[Vec<f32>],
+    widths: &[usize],
+    oracle: &GrammarOracle,
+    state: ViabilityState,
+) -> Vec<Vec<TokenId>> {
+    let mut paths: Vec<(Vec<TokenId>, ViabilityState)> = vec![(Vec::new(), state)];
+    for (level, &k) in widths.iter().enumerate() {
+        let head_logits = &all_logits[level + 1];
+        let ranked = verispec_lm::top_k_indices(head_logits, k + GRAMMAR_SCAN_SLACK);
+        let mut next = Vec::with_capacity(paths.len() * k);
+        'grow: for (p, st) in &paths {
+            let viable: Vec<TokenId> = ranked
+                .iter()
+                .copied()
+                .filter(|&t| oracle.viable(*st, t))
+                .take(k)
+                .collect();
+            let chosen: &[TokenId] = if viable.is_empty() {
+                &ranked[..k.min(ranked.len())]
+            } else {
+                &viable
+            };
+            for &opt in chosen {
+                let mut q = p.clone();
+                q.push(opt);
+                next.push((q, oracle.advance(*st, opt)));
+                if next.len() >= MAX_CANDIDATE_PATHS {
+                    break 'grow;
+                }
+            }
+        }
+        paths = next;
+    }
+    paths.into_iter().map(|(p, _)| p).collect()
+}
+
+/// Builds the candidate paths for one step of the grammar-constrained
+/// engine: viability-filtered tree construction ([`grammar_tree`]),
+/// dead-tail pruning, then up to [`GRAMMAR_WIDEN_ROUNDS`] widening
+/// retries that re-spend freed candidate slots on wider levels — the
+/// widest rebuild still fitting the shape's original
+/// [`SpecShape::candidate_tokens`] budget wins, so a policy's budget
+/// accounting (`shrink_to`, per-tick budgets) stays an upper bound on
+/// what is actually verified.
+pub(crate) fn build_grammar_candidate_paths(
+    all_logits: &[Vec<f32>],
+    n_heads: usize,
+    shape: &SpecShape,
+    oracle: &GrammarOracle,
+    state: ViabilityState,
+    eos: TokenId,
+) -> (Vec<Vec<TokenId>>, PruneRecord) {
+    let widths = effective_widths(shape, n_heads);
+    let budget = shape.candidate_tokens();
+    let mut paths = grammar_tree(all_logits, &widths, oracle, state);
+    let mut record = dead_tail_prune(&mut paths, special::FRAG, eos);
+    for extra in 1..=GRAMMAR_WIDEN_ROUNDS {
+        if record.surviving >= budget {
+            break;
+        }
+        let wider: Vec<usize> = widths.iter().map(|w| w + extra).collect();
+        let mut wide_paths = grammar_tree(all_logits, &wider, oracle, state);
+        let wide_record = dead_tail_prune(&mut wide_paths, special::FRAG, eos);
+        if wide_record.surviving > record.surviving && wide_record.surviving <= budget {
+            paths = wide_paths;
+            record = wide_record;
+        }
+    }
+    (paths, record)
+}
+
+/// Substitutes a non-viable drawn base token with the highest-ranked
+/// viable token from the base logits (scanning [`GRAMMAR_BASE_SCAN`]
+/// ranked candidates). `[EOS]` is always kept, a dead oracle state
+/// keeps the original draw (nothing is viable from a dead state), and
+/// only lexically-informative tokens are substituted in: byte-free
+/// specials are trivially "viable" but carry no lexical evidence, so
+/// steering into them would replace the model's draw with noise. When
+/// no informative viable token is ranked, the original draw stands.
+pub(crate) fn constrain_base_token(
+    tok: TokenId,
+    base_logits: &[f32],
+    oracle: &GrammarOracle,
+    state: ViabilityState,
+    eos: TokenId,
+) -> TokenId {
+    if tok == eos || state.is_dead() || oracle.viable(state, tok) {
+        return tok;
+    }
+    verispec_lm::top_k_indices(base_logits, GRAMMAR_BASE_SCAN)
+        .into_iter()
+        .find(|&cand| !oracle.token_bytes(cand).is_empty() && oracle.viable(state, cand))
+        .unwrap_or(tok)
 }
 
 /// Convenience dispatcher used by the evaluation harness.

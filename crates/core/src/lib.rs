@@ -8,8 +8,10 @@
 //!   fragments, including the paper's parallel masking algorithm;
 //! * **Typical acceptance** ([`accept`]) — Eq. 1's entropy-adaptive
 //!   criterion for speculated tokens;
-//! * **Decoding engines** ([`decode`]) — NTP, MEDUSA, and the paper's
-//!   syntax-aligned variant with the fragment-integrity check;
+//! * **Decoding engines** ([`decode`]) — NTP, MEDUSA, the paper's
+//!   syntax-aligned variant with the fragment-integrity check, and the
+//!   grammar-constrained engine that prunes speculation to
+//!   lexically-viable continuations at propose time;
 //! * **Classical draft-model speculation** ([`draft`]) — the
 //!   Leviathan-style baseline with an n-gram draft;
 //! * **Training orchestration** ([`train`](mod@train)) — MEDUSA-2's Eq.-2 loss with
@@ -23,6 +25,29 @@
 //!   decision of *how much speculation to buy*: the static configured
 //!   shape, history-adaptive speculation length, or a per-tick
 //!   candidate budget a serving engine divides across its batch.
+//!
+//! # Engine stack
+//!
+//! ```text
+//!            ┌─────────────────────────────────────────────┐
+//!            │ grammar-constrained ("Grammar-tree")         │
+//!            │   viability-filtered tree + dead-tail prune  │
+//!            │   (verispec-grammar oracle, propose time)    │
+//!            ├─────────────────────────────────────────────┤
+//!            │ syntax-aligned ("Ours")                      │
+//!            │   post-hoc fragment-integrity cut (§III-B)   │
+//!            ├─────────────────────────────────────────────┤
+//!            │ MEDUSA speculation (chain / tree)            │
+//!            │   propose → verify (one batched pass) → commit│
+//!            ├─────────────────────────────────────────────┤
+//!            │ NTP baseline                                 │
+//!            └─────────────────────────────────────────────┘
+//! ```
+//!
+//! Each layer reuses the one below: the grammar engine is the
+//! syntax-aligned engine with candidate construction swapped for the
+//! oracle-filtered builder, so every [`policy::SpecPolicy`], the fused
+//! verify path, and park/unpark compose with it unchanged.
 //!
 //! # Examples
 //!
@@ -51,8 +76,8 @@ pub mod train;
 
 pub use accept::TypicalAcceptance;
 pub use decode::{
-    decode_ntp, decode_speculative, decode_speculative_with_policy, DecodeConfig, DecodeMethod,
-    DecodeOutput, StepTrace,
+    decode_grammar_speculative, decode_ntp, decode_speculative, decode_speculative_with_policy,
+    DecodeConfig, DecodeMethod, DecodeOutput, StepTrace,
 };
 pub use draft::{decode_draft_speculative, DraftConfig, DraftStats};
 pub use labels::LabelGrid;

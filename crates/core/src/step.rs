@@ -43,9 +43,13 @@
 //! it budgeted for ([`Stepper::pin_shape`]) so per-tick capacity
 //! accounting and the built candidate paths agree exactly.
 
-use crate::decode::{build_candidate_paths, DecodeConfig, DecodeOutput, StepTrace};
+use crate::decode::{
+    build_candidate_paths, build_grammar_candidate_paths, constrain_base_token, DecodeConfig,
+    DecodeOutput, StepTrace,
+};
 use crate::draft::{tempered, DraftConfig, DraftStats};
 use crate::policy::{AcceptHistory, ShapeQuery, SpecPolicy, SpecShape, STATIC_POLICY};
+use verispec_grammar::{syntax_keep_len, GrammarOracle, PruneRecord, ViabilityState};
 use verispec_lm::matrix::softmax;
 use verispec_lm::{
     argmax, DecodeClock, DecodeSession, GpuCostModel, LanguageModel, Sampler, Sampling, TokenId,
@@ -103,6 +107,16 @@ enum Pending {
     },
 }
 
+/// The grammar-constrained engine's per-generation oracle context: the
+/// shared token-byte oracle plus this generation's incremental
+/// viability state over `prompt + committed tokens`. The state is a
+/// pure function of the committed byte stream, so it survives
+/// park/unpark unchanged (sessions are rebuilt; the state is kept).
+struct GrammarCtx<'m> {
+    oracle: &'m GrammarOracle,
+    state: ViabilityState,
+}
+
 /// One generation advanced step-by-step; see the module docs.
 pub struct Stepper<'m> {
     target_model: &'m dyn LanguageModel,
@@ -134,6 +148,13 @@ pub struct Stepper<'m> {
     /// read when emitting trace events. `None` before the first
     /// propose, and always `None` for NTP steppers.
     last_shape: Option<SpecShape>,
+    /// Grammar-constrained proposal context (`None` for every
+    /// non-grammar engine): viability-filtered tree construction plus
+    /// propose-time dead-tail pruning.
+    grammar: Option<GrammarCtx<'m>>,
+    /// The prune accounting of the most recent grammar propose —
+    /// `None` before the first propose and for non-grammar steppers.
+    last_prune: Option<PruneRecord>,
 }
 
 impl<'m> Stepper<'m> {
@@ -192,6 +213,8 @@ impl<'m> Stepper<'m> {
             base,
             history: AcceptHistory::default(),
             last_shape: None,
+            grammar: None,
+            last_prune: None,
         }
     }
 
@@ -259,6 +282,57 @@ impl<'m> Stepper<'m> {
             n_heads: model.n_extra_heads(),
         };
         Self::build(model, None, Some(session), rest, seed, body)
+    }
+
+    /// A grammar-constrained speculative generation: the syntax-aligned
+    /// engine ([`Stepper::speculative`] with `cfg.syntax_aligned`,
+    /// which this constructor forces on) plus an incremental
+    /// [`GrammarOracle`] that filters candidate-tree construction to
+    /// lexically-viable continuations and dead-tail prunes the built
+    /// paths before verification (see
+    /// [`crate::decode::decode_grammar_speculative`]).
+    pub fn grammar_speculative(
+        model: &'m dyn LanguageModel,
+        oracle: &'m GrammarOracle,
+        prompt: &[TokenId],
+        cfg: DecodeConfig,
+    ) -> Self {
+        let cfg = DecodeConfig {
+            syntax_aligned: true,
+            ..cfg
+        };
+        let mut stepper = Self::speculative(model, prompt, cfg);
+        stepper.attach_grammar(oracle);
+        stepper
+    }
+
+    /// Like [`Stepper::grammar_speculative`], continuing from an
+    /// already-ingested session (prefix sharing). The viability state
+    /// is seeded from the **full** prompt — shared prefix plus `rest` —
+    /// so forked sessions constrain against their complete context.
+    pub fn grammar_speculative_from_session(
+        model: &'m dyn LanguageModel,
+        oracle: &'m GrammarOracle,
+        session: Box<dyn DecodeSession + 'm>,
+        rest: &[TokenId],
+        cfg: DecodeConfig,
+    ) -> Self {
+        let cfg = DecodeConfig {
+            syntax_aligned: true,
+            ..cfg
+        };
+        let mut stepper = Self::speculative_from_session(model, session, rest, cfg);
+        stepper.attach_grammar(oracle);
+        stepper
+    }
+
+    fn attach_grammar(&mut self, oracle: &'m GrammarOracle) {
+        // Death-recovering fold: prompts routinely wrap the Verilog
+        // tail in instruction prose that no lexer survives; recovery
+        // re-arms the machine at each non-Verilog boundary instead of
+        // disabling the grammar layer for the whole request.
+        let state = oracle.advance_recovering(ViabilityState::new(), &self.prompt);
+        self.grammar = Some(GrammarCtx { oracle, state });
     }
 
     /// A classical draft-then-verify generation (draft model proposes a
@@ -340,6 +414,15 @@ impl<'m> Stepper<'m> {
     /// propose and for NTP steppers.
     pub fn last_shape(&self) -> Option<&SpecShape> {
         self.last_shape.as_ref()
+    }
+
+    /// The grammar-prune accounting of the most recent
+    /// [`Stepper::propose`] — candidate tokens considered, pruned as
+    /// dead tails, and surviving to verification. `None` before the
+    /// first propose and for non-grammar steppers; serving engines
+    /// attach it to per-step trace events.
+    pub fn last_prune(&self) -> Option<PruneRecord> {
+        self.last_prune
     }
 
     /// Pins the shape of the **next** [`Stepper::propose`] (a serving
@@ -449,8 +532,23 @@ impl<'m> Stepper<'m> {
                     .expect("stepper is parked; unpark before stepping");
                 let step_start = session.len();
                 let all = all_logits.unwrap_or_else(|| session.multi_logits());
-                let base_tok = self.sampler.sample(&all[0], sampling);
-                let paths = build_candidate_paths(&all, n_heads, &shape);
+                // One RNG draw either way: the grammar engine
+                // substitutes a non-viable draw deterministically from
+                // the ranked base logits, so its sampled stream stays
+                // seed-aligned with the unconstrained engine's.
+                let mut base_tok = self.sampler.sample(&all[0], sampling);
+                let paths = match &self.grammar {
+                    Some(g) => {
+                        base_tok = constrain_base_token(base_tok, &all[0], g.oracle, g.state, eos);
+                        let after_base = g.oracle.advance(g.state, base_tok);
+                        let (paths, record) = build_grammar_candidate_paths(
+                            &all, n_heads, &shape, g.oracle, after_base, eos,
+                        );
+                        self.last_prune = Some(record);
+                        paths
+                    }
+                    None => build_candidate_paths(&all, n_heads, &shape),
+                };
                 let candidate_tokens: usize = paths.iter().map(Vec::len).sum();
                 let verify_issued = base_tok != eos && candidate_tokens > 0;
                 if verify_issued {
@@ -701,12 +799,8 @@ impl<'m> Stepper<'m> {
         // Syntax-integrity check (§III-B): the committed span must end
         // on a complete fragment.
         let mut truncated = 0usize;
-        if syntax_aligned && !committed.contains(&eos) {
-            let keep = committed
-                .iter()
-                .rposition(|&t| t == special::FRAG)
-                .map(|p| p + 1)
-                .unwrap_or(1);
+        if syntax_aligned {
+            let keep = syntax_keep_len(&committed, special::FRAG, eos);
             truncated = committed.len() - keep;
             committed.truncate(keep);
         }
@@ -726,6 +820,13 @@ impl<'m> Stepper<'m> {
         self.out.steps += 1;
 
         let hit_eos = committed.contains(&eos);
+        // Advance the grammar viability state over the committed span
+        // (death-recovering, matching the prompt seeding) — the state
+        // stays a pure function of `prompt + out.tokens`, the invariant
+        // park/unpark relies on.
+        if let Some(g) = &mut self.grammar {
+            g.state = g.oracle.advance_recovering(g.state, &committed);
+        }
         self.target_mut().append(&committed);
         self.out.tokens.extend_from_slice(&committed);
         self.out.trace.push(StepTrace {

@@ -1,6 +1,6 @@
-//! Bench-trajectory guard: structural CI gate over the three committed
+//! Bench-trajectory guard: structural CI gate over the four committed
 //! bench artifacts (`BENCH_decode.json`, `BENCH_serve.json`,
-//! `BENCH_load.json`).
+//! `BENCH_load.json`, `BENCH_quality.json`).
 //!
 //! The bench smokes regenerate the artifacts; this binary then fails
 //! the build if their *shape* regressed — a column renamed or dropped,
@@ -12,7 +12,7 @@
 //! produced under proven parity.
 //!
 //! Usage: `cargo run -p verispec-eval --bin bench_guard [--] [dir]`
-//! where `dir` holds the three JSONs (default: the workspace root).
+//! where `dir` holds the four JSONs (default: the workspace root).
 //! Exits non-zero listing every violated invariant.
 
 use serde::Value;
@@ -355,6 +355,103 @@ fn check_load(g: &mut Guard, doc: &Value) {
     }
 }
 
+/// One engine's row of the quality gate, as read back from the
+/// artifact.
+struct QualityCell {
+    engine: String,
+    parse: f64,
+    elaborate: f64,
+    acceptance: f64,
+    speculated: f64,
+}
+
+/// `BENCH_quality.json`: all four engines present, every rate finite
+/// and in [0, 1] with the parse >= elaborate >= sim-pass staging
+/// monotone, NTP never speculating, and the grammar engine's headline
+/// result intact — realized acceptance strictly above the unconstrained
+/// (grammar-free) tree it builds on, at parse/elaborate rates no worse.
+fn check_quality(g: &mut Guard, doc: &Value) {
+    let mut cells: Vec<QualityCell> = Vec::new();
+    for (i, row) in rows(g, doc, "BENCH_quality.json").iter().enumerate() {
+        let ctx = format!("BENCH_quality.json[{i}]");
+        let engine = string(g, row, &ctx, "engine").to_string();
+        let samples = number(g, row, &ctx, "samples");
+        g.check(samples > 0.0, || format!("{ctx}: zero samples scored"));
+        let mut rate = |name: &str| {
+            let v = number(g, row, &ctx, name);
+            g.check((0.0..=1.0).contains(&v), || {
+                format!("{ctx}: `{name}` not a rate in [0, 1] ({v})")
+            });
+            v
+        };
+        let parse = rate("parse_rate");
+        let elaborate = rate("elaborate_rate");
+        let sim = rate("sim_pass_rate");
+        let acceptance = rate("realized_acceptance");
+        g.check(parse >= elaborate && elaborate >= sim, || {
+            format!(
+                "{ctx}: stage rates not monotone (parse {parse} / elab {elaborate} / sim {sim})"
+            )
+        });
+        let speculated = number(g, row, &ctx, "speculated_tokens");
+        let accepted = number(g, row, &ctx, "accepted_spec_tokens");
+        g.check(accepted <= speculated, || {
+            format!("{ctx}: accepted spec tokens ({accepted}) exceed speculated ({speculated})")
+        });
+        cells.push(QualityCell {
+            engine,
+            parse,
+            elaborate,
+            acceptance,
+            speculated,
+        });
+    }
+    for want in ["NTP", "Medusa-tree", "Ours-tree", "Grammar-tree"] {
+        g.check(cells.iter().any(|c| c.engine == want), || {
+            format!("BENCH_quality.json: engine `{want}` vanished from the gate")
+        });
+    }
+    if let Some(ntp) = cells.iter().find(|c| c.engine == "NTP") {
+        g.check(ntp.speculated == 0.0 && ntp.acceptance == 0.0, || {
+            format!(
+                "BENCH_quality.json: NTP row speculates ({} tokens, acceptance {})",
+                ntp.speculated, ntp.acceptance
+            )
+        });
+    }
+    // The headline comparison: `Grammar-tree` is `Ours-tree` plus the
+    // propose-time grammar layer (same trained model, same prompts,
+    // same candidate budget), so the gate pins the layer's effect
+    // directly.
+    let (grammar, ours) = (
+        cells.iter().find(|c| c.engine == "Grammar-tree"),
+        cells.iter().find(|c| c.engine == "Ours-tree"),
+    );
+    if let Some((grammar, ours)) = grammar.zip(ours) {
+        g.check(grammar.acceptance > ours.acceptance, || {
+            format!(
+                "BENCH_quality.json: grammar realized acceptance ({}) not strictly \
+                 above the unconstrained tree's ({})",
+                grammar.acceptance, ours.acceptance
+            )
+        });
+        g.check(grammar.parse >= ours.parse, || {
+            format!(
+                "BENCH_quality.json: grammar parse rate ({}) below the \
+                 unconstrained tree's ({})",
+                grammar.parse, ours.parse
+            )
+        });
+        g.check(grammar.elaborate >= ours.elaborate, || {
+            format!(
+                "BENCH_quality.json: grammar elaborate rate ({}) below the \
+                 unconstrained tree's ({})",
+                grammar.elaborate, ours.elaborate
+            )
+        });
+    }
+}
+
 /// One artifact's structural checker.
 type Checker = fn(&mut Guard, &Value);
 
@@ -364,10 +461,11 @@ fn main() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
     let mut g = Guard::new();
-    let checkers: [(&str, Checker); 3] = [
+    let checkers: [(&str, Checker); 4] = [
         ("BENCH_decode.json", check_decode),
         ("BENCH_serve.json", check_serve),
         ("BENCH_load.json", check_load),
+        ("BENCH_quality.json", check_quality),
     ];
     for (file, check) in checkers {
         let path = dir.join(file);
@@ -388,7 +486,7 @@ fn main() {
     }
     if g.violations.is_empty() {
         println!(
-            "bench guard OK: {} structural invariants hold across the three artifacts",
+            "bench guard OK: {} structural invariants hold across the four artifacts",
             g.checks
         );
     } else {

@@ -73,7 +73,7 @@ impl Scale {
 }
 
 /// Deterministic per-(problem, sample) seed.
-fn sample_seed(problem_id: &str, sample: usize, salt: u64) -> u64 {
+pub(crate) fn sample_seed(problem_id: &str, sample: usize, salt: u64) -> u64 {
     let mut h = DefaultHasher::new();
     problem_id.hash(&mut h);
     sample.hash(&mut h);
@@ -82,7 +82,7 @@ fn sample_seed(problem_id: &str, sample: usize, salt: u64) -> u64 {
 }
 
 /// Simple work-stealing parallel map over `items`.
-fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

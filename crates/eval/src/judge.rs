@@ -112,7 +112,7 @@ pub fn judge(code: &str, problem: &Problem, seed: u64) -> Verdict {
 
 /// Checks that the design exposes every port the testbench drives and
 /// observes, with the right directions and widths.
-fn check_interface(design: &Design, problem: &Problem) -> Result<(), String> {
+pub(crate) fn check_interface(design: &Design, problem: &Problem) -> Result<(), String> {
     use verispec_verilog::ast::Direction;
     let iface = &problem.module.interface;
     let mut required: Vec<(&str, u32, Direction)> = Vec::new();

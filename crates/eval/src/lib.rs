@@ -11,6 +11,10 @@
 //!   golden-model equivalence);
 //! * [`pipeline`] — corpus → tokenizer → trained models (with on-disk
 //!   caching) → generation;
+//! * [`quality`] — the simulation-backed quality gate: per-engine
+//!   parse/elaborate/sim-pass rates plus realized acceptance at equal
+//!   candidate budget, with the grammar-constrained engine compared
+//!   head-to-head against the unconstrained tree (`BENCH_quality.json`);
 //! * [`experiments`] — Table I, Table II, Fig. 1, Fig. 5, Fig. 6
 //!   runners with quick/full scales;
 //! * [`load`] — the serve-aware Table II: latency percentiles under an
@@ -38,6 +42,7 @@ pub mod judge;
 pub mod load;
 pub mod metrics;
 pub mod pipeline;
+pub mod quality;
 
 pub use benchmarks::{rtllm_sim, speed_prompts, vgen_sim, Benchmark, Problem, PromptStyle};
 pub use experiments::{
@@ -52,6 +57,9 @@ pub use load::{
 };
 pub use metrics::{mean_pass_at_k, pass_at_k, pass_rate, PromptCounts, QualityRow};
 pub use pipeline::{
-    generate, generate_stateless, token_budget, Generation, ModelScale, Pipeline, PipelineConfig,
-    SharedPrefixEncoder,
+    generate, generate_grammar, generate_stateless, token_budget, Generation, ModelScale, Pipeline,
+    PipelineConfig, SharedPrefixEncoder,
+};
+pub use quality::{
+    render_quality_gate, run_quality_gate, stage_judge, QualityGateRow, StageOutcome, QUALITY_TREE,
 };

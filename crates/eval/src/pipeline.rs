@@ -11,8 +11,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use verispec_core::{DecodeConfig, DecodeMethod, DecodeOutput, TrainConfig, TrainMethod};
+use verispec_core::{
+    decode_grammar_speculative, DecodeConfig, DecodeMethod, DecodeOutput, TrainConfig, TrainMethod,
+};
 use verispec_data::{alpaca_format, Corpus, CorpusConfig};
+use verispec_grammar::GrammarOracle;
 use verispec_lm::{GpuCostModel, MlpLm, MlpLmConfig, TokenId};
 use verispec_tokenizer::{special, BpeTokenizer, BpeTrainer};
 use verispec_verilog::fragment::defragmentize;
@@ -368,6 +371,27 @@ pub fn generate_stateless(
     )
 }
 
+/// Like [`generate`], but decoding through the grammar-constrained
+/// speculation engine: tagged prompts against the Ours-trained model
+/// (the only regime whose outputs carry the `[FRAG]` markers the
+/// dead-tail pruner keys on), with `oracle` viability-filtering and
+/// pruning every candidate tree at propose time. Same prompt
+/// construction and cleaned-code post-processing as [`generate`] under
+/// [`verispec_core::TrainMethod::Ours`], so quality comparisons against
+/// the unconstrained tree isolate the propose-time grammar layer.
+pub fn generate_grammar(
+    model: &MlpLm,
+    tokenizer: &BpeTokenizer,
+    oracle: &GrammarOracle,
+    problem: &Problem,
+    decode_cfg: &DecodeConfig,
+    cost: &GpuCostModel,
+) -> Generation {
+    let prompt = tokenizer.encode(&problem.prompt_tagged());
+    let output = decode_grammar_speculative(model, oracle, &prompt, decode_cfg, cost);
+    clean(tokenizer, output)
+}
+
 /// Shared generation body over any [`LanguageModel`].
 fn generate_on(
     model: &dyn verispec_lm::LanguageModel,
@@ -383,10 +407,14 @@ fn generate_on(
     };
     let prompt = tokenizer.encode(&prompt_text);
     let output = decode_method_of(method).decode(model, &prompt, decode_cfg, cost);
+    clean(tokenizer, output)
+}
+
+/// The paper's "Cleaned Code" step: decode the generated ids and strip
+/// `[FRAG]` markers and stray specials.
+fn clean(tokenizer: &BpeTokenizer, output: DecodeOutput) -> Generation {
     let gen_ids = output.tokens_without_eos();
     let text = tokenizer.decode(&gen_ids);
-    // Strip [FRAG] markers (the paper's "Cleaned Code" step) and any
-    // stray specials.
     let code = defragmentize(&text)
         .replace("[PAD]", "")
         .replace("[BOS]", "")

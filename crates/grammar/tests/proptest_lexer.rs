@@ -1,0 +1,125 @@
+//! Cross-checks [`ViabilityState`] against the real
+//! `verispec-verilog` lexer: viability must be *complete* — it never
+//! declares dead a byte stream the actual downstream pipeline (lexing
+//! plus prefix-wise bracket balance) accepts. Soundness of individual
+//! dead transitions is unit-tested in the crate.
+
+use proptest::prelude::*;
+use verispec_grammar::ViabilityState;
+use verispec_verilog::{lex, TokenKind};
+
+/// A pool of lexemes covering every token class of the subset;
+/// space-joined sequences of these always lex.
+const POOL: &[&str] = &[
+    "module",
+    "assign",
+    "endmodule",
+    "x",
+    "y1",
+    "_w$2",
+    "4'b1010",
+    "8'hFF",
+    "'b0",
+    "12'o77",
+    "4'sd3",
+    "16'hDE_AD",
+    "3'b1?1",
+    "123",
+    "1_000",
+    "\"str\"",
+    "\"e\\\"s\"",
+    "$display",
+    "\\esc[0] ",
+    "// line\n",
+    "/* blk */",
+    "`dir\n",
+    "+",
+    "-",
+    "==",
+    "===",
+    "<<<",
+    "<=",
+    ";",
+    ",",
+    ".",
+    "@",
+    "#",
+    "?",
+    ":",
+    "~^",
+    "**",
+    "&&",
+];
+
+fn state_of(text: &str) -> ViabilityState {
+    let mut s = ViabilityState::new();
+    s.feed_str(text);
+    s
+}
+
+/// Whether running depth of each bracket kind stays non-negative over
+/// the *lexed* token stream (so brackets inside comments, strings, and
+/// escaped identifiers don't count — exactly the streams for which a
+/// syntactically valid continuation can exist).
+fn prefix_balanced(src: &str) -> bool {
+    let Ok(tokens) = lex(src) else { return false };
+    let (mut p, mut b, mut c) = (0i64, 0i64, 0i64);
+    for t in &tokens {
+        match t.kind {
+            TokenKind::LParen => p += 1,
+            TokenKind::RParen => p -= 1,
+            TokenKind::LBracket => b += 1,
+            TokenKind::RBracket => b -= 1,
+            TokenKind::LBrace => c += 1,
+            TokenKind::RBrace => c -= 1,
+            _ => {}
+        }
+        if p < 0 || b < 0 || c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Space-joined pool lexemes, wrapped in balanced brackets, always
+    /// lex — and every byte prefix must stay lexically viable.
+    #[test]
+    fn pool_sequences_and_all_their_prefixes_stay_alive(
+        picks in prop::collection::vec(0usize..POOL.len(), 0..12),
+        wraps in prop::collection::vec(0usize..3, 0..4),
+    ) {
+        let mut src: String = picks
+            .iter()
+            .map(|&i| POOL[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        for &w in &wraps {
+            let (open, close) = [("(", ")"), ("[", "]"), ("{", "}")][w];
+            src = format!("{open} {src} {close}");
+        }
+        prop_assert!(lex(&src).is_ok(), "pool text must lex: {src:?}");
+        let mut s = ViabilityState::new();
+        for (i, &byte) in src.as_bytes().iter().enumerate() {
+            s.feed_byte(byte);
+            prop_assert!(!s.is_dead(), "dead at byte {i} of {src:?}");
+        }
+    }
+
+    /// Completeness on arbitrary ASCII soup: whenever the real lexer
+    /// accepts the text and its bracket depths never go negative, the
+    /// viability state must be alive.
+    #[test]
+    fn viability_is_complete_for_lexable_balanced_text(
+        src in "[ -~\n\t]{0,40}",
+    ) {
+        if prefix_balanced(&src) {
+            prop_assert!(
+                !state_of(&src).is_dead(),
+                "lexable balanced text declared dead: {src:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Pins the conservativeness of [`dead_tail_prune`] against the
+//! post-hoc syntax-integrity rule ([`syntax_keep_len`]): the pruner
+//! never removes a candidate token the unpruned engine would have
+//! committed, for *any* deterministic acceptance function.
+//!
+//! The commit model mirrors `commit_spec` in `verispec-core`:
+//! acceptance is a pure function of (prefix-so-far, offered token) —
+//! the same walk every path sharing a prefix sees — the longest
+//! accepted prefix wins (first on ties), EOS stops a walk, and the
+//! committed span `[base] + best` is cut to `syntax_keep_len`.
+
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use verispec_grammar::{dead_tail_prune, syntax_keep_len};
+use verispec_tokenizer::special;
+
+type TokenId = u32;
+
+const FRAG: TokenId = special::FRAG;
+const EOS: TokenId = special::EOS;
+
+/// Deterministic acceptance: a pure function of the acceptance seed,
+/// the base token, the path prefix already accepted, and the offered
+/// token — never of the path's tail.
+fn accepts(seed: u64, base: TokenId, prefix: &[TokenId], tok: TokenId) -> bool {
+    let mut h = DefaultHasher::new();
+    (seed, base, prefix, tok).hash(&mut h);
+    !h.finish().is_multiple_of(4)
+}
+
+/// Length of the accepted prefix of `path` (EOS, once accepted,
+/// terminates the walk).
+fn accepted_len(seed: u64, base: TokenId, path: &[TokenId]) -> usize {
+    let mut n = 0;
+    for (i, &t) in path.iter().enumerate() {
+        if !accepts(seed, base, &path[..i], t) {
+            break;
+        }
+        n = i + 1;
+        if t == EOS {
+            break;
+        }
+    }
+    n
+}
+
+/// The committed span (base token included) the engine produces from a
+/// candidate path set, post-hoc syntax cut applied.
+fn committed(seed: u64, base: TokenId, paths: &[Vec<TokenId>]) -> Vec<TokenId> {
+    let mut best: &[TokenId] = &[];
+    for p in paths {
+        let n = accepted_len(seed, base, p);
+        if n > best.len() {
+            best = &p[..n];
+        }
+        if best.last() == Some(&EOS) {
+            break;
+        }
+    }
+    let mut span = vec![base];
+    span.extend_from_slice(best);
+    let keep = syntax_keep_len(&span, FRAG, EOS);
+    span.truncate(keep);
+    span
+}
+
+/// The kept (post-cut) candidate count a single path contributes when
+/// it wins verification.
+fn kept_len(seed: u64, base: TokenId, path: &[TokenId]) -> usize {
+    let n = accepted_len(seed, base, path);
+    let mut span = vec![base];
+    span.extend_from_slice(&path[..n]);
+    syntax_keep_len(&span, FRAG, EOS) - 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prune_never_kills_a_committable_token(
+        paths in prop::collection::vec(prop::collection::vec(0u32..8, 0..6), 0..8),
+        base in 5u32..8,
+        seed in any::<u64>(),
+    ) {
+        let mut pruned = paths.clone();
+        let rec = dead_tail_prune(&mut pruned, FRAG, EOS);
+
+        // Accounting is exact and pruning only shrinks.
+        let before: usize = paths.iter().map(Vec::len).sum();
+        let after: usize = pruned.iter().map(Vec::len).sum();
+        prop_assert_eq!(rec.considered, before);
+        prop_assert_eq!(rec.surviving, after);
+        prop_assert_eq!(rec.pruned, before - after);
+
+        // Structural invariants: every survivor ends at FRAG/EOS, is a
+        // prefix of some original path (nothing invented), no path is a
+        // duplicate or strict prefix of another survivor.
+        for (i, p) in pruned.iter().enumerate() {
+            prop_assert!(matches!(p.last(), Some(&t) if t == FRAG || t == EOS));
+            prop_assert!(paths.iter().any(|o| o.starts_with(p)));
+            for (j, q) in pruned.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!q.starts_with(p), "{p:?} within {q:?}");
+                }
+            }
+        }
+
+        // Idempotence: re-pruning changes nothing.
+        let mut twice = pruned.clone();
+        let rec2 = dead_tail_prune(&mut twice, FRAG, EOS);
+        prop_assert_eq!(&twice, &pruned);
+        prop_assert_eq!(rec2.pruned, 0);
+
+        // Conservativeness: the prune is acceptance-blind, so ONE
+        // pruned set must preserve the unpruned engine's committed
+        // span under MANY different acceptance functions.
+        for round in 0..8u64 {
+            let s = seed.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let old = committed(s, base, &paths);
+            if old.len() > 1 {
+                prop_assert!(
+                    pruned.iter().any(|p| p.starts_with(&old[1..])),
+                    "seed {s}: committed {old:?} lost from {pruned:?}"
+                );
+            }
+            // Per-path kept-length invariance: truncation only removes
+            // acceptance decisions *beyond* the last FRAG/EOS, which
+            // the post-hoc cut discards anyway.
+            for p in &paths {
+                let cut = match p.iter().rposition(|&t| t == FRAG || t == EOS) {
+                    Some(i) => &p[..i + 1],
+                    None => &p[..0],
+                };
+                if !cut.is_empty() {
+                    prop_assert_eq!(
+                        kept_len(s, base, p),
+                        kept_len(s, base, cut),
+                        "path {:?} vs cut {:?}", p, cut
+                    );
+                } else {
+                    prop_assert_eq!(kept_len(s, base, p), 0);
+                }
+            }
+        }
+    }
+}

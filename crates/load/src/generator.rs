@@ -13,6 +13,21 @@ use crate::clock::{LoadRng, VirtualClock};
 use verispec_core::DecodeConfig;
 use verispec_lm::{Sampling, TokenId};
 use verispec_serve::{EngineChoice, Request};
+use verispec_tokenizer::BpeTokenizer;
+
+/// The embedded Verilog sources [`PromptFamily::grammar_stress`] cuts
+/// prompts from (ASCII-only, so every byte index is a char boundary).
+const GRAMMAR_SNIPPETS: &[&str] = &[
+    "module and_or(input a, input b, output y);\n  \
+     assign y = (a & b) | (a ^ b);\nendmodule\n",
+    "module shifter(input [3:0] x, output [3:0] y);\n  \
+     assign y = (x << 1) ^ (x >> 2);\nendmodule\n",
+    "module dff(input clk, input d, output reg q);\n  \
+     always @(posedge clk) begin\n    q <= d;\n  end\nendmodule\n",
+    "module mux3(input a, input b, input sel, output y);\n  \
+     wire pick = sel ? (a & b) : (a | b);\n  \
+     assign y = ~pick;\nendmodule\n",
+];
 
 /// A deterministic open-loop arrival process over virtual ticks.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,6 +206,55 @@ impl PromptFamily {
                 let mut prompt = stems[rng.weighted(&weights)].clone();
                 prompt.extend((0..suffix_len).map(|_| token(&mut rng)));
                 (prompt, budget)
+            })
+            .collect();
+        PromptFamily {
+            name: name.into(),
+            prompts,
+        }
+    }
+
+    /// The grammar-stress family: prompts are real Verilog sources cut
+    /// off at seeded **mid-expression** points (inside an identifier or
+    /// number, splitting the lexeme itself) or **mid-statement** points
+    /// (between the words of an unfinished statement), then byte-level
+    /// BPE encoded. These are the prompts where propose-time lexer
+    /// viability does the most work: the continuation must first finish
+    /// the severed lexeme or statement before the usual token mass
+    /// becomes syntactically possible, so unconstrained candidate trees
+    /// are dense with dead tails for the grammar engine to prune.
+    ///
+    /// The whole family is a pure function of `seed`. Token ids come
+    /// from [`BpeTokenizer::byte_level`], so the serving model must have
+    /// `vocab >= 261` to score them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` (an empty family would trip the workload
+    /// generator's non-empty-family assertion anyway).
+    pub fn grammar_stress(name: &str, count: usize, budget: usize, seed: u64) -> PromptFamily {
+        assert!(count > 0, "need at least one prompt");
+        let tok = BpeTokenizer::byte_level();
+        let mut rng = LoadRng::new(seed ^ 0x6E4A_11E2_57E5_5C01);
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let prompts = (0..count)
+            .map(|_| {
+                let snippet = GRAMMAR_SNIPPETS[rng.below(GRAMMAR_SNIPPETS.len())];
+                let bytes = snippet.as_bytes();
+                let mid_expression = rng.uniform() < 0.5;
+                // Skip the module keyword itself so every prompt at
+                // least opens a module before it is severed.
+                let cuts: Vec<usize> = (8..bytes.len() - 1)
+                    .filter(|&i| {
+                        if mid_expression {
+                            ident(bytes[i - 1]) && ident(bytes[i])
+                        } else {
+                            bytes[i - 1] == b' ' && !bytes[i].is_ascii_whitespace()
+                        }
+                    })
+                    .collect();
+                let cut = cuts[rng.below(cuts.len())];
+                (tok.encode(&snippet[..cut]), budget)
             })
             .collect();
         PromptFamily {
@@ -469,6 +533,44 @@ mod tests {
             free.iter().any(|r| r.engine != EngineChoice::Ntp),
             "the free draw should use the menu"
         );
+    }
+
+    #[test]
+    fn grammar_stress_cuts_mid_lexeme_and_stays_deterministic() {
+        let fam = PromptFamily::grammar_stress("grammar", 40, 12, 7);
+        assert_eq!(fam.prompts.len(), 40);
+        let tok = BpeTokenizer::byte_level();
+        let mut mid_expression = 0usize;
+        let mut mid_statement = 0usize;
+        for (prompt, budget) in &fam.prompts {
+            assert_eq!(*budget, 12);
+            let text = tok.decode(prompt);
+            // Every prompt is a strict prefix of one embedded snippet,
+            // severed where neither a statement nor the file ends.
+            let snippet = GRAMMAR_SNIPPETS
+                .iter()
+                .find(|s| s.starts_with(&text))
+                .expect("prompt is a snippet prefix");
+            assert!(text.len() < snippet.len(), "prompt swallowed the snippet");
+            assert!(text.starts_with("module "), "prompt lost its module head");
+            let last = text.as_bytes()[text.len() - 1];
+            let next = snippet.as_bytes()[text.len()];
+            let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+            if ident(last) && ident(next) {
+                mid_expression += 1;
+            } else {
+                assert_eq!(last, b' ', "cut is neither mid-lexeme nor mid-statement");
+                mid_statement += 1;
+            }
+        }
+        // The seeded coin actually exercises both cut classes.
+        assert!(mid_expression > 0, "no mid-expression cuts drawn");
+        assert!(mid_statement > 0, "no mid-statement cuts drawn");
+        // Pure function of the seed.
+        let again = PromptFamily::grammar_stress("grammar", 40, 12, 7);
+        assert_eq!(fam.prompts, again.prompts);
+        let other = PromptFamily::grammar_stress("grammar", 40, 12, 8);
+        assert_ne!(fam.prompts, other.prompts);
     }
 
     #[test]

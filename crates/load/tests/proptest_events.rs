@@ -13,10 +13,20 @@
 
 use proptest::prelude::*;
 use verispec_core::DecodeConfig;
+use verispec_grammar::GrammarOracle;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, TokenId};
 use verispec_load::{ArrivalProcess, PromptFamily, RequestMix, Workload};
 use verispec_serve::{EngineChoice, Request, ServeConfig, ServeEngine, ServeReport, TickOrder};
+use verispec_tokenizer::BpeTokenizer;
 use verispec_trace::{log_to_json, EventLog, MetricsRegistry, TraceEvent};
+
+/// The shared byte-level grammar oracle the random mixes' `GrammarTree`
+/// requests prune against (built once — it is a pure function of the
+/// byte-level tokenizer).
+fn byte_oracle() -> &'static GrammarOracle {
+    static ORACLE: std::sync::OnceLock<GrammarOracle> = std::sync::OnceLock::new();
+    ORACLE.get_or_init(|| GrammarOracle::from_tokenizer(&BpeTokenizer::byte_level()))
+}
 
 fn any_mlp() -> impl Strategy<Value = MlpLm> {
     (14usize..28, 2usize..6, 2usize..5, 0usize..4, any::<u64>()).prop_map(
@@ -59,6 +69,12 @@ fn full_mix(deadline_slack: Option<f64>) -> RequestMix {
                 1.0,
             ),
             (EngineChoice::DraftVerify { gamma: 3 }, 1.0),
+            (
+                EngineChoice::GrammarTree {
+                    tree: Some(vec![2, 2]),
+                },
+                1.0,
+            ),
         ],
         families: vec![
             (
@@ -94,9 +110,11 @@ fn batch_run(
     cost: &GpuCostModel,
     log: Option<&EventLog>,
 ) -> ServeReport {
+    let oracle = byte_oracle();
     let mut engine = ServeEngine::new(model, cfg.clone())
         .with_draft(draft)
-        .with_prefix(prefix);
+        .with_prefix(prefix)
+        .with_grammar(oracle);
     if let Some(log) = log {
         engine = engine.with_sink(log);
     }
@@ -120,6 +138,7 @@ fn streaming_run(
     let engine = ServeEngine::new(model, cfg.clone())
         .with_draft(draft)
         .with_prefix(prefix)
+        .with_grammar(byte_oracle())
         .with_sink(log);
     let (tx, rx) = std::sync::mpsc::channel();
     for req in requests {
@@ -260,6 +279,14 @@ proptest! {
         prop_assert_eq!(reg.counter("finished.tokens") as usize, s.served_tokens);
         prop_assert_eq!(reg.counter("finished.proposed") as usize, s.proposed_tokens);
         prop_assert_eq!(reg.counter("finished.accepted") as usize, s.accepted_tokens);
+        prop_assert_eq!(reg.counter("grammar.considered") as usize, s.grammar_considered);
+        prop_assert_eq!(reg.counter("grammar.pruned") as usize, s.grammar_pruned);
+        prop_assert_eq!(reg.counter("grammar.surviving") as usize, s.grammar_surviving);
+        prop_assert_eq!(
+            s.grammar_considered,
+            s.grammar_pruned + s.grammar_surviving,
+            "grammar prune accounting drifted in the event stream"
+        );
         prop_assert!(
             reg.counter("finished.accepted") <= reg.counter("finished.proposed"),
             "lifetime accepted exceeded proposed in the event stream"

@@ -1,7 +1,8 @@
 //! Trace-replay regression corpus: committed "interesting"
 //! [`ArrivalTrace`] JSONs under `tests/traces/` — a tail-latency
-//! blowup, a shed storm, eviction churn, and EDF deadline pressure —
-//! each replayed against a pinned engine configuration and asserted
+//! blowup, a shed storm, eviction churn, EDF deadline pressure, and a
+//! grammar-stress mix of severed Verilog prompts — each replayed
+//! against a pinned engine configuration and asserted
 //! **bit-identical** to its committed golden summary
 //! (`tests/traces/goldens.json`: completions, shed count, total
 //! committed tokens, tick schedule length, evictions, deadlines met).
@@ -22,9 +23,11 @@
 
 use serde::{Deserialize, Serialize};
 use verispec_core::DecodeConfig;
+use verispec_grammar::GrammarOracle;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, TokenId};
 use verispec_load::{ArrivalProcess, ArrivalTrace, PromptFamily, RequestMix, Workload};
 use verispec_serve::{EngineChoice, ServeConfig, ServeEngine, ServeReport, TickOrder};
+use verispec_tokenizer::BpeTokenizer;
 
 /// The pinned model every trace replays against (pure seeded f32
 /// math — identical on every machine).
@@ -36,6 +39,20 @@ fn model() -> MlpLm {
         context: 4,
         n_heads: 3,
         seed: 0xC0FFEE,
+    })
+}
+
+/// The pinned model the grammar-stress trace replays against: its
+/// vocab covers the full byte-level tokenizer (261 ids) so the
+/// grammar-stress family's encoded Verilog prompts are in range.
+fn byte_model() -> MlpLm {
+    MlpLm::new(MlpLmConfig {
+        vocab: 261,
+        d_emb: 6,
+        d_hidden: 12,
+        context: 4,
+        n_heads: 3,
+        seed: 0x6EA2_C0DE,
     })
 }
 
@@ -59,6 +76,9 @@ struct TraceCase {
     cfg: ServeConfig,
     /// Replay through a pre-ingested shared-prefix session.
     with_prefix: bool,
+    /// Replay against [`byte_model`] with the byte-level
+    /// [`GrammarOracle`] attached (the grammar-stress case).
+    grammar: bool,
     workload: Workload,
 }
 
@@ -108,6 +128,7 @@ fn corpus() -> Vec<TraceCase> {
             name: "tail_blowup",
             cfg: ServeConfig::concurrency(2),
             with_prefix: false,
+            grammar: false,
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 2.0 },
                 mix: corpus_mix(None),
@@ -127,6 +148,7 @@ fn corpus() -> Vec<TraceCase> {
                 ..Default::default()
             },
             with_prefix: false,
+            grammar: false,
             workload: Workload {
                 process: ArrivalProcess::OnOff {
                     rate: 3.0,
@@ -148,6 +170,7 @@ fn corpus() -> Vec<TraceCase> {
                 ..ServeConfig::concurrency(2)
             },
             with_prefix: true,
+            grammar: false,
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 1.0 },
                 mix: corpus_mix(None),
@@ -168,6 +191,7 @@ fn corpus() -> Vec<TraceCase> {
                 ..ServeConfig::concurrency(2)
             },
             with_prefix: false,
+            grammar: false,
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 1.0 },
                 mix: RequestMix {
@@ -192,6 +216,7 @@ fn corpus() -> Vec<TraceCase> {
                 ..ServeConfig::concurrency(2)
             },
             with_prefix: false,
+            grammar: false,
             workload: Workload {
                 process: ArrivalProcess::Ramp {
                     start_rate: 0.2,
@@ -201,6 +226,41 @@ fn corpus() -> Vec<TraceCase> {
                 mix: corpus_mix(Some(2.5)),
                 count: 16,
                 seed: 0xDEAD_11E5,
+            },
+        },
+        // Verilog sources severed mid-expression / mid-statement,
+        // served through the grammar-constrained engine next to its
+        // unconstrained siblings: propose-time viability filtering and
+        // dead-tail pruning churn on every step — and the prune
+        // accounting, like every output, must replay bit-identically.
+        TraceCase {
+            name: "grammar_stress",
+            cfg: ServeConfig::concurrency(2),
+            with_prefix: false,
+            grammar: true,
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.0 },
+                mix: RequestMix {
+                    engines: vec![
+                        (
+                            EngineChoice::GrammarTree {
+                                tree: Some(vec![2, 2]),
+                            },
+                            3.0,
+                        ),
+                        (
+                            EngineChoice::SyntaxAligned {
+                                tree: Some(vec![2, 2]),
+                            },
+                            1.0,
+                        ),
+                        (EngineChoice::Ntp, 1.0),
+                    ],
+                    families: vec![(PromptFamily::grammar_stress("grammar", 10, 12, 0x6AA5), 1.0)],
+                    ..corpus_mix(None)
+                },
+                count: 14,
+                seed: 0x6A3A_57E5,
             },
         },
     ]
@@ -225,6 +285,13 @@ struct GoldenSummary {
     prefix_misses: usize,
     #[serde(default)]
     prefix_evictions: usize,
+    /// Grammar-prune counters (all zero without an attached oracle).
+    #[serde(default)]
+    grammar_considered: usize,
+    #[serde(default)]
+    grammar_pruned: usize,
+    #[serde(default)]
+    grammar_surviving: usize,
 }
 
 impl GoldenSummary {
@@ -244,6 +311,9 @@ impl GoldenSummary {
             prefix_hits: report.stats.prefix_hits,
             prefix_misses: report.stats.prefix_misses,
             prefix_evictions: report.stats.prefix_evictions,
+            grammar_considered: report.stats.grammar_considered,
+            grammar_pruned: report.stats.grammar_pruned,
+            grammar_surviving: report.stats.grammar_surviving,
         }
     }
 }
@@ -254,14 +324,18 @@ fn traces_dir() -> std::path::PathBuf {
 
 /// Replays a trace's requests under the case's pinned configuration.
 fn replay(case: &TraceCase, trace: &ArrivalTrace) -> ServeReport {
-    let m = model();
+    let m = if case.grammar { byte_model() } else { model() };
     let d = draft();
+    let oracle = GrammarOracle::from_tokenizer(&BpeTokenizer::byte_level());
     let cost = GpuCostModel::codellama_like();
     let mut prefix = m.session();
     prefix.append(&SHARED_PREFIX);
     let mut engine = ServeEngine::new(&m, case.cfg.clone()).with_draft(&d);
     if case.with_prefix {
         engine = engine.with_prefix(&*prefix);
+    }
+    if case.grammar {
+        engine = engine.with_grammar(&oracle);
     }
     for req in trace.replay() {
         engine.submit(req);
@@ -371,6 +445,22 @@ fn corpus_traces_exercise_their_failure_modes() {
                     report.stats.prefix_evictions >= 3,
                     "zipf trace stopped evicting cached stems ({})",
                     report.stats.prefix_evictions
+                );
+            }
+            "grammar_stress" => {
+                assert!(
+                    report.stats.grammar_considered > 0,
+                    "grammar trace stopped reaching the grammar engine"
+                );
+                assert!(
+                    report.stats.grammar_pruned > 0,
+                    "grammar trace stopped pruning dead tails ({} considered, 0 pruned)",
+                    report.stats.grammar_considered
+                );
+                assert_eq!(
+                    report.stats.grammar_considered,
+                    report.stats.grammar_pruned + report.stats.grammar_surviving,
+                    "grammar prune accounting drifted"
                 );
             }
             "edf_pressure" => {

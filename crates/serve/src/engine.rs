@@ -37,6 +37,7 @@ use std::collections::HashMap;
 use verispec_core::{
     AcceptHistory, Phase, ShapeQuery, SpecPolicy, SpecShape, Stepper, STATIC_POLICY,
 };
+use verispec_grammar::GrammarOracle;
 use verispec_lm::{
     multi_logits_many, verify_many, DecodeSession, GpuCostModel, LanguageModel, MlpLm, VerifyPlan,
 };
@@ -211,6 +212,20 @@ pub struct ServeStats {
     /// `2^i <= d < 2^(i+1)` (the last bucket absorbs deeper hits).
     #[serde(default)]
     pub prefix_depth_hist: [u64; 8],
+    /// Candidate tokens grammar-constrained steps built before
+    /// dead-tail pruning (0 unless [`EngineChoice::GrammarTree`]
+    /// requests ran with an oracle attached).
+    #[serde(default)]
+    pub grammar_considered: usize,
+    /// Candidate tokens cut at propose time as dead tails — speculation
+    /// that was never verified because it could not survive the
+    /// post-hoc syntax check.
+    #[serde(default)]
+    pub grammar_pruned: usize,
+    /// Candidate tokens grammar-constrained steps actually sent to
+    /// verification (`considered - pruned`).
+    #[serde(default)]
+    pub grammar_surviving: usize,
 }
 
 impl ServeStats {
@@ -243,6 +258,15 @@ impl ServeStats {
             EventKind::PrefixEvicted => self.prefix_evictions += 1,
             EventKind::Shed { .. } => self.shed_requests += 1,
             EventKind::IdleSkip { skipped } => self.idle_ticks_skipped += skipped,
+            EventKind::GrammarPrune {
+                considered,
+                pruned,
+                surviving,
+            } => {
+                self.grammar_considered += considered;
+                self.grammar_pruned += pruned;
+                self.grammar_surviving += surviving;
+            }
             EventKind::Finished {
                 tokens,
                 proposed,
@@ -286,6 +310,9 @@ impl ServeStats {
         self.prefix_misses += other.prefix_misses;
         self.prefix_tokens_saved += other.prefix_tokens_saved;
         self.prefix_evictions += other.prefix_evictions;
+        self.grammar_considered += other.grammar_considered;
+        self.grammar_pruned += other.grammar_pruned;
+        self.grammar_surviving += other.grammar_surviving;
         self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
         for (mine, theirs) in self
             .prefix_depth_hist
@@ -383,6 +410,10 @@ pub struct ServeEngine<'m> {
     /// serves correctly but without fusion.
     fused: Option<&'m MlpLm>,
     draft: Option<&'m dyn LanguageModel>,
+    /// Token-byte oracle [`EngineChoice::GrammarTree`] requests
+    /// constrain speculation with; `None` degrades them to plain
+    /// syntax-aligned speculation.
+    grammar: Option<&'m GrammarOracle>,
     /// Shared, already-ingested prompt-prefix session: submissions whose
     /// prompt starts with its context are admitted from a fork of it.
     prefix: Option<&'m dyn DecodeSession>,
@@ -438,6 +469,7 @@ impl<'m> ServeEngine<'m> {
             target,
             fused,
             draft: None,
+            grammar: None,
             prefix: None,
             cache,
             cfg,
@@ -517,6 +549,17 @@ impl<'m> ServeEngine<'m> {
     /// verify against.
     pub fn with_draft(mut self, draft: &'m dyn LanguageModel) -> Self {
         self.draft = Some(draft);
+        self
+    }
+
+    /// Attaches the grammar oracle [`EngineChoice::GrammarTree`]
+    /// requests constrain their speculation with (typically
+    /// [`verispec_grammar::GrammarOracle::from_tokenizer`], shared by
+    /// every request). Without one, grammar requests run as plain
+    /// syntax-aligned speculation — same commits, no propose-time
+    /// pruning.
+    pub fn with_grammar(mut self, oracle: &'m GrammarOracle) -> Self {
+        self.grammar = Some(oracle);
         self
     }
 
@@ -884,6 +927,23 @@ impl<'m> ServeEngine<'m> {
                     .expect("draft engine resolves a draft config");
                 Stepper::draft_verify_from_session(self.target, draft, session, rest, dcfg)
             }
+            EngineChoice::GrammarTree { .. } => match self.grammar {
+                Some(oracle) => Stepper::grammar_speculative_from_session(
+                    self.target,
+                    oracle,
+                    session,
+                    rest,
+                    req.engine.decode_config(&req.cfg),
+                ),
+                // Documented degradation: without an oracle the request
+                // runs as plain syntax-aligned speculation.
+                None => Stepper::speculative_from_session(
+                    self.target,
+                    session,
+                    rest,
+                    req.engine.decode_config(&req.cfg),
+                ),
+            },
             _ => Stepper::speculative_from_session(
                 self.target,
                 session,
@@ -1397,6 +1457,20 @@ impl<'m> ServeEngine<'m> {
             let a = &mut self.active[i];
             a.step_ticks.push(self.tick);
             a.first_commit_secs.get_or_insert(now);
+            // Grammar prune accounting is cheap (three counters) and
+            // has a stats equivalent, so it is emitted unconditionally
+            // — like every stats-backed event — not gated on tracing.
+            if let Some(rec) = self.active[i].stepper.last_prune() {
+                let id = self.active[i].id;
+                self.emit(
+                    Some(id),
+                    EventKind::GrammarPrune {
+                        considered: rec.considered,
+                        pruned: rec.pruned,
+                        surviving: rec.surviving,
+                    },
+                );
+            }
             if self.traced() {
                 let a = &self.active[i];
                 let id = a.id;

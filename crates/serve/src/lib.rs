@@ -42,6 +42,8 @@
 //!                              │  per-tick verify capacity ─┼─ history, cap} →
 //!                              │  (pin shape / defer)       │ SpecShape per req
 //!                              │ fused propose  ────────────┼─► multi_logits_many
+//!                              │  └ GrammarOracle filters + │   (grammar layer:
+//!                              │    dead-tail prunes trees  │    verispec-grammar)
 //!                              │ fused verify   ────────────┼─► verify_many
 //!                              │ per-request commit         │   (one matvec_batch
 //!                              │  └ step_ticks + acceptance │    pass each, lane-
@@ -64,8 +66,15 @@
 //!
 //! * **[`Request`]** — prompt, per-request engine choice
 //!   ([`EngineChoice`]: NTP / MEDUSA chain / tree / syntax-aligned /
-//!   draft-verify), decode budgets, arrival tick, and an optional SLO
-//!   deadline tick.
+//!   draft-verify / grammar-tree), decode budgets, arrival tick, and an
+//!   optional SLO deadline tick. Grammar-tree requests run against the
+//!   engine's shared [`verispec_grammar::GrammarOracle`]
+//!   ([`ServeEngine::with_grammar`]): candidate trees are
+//!   viability-filtered and dead-tail pruned at propose time, each
+//!   step's prune accounting is emitted as a
+//!   [`verispec_trace::EventKind::GrammarPrune`] event, and freed
+//!   candidate slots re-widen surviving branches within the budget the
+//!   per-tick capacity pass charged.
 //! * **[`Scheduler`]** — selects each tick's batch under a fairness
 //!   policy ([`TickOrder`], including earliest-deadline-first for
 //!   SLO-carrying requests), with an aging guard that bounds every
@@ -258,6 +267,11 @@ mod tests {
                 tree: Some(vec![2]),
             },
             EngineChoice::DraftVerify { gamma: 3 },
+            // Without an oracle attached this degrades to plain
+            // syntax-aligned speculation — the parity tests cover it.
+            EngineChoice::GrammarTree {
+                tree: Some(vec![2]),
+            },
         ];
         engines
             .into_iter()
@@ -839,6 +853,97 @@ mod tests {
             edf > rr,
             "EDF must meet more deadlines than round-robin ({edf} vs {rr})"
         );
+    }
+
+    #[test]
+    fn grammar_tree_served_equals_serial_grammar_engine() {
+        use verispec_core::decode_grammar_speculative;
+        use verispec_grammar::GrammarOracle;
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        // A mixed byte map over the model's 14-token vocab: specials
+        // transparent, mostly benign Verilog bytes, one lethal control
+        // byte so the viability filter actually fires.
+        let bytes: Vec<Vec<u8>> = (0..14usize)
+            .map(|id| match id {
+                0..=4 => Vec::new(),
+                5 => b"(".to_vec(),
+                6 => b")".to_vec(),
+                7 => b"a".to_vec(),
+                8 => b" ".to_vec(),
+                9 => b";".to_vec(),
+                10 => vec![0x07],
+                11 => b"{".to_vec(),
+                12 => b"}".to_vec(),
+                _ => b"b".to_vec(),
+            })
+            .collect();
+        let oracle = GrammarOracle::new(bytes);
+        let requests: Vec<Request> = (0..4u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    vec![1 + (i % 4) as TokenId, 2, 3],
+                    EngineChoice::GrammarTree {
+                        tree: Some(vec![2, 2]),
+                    },
+                    DecodeConfig {
+                        max_tokens: 12,
+                        sampling: if i % 2 == 0 {
+                            Sampling::Greedy
+                        } else {
+                            Sampling::temperature(0.7)
+                        },
+                        seed: 31 * i + 5,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let expected: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| {
+                decode_grammar_speculative(
+                    &m,
+                    &oracle,
+                    &r.prompt,
+                    &r.engine.decode_config(&r.cfg),
+                    &cost,
+                )
+                .tokens
+            })
+            .collect();
+        let mut engine = ServeEngine::new(&m, ServeConfig::concurrency(2)).with_grammar(&oracle);
+        for r in requests.clone() {
+            engine.submit(r);
+        }
+        let report = engine.run(&cost);
+        for (c, want) in report.completions.iter().zip(&expected) {
+            assert_eq!(&c.output.tokens, want, "request {} diverged", c.id);
+        }
+        // Prune accounting flows through the event fold into the stats.
+        assert!(report.stats.grammar_considered > 0);
+        assert_eq!(
+            report.stats.grammar_considered,
+            report.stats.grammar_pruned + report.stats.grammar_surviving
+        );
+        // Without an oracle the same requests degrade to plain
+        // syntax-aligned speculation, with zero grammar accounting.
+        let plain: Vec<Vec<TokenId>> = requests
+            .iter()
+            .map(|r| {
+                decode_speculative(&m, &r.prompt, &r.engine.decode_config(&r.cfg), &cost).tokens
+            })
+            .collect();
+        let mut engine = ServeEngine::new(&m, ServeConfig::concurrency(2));
+        for r in requests {
+            engine.submit(r);
+        }
+        let degraded = engine.run(&cost);
+        assert_eq!(degraded.stats.grammar_considered, 0);
+        for (c, want) in degraded.completions.iter().zip(&plain) {
+            assert_eq!(&c.output.tokens, want, "degraded request {} diverged", c.id);
+        }
     }
 
     #[test]

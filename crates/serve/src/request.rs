@@ -27,6 +27,15 @@ pub enum EngineChoice {
         /// Draft block length γ.
         gamma: usize,
     },
+    /// Grammar-constrained syntax-aligned speculation: candidate trees
+    /// are viability-filtered and dead-tail pruned at propose time by
+    /// the engine's [`verispec_grammar::GrammarOracle`] (configured via
+    /// [`crate::ServeEngine::with_grammar`]; without one the request runs as
+    /// plain [`EngineChoice::SyntaxAligned`]).
+    GrammarTree {
+        /// Optional candidate-tree widths (`None` = top-1 chain).
+        tree: Option<Vec<usize>>,
+    },
 }
 
 impl EngineChoice {
@@ -39,6 +48,7 @@ impl EngineChoice {
             EngineChoice::SyntaxAligned { tree: None } => "Ours-chain",
             EngineChoice::SyntaxAligned { tree: Some(_) } => "Ours-tree",
             EngineChoice::DraftVerify { .. } => "Draft-verify",
+            EngineChoice::GrammarTree { .. } => "Grammar-tree",
         }
     }
 
@@ -58,11 +68,13 @@ impl EngineChoice {
                 tree: Some(widths.clone()),
                 ..base.clone()
             },
-            EngineChoice::SyntaxAligned { tree } => DecodeConfig {
-                syntax_aligned: true,
-                tree: tree.clone(),
-                ..base.clone()
-            },
+            EngineChoice::SyntaxAligned { tree } | EngineChoice::GrammarTree { tree } => {
+                DecodeConfig {
+                    syntax_aligned: true,
+                    tree: tree.clone(),
+                    ..base.clone()
+                }
+            }
             EngineChoice::DraftVerify { .. } => base.clone(),
         }
     }

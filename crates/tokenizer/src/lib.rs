@@ -141,6 +141,16 @@ impl BpeTokenizer {
         String::from_utf8_lossy(&self.vocab_bytes[id as usize]).into_owned()
     }
 
+    /// The exact bytes a token contributes to decoded text, or `None`
+    /// for ids outside the vocabulary. Special tokens report their
+    /// bracketed spelling (`[FRAG]`, …) — callers that care about the
+    /// *plain-text* byte stream (e.g. incremental grammar viability)
+    /// should treat [`Self::is_special`] ids as contributing nothing,
+    /// mirroring [`Self::strip_specials`].
+    pub fn token_bytes(&self, id: TokenId) -> Option<&[u8]> {
+        self.vocab_bytes.get(id as usize).map(Vec::as_slice)
+    }
+
     /// Encodes text into token ids. Occurrences of special-token spellings
     /// (e.g. `[FRAG]`) are mapped atomically to their ids.
     pub fn encode(&self, text: &str) -> Vec<TokenId> {
@@ -512,6 +522,24 @@ mod tests {
         let tok = BpeTokenizer::byte_level();
         assert_eq!(tok.token_text(special::FRAG), "[FRAG]");
         assert_eq!(tok.token_text(BYTE_BASE + b'a' as TokenId), "a");
+    }
+
+    #[test]
+    fn token_bytes_exposes_exact_decode_bytes() {
+        let tok = small_tok();
+        for id in 0..tok.vocab_size() as TokenId {
+            let bytes = tok.token_bytes(id).expect("in vocab");
+            // Raw high bytes decode lossily; compare only exact UTF-8.
+            if let Ok(s) = std::str::from_utf8(bytes) {
+                assert_eq!(tok.decode(&[id]), s, "token {id}");
+            }
+        }
+        assert_eq!(tok.token_bytes(tok.vocab_size() as TokenId), None);
+        let byte = BpeTokenizer::byte_level();
+        assert_eq!(
+            byte.token_bytes(BYTE_BASE + b'a' as TokenId),
+            Some(&b"a"[..])
+        );
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub enum EventKind {
         /// Tokens actually appended to the output.
         committed: usize,
     },
+    /// Propose-time grammar pruning of one step's candidate tree (only
+    /// emitted by grammar-constrained engines).
+    GrammarPrune {
+        /// Candidate tokens in the tree as built (viability-filtered).
+        considered: usize,
+        /// Candidate tokens cut as dead tails (past the last fragment
+        /// boundary — they could never survive the post-hoc syntax
+        /// check, so they are never verified).
+        pruned: usize,
+        /// Candidate tokens actually sent to verification.
+        surviving: usize,
+    },
     /// A queued fork was dropped by the session-cap enforcer.
     ForkEvicted,
     /// The LRU prefix-cache leaf was evicted under the session cap.

@@ -169,6 +169,15 @@ impl MetricsRegistry {
                 self.record_hist("step.proposed", *proposed as u64);
                 self.record_hist("step.accepted", *accepted as u64);
             }
+            EventKind::GrammarPrune {
+                considered,
+                pruned,
+                surviving,
+            } => {
+                self.count("grammar.considered", *considered as u64);
+                self.count("grammar.pruned", *pruned as u64);
+                self.count("grammar.surviving", *surviving as u64);
+            }
             EventKind::ForkEvicted => self.count("evictions.forks", 1),
             EventKind::PrefixEvicted => self.count("evictions.prefix", 1),
             EventKind::Shed { .. } => {
