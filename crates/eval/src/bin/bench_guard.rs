@@ -211,6 +211,41 @@ fn check_load(g: &mut Guard, doc: &Value) {
             format!("{ctx}: `parity` missing or not true")
         });
 
+        // The threaded-runtime columns: every dispatched cell must
+        // carry the threaded twin's wall clock, recorded under a
+        // proven schedule-parity assertion; single-engine rows have no
+        // twin. At one worker the threaded runtime is the lockstep
+        // schedule plus channel hops, so its wall time must stay
+        // within a sane overhead envelope of the lockstep drive's
+        // (tick-space work is identical by construction — only
+        // coordination cost may differ).
+        let threaded_wall = field(row, "threaded_wall_secs").and_then(as_f64);
+        if route == "single" {
+            g.check(threaded_wall.is_none(), || {
+                format!("{ctx}: single-engine row carries `threaded_wall_secs`")
+            });
+        } else {
+            let threaded_parity = field(row, "threaded_parity");
+            g.check(matches!(threaded_parity, Some(Value::Bool(true))), || {
+                format!("{ctx}: `threaded_parity` missing or not true")
+            });
+            g.check(
+                threaded_wall.is_some_and(|w| w.is_finite() && w >= 0.0),
+                || format!("{ctx}: `threaded_wall_secs` missing or not a finite duration"),
+            );
+            if workers == 1.0 {
+                let wall = number(g, row, &ctx, "wall_secs");
+                if let Some(tw) = threaded_wall {
+                    g.check(tw <= 10.0 * wall + 0.25, || {
+                        format!(
+                            "{ctx}: one-worker threaded wall time ({tw}s) far exceeds \
+                             the lockstep drive's ({wall}s)"
+                        )
+                    });
+                }
+            }
+        }
+
         let tokens = number(g, row, &ctx, "tokens");
         g.check(tokens > 0.0, || format!("{ctx}: zero tokens measured"));
         let ticks = number(g, row, &ctx, "ticks");

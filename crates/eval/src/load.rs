@@ -18,8 +18,9 @@ use crate::pipeline::{token_budget, ModelScale, Pipeline, SharedPrefixEncoder};
 use crate::Scale;
 use verispec_core::{AdaptivePolicy, BudgetedPolicy, SpecPolicy, StaticPolicy, TrainMethod};
 use verispec_load::{
-    run_dispatch_open_loop, run_open_loop, run_open_loop_with_policy, ArrivalProcess, ArrivalTrace,
-    DispatchRunReport, LoadBenchRow, LoadRunReport, PromptFamily, RequestMix, Workload,
+    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_open_loop,
+    run_open_loop_with_policy, ArrivalProcess, ArrivalTrace, DispatchRunReport, LoadBenchRow,
+    LoadRunReport, PromptFamily, RequestMix, Workload,
 };
 use verispec_serve::{
     DispatchConfig, EngineChoice, Request, RoutePolicy, ServeConfig, ServeEngine, TickOrder,
@@ -347,11 +348,12 @@ pub fn run_load_bench(
     rows.push(LoadBenchRow::new(&process, rate, ours_name, &reference));
     for &workers in &DISPATCH_WORKER_COUNTS {
         // With one worker every routing policy routes identically, so
-        // the three one-worker cells share a single run.
-        let mut shared: Option<DispatchRunReport> = None;
+        // the three one-worker cells share a single run (lockstep and
+        // threaded alike).
+        let mut shared: Option<(DispatchRunReport, f64)> = None;
         for (route_name, route) in dispatch_routes() {
-            let run = match &shared {
-                Some(run) => run.clone(),
+            let (run, threaded_wall) = match &shared {
+                Some((run, wall)) => (run.clone(), *wall),
                 None => {
                     let dcfg = DispatchConfig::new(workers, route);
                     let run = run_dispatch_open_loop(
@@ -365,15 +367,30 @@ pub fn run_load_bench(
                         None,
                     );
                     assert_dispatch_matches_reference(&run, &reference, workers, route_name);
+                    // The threaded runtime on the identical cell: the
+                    // tick schedule must reproduce exactly; the wall
+                    // clock is the column's whole point.
+                    let threaded = run_dispatch_open_loop_threaded(
+                        &model,
+                        None,
+                        Some(&enc.preamble_ids),
+                        requests.clone(),
+                        &cfg,
+                        &dcfg,
+                        &cost,
+                        None,
+                    );
+                    assert_threaded_matches_lockstep(&threaded, &run, workers, route_name);
                     if workers == 1 {
-                        shared = Some(run.clone());
+                        shared = Some((run.clone(), threaded.wall_secs));
                     }
-                    run
+                    (run, threaded.wall_secs)
                 }
             };
-            rows.push(LoadBenchRow::for_dispatch(
-                &process, rate, ours_name, route_name, &run,
-            ));
+            rows.push(
+                LoadBenchRow::for_dispatch(&process, rate, ours_name, route_name, &run)
+                    .with_threaded(threaded_wall, true),
+            );
         }
     }
 
@@ -431,10 +448,10 @@ pub fn run_load_bench(
         for &workers in &DISPATCH_WORKER_COUNTS {
             // One worker routes identically under every policy: share
             // the run across the three route rows.
-            let mut shared: Option<DispatchRunReport> = None;
+            let mut shared: Option<(DispatchRunReport, f64)> = None;
             for (route_name, route) in zipf_routes() {
-                let run = match &shared {
-                    Some(run) => run.clone(),
+                let (run, threaded_wall) = match &shared {
+                    Some((run, wall)) => (run.clone(), *wall),
                     None => {
                         let dcfg = DispatchConfig::new(workers, route);
                         let run = run_dispatch_open_loop(
@@ -454,13 +471,28 @@ pub fn run_load_bench(
                             workers,
                             route_name,
                         );
+                        // The threaded runtime must reproduce the cell
+                        // even under paced ingestion, prefix caching,
+                        // and cache-probing routes.
+                        let threaded = run_dispatch_open_loop_threaded(
+                            &model,
+                            None,
+                            None,
+                            zipf_requests.clone(),
+                            zcfg,
+                            &dcfg,
+                            &cost,
+                            None,
+                        );
+                        assert_threaded_matches_lockstep(&threaded, &run, workers, route_name);
                         if workers == 1 {
-                            shared = Some(run.clone());
+                            shared = Some((run.clone(), threaded.wall_secs));
                         }
-                        run
+                        (run, threaded.wall_secs)
                     }
                 };
-                let mut row = LoadBenchRow::for_dispatch("zipf", rate, ours_name, route_name, &run);
+                let mut row = LoadBenchRow::for_dispatch("zipf", rate, ours_name, route_name, &run)
+                    .with_threaded(threaded_wall, true);
                 row.policy = cache_name.to_string();
                 rows.push(row);
             }
@@ -508,6 +540,30 @@ fn assert_zipf_matches_uncached_reference(
             a.id
         );
     }
+}
+
+/// Asserts the threaded runtime's run bit-identical to the lockstep
+/// oracle's on the identical cell: the whole tick-space schedule
+/// ([`verispec_serve::DispatchReport::same_schedule`] — completions,
+/// shedding, stats, per-worker split, assignments) and the canonical
+/// fleet event stream. Rows record `threaded_parity: true` only after
+/// this passes, so the bench artifact carries a proven claim.
+fn assert_threaded_matches_lockstep(
+    threaded: &DispatchRunReport,
+    lockstep: &DispatchRunReport,
+    workers: usize,
+    route: &str,
+) {
+    use verispec_trace::canonicalize_fleet_events;
+    assert!(
+        threaded.dispatch.same_schedule(&lockstep.dispatch),
+        "{route}@{workers}: threaded runtime diverged from the lockstep schedule"
+    );
+    assert_eq!(
+        canonicalize_fleet_events(&threaded.events),
+        canonicalize_fleet_events(&lockstep.events),
+        "{route}@{workers}: threaded event stream diverged from lockstep"
+    );
 }
 
 /// Asserts a dispatched run against the single-engine reference of the
@@ -742,6 +798,32 @@ mod tests {
             .filter(|r| r.route != "single" && r.process != "zipf")
             .collect();
         assert_eq!(dispatch.len(), 9);
+        // Every dispatched cell (zipf sweep included) carries the
+        // threaded runtime's wall clock under proven schedule parity;
+        // single-engine rows have no threaded twin.
+        for r in &rows {
+            if r.route == "single" {
+                assert!(
+                    r.threaded_wall_secs.is_none() && r.threaded_parity.is_none(),
+                    "single-engine rows have no threaded twin"
+                );
+            } else {
+                assert_eq!(
+                    r.threaded_parity,
+                    Some(true),
+                    "{}@{}: dispatched row missing threaded parity",
+                    r.route,
+                    r.workers
+                );
+                assert!(
+                    r.threaded_wall_secs
+                        .is_some_and(|w| w.is_finite() && w >= 0.0),
+                    "{}@{}: dispatched row missing threaded wall clock",
+                    r.route,
+                    r.workers
+                );
+            }
+        }
         for workers in DISPATCH_WORKER_COUNTS {
             for (route, _) in dispatch_routes() {
                 let cell = dispatch

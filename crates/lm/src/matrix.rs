@@ -4,10 +4,13 @@
 //! and hand-written backward passes need. No BLAS, no SIMD intrinsics —
 //! the models are small enough that scalar loops in release mode suffice
 //! for the single-vector paths. The batched kernel additionally shards
-//! its rows across threads once the work size crosses
-//! [`MATVEC_PAR_THRESHOLD`] (large fused candidate trees, cross-request
-//! serving batches), with bit-identical results: rows are independent,
-//! so splitting them never changes any accumulation order.
+//! its rows across threads once the work size crosses a
+//! [`MATVEC_PAR_THRESHOLD`] grain (large fused candidate trees,
+//! cross-request serving batches), sizing the fan-out from the work
+//! itself up to the machine's [`pool_parallelism`] ceiling
+//! (`available_parallelism`, overridable with `VERISPEC_THREADS`) —
+//! with bit-identical results: rows are independent, so splitting them
+//! never changes any accumulation order.
 
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -37,17 +40,49 @@ pub fn lanes_for(batch: usize) -> usize {
     }
 }
 
-/// Work size (`rows × cols × padded batch`) above which
-/// [`Matrix::matvec_batch`] shards its rows across threads. Below it,
-/// thread spawn/join overhead outweighs the parallel compute; the
-/// typical single-request candidate tree stays under this, while fused
-/// cross-request serving batches and large-model verification cross it.
+/// The per-thread work grain (`rows × cols × padded batch`) of the
+/// batched kernel: below one grain of total work,
+/// [`Matrix::matvec_batch`] stays single-threaded (thread spawn/join
+/// overhead outweighs the parallel compute — the typical
+/// single-request candidate tree lands here), and above it the kernel
+/// asks for roughly one thread per grain, capped by
+/// [`pool_parallelism`] and the row count. The grain is a *sizing*
+/// unit, not a dormancy switch: how many threads actually pay off is
+/// always derived from the work, while the pool ceiling tracks the
+/// machine (or the `VERISPEC_THREADS` override).
 pub const MATVEC_PAR_THRESHOLD: usize = 1 << 22;
 
+/// The thread-pool ceiling for the batched kernel: the
+/// `VERISPEC_THREADS` environment variable when set to a positive
+/// integer, otherwise `std::thread::available_parallelism()`. Read
+/// once and cached for the process (thread sizing must not flap
+/// mid-run if the environment mutates). The override serves two
+/// masters: pinning CI to a reproducible width on arbitrary runners,
+/// and deliberately oversubscribing a small machine (e.g.
+/// `VERISPEC_THREADS=4` on one core) to flush out schedule-dependent
+/// bugs — bit-identity across thread counts makes both safe.
+pub fn pool_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<usize> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        std::env::var("VERISPEC_THREADS")
+            .ok()
+            .and_then(|v| parse_thread_override(&v))
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Parses a `VERISPEC_THREADS` value: a positive integer pool ceiling.
+/// Anything else (empty, zero, garbage) is ignored in favor of the
+/// detected parallelism.
+fn parse_thread_override(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// Threads the batched kernel should use for a given work size: one
-/// below [`MATVEC_PAR_THRESHOLD`], then growing with the work, capped by
-/// the machine's available parallelism and the row count (each thread
-/// needs at least one row).
+/// below a [`MATVEC_PAR_THRESHOLD`] grain of work, then roughly one
+/// per grain, capped by [`pool_parallelism`] and the row count (each
+/// thread needs at least one row).
 pub fn matvec_batch_threads(rows: usize, cols: usize, batch: usize) -> usize {
     threads_for(rows, cols, batch, lanes_for(batch))
 }
@@ -55,12 +90,25 @@ pub fn matvec_batch_threads(rows: usize, cols: usize, batch: usize) -> usize {
 /// [`matvec_batch_threads`] for an explicit lane width, so the padded
 /// work estimate matches the kernel that actually runs.
 fn threads_for(rows: usize, cols: usize, batch: usize, lanes: usize) -> usize {
+    threads_for_pool(rows, cols, batch, lanes, pool_parallelism())
+}
+
+/// The sizing core behind [`matvec_batch_threads`], with the pool
+/// ceiling passed explicitly (deterministically testable regardless of
+/// the process environment): single-threaded below one work grain or
+/// with fewer than 2 rows, else `min(pool, work / grain + 1, rows)`.
+pub fn threads_for_pool(
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    lanes: usize,
+    pool: usize,
+) -> usize {
     let work = rows * cols * batch.div_ceil(lanes) * lanes;
     if work < MATVEC_PAR_THRESHOLD || rows < 2 {
         return 1;
     }
-    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
-    avail.min(work / MATVEC_PAR_THRESHOLD + 1).min(rows)
+    pool.max(1).min(work / MATVEC_PAR_THRESHOLD + 1).min(rows)
 }
 
 /// A row-major dense matrix of `f32`.
@@ -475,6 +523,40 @@ mod tests {
         // more than the row count.
         let big = matvec_batch_threads(64, 1024, 4096);
         assert!((1..=64).contains(&big));
+        // The derived count never exceeds the process pool ceiling.
+        assert!(big <= pool_parallelism().max(1));
+    }
+
+    #[test]
+    fn pool_sizing_is_grain_pool_and_row_capped() {
+        // Below one work grain: single-threaded at any pool width.
+        assert_eq!(threads_for_pool(16, 32, 4, 4, 64), 1);
+        // Fewer than 2 rows can never shard, whatever the work.
+        assert_eq!(threads_for_pool(1, 1 << 24, 8, 8, 64), 1);
+        // 64 × 1024 × 4096 (16 lanes) = 2^38 = 2^16 grains of work:
+        // the pool ceiling is the binding cap...
+        assert_eq!(threads_for_pool(64, 1024, 4096, 16, 8), 8);
+        assert_eq!(threads_for_pool(64, 1024, 4096, 16, 1), 1);
+        // ...until the row count binds first (each thread needs a row).
+        assert_eq!(threads_for_pool(2, 1 << 15, 4096, 16, 8), 2);
+        // Work-derived sizing binds when the pool is wide: 3 grains of
+        // padded work asks for work/grain + 1 = 4 threads of 64.
+        let grain_rows = MATVEC_PAR_THRESHOLD / (1024 * 16);
+        assert_eq!(threads_for_pool(3 * grain_rows, 1024, 16, 16, 64), 4);
+        // A zero pool (defensive) degrades to single-threaded.
+        assert_eq!(threads_for_pool(64, 1024, 4096, 16, 0), 1);
+    }
+
+    #[test]
+    fn thread_override_parses_only_positive_integers() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("-1"), None);
+        assert_eq!(parse_thread_override("two"), None);
+        // The cached process-wide ceiling is always usable.
+        assert!(pool_parallelism() >= 1);
     }
 
     #[test]

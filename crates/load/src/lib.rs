@@ -49,6 +49,19 @@
 //!                                    → fused propose/verify →
 //!                                    commit (step_ticks)
 //!                                                  │
+//!                      two drives over the same fleet semantics:
+//!                      ├─ run_dispatch_open_loop ── lockstep oracle
+//!                      │   (Dispatcher::run_paced: one coordinator
+//!                      │    thread ticks every engine in rounds)
+//!                      └─ run_dispatch_open_loop_threaded ── true
+//!                          parallel runtime (ThreadedDispatcher:
+//!                          thread per worker, mpsc Submit/Tick/
+//!                          Probe/Drain protocol, barrier-free drain)
+//!                          — tick-for-tick identical reports, so the
+//!                          bench records both wall clocks side by
+//!                          side (threaded_wall_secs column) with a
+//!                          per-cell parity assertion
+//!                                                  │
 //!   LatencyReport ◄──────────── Completion{output, step_ticks, secs,
 //!   queueing/TTFT/gaps/e2e,                deadline, proposed/accepted}
 //!   exact p50/p90/p99                     (+ DispatchReport assignments)
@@ -91,6 +104,14 @@
 //!   the realized routing joined back into a per-worker telemetry
 //!   breakdown (each worker's [`SloSummary`] counts the deadlines *it*
 //!   dropped, so bad routing shows up where it happened).
+//! * [`run_dispatch_open_loop_threaded`] — the same dispatched
+//!   workload served through the thread-per-worker
+//!   [`verispec_serve::ThreadedDispatcher`] runtime. Tick-space
+//!   results are proptest-pinned bit-identical to the lockstep drive;
+//!   this driver measures the *wall clock* of true concurrent
+//!   execution, which `BENCH_load.json` records per dispatch cell as
+//!   `threaded_wall_secs` / `threaded_parity` next to the lockstep
+//!   `wall_secs`.
 //! * [`LoadBenchRow`] — one cell of the serve-aware Table II
 //!   (single-engine, policy-A/B, and dispatch-sweep rows alike),
 //!   including event-derived acceptance columns
@@ -169,8 +190,8 @@ pub mod trace;
 pub use clock::{LoadRng, VirtualClock};
 pub use generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
 pub use report::{
-    run_dispatch_open_loop, run_open_loop, run_open_loop_with_policy, DispatchRunReport,
-    LoadBenchRow, LoadRunReport,
+    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_open_loop,
+    run_open_loop_with_policy, DispatchRunReport, LoadBenchRow, LoadRunReport,
 };
 pub use telemetry::{
     per_token_gaps, AcceptanceSummary, LatencyQuantiles, LatencyReport, LatencySummary,

@@ -19,6 +19,7 @@ use verispec_core::SpecPolicy;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
 use verispec_serve::{
     DispatchConfig, DispatchReport, Dispatcher, Request, ServeConfig, ServeEngine, ServeReport,
+    ThreadedDispatcher,
 };
 use verispec_trace::{EventKind, EventLog, TraceEvent};
 
@@ -162,6 +163,54 @@ pub fn run_dispatch_open_loop(
     }
 }
 
+/// The threaded sibling of [`run_dispatch_open_loop`]: the identical
+/// workload served through the thread-per-worker
+/// [`ThreadedDispatcher`] runtime (`run_paced_threaded`) instead of
+/// the lockstep oracle. Tick-space results are bit-identical by
+/// construction (the proptest-pinned parity invariant); what this
+/// driver adds is a *wall-clock* measurement of the concurrent
+/// runtime, which the bench harness records next to the lockstep
+/// wall time. `events` carries the canonically merged fleet stream
+/// (routing decisions first, then per-worker lifecycles by worker id).
+#[allow(clippy::too_many_arguments)] // driver glue mirroring run_dispatch_open_loop
+pub fn run_dispatch_open_loop_threaded(
+    model: &MlpLm,
+    draft: Option<&(dyn LanguageModel + Sync)>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+    policy: Option<&dyn SpecPolicy>,
+) -> DispatchRunReport {
+    let originals = requests.clone();
+    let mut cfg = cfg.clone();
+    cfg.prefix_cache |= prefix_tokens.is_some();
+    let t0 = std::time::Instant::now();
+    let mut dispatcher = ThreadedDispatcher::new(model, cfg, dcfg.clone()).with_tracing();
+    if let Some(d) = draft {
+        dispatcher = dispatcher.with_draft(d);
+    }
+    if let Some(toks) = prefix_tokens {
+        dispatcher = dispatcher.warm_prefix(toks);
+    }
+    if let Some(p) = policy {
+        dispatcher = dispatcher.with_policy(p);
+    }
+    let run = dispatcher.run_paced_threaded(requests, cost);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let dispatch = run.report;
+    let latency =
+        LatencyReport::with_assignments(&originals, &dispatch.completions, &dispatch.assignments)
+            .attach_prefix_stats(&dispatch.stats);
+    DispatchRunReport {
+        dispatch,
+        latency,
+        wall_secs,
+        events: run.events,
+    }
+}
+
 /// One row of the serve-aware Table II in `BENCH_load.json`: a
 /// (process, offered load, method) cell measured under streaming
 /// admission at equal offered load across methods.
@@ -273,6 +322,21 @@ pub struct LoadBenchRow {
     /// produced artifact; the bench guard trips otherwise.
     #[serde(default)]
     pub event_accept_violations: usize,
+    /// Measured wall-clock seconds of the same cell served through the
+    /// threaded runtime ([`run_dispatch_open_loop_threaded`]), recorded
+    /// next to the lockstep `wall_secs` so tick-space and wall-time
+    /// columns sit side by side. `None` for cells the threaded sweep
+    /// does not cover (single-engine and trace-replay rows).
+    #[serde(default)]
+    pub threaded_wall_secs: Option<f64>,
+    /// Whether the threaded run reproduced the lockstep run exactly —
+    /// schedule ([`DispatchReport::same_schedule`]) and canonical event
+    /// stream both. Like `parity`, rows are only recorded after the
+    /// assertion, so an honest artifact always says `Some(true)`; the
+    /// bench guard trips otherwise. `None` where `threaded_wall_secs`
+    /// is `None`.
+    #[serde(default)]
+    pub threaded_parity: Option<bool>,
 }
 
 impl LoadBenchRow {
@@ -333,6 +397,8 @@ impl LoadBenchRow {
             event_proposed_tokens,
             event_accepted_tokens,
             event_accept_violations,
+            threaded_wall_secs: None,
+            threaded_parity: None,
         }
     }
 
@@ -401,7 +467,19 @@ impl LoadBenchRow {
             event_proposed_tokens,
             event_accepted_tokens,
             event_accept_violations,
+            threaded_wall_secs: None,
+            threaded_parity: None,
         }
+    }
+
+    /// Attaches the threaded-runtime measurement to a dispatched row:
+    /// the threaded run's wall clock and whether it reproduced the
+    /// lockstep run exactly (callers assert parity *before* recording,
+    /// so an honest artifact always passes `true`).
+    pub fn with_threaded(mut self, wall_secs: f64, parity: bool) -> Self {
+        self.threaded_wall_secs = Some(wall_secs);
+        self.threaded_parity = Some(parity);
+        self
     }
 }
 

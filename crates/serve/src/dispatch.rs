@@ -62,6 +62,16 @@
 //! [`ServeEngine::run_streaming`] (the dispatcher adds zero scheduling
 //! noise). `tests/proptest_dispatch.rs` pins both, plus
 //! shedding/deadline determinism under pinned assignments.
+//!
+//! # The threaded sibling
+//!
+//! This module's drives advance the fleet *lockstep* on one thread —
+//! deliberately: they are the deterministic oracle. The
+//! [`crate::threaded`] module runs the same fleet with one OS thread
+//! per worker over an mpsc command/reply protocol, reusing this
+//! module's `Router` core so routing decisions cannot diverge, and
+//! is proptest-pinned to produce tick-for-token identical reports
+//! (`tests/proptest_dispatch_threaded.rs`).
 
 use crate::engine::{ServeConfig, ServeEngine, ServeReport, ServeStats, ShedRequest};
 use crate::request::{Completion, Request};
@@ -118,6 +128,110 @@ impl RoutePolicy {
     }
 }
 
+/// One worker's route-time load probes, snapshotted together so the
+/// lockstep and threaded drives feed the routing policy the same
+/// values through the same code path. `prefix_depth` is probed against
+/// the specific request's prompt being routed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteProbes {
+    /// [`ServeEngine::ready_depth`] — queued plus active requests.
+    pub ready_depth: u64,
+    /// [`ServeEngine::outstanding_cost`] — priced in-flight work.
+    pub outstanding_cost: u64,
+    /// [`ServeEngine::prefix_match_depth`] for the request's prompt.
+    pub prefix_depth: u64,
+}
+
+/// The routing decision core, shared verbatim by the lockstep
+/// [`Dispatcher`] and the threaded
+/// [`crate::threaded::ThreadedDispatcher`] so their picks (and
+/// [`EventKind::Routed`] probe payloads) cannot diverge: the drives
+/// differ only in *how* the probe snapshot is gathered (direct engine
+/// reads vs a channel round-trip).
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    route: RoutePolicy,
+    /// Next cyclic pick for [`RoutePolicy::RoundRobin`].
+    rr_next: usize,
+}
+
+impl Router {
+    pub(crate) fn new(route: RoutePolicy) -> Self {
+        Router { route, rr_next: 0 }
+    }
+
+    /// Short policy name (the `Routed` event payload key).
+    pub(crate) fn policy_name(&self) -> &'static str {
+        self.route.name()
+    }
+
+    /// Whether the policy reads load probes at route time. Probe-less
+    /// policies skip the snapshot — and, in the threaded drive, the
+    /// fleet-wide probe round-trip that gathers it.
+    pub(crate) fn needs_probes(&self) -> bool {
+        matches!(
+            self.route,
+            RoutePolicy::JoinShortestQueue | RoutePolicy::LeastLoaded | RoutePolicy::PrefixAffine
+        )
+    }
+
+    /// Picks the worker for `req` among `n` workers from the probe
+    /// snapshot (`probes` may be empty when [`Self::needs_probes`] is
+    /// false); also returns the per-worker probe values the decision
+    /// was based on (empty for probe-less policies), for the routing
+    /// trace event.
+    pub(crate) fn pick(
+        &mut self,
+        req: &Request,
+        n: usize,
+        probes: &[RouteProbes],
+    ) -> (usize, Vec<u64>) {
+        match &self.route {
+            RoutePolicy::RoundRobin => {
+                let w = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                (w, Vec::new())
+            }
+            RoutePolicy::JoinShortestQueue => {
+                let vals: Vec<u64> = probes.iter().map(|p| p.ready_depth).collect();
+                (argmin(vals.iter().copied()), vals)
+            }
+            RoutePolicy::LeastLoaded => {
+                let vals: Vec<u64> = probes.iter().map(|p| p.outstanding_cost).collect();
+                (argmin(vals.iter().copied()), vals)
+            }
+            RoutePolicy::Pinned(assignment) => {
+                let w = assignment
+                    .iter()
+                    .find(|&&(id, _)| id == req.id)
+                    .map(|&(_, w)| w)
+                    .unwrap_or_else(|| panic!("pinned route has no worker for request {}", req.id));
+                assert!(
+                    w < n,
+                    "pinned route sends request {} to worker {w} of {n}",
+                    req.id
+                );
+                (w, Vec::new())
+            }
+            RoutePolicy::PrefixAffine => {
+                // Argmax match depth; tie-break min outstanding cost,
+                // then lowest index (first strict improvement wins).
+                let mut vals = Vec::with_capacity(n);
+                let mut best = (0u64, u64::MAX, 0usize);
+                for (i, p) in probes.iter().enumerate() {
+                    vals.push(p.prefix_depth);
+                    if p.prefix_depth > best.0
+                        || (p.prefix_depth == best.0 && p.outstanding_cost < best.1)
+                    {
+                        best = (p.prefix_depth, p.outstanding_cost, i);
+                    }
+                }
+                (best.2, vals)
+            }
+        }
+    }
+}
+
 /// Dispatcher knobs: fleet size and routing.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DispatchConfig {
@@ -168,6 +282,25 @@ impl DispatchReport {
     pub fn total_tokens(&self) -> usize {
         self.completions.iter().map(|c| c.output.tokens.len()).sum()
     }
+
+    /// Tick-space equality with another report: completions compared on
+    /// every field except the wall-clock seconds (which depend on real
+    /// elapsed time, not the schedule), plus shed, merged and
+    /// per-worker stats, and assignments. This is the parity predicate
+    /// the threaded drive ([`crate::threaded::ThreadedDispatcher`]) is
+    /// held to against the lockstep oracle.
+    pub fn same_schedule(&self, other: &DispatchReport) -> bool {
+        self.completions.len() == other.completions.len()
+            && self
+                .completions
+                .iter()
+                .zip(&other.completions)
+                .all(|(a, b)| a.same_schedule(b))
+            && self.shed == other.shed
+            && self.stats == other.stats
+            && self.per_worker == other.per_worker
+            && self.assignments == other.assignments
+    }
 }
 
 /// The streaming dispatcher: N independent [`ServeEngine`] workers plus
@@ -175,9 +308,7 @@ impl DispatchReport {
 /// determinism story.
 pub struct Dispatcher<'m> {
     workers: Vec<ServeEngine<'m>>,
-    route: RoutePolicy,
-    /// Next cyclic pick for [`RoutePolicy::RoundRobin`].
-    rr_next: usize,
+    router: Router,
     /// Realized `(request id, worker)` routing, in receipt order.
     assignments: Vec<(u64, usize)>,
     /// Structured-event sink shared by the dispatcher (routing events)
@@ -198,8 +329,7 @@ impl<'m> Dispatcher<'m> {
         }
         Dispatcher {
             workers,
-            route: dcfg.route,
-            rr_next: 0,
+            router: Router::new(dcfg.route),
             assignments: Vec::new(),
             sink: &NOOP,
         }
@@ -243,6 +373,18 @@ impl<'m> Dispatcher<'m> {
             .sum()
     }
 
+    /// Attaches the grammar oracle to every worker (see
+    /// [`ServeEngine::with_grammar`]): grammar-tree requests prune
+    /// their candidate trees to lexically-viable continuations.
+    pub fn with_grammar(mut self, oracle: &'m verispec_grammar::GrammarOracle) -> Self {
+        self.workers = self
+            .workers
+            .into_iter()
+            .map(|w| w.with_grammar(oracle))
+            .collect();
+        self
+    }
+
     /// Replaces every worker's speculation policy (see
     /// [`ServeEngine::with_policy`]).
     pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
@@ -262,59 +404,24 @@ impl<'m> Dispatcher<'m> {
     /// Picks the worker for `req` under the routing policy; also
     /// returns the per-worker probe values the decision was based on
     /// (empty for probe-less policies), for the routing trace event.
+    /// The decision itself lives in the shared `Router`; this method
+    /// only gathers the probe snapshot by reading the live engines
+    /// directly (the threaded drive gathers the same snapshot over its
+    /// worker channels).
     fn route(&mut self, req: &Request) -> (usize, Vec<u64>) {
-        let n = self.workers.len();
-        match &self.route {
-            RoutePolicy::RoundRobin => {
-                let w = self.rr_next % n;
-                self.rr_next = (self.rr_next + 1) % n;
-                (w, Vec::new())
-            }
-            RoutePolicy::JoinShortestQueue => {
-                let probes: Vec<u64> = self
-                    .workers
-                    .iter()
-                    .map(|w| w.ready_depth() as u64)
-                    .collect();
-                (argmin(probes.iter().copied()), probes)
-            }
-            RoutePolicy::LeastLoaded => {
-                let probes: Vec<u64> = self
-                    .workers
-                    .iter()
-                    .map(|w| w.outstanding_cost() as u64)
-                    .collect();
-                (argmin(probes.iter().copied()), probes)
-            }
-            RoutePolicy::Pinned(assignment) => {
-                let w = assignment
-                    .iter()
-                    .find(|&&(id, _)| id == req.id)
-                    .map(|&(_, w)| w)
-                    .unwrap_or_else(|| panic!("pinned route has no worker for request {}", req.id));
-                assert!(
-                    w < n,
-                    "pinned route sends request {} to worker {w} of {n}",
-                    req.id
-                );
-                (w, Vec::new())
-            }
-            RoutePolicy::PrefixAffine => {
-                // Argmax match depth; tie-break min outstanding cost,
-                // then lowest index (first strict improvement wins).
-                let mut probes = Vec::with_capacity(n);
-                let mut best = (0usize, usize::MAX, 0usize);
-                for (i, w) in self.workers.iter().enumerate() {
-                    let depth = w.prefix_match_depth(&req.prompt);
-                    let cost = w.outstanding_cost();
-                    probes.push(depth as u64);
-                    if depth > best.0 || (depth == best.0 && cost < best.1) {
-                        best = (depth, cost, i);
-                    }
-                }
-                (best.2, probes)
-            }
-        }
+        let probes: Vec<RouteProbes> = if self.router.needs_probes() {
+            self.workers
+                .iter()
+                .map(|w| RouteProbes {
+                    ready_depth: w.ready_depth() as u64,
+                    outstanding_cost: w.outstanding_cost() as u64,
+                    prefix_depth: w.prefix_match_depth(&req.prompt) as u64,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.router.pick(req, self.workers.len(), &probes)
     }
 
     /// Routes and enqueues one request.
@@ -335,7 +442,7 @@ impl<'m> Dispatcher<'m> {
                 worker: w as u32,
                 request: Some(req.id),
                 kind: EventKind::Routed {
-                    policy: self.route.name().to_string(),
+                    policy: self.router.policy_name().to_string(),
                     probes,
                 },
             });

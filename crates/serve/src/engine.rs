@@ -1611,11 +1611,17 @@ pub fn serve_streaming<'m>(
 }
 
 /// The multi-core variant: requests are sharded round-robin across
-/// `workers` engines running in a `std::thread::scope` pool over the
-/// same shared model. Per-request outputs are identical to
-/// [`serve_all`] — each request is processed by exactly one
-/// deterministic engine. Merged stats sum the counters; `ticks` and
-/// `peak_active` take the per-worker maximum.
+/// `workers` engines, each running on its own OS thread. Per-request
+/// outputs are identical to [`serve_all`] — each request is processed
+/// by exactly one deterministic engine. Merged stats sum the counters;
+/// `ticks` and `peak_active` take the per-worker maximum.
+///
+/// This is a thin wrapper over the fleet's one threaded execution
+/// path, [`crate::threaded::ThreadedDispatcher`]'s batch drive under
+/// [`crate::RoutePolicy::RoundRobin`]: cyclic routing over the
+/// in-order submission stream reproduces the old bespoke `i % workers`
+/// sharding exactly, so each worker's engine receives the same shard
+/// in the same relative order.
 pub fn serve_all_threaded(
     model: &MlpLm,
     draft: Option<&(dyn LanguageModel + Sync)>,
@@ -1624,41 +1630,22 @@ pub fn serve_all_threaded(
     cost: &GpuCostModel,
     workers: usize,
 ) -> ServeReport {
-    let workers = workers.max(1);
-    let mut shards: Vec<Vec<Request>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, req) in requests.into_iter().enumerate() {
-        shards[i % workers].push(req);
+    use crate::dispatch::{DispatchConfig, DispatchReport, RoutePolicy};
+    use crate::threaded::ThreadedDispatcher;
+    let mut td = ThreadedDispatcher::new(
+        model,
+        cfg.clone(),
+        DispatchConfig::new(workers, RoutePolicy::RoundRobin),
+    );
+    if let Some(d) = draft {
+        td = td.with_draft(d);
     }
-    let reports: Vec<ServeReport> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .map(|shard| {
-                s.spawn(move || {
-                    serve_all(
-                        model,
-                        draft.map(|d| d as &dyn LanguageModel),
-                        shard,
-                        cfg,
-                        cost,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("serve worker panicked"))
-            .collect()
-    });
-    let mut completions = Vec::new();
-    let mut shed = Vec::new();
-    let mut stats = ServeStats::default();
-    for r in reports {
-        completions.extend(r.completions);
-        shed.extend(r.shed);
-        stats.merge(&r.stats);
-    }
-    completions.sort_by_key(|c| c.id);
-    shed.sort_by_key(|s| s.id);
+    let DispatchReport {
+        completions,
+        shed,
+        stats,
+        ..
+    } = td.run_threaded(requests, cost).report;
     ServeReport {
         completions,
         shed,

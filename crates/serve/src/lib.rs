@@ -17,7 +17,21 @@
 //!    deadlines)       fleet)       outstanding_cost / prefix-affine
 //!                        │         by prefix_match_depth probes /
 //!                        │         pinned replay)
-//!                        │ one shard per worker, lockstep ticks
+//!                        │ one shard per worker — two drives over the
+//!                        │ same Router core:
+//!                        │  · lockstep (the deterministic oracle):
+//!                        │    one thread advances all workers round
+//!                        │    by round
+//!                        │  · threaded (ThreadedDispatcher): one OS
+//!                        │    thread per worker in thread::scope,
+//!                        │    WorkerCmd/WorkerReply mpsc protocol
+//!                        │    (Submit/Tick/Probe/Drain down;
+//!                        │    Ticked/Probed/Finished up); barriers
+//!                        │    only at route-time probe reads and the
+//!                        │    paced round boundary, barrier-free
+//!                        │    free-run after the last arrival —
+//!                        │    proptest-pinned tick-identical to
+//!                        │    lockstep
 //!                        ▼
 //!   submit(Request) ──────────┐      ServeEngine (× N workers)   model
 //!   mpsc arrivals ─► drain_ ──┴► queue ─► admission ─► active pool
@@ -148,6 +162,21 @@
 //!   dispatch adds routing without touching serving semantics;
 //!   [`DispatchReport`] carries merged plus per-worker
 //!   [`ServeStats`] and the realized assignment.
+//! * **[`ThreadedDispatcher`]** (`threaded`) — the same fleet with
+//!   true parallelism: one OS thread per worker inside
+//!   `std::thread::scope`, each running its private engine (built
+//!   in-thread — engines hold live sessions and are not `Send`) with
+//!   its own [`verispec_trace::EventLog`], coordinated over an mpsc
+//!   [`WorkerCmd`]/[`WorkerReply`] protocol. Synchronization exists
+//!   only where the lockstep semantics require it: route-time probe
+//!   round-trips for load-aware policies and one tick barrier per
+//!   paced round while arrivals pend; after the last arrival (and for
+//!   the whole batch drive) workers free-run barrier-free. Reports
+//!   are bit-identical to the lockstep oracle and merged event
+//!   streams are identical under
+//!   [`verispec_trace::canonicalize_fleet_events`]
+//!   (`tests/proptest_dispatch_threaded.rs`); [`serve_all_threaded`]
+//!   is a thin wrapper over the round-robin batch drive.
 //! * **Structured tracing** (`verispec-trace`) — every lifecycle
 //!   transition (submission, routing decision with its probe values,
 //!   cache walk, admission, per-step propose/verify/commit with the
@@ -219,9 +248,11 @@ pub mod engine;
 pub mod prefix;
 pub mod request;
 pub mod scheduler;
+pub mod threaded;
 
 pub use dispatch::{
     dispatch_all, dispatch_streaming, DispatchConfig, DispatchReport, Dispatcher, RoutePolicy,
+    RouteProbes,
 };
 pub use engine::{
     serve_all, serve_all_threaded, serve_streaming, ServeConfig, ServeEngine, ServeReport,
@@ -230,6 +261,7 @@ pub use engine::{
 pub use prefix::PrefixCache;
 pub use request::{Completion, EngineChoice, Request};
 pub use scheduler::{ActiveView, Scheduler, TickOrder};
+pub use threaded::{ThreadedDispatcher, ThreadedRun, WorkerCmd, WorkerHandle, WorkerReply};
 
 #[cfg(test)]
 mod tests {

@@ -210,4 +210,24 @@ impl Completion {
         (self.proposed_tokens > 0)
             .then(|| self.accepted_tokens as f64 / self.proposed_tokens as f64)
     }
+
+    /// Tick-space equality: every field except the wall-clock seconds
+    /// (`seen_secs` / `first_token_secs` / `finished_secs`), which
+    /// measure real elapsed time and legitimately differ between two
+    /// drives of the same deterministic schedule. The threaded-vs-
+    /// lockstep parity tests compare completions with this.
+    pub fn same_schedule(&self, other: &Completion) -> bool {
+        self.id == other.id
+            && self.output == other.output
+            && self.draft_stats == other.draft_stats
+            && self.submitted == other.submitted
+            && self.admitted == other.admitted
+            && self.finished == other.finished
+            && self.max_service_gap == other.max_service_gap
+            && self.preemptions == other.preemptions
+            && self.step_ticks == other.step_ticks
+            && self.deadline == other.deadline
+            && self.proposed_tokens == other.proposed_tokens
+            && self.accepted_tokens == other.accepted_tokens
+    }
 }

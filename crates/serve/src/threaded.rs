@@ -1,0 +1,674 @@
+//! The threaded dispatch runtime: one OS thread per worker, driven
+//! over an mpsc command/reply protocol, bit-identical to the lockstep
+//! [`crate::dispatch::Dispatcher`] oracle.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   coordinator (caller thread)            worker thread i (×N)
+//!   ───────────────────────────            ────────────────────
+//!   ThreadedDispatcher::run_*              worker_loop:
+//!     Router (shared with lockstep)          ServeEngine built *in*
+//!     clock/has_work mirrors                 the thread (own session
+//!         │                                  pool, queue, clock, and
+//!         │  WorkerCmd ─────────────────►    a private EventLog sink)
+//!         │   Submit(Request)                  submit / tick / probe
+//!         │   Tick | Probe(prompt) | Drain     against the local
+//!         │                                    engine only
+//!         ◄───────────────── WorkerReply │
+//!             Ticked{clock, has_work}    │
+//!             Probed(RouteProbes)        │
+//!             Finished{report, events}   ┘
+//! ```
+//!
+//! Each worker owns a private [`ServeEngine`] constructed inside its
+//! thread (engines are deliberately not `Send`: they hold live decode
+//! sessions), plus a private [`EventLog`]. Routing decisions and
+//! newly-due arrivals flow down the command channel; per-tick results,
+//! probe snapshots, and the final report + event stream flow back up.
+//!
+//! # Barrier placement
+//!
+//! The lockstep oracle's semantics couple workers in exactly two
+//! places, and those are the only synchronization points here:
+//!
+//! 1. **Route-time probe reads.** Load-aware policies (jsq /
+//!    least-loaded / prefix-affine) read every worker's probes at the
+//!    instant a request is routed. The coordinator performs a
+//!    synchronous `Probe` round-trip to all workers; per-worker mpsc
+//!    FIFO ordering guarantees the reply reflects every earlier
+//!    `Submit`, and workers are quiescent between tick rounds, so the
+//!    snapshot equals the lockstep drive's direct engine reads.
+//!    Probe-less policies (rr / pinned) skip the round-trip entirely.
+//! 2. **The paced round boundary.** The paced drive routes arrivals
+//!    by the fleet's most-advanced clock, so while arrivals are still
+//!    pending, each round sends `Tick` to every busy worker and waits
+//!    for all `Ticked` replies — one barrier per round, with the ticks
+//!    themselves running concurrently. Idle workers are skipped: an
+//!    empty engine's tick is a proven no-op.
+//!
+//! Once the last arrival is routed (and for the whole batch drive,
+//! where everything is routed up front), nothing the coordinator could
+//! send can affect any worker — so `Drain` releases every worker to
+//! free-run its remaining ticks with **zero barriers**.
+//!
+//! # Determinism argument
+//!
+//! Workers share nothing but read-only state (model, draft, grammar
+//! oracle, policy — all `Sync`), so a worker's tick sequence is a pure
+//! function of the command sequence it receives. The coordinator sends
+//! each worker exactly the per-worker subsequence of submit/tick calls
+//! the lockstep drive would make: routing uses the same `Router`
+//! core over the same probe values, the clock/`has_work` mirrors are
+//! exact (a worker's state changes only via its own commands, and
+//! every state-changing command is acknowledged before the mirror is
+//! read), and the drain free-run equals the lockstep tail rounds
+//! because those contain no further submissions. Hence reports are
+//! tick-for-tick and token-for-token identical, and per-worker event
+//! streams are event-for-event identical; only the *interleaving* of
+//! the merged stream differs, which
+//! [`verispec_trace::canonicalize_fleet_events`] normalizes away.
+//! `tests/proptest_dispatch_threaded.rs` pins all of this across
+//! worker counts, route policies, both drives, and eviction churn.
+
+use crate::dispatch::{DispatchConfig, DispatchReport, RouteProbes, Router};
+use crate::engine::{ServeConfig, ServeEngine, ServeReport, ServeStats};
+use crate::request::Request;
+use std::sync::mpsc;
+use verispec_core::SpecPolicy;
+use verispec_grammar::GrammarOracle;
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
+use verispec_trace::{EventKind, EventLog, TraceEvent};
+
+/// A command the coordinator sends down a worker's channel. Per-worker
+/// delivery is FIFO (mpsc), which is what makes probe snapshots and
+/// submit ordering deterministic.
+#[derive(Debug)]
+pub enum WorkerCmd {
+    /// Enqueue a routed request on the worker's engine.
+    Submit(Box<Request>),
+    /// Run one scheduler tick; the worker answers with
+    /// [`WorkerReply::Ticked`].
+    Tick,
+    /// Snapshot the worker's route-time probes against this prompt;
+    /// the worker answers with [`WorkerReply::Probed`].
+    Probe(Vec<TokenId>),
+    /// No further commands follow: free-run every remaining tick
+    /// without barriers, then answer with [`WorkerReply::Finished`].
+    Drain,
+}
+
+/// A worker's reply on its result channel.
+#[derive(Debug)]
+pub enum WorkerReply {
+    /// One tick ran; the engine's clock (including idle fast-forward
+    /// jumps) and whether work remains.
+    Ticked {
+        /// The engine's scheduler clock after the tick.
+        clock: u64,
+        /// Whether any request is still queued or active.
+        has_work: bool,
+    },
+    /// Route-time probe snapshot for a [`WorkerCmd::Probe`].
+    Probed(RouteProbes),
+    /// The worker drained: its final report and its private event
+    /// stream, in emission order.
+    Finished {
+        /// The worker's own completions, shed, and stats (boxed to
+        /// keep the reply enum small next to `Ticked`/`Probed`).
+        report: Box<ServeReport>,
+        /// Every event the worker's engine emitted (empty untraced).
+        events: Vec<TraceEvent>,
+    },
+}
+
+/// The coordinator's endpoint for one worker thread: the command
+/// sender, the reply receiver, and exact mirrors of the worker's clock
+/// and work state (exact because a worker's state only changes through
+/// its own command channel, and every state-changing command is
+/// acknowledged or inferable — a `Submit` always creates work).
+pub struct WorkerHandle {
+    cmd: mpsc::Sender<WorkerCmd>,
+    reply: mpsc::Receiver<WorkerReply>,
+    /// Mirror of the worker engine's scheduler clock.
+    clock: u64,
+    /// Mirror of the worker engine's `has_work()`.
+    has_work: bool,
+}
+
+impl WorkerHandle {
+    fn send(&self, cmd: WorkerCmd) {
+        self.cmd.send(cmd).expect("worker thread hung up");
+    }
+
+    fn recv(&self) -> WorkerReply {
+        self.reply.recv().expect("worker thread hung up")
+    }
+}
+
+/// The result of a threaded fleet run: the merged report plus the
+/// merged event stream in canonical fleet order (routing events in
+/// emission order, then each worker's events grouped by worker id —
+/// the fixed point of [`verispec_trace::canonicalize_fleet_events`]).
+/// `events` is empty unless [`ThreadedDispatcher::with_tracing`] was
+/// requested.
+#[derive(Debug)]
+pub struct ThreadedRun {
+    /// Fleet-merged report, field-for-field the shape the lockstep
+    /// drives produce (completions/shed sorted by id, stats merged in
+    /// worker order, assignments sorted).
+    pub report: DispatchReport,
+    /// Canonically merged fleet event stream.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Builder for a threaded fleet run. Mirrors the lockstep
+/// [`crate::Dispatcher`]'s configuration surface, but defers engine
+/// construction to the worker threads themselves (a [`ServeEngine`]
+/// is not `Send`; each one is born, driven, and consumed entirely
+/// inside its own thread).
+pub struct ThreadedDispatcher<'m> {
+    model: &'m MlpLm,
+    cfg: ServeConfig,
+    dcfg: DispatchConfig,
+    draft: Option<&'m (dyn LanguageModel + Sync)>,
+    grammar: Option<&'m GrammarOracle>,
+    policy: Option<&'m dyn SpecPolicy>,
+    warm: Vec<Vec<TokenId>>,
+    traced: bool,
+}
+
+impl<'m> ThreadedDispatcher<'m> {
+    /// A fleet spec of `dcfg.workers` engines over the shared model,
+    /// each to be configured with its own copy of `cfg`.
+    pub fn new(model: &'m MlpLm, cfg: ServeConfig, dcfg: DispatchConfig) -> Self {
+        ThreadedDispatcher {
+            model,
+            cfg,
+            dcfg,
+            draft: None,
+            grammar: None,
+            policy: None,
+            warm: Vec::new(),
+            traced: false,
+        }
+    }
+
+    /// Attaches the draft model to every worker (see
+    /// [`ServeEngine::with_draft`]). `Sync` is required because the
+    /// workers share it across threads.
+    pub fn with_draft(mut self, draft: &'m (dyn LanguageModel + Sync)) -> Self {
+        self.draft = Some(draft);
+        self
+    }
+
+    /// Attaches the grammar oracle to every worker (see
+    /// [`ServeEngine::with_grammar`]).
+    pub fn with_grammar(mut self, oracle: &'m GrammarOracle) -> Self {
+        self.grammar = Some(oracle);
+        self
+    }
+
+    /// Replaces every worker's speculation policy (see
+    /// [`ServeEngine::with_policy`]; [`SpecPolicy`] is `Sync` by
+    /// definition).
+    pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Seeds every worker's prefix cache with a warm stem at startup
+    /// (see [`ServeEngine::warm_prefix`]), matching the lockstep
+    /// drive's pre-run [`crate::Dispatcher::warm_prefix`] call. May be
+    /// called repeatedly; stems are applied in order.
+    pub fn warm_prefix(mut self, tokens: &[TokenId]) -> Self {
+        self.warm.push(tokens.to_vec());
+        self
+    }
+
+    /// Collects structured events: each worker traces into its own
+    /// private [`EventLog`], the coordinator records routing events,
+    /// and [`ThreadedRun::events`] carries the canonical merge.
+    pub fn with_tracing(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// The threaded analogue of the lockstep batch drive
+    /// ([`crate::dispatch::dispatch_all`] /
+    /// [`crate::Dispatcher::run`]): every request is routed up front
+    /// in the given order, then the whole fleet free-runs to
+    /// completion with zero barriers.
+    pub fn run_threaded(self, requests: Vec<Request>, cost: &GpuCostModel) -> ThreadedRun {
+        self.drive(requests, cost, false)
+    }
+
+    /// The threaded analogue of [`crate::Dispatcher::run_paced`]:
+    /// requests are routed exactly when their arrival ticks fall due
+    /// on the fleet round clock (one tick barrier per round while
+    /// arrivals pend), then the fleet free-runs barrier-free once the
+    /// last arrival is routed.
+    pub fn run_paced_threaded(self, requests: Vec<Request>, cost: &GpuCostModel) -> ThreadedRun {
+        self.drive(requests, cost, true)
+    }
+
+    fn drive(self, requests: Vec<Request>, cost: &GpuCostModel, paced: bool) -> ThreadedRun {
+        let n = self.dcfg.workers.max(1);
+        let traced = self.traced;
+        let (model, cfg, warm) = (self.model, &self.cfg, &self.warm);
+        let (draft, grammar, policy) = (self.draft, self.grammar, self.policy);
+        std::thread::scope(|s| {
+            let mut fleet = Fleet {
+                handles: Vec::with_capacity(n),
+                router: Router::new(self.dcfg.route.clone()),
+                traced,
+                routing_events: Vec::new(),
+                assignments: Vec::new(),
+            };
+            for worker in 0..n {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
+                let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+                let (cfg, warm) = (cfg.clone(), warm.clone());
+                s.spawn(move || {
+                    worker_loop(
+                        model,
+                        cfg,
+                        draft,
+                        grammar,
+                        policy,
+                        warm,
+                        traced,
+                        worker as u32,
+                        cost,
+                        cmd_rx,
+                        reply_tx,
+                    )
+                });
+                fleet.handles.push(WorkerHandle {
+                    cmd: cmd_tx,
+                    reply: reply_rx,
+                    clock: 0,
+                    has_work: false,
+                });
+            }
+            if paced {
+                let mut requests = requests;
+                requests.sort_by_key(|r| r.arrival);
+                let mut pending = requests.into_iter().peekable();
+                loop {
+                    // Same pacing rule as the lockstep oracle: route
+                    // everything due by `now + 1` before the round's
+                    // tick (see `Dispatcher::run_paced`).
+                    let now = fleet.now();
+                    while pending.peek().is_some_and(|r| r.arrival <= now + 1) {
+                        let req = pending.next().expect("peeked");
+                        fleet.submit(req);
+                    }
+                    if pending.peek().is_none() {
+                        // Last arrival routed: nothing the coordinator
+                        // could still send affects any worker, so the
+                        // remaining lockstep rounds (pure per-worker
+                        // tick sequences) run barrier-free in drain.
+                        break;
+                    }
+                    if fleet.any_busy() {
+                        fleet.tick_round();
+                    } else {
+                        // Idle gap: hand the next arrival group to the
+                        // fleet; receiving workers fast-forward their
+                        // own clocks, exactly as in lockstep.
+                        let next = pending
+                            .peek()
+                            .map(|r| r.arrival)
+                            .expect("pending non-empty");
+                        while pending.peek().is_some_and(|r| r.arrival <= next) {
+                            let req = pending.next().expect("peeked");
+                            fleet.submit(req);
+                        }
+                    }
+                }
+            } else {
+                for req in requests {
+                    fleet.submit(req);
+                }
+            }
+            fleet.finish()
+        })
+    }
+}
+
+/// Coordinator-side fleet state: worker handles plus the routing core
+/// and the routing event/assignment records the lockstep drive keeps
+/// on the `Dispatcher` itself.
+struct Fleet {
+    handles: Vec<WorkerHandle>,
+    router: Router,
+    traced: bool,
+    routing_events: Vec<TraceEvent>,
+    assignments: Vec<(u64, usize)>,
+}
+
+impl Fleet {
+    /// The fleet clock: its most-advanced worker's mirror.
+    fn now(&self) -> u64 {
+        self.handles.iter().map(|h| h.clock).max().unwrap_or(0)
+    }
+
+    fn any_busy(&self) -> bool {
+        self.handles.iter().any(|h| h.has_work)
+    }
+
+    /// The route-time probe barrier: a synchronous round-trip to every
+    /// worker. Workers are quiescent between rounds and mpsc delivery
+    /// is FIFO, so each reply reflects exactly the submits that the
+    /// lockstep drive's direct reads would see.
+    fn probe_round(&self, prompt: &[TokenId]) -> Vec<RouteProbes> {
+        for h in &self.handles {
+            h.send(WorkerCmd::Probe(prompt.to_vec()));
+        }
+        self.handles
+            .iter()
+            .map(|h| match h.recv() {
+                WorkerReply::Probed(p) => p,
+                other => panic!("expected Probed reply, got {other:?}"),
+            })
+            .collect()
+    }
+
+    fn submit(&mut self, req: Request) {
+        let probes = if self.router.needs_probes() {
+            self.probe_round(&req.prompt)
+        } else {
+            Vec::new()
+        };
+        let (w, probe_vals) = self.router.pick(&req, self.handles.len(), &probes);
+        if self.traced {
+            // Same stamp as the lockstep drive: the fleet clock (the
+            // mirrors are exact, and submits never move clocks).
+            self.routing_events.push(TraceEvent {
+                tick: self.now(),
+                worker: w as u32,
+                request: Some(req.id),
+                kind: EventKind::Routed {
+                    policy: self.router.policy_name().to_string(),
+                    probes: probe_vals,
+                },
+            });
+        }
+        self.assignments.push((req.id, w));
+        self.handles[w].send(WorkerCmd::Submit(Box::new(req)));
+        // submit() always enqueues, so the mirror flips without a
+        // round-trip.
+        self.handles[w].has_work = true;
+    }
+
+    /// One paced round: every busy worker ticks concurrently behind a
+    /// single barrier; idle workers are skipped (their tick is a
+    /// no-op in the lockstep oracle too).
+    fn tick_round(&mut self) {
+        for h in &self.handles {
+            if h.has_work {
+                h.send(WorkerCmd::Tick);
+            }
+        }
+        for h in &mut self.handles {
+            if h.has_work {
+                match h.recv() {
+                    WorkerReply::Ticked { clock, has_work } => {
+                        h.clock = clock;
+                        h.has_work = has_work;
+                    }
+                    other => panic!("expected Ticked reply, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Releases every worker to free-run, then merges reports and
+    /// event streams in worker-id order — the same fold as the
+    /// lockstep `Dispatcher::into_report`, producing the canonical
+    /// event order by construction.
+    fn finish(self) -> ThreadedRun {
+        for h in &self.handles {
+            h.send(WorkerCmd::Drain);
+        }
+        let mut completions = Vec::new();
+        let mut shed = Vec::new();
+        let mut stats = ServeStats::default();
+        let mut per_worker = Vec::with_capacity(self.handles.len());
+        let mut events = self.routing_events;
+        for h in &self.handles {
+            match h.recv() {
+                WorkerReply::Finished {
+                    report,
+                    events: worker_events,
+                } => {
+                    let ServeReport {
+                        completions: c,
+                        shed: s,
+                        stats: st,
+                    } = *report;
+                    completions.extend(c);
+                    shed.extend(s);
+                    stats.merge(&st);
+                    per_worker.push(st);
+                    events.extend(worker_events);
+                }
+                other => panic!("expected Finished reply, got {other:?}"),
+            }
+        }
+        completions.sort_by_key(|c| c.id);
+        shed.sort_by_key(|s| s.id);
+        let mut assignments = self.assignments;
+        assignments.sort_unstable();
+        ThreadedRun {
+            report: DispatchReport {
+                completions,
+                shed,
+                stats,
+                per_worker,
+                assignments,
+            },
+            events,
+        }
+    }
+}
+
+/// One worker thread's whole life: build the engine locally, serve
+/// commands FIFO, then free-run to completion and report.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    model: &MlpLm,
+    cfg: ServeConfig,
+    draft: Option<&(dyn LanguageModel + Sync)>,
+    grammar: Option<&GrammarOracle>,
+    policy: Option<&dyn SpecPolicy>,
+    warm: Vec<Vec<TokenId>>,
+    traced: bool,
+    worker: u32,
+    cost: &GpuCostModel,
+    cmds: mpsc::Receiver<WorkerCmd>,
+    replies: mpsc::Sender<WorkerReply>,
+) {
+    let log = EventLog::new();
+    let mut engine = ServeEngine::new(model, cfg);
+    if let Some(d) = draft {
+        engine = engine.with_draft(d as &dyn LanguageModel);
+    }
+    if let Some(g) = grammar {
+        engine = engine.with_grammar(g);
+    }
+    if let Some(p) = policy {
+        engine = engine.with_policy(p);
+    }
+    engine.set_worker(worker);
+    if traced {
+        engine.set_sink(&log);
+    }
+    for stem in &warm {
+        engine.warm_prefix(stem);
+    }
+    for cmd in cmds {
+        match cmd {
+            WorkerCmd::Submit(req) => engine.submit(*req),
+            WorkerCmd::Tick => {
+                engine.tick(cost);
+                let reply = WorkerReply::Ticked {
+                    clock: engine.clock(),
+                    has_work: engine.has_work(),
+                };
+                if replies.send(reply).is_err() {
+                    return;
+                }
+            }
+            WorkerCmd::Probe(prompt) => {
+                let reply = WorkerReply::Probed(RouteProbes {
+                    ready_depth: engine.ready_depth() as u64,
+                    outstanding_cost: engine.outstanding_cost() as u64,
+                    prefix_depth: engine.prefix_match_depth(&prompt) as u64,
+                });
+                if replies.send(reply).is_err() {
+                    return;
+                }
+            }
+            WorkerCmd::Drain => break,
+        }
+    }
+    // Barrier-free drain: no command can affect this worker anymore,
+    // so its remaining tick sequence is a pure local computation —
+    // identical to the lockstep drive's tail rounds (in which extra
+    // ticks on an already-empty engine are no-ops).
+    while engine.tick(cost) {}
+    let report = Box::new(engine.into_report_parts());
+    let _ = replies.send(WorkerReply::Finished {
+        report,
+        events: log.into_events(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{dispatch_all, Dispatcher, RoutePolicy};
+    use crate::request::EngineChoice;
+    use verispec_core::DecodeConfig;
+    use verispec_lm::MlpLmConfig;
+    use verispec_trace::canonicalize_fleet_events;
+
+    fn model() -> MlpLm {
+        MlpLm::new(MlpLmConfig {
+            vocab: 14,
+            d_emb: 6,
+            d_hidden: 12,
+            context: 4,
+            n_heads: 3,
+            seed: 33,
+        })
+    }
+
+    fn request(id: u64, arrival: u64, budget: usize) -> Request {
+        Request {
+            id,
+            prompt: vec![1 + (id % 4) as TokenId, 2],
+            engine: EngineChoice::SyntaxAligned {
+                tree: Some(vec![2, 2]),
+            },
+            cfg: DecodeConfig {
+                max_tokens: budget,
+                seed: id,
+                ..Default::default()
+            },
+            arrival,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn threaded_batch_matches_lockstep_batch() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let requests: Vec<Request> = (0..6).map(|id| request(id, 0, 4)).collect();
+        let lockstep = dispatch_all(
+            &m,
+            None,
+            requests.clone(),
+            &ServeConfig::concurrency(2),
+            &DispatchConfig::new(3, RoutePolicy::RoundRobin),
+            &cost,
+        );
+        let threaded = ThreadedDispatcher::new(
+            &m,
+            ServeConfig::concurrency(2),
+            DispatchConfig::new(3, RoutePolicy::RoundRobin),
+        )
+        .run_threaded(requests, &cost);
+        assert!(threaded.report.same_schedule(&lockstep));
+        assert!(threaded.events.is_empty(), "untraced runs carry no events");
+    }
+
+    #[test]
+    fn threaded_paced_matches_lockstep_under_probing_route() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let requests: Vec<Request> = (0..8).map(|id| request(id, id / 2, 3)).collect();
+        let log = EventLog::new();
+        let lockstep = Dispatcher::new(
+            &m,
+            ServeConfig::concurrency(2),
+            DispatchConfig::new(2, RoutePolicy::JoinShortestQueue),
+        )
+        .with_sink(&log)
+        .run_paced(requests.clone(), &cost);
+        let threaded = ThreadedDispatcher::new(
+            &m,
+            ServeConfig::concurrency(2),
+            DispatchConfig::new(2, RoutePolicy::JoinShortestQueue),
+        )
+        .with_tracing()
+        .run_paced_threaded(requests, &cost);
+        assert!(threaded.report.same_schedule(&lockstep));
+        assert_eq!(
+            canonicalize_fleet_events(&threaded.events),
+            canonicalize_fleet_events(&log.into_events()),
+        );
+        // The threaded merge is already canonical.
+        assert_eq!(canonicalize_fleet_events(&threaded.events), threaded.events);
+    }
+
+    #[test]
+    fn threaded_prefix_affine_follows_the_warm_stem() {
+        let m = model();
+        let cost = GpuCostModel::codellama_like();
+        let cfg = ServeConfig {
+            prefix_cache: true,
+            ..ServeConfig::concurrency(2)
+        };
+        let stem: Vec<TokenId> = vec![1, 2, 3];
+        let requests = vec![
+            Request {
+                prompt: vec![1, 2, 3, 4, 5],
+                ..request(0, 0, 4)
+            },
+            Request {
+                prompt: vec![1, 2, 3, 4, 5, 6],
+                ..request(1, 2, 4)
+            },
+        ];
+        let mut lockstep_d = Dispatcher::new(
+            &m,
+            cfg.clone(),
+            DispatchConfig::new(3, RoutePolicy::PrefixAffine),
+        );
+        assert_eq!(lockstep_d.warm_prefix(&stem), 3);
+        let lockstep = lockstep_d.run_paced(requests.clone(), &cost);
+        let threaded =
+            ThreadedDispatcher::new(&m, cfg, DispatchConfig::new(3, RoutePolicy::PrefixAffine))
+                .warm_prefix(&stem)
+                .run_paced_threaded(requests, &cost);
+        assert!(threaded.report.same_schedule(&lockstep));
+        // Both runs route the deeper stem extension to the worker the
+        // first request warmed.
+        assert_eq!(threaded.report.assignments, lockstep.assignments);
+        assert_eq!(threaded.report.worker_of(0), threaded.report.worker_of(1));
+    }
+}

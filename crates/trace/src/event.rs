@@ -193,6 +193,39 @@ pub fn log_from_json(s: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
     serde_json::from_str(s)
 }
 
+/// Rewrites a fleet event stream into its *canonical* order, the form
+/// under which the lockstep and threaded dispatch drives are compared:
+/// all [`EventKind::Routed`] events first (in emission order — routing
+/// is a coordinator-serial decision in both drives), followed by every
+/// other event grouped by worker id ascending, preserving each
+/// worker's own emission order.
+///
+/// Why this form: a lockstep fleet interleaves all workers' events
+/// into one shared sink in tick-round order, while the threaded fleet
+/// collects one log per worker thread and concatenates them. The two
+/// interleavings differ (a `Routed` event stamped at the fleet clock
+/// can legally precede *or* follow a lagging worker's same-tick
+/// events) but the per-worker subsequences — and the routing
+/// subsequence — are each deterministic. Canonicalizing both sides
+/// makes "event-for-event identical" well-defined without imposing a
+/// fake total order on concurrent workers.
+pub fn canonicalize_fleet_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    let mut canonical = Vec::with_capacity(events.len());
+    let mut per_worker: std::collections::BTreeMap<u32, Vec<TraceEvent>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        if matches!(ev.kind, EventKind::Routed { .. }) {
+            canonical.push(ev.clone());
+        } else {
+            per_worker.entry(ev.worker).or_default().push(ev.clone());
+        }
+    }
+    for (_, worker_events) in per_worker {
+        canonical.extend(worker_events);
+    }
+    canonical
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +280,47 @@ mod tests {
         // Serialization is deterministic: re-serializing the parsed
         // log reproduces the exact bytes.
         assert_eq!(json, log_to_json(&back));
+    }
+
+    #[test]
+    fn canonicalization_groups_by_worker_and_keeps_routing_order() {
+        let routed = |tick: u64, worker: u32, id: u64| {
+            TraceEvent::new(
+                tick,
+                worker,
+                Some(id),
+                EventKind::Routed {
+                    policy: "jsq".into(),
+                    probes: vec![0, 1],
+                },
+            )
+        };
+        let idle = |tick: u64, worker: u32| {
+            TraceEvent::new(tick, worker, None, EventKind::IdleSkip { skipped: 1 })
+        };
+        // A lockstep-style interleaving: worker 1's tick-2 event lands
+        // between the two routing decisions, worker 0 lags behind.
+        let interleaved = vec![
+            routed(2, 0, 7),
+            idle(2, 1),
+            routed(2, 1, 8),
+            idle(1, 0),
+            idle(3, 1),
+        ];
+        // The threaded-style merge of the same run: routing stream
+        // first, then each worker's own stream, by worker id.
+        let merged = vec![
+            routed(2, 0, 7),
+            routed(2, 1, 8),
+            idle(1, 0),
+            idle(2, 1),
+            idle(3, 1),
+        ];
+        assert_eq!(
+            canonicalize_fleet_events(&interleaved),
+            canonicalize_fleet_events(&merged)
+        );
+        // The merged form is already canonical (a fixed point).
+        assert_eq!(canonicalize_fleet_events(&merged), merged);
     }
 }

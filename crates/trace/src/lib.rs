@@ -110,7 +110,7 @@ pub mod sink;
 pub mod timeline;
 
 pub use chrome::chrome_trace;
-pub use event::{log_from_json, log_to_json, EventKind, TraceEvent};
+pub use event::{canonicalize_fleet_events, log_from_json, log_to_json, EventKind, TraceEvent};
 pub use registry::{Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use report::{attribute_phases, render_flame, slowest_phases, PhaseCost, SlowPhase};
 pub use sink::{EventLog, NoopSink, TraceSink, NOOP};
