@@ -5,8 +5,8 @@
 //! The bench smokes regenerate the artifacts; this binary then fails
 //! the build if their *shape* regressed — a column renamed or dropped,
 //! a speedup that stopped parsing, a parity flag that is no longer
-//! true, a method/policy/dispatch cell that silently vanished from a
-//! sweep. Numeric trajectories (is the speedup getting worse?) stay a
+//! true, a method/policy/dispatch/fault-recovery cell that silently
+//! vanished from a sweep. Numeric trajectories (is the speedup getting worse?) stay a
 //! human judgment over the uploaded artifacts; the guard's job is to
 //! make sure the numbers are still *there*, still finite, and still
 //! produced under proven parity.
@@ -169,11 +169,23 @@ struct ZipfCell {
     hit_rate: Option<f64>,
 }
 
+/// One fault-injected recovery cell, as read back from the artifact:
+/// the scenario (in the `policy` column), fleet shape, and the
+/// recovery columns the guard gates.
+struct FaultCell {
+    scenario: String,
+    crashes: f64,
+    migrations: f64,
+    replay_tokens: f64,
+    recovery_ttft_p99: Option<f64>,
+}
+
 fn check_load(g: &mut Guard, doc: &Value) {
     let mut methods = Vec::new();
     let mut policies = Vec::new();
     let mut dispatch_cells = Vec::new();
     let mut zipf_cells: Vec<ZipfCell> = Vec::new();
+    let mut fault_cells: Vec<FaultCell> = Vec::new();
     for (i, row) in rows(g, doc, "BENCH_load.json").iter().enumerate() {
         let ctx = format!("BENCH_load.json[{i}]");
         methods.push(string(g, row, &ctx, "method").to_string());
@@ -192,7 +204,7 @@ fn check_load(g: &mut Guard, doc: &Value) {
                     .unwrap_or(f64::NAN)
             };
             zipf_cells.push(ZipfCell {
-                cache: policy,
+                cache: policy.clone(),
                 workers: workers as usize,
                 route: route.clone(),
                 ttft_p99: ttft("p99"),
@@ -201,6 +213,15 @@ fn check_load(g: &mut Guard, doc: &Value) {
             });
         } else if route != "single" {
             dispatch_cells.push((workers as usize, route.clone()));
+        }
+        if policy == "worker-crash" || policy == "crash-storm" {
+            fault_cells.push(FaultCell {
+                scenario: policy.clone(),
+                crashes: number(g, row, &ctx, "worker_crashes"),
+                migrations: number(g, row, &ctx, "migrations"),
+                replay_tokens: number(g, row, &ctx, "replay_tokens"),
+                recovery_ttft_p99: field(row, "recovery_ttft_p99").and_then(as_f64),
+            });
         }
 
         // The parity flag is the guard's core promise: every recorded
@@ -255,9 +276,12 @@ fn check_load(g: &mut Guard, doc: &Value) {
         number(g, row, &ctx, "tokens_per_step");
         check_quantiles(g, row, &ctx);
 
-        // Routed requests account for everything served or shed.
+        // Routed requests account for everything served or shed; a
+        // crash-migrated request passes the router once per placement,
+        // so fault cells carry one extra routing per migration.
         let requests = number(g, row, &ctx, "requests");
         let shed = number(g, row, &ctx, "shed_requests");
+        let migrations = field(row, "migrations").and_then(as_f64).unwrap_or(0.0);
         match field(row, "worker_requests") {
             Some(Value::Seq(per)) => {
                 g.check(per.len() == workers as usize, || {
@@ -267,8 +291,11 @@ fn check_load(g: &mut Guard, doc: &Value) {
                     )
                 });
                 let sum: f64 = per.iter().filter_map(as_f64).sum();
-                g.check(sum == requests + shed, || {
-                    format!("{ctx}: routed requests ({sum}) != served ({requests}) + shed ({shed})")
+                g.check(sum == requests + shed + migrations, || {
+                    format!(
+                        "{ctx}: routed requests ({sum}) != served ({requests}) + \
+                         shed ({shed}) + migrated ({migrations})"
+                    )
                 });
             }
             _ => g
@@ -315,6 +342,49 @@ fn check_load(g: &mut Guard, doc: &Value) {
                 || format!("BENCH_load.json: dispatch cell {route}@{workers} vanished"),
             );
         }
+    }
+
+    // The fault-injected recovery cells: both deterministic failure
+    // scenarios present, each with its crashes actually fired
+    // (single-worker crash vs whole-fleet storm), real migration work
+    // (crash recovery routed stranded requests through the live
+    // fleet — a cell whose crash strands nothing measures nothing),
+    // replay accounting finite, and the recovery-window TTFT tail
+    // measured over the fault-affected completions. Together with the
+    // per-row `event_accept_violations == 0` and `threaded_parity`
+    // gates above, this pins the headline recovery claim: faults move
+    // ticks, never tokens.
+    for (want, min_crashes) in [("worker-crash", 1.0), ("crash-storm", 2.0)] {
+        let cell = fault_cells.iter().find(|c| c.scenario == want);
+        g.check(cell.is_some(), || {
+            format!("BENCH_load.json: fault-recovery cell `{want}` vanished from the sweep")
+        });
+        let Some(cell) = cell else {
+            continue;
+        };
+        g.check(cell.crashes >= min_crashes, || {
+            format!(
+                "BENCH_load.json: `{want}` fired {} crash(es), expected >= {min_crashes}",
+                cell.crashes
+            )
+        });
+        g.check(cell.migrations > 0.0, || {
+            format!("BENCH_load.json: `{want}` recorded no migrations — the crash stranded nothing")
+        });
+        g.check(
+            cell.replay_tokens.is_finite() && cell.replay_tokens >= 0.0,
+            || format!("BENCH_load.json: `{want}`: `replay_tokens` not a finite count"),
+        );
+        g.check(
+            cell.recovery_ttft_p99
+                .is_some_and(|v| v.is_finite() && v >= 0.0),
+            || {
+                format!(
+                    "BENCH_load.json: `{want}`: `recovery_ttft_p99` missing or not a \
+                     finite duration"
+                )
+            },
+        );
     }
 
     // The Zipf shared-stem cache sweep: every cache-state x worker x

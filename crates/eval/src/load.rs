@@ -18,12 +18,13 @@ use crate::pipeline::{token_budget, ModelScale, Pipeline, SharedPrefixEncoder};
 use crate::Scale;
 use verispec_core::{AdaptivePolicy, BudgetedPolicy, SpecPolicy, StaticPolicy, TrainMethod};
 use verispec_load::{
-    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_open_loop,
+    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_fleet_open_loop, run_open_loop,
     run_open_loop_with_policy, ArrivalProcess, ArrivalTrace, DispatchRunReport, LoadBenchRow,
     LoadRunReport, PromptFamily, RequestMix, Workload,
 };
 use verispec_serve::{
-    DispatchConfig, EngineChoice, Request, RoutePolicy, ServeConfig, ServeEngine, TickOrder,
+    Backend, DispatchConfig, EngineChoice, FaultPlan, Request, RoutePolicy, ServeConfig,
+    ServeEngine, TickOrder,
 };
 
 /// The three methods of the serve-aware Table II (all drive the same
@@ -394,6 +395,95 @@ pub fn run_load_bench(
         }
     }
 
+    // Fault-injected recovery cells: the identical dispatch workload
+    // served under deterministic failure scenarios through the
+    // [`verispec_load::run_fleet_open_loop`] facade — a single-worker
+    // crash with migration to the survivors ("worker-crash", 4
+    // workers), and a whole-fleet outage riding backpressure until the
+    // restarts flush the deferred queue ("crash-storm", 2 workers).
+    // Every completion is asserted token-identical to the fault-free
+    // single-engine reference before recording (crash recovery is a
+    // scheduling event, never a semantic one), and the threaded
+    // backend must reproduce the lockstep run bit for bit, faults
+    // included. The scenario lands in the row's `policy` column; the
+    // recovery columns (worker_crashes / migrations / replay_tokens /
+    // recovery_ttft_p99) are what the bench guard gates.
+    // The crash tick is workload-derived rather than hard-coded: scan
+    // a bounded, deterministic window starting one tick after the
+    // first arrival and take the earliest tick whose crash actually
+    // strands routed work (migrations > 0 — and, for the storm, also
+    // rides backpressure while the fleet is dark), so the cell
+    // measures recovery at every bench scale and the guard's
+    // `migrations > 0` gate is satisfiable by construction. The
+    // restarts land safely after both the arrival span and the scan
+    // window, keeping the whole-fleet outage window dark.
+    let first_arrival = requests.iter().map(|r| r.arrival).min().unwrap_or(0);
+    let last_arrival = requests.iter().map(|r| r.arrival).max().unwrap_or(0);
+    let scan_end = first_arrival + 13;
+    let restart_tick = last_arrival.max(scan_end) + 8;
+    let storm_workers = 2usize;
+    let crash_workers = 4usize;
+    for (scenario, workers) in [
+        ("worker-crash", crash_workers),
+        ("crash-storm", storm_workers),
+    ] {
+        let dcfg = DispatchConfig::new(workers, RoutePolicy::JoinShortestQueue);
+        let make_plan = |crash: u64| -> FaultPlan {
+            if scenario == "worker-crash" {
+                FaultPlan::none().crash(crash, 0).restart(restart_tick, 0)
+            } else {
+                (0..workers).fold(FaultPlan::none(), |p, w| {
+                    p.crash(crash + w as u64, w)
+                        .restart(restart_tick + w as u64, w)
+                })
+            }
+        };
+        let (plan, run) = ((first_arrival + 1)..=scan_end)
+            .find_map(|crash| {
+                let plan = make_plan(crash);
+                let run = run_fleet_open_loop(
+                    &model,
+                    None,
+                    Some(&enc.preamble_ids),
+                    requests.clone(),
+                    &cfg,
+                    &dcfg,
+                    &cost,
+                    None,
+                    &plan,
+                    Backend::Lockstep,
+                );
+                let s = &run.dispatch.stats;
+                let strands = if scenario == "worker-crash" {
+                    s.migrations > 0
+                } else {
+                    s.migrations > 0 && s.backpressure_deferrals > 0
+                };
+                strands.then_some((plan, run))
+            })
+            .unwrap_or_else(|| {
+                panic!("{scenario}: no crash tick in the arrival window strands work")
+            });
+        assert_faulted_matches_reference(&run, &reference, &plan, workers, scenario);
+        let threaded = run_fleet_open_loop(
+            &model,
+            None,
+            Some(&enc.preamble_ids),
+            requests.clone(),
+            &cfg,
+            &dcfg,
+            &cost,
+            None,
+            &plan,
+            Backend::Threaded,
+        );
+        assert_threaded_matches_lockstep(&threaded, &run, workers, scenario);
+        let mut row = LoadBenchRow::for_dispatch(&process, rate, ours_name, "jsq", &run)
+            .with_threaded(threaded.wall_secs, true);
+        row.policy = scenario.to_string();
+        rows.push(row);
+    }
+
     // Zipf shared-stem cache sweep: a workload where most prompts
     // extend one of a few hot stems (Zipf-weighted), served with
     // *paced* prompt ingestion so ingestion work is visible in tick
@@ -542,6 +632,53 @@ fn assert_zipf_matches_uncached_reference(
     }
 }
 
+/// Asserts a fault-injected run against the fault-free single-engine
+/// reference of the identical workload: the fault plan actually fired
+/// (crashes and — migration or backpressure — recovery work
+/// happened), no request was lost across the outage, and every
+/// completion's token stream equals the reference's. Crash recovery
+/// by exact replay is a scheduling event, never a semantic one; rows
+/// are only recorded after this passes.
+fn assert_faulted_matches_reference(
+    run: &DispatchRunReport,
+    reference: &LoadRunReport,
+    plan: &FaultPlan,
+    workers: usize,
+    scenario: &str,
+) {
+    let crashes = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, verispec_serve::FaultEvent::CrashWorker { .. }))
+        .count();
+    assert_eq!(
+        run.dispatch.stats.crashes, crashes,
+        "{scenario}@{workers}: the fault plan's crashes did not all fire"
+    );
+    assert!(
+        run.dispatch.stats.migrations > 0 || run.dispatch.stats.backpressure_deferrals > 0,
+        "{scenario}@{workers}: the crash stranded no work — the cell measures nothing"
+    );
+    assert_eq!(
+        run.dispatch.completions.len(),
+        reference.serve.completions.len(),
+        "{scenario}@{workers}: requests were lost across the recovery"
+    );
+    for (a, b) in run
+        .dispatch
+        .completions
+        .iter()
+        .zip(&reference.serve.completions)
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.output.tokens, b.output.tokens,
+            "{scenario}@{workers}: request {} diverged under fault injection",
+            a.id
+        );
+    }
+}
+
 /// Asserts the threaded runtime's run bit-identical to the lockstep
 /// oracle's on the identical cell: the whole tick-space schedule
 /// ([`verispec_serve::DispatchReport::same_schedule`] — completions,
@@ -640,10 +777,16 @@ fn assert_streaming_matches_batch(
     method: &str,
     policy: Option<&dyn SpecPolicy>,
 ) {
-    use verispec_lm::LanguageModel;
-    let mut prefix = model.session();
-    prefix.append(preamble);
-    let mut engine = ServeEngine::new(model, cfg.clone()).with_prefix(&*prefix);
+    // Mirror run_open_loop's prefix handling exactly (radix-tree cache
+    // pre-warmed with the shared stem — the successor of the retired
+    // engine-held `with_prefix` plumbing) so the batch reference runs
+    // the identical admission path.
+    let cfg = ServeConfig {
+        prefix_cache: true,
+        ..cfg.clone()
+    };
+    let mut engine = ServeEngine::new(model, cfg);
+    engine.warm_prefix(preamble);
     if let Some(p) = policy {
         engine = engine.with_policy(p);
     }
@@ -748,9 +891,9 @@ mod tests {
         let rows = run_load_bench(&scale, &pipe, ModelScale::Small, &[0.4, 1.5]);
         assert_eq!(
             rows.len(),
-            2 * (3 + 3) + 1 + 9 + 18,
+            2 * (3 + 3) + 1 + 9 + 2 + 18,
             "2 load levels x (3 methods + 3 policies) + dispatch reference + 3x3 sweep \
-             + cache on/off x 3x3 zipf sweep"
+             + 2 fault-recovery cells + cache on/off x 3x3 zipf sweep"
         );
         for r in &rows {
             assert!(r.requests + r.shed_requests == 4, "served + shed = offered");
@@ -795,7 +938,7 @@ mod tests {
         );
         let dispatch: Vec<_> = rows
             .iter()
-            .filter(|r| r.route != "single" && r.process != "zipf")
+            .filter(|r| r.route != "single" && r.process != "zipf" && r.policy == "static")
             .collect();
         assert_eq!(dispatch.len(), 9);
         // Every dispatched cell (zipf sweep included) carries the
@@ -839,6 +982,42 @@ mod tests {
                 );
             }
         }
+        // The fault-recovery cells: both scenarios present, recorded
+        // under proven token parity with the fault-free reference and
+        // threaded/lockstep bit-identity (run_load_bench panics
+        // otherwise), with the recovery columns populated — crashes
+        // fired, recovery work happened, and the recovery-window TTFT
+        // tail was measured whenever a completion was fault-affected.
+        let faults: Vec<_> = rows
+            .iter()
+            .filter(|r| r.policy == "worker-crash" || r.policy == "crash-storm")
+            .collect();
+        assert_eq!(faults.len(), 2);
+        for r in &faults {
+            assert!(r.worker_crashes > 0, "{}: no crash fired", r.policy);
+            assert!(r.migrations > 0, "{}: no migration happened", r.policy);
+            assert!(
+                r.recovery_ttft_p99
+                    .is_some_and(|v| v.is_finite() && v >= 0.0),
+                "{}: recovery-window TTFT p99 missing",
+                r.policy
+            );
+            assert_eq!(
+                r.event_accept_violations, 0,
+                "{}: acceptance invariant violated under faults",
+                r.policy
+            );
+            assert_eq!(r.threaded_parity, Some(true));
+        }
+        let storm = faults
+            .iter()
+            .find(|r| r.policy == "crash-storm")
+            .expect("crash-storm cell");
+        assert_eq!(storm.workers, 2);
+        assert!(
+            storm.worker_crashes >= 2,
+            "the storm must kill the whole fleet"
+        );
         // The policy A/B rows carry the new axes: a shared capacity,
         // SLO deadlines on every request, and measured acceptance.
         let policy_rows: Vec<_> = rows.iter().filter(|r| r.tick_capacity.is_some()).collect();

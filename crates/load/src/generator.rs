@@ -269,7 +269,11 @@ impl PromptFamily {
 pub struct RequestMix {
     /// Weighted engine menu.
     pub engines: Vec<(EngineChoice, f64)>,
-    /// Weighted prompt families.
+    /// Weighted prompt families. The family *index* doubles as the
+    /// request's tenant class ([`verispec_serve::Request::class`]), so
+    /// multi-tenant scenarios model each tenant as one family and
+    /// weight service between them with
+    /// [`verispec_serve::FaultPlan::share`].
     pub families: Vec<(PromptFamily, f64)>,
     /// Probability of greedy decoding (otherwise temperature sampling).
     pub greedy_fraction: f64,
@@ -344,7 +348,8 @@ impl Workload {
             .enumerate()
             .map(|(i, arrival)| {
                 let drawn = &self.mix.engines[rng.weighted(&engine_weights)].0;
-                let family = &self.mix.families[rng.weighted(&family_weights)].0;
+                let fam_idx = rng.weighted(&family_weights);
+                let family = &self.mix.families[fam_idx].0;
                 assert!(
                     !family.prompts.is_empty(),
                     "family {} is empty",
@@ -378,7 +383,8 @@ impl Workload {
                         engine.unwrap_or(drawn).clone(),
                         cfg,
                     )
-                };
+                }
+                .with_class(fam_idx as u32);
                 (request, family.name.clone())
             })
             .unzip()

@@ -49,18 +49,27 @@
 //!                                    → fused propose/verify →
 //!                                    commit (step_ticks)
 //!                                                  │
-//!                      two drives over the same fleet semantics:
-//!                      ├─ run_dispatch_open_loop ── lockstep oracle
-//!                      │   (Dispatcher::run_paced: one coordinator
-//!                      │    thread ticks every engine in rounds)
-//!                      └─ run_dispatch_open_loop_threaded ── true
-//!                          parallel runtime (ThreadedDispatcher:
-//!                          thread per worker, mpsc Submit/Tick/
+//!                      run_fleet_open_loop ── one FleetRuntime facade
+//!                      (Drive::Paced + optional FaultPlan: trace-
+//!                       specified CrashWorker/RestartWorker ticks and
+//!                       per-tenant ClassShare weighted-fair shares;
+//!                       on crash, stranded requests re-route through
+//!                       the live Router and rebuild by exact replay —
+//!                       token-identical to the fault-free run; with
+//!                       the whole fleet dark, arrivals defer under
+//!                       Backpressure and flush at restart) over two
+//!                      backends with the same semantics:
+//!                      ├─ Backend::Lockstep ── oracle (one
+//!                      │   coordinator thread ticks every engine in
+//!                      │   rounds) — run_dispatch_open_loop is the
+//!                      │   fault-free convenience
+//!                      └─ Backend::Threaded ── true parallel runtime
+//!                          (thread per worker, mpsc Submit/Tick/
 //!                          Probe/Drain protocol, barrier-free drain)
-//!                          — tick-for-tick identical reports, so the
-//!                          bench records both wall clocks side by
-//!                          side (threaded_wall_secs column) with a
-//!                          per-cell parity assertion
+//!                          — tick-for-tick identical reports (faults
+//!                          included), so the bench records both wall
+//!                          clocks side by side (threaded_wall_secs
+//!                          column) with a per-cell parity assertion
 //!                                                  │
 //!   LatencyReport ◄──────────── Completion{output, step_ticks, secs,
 //!   queueing/TTFT/gaps/e2e,                deadline, proposed/accepted}
@@ -99,19 +108,25 @@
 //!   latency in ticks and wall-clock, aggregated into exact-quantile
 //!   p50/p90/p99 summaries ([`QuantileSummary`], grouped as
 //!   [`LatencyQuantiles`]) plus per-engine breakdowns.
-//! * [`run_dispatch_open_loop`] — the multi-worker sibling: the same
-//!   workload served through a `verispec-serve` dispatcher fleet, with
-//!   the realized routing joined back into a per-worker telemetry
+//! * [`run_fleet_open_loop`] — the multi-worker sibling, over the
+//!   [`verispec_serve::FleetRuntime`] facade: the same workload served
+//!   through a worker fleet under a selectable backend
+//!   ([`verispec_serve::Backend::Lockstep`] oracle or
+//!   [`verispec_serve::Backend::Threaded`] thread-per-worker runtime —
+//!   proptest-pinned bit-identical in tick space, so the backend only
+//!   changes the wall clock) and an optional
+//!   [`verispec_serve::FaultPlan`] (deterministic worker
+//!   crash/restart schedules plus per-tenant weighted-fair shares).
+//!   The realized routing joins back into a per-worker telemetry
 //!   breakdown (each worker's [`SloSummary`] counts the deadlines *it*
-//!   dropped, so bad routing shows up where it happened).
-//! * [`run_dispatch_open_loop_threaded`] — the same dispatched
-//!   workload served through the thread-per-worker
-//!   [`verispec_serve::ThreadedDispatcher`] runtime. Tick-space
-//!   results are proptest-pinned bit-identical to the lockstep drive;
-//!   this driver measures the *wall clock* of true concurrent
-//!   execution, which `BENCH_load.json` records per dispatch cell as
-//!   `threaded_wall_secs` / `threaded_parity` next to the lockstep
-//!   `wall_secs`.
+//!   dropped, so bad routing shows up where it happened), and
+//!   fault-injected cells grow recovery columns in `BENCH_load.json`:
+//!   `worker_crashes` / `migrations` / `replay_tokens` /
+//!   `recovery_ttft_p99` (exact p99 TTFT over the migrated or
+//!   backpressure-deferred completions). [`run_dispatch_open_loop`] /
+//!   [`run_dispatch_open_loop_threaded`] remain as fault-free
+//!   conveniences pinned to one backend each; `threaded_wall_secs` /
+//!   `threaded_parity` record the two wall clocks side by side.
 //! * [`LoadBenchRow`] — one cell of the serve-aware Table II
 //!   (single-engine, policy-A/B, and dispatch-sweep rows alike),
 //!   including event-derived acceptance columns
@@ -190,7 +205,7 @@ pub mod trace;
 pub use clock::{LoadRng, VirtualClock};
 pub use generator::{ArrivalProcess, PromptFamily, RequestMix, Workload};
 pub use report::{
-    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_open_loop,
+    run_dispatch_open_loop, run_dispatch_open_loop_threaded, run_fleet_open_loop, run_open_loop,
     run_open_loop_with_policy, DispatchRunReport, LoadBenchRow, LoadRunReport,
 };
 pub use telemetry::{

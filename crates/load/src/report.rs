@@ -6,20 +6,25 @@
 //! ([`verispec_serve::ServeEngine::run_streaming`]) — arrivals enter
 //! via the channel and join mid-flight at their arrival ticks — and
 //! returns the serve report together with the aggregated latency
-//! telemetry and the measured wall clock. [`run_dispatch_open_loop`]
-//! is its multi-worker sibling over a
-//! [`verispec_serve::Dispatcher`] fleet. [`LoadBenchRow`] is one line
+//! telemetry and the measured wall clock. [`run_fleet_open_loop`] is
+//! its multi-worker sibling over a [`verispec_serve::FleetRuntime`]
+//! fleet — backend-selectable (lockstep oracle or threaded runtime)
+//! and optionally fault-injected ([`verispec_serve::FaultPlan`]) —
+//! with [`run_dispatch_open_loop`] / [`run_dispatch_open_loop_threaded`]
+//! as fault-free conveniences. [`LoadBenchRow`] is one line
 //! of the serve-aware Table II: one (arrival process, offered load,
 //! decoding method — and, for dispatched runs, worker count × routing
-//! policy) cell with exact p50/p90/p99 TTFT and end-to-end latency.
+//! policy) cell with exact p50/p90/p99 TTFT and end-to-end latency,
+//! plus recovery columns (crashes, migrations, replay tokens,
+//! recovery-window TTFT p99) for fault-injected cells.
 
-use crate::telemetry::{LatencyQuantiles, LatencyReport};
+use crate::telemetry::{LatencyQuantiles, LatencyReport, QuantileSummary};
 use serde::{Deserialize, Serialize};
 use verispec_core::SpecPolicy;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
 use verispec_serve::{
-    DispatchConfig, DispatchReport, Dispatcher, Request, ServeConfig, ServeEngine, ServeReport,
-    ThreadedDispatcher,
+    Backend, DispatchConfig, DispatchReport, Drive, FaultPlan, FleetRuntime, Request, ServeConfig,
+    ServeEngine, ServeReport,
 };
 use verispec_trace::{EventKind, EventLog, TraceEvent};
 
@@ -117,63 +122,22 @@ pub struct DispatchRunReport {
     pub events: Vec<TraceEvent>,
 }
 
-/// The multi-worker sibling of [`run_open_loop`]: serves `requests`
-/// through a [`Dispatcher`] fleet's *paced* drive
-/// (`Dispatcher::run_paced` — each request is routed exactly when its
-/// arrival tick falls due, so load-aware routing sees live queue
-/// depths and the whole run stays deterministic), then joins the
-/// merged completions with the realized routing into a
-/// dispatcher-aware [`LatencyReport`].
+/// The multi-worker sibling of [`run_open_loop`], built on the
+/// [`FleetRuntime`] facade: serves `requests` through a fleet's
+/// *paced* drive ([`Drive::Paced`] — each request is routed exactly
+/// when its arrival tick falls due, so load-aware routing sees live
+/// queue depths and the whole run stays deterministic), optionally
+/// under a failure scenario (`plan`: deterministic worker
+/// crash/restart events and tenant shares), then joins the merged
+/// completions with the realized routing into a dispatcher-aware
+/// [`LatencyReport`]. `backend` selects the lockstep oracle or the
+/// thread-per-worker runtime; both produce bit-identical tick-space
+/// results (the proptest-pinned parity invariant), so the backend
+/// choice only changes the wall-clock measurement. `events` carries
+/// the canonical fleet stream for either backend (routing and fault
+/// lifecycle first, then per-worker lifecycles by worker id).
 #[allow(clippy::too_many_arguments)] // driver glue mirroring run_open_loop_with_policy
-pub fn run_dispatch_open_loop(
-    model: &MlpLm,
-    draft: Option<&dyn LanguageModel>,
-    prefix_tokens: Option<&[TokenId]>,
-    requests: Vec<Request>,
-    cfg: &ServeConfig,
-    dcfg: &DispatchConfig,
-    cost: &GpuCostModel,
-    policy: Option<&dyn SpecPolicy>,
-) -> DispatchRunReport {
-    let originals = requests.clone();
-    let mut cfg = cfg.clone();
-    cfg.prefix_cache |= prefix_tokens.is_some();
-    let log = EventLog::new();
-    let t0 = std::time::Instant::now();
-    let mut dispatcher = Dispatcher::new(model, cfg, dcfg.clone()).with_sink(&log);
-    if let Some(d) = draft {
-        dispatcher = dispatcher.with_draft(d);
-    }
-    if let Some(toks) = prefix_tokens {
-        dispatcher.warm_prefix(toks);
-    }
-    if let Some(p) = policy {
-        dispatcher = dispatcher.with_policy(p);
-    }
-    let dispatch = dispatcher.run_paced(requests, cost);
-    let wall_secs = t0.elapsed().as_secs_f64();
-    let latency =
-        LatencyReport::with_assignments(&originals, &dispatch.completions, &dispatch.assignments)
-            .attach_prefix_stats(&dispatch.stats);
-    DispatchRunReport {
-        dispatch,
-        latency,
-        wall_secs,
-        events: log.into_events(),
-    }
-}
-
-/// The threaded sibling of [`run_dispatch_open_loop`]: the identical
-/// workload served through the thread-per-worker
-/// [`ThreadedDispatcher`] runtime (`run_paced_threaded`) instead of
-/// the lockstep oracle. Tick-space results are bit-identical by
-/// construction (the proptest-pinned parity invariant); what this
-/// driver adds is a *wall-clock* measurement of the concurrent
-/// runtime, which the bench harness records next to the lockstep
-/// wall time. `events` carries the canonically merged fleet stream
-/// (routing decisions first, then per-worker lifecycles by worker id).
-#[allow(clippy::too_many_arguments)] // driver glue mirroring run_dispatch_open_loop
-pub fn run_dispatch_open_loop_threaded(
+pub fn run_fleet_open_loop(
     model: &MlpLm,
     draft: Option<&(dyn LanguageModel + Sync)>,
     prefix_tokens: Option<&[TokenId]>,
@@ -182,22 +146,26 @@ pub fn run_dispatch_open_loop_threaded(
     dcfg: &DispatchConfig,
     cost: &GpuCostModel,
     policy: Option<&dyn SpecPolicy>,
+    plan: &FaultPlan,
+    backend: Backend,
 ) -> DispatchRunReport {
     let originals = requests.clone();
     let mut cfg = cfg.clone();
     cfg.prefix_cache |= prefix_tokens.is_some();
     let t0 = std::time::Instant::now();
-    let mut dispatcher = ThreadedDispatcher::new(model, cfg, dcfg.clone()).with_tracing();
+    let mut rt = FleetRuntime::new(model, cfg, dcfg.workers, dcfg.route.clone(), backend)
+        .with_tracing()
+        .with_fault_plan(plan.clone());
     if let Some(d) = draft {
-        dispatcher = dispatcher.with_draft(d);
+        rt = rt.with_draft(d);
     }
     if let Some(toks) = prefix_tokens {
-        dispatcher = dispatcher.warm_prefix(toks);
+        rt = rt.warm_prefix(toks);
     }
     if let Some(p) = policy {
-        dispatcher = dispatcher.with_policy(p);
+        rt = rt.with_policy(p);
     }
-    let run = dispatcher.run_paced_threaded(requests, cost);
+    let run = rt.run(Drive::Paced(requests), cost);
     let wall_secs = t0.elapsed().as_secs_f64();
     let dispatch = run.report;
     let latency =
@@ -209,6 +177,65 @@ pub fn run_dispatch_open_loop_threaded(
         wall_secs,
         events: run.events,
     }
+}
+
+/// Fault-free lockstep convenience over [`run_fleet_open_loop`];
+/// prefer the facade directly for new call sites (it exposes the
+/// fault plan and the backend choice).
+#[allow(clippy::too_many_arguments)] // driver glue mirroring run_open_loop_with_policy
+pub fn run_dispatch_open_loop(
+    model: &MlpLm,
+    draft: Option<&(dyn LanguageModel + Sync)>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+    policy: Option<&dyn SpecPolicy>,
+) -> DispatchRunReport {
+    run_fleet_open_loop(
+        model,
+        draft,
+        prefix_tokens,
+        requests,
+        cfg,
+        dcfg,
+        cost,
+        policy,
+        &FaultPlan::none(),
+        Backend::Lockstep,
+    )
+}
+
+/// Fault-free threaded convenience over [`run_fleet_open_loop`]; the
+/// identical workload as [`run_dispatch_open_loop`] served through
+/// the thread-per-worker runtime, adding a *wall-clock* measurement
+/// of the concurrent runtime which the bench harness records next to
+/// the lockstep wall time. Prefer the facade directly for new call
+/// sites.
+#[allow(clippy::too_many_arguments)] // driver glue mirroring run_dispatch_open_loop
+pub fn run_dispatch_open_loop_threaded(
+    model: &MlpLm,
+    draft: Option<&(dyn LanguageModel + Sync)>,
+    prefix_tokens: Option<&[TokenId]>,
+    requests: Vec<Request>,
+    cfg: &ServeConfig,
+    dcfg: &DispatchConfig,
+    cost: &GpuCostModel,
+    policy: Option<&dyn SpecPolicy>,
+) -> DispatchRunReport {
+    run_fleet_open_loop(
+        model,
+        draft,
+        prefix_tokens,
+        requests,
+        cfg,
+        dcfg,
+        cost,
+        policy,
+        &FaultPlan::none(),
+        Backend::Threaded,
+    )
 }
 
 /// One row of the serve-aware Table II in `BENCH_load.json`: a
@@ -337,6 +364,25 @@ pub struct LoadBenchRow {
     /// is `None`.
     #[serde(default)]
     pub threaded_parity: Option<bool>,
+    /// Worker crashes the run's [`FaultPlan`] fired (0 for fault-free
+    /// cells).
+    #[serde(default)]
+    pub worker_crashes: usize,
+    /// Requests migrated off crashed workers (re-routed through the
+    /// live fleet and rebuilt by exact replay).
+    #[serde(default)]
+    pub migrations: usize,
+    /// Tokens re-decoded while rebuilding migrated sessions — the
+    /// recovery work the fault plan cost the fleet.
+    #[serde(default)]
+    pub replay_tokens: usize,
+    /// Exact p99 TTFT (ticks) over the fault-affected completions —
+    /// those that were migrated or deferred under backpressure — i.e.
+    /// the recovery-window tail. `None` when no completion was
+    /// fault-affected (fault-free cells, or plans that touched no
+    /// in-flight work).
+    #[serde(default)]
+    pub recovery_ttft_p99: Option<f64>,
 }
 
 impl LoadBenchRow {
@@ -399,6 +445,10 @@ impl LoadBenchRow {
             event_accept_violations,
             threaded_wall_secs: None,
             threaded_parity: None,
+            worker_crashes: 0,
+            migrations: 0,
+            replay_tokens: 0,
+            recovery_ttft_p99: None,
         }
     }
 
@@ -469,6 +519,10 @@ impl LoadBenchRow {
             event_accept_violations,
             threaded_wall_secs: None,
             threaded_parity: None,
+            worker_crashes: stats.crashes,
+            migrations: stats.migrations,
+            replay_tokens: stats.replayed_tokens,
+            recovery_ttft_p99: recovery_ttft_p99(run),
         }
     }
 
@@ -481,6 +535,36 @@ impl LoadBenchRow {
         self.threaded_parity = Some(parity);
         self
     }
+}
+
+/// Exact p99 TTFT over the fault-affected completions of a dispatched
+/// run: requests the event stream saw migrated off a crashed worker or
+/// deferred under whole-fleet backpressure. `None` when no completion
+/// was fault-affected.
+fn recovery_ttft_p99(run: &DispatchRunReport) -> Option<f64> {
+    let affected: std::collections::BTreeSet<u64> = run
+        .events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev.kind,
+                EventKind::Migrated { .. } | EventKind::Backpressure
+            )
+        })
+        .filter_map(|ev| ev.request)
+        .collect();
+    let ttfts: Vec<f64> = run
+        .dispatch
+        .completions
+        .iter()
+        .filter(|c| affected.contains(&c.id))
+        .filter_map(|c| {
+            c.step_ticks
+                .first()
+                .map(|&t| t.saturating_sub(c.submitted) as f64)
+        })
+        .collect();
+    (!ttfts.is_empty()).then(|| QuantileSummary::exact(&ttfts).p99)
 }
 
 /// `hits / (hits + misses)`, or `None` when the cache saw no

@@ -17,13 +17,13 @@
 //! run's outputs and tick schedule exactly (the serving engine is a
 //! deterministic function of its requests).
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use verispec_core::DecodeConfig;
 use verispec_lm::{Sampling, TokenId};
-use verispec_serve::{EngineChoice, Request};
+use verispec_serve::{EngineChoice, FaultPlan, Request};
 
 /// One recorded arrival.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceEntry {
     /// Request id.
     pub id: u64,
@@ -41,11 +41,36 @@ pub struct TraceEntry {
     pub seed: u64,
     /// Optional SLO deadline tick.
     pub deadline: Option<u64>,
+    /// Tenant class ([`Request::class`]); 0 in traces recorded before
+    /// classes existed.
+    pub class: u32,
+}
+
+// Hand-written so traces recorded before `class` existed still parse
+// (the vendored derive requires every field to be present).
+impl serde::Deserialize for TraceEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(TraceEntry {
+            id: serde::Deserialize::from_value(v.field("id")?)?,
+            tick: serde::Deserialize::from_value(v.field("tick")?)?,
+            prompt_id: serde::Deserialize::from_value(v.field("prompt_id")?)?,
+            engine: serde::Deserialize::from_value(v.field("engine")?)?,
+            budget: serde::Deserialize::from_value(v.field("budget")?)?,
+            sampling: serde::Deserialize::from_value(v.field("sampling")?)?,
+            seed: serde::Deserialize::from_value(v.field("seed")?)?,
+            deadline: serde::Deserialize::from_value(v.field("deadline")?)?,
+            class: match v.field("class") {
+                Ok(f) => serde::Deserialize::from_value(f)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 /// A recorded request sequence: the replayable form of one workload
-/// realization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// realization, optionally carrying the failure scenario
+/// ([`FaultPlan`]) the run is to replay under.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ArrivalTrace {
     /// The workload seed the trace was drawn from (provenance only —
     /// replay never re-derives anything from it).
@@ -57,6 +82,27 @@ pub struct ArrivalTrace {
     pub prompts: Vec<Vec<TokenId>>,
     /// One entry per request, in submission order.
     pub entries: Vec<TraceEntry>,
+    /// The failure scenario (worker crash/restart schedule and/or
+    /// tenant shares) the trace replays under; the empty plan for
+    /// fault-free traces, including every trace recorded before fault
+    /// injection existed.
+    pub faults: FaultPlan,
+}
+
+// Hand-written so traces recorded before `faults` existed still parse.
+impl serde::Deserialize for ArrivalTrace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ArrivalTrace {
+            workload_seed: serde::Deserialize::from_value(v.field("workload_seed")?)?,
+            base: serde::Deserialize::from_value(v.field("base")?)?,
+            prompts: serde::Deserialize::from_value(v.field("prompts")?)?,
+            entries: serde::Deserialize::from_value(v.field("entries")?)?,
+            faults: match v.field("faults") {
+                Ok(f) => serde::Deserialize::from_value(f)?,
+                Err(_) => FaultPlan::none(),
+            },
+        })
+    }
 }
 
 impl ArrivalTrace {
@@ -100,6 +146,7 @@ impl ArrivalTrace {
                     sampling: req.cfg.sampling,
                     seed: req.cfg.seed,
                     deadline: req.deadline,
+                    class: req.class,
                 }
             })
             .collect();
@@ -108,7 +155,15 @@ impl ArrivalTrace {
             base: base.clone(),
             prompts,
             entries,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Attaches the failure scenario the trace replays under
+    /// (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Rebuilds the recorded request sequence, field-for-field equal to
@@ -133,6 +188,7 @@ impl ArrivalTrace {
                 },
                 arrival: e.tick,
                 deadline: e.deadline,
+                class: e.class,
             })
             .collect()
     }
@@ -209,6 +265,49 @@ mod tests {
             // distinct prompts.
             assert_eq!(back.prompts.len(), 3);
         }
+    }
+
+    #[test]
+    fn traces_from_before_faults_and_classes_still_parse() {
+        let w = workload(Some(3.0));
+        let requests = w.requests();
+        let trace = ArrivalTrace::record(&requests, w.seed, &w.mix.base)
+            .with_faults(FaultPlan::none().crash(10, 0).restart(20, 0));
+        let json = trace.to_json().expect("serializes");
+        // Re-shape into the pre-fault era: drop `faults` from the
+        // trace and `class` from every entry, as a trace committed
+        // before this release would look.
+        let mut v: serde::Value = serde_json::from_str(&json).expect("value parses");
+        let serde::Value::Map(fields) = &mut v else {
+            panic!("trace serializes as a map")
+        };
+        fields.retain(|(k, _)| !matches!(k, serde::Value::Str(s) if s == "faults"));
+        for (k, val) in fields.iter_mut() {
+            if matches!(k, serde::Value::Str(s) if s == "entries") {
+                let serde::Value::Seq(items) = val else {
+                    panic!("entries serialize as a sequence")
+                };
+                for item in items {
+                    let serde::Value::Map(entry) = item else {
+                        panic!("entry serializes as a map")
+                    };
+                    entry.retain(|(k, _)| !matches!(k, serde::Value::Str(s) if s == "class"));
+                }
+            }
+        }
+        let old_json = serde_json::to_string(&v).expect("re-serializes");
+        let back = ArrivalTrace::from_json(&old_json).expect("pre-fault-era trace parses");
+        assert_eq!(
+            back.faults,
+            FaultPlan::none(),
+            "missing faults default empty"
+        );
+        assert!(
+            back.entries.iter().all(|e| e.class == 0),
+            "missing classes default to tenant 0"
+        );
+        assert_eq!(back.entries.len(), requests.len());
+        assert_eq!(back.prompts, trace.prompts);
     }
 
     #[test]

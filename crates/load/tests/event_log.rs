@@ -68,9 +68,17 @@ fn replay_churn_events() -> Vec<TraceEvent> {
     let log = EventLog::new();
     let mut engine = verispec_serve::ServeEngine::new(&m, churn_cfg())
         .with_draft(&d)
-        .with_prefix(&*prefix)
         .with_sink(&log);
+    // Fork the shared-prefix session per matching request at submit
+    // time (the explicit successor of the retired engine-held
+    // `with_prefix` plumbing) — byte-identical to the committed golden.
     for req in trace.replay() {
+        if req.prompt.starts_with(prefix.tokens()) {
+            if let Some(fork) = prefix.fork() {
+                engine.submit_with_session(req, fork);
+                continue;
+            }
+        }
         engine.submit(req);
     }
     engine.run(&cost);

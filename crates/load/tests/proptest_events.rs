@@ -99,22 +99,28 @@ fn full_mix(deadline_slack: Option<f64>) -> RequestMix {
     }
 }
 
-/// Batch-drives the requests, capturing the event stream when `log`
-/// is given (the no-op default otherwise).
+/// Batch-drives the requests through an engine riding the prefix
+/// cache warmed with `stem` (the successor of the retired engine-held
+/// `with_prefix` plumbing), capturing the event stream when `log` is
+/// given (the no-op default otherwise).
 fn batch_run(
     model: &MlpLm,
     draft: &NgramLm,
-    prefix: &dyn verispec_lm::DecodeSession,
+    stem: &[TokenId],
     cfg: &ServeConfig,
     requests: &[Request],
     cost: &GpuCostModel,
     log: Option<&EventLog>,
 ) -> ServeReport {
     let oracle = byte_oracle();
-    let mut engine = ServeEngine::new(model, cfg.clone())
+    let cfg = ServeConfig {
+        prefix_cache: true,
+        ..cfg.clone()
+    };
+    let mut engine = ServeEngine::new(model, cfg)
         .with_draft(draft)
-        .with_prefix(prefix)
         .with_grammar(oracle);
+    engine.warm_prefix(stem);
     if let Some(log) = log {
         engine = engine.with_sink(log);
     }
@@ -125,21 +131,26 @@ fn batch_run(
 }
 
 /// Streaming-drives the requests with every arrival sent up front
-/// (the deterministic drive `run_open_loop` uses).
+/// (the deterministic drive `run_open_loop` uses), warmed identically
+/// to [`batch_run`].
 fn streaming_run(
     model: &MlpLm,
     draft: &NgramLm,
-    prefix: &dyn verispec_lm::DecodeSession,
+    stem: &[TokenId],
     cfg: &ServeConfig,
     requests: &[Request],
     cost: &GpuCostModel,
     log: &EventLog,
 ) -> ServeReport {
-    let engine = ServeEngine::new(model, cfg.clone())
+    let cfg = ServeConfig {
+        prefix_cache: true,
+        ..cfg.clone()
+    };
+    let mut engine = ServeEngine::new(model, cfg)
         .with_draft(draft)
-        .with_prefix(prefix)
         .with_grammar(byte_oracle())
         .with_sink(log);
+    engine.warm_prefix(stem);
     let (tx, rx) = std::sync::mpsc::channel();
     for req in requests {
         tx.send(req.clone()).expect("receiver alive");
@@ -175,8 +186,6 @@ proptest! {
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
-        let mut prefix = model.session();
-        prefix.append(&shared);
 
         let cfg = ServeConfig {
             max_active,
@@ -190,9 +199,9 @@ proptest! {
         };
 
         let log_a = EventLog::new();
-        batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost, Some(&log_a));
+        batch_run(&model, &draft, &shared, &cfg, &requests, &cost, Some(&log_a));
         let log_b = EventLog::new();
-        batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost, Some(&log_b));
+        batch_run(&model, &draft, &shared, &cfg, &requests, &cost, Some(&log_b));
         let json_a = log_to_json(&log_a.into_events());
         prop_assert_eq!(
             &json_a,
@@ -201,7 +210,7 @@ proptest! {
         );
 
         let log_s = EventLog::new();
-        streaming_run(&model, &draft, &*prefix, &cfg, &requests, &cost, &log_s);
+        streaming_run(&model, &draft, &shared, &cfg, &requests, &cost, &log_s);
         prop_assert_eq!(
             &json_a,
             &log_to_json(&log_s.into_events()),
@@ -233,8 +242,6 @@ proptest! {
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
-        let mut prefix = model.session();
-        prefix.append(&shared);
 
         let cfg = ServeConfig {
             shed_depth,
@@ -243,9 +250,9 @@ proptest! {
             ..ServeConfig::concurrency(max_active)
         };
 
-        let silent = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost, None);
+        let silent = batch_run(&model, &draft, &shared, &cfg, &requests, &cost, None);
         let log = EventLog::new();
-        let traced = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost, Some(&log));
+        let traced = batch_run(&model, &draft, &shared, &cfg, &requests, &cost, Some(&log));
         let events: Vec<TraceEvent> = log.into_events();
 
         // Bit-identical run: tokens, schedules, shedding, counters.

@@ -98,26 +98,34 @@ fn full_mix() -> RequestMix {
     }
 }
 
+/// Builds an engine riding the radix-tree prefix cache, pre-warmed
+/// with the shared stem (the successor of the retired engine-held
+/// `with_prefix` plumbing) — applied identically to the batch and
+/// streaming sides so the parity assertions compare like with like.
 fn engine_for<'m>(
     model: &'m MlpLm,
     draft: &'m NgramLm,
-    prefix: &'m dyn verispec_lm::DecodeSession,
+    stem: &[TokenId],
     cfg: &ServeConfig,
 ) -> ServeEngine<'m> {
-    ServeEngine::new(model, cfg.clone())
-        .with_draft(draft)
-        .with_prefix(prefix)
+    let cfg = ServeConfig {
+        prefix_cache: true,
+        ..cfg.clone()
+    };
+    let mut engine = ServeEngine::new(model, cfg).with_draft(draft);
+    engine.warm_prefix(stem);
+    engine
 }
 
 fn batch_run(
     model: &MlpLm,
     draft: &NgramLm,
-    prefix: &dyn verispec_lm::DecodeSession,
+    stem: &[TokenId],
     cfg: &ServeConfig,
     requests: &[Request],
     cost: &GpuCostModel,
 ) -> ServeReport {
-    let mut engine = engine_for(model, draft, prefix, cfg);
+    let mut engine = engine_for(model, draft, stem, cfg);
     for req in requests {
         engine.submit(req.clone());
     }
@@ -152,8 +160,6 @@ proptest! {
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
-        let mut prefix = model.session();
-        prefix.append(&shared);
 
         let cfg = ServeConfig {
             max_active,
@@ -165,14 +171,14 @@ proptest! {
             tick_capacity,
             ..Default::default()
         };
-        let batch = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost);
+        let batch = batch_run(&model, &draft, &shared, &cfg, &requests, &cost);
 
         let (tx, rx) = std::sync::mpsc::channel();
         for req in &requests {
             tx.send(req.clone()).expect("receiver alive");
         }
         drop(tx);
-        let streamed = engine_for(&model, &draft, &*prefix, &cfg).run_streaming(rx, &cost);
+        let streamed = engine_for(&model, &draft, &shared, &cfg).run_streaming(rx, &cost);
 
         prop_assert_eq!(batch.completions.len(), requests.len());
         prop_assert_eq!(streamed.completions.len(), requests.len());
@@ -215,14 +221,12 @@ proptest! {
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
-        let mut prefix = model.session();
-        prefix.append(&shared);
 
         let cfg = ServeConfig {
             session_cap,
             ..ServeConfig::concurrency(max_active)
         };
-        let batch = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost);
+        let batch = batch_run(&model, &draft, &shared, &cfg, &requests, &cost);
 
         let (tx, rx) = std::sync::mpsc::channel();
         let to_send = requests.clone();
@@ -234,7 +238,7 @@ proptest! {
                     }
                 }
             });
-            engine_for(&model, &draft, &*prefix, &cfg).run_streaming(rx, &cost)
+            engine_for(&model, &draft, &shared, &cfg).run_streaming(rx, &cost)
         });
 
         prop_assert_eq!(streamed.completions.len(), requests.len());
@@ -277,11 +281,9 @@ proptest! {
         let requests = workload.requests();
 
         let shared: Vec<TokenId> = vec![5, 6];
-        let mut prefix = model.session();
-        prefix.append(&shared);
 
         let cfg = ServeConfig::concurrency(max_active);
-        let batch = batch_run(&model, &draft, &*prefix, &cfg, &requests, &cost);
+        let batch = batch_run(&model, &draft, &shared, &cfg, &requests, &cost);
 
         let (tx, rx) = std::sync::mpsc::channel();
         // Stripe the requests across racing sender threads; the mpsc
@@ -308,9 +310,9 @@ proptest! {
                 });
             }
             drop(tx);
-            // The fleet rides the radix-tree prefix cache (warmed with
-            // the shared stem) where the batch engine uses the legacy
-            // shared-prefix session — outputs must agree regardless.
+            // The fleet rides the radix-tree prefix cache warmed with
+            // the same shared stem as the batch engine — outputs must
+            // agree regardless of routing.
             let fleet_cfg = ServeConfig { prefix_cache: true, ..cfg.clone() };
             let mut d = Dispatcher::new(
                 &model,

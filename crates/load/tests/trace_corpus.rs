@@ -1,11 +1,17 @@
 //! Trace-replay regression corpus: committed "interesting"
 //! [`ArrivalTrace`] JSONs under `tests/traces/` — a tail-latency
-//! blowup, a shed storm, eviction churn, EDF deadline pressure, and a
-//! grammar-stress mix of severed Verilog prompts — each replayed
+//! blowup, a shed storm, eviction churn, EDF deadline pressure, a
+//! grammar-stress mix of severed Verilog prompts, and three
+//! production-failure fleet scenarios (a worker crash with recovery, a
+//! whole-fleet crash storm riding backpressure, and a noisy-neighbor
+//! multi-tenant mix under skewed weighted shares) — each replayed
 //! against a pinned engine configuration and asserted
 //! **bit-identical** to its committed golden summary
 //! (`tests/traces/goldens.json`: completions, shed count, total
-//! committed tokens, tick schedule length, evictions, deadlines met).
+//! committed tokens, tick schedule length, evictions, deadlines met,
+//! and — for the failure scenarios — the golden recovery counters:
+//! crashes, restarts, migrations, replayed tokens, backpressure
+//! deferrals).
 //!
 //! The serving engine is a deterministic function of its requests, so
 //! any diff here is a real behavior change: either an intended one
@@ -26,7 +32,10 @@ use verispec_core::DecodeConfig;
 use verispec_grammar::GrammarOracle;
 use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, MlpLmConfig, NgramLm, TokenId};
 use verispec_load::{ArrivalProcess, ArrivalTrace, PromptFamily, RequestMix, Workload};
-use verispec_serve::{EngineChoice, ServeConfig, ServeEngine, ServeReport, TickOrder};
+use verispec_serve::{
+    Backend, Drive, EngineChoice, FaultPlan, FleetRuntime, RoutePolicy, ServeConfig, ServeEngine,
+    ServeReport, TickOrder,
+};
 use verispec_tokenizer::BpeTokenizer;
 
 /// The pinned model every trace replays against (pure seeded f32
@@ -74,11 +83,21 @@ const SHARED_PREFIX: [TokenId; 2] = [5, 6];
 struct TraceCase {
     name: &'static str,
     cfg: ServeConfig,
-    /// Replay through a pre-ingested shared-prefix session.
+    /// Replay with the shared-prefix session forked per matching
+    /// request at submit time.
     with_prefix: bool,
     /// Replay against [`byte_model`] with the byte-level
     /// [`GrammarOracle`] attached (the grammar-stress case).
     grammar: bool,
+    /// Replay through a [`FleetRuntime`] fleet of this many workers
+    /// under this routing policy instead of a single engine (the
+    /// production-failure cases). The replayed fault plan comes from
+    /// the *committed trace*, not from here.
+    fleet: Option<(usize, RoutePolicy)>,
+    /// The failure scenario stamped into the trace at regeneration
+    /// ([`ArrivalTrace::with_faults`]); replay reads it back from the
+    /// committed JSON.
+    faults: FaultPlan,
     workload: Workload,
 }
 
@@ -129,6 +148,8 @@ fn corpus() -> Vec<TraceCase> {
             cfg: ServeConfig::concurrency(2),
             with_prefix: false,
             grammar: false,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 2.0 },
                 mix: corpus_mix(None),
@@ -149,6 +170,8 @@ fn corpus() -> Vec<TraceCase> {
             },
             with_prefix: false,
             grammar: false,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::OnOff {
                     rate: 3.0,
@@ -171,6 +194,8 @@ fn corpus() -> Vec<TraceCase> {
             },
             with_prefix: true,
             grammar: false,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 1.0 },
                 mix: corpus_mix(None),
@@ -192,6 +217,8 @@ fn corpus() -> Vec<TraceCase> {
             },
             with_prefix: false,
             grammar: false,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 1.0 },
                 mix: RequestMix {
@@ -217,6 +244,8 @@ fn corpus() -> Vec<TraceCase> {
             },
             with_prefix: false,
             grammar: false,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::Ramp {
                     start_rate: 0.2,
@@ -238,6 +267,8 @@ fn corpus() -> Vec<TraceCase> {
             cfg: ServeConfig::concurrency(2),
             with_prefix: false,
             grammar: true,
+            fleet: None,
+            faults: FaultPlan::none(),
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate: 1.0 },
                 mix: RequestMix {
@@ -261,6 +292,66 @@ fn corpus() -> Vec<TraceCase> {
                 },
                 count: 14,
                 seed: 0x6A3A_57E5,
+            },
+        },
+        // One worker of a two-worker fleet crashes mid-run and later
+        // restarts: in-flight and queued requests migrate to the
+        // survivor and are rebuilt by exact replay — token-identical
+        // to the fault-free run, which is exactly what the golden
+        // pins.
+        TraceCase {
+            name: "worker_crash",
+            cfg: ServeConfig::concurrency(2),
+            with_prefix: false,
+            grammar: false,
+            fleet: Some((2, RoutePolicy::RoundRobin)),
+            faults: FaultPlan::none().crash(6, 0).restart(18, 0),
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.0 },
+                mix: corpus_mix(None),
+                count: 20,
+                seed: 0xC4A5_8EED,
+            },
+        },
+        // Every worker crashes inside a short window: the fleet goes
+        // dark, arrivals and migrants defer under backpressure, and
+        // the restarts flush the deferred queue — deterministically,
+        // with no request lost.
+        TraceCase {
+            name: "crash_storm",
+            cfg: ServeConfig::concurrency(2),
+            with_prefix: false,
+            grammar: false,
+            fleet: Some((2, RoutePolicy::JoinShortestQueue)),
+            faults: FaultPlan::none()
+                .crash(5, 0)
+                .crash(6, 1)
+                .restart(20, 0)
+                .restart(21, 1),
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.5 },
+                mix: corpus_mix(None),
+                count: 20,
+                seed: 0x5707_0C4A,
+            },
+        },
+        // Two tenant classes under skewed weighted-fairness shares
+        // (the family index is the tenant class): the favored tenant
+        // gets 4x the service share, yet the starved-looking tenant
+        // still completes every request — weighted fairness, not
+        // starvation.
+        TraceCase {
+            name: "noisy_neighbor",
+            cfg: ServeConfig::concurrency(2),
+            with_prefix: false,
+            grammar: false,
+            fleet: Some((2, RoutePolicy::LeastLoaded)),
+            faults: FaultPlan::none().share(0, 4).share(1, 1),
+            workload: Workload {
+                process: ArrivalProcess::Poisson { rate: 1.5 },
+                mix: corpus_mix(None),
+                count: 20,
+                seed: 0x0153_EB0A,
             },
         },
     ]
@@ -292,6 +383,19 @@ struct GoldenSummary {
     grammar_pruned: usize,
     #[serde(default)]
     grammar_surviving: usize,
+    /// Fault-recovery counters (all zero for single-engine and
+    /// fault-free cases) — the golden recovery summary of the
+    /// production-failure traces.
+    #[serde(default)]
+    worker_crashes: usize,
+    #[serde(default)]
+    worker_restarts: usize,
+    #[serde(default)]
+    migrations: usize,
+    #[serde(default)]
+    replayed_tokens: usize,
+    #[serde(default)]
+    backpressure_deferrals: usize,
 }
 
 impl GoldenSummary {
@@ -314,6 +418,11 @@ impl GoldenSummary {
             grammar_considered: report.stats.grammar_considered,
             grammar_pruned: report.stats.grammar_pruned,
             grammar_surviving: report.stats.grammar_surviving,
+            worker_crashes: report.stats.crashes,
+            worker_restarts: report.stats.restarts,
+            migrations: report.stats.migrations,
+            replayed_tokens: report.stats.replayed_tokens,
+            backpressure_deferrals: report.stats.backpressure_deferrals,
         }
     }
 }
@@ -322,77 +431,145 @@ fn traces_dir() -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/traces")
 }
 
-/// Replays a trace's requests under the case's pinned configuration.
+/// Replays a trace's requests under the case's pinned configuration —
+/// through a single engine, or through a lockstep [`FleetRuntime`]
+/// fleet under the trace's committed fault plan for the
+/// production-failure cases.
 fn replay(case: &TraceCase, trace: &ArrivalTrace) -> ServeReport {
     let m = if case.grammar { byte_model() } else { model() };
     let d = draft();
     let oracle = GrammarOracle::from_tokenizer(&BpeTokenizer::byte_level());
     let cost = GpuCostModel::codellama_like();
+    if let Some((workers, route)) = &case.fleet {
+        let rt = FleetRuntime::new(
+            &m,
+            case.cfg.clone(),
+            *workers,
+            route.clone(),
+            Backend::Lockstep,
+        )
+        .with_draft(&d)
+        .with_fault_plan(trace.faults.clone());
+        let run = rt.run(Drive::Paced(trace.replay()), &cost);
+        return ServeReport {
+            completions: run.report.completions,
+            shed: run.report.shed,
+            stats: run.report.stats,
+        };
+    }
     let mut prefix = m.session();
     prefix.append(&SHARED_PREFIX);
     let mut engine = ServeEngine::new(&m, case.cfg.clone()).with_draft(&d);
-    if case.with_prefix {
-        engine = engine.with_prefix(&*prefix);
-    }
     if case.grammar {
         engine = engine.with_grammar(&oracle);
     }
     for req in trace.replay() {
+        // Fork the shared-prefix session per matching request at
+        // submit time (the explicit successor of the retired
+        // engine-held `with_prefix` plumbing).
+        if case.with_prefix && req.prompt.starts_with(prefix.tokens()) {
+            if let Some(fork) = prefix.fork() {
+                engine.submit_with_session(req, fork);
+                continue;
+            }
+        }
         engine.submit(req);
     }
     engine.run(&cost)
 }
 
+/// Replays one committed trace twice and pins it against its golden
+/// summary: the JSON round trip, run-to-run bit-identity, and the
+/// golden match. Shared by the full-corpus sweep and the named
+/// per-scenario CI steps.
+fn replay_against_golden(case: &TraceCase, goldens: &[GoldenSummary]) {
+    let dir = traces_dir();
+    let body = std::fs::read_to_string(dir.join(format!("{}.json", case.name)))
+        .unwrap_or_else(|e| panic!("trace {} is committed: {e}", case.name));
+    let trace = ArrivalTrace::from_json(&body)
+        .unwrap_or_else(|e| panic!("trace {} parses: {e}", case.name));
+
+    // The JSON round trip itself is part of the guarantee.
+    let rejson = trace.to_json().expect("re-serializes");
+    assert_eq!(
+        ArrivalTrace::from_json(&rejson).expect("re-parses"),
+        trace,
+        "{}: JSON round trip drifted",
+        case.name
+    );
+
+    // Bit-identical replay: two runs of the same trace agree on
+    // every token, tick stamp, and counter.
+    let a = replay(case, &trace);
+    let b = replay(case, &trace);
+    assert_eq!(a.stats, b.stats, "{}: stats not deterministic", case.name);
+    assert_eq!(a.shed, b.shed, "{}: shedding not deterministic", case.name);
+    assert_eq!(a.completions.len(), b.completions.len());
+    for (x, y) in a.completions.iter().zip(&b.completions) {
+        assert_eq!(x.output.tokens, y.output.tokens, "{}: tokens", case.name);
+        assert_eq!(x.step_ticks, y.step_ticks, "{}: schedule", case.name);
+    }
+
+    // And the run matches its committed golden summary.
+    let golden = goldens
+        .iter()
+        .find(|g| g.trace == case.name)
+        .unwrap_or_else(|| panic!("golden for {} missing", case.name));
+    assert_eq!(
+        &GoldenSummary::of(case.name, &a),
+        golden,
+        "{}: replay diverged from the committed golden — a behavior \
+         change reached the serving path (regenerate goldens only if \
+         intended)",
+        case.name
+    );
+}
+
+fn committed_goldens() -> Vec<GoldenSummary> {
+    let goldens_body = std::fs::read_to_string(traces_dir().join("goldens.json"))
+        .expect("tests/traces/goldens.json is committed");
+    serde_json::from_str(&goldens_body).expect("goldens parse")
+}
+
 #[test]
 fn committed_traces_replay_bit_identically_to_goldens() {
-    let dir = traces_dir();
-    let goldens_body = std::fs::read_to_string(dir.join("goldens.json"))
-        .expect("tests/traces/goldens.json is committed");
-    let goldens: Vec<GoldenSummary> = serde_json::from_str(&goldens_body).expect("goldens parse");
+    let goldens = committed_goldens();
     let cases = corpus();
     assert_eq!(goldens.len(), cases.len(), "one golden per corpus trace");
-
     for case in &cases {
-        let body = std::fs::read_to_string(dir.join(format!("{}.json", case.name)))
-            .unwrap_or_else(|e| panic!("trace {} is committed: {e}", case.name));
-        let trace = ArrivalTrace::from_json(&body)
-            .unwrap_or_else(|e| panic!("trace {} parses: {e}", case.name));
-
-        // The JSON round trip itself is part of the guarantee.
-        let rejson = trace.to_json().expect("re-serializes");
-        assert_eq!(
-            ArrivalTrace::from_json(&rejson).expect("re-parses"),
-            trace,
-            "{}: JSON round trip drifted",
-            case.name
-        );
-
-        // Bit-identical replay: two runs of the same trace agree on
-        // every token, tick stamp, and counter.
-        let a = replay(case, &trace);
-        let b = replay(case, &trace);
-        assert_eq!(a.stats, b.stats, "{}: stats not deterministic", case.name);
-        assert_eq!(a.shed, b.shed, "{}: shedding not deterministic", case.name);
-        assert_eq!(a.completions.len(), b.completions.len());
-        for (x, y) in a.completions.iter().zip(&b.completions) {
-            assert_eq!(x.output.tokens, y.output.tokens, "{}: tokens", case.name);
-            assert_eq!(x.step_ticks, y.step_ticks, "{}: schedule", case.name);
-        }
-
-        // And the run matches its committed golden summary.
-        let golden = goldens
-            .iter()
-            .find(|g| g.trace == case.name)
-            .unwrap_or_else(|| panic!("golden for {} missing", case.name));
-        assert_eq!(
-            &GoldenSummary::of(case.name, &a),
-            golden,
-            "{}: replay diverged from the committed golden — a behavior \
-             change reached the serving path (regenerate goldens only if \
-             intended)",
-            case.name
-        );
+        replay_against_golden(case, &goldens);
     }
+}
+
+/// Replays one production-failure scenario by name against its golden
+/// recovery summary — the body of the named per-scenario CI steps, so
+/// a recovery-behavior diff fails under the scenario's own step name.
+fn replay_fault_scenario(name: &str) {
+    let cases = corpus();
+    let case = cases
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("corpus case {name} missing"));
+    assert!(
+        case.fleet.is_some(),
+        "{name} is expected to replay through the fleet runtime"
+    );
+    replay_against_golden(case, &committed_goldens());
+}
+
+#[test]
+fn worker_crash_trace_replays_its_golden_recovery() {
+    replay_fault_scenario("worker_crash");
+}
+
+#[test]
+fn crash_storm_trace_replays_its_golden_recovery() {
+    replay_fault_scenario("crash_storm");
+}
+
+#[test]
+fn noisy_neighbor_trace_replays_its_golden_recovery() {
+    replay_fault_scenario("noisy_neighbor");
 }
 
 /// The corpus stays interesting: each trace must keep exercising the
@@ -473,6 +650,65 @@ fn corpus_traces_exercise_their_failure_modes() {
                     "pressure trace lost its deadlines"
                 );
             }
+            "worker_crash" => {
+                assert!(report.stats.crashes >= 1, "crash trace stopped crashing");
+                assert!(report.stats.restarts >= 1, "crash trace stopped restarting");
+                assert!(
+                    report.stats.migrations >= 1,
+                    "crash trace stopped migrating stranded requests ({})",
+                    report.stats.migrations
+                );
+                assert_eq!(
+                    report.completions.len() + report.shed.len(),
+                    trace.entries.len(),
+                    "crash trace lost requests across the recovery"
+                );
+            }
+            "crash_storm" => {
+                assert!(
+                    report.stats.crashes >= 2,
+                    "storm trace stopped killing the whole fleet ({})",
+                    report.stats.crashes
+                );
+                assert!(
+                    report.stats.backpressure_deferrals >= 1,
+                    "storm trace stopped deferring under whole-fleet death ({})",
+                    report.stats.backpressure_deferrals
+                );
+                assert_eq!(
+                    report.completions.len() + report.shed.len(),
+                    trace.entries.len(),
+                    "storm trace lost requests across the outage"
+                );
+            }
+            "noisy_neighbor" => {
+                let classes: std::collections::BTreeSet<u32> =
+                    trace.entries.iter().map(|e| e.class).collect();
+                assert!(
+                    classes.len() >= 2,
+                    "neighbor trace lost its tenant mix ({classes:?})"
+                );
+                assert!(
+                    !trace.faults.classes.is_empty(),
+                    "neighbor trace lost its weighted shares"
+                );
+                // Weighted fairness, not starvation: every tenant's
+                // requests — including the 1x-share neighbor's — all
+                // complete.
+                for class in classes {
+                    let ids: Vec<u64> = trace
+                        .entries
+                        .iter()
+                        .filter(|e| e.class == class)
+                        .map(|e| e.id)
+                        .collect();
+                    assert!(
+                        ids.iter()
+                            .all(|id| report.completions.iter().any(|c| c.id == *id)),
+                        "tenant class {class} was starved out"
+                    );
+                }
+            }
             other => panic!("unknown corpus trace {other}"),
         }
     }
@@ -493,7 +729,8 @@ fn regenerate() {
     let mut goldens = Vec::new();
     for case in corpus() {
         let requests = case.workload.requests();
-        let trace = ArrivalTrace::record(&requests, case.workload.seed, &case.workload.mix.base);
+        let trace = ArrivalTrace::record(&requests, case.workload.seed, &case.workload.mix.base)
+            .with_faults(case.faults.clone());
         let json = trace.to_json().expect("trace serializes");
         std::fs::write(dir.join(format!("{}.json", case.name)), &json).expect("trace written");
         let report = replay(&case, &trace);

@@ -175,30 +175,51 @@ impl Router {
         )
     }
 
-    /// Picks the worker for `req` among `n` workers from the probe
+    /// Picks the worker for `req` among the live workers (`alive` is
+    /// one flag per worker; dead workers — crashed and not yet
+    /// restarted — are masked out of every policy) from the probe
     /// snapshot (`probes` may be empty when [`Self::needs_probes`] is
     /// false); also returns the per-worker probe values the decision
     /// was based on (empty for probe-less policies), for the routing
-    /// trace event.
+    /// trace event. With every worker alive, each policy's choice is
+    /// identical to its historical unmasked behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is alive — callers (the fault drive) defer
+    /// submissions under fleet-wide backpressure instead of routing.
     pub(crate) fn pick(
         &mut self,
         req: &Request,
-        n: usize,
+        alive: &[bool],
         probes: &[RouteProbes],
     ) -> (usize, Vec<u64>) {
+        let n = alive.len();
+        assert!(
+            alive.iter().any(|&a| a),
+            "routing request {} with no live workers",
+            req.id
+        );
         match &self.route {
             RoutePolicy::RoundRobin => {
-                let w = self.rr_next % n;
-                self.rr_next = (self.rr_next + 1) % n;
+                // Advance cyclically but skip dead workers; the cursor
+                // lands one past the pick, so the cycle over live
+                // workers is preserved (and is the historical cycle
+                // when all are alive).
+                let mut w = self.rr_next % n;
+                while !alive[w] {
+                    w = (w + 1) % n;
+                }
+                self.rr_next = (w + 1) % n;
                 (w, Vec::new())
             }
             RoutePolicy::JoinShortestQueue => {
                 let vals: Vec<u64> = probes.iter().map(|p| p.ready_depth).collect();
-                (argmin(vals.iter().copied()), vals)
+                (argmin_alive(vals.iter().copied(), alive), vals)
             }
             RoutePolicy::LeastLoaded => {
                 let vals: Vec<u64> = probes.iter().map(|p| p.outstanding_cost).collect();
-                (argmin(vals.iter().copied()), vals)
+                (argmin_alive(vals.iter().copied(), alive), vals)
             }
             RoutePolicy::Pinned(assignment) => {
                 let w = assignment
@@ -211,22 +232,41 @@ impl Router {
                     "pinned route sends request {} to worker {w} of {n}",
                     req.id
                 );
+                // A pinned target that is dead (its recorded worker
+                // crashed) falls back to the lowest live index, so
+                // replays of fault-free assignments against a faulted
+                // fleet still route deterministically.
+                let w = if alive[w] {
+                    w
+                } else {
+                    alive.iter().position(|&a| a).expect("checked above")
+                };
                 (w, Vec::new())
             }
             RoutePolicy::PrefixAffine => {
-                // Argmax match depth; tie-break min outstanding cost,
-                // then lowest index (first strict improvement wins).
+                // Argmax match depth among live workers; tie-break min
+                // outstanding cost, then lowest index (first strict
+                // improvement wins). Dead workers still contribute
+                // their probe value to the trace payload.
                 let mut vals = Vec::with_capacity(n);
-                let mut best = (0u64, u64::MAX, 0usize);
+                let mut best: Option<(u64, u64, usize)> = None;
                 for (i, p) in probes.iter().enumerate() {
                     vals.push(p.prefix_depth);
-                    if p.prefix_depth > best.0
-                        || (p.prefix_depth == best.0 && p.outstanding_cost < best.1)
-                    {
-                        best = (p.prefix_depth, p.outstanding_cost, i);
+                    if !alive[i] {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((depth, cost, _)) => {
+                            p.prefix_depth > depth
+                                || (p.prefix_depth == depth && p.outstanding_cost < cost)
+                        }
+                    };
+                    if better {
+                        best = Some((p.prefix_depth, p.outstanding_cost, i));
                     }
                 }
-                (best.2, vals)
+                (best.expect("checked above").2, vals)
             }
         }
     }
@@ -306,9 +346,35 @@ impl DispatchReport {
 /// The streaming dispatcher: N independent [`ServeEngine`] workers plus
 /// a routing policy. See the module docs for the drive loop and the
 /// determinism story.
+///
+/// Drive it through [`crate::FleetRuntime`] (with
+/// [`crate::Backend::Lockstep`]) for the unified batch/paced/streaming
+/// API plus deterministic fault injection; the `run*` methods here
+/// remain as thin compatibility wrappers over the same generic drive
+/// loops.
 pub struct Dispatcher<'m> {
+    /// Construction inputs, retained so a crashed worker's replacement
+    /// engine can be rebuilt identically (minus warm stems — crash
+    /// recovery is cold-cache).
+    model: &'m MlpLm,
+    cfg: ServeConfig,
+    draft: Option<&'m dyn LanguageModel>,
+    grammar: Option<&'m verispec_grammar::GrammarOracle>,
+    policy: Option<&'m dyn SpecPolicy>,
     workers: Vec<ServeEngine<'m>>,
     router: Router,
+    /// Per-worker liveness under fault injection (all `true` without
+    /// faults); dead workers are masked out of routing.
+    alive: Vec<bool>,
+    /// Report segments banked by crashed predecessor engines, merged
+    /// with the final engine's report per worker at the end of the run.
+    dead_reports: Vec<Vec<ServeReport>>,
+    /// Fleet-level (coordinator) counters: crashes, restarts,
+    /// migrations, backpressure, fleet-level sheds.
+    fleet_stats: ServeStats,
+    /// Requests shed at the fleet level (deferred under fleet-wide
+    /// backpressure with no restart coming).
+    fleet_shed: Vec<ShedRequest>,
     /// Realized `(request id, worker)` routing, in receipt order.
     assignments: Vec<(u64, usize)>,
     /// Structured-event sink shared by the dispatcher (routing events)
@@ -321,15 +387,25 @@ impl<'m> Dispatcher<'m> {
     /// each configured with its own copy of `cfg` (own session pool,
     /// queue, and clock).
     pub fn new(model: &'m MlpLm, cfg: ServeConfig, dcfg: DispatchConfig) -> Self {
-        let mut workers: Vec<ServeEngine<'m>> = (0..dcfg.workers.max(1))
+        let n = dcfg.workers.max(1);
+        let mut workers: Vec<ServeEngine<'m>> = (0..n)
             .map(|_| ServeEngine::new(model, cfg.clone()))
             .collect();
         for (i, w) in workers.iter_mut().enumerate() {
             w.set_worker(i as u32);
         }
         Dispatcher {
+            model,
+            cfg,
+            draft: None,
+            grammar: None,
+            policy: None,
             workers,
             router: Router::new(dcfg.route),
+            alive: vec![true; n],
+            dead_reports: vec![Vec::new(); n],
+            fleet_stats: ServeStats::default(),
+            fleet_shed: Vec::new(),
             assignments: Vec::new(),
             sink: &NOOP,
         }
@@ -351,6 +427,7 @@ impl<'m> Dispatcher<'m> {
     /// Attaches the draft model to every worker (see
     /// [`ServeEngine::with_draft`]).
     pub fn with_draft(mut self, draft: &'m dyn LanguageModel) -> Self {
+        self.draft = Some(draft);
         self.workers = self
             .workers
             .into_iter()
@@ -377,6 +454,7 @@ impl<'m> Dispatcher<'m> {
     /// [`ServeEngine::with_grammar`]): grammar-tree requests prune
     /// their candidate trees to lexically-viable continuations.
     pub fn with_grammar(mut self, oracle: &'m verispec_grammar::GrammarOracle) -> Self {
+        self.grammar = Some(oracle);
         self.workers = self
             .workers
             .into_iter()
@@ -388,6 +466,7 @@ impl<'m> Dispatcher<'m> {
     /// Replaces every worker's speculation policy (see
     /// [`ServeEngine::with_policy`]).
     pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.policy = Some(policy);
         self.workers = self
             .workers
             .into_iter()
@@ -421,11 +500,12 @@ impl<'m> Dispatcher<'m> {
         } else {
             Vec::new()
         };
-        self.router.pick(req, self.workers.len(), &probes)
+        self.router.pick(req, &self.alive, &probes)
     }
 
-    /// Routes and enqueues one request.
-    pub fn submit(&mut self, req: Request) {
+    /// Routes and enqueues one request, returning the chosen worker
+    /// (the fault drive stamps migration events with it).
+    fn submit_routed(&mut self, req: Request) -> usize {
         let (w, probes) = self.route(&req);
         if self.sink.enabled() {
             // Routing events are stamped at the fleet clock — the
@@ -449,6 +529,33 @@ impl<'m> Dispatcher<'m> {
         }
         self.assignments.push((req.id, w));
         self.workers[w].submit(req);
+        w
+    }
+
+    /// Routes and enqueues one request.
+    pub fn submit(&mut self, req: Request) {
+        self.submit_routed(req);
+    }
+
+    /// A cold replacement engine for worker slot `w`, configured
+    /// identically to the original (model, config, draft, grammar,
+    /// policy, sink, worker id) except for warm prefix stems — crash
+    /// recovery is deliberately cold-cache, matching what a restarted
+    /// process would see.
+    fn rebuild_worker(&self, w: usize) -> ServeEngine<'m> {
+        let mut fresh = ServeEngine::new(self.model, self.cfg.clone());
+        if let Some(draft) = self.draft {
+            fresh = fresh.with_draft(draft);
+        }
+        if let Some(oracle) = self.grammar {
+            fresh = fresh.with_grammar(oracle);
+        }
+        if let Some(policy) = self.policy {
+            fresh = fresh.with_policy(policy);
+        }
+        fresh.set_worker(w as u32);
+        fresh.set_sink(self.sink);
+        fresh
     }
 
     /// Pulls every request currently waiting in `rx`, routing each as
@@ -492,17 +599,22 @@ impl<'m> Dispatcher<'m> {
         let mut shed = Vec::new();
         let mut stats = ServeStats::default();
         let mut per_worker = Vec::with_capacity(self.workers.len());
-        for worker in self.workers {
-            let ServeReport {
-                completions: c,
-                shed: s,
-                stats: st,
-            } = worker.into_report_parts();
-            completions.extend(c);
-            shed.extend(s);
-            stats.merge(&st);
-            per_worker.push(st);
+        // Each worker slot's report is the merge of every engine that
+        // lived in it: crashed predecessors' banked segments plus the
+        // final engine (the identity merge without faults). Fleet-level
+        // counters (crashes, migrations, backpressure, fleet sheds) sit
+        // in `fleet_stats` — part of the merged stats, deliberately not
+        // of any per-worker entry.
+        for (mut segments, worker) in self.dead_reports.into_iter().zip(self.workers) {
+            segments.push(worker.into_report_parts());
+            let merged = crate::runtime::merge_segments(segments);
+            completions.extend(merged.completions);
+            shed.extend(merged.shed);
+            stats.merge(&merged.stats);
+            per_worker.push(merged.stats);
         }
+        stats.merge(&self.fleet_stats);
+        shed.extend(self.fleet_shed);
         completions.sort_by_key(|c| c.id);
         shed.sort_by_key(|s| s.id);
         let mut assignments = self.assignments;
@@ -538,43 +650,26 @@ impl<'m> Dispatcher<'m> {
     /// engine fed the same requests *in arrival order* (queue order
     /// breaks ties among simultaneously-ready requests, so an
     /// unsorted upfront feed is a different schedule).
-    pub fn run_paced(mut self, mut requests: Vec<Request>, cost: &GpuCostModel) -> DispatchReport {
-        requests.sort_by_key(|r| r.arrival);
-        let mut pending = requests.into_iter().peekable();
-        loop {
-            // The fleet's time is its most-advanced worker clock
-            // (clocks include idle fast-forward jumps, so counting
-            // lockstep rounds would fall behind). The upcoming tick
-            // moves busy workers to `now + 1`, so everything due by
-            // then must be routed *before* that tick — a tick-T
-            // arrival submitted after the fleet passes T would be
-            // admitted late and break the single-engine schedule
-            // identity.
-            let now = self
-                .workers
-                .iter()
-                .map(ServeEngine::clock)
-                .max()
-                .unwrap_or(0);
-            while pending.peek().is_some_and(|r| r.arrival <= now + 1) {
-                let req = pending.next().expect("peeked");
-                self.submit(req);
-            }
-            if self.has_work() {
-                self.tick(cost);
-            } else if let Some(next) = pending.peek().map(|r| r.arrival) {
-                // Idle gap: hand the next arrival group to the fleet;
-                // the receiving workers fast-forward their own clocks
-                // to it, exactly as they would with the request queued
-                // up front.
-                while pending.peek().is_some_and(|r| r.arrival <= next) {
-                    let req = pending.next().expect("peeked");
-                    self.submit(req);
-                }
-            } else {
-                break;
-            }
-        }
+    pub fn run_paced(self, requests: Vec<Request>, cost: &GpuCostModel) -> DispatchReport {
+        self.run_paced_with_faults(requests, &[], cost)
+    }
+
+    /// [`Dispatcher::run_paced`] under a deterministic fault schedule
+    /// (see [`crate::runtime`] for semantics): each round fires due
+    /// crash/restart events before routing due arrivals, migrating
+    /// stranded requests to surviving workers by exact replay. With an
+    /// empty schedule this is exactly `run_paced`. Prefer driving
+    /// through [`crate::FleetRuntime`] with a [`crate::FaultPlan`].
+    pub fn run_paced_with_faults(
+        mut self,
+        requests: Vec<Request>,
+        faults: &[crate::runtime::FaultEvent],
+        cost: &GpuCostModel,
+    ) -> DispatchReport {
+        crate::runtime::drive_paced(&mut self, requests, faults, cost);
+        // The drive returns once nothing external remains; the rest is
+        // a pure lockstep drain.
+        while self.tick(cost) {}
         self.into_report()
     }
 
@@ -583,43 +678,93 @@ impl<'m> Dispatcher<'m> {
     /// newly arrived requests, then runs one lockstep tick; when idle
     /// with the stream open it blocks for the next arrival. With one
     /// worker this is tick-identical to the single-engine streaming
-    /// loop.
+    /// loop. (A thin wrapper over the generic streaming drive shared
+    /// with the threaded backend — see [`crate::FleetRuntime`].)
     pub fn run_streaming(
         mut self,
         arrivals: std::sync::mpsc::Receiver<Request>,
         cost: &GpuCostModel,
     ) -> DispatchReport {
-        let mut open = true;
-        loop {
-            if open {
-                let (_, disconnected) = self.drain_arrivals(&arrivals);
-                open = !disconnected;
-            }
-            if self.has_work() {
-                self.tick(cost);
-            } else if open {
-                match arrivals.recv() {
-                    Ok(req) => self.submit(req),
-                    Err(_) => open = false,
-                }
-            } else {
-                break;
-            }
-        }
+        crate::runtime::drive_streaming(&mut self, arrivals, cost);
         self.into_report()
     }
 }
 
-/// Index of the smallest value (first wins ties — the lowest worker
-/// index, so routing is deterministic).
-fn argmin(values: impl Iterator<Item = u64>) -> usize {
-    let mut best = (u64::MAX, 0usize);
-    for (i, v) in values.enumerate() {
-        if v < best.0 {
-            best = (v, i);
+impl crate::runtime::FleetBackend for Dispatcher<'_> {
+    fn now(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(ServeEngine::clock)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn fleet_has_work(&self) -> bool {
+        self.has_work()
+    }
+
+    fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    fn route_submit(&mut self, req: Request) -> usize {
+        self.submit_routed(req)
+    }
+
+    fn tick_round(&mut self, cost: &GpuCostModel) {
+        self.tick(cost);
+    }
+
+    fn crash_worker(&mut self, w: usize, at: u64) -> Vec<(Request, usize)> {
+        let mut fresh = self.rebuild_worker(w);
+        fresh.advance_clock(at);
+        let old = std::mem::replace(&mut self.workers[w], fresh);
+        self.alive[w] = false;
+        let (report, stranded) = old.crash();
+        self.dead_reports[w].push(report);
+        stranded
+    }
+
+    fn restart_worker(&mut self, w: usize, at: u64) {
+        self.alive[w] = true;
+        self.workers[w].advance_clock(at);
+    }
+
+    fn record_fleet_event(&mut self, ev: TraceEvent) {
+        self.fleet_stats.apply_event(&ev);
+        if self.sink.enabled() {
+            self.sink.record(ev);
         }
     }
-    best.1
+
+    fn shed_fleet(&mut self, req: Request, tick: u64) {
+        self.fleet_shed.push(ShedRequest {
+            id: req.id,
+            arrival: req.arrival,
+            deadline: req.deadline,
+            tick,
+        });
+    }
+}
+
+/// Index of the smallest value among live workers (first wins ties —
+/// the lowest live worker index, so routing is deterministic; with all
+/// workers alive this is the plain argmin).
+fn argmin_alive(values: impl Iterator<Item = u64>, alive: &[bool]) -> usize {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, v) in values.enumerate() {
+        if !alive[i] {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bv, _)) => v < bv,
+        };
+        if better {
+            best = Some((v, i));
+        }
+    }
+    best.expect("no live workers to route among").1
 }
 
 /// Serves `requests` through a dispatcher fleet (closed-loop batch

@@ -111,6 +111,14 @@ pub struct ServeConfig {
     /// unaffected either way — warmup only shifts scheduling.
     #[serde(default)]
     pub ingest_rate: Option<usize>,
+    /// Per-class weighted-fairness shares consumed by
+    /// [`TickOrder::WeightedFair`]: entry `i` is the scheduling weight
+    /// of request class `i` ([`Request::class`]); classes beyond the
+    /// vector (and zero entries) default to weight 1. Ignored by every
+    /// other tick order. Weights steer only *when* requests step —
+    /// outputs are class-invariant.
+    #[serde(default)]
+    pub class_weights: Vec<u32>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +134,7 @@ impl Default for ServeConfig {
             shed_depth: None,
             prefix_cache: false,
             ingest_rate: None,
+            class_weights: Vec::new(),
         }
     }
 }
@@ -226,6 +235,29 @@ pub struct ServeStats {
     /// verification (`considered - pruned`).
     #[serde(default)]
     pub grammar_surviving: usize,
+    /// Worker crashes injected by a fault plan
+    /// ([`crate::runtime::FaultPlan`]); counted on the fleet
+    /// coordinator's stream, not inside any worker.
+    #[serde(default)]
+    pub crashes: usize,
+    /// Worker restarts injected by a fault plan.
+    #[serde(default)]
+    pub restarts: usize,
+    /// Requests migrated off crashed workers — re-routed through the
+    /// live router and rebuilt elsewhere by exact replay (the crash
+    /// recovery path; outputs stay token-identical).
+    #[serde(default)]
+    pub migrations: usize,
+    /// Tokens migrated requests had already generated when their worker
+    /// crashed — the decode work the fault threw away and exact replay
+    /// regenerates elsewhere.
+    #[serde(default)]
+    pub replayed_tokens: usize,
+    /// Arrivals and migrants deferred at the fleet level because no
+    /// worker was alive to route to (backpressure; they re-route on the
+    /// next restart).
+    #[serde(default)]
+    pub backpressure_deferrals: usize,
 }
 
 impl ServeStats {
@@ -277,6 +309,13 @@ impl ServeStats {
                 self.proposed_tokens += proposed;
                 self.accepted_tokens += accepted;
             }
+            EventKind::WorkerCrashed { .. } => self.crashes += 1,
+            EventKind::WorkerRestarted => self.restarts += 1,
+            EventKind::Migrated { replay_tokens, .. } => {
+                self.migrations += 1;
+                self.replayed_tokens += replay_tokens;
+            }
+            EventKind::Backpressure => self.backpressure_deferrals += 1,
             _ => {}
         }
     }
@@ -313,6 +352,11 @@ impl ServeStats {
         self.grammar_considered += other.grammar_considered;
         self.grammar_pruned += other.grammar_pruned;
         self.grammar_surviving += other.grammar_surviving;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.migrations += other.migrations;
+        self.replayed_tokens += other.replayed_tokens;
+        self.backpressure_deferrals += other.backpressure_deferrals;
         self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
         for (mine, theirs) in self
             .prefix_depth_hist
@@ -365,6 +409,11 @@ impl ServeReport {
 /// One admitted request.
 struct Active<'m> {
     id: u64,
+    /// The original submission, retained verbatim for crash migration:
+    /// a crashed worker's in-flight requests are re-submitted from
+    /// these (exact replay — deterministic decode regenerates the same
+    /// tokens on the new worker).
+    req: Request,
     stepper: Stepper<'m>,
     /// Decode budget (`max_tokens`), kept for the outstanding-cost
     /// load probe (the stepper consumes the config).
@@ -414,9 +463,6 @@ pub struct ServeEngine<'m> {
     /// constrain speculation with; `None` degrades them to plain
     /// syntax-aligned speculation.
     grammar: Option<&'m GrammarOracle>,
-    /// Shared, already-ingested prompt-prefix session: submissions whose
-    /// prompt starts with its context are admitted from a fork of it.
-    prefix: Option<&'m dyn DecodeSession>,
     /// The radix-tree prefix cache ([`ServeConfig::prefix_cache`]);
     /// `None` when disabled or the model cannot snapshot sessions.
     cache: Option<PrefixCache<'m>>,
@@ -462,7 +508,8 @@ impl<'m> ServeEngine<'m> {
     }
 
     fn build(target: &'m dyn LanguageModel, fused: Option<&'m MlpLm>, cfg: ServeConfig) -> Self {
-        let scheduler = Scheduler::new(cfg.order, cfg.max_active, cfg.max_batch);
+        let scheduler = Scheduler::new(cfg.order, cfg.max_active, cfg.max_batch)
+            .with_class_weights(&cfg.class_weights);
         let cache =
             (cfg.prefix_cache && target.snapshot_session().is_some()).then(PrefixCache::new);
         ServeEngine {
@@ -470,7 +517,6 @@ impl<'m> ServeEngine<'m> {
             fused,
             draft: None,
             grammar: None,
-            prefix: None,
             cache,
             cfg,
             policy: &STATIC_POLICY,
@@ -563,17 +609,6 @@ impl<'m> ServeEngine<'m> {
         self
     }
 
-    /// Attaches a shared, already-ingested prompt-prefix session: every
-    /// subsequently submitted or drained request whose prompt starts
-    /// with the session's context is admitted from a
-    /// [`DecodeSession::fork`] of it, so the shared prefix (typically
-    /// the Alpaca preamble) is ingested once instead of per request.
-    /// The session stays caller-owned — the engine only forks from it.
-    pub fn with_prefix(mut self, prefix: &'m dyn DecodeSession) -> Self {
-        self.prefix = Some(prefix);
-        self
-    }
-
     /// Seeds the prefix cache with a warm stem: `tokens` is ingested
     /// once and inserted into the trie, so every later prompt starting
     /// with it admits from a fork instead of re-ingesting the stem.
@@ -615,17 +650,13 @@ impl<'m> ServeEngine<'m> {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Enqueues a request. With a prefix session attached
-    /// ([`ServeEngine::with_prefix`]) and a matching prompt, the
-    /// request carries a pre-ingested fork into the queue.
+    /// Enqueues a request. Shared-prefix reuse happens at admission via
+    /// the prefix cache ([`ServeConfig::prefix_cache`] /
+    /// [`ServeEngine::warm_prefix`]) or explicitly via
+    /// [`ServeEngine::submit_with_session`]; `submit` itself carries no
+    /// session.
     pub fn submit(&mut self, req: Request) {
-        let session = self.prefix.and_then(|p| {
-            if req.prompt.starts_with(p.tokens()) {
-                p.fork()
-            } else {
-                None
-            }
-        });
+        let session = None;
         let seen_secs = self.now_secs();
         if self.traced() {
             self.emit(
@@ -1038,10 +1069,11 @@ impl<'m> ServeEngine<'m> {
                 let stepper = self.make_stepper(&req, session);
                 self.active.push(Active {
                     id: req.id,
-                    stepper,
                     budget: req.cfg.max_tokens,
                     submitted: req.arrival,
                     deadline: req.deadline,
+                    req,
+                    stepper,
                     admitted: self.tick,
                     last_step: self.tick,
                     max_gap: 0,
@@ -1351,6 +1383,7 @@ impl<'m> ServeEngine<'m> {
                 admitted: a.admitted,
                 generated: a.stepper.generated(),
                 deadline: a.deadline,
+                class: a.req.class,
             })
             .collect();
         let mut selected = self.scheduler.select(&views, self.tick, self.cfg.max_batch);
@@ -1514,6 +1547,50 @@ impl<'m> ServeEngine<'m> {
         self.into_report()
     }
 
+    /// Jumps the scheduler clock forward to `to` (no-op when already
+    /// past it). Fault injection uses this to keep virtual-time
+    /// causality: a replacement engine built after a crash — and a
+    /// restarted worker — starts at the fault tick, not at zero, so
+    /// migrated requests re-serve at ticks `>=` the crash and
+    /// queue-delay accounting keeps counting from the original arrival.
+    pub(crate) fn advance_clock(&mut self, to: u64) {
+        self.tick = self.tick.max(to);
+    }
+
+    /// Kills this engine: consumes it mid-run, returning the report of
+    /// everything it *finished* before dying plus the stranded work —
+    /// every in-flight (active or parked) and queued request, paired
+    /// with the number of tokens it had already generated (the decode
+    /// work the crash threw away). The caller re-routes the stranded
+    /// requests to surviving workers, where exact replay — resubmitting
+    /// the original [`Request`] to a fresh deterministic engine —
+    /// regenerates their token streams identically, so fleet outputs
+    /// are invariant under crashes.
+    ///
+    /// Stranded requests are returned sorted by id: active requests,
+    /// parked preemptees, and queued arrivals collapse into one
+    /// deterministic migration order regardless of this engine's
+    /// internal pool state at the moment of death.
+    pub(crate) fn crash(mut self) -> (ServeReport, Vec<(Request, usize)>) {
+        let mut stranded: Vec<(Request, usize)> = Vec::new();
+        for a in self.active.drain(..) {
+            let generated = a.stepper.generated();
+            stranded.push((a.req, generated));
+        }
+        for entry in std::mem::take(&mut self.queue) {
+            match entry {
+                QueueEntry::Fresh { req, .. } => stranded.push((req, 0)),
+                QueueEntry::Parked(a) => {
+                    let generated = a.stepper.generated();
+                    stranded.push((a.req, generated));
+                }
+            }
+        }
+        self.queued_forks = 0;
+        stranded.sort_by_key(|(req, _)| req.id);
+        (self.into_report(), stranded)
+    }
+
     fn into_report(mut self) -> ServeReport {
         self.completions.sort_by_key(|c| c.id);
         self.shed.sort_by_key(|s| s.id);
@@ -1589,13 +1666,14 @@ pub fn serve_all(
 }
 
 /// The open-loop sibling of [`serve_all`]: serves requests as they
-/// arrive on `arrivals` (see [`ServeEngine::run_streaming`]), with an
-/// optional shared prompt-prefix session each matching arrival is
-/// forked from ([`ServeEngine::with_prefix`]).
+/// arrive on `arrivals` (see [`ServeEngine::run_streaming`]). Shared
+/// prompt prefixes are reused through the engine's radix-tree prefix
+/// cache ([`ServeConfig::prefix_cache`] +
+/// [`ServeEngine::warm_prefix`]), which subsumed the retired
+/// shared-prefix-session parameter this function used to take.
 pub fn serve_streaming<'m>(
     model: &'m MlpLm,
     draft: Option<&'m dyn LanguageModel>,
-    prefix: Option<&'m dyn DecodeSession>,
     arrivals: std::sync::mpsc::Receiver<Request>,
     cfg: &ServeConfig,
     cost: &GpuCostModel,
@@ -1603,9 +1681,6 @@ pub fn serve_streaming<'m>(
     let mut engine = ServeEngine::new(model, cfg.clone());
     if let Some(d) = draft {
         engine = engine.with_draft(d);
-    }
-    if let Some(p) = prefix {
-        engine = engine.with_prefix(p);
     }
     engine.run_streaming(arrivals, cost)
 }

@@ -12,11 +12,19 @@
 //! level:
 //!
 //! ```text
+//!   FleetRuntime (runtime) ── the unified drive API: one facade over
+//!   Drive::{Batch,Paced,Streaming} × Backend::{Lockstep,Threaded},
+//!   plus FaultPlan — deterministic worker crash/restart events,
+//!   migration by exact replay, fleet-level backpressure, and
+//!   per-tenant weighted-fairness shares — threaded through ONE
+//!   generic drive loop (FleetBackend) shared by both backends
+//!                        │
 //!   mpsc arrivals ─► Dispatcher ── RoutePolicy (rr / jsq by
 //!   (open-loop,      (optional     ready_depth / least-loaded by
 //!    deadlines)       fleet)       outstanding_cost / prefix-affine
 //!                        │         by prefix_match_depth probes /
-//!                        │         pinned replay)
+//!                        │         pinned replay; dead workers are
+//!                        │         masked out while crashed)
 //!                        │ one shard per worker — two drives over the
 //!                        │ same Router core:
 //!                        │  · lockstep (the deterministic oracle):
@@ -25,13 +33,14 @@
 //!                        │  · threaded (ThreadedDispatcher): one OS
 //!                        │    thread per worker in thread::scope,
 //!                        │    WorkerCmd/WorkerReply mpsc protocol
-//!                        │    (Submit/Tick/Probe/Drain down;
-//!                        │    Ticked/Probed/Finished up); barriers
-//!                        │    only at route-time probe reads and the
+//!                        │    (Submit/Tick/Probe/Crash/Restart/Drain
+//!                        │    down; Ticked/Probed/Crashed/Finished
+//!                        │    up); barriers only at route-time probe
+//!                        │    reads, fault round-trips, and the
 //!                        │    paced round boundary, barrier-free
 //!                        │    free-run after the last arrival —
 //!                        │    proptest-pinned tick-identical to
-//!                        │    lockstep
+//!                        │    lockstep, fault-injected runs included
 //!                        ▼
 //!   submit(Request) ──────────┐      ServeEngine (× N workers)   model
 //!   mpsc arrivals ─► drain_ ──┴► queue ─► admission ─► active pool
@@ -177,6 +186,21 @@
 //!   [`verispec_trace::canonicalize_fleet_events`]
 //!   (`tests/proptest_dispatch_threaded.rs`); [`serve_all_threaded`]
 //!   is a thin wrapper over the round-robin batch drive.
+//! * **[`FleetRuntime`]** (`runtime`) — the unified drive facade and
+//!   the fault-injection layer: pick the backend
+//!   ([`Backend::Lockstep`] / [`Backend::Threaded`]) at construction,
+//!   the drive mode as a value ([`Drive::Batch`] / [`Drive::Paced`] /
+//!   [`Drive::Streaming`]), and optionally install a [`FaultPlan`] —
+//!   deterministic, trace-specified [`FaultEvent::CrashWorker`] /
+//!   [`FaultEvent::RestartWorker`] events plus per-tenant
+//!   [`ClassShare`] weighted-fairness shares. On a crash every
+//!   in-flight and queued request migrates to surviving workers by
+//!   exact replay (outputs stay token-identical to the fault-free
+//!   run); with the whole fleet dead, arrivals defer under
+//!   backpressure until a restart (or shed deterministically). Both
+//!   backends execute the same generic drive loops, so the legacy
+//!   `run*` entry points are now thin wrappers and fault-injected
+//!   runs inherit the threaded==lockstep parity guarantee.
 //! * **Structured tracing** (`verispec-trace`) — every lifecycle
 //!   transition (submission, routing decision with its probe values,
 //!   cache walk, admission, per-step propose/verify/commit with the
@@ -247,6 +271,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod prefix;
 pub mod request;
+pub mod runtime;
 pub mod scheduler;
 pub mod threaded;
 
@@ -260,6 +285,7 @@ pub use engine::{
 };
 pub use prefix::PrefixCache;
 pub use request::{Completion, EngineChoice, Request};
+pub use runtime::{Backend, ClassShare, Drive, FaultEvent, FaultPlan, FleetRun, FleetRuntime};
 pub use scheduler::{ActiveView, Scheduler, TickOrder};
 pub use threaded::{ThreadedDispatcher, ThreadedRun, WorkerCmd, WorkerHandle, WorkerReply};
 
@@ -535,7 +561,7 @@ mod tests {
             tx.send(r).expect("receiver alive");
         }
         drop(tx);
-        let streamed = serve_streaming(&m, Some(&d), None, rx, &cfg, &cost);
+        let streamed = serve_streaming(&m, Some(&d), rx, &cfg, &cost);
         assert_eq!(batch.completions.len(), streamed.completions.len());
         for (a, b) in batch.completions.iter().zip(&streamed.completions) {
             assert_eq!(a.id, b.id);
@@ -585,8 +611,18 @@ mod tests {
                 session_cap: cap,
                 ..Default::default()
             };
-            let mut engine = ServeEngine::new(&m, cfg).with_prefix(&*prefix);
+            let mut engine = ServeEngine::new(&m, cfg);
+            // Fork the shared-prefix session per matching request at
+            // submit time (the explicit successor of the retired
+            // engine-held `with_prefix` plumbing); forks queue through
+            // the same cap-charged, LRU-evictable path.
             for r in mk_requests() {
+                if r.prompt.starts_with(prefix.tokens()) {
+                    if let Some(fork) = prefix.fork() {
+                        engine.submit_with_session(r, fork);
+                        continue;
+                    }
+                }
                 engine.submit(r);
             }
             engine.run(&cost)
@@ -831,7 +867,7 @@ mod tests {
             tx.send(r).expect("receiver alive");
         }
         drop(tx);
-        let streamed = serve_streaming(&m, None, None, rx, &cfg, &cost);
+        let streamed = serve_streaming(&m, None, rx, &cfg, &cost);
         assert_eq!(batch.shed, streamed.shed);
         for (a, b) in batch.completions.iter().zip(&streamed.completions) {
             assert_eq!(a.output.tokens, b.output.tokens);

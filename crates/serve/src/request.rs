@@ -120,11 +120,18 @@ pub struct Request {
     /// order ([`crate::TickOrder::Edf`]) and the SLO-attainment
     /// telemetry; `None` means best-effort.
     pub deadline: Option<u64>,
+    /// Multi-tenant request class (tenant id). Class 0 is the default;
+    /// classes index into the per-class weighted-fairness shares
+    /// ([`crate::ServeConfig::class_weights`] /
+    /// [`crate::TickOrder::WeightedFair`]). Purely a scheduling tag —
+    /// outputs are class-invariant.
+    #[serde(default)]
+    pub class: u32,
 }
 
 impl Request {
-    /// A request with default arrival (immediately admissible) and no
-    /// deadline.
+    /// A request with default arrival (immediately admissible), no
+    /// deadline, and the default tenant class (0).
     pub fn new(id: u64, prompt: Vec<TokenId>, engine: EngineChoice, cfg: DecodeConfig) -> Self {
         Request {
             id,
@@ -133,12 +140,19 @@ impl Request {
             cfg,
             arrival: 0,
             deadline: None,
+            class: 0,
         }
     }
 
     /// Sets the SLO deadline (absolute tick).
     pub fn with_deadline(mut self, deadline: u64) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the multi-tenant request class (tenant id).
+    pub fn with_class(mut self, class: u32) -> Self {
+        self.class = class;
         self
     }
 }

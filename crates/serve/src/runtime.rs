@@ -1,0 +1,789 @@
+//! The unified fleet runtime: one facade over the lockstep and
+//! threaded dispatchers, one drive loop, and deterministic fault
+//! injection with crash/recovery session migration.
+//!
+//! # Why a facade
+//!
+//! Before this module, driving a fleet meant choosing among six entry
+//! points (`Dispatcher::{run, run_paced, run_streaming}` and their
+//! threaded/free-function siblings), each duplicating the same
+//! route-then-tick loop. [`FleetRuntime`] collapses them: the backend
+//! ([`Backend::Lockstep`] vs [`Backend::Threaded`]) is a constructor
+//! parameter, the drive mode is a value ([`Drive::Batch`] /
+//! [`Drive::Paced`] / [`Drive::Streaming`]), and **both backends run
+//! the exact same generic drive loops** over the crate-private
+//! `FleetBackend` trait — so the fault-injection layer threads through exactly
+//! one code path, and threaded==lockstep parity pins fault-injected
+//! runs for free. The legacy entry points survive as thin wrappers.
+//!
+//! ```text
+//!                FleetRuntime::new(model, cfg, dcfg, backend)
+//!                    .with_fault_plan(plan)
+//!                    .run(Drive::Paced(requests), cost)
+//!                         │
+//!            ┌────────────┴─────────────┐
+//!            ▼                          ▼
+//!   Dispatcher (lockstep)     ThreadedDispatcher (1 thread/worker)
+//!            └────────────┬─────────────┘
+//!                         ▼
+//!        drive_paced::<B: FleetBackend>   ← the ONE fault loop
+//!          each round: fire due faults → route due arrivals → tick
+//! ```
+//!
+//! # Deterministic fault injection
+//!
+//! A [`FaultPlan`] is a *trace-specified* schedule of
+//! [`FaultEvent::CrashWorker`] / [`FaultEvent::RestartWorker`] events
+//! plus optional per-tenant [`ClassShare`] weights. Nothing is random
+//! at run time: the same plan over the same workload produces the same
+//! run, tick for tick, on either backend.
+//!
+//! **Crash.** A crash at tick `t` takes effect before the fleet
+//! executes tick `t`: the worker's engine is consumed, everything it
+//! *finished* is banked as a report segment, and every in-flight and
+//! queued request is **migrated** — re-routed through the live router
+//! (probes of dead workers are masked) and resubmitted from its
+//! original [`Request`] on a surviving worker. Recovery is
+//! **exact replay**: engines are deterministic functions of their
+//! token context, so the migrated request regenerates the very same
+//! token stream it would have produced — fleet outputs are invariant
+//! under crashes; only schedules (and therefore latency) move. The
+//! tokens the dead worker had already generated are re-generated on
+//! the new one and accounted as `replay_tokens`
+//! ([`verispec_trace::EventKind::Migrated`]).
+//!
+//! **Backpressure.** When a crash (or an arrival) finds *no* worker
+//! alive, the request is parked in a fleet-level deferred queue and a
+//! [`verispec_trace::EventKind::Backpressure`] event is emitted; the
+//! queue flushes through the router at the next restart. If the plan
+//! ends with the whole fleet dead, deferred requests are shed
+//! deterministically at the fleet level.
+//!
+//! **Restart.** A restarted worker rejoins cold at the fault tick
+//! (its clock is advanced so virtual-time causality holds — nothing
+//! it serves can predate the fault) with an empty prefix cache:
+//! crashes lose cache state, and warm stems are applied at fleet
+//! startup only.
+//!
+//! # Multi-tenant weighted fairness
+//!
+//! [`FaultPlan::classes`] assigns weighted-fairness shares to request
+//! classes ([`crate::Request::class`]); a non-empty assignment switches
+//! every worker to [`crate::TickOrder::WeightedFair`] with the derived
+//! [`crate::ServeConfig::class_weights`]. Weights compose with the
+//! scheduler's aging guard, so the per-request no-starvation bound
+//! survives per class. Like routing and faults, shares steer only
+//! *when* requests step — outputs are class-invariant.
+//!
+//! # FaultPlan JSON schema
+//!
+//! [`FaultPlan`] serializes with `serde` (the shape
+//! `verispec-load` embeds in its arrival-trace files):
+//!
+//! ```json
+//! {
+//!   "events": [
+//!     { "CrashWorker":   { "tick": 40, "worker": 1 } },
+//!     { "RestartWorker": { "tick": 90, "worker": 1 } }
+//!   ],
+//!   "classes": [
+//!     { "class": 0, "weight": 3 },
+//!     { "class": 1, "weight": 1 }
+//!   ]
+//! }
+//! ```
+//!
+//! Both fields default to empty, and an empty plan is exactly the
+//! fault-free runtime: the paced drive degenerates bit-for-bit to the
+//! historical `run_paced` loop.
+
+use crate::dispatch::{DispatchConfig, Dispatcher, RoutePolicy};
+use crate::engine::{ServeConfig, ServeStats};
+use crate::request::Request;
+use crate::scheduler::TickOrder;
+use crate::threaded::ThreadedDispatcher;
+use serde::{Deserialize, Serialize};
+use verispec_core::SpecPolicy;
+use verispec_grammar::GrammarOracle;
+use verispec_lm::{GpuCostModel, LanguageModel, MlpLm, TokenId};
+use verispec_trace::{canonicalize_fleet_events, EventKind, EventLog, TraceEvent};
+
+/// One deterministic, trace-specified fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Kill a worker before the fleet executes `tick`: its finished
+    /// work is banked, its in-flight and queued requests migrate to
+    /// surviving workers by exact replay, and its replacement engine
+    /// sits dead (unroutable) until a matching
+    /// [`FaultEvent::RestartWorker`]. Crashing an already-dead worker
+    /// is a no-op.
+    CrashWorker {
+        /// The fault tick (same clock as [`Request::arrival`]).
+        tick: u64,
+        /// The worker index to kill.
+        worker: usize,
+    },
+    /// Revive a dead worker at `tick`: it rejoins routing cold (empty
+    /// pool, empty prefix cache, clock advanced to the fault tick) and
+    /// any backpressure-deferred requests immediately re-route.
+    /// Restarting a live worker is a no-op.
+    RestartWorker {
+        /// The fault tick.
+        tick: u64,
+        /// The worker index to revive.
+        worker: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The tick this event fires at.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            FaultEvent::CrashWorker { tick, .. } | FaultEvent::RestartWorker { tick, .. } => tick,
+        }
+    }
+
+    /// The worker this event targets.
+    pub fn worker(&self) -> usize {
+        match *self {
+            FaultEvent::CrashWorker { worker, .. } | FaultEvent::RestartWorker { worker, .. } => {
+                worker
+            }
+        }
+    }
+}
+
+/// One tenant class's weighted-fairness share (see
+/// [`FaultPlan::classes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassShare {
+    /// The request class ([`Request::class`]) the share applies to.
+    pub class: u32,
+    /// Its scheduling weight (a class with weight `w` gets `w` batch
+    /// slots for every 1 a weight-1 class gets, when both have work).
+    pub weight: u32,
+}
+
+/// A deterministic fault schedule plus optional multi-tenant shares —
+/// the whole failure scenario of a run, specified up front so replays
+/// are exact. See the [module docs](crate::runtime) for semantics and
+/// the JSON schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct FaultPlan {
+    /// Crash/restart events; fired in tick order (ties in plan order).
+    pub events: Vec<FaultEvent>,
+    /// Per-tenant weighted-fairness shares; non-empty switches workers
+    /// to [`TickOrder::WeightedFair`] with the derived
+    /// [`ServeConfig::class_weights`].
+    pub classes: Vec<ClassShare>,
+}
+
+// `Deserialize` is written by hand: `{}` and trace files written
+// before faults existed must parse as the empty plan, so both fields
+// tolerate being absent (the derived impl requires every field).
+impl serde::Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn optional_vec<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+        ) -> Result<Vec<T>, serde::Error> {
+            match v.field(name) {
+                Ok(f) => serde::Deserialize::from_value(f),
+                Err(e) => match v {
+                    serde::Value::Map(_) => Ok(Vec::new()),
+                    _ => Err(e),
+                },
+            }
+        }
+        Ok(FaultPlan {
+            events: optional_vec(v, "events")?,
+            classes: optional_vec(v, "classes")?,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults, no shares) — the fault-free runtime.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan changes anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.classes.is_empty()
+    }
+
+    /// Appends a [`FaultEvent::CrashWorker`] (builder-style).
+    pub fn crash(mut self, tick: u64, worker: usize) -> Self {
+        self.events.push(FaultEvent::CrashWorker { tick, worker });
+        self
+    }
+
+    /// Appends a [`FaultEvent::RestartWorker`] (builder-style).
+    pub fn restart(mut self, tick: u64, worker: usize) -> Self {
+        self.events.push(FaultEvent::RestartWorker { tick, worker });
+        self
+    }
+
+    /// Sets one class's share (builder-style).
+    pub fn share(mut self, class: u32, weight: u32) -> Self {
+        self.classes.push(ClassShare { class, weight });
+        self
+    }
+
+    /// The events sorted by tick (stable: same-tick events keep plan
+    /// order, so a crash-then-restart pair at one tick is well
+    /// defined).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(FaultEvent::tick);
+        events
+    }
+
+    /// Expands [`FaultPlan::classes`] into the dense per-class weight
+    /// vector [`ServeConfig::class_weights`] expects (unlisted classes
+    /// get weight 1).
+    pub fn class_weights(&self) -> Vec<u32> {
+        let len = self
+            .classes
+            .iter()
+            .map(|s| s.class as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut weights = vec![1u32; len];
+        for s in &self.classes {
+            weights[s.class as usize] = s.weight;
+        }
+        weights
+    }
+}
+
+/// Which execution backend drives the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The single-threaded deterministic oracle: one thread ticks every
+    /// worker in lockstep ([`Dispatcher`]).
+    Lockstep,
+    /// One OS thread per worker over the command/reply protocol
+    /// ([`ThreadedDispatcher`]); proptest-pinned tick-identical to the
+    /// oracle, faults included.
+    Threaded,
+}
+
+/// How requests reach the fleet — the drive mode.
+#[derive(Debug)]
+pub enum Drive {
+    /// Closed-loop: every request routed up front in the given order,
+    /// then the fleet runs to completion.
+    Batch(Vec<Request>),
+    /// Open-loop: requests are routed exactly when their arrival ticks
+    /// fall due on the fleet clock (load-aware policies see real queue
+    /// state). The only mode that accepts fault events.
+    Paced(Vec<Request>),
+    /// Live-channel: requests are routed as they are received;
+    /// blocking-waits when idle with the stream open.
+    Streaming(std::sync::mpsc::Receiver<Request>),
+}
+
+/// The result of a [`FleetRuntime`] run: the fleet-merged report plus
+/// (when tracing was requested) the event stream in canonical fleet
+/// order ([`canonicalize_fleet_events`]) — identical across backends
+/// for the same run.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// Fleet-merged report (completions/shed sorted by id, merged and
+    /// per-worker stats, realized assignments).
+    pub report: crate::dispatch::DispatchReport,
+    /// Canonical fleet event stream; empty unless
+    /// [`FleetRuntime::with_tracing`] was requested.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The unified fleet facade; see the [module docs](crate::runtime).
+pub struct FleetRuntime<'m> {
+    model: &'m MlpLm,
+    cfg: ServeConfig,
+    dcfg: DispatchConfig,
+    backend: Backend,
+    draft: Option<&'m (dyn LanguageModel + Sync)>,
+    grammar: Option<&'m GrammarOracle>,
+    policy: Option<&'m dyn SpecPolicy>,
+    warm: Vec<Vec<TokenId>>,
+    traced: bool,
+    plan: FaultPlan,
+}
+
+impl<'m> FleetRuntime<'m> {
+    /// A fleet of `workers` engines over the shared model under
+    /// `route`, executed by `backend`.
+    pub fn new(
+        model: &'m MlpLm,
+        cfg: ServeConfig,
+        workers: usize,
+        route: RoutePolicy,
+        backend: Backend,
+    ) -> Self {
+        FleetRuntime {
+            model,
+            cfg,
+            dcfg: DispatchConfig::new(workers, route),
+            backend,
+            draft: None,
+            grammar: None,
+            policy: None,
+            warm: Vec::new(),
+            traced: false,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Attaches the draft model to every worker (`Sync` because the
+    /// threaded backend shares it across worker threads).
+    pub fn with_draft(mut self, draft: &'m (dyn LanguageModel + Sync)) -> Self {
+        self.draft = Some(draft);
+        self
+    }
+
+    /// Attaches the grammar oracle to every worker.
+    pub fn with_grammar(mut self, oracle: &'m GrammarOracle) -> Self {
+        self.grammar = Some(oracle);
+        self
+    }
+
+    /// Replaces every worker's speculation policy.
+    pub fn with_policy(mut self, policy: &'m dyn SpecPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Seeds every worker's prefix cache with a warm stem at startup
+    /// (replacement engines built after a crash start cold).
+    pub fn warm_prefix(mut self, tokens: &[TokenId]) -> Self {
+        self.warm.push(tokens.to_vec());
+        self
+    }
+
+    /// Collects structured events; [`FleetRun::events`] carries the
+    /// canonical fleet stream.
+    pub fn with_tracing(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Installs the failure scenario (and/or tenant shares) for the
+    /// run. Fault *events* require [`Drive::Paced`] — the only drive
+    /// with a fleet clock the trace-specified ticks are meaningful on;
+    /// class shares apply to every drive.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Executes the drive and returns the merged run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan carries events and `drive` is not
+    /// [`Drive::Paced`].
+    pub fn run(self, drive: Drive, cost: &GpuCostModel) -> FleetRun {
+        assert!(
+            self.plan.events.is_empty() || matches!(drive, Drive::Paced(_)),
+            "fault events require Drive::Paced (trace-specified fault ticks \
+             are only meaningful on the paced fleet clock)"
+        );
+        let mut cfg = self.cfg;
+        if !self.plan.classes.is_empty() {
+            cfg.class_weights = self.plan.class_weights();
+            cfg.order = TickOrder::WeightedFair;
+        }
+        let faults = self.plan.sorted_events();
+        match self.backend {
+            Backend::Lockstep => {
+                let log = self.traced.then(EventLog::new);
+                let mut d = Dispatcher::new(self.model, cfg, self.dcfg);
+                if let Some(draft) = self.draft {
+                    d = d.with_draft(draft as &dyn LanguageModel);
+                }
+                if let Some(oracle) = self.grammar {
+                    d = d.with_grammar(oracle);
+                }
+                if let Some(policy) = self.policy {
+                    d = d.with_policy(policy);
+                }
+                if let Some(log) = &log {
+                    d = d.with_sink(log);
+                }
+                for stem in &self.warm {
+                    d.warm_prefix(stem);
+                }
+                let report = match drive {
+                    Drive::Batch(requests) => {
+                        for req in requests {
+                            d.submit(req);
+                        }
+                        d.run(cost)
+                    }
+                    Drive::Paced(requests) => d.run_paced_with_faults(requests, &faults, cost),
+                    Drive::Streaming(rx) => d.run_streaming(rx, cost),
+                };
+                let events = log
+                    .map(|l| canonicalize_fleet_events(&l.into_events()))
+                    .unwrap_or_default();
+                FleetRun { report, events }
+            }
+            Backend::Threaded => {
+                let mut td = ThreadedDispatcher::new(self.model, cfg, self.dcfg);
+                if let Some(draft) = self.draft {
+                    td = td.with_draft(draft);
+                }
+                if let Some(oracle) = self.grammar {
+                    td = td.with_grammar(oracle);
+                }
+                if let Some(policy) = self.policy {
+                    td = td.with_policy(policy);
+                }
+                for stem in &self.warm {
+                    td = td.warm_prefix(stem);
+                }
+                if self.traced {
+                    td = td.with_tracing();
+                }
+                let run = match drive {
+                    Drive::Batch(requests) => td.run_threaded(requests, cost),
+                    Drive::Paced(requests) => td.run_paced_faulted(requests, &faults, cost),
+                    Drive::Streaming(rx) => td.run_streaming_threaded(rx, cost),
+                };
+                FleetRun {
+                    report: run.report,
+                    events: run.events,
+                }
+            }
+        }
+    }
+}
+
+/// The backend abstraction the generic drive loops run over: the
+/// minimal fleet surface — clock, liveness, routed submission, one
+/// tick round, crash/restart, and fleet-level event/shed bookkeeping —
+/// implemented by both the lockstep [`Dispatcher`] and the threaded
+/// coordinator, so every drive (and the whole fault layer) is one code
+/// path.
+pub(crate) trait FleetBackend {
+    /// The fleet clock: the most-advanced worker's scheduler clock.
+    fn now(&self) -> u64;
+    /// Whether any worker still has queued or active work.
+    fn fleet_has_work(&self) -> bool;
+    /// Per-worker liveness (dead workers are masked at routing).
+    fn alive(&self) -> &[bool];
+    /// Routes and enqueues one request among live workers; returns the
+    /// chosen worker.
+    fn route_submit(&mut self, req: Request) -> usize;
+    /// Runs one fleet tick round (every busy worker ticks once).
+    fn tick_round(&mut self, cost: &GpuCostModel);
+    /// Kills worker `w` at tick `at`: banks its finished work, replaces
+    /// it with a cold dead engine whose clock starts at `at`, and
+    /// returns the stranded `(request, tokens already generated)`
+    /// pairs sorted by id.
+    fn crash_worker(&mut self, w: usize, at: u64) -> Vec<(Request, usize)>;
+    /// Revives worker `w` at tick `at` (clock advanced to `at`).
+    fn restart_worker(&mut self, w: usize, at: u64);
+    /// Folds a fleet-level (coordinator) event into the fleet stats
+    /// and, when tracing, the event stream.
+    fn record_fleet_event(&mut self, ev: TraceEvent);
+    /// Records a fleet-level shed (a deferred request dropped because
+    /// the whole fleet stayed dead).
+    fn shed_fleet(&mut self, req: Request, tick: u64);
+}
+
+/// A backpressure-deferred request: the original submission, the
+/// tokens it had generated before its worker died (0 for plain
+/// arrivals), and the worker it was stranded on (`None` for arrivals
+/// that were never routed).
+type Deferred = (Request, usize, Option<u32>);
+
+fn any_alive<B: FleetBackend>(fleet: &B) -> bool {
+    fleet.alive().iter().any(|&a| a)
+}
+
+/// Routes one migrant or defers it under backpressure.
+fn migrate<B: FleetBackend>(
+    fleet: &mut B,
+    req: Request,
+    replay_tokens: usize,
+    from: u32,
+    tick: u64,
+    deferred: &mut Vec<Deferred>,
+) {
+    if !any_alive(fleet) {
+        fleet.record_fleet_event(TraceEvent {
+            tick,
+            worker: from,
+            request: Some(req.id),
+            kind: EventKind::Backpressure,
+        });
+        deferred.push((req, replay_tokens, Some(from)));
+        return;
+    }
+    let id = req.id;
+    let to = fleet.route_submit(req) as u32;
+    fleet.record_fleet_event(TraceEvent {
+        tick,
+        worker: to,
+        request: Some(id),
+        kind: EventKind::Migrated {
+            from,
+            to,
+            replay_tokens,
+        },
+    });
+}
+
+/// Routes one due arrival or defers it under backpressure.
+fn admit_or_defer<B: FleetBackend>(
+    fleet: &mut B,
+    req: Request,
+    now: u64,
+    deferred: &mut Vec<Deferred>,
+) {
+    if any_alive(fleet) {
+        fleet.route_submit(req);
+    } else {
+        fleet.record_fleet_event(TraceEvent {
+            tick: now,
+            worker: 0,
+            request: Some(req.id),
+            kind: EventKind::Backpressure,
+        });
+        deferred.push((req, 0, None));
+    }
+}
+
+/// Applies one fault event. Crashes migrate (or defer) every stranded
+/// request; restarts flush the deferred queue through the router.
+fn apply_fault<B: FleetBackend>(fleet: &mut B, ev: FaultEvent, deferred: &mut Vec<Deferred>) {
+    let n = fleet.alive().len();
+    match ev {
+        FaultEvent::CrashWorker { tick, worker } => {
+            if worker >= n || !fleet.alive()[worker] {
+                return;
+            }
+            let stranded = fleet.crash_worker(worker, tick);
+            fleet.record_fleet_event(TraceEvent {
+                tick,
+                worker: worker as u32,
+                request: None,
+                kind: EventKind::WorkerCrashed {
+                    in_flight: stranded.len(),
+                },
+            });
+            for (req, replay) in stranded {
+                migrate(fleet, req, replay, worker as u32, tick, deferred);
+            }
+        }
+        FaultEvent::RestartWorker { tick, worker } => {
+            if worker >= n || fleet.alive()[worker] {
+                return;
+            }
+            fleet.restart_worker(worker, tick);
+            fleet.record_fleet_event(TraceEvent {
+                tick,
+                worker: worker as u32,
+                request: None,
+                kind: EventKind::WorkerRestarted,
+            });
+            for (req, replay, from) in std::mem::take(deferred) {
+                match from {
+                    Some(from) => migrate(fleet, req, replay, from, tick, deferred),
+                    None => admit_or_defer(fleet, req, tick, deferred),
+                }
+            }
+        }
+    }
+}
+
+/// The one paced drive: fire due faults, route due arrivals, tick —
+/// every round, until no arrival and no fault remains (the caller then
+/// drains the fleet backend-optimally). With an empty fault schedule
+/// this is bit-for-bit the historical `run_paced` loop.
+pub(crate) fn drive_paced<B: FleetBackend>(
+    fleet: &mut B,
+    mut requests: Vec<Request>,
+    faults: &[FaultEvent],
+    cost: &GpuCostModel,
+) {
+    requests.sort_by_key(|r| r.arrival);
+    let mut pending = requests.into_iter().peekable();
+    let mut faults = {
+        let mut sorted = faults.to_vec();
+        sorted.sort_by_key(FaultEvent::tick);
+        std::collections::VecDeque::from(sorted)
+    };
+    let mut deferred: Vec<Deferred> = Vec::new();
+    loop {
+        // The fleet's time is its most-advanced worker clock. The
+        // upcoming tick moves busy workers to `now + 1`, so faults and
+        // arrivals due by then take effect *before* that tick — a
+        // tick-T event applied after the fleet passes T would act
+        // late and break schedule identity with the single-engine
+        // oracle.
+        let now = fleet.now();
+        while faults.front().is_some_and(|f| f.tick() <= now + 1) {
+            let ev = faults.pop_front().expect("peeked");
+            apply_fault(fleet, ev, &mut deferred);
+        }
+        while pending.peek().is_some_and(|r| r.arrival <= now + 1) {
+            let req = pending.next().expect("peeked");
+            admit_or_defer(fleet, req, now, &mut deferred);
+        }
+        if fleet.fleet_has_work() {
+            if pending.peek().is_none() && faults.is_empty() {
+                // Nothing left that could perturb the fleet: the
+                // remaining ticks are pure per-worker drains, which
+                // the caller runs without round barriers.
+                break;
+            }
+            fleet.tick_round(cost);
+        } else {
+            // Idle fleet: jump to whichever comes first — the next
+            // arrival group (receiving workers fast-forward their own
+            // clocks) or the next fault (crash/restart advances the
+            // target worker's clock itself).
+            let next_arrival = pending.peek().map(|r| r.arrival);
+            let next_fault = faults.front().map(FaultEvent::tick);
+            match (next_arrival, next_fault) {
+                (Some(a), Some(f)) if f <= a => {
+                    let ev = faults.pop_front().expect("peeked");
+                    apply_fault(fleet, ev, &mut deferred);
+                }
+                (Some(a), _) => {
+                    while pending.peek().is_some_and(|r| r.arrival <= a) {
+                        let req = pending.next().expect("peeked");
+                        admit_or_defer(fleet, req, now, &mut deferred);
+                    }
+                }
+                (None, Some(_)) => {
+                    let ev = faults.pop_front().expect("peeked");
+                    apply_fault(fleet, ev, &mut deferred);
+                }
+                (None, None) => {
+                    // No arrivals, no faults, no work — but possibly a
+                    // deferred queue with every worker dead and no
+                    // restart coming: shed it deterministically at the
+                    // fleet level rather than hanging.
+                    for (req, _, _) in std::mem::take(&mut deferred) {
+                        fleet.record_fleet_event(TraceEvent {
+                            tick: now,
+                            worker: 0,
+                            request: Some(req.id),
+                            kind: EventKind::Shed {
+                                arrival: req.arrival,
+                                deadline: req.deadline,
+                            },
+                        });
+                        fleet.shed_fleet(req, now);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The one streaming drive: drain newly arrived requests, tick, block
+/// for the next arrival when idle with the stream open. Shared by
+/// both backends (streaming accepts no fault events).
+pub(crate) fn drive_streaming<B: FleetBackend>(
+    fleet: &mut B,
+    arrivals: std::sync::mpsc::Receiver<Request>,
+    cost: &GpuCostModel,
+) {
+    use std::sync::mpsc::TryRecvError;
+    let mut open = true;
+    loop {
+        while open {
+            match arrivals.try_recv() {
+                Ok(req) => {
+                    fleet.route_submit(req);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => open = false,
+            }
+        }
+        if fleet.fleet_has_work() {
+            fleet.tick_round(cost);
+        } else if open {
+            match arrivals.recv() {
+                Ok(req) => {
+                    fleet.route_submit(req);
+                }
+                Err(_) => open = false,
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+/// Merges the report segments a crashing-and-replaced worker produced
+/// over its lifetimes into the worker's single [`crate::ServeReport`]
+/// (identity for the single fault-free segment). Both backends fold
+/// per-worker segments through this, so their per-worker stats cannot
+/// diverge.
+pub(crate) fn merge_segments(segments: Vec<crate::ServeReport>) -> crate::ServeReport {
+    let mut completions = Vec::new();
+    let mut shed = Vec::new();
+    let mut stats = ServeStats::default();
+    for seg in segments {
+        completions.extend(seg.completions);
+        shed.extend(seg.shed);
+        stats.merge(&seg.stats);
+    }
+    completions.sort_by_key(|c| c.id);
+    shed.sort_by_key(|s| s.id);
+    crate::ServeReport {
+        completions,
+        shed,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_round_trips_and_sorts() {
+        let plan = FaultPlan::none()
+            .restart(90, 1)
+            .crash(40, 1)
+            .share(0, 3)
+            .share(1, 1);
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, plan);
+        let sorted = plan.sorted_events();
+        assert_eq!(
+            sorted[0],
+            FaultEvent::CrashWorker {
+                tick: 40,
+                worker: 1
+            }
+        );
+        assert_eq!(
+            sorted[1],
+            FaultEvent::RestartWorker {
+                tick: 90,
+                worker: 1
+            }
+        );
+        assert_eq!(plan.class_weights(), vec![3, 1]);
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::none().class_weights().is_empty());
+    }
+
+    #[test]
+    fn empty_json_object_is_the_empty_plan() {
+        let plan: FaultPlan = serde_json::from_str("{}").expect("defaults");
+        assert!(plan.is_empty());
+    }
+}

@@ -36,6 +36,19 @@ pub enum TickOrder {
     /// starve best-effort requests — the SLO-aware order trades
     /// throughput for deadline attainment under overload.
     Edf,
+    /// Multi-tenant weighted fairness: batch slots are divided across
+    /// request *classes* ([`ActiveView::class`]) in proportion to the
+    /// configured per-class weights
+    /// ([`Scheduler::with_class_weights`]), via per-class deficit
+    /// counters — every pick credits each present class its weight and
+    /// charges the picked class the total present weight, so realized
+    /// service converges to the weight shares (classic deficit
+    /// round-robin, integer-exact and deterministic). Within a class,
+    /// requests rotate round-robin by last service. The aging guard
+    /// still applies *per request* on top, so the no-starvation bound
+    /// survives per class: even a weight-1 tenant next to a weight-100
+    /// noisy neighbor keeps the hard worst-case service gap.
+    WeightedFair,
 }
 
 /// Scheduler-visible state of one active request.
@@ -52,6 +65,9 @@ pub struct ActiveView {
     pub generated: usize,
     /// SLO deadline tick, if the request carries one (EDF sort key).
     pub deadline: Option<u64>,
+    /// Multi-tenant request class (weighted-fairness share key; 0 is
+    /// the default class).
+    pub class: u32,
 }
 
 /// Selects up to `max_batch` of the active requests for one tick.
@@ -61,6 +77,13 @@ pub struct Scheduler {
     /// Service-gap bound (ticks) beyond which a request is forced into
     /// the batch.
     starvation_bound: u64,
+    /// Per-class weights for [`TickOrder::WeightedFair`], indexed by
+    /// class id; classes beyond the vector (or with weight 0) default
+    /// to weight 1.
+    class_weights: Vec<u32>,
+    /// Per-class deficit counters (lazily grown): positive means the
+    /// class is owed service relative to its weight share.
+    credits: Vec<i64>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -81,7 +104,45 @@ impl Scheduler {
         Scheduler {
             order,
             starvation_bound: 2 * rotation + 2,
+            class_weights: Vec::new(),
+            credits: Vec::new(),
         }
+    }
+
+    /// Sets the per-class weighted-fairness shares consulted by
+    /// [`TickOrder::WeightedFair`] (index = class id; missing or zero
+    /// entries default to weight 1). A no-op for every other order.
+    pub fn with_class_weights(mut self, weights: &[u32]) -> Self {
+        self.class_weights = weights.to_vec();
+        self
+    }
+
+    /// The effective weight of a class (configured share, defaulting
+    /// to 1 for unknown classes and zero weights).
+    fn weight(&self, class: u32) -> i64 {
+        i64::from(
+            self.class_weights
+                .get(class as usize)
+                .copied()
+                .filter(|&w| w > 0)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Records one batch-slot grant to `class` under weighted
+    /// fairness: every class present this tick earns its weight, the
+    /// picked class pays the total present weight. Zero-sum per pick,
+    /// so realized per-class service converges to the weight shares.
+    fn charge(&mut self, class: u32, present: &[u32]) {
+        let max_class = present.iter().copied().max().unwrap_or(0).max(class);
+        if self.credits.len() <= max_class as usize {
+            self.credits.resize(max_class as usize + 1, 0);
+        }
+        let total: i64 = present.iter().map(|&c| self.weight(c)).sum();
+        for &c in present {
+            self.credits[c as usize] += self.weight(c);
+        }
+        self.credits[class as usize] -= total;
     }
 
     /// The forcing threshold of the aging guard: a request is promoted
@@ -100,8 +161,10 @@ impl Scheduler {
 
     /// Indices (into `views`) of the requests to step this tick:
     /// starved requests first (oldest service first), then the policy
-    /// order, up to `max_batch`.
-    pub fn select(&self, views: &[ActiveView], tick: u64, max_batch: usize) -> Vec<usize> {
+    /// order, up to `max_batch`. `&mut` because
+    /// [`TickOrder::WeightedFair`] advances per-class deficit
+    /// counters; every other order leaves the scheduler untouched.
+    pub fn select(&mut self, views: &[ActiveView], tick: u64, max_batch: usize) -> Vec<usize> {
         let mut forced: Vec<usize> = (0..views.len())
             .filter(|&i| tick.saturating_sub(views[i].last_step) >= self.starvation_bound)
             .collect();
@@ -127,10 +190,56 @@ impl Scheduler {
                     )
                 });
             }
+            TickOrder::WeightedFair => {
+                return self.select_weighted(views, forced, rest, max_batch);
+            }
         }
         forced.extend(rest);
         forced.truncate(max_batch);
         forced
+    }
+
+    /// The [`TickOrder::WeightedFair`] slot-by-slot selection: forced
+    /// aging picks go first (charged to their class so the accounting
+    /// stays honest), then each remaining slot goes to the
+    /// highest-credit class (tie: lowest class id) and, within it, the
+    /// least-recently-stepped request.
+    fn select_weighted(
+        &mut self,
+        views: &[ActiveView],
+        forced: Vec<usize>,
+        mut rest: Vec<usize>,
+        max_batch: usize,
+    ) -> Vec<usize> {
+        let mut present: Vec<u32> = views.iter().map(|v| v.class).collect();
+        present.sort_unstable();
+        present.dedup();
+        let mut picked = forced;
+        picked.truncate(max_batch);
+        for &i in &picked {
+            self.charge(views[i].class, &present);
+        }
+        rest.sort_by_key(|&i| (views[i].last_step, views[i].admitted, views[i].id));
+        while picked.len() < max_batch && !rest.is_empty() {
+            let best_class = rest
+                .iter()
+                .map(|&i| views[i].class)
+                .max_by_key(|&c| {
+                    (
+                        self.credits.get(c as usize).copied().unwrap_or(0),
+                        std::cmp::Reverse(c),
+                    )
+                })
+                .expect("rest is non-empty");
+            let pos = rest
+                .iter()
+                .position(|&i| views[i].class == best_class)
+                .expect("class came from rest");
+            let i = rest.remove(pos);
+            self.charge(best_class, &present);
+            picked.push(i);
+        }
+        picked
     }
 }
 
@@ -146,13 +255,14 @@ mod tests {
                 admitted: 0,
                 generated: i,
                 deadline: None,
+                class: 0,
             })
             .collect()
     }
 
     #[test]
     fn round_robin_covers_everyone_within_a_rotation() {
-        let s = Scheduler::new(TickOrder::RoundRobin, 6, 2);
+        let mut s = Scheduler::new(TickOrder::RoundRobin, 6, 2);
         let mut last = [0u64; 6];
         for tick in 1..=30u64 {
             let vs: Vec<ActiveView> = (0..6)
@@ -162,6 +272,7 @@ mod tests {
                     admitted: 0,
                     generated: 0,
                     deadline: None,
+                    class: 0,
                 })
                 .collect();
             let sel = s.select(&vs, tick, 2);
@@ -178,7 +289,7 @@ mod tests {
 
     #[test]
     fn seeded_order_never_starves_thanks_to_aging() {
-        let s = Scheduler::new(TickOrder::Seeded(99), 8, 1);
+        let mut s = Scheduler::new(TickOrder::Seeded(99), 8, 1);
         let bound = s.starvation_bound();
         let mut last = [0u64; 8];
         for tick in 1..=400u64 {
@@ -189,6 +300,7 @@ mod tests {
                     admitted: 0,
                     generated: 0,
                     deadline: None,
+                    class: 0,
                 })
                 .collect();
             for i in s.select(&vs, tick, 1) {
@@ -206,20 +318,21 @@ mod tests {
 
     #[test]
     fn shortest_first_prefers_fresh_generations() {
-        let s = Scheduler::new(TickOrder::ShortestFirst, 4, 2);
+        let mut s = Scheduler::new(TickOrder::ShortestFirst, 4, 2);
         let sel = s.select(&views(4, 5), 5, 2);
         assert_eq!(sel, vec![0, 1], "fewest generated tokens go first");
     }
 
     #[test]
     fn edf_orders_by_deadline_with_best_effort_last() {
-        let s = Scheduler::new(TickOrder::Edf, 4, 2);
+        let mut s = Scheduler::new(TickOrder::Edf, 4, 2);
         let mk = |id: u64, deadline: Option<u64>| ActiveView {
             id,
             last_step: 4,
             admitted: 0,
             generated: 0,
             deadline,
+            class: 0,
         };
         let vs = vec![
             mk(0, None),
@@ -242,8 +355,73 @@ mod tests {
 
     #[test]
     fn batch_never_exceeds_limit() {
-        let s = Scheduler::new(TickOrder::RoundRobin, 16, 4);
+        let mut s = Scheduler::new(TickOrder::RoundRobin, 16, 4);
         assert_eq!(s.select(&views(16, 9), 9, 4).len(), 4);
         assert!(s.select(&[], 3, 4).is_empty());
+    }
+
+    #[test]
+    fn weighted_fair_divides_slots_by_class_share() {
+        // Two classes, weight 3 : 1, one request each, one slot per
+        // tick: class 0 should get ~3/4 of the service.
+        let mut s = Scheduler::new(TickOrder::WeightedFair, 2, 1).with_class_weights(&[3, 1]);
+        let mut served = [0usize; 2];
+        let mut last = [0u64; 2];
+        for tick in 1..=400u64 {
+            let vs: Vec<ActiveView> = (0..2)
+                .map(|i| ActiveView {
+                    id: i as u64,
+                    last_step: last[i],
+                    admitted: 0,
+                    generated: 0,
+                    deadline: None,
+                    class: i as u32,
+                })
+                .collect();
+            for i in s.select(&vs, tick, 1) {
+                served[i] += 1;
+                last[i] = tick;
+            }
+        }
+        assert_eq!(served[0] + served[1], 400);
+        assert!(
+            (295..=305).contains(&served[0]),
+            "weight-3 class got {} of 400 slots, expected ~300",
+            served[0]
+        );
+    }
+
+    #[test]
+    fn weighted_fair_never_starves_the_light_class() {
+        // A weight-100 noisy neighbor with many requests vs one
+        // weight-1 tenant: the aging guard still bounds the light
+        // tenant's service gap per request.
+        let mut s = Scheduler::new(TickOrder::WeightedFair, 8, 1).with_class_weights(&[100, 1]);
+        let bound = s.starvation_bound();
+        let mut last = [0u64; 8];
+        for tick in 1..=400u64 {
+            let vs: Vec<ActiveView> = (0..8)
+                .map(|i| ActiveView {
+                    id: i as u64,
+                    last_step: last[i],
+                    admitted: 0,
+                    generated: 0,
+                    deadline: None,
+                    class: u32::from(i == 7),
+                })
+                .collect();
+            for i in s.select(&vs, tick, 1) {
+                assert!(
+                    tick - last[i] <= bound + 8,
+                    "gap exceeded aging bound at tick {tick} for request {i}"
+                );
+                last[i] = tick;
+            }
+        }
+        assert!(
+            400 - last[7] <= bound + 8,
+            "weight-1 tenant starved: last step at {}",
+            last[7]
+        );
     }
 }

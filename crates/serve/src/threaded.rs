@@ -93,6 +93,23 @@ pub enum WorkerCmd {
     /// Snapshot the worker's route-time probes against this prompt;
     /// the worker answers with [`WorkerReply::Probed`].
     Probe(Vec<TokenId>),
+    /// Fault injection: crash the worker's engine at tick `at`. The
+    /// worker banks the dead engine's finished work as a report
+    /// segment, replaces it with a cold engine (no warm stems — crash
+    /// recovery is cold-cache) whose clock starts at `at`, and answers
+    /// with [`WorkerReply::Crashed`] carrying the stranded requests
+    /// for the coordinator to migrate.
+    Crash {
+        /// The crash tick (the fault event's tick).
+        at: u64,
+    },
+    /// Fault injection: revive the worker at tick `at` (advances the
+    /// replacement engine's clock; no reply — the coordinator mirrors
+    /// the effect deterministically).
+    Restart {
+        /// The restart tick.
+        at: u64,
+    },
     /// No further commands follow: free-run every remaining tick
     /// without barriers, then answer with [`WorkerReply::Finished`].
     Drain,
@@ -111,8 +128,16 @@ pub enum WorkerReply {
     },
     /// Route-time probe snapshot for a [`WorkerCmd::Probe`].
     Probed(RouteProbes),
-    /// The worker drained: its final report and its private event
-    /// stream, in emission order.
+    /// The worker's engine crashed ([`WorkerCmd::Crash`]): every
+    /// in-flight and queued request it was holding, as
+    /// `(original request, tokens already generated)` pairs sorted by
+    /// id, for migration by exact replay.
+    Crashed {
+        /// The stranded requests.
+        stranded: Vec<(Request, usize)>,
+    },
+    /// The worker drained: its final report (all crash segments
+    /// merged) and its private event stream, in emission order.
     Finished {
         /// The worker's own completions, shed, and stats (boxed to
         /// keep the reply enum small next to `Ticked`/`Probed`).
@@ -240,19 +265,49 @@ impl<'m> ThreadedDispatcher<'m> {
     /// in the given order, then the whole fleet free-runs to
     /// completion with zero barriers.
     pub fn run_threaded(self, requests: Vec<Request>, cost: &GpuCostModel) -> ThreadedRun {
-        self.drive(requests, cost, false)
+        self.drive(ThreadedInput::Batch(requests), cost)
     }
 
     /// The threaded analogue of [`crate::Dispatcher::run_paced`]:
     /// requests are routed exactly when their arrival ticks fall due
     /// on the fleet round clock (one tick barrier per round while
     /// arrivals pend), then the fleet free-runs barrier-free once the
-    /// last arrival is routed.
+    /// last arrival is routed. (Both backends share the generic paced
+    /// drive in [`crate::runtime`].)
     pub fn run_paced_threaded(self, requests: Vec<Request>, cost: &GpuCostModel) -> ThreadedRun {
-        self.drive(requests, cost, true)
+        self.drive(ThreadedInput::Paced(requests, Vec::new()), cost)
     }
 
-    fn drive(self, requests: Vec<Request>, cost: &GpuCostModel, paced: bool) -> ThreadedRun {
+    /// [`Self::run_paced_threaded`] under a deterministic fault
+    /// schedule — the threaded twin of
+    /// [`crate::Dispatcher::run_paced_with_faults`], running the exact
+    /// same generic fault drive, so fault-injected runs are
+    /// tick-identical across backends. Prefer driving through
+    /// [`crate::FleetRuntime`] with a [`crate::FaultPlan`].
+    pub fn run_paced_faulted(
+        self,
+        requests: Vec<Request>,
+        faults: &[crate::runtime::FaultEvent],
+        cost: &GpuCostModel,
+    ) -> ThreadedRun {
+        self.drive(ThreadedInput::Paced(requests, faults.to_vec()), cost)
+    }
+
+    /// The threaded analogue of [`crate::Dispatcher::run_streaming`]:
+    /// routes requests as they are received on a live channel,
+    /// blocking for the next arrival when the fleet is idle with the
+    /// stream open (one tick barrier per round — a live channel never
+    /// reaches the "nothing can change" free-run state until it
+    /// closes).
+    pub fn run_streaming_threaded(
+        self,
+        arrivals: mpsc::Receiver<Request>,
+        cost: &GpuCostModel,
+    ) -> ThreadedRun {
+        self.drive(ThreadedInput::Streaming(arrivals), cost)
+    }
+
+    fn drive(self, input: ThreadedInput, cost: &GpuCostModel) -> ThreadedRun {
         let n = self.dcfg.workers.max(1);
         let traced = self.traced;
         let (model, cfg, warm) = (self.model, &self.cfg, &self.warm);
@@ -261,9 +316,13 @@ impl<'m> ThreadedDispatcher<'m> {
             let mut fleet = Fleet {
                 handles: Vec::with_capacity(n),
                 router: Router::new(self.dcfg.route.clone()),
+                alive: vec![true; n],
                 traced,
                 routing_events: Vec::new(),
+                late_events: Vec::new(),
                 assignments: Vec::new(),
+                fleet_stats: ServeStats::default(),
+                fleet_shed: Vec::new(),
             };
             for worker in 0..n {
                 let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
@@ -291,45 +350,17 @@ impl<'m> ThreadedDispatcher<'m> {
                     has_work: false,
                 });
             }
-            if paced {
-                let mut requests = requests;
-                requests.sort_by_key(|r| r.arrival);
-                let mut pending = requests.into_iter().peekable();
-                loop {
-                    // Same pacing rule as the lockstep oracle: route
-                    // everything due by `now + 1` before the round's
-                    // tick (see `Dispatcher::run_paced`).
-                    let now = fleet.now();
-                    while pending.peek().is_some_and(|r| r.arrival <= now + 1) {
-                        let req = pending.next().expect("peeked");
+            match input {
+                ThreadedInput::Batch(requests) => {
+                    for req in requests {
                         fleet.submit(req);
                     }
-                    if pending.peek().is_none() {
-                        // Last arrival routed: nothing the coordinator
-                        // could still send affects any worker, so the
-                        // remaining lockstep rounds (pure per-worker
-                        // tick sequences) run barrier-free in drain.
-                        break;
-                    }
-                    if fleet.any_busy() {
-                        fleet.tick_round();
-                    } else {
-                        // Idle gap: hand the next arrival group to the
-                        // fleet; receiving workers fast-forward their
-                        // own clocks, exactly as in lockstep.
-                        let next = pending
-                            .peek()
-                            .map(|r| r.arrival)
-                            .expect("pending non-empty");
-                        while pending.peek().is_some_and(|r| r.arrival <= next) {
-                            let req = pending.next().expect("peeked");
-                            fleet.submit(req);
-                        }
-                    }
                 }
-            } else {
-                for req in requests {
-                    fleet.submit(req);
+                ThreadedInput::Paced(requests, faults) => {
+                    crate::runtime::drive_paced(&mut fleet, requests, &faults, cost);
+                }
+                ThreadedInput::Streaming(arrivals) => {
+                    crate::runtime::drive_streaming(&mut fleet, arrivals, cost);
                 }
             }
             fleet.finish()
@@ -337,15 +368,37 @@ impl<'m> ThreadedDispatcher<'m> {
     }
 }
 
+/// How requests reach a threaded drive (the backend-internal twin of
+/// [`crate::Drive`]).
+enum ThreadedInput {
+    Batch(Vec<Request>),
+    Paced(Vec<Request>, Vec<crate::runtime::FaultEvent>),
+    Streaming(mpsc::Receiver<Request>),
+}
+
 /// Coordinator-side fleet state: worker handles plus the routing core
 /// and the routing event/assignment records the lockstep drive keeps
-/// on the `Dispatcher` itself.
+/// on the `Dispatcher` itself, and the fault-layer bookkeeping
+/// (liveness, fleet-level stats and sheds).
 struct Fleet {
     handles: Vec<WorkerHandle>,
     router: Router,
+    /// Per-worker liveness under fault injection (all `true` without
+    /// faults); dead workers are masked out of routing.
+    alive: Vec<bool>,
     traced: bool,
     routing_events: Vec<TraceEvent>,
+    /// Coordinator-recorded events of *worker-stream* kind (fleet-level
+    /// sheds): in the lockstep oracle's shared log these are emitted
+    /// after the owning worker's engine events, so the merge must slot
+    /// them after the worker streams, not with the routing events.
+    late_events: Vec<TraceEvent>,
     assignments: Vec<(u64, usize)>,
+    /// Fleet-level (coordinator) counters: crashes, restarts,
+    /// migrations, backpressure, fleet-level sheds.
+    fleet_stats: ServeStats,
+    /// Requests shed at the fleet level under unrecovered backpressure.
+    fleet_shed: Vec<crate::engine::ShedRequest>,
 }
 
 impl Fleet {
@@ -375,13 +428,13 @@ impl Fleet {
             .collect()
     }
 
-    fn submit(&mut self, req: Request) {
+    fn submit(&mut self, req: Request) -> usize {
         let probes = if self.router.needs_probes() {
             self.probe_round(&req.prompt)
         } else {
             Vec::new()
         };
-        let (w, probe_vals) = self.router.pick(&req, self.handles.len(), &probes);
+        let (w, probe_vals) = self.router.pick(&req, &self.alive, &probes);
         if self.traced {
             // Same stamp as the lockstep drive: the fleet clock (the
             // mirrors are exact, and submits never move clocks).
@@ -400,12 +453,13 @@ impl Fleet {
         // submit() always enqueues, so the mirror flips without a
         // round-trip.
         self.handles[w].has_work = true;
+        w
     }
 
     /// One paced round: every busy worker ticks concurrently behind a
     /// single barrier; idle workers are skipped (their tick is a
     /// no-op in the lockstep oracle too).
-    fn tick_round(&mut self) {
+    fn barrier_tick_round(&mut self) {
         for h in &self.handles {
             if h.has_work {
                 h.send(WorkerCmd::Tick);
@@ -437,6 +491,7 @@ impl Fleet {
         let mut stats = ServeStats::default();
         let mut per_worker = Vec::with_capacity(self.handles.len());
         let mut events = self.routing_events;
+        let late_events = self.late_events;
         for h in &self.handles {
             match h.recv() {
                 WorkerReply::Finished {
@@ -457,6 +512,17 @@ impl Fleet {
                 other => panic!("expected Finished reply, got {other:?}"),
             }
         }
+        // Fleet-level sheds trail the owning worker's stream (the
+        // position the lockstep shared log gives them); re-grouping
+        // restores the canonical fixed point.
+        if !late_events.is_empty() {
+            events.extend(late_events);
+            events = verispec_trace::canonicalize_fleet_events(&events);
+        }
+        // Fleet-level fault counters and sheds, exactly as the
+        // lockstep `Dispatcher::into_report` folds them.
+        stats.merge(&self.fleet_stats);
+        shed.extend(self.fleet_shed);
         completions.sort_by_key(|c| c.id);
         shed.sort_by_key(|s| s.id);
         let mut assignments = self.assignments;
@@ -471,6 +537,72 @@ impl Fleet {
             },
             events,
         }
+    }
+}
+
+impl crate::runtime::FleetBackend for Fleet {
+    fn now(&self) -> u64 {
+        Fleet::now(self)
+    }
+
+    fn fleet_has_work(&self) -> bool {
+        self.any_busy()
+    }
+
+    fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    fn route_submit(&mut self, req: Request) -> usize {
+        self.submit(req)
+    }
+
+    fn tick_round(&mut self, _cost: &GpuCostModel) {
+        // Workers hold the cost model themselves; a round is purely
+        // the tick barrier.
+        self.barrier_tick_round();
+    }
+
+    fn crash_worker(&mut self, w: usize, at: u64) -> Vec<(Request, usize)> {
+        self.handles[w].send(WorkerCmd::Crash { at });
+        let stranded = match self.handles[w].recv() {
+            WorkerReply::Crashed { stranded } => stranded,
+            other => panic!("expected Crashed reply, got {other:?}"),
+        };
+        // Mirror the replacement engine exactly: cold (no work), clock
+        // started at the crash tick.
+        self.handles[w].clock = at;
+        self.handles[w].has_work = false;
+        self.alive[w] = false;
+        stranded
+    }
+
+    fn restart_worker(&mut self, w: usize, at: u64) {
+        self.handles[w].send(WorkerCmd::Restart { at });
+        // advance_clock is max(clock, at); mirror it without a
+        // round-trip.
+        self.handles[w].clock = self.handles[w].clock.max(at);
+        self.alive[w] = true;
+    }
+
+    fn record_fleet_event(&mut self, ev: TraceEvent) {
+        self.fleet_stats.apply_event(&ev);
+        if self.traced {
+            if ev.kind.is_fleet_event() {
+                self.routing_events.push(ev);
+            } else {
+                self.late_events.push(ev);
+            }
+        }
+    }
+
+    fn shed_fleet(&mut self, req: Request, tick: u64) {
+        self.fleet_shed.push(crate::engine::ShedRequest {
+            id: req.id,
+            arrival: req.arrival,
+            deadline: req.deadline,
+            tick,
+        });
     }
 }
 
@@ -491,23 +623,33 @@ fn worker_loop(
     replies: mpsc::Sender<WorkerReply>,
 ) {
     let log = EventLog::new();
-    let mut engine = ServeEngine::new(model, cfg);
-    if let Some(d) = draft {
-        engine = engine.with_draft(d as &dyn LanguageModel);
-    }
-    if let Some(g) = grammar {
-        engine = engine.with_grammar(g);
-    }
-    if let Some(p) = policy {
-        engine = engine.with_policy(p);
-    }
-    engine.set_worker(worker);
-    if traced {
-        engine.set_sink(&log);
-    }
-    for stem in &warm {
-        engine.warm_prefix(stem);
-    }
+    // Engine construction, shared by startup and crash rebuilds. Warm
+    // stems are startup-only: a crash replacement starts cold-cache,
+    // matching the lockstep backend's `rebuild_worker`.
+    let build = |warm: &[Vec<TokenId>]| {
+        let mut engine = ServeEngine::new(model, cfg.clone());
+        if let Some(d) = draft {
+            engine = engine.with_draft(d as &dyn LanguageModel);
+        }
+        if let Some(g) = grammar {
+            engine = engine.with_grammar(g);
+        }
+        if let Some(p) = policy {
+            engine = engine.with_policy(p);
+        }
+        engine.set_worker(worker);
+        if traced {
+            engine.set_sink(&log);
+        }
+        for stem in warm {
+            engine.warm_prefix(stem);
+        }
+        engine
+    };
+    // Report segments banked by crashed engine incarnations, merged
+    // with the final engine's report before the Finished reply.
+    let mut segments: Vec<ServeReport> = Vec::new();
+    let mut engine = build(&warm);
     for cmd in cmds {
         match cmd {
             WorkerCmd::Submit(req) => engine.submit(*req),
@@ -531,6 +673,17 @@ fn worker_loop(
                     return;
                 }
             }
+            WorkerCmd::Crash { at } => {
+                let mut fresh = build(&[]);
+                fresh.advance_clock(at);
+                let old = std::mem::replace(&mut engine, fresh);
+                let (report, stranded) = old.crash();
+                segments.push(report);
+                if replies.send(WorkerReply::Crashed { stranded }).is_err() {
+                    return;
+                }
+            }
+            WorkerCmd::Restart { at } => engine.advance_clock(at),
             WorkerCmd::Drain => break,
         }
     }
@@ -539,7 +692,8 @@ fn worker_loop(
     // identical to the lockstep drive's tail rounds (in which extra
     // ticks on an already-empty engine are no-ops).
     while engine.tick(cost) {}
-    let report = Box::new(engine.into_report_parts());
+    segments.push(engine.into_report_parts());
+    let report = Box::new(crate::runtime::merge_segments(segments));
     let _ = replies.send(WorkerReply::Finished {
         report,
         events: log.into_events(),
@@ -580,6 +734,7 @@ mod tests {
             },
             arrival,
             deadline: None,
+            class: 0,
         }
     }
 

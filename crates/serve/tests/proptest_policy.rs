@@ -193,9 +193,17 @@ proptest! {
         prefix.append(&shared);
         let mut engine = ServeEngine::new(&model, cfg)
             .with_draft(&draft)
-            .with_prefix(&*prefix)
             .with_policy(&policy);
+        // Fork the shared-prefix session per matching request at
+        // submit time (the explicit successor of the retired
+        // engine-held `with_prefix` plumbing).
         for req in &requests {
+            if req.prompt.starts_with(prefix.tokens()) {
+                if let Some(fork) = prefix.fork() {
+                    engine.submit_with_session(req.clone(), fork);
+                    continue;
+                }
+            }
             engine.submit(req.clone());
         }
         let report = engine.run(&cost);

@@ -194,6 +194,52 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            EventKind::WorkerCrashed { in_flight } => {
+                push_entry(
+                    &mut out,
+                    &mut first,
+                    &instant(
+                        "worker_crashed",
+                        pid,
+                        0,
+                        ev.tick,
+                        &format!("{{\"in_flight\":{in_flight}}}"),
+                    ),
+                );
+            }
+            EventKind::WorkerRestarted => {
+                push_entry(
+                    &mut out,
+                    &mut first,
+                    &instant("worker_restarted", pid, 0, ev.tick, "{}"),
+                );
+            }
+            EventKind::Migrated {
+                from,
+                to,
+                replay_tokens,
+            } => {
+                push_entry(
+                    &mut out,
+                    &mut first,
+                    &instant(
+                        "migrated",
+                        pid,
+                        tid,
+                        ev.tick,
+                        &format!(
+                            "{{\"from\":{from},\"to\":{to},\"replay_tokens\":{replay_tokens}}}"
+                        ),
+                    ),
+                );
+            }
+            EventKind::Backpressure => {
+                push_entry(
+                    &mut out,
+                    &mut first,
+                    &instant("backpressure", pid, tid, ev.tick, "{}"),
+                );
+            }
             EventKind::TickBudget {
                 capacity, spent, ..
             } => {

@@ -163,6 +163,52 @@ pub enum EventKind {
         /// for `prefix-affine`; empty when the policy probes nothing.
         probes: Vec<u64>,
     },
+    /// A fault-plan crash killed the worker on the envelope: its
+    /// in-flight and queued requests were extracted for migration and
+    /// its engine state was wiped. Stamped at the fleet clock.
+    WorkerCrashed {
+        /// Requests (in-flight + queued) extracted for migration.
+        in_flight: usize,
+    },
+    /// A fault-plan restart brought the worker on the envelope back
+    /// into the routable set (cold: empty queue, empty caches).
+    WorkerRestarted,
+    /// A request stranded by a crash was re-routed to a live worker
+    /// and rebuilt there by exact replay (fresh re-ingestion of the
+    /// full prompt; deterministic decode regenerates the same tokens).
+    /// `worker` on the envelope is the destination.
+    Migrated {
+        /// The crashed worker the request was extracted from.
+        from: u32,
+        /// The live worker it was re-routed to.
+        to: u32,
+        /// Tokens the request had already generated on the dead
+        /// worker — work the replay re-does.
+        replay_tokens: usize,
+    },
+    /// The dispatcher deferred an arrival because no live worker could
+    /// accept it (every worker crashed and not yet restarted); the
+    /// request is parked fleet-side and re-routed on the next restart.
+    Backpressure,
+}
+
+impl EventKind {
+    /// Whether this event is emitted by the fleet coordinator (routing
+    /// and fault-plan transitions) rather than by a worker engine.
+    /// Coordinator events form one serial stream in both the lockstep
+    /// and threaded drives, which is why
+    /// [`canonicalize_fleet_events`] keeps them in emission order
+    /// ahead of the per-worker groups.
+    pub fn is_fleet_event(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Routed { .. }
+                | EventKind::WorkerCrashed { .. }
+                | EventKind::WorkerRestarted
+                | EventKind::Migrated { .. }
+                | EventKind::Backpressure
+        )
+    }
 }
 
 impl TraceEvent {
@@ -195,10 +241,11 @@ pub fn log_from_json(s: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
 
 /// Rewrites a fleet event stream into its *canonical* order, the form
 /// under which the lockstep and threaded dispatch drives are compared:
-/// all [`EventKind::Routed`] events first (in emission order — routing
-/// is a coordinator-serial decision in both drives), followed by every
-/// other event grouped by worker id ascending, preserving each
-/// worker's own emission order.
+/// all coordinator events ([`EventKind::is_fleet_event`] — routing
+/// decisions and fault-plan transitions) first, in emission order
+/// (they are coordinator-serial decisions in both drives), followed
+/// by every other event grouped by worker id ascending, preserving
+/// each worker's own emission order.
 ///
 /// Why this form: a lockstep fleet interleaves all workers' events
 /// into one shared sink in tick-round order, while the threaded fleet
@@ -214,7 +261,7 @@ pub fn canonicalize_fleet_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
     let mut per_worker: std::collections::BTreeMap<u32, Vec<TraceEvent>> =
         std::collections::BTreeMap::new();
     for ev in events {
-        if matches!(ev.kind, EventKind::Routed { .. }) {
+        if ev.kind.is_fleet_event() {
             canonical.push(ev.clone());
         } else {
             per_worker.entry(ev.worker).or_default().push(ev.clone());

@@ -220,6 +220,17 @@ impl MetricsRegistry {
             EventKind::Routed { policy, .. } => {
                 self.count(&format!("route.{policy}"), 1);
             }
+            EventKind::WorkerCrashed { in_flight } => {
+                self.count("fault.crashes", 1);
+                self.count("fault.stranded", *in_flight as u64);
+            }
+            EventKind::WorkerRestarted => self.count("fault.restarts", 1),
+            EventKind::Migrated { replay_tokens, .. } => {
+                self.count("fault.migrations", 1);
+                self.count("fault.replayed_tokens", *replay_tokens as u64);
+                self.record_hist("fault.replay_tokens", *replay_tokens as u64);
+            }
+            EventKind::Backpressure => self.count("fault.backpressure", 1),
         }
     }
 
